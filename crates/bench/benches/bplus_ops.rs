@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the B+-tree (the §VI generality
+//! substrate): get, insert, remove/insert cycling, and range scans.
+
+use catfish_bplus::{BpConfig, BpMemStore, BpTree};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_tree(n: u64) -> BpTree<BpMemStore> {
+    let mut t = BpTree::new(BpMemStore::new(), BpConfig::default());
+    for i in 0..n {
+        t.insert(i * 2, i);
+    }
+    t
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bplus_get");
+    for n in [10_000u64, 1_000_000] {
+        let tree = build_tree(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| tree.get(rng.gen::<u64>() % (n * 2)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    c.bench_function("bplus_insert_remove_cycle", |b| {
+        let mut tree = build_tree(100_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let k = rng.gen::<u64>() % 400_000 + 1_000_000;
+            tree.insert(k, 1);
+            tree.remove(k);
+        });
+    });
+}
+
+fn bench_range(c: &mut Criterion) {
+    let tree = build_tree(1_000_000);
+    let mut group = c.benchmark_group("bplus_range");
+    for span in [100u64, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let lo = rng.gen::<u64>() % (2_000_000 - span);
+                tree.range(lo, lo + span)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_get, bench_insert_remove, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the versioned cache-line chunk codec —
+//! the cost offloading clients pay per fetched node and servers pay per
+//! node write.
+
+use catfish_rtree::codec::ChunkLayout;
+use catfish_rtree::{Entry, Node, Rect};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn full_leaf(max_entries: usize) -> Node {
+    let mut n = Node::new(0);
+    for i in 0..max_entries as u64 {
+        let x = i as f64 * 0.001;
+        n.entries
+            .push(Entry::data(Rect::new(x, x, x + 0.01, x + 0.01), i));
+    }
+    n
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_encode");
+    for m in [16usize, 88] {
+        let layout = ChunkLayout::for_max_entries(m);
+        let node = full_leaf(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut version = 0u64;
+            b.iter(|| {
+                version += 1;
+                layout.encode_node(&node, version)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_decode");
+    for m in [16usize, 88] {
+        let layout = ChunkLayout::for_max_entries(m);
+        let chunk = layout.encode_node(&full_leaf(m), 7);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| layout.decode_node(&chunk).expect("valid chunk"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_torn_detection(c: &mut Criterion) {
+    // Worst case: the conflicting version is in the last line.
+    let layout = ChunkLayout::for_max_entries(88);
+    let mut chunk = layout.encode_node(&full_leaf(88), 7);
+    let last = chunk.len() - 64;
+    chunk[last..last + 8].copy_from_slice(&8u64.to_le_bytes());
+    c.bench_function("codec_detect_torn_last_line", |b| {
+        b.iter(|| layout.decode_node(&chunk).expect_err("torn"));
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_torn_detection);
+criterion_main!(benches);

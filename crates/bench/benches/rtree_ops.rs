@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the R*-tree itself: insert, search at the
+//! paper's request scales, delete, and STR bulk loading.
+
+use catfish_rtree::{bulk_load, MemStore, RTree, RTreeConfig, Rect};
+use catfish_workload::uniform_rects;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_tree(n: usize) -> RTree<MemStore> {
+    bulk_load(
+        MemStore::new(),
+        RTreeConfig::default(),
+        uniform_rects(n, 1e-4, 1),
+    )
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_insert");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // The tree grows across iterations; cost is amortized over the
+            // whole run, which is what a sustained-ingest workload sees.
+            let mut tree = build_tree(n);
+            let mut rng = StdRng::seed_from_u64(2);
+            let inputs: Vec<(Rect, u64)> = (0..1_000_000u64)
+                .map(|i| {
+                    let x = rng.gen::<f64>() * 0.999;
+                    let y = rng.gen::<f64>() * 0.999;
+                    (Rect::new(x, y, x + 1e-4, y + 1e-4), u64::MAX / 2 + i)
+                })
+                .collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let (r, d) = inputs[i % inputs.len()];
+                tree.insert(r, d);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_search");
+    let tree = build_tree(200_000);
+    for (label, edge) in [("scale_1e-5", 1e-5), ("scale_1e-2", 1e-2)] {
+        group.bench_function(label, |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut out = Vec::new();
+            b.iter(|| {
+                let x = rng.gen::<f64>() * (1.0 - edge);
+                let y = rng.gen::<f64>() * (1.0 - edge);
+                out.clear();
+                tree.search_into(&Rect::new(x, y, x + edge, y + edge), &mut out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    c.bench_function("rtree_delete_insert_cycle", |b| {
+        let mut tree = build_tree(50_000);
+        let items = tree.items();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (r, d) = items[i % items.len()];
+            assert!(tree.delete(&r, d));
+            tree.insert(r, d);
+            i += 1;
+        });
+    });
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_bulk_load");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let items = uniform_rects(n, 1e-4, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter_batched(
+                || items.clone(),
+                |items| bulk_load(MemStore::new(), RTreeConfig::default(), items),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_search,
+    bench_delete,
+    bench_bulk_load
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Ablation: sensitivity of the adaptive algorithm to its three knobs —
+//! the back-off base `N`, the busy threshold `T`, and the heartbeat
+//! interval `Inv` — on the CPU-bound workload where adaptivity matters
+//! most. Also includes the two degenerate policies (always-fast,
+//! always-offload) as anchors.
+
+use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
+use catfish_core::config::{AccessMode, AdaptiveParams, ClientConfig, Scheme, ServerConfig};
+use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_rdma::profile;
+use catfish_simnet::SimDuration;
+use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation",
+        "adaptive parameters N / T / Inv (CPU-bound workload, 128 clients)",
+    );
+    let dataset = uniform_rects(args.size, 1e-4, args.seed);
+    let clients = 128;
+
+    let run = |label: &str, params: Option<AdaptiveParams>, hb: SimDuration| {
+        let (scheme, client_config) = match params {
+            Some(p) => (
+                Scheme::Catfish,
+                Some(ClientConfig {
+                    mode: AccessMode::Adaptive(p),
+                    multi_issue: true,
+                    ..ClientConfig::default()
+                }),
+            ),
+            None => (Scheme::Catfish, None),
+        };
+        let spec = ExperimentSpec {
+            profile: profile::infiniband_100g(),
+            scheme,
+            client_config,
+            clients,
+            client_nodes: 8,
+            dataset: dataset.clone(),
+            trace: TraceSpec::search_only(ScaleDist::small(), args.requests),
+            tree_config: paper_tree_config(),
+            server: ServerConfig {
+                heartbeat_interval: hb,
+                ..ServerConfig::default()
+            },
+            seed: args.seed,
+            ..ExperimentSpec::default()
+        };
+        let r = timed(label, || run_experiment(&spec));
+        println!(
+            "{:<28} {:>9.1} Kops  mean {:>10}  offloaded {:>5.1}%",
+            label,
+            r.throughput_kops,
+            r.latency.mean.to_string(),
+            100.0 * r.offloaded_searches as f64
+                / (r.fast_searches + r.offloaded_searches).max(1) as f64,
+        );
+    };
+
+    println!("\n-- back-off base N (T=0.95, Inv=10ms) --");
+    for n in [2u32, 4, 8, 16, 64] {
+        run(
+            &format!("N = {n}"),
+            Some(AdaptiveParams {
+                n_backoff: n,
+                ..AdaptiveParams::default()
+            }),
+            SimDuration::from_millis(10),
+        );
+    }
+
+    println!("\n-- busy threshold T (N=8, Inv=10ms) --");
+    for t in [0.5, 0.8, 0.9, 0.95, 0.99] {
+        run(
+            &format!("T = {t}"),
+            Some(AdaptiveParams {
+                busy_threshold: t,
+                ..AdaptiveParams::default()
+            }),
+            SimDuration::from_millis(10),
+        );
+    }
+
+    println!("\n-- heartbeat interval Inv (N=8, T=0.95) --");
+    for ms in [1u64, 5, 10, 50, 100] {
+        run(
+            &format!("Inv = {ms}ms"),
+            Some(AdaptiveParams {
+                heartbeat_interval: SimDuration::from_millis(ms),
+                ..AdaptiveParams::default()
+            }),
+            SimDuration::from_millis(ms),
+        );
+    }
+
+    println!("\n-- degenerate policies --");
+    for (label, mode) in [
+        ("always fast messaging", AccessMode::FastMessaging),
+        ("always offloading", AccessMode::Offloading),
+    ] {
+        let spec = ExperimentSpec {
+            profile: profile::infiniband_100g(),
+            scheme: Scheme::Catfish,
+            client_config: Some(ClientConfig {
+                mode,
+                multi_issue: true,
+                ..ClientConfig::default()
+            }),
+            clients,
+            client_nodes: 8,
+            dataset: dataset.clone(),
+            trace: TraceSpec::search_only(ScaleDist::small(), args.requests),
+            tree_config: paper_tree_config(),
+            seed: args.seed,
+            ..ExperimentSpec::default()
+        };
+        let r = timed(label, || run_experiment(&spec));
+        println!(
+            "{:<28} {:>9.1} Kops  mean {:>10}",
+            label,
+            r.throughput_kops,
+            r.latency.mean.to_string()
+        );
+    }
+}

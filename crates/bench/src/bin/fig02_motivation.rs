@@ -1,0 +1,52 @@
+//! Figure 2 — the motivating measurement: server CPU utilization and NIC
+//! bandwidth under a TCP/IP (1 GbE) search workload.
+//!
+//! Fig. 2(a): scale 0.01 — many results per query, the server link
+//! saturates while CPU stays low. Fig. 2(b): scale 0.00001 — few results,
+//! the server CPU saturates while bandwidth idles.
+
+use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
+use catfish_core::config::Scheme;
+use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_rdma::profile;
+use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Fig. 2",
+        "server CPU% and bandwidth vs clients, TCP/IP on 1 Gbps Ethernet",
+    );
+    let dataset = uniform_rects(args.size, 1e-4, args.seed);
+    let clients = args
+        .clients
+        .clone()
+        .unwrap_or_else(|| vec![2, 4, 8, 16, 32]);
+    for (sub, scale) in [
+        ("(a) request scale 0.01", ScaleDist::large()),
+        ("(b) request scale 0.00001", ScaleDist::small()),
+    ] {
+        println!("\n--- Fig. 2{sub} ---");
+        println!("{:>8} {:>10} {:>16}", "clients", "CPU util", "bandwidth");
+        for &n in &clients {
+            let spec = ExperimentSpec {
+                profile: profile::ethernet_1g(),
+                scheme: Scheme::TcpIp,
+                clients: n,
+                client_nodes: 8.min(n),
+                dataset: dataset.clone(),
+                trace: TraceSpec::search_only(scale, args.requests),
+                tree_config: paper_tree_config(),
+                seed: args.seed,
+                ..ExperimentSpec::default()
+            };
+            let r = timed(&format!("fig2{sub} n={n}"), || run_experiment(&spec));
+            println!(
+                "{:>8} {:>9.1}% {:>11.3} Gbps",
+                n,
+                r.server_cpu * 100.0,
+                r.server_bw_gbps
+            );
+        }
+    }
+}

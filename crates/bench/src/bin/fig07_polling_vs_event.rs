@@ -1,0 +1,76 @@
+//! Figure 7 — polling-based vs event-based fast messaging under CPU
+//! oversubscription (clients ≫ cores), on the InfiniBand profile.
+//!
+//! Polling workers burn a full scheduling quantum per turn whether or not
+//! work arrived, so once connections outnumber cores, request latency
+//! grows superlinearly; event-driven workers block on the completion
+//! channel and scale linearly.
+
+use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
+use catfish_core::config::{Scheme, ServerMode};
+use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_rdma::profile;
+use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Fig. 7",
+        "polling vs event-based fast messaging: latency (a) and throughput (b)",
+    );
+    let dataset = uniform_rects(args.size, 1e-4, args.seed);
+    let clients = args
+        .clients
+        .clone()
+        .unwrap_or_else(|| vec![80, 160, 240, 320]);
+    for (label, scale) in [
+        ("scale 0.00001", ScaleDist::small()),
+        ("scale 0.01", ScaleDist::large()),
+    ] {
+        println!("\n--- {label} ---");
+        println!(
+            "{:>8} {:>13} {:>13} {:>13} {:>13} {:>11} {:>11}",
+            "clients",
+            "poll mean",
+            "event mean",
+            "poll p99",
+            "event p99",
+            "poll Kops",
+            "event Kops"
+        );
+        for &n in &clients {
+            let mut results = Vec::new();
+            for mode in [ServerMode::Polling, ServerMode::EventDriven] {
+                let spec = ExperimentSpec {
+                    profile: profile::infiniband_100g(),
+                    scheme: Scheme::FastMessaging,
+                    server_mode: Some(mode),
+                    // FaRM-style polling polls on BOTH sides: the client
+                    // machines (28 cores each) also burn cores detecting
+                    // responses. Event-driven clients block instead.
+                    client_polling_cores: (mode == ServerMode::Polling).then_some(28),
+                    clients: n,
+                    client_nodes: 8,
+                    dataset: dataset.clone(),
+                    trace: TraceSpec::search_only(scale, args.requests),
+                    tree_config: paper_tree_config(),
+                    seed: args.seed,
+                    ..ExperimentSpec::default()
+                };
+                results.push(timed(&format!("{label} {mode:?} n={n}"), || {
+                    run_experiment(&spec)
+                }));
+            }
+            println!(
+                "{:>8} {:>13} {:>13} {:>13} {:>13} {:>11.1} {:>11.1}",
+                n,
+                results[0].latency.mean.to_string(),
+                results[1].latency.mean.to_string(),
+                results[0].latency.p99.to_string(),
+                results[1].latency.p99.to_string(),
+                results[0].throughput_kops,
+                results[1].throughput_kops
+            );
+        }
+    }
+}

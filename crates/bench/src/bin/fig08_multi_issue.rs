@@ -1,0 +1,58 @@
+//! Figure 8(b) — RDMA offloading with and without multi-issue.
+//!
+//! A single client offloads searches at four request scales; multi-issue
+//! overlaps the round trips of sibling fetches, cutting latency most where
+//! traversals touch many nodes (large scopes).
+
+use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
+use catfish_core::config::{AccessMode, ClientConfig, Scheme};
+use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_rdma::profile;
+use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Fig. 8",
+        "offloading latency: sequential vs multi-issue (1 client)",
+    );
+    let dataset = uniform_rects(args.size, 1e-4, args.seed);
+    println!(
+        "{:>10} {:>18} {:>18} {:>10}",
+        "scale", "sequential", "multi-issue", "reduction"
+    );
+    for bound in [1e-5, 1e-4, 1e-3, 1e-2] {
+        let mut means = Vec::new();
+        for multi_issue in [false, true] {
+            let spec = ExperimentSpec {
+                profile: profile::infiniband_100g(),
+                scheme: Scheme::RdmaOffloading,
+                client_config: Some(ClientConfig {
+                    mode: AccessMode::Offloading,
+                    multi_issue,
+                    ..ClientConfig::default()
+                }),
+                clients: 1,
+                client_nodes: 1,
+                dataset: dataset.clone(),
+                trace: TraceSpec::search_only(ScaleDist::Fixed { bound }, args.requests),
+                tree_config: paper_tree_config(),
+                seed: args.seed,
+                ..ExperimentSpec::default()
+            };
+            let r = timed(&format!("scale {bound} multi={multi_issue}"), || {
+                run_experiment(&spec)
+            });
+            means.push(r.latency.mean);
+        }
+        let reduction = 100.0 * (means[0].as_nanos() as f64 - means[1].as_nanos() as f64)
+            / means[0].as_nanos() as f64;
+        println!(
+            "{:>10} {:>18} {:>18} {:>9.2}%",
+            bound,
+            means[0].to_string(),
+            means[1].to_string(),
+            reduction
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 9 — micro-benchmark of the communication methods.
+//!
+//! A client requests data chunks of 2 B … 8 MB; the next transfer begins
+//! only after the previous completes. Reports round-trip latency (a) and
+//! the resulting goodput (b) for TCP/IP over 1 G and 40 G Ethernet, RDMA
+//! Read, and RDMA Write.
+
+use catfish_bench::{banner, BenchArgs};
+use catfish_rdma::tcp::TcpEndpoint;
+use catfish_rdma::{profile, Endpoint, MemoryRegion, NetProfile};
+use catfish_simnet::{now, spawn, Network, Sim};
+
+const SIZES: [usize; 12] = [
+    2,
+    64,
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    2 << 20,
+    4 << 20,
+    8 << 20,
+];
+const REPS: usize = 20;
+
+fn main() {
+    let _args = BenchArgs::parse();
+    banner(
+        "Fig. 9",
+        "communication micro-benchmark: latency (a), throughput (b)",
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "size", "TCP-1G", "TCP-40G", "RDMA Read", "RDMA Write"
+    );
+    let mut rows: Vec<[f64; 4]> = Vec::new();
+    for &size in &SIZES {
+        let tcp1 = tcp_round_trip(&profile::ethernet_1g(), size);
+        let tcp40 = tcp_round_trip(&profile::ethernet_40g(), size);
+        let read = rdma_latency(&profile::infiniband_100g(), size, Verb::Read);
+        let write = rdma_latency(&profile::infiniband_100g(), size, Verb::Write);
+        println!(
+            "{:>10} {:>14} {:>14} {:>14} {:>14}",
+            human_size(size),
+            fmt_us(tcp1),
+            fmt_us(tcp40),
+            fmt_us(read),
+            fmt_us(write),
+        );
+        rows.push([tcp1, tcp40, read, write]);
+    }
+    println!("\nthroughput (Gbps):");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "size", "TCP-1G", "TCP-40G", "RDMA Read", "RDMA Write"
+    );
+    for (i, &size) in SIZES.iter().enumerate() {
+        let gbps = |lat_us: f64| size as f64 * 8.0 / (lat_us * 1e3);
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
+            human_size(size),
+            gbps(rows[i][0]),
+            gbps(rows[i][1]),
+            gbps(rows[i][2]),
+            gbps(rows[i][3]),
+        );
+    }
+}
+
+enum Verb {
+    Read,
+    Write,
+}
+
+/// Mean time for: send a 1-byte request, receive a `size`-byte response.
+fn tcp_round_trip(profile: &NetProfile, size: usize) -> f64 {
+    let profile = *profile;
+    let sim = Sim::new();
+    sim.run_until(async move {
+        let net = Network::new();
+        let a = TcpEndpoint::new(&net, net.add_node(profile.link), profile.tcp, None);
+        let b = TcpEndpoint::new(&net, net.add_node(profile.link), profile.tcp, None);
+        let (client, server) = a.connect(&b);
+        spawn(async move {
+            while let Some(req) = server.recv().await {
+                let n = usize::from_le_bytes(req[..8].try_into().expect("sized"));
+                server.send(vec![0u8; n]).await;
+            }
+        });
+        let t0 = now();
+        for _ in 0..REPS {
+            client.send(size.to_le_bytes().to_vec()).await;
+            let resp = client.recv().await.expect("server alive");
+            assert_eq!(resp.len(), size);
+        }
+        (now() - t0).as_micros_f64() / REPS as f64
+    })
+}
+
+/// Mean completion time of one one-sided verb moving `size` bytes.
+fn rdma_latency(profile: &NetProfile, size: usize, verb: Verb) -> f64 {
+    let profile = *profile;
+    let sim = Sim::new();
+    sim.run_until(async move {
+        let net = Network::new();
+        let client = Endpoint::new(&net, net.add_node(profile.link), profile.rdma);
+        let server = Endpoint::new(&net, net.add_node(profile.link), profile.rdma);
+        let mr = MemoryRegion::new(size.max(8), 1);
+        server.register(mr);
+        let (qp, _server_qp) = client.connect(&server);
+        let payload = vec![0u8; size];
+        let t0 = now();
+        for _ in 0..REPS {
+            match verb {
+                Verb::Read => {
+                    let data = qp.read(1, 0, size).await.expect("registered");
+                    assert_eq!(data.len(), size);
+                }
+                Verb::Write => qp.write(1, 0, &payload).await.expect("registered"),
+            }
+        }
+        (now() - t0).as_micros_f64() / REPS as f64
+    })
+}
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{us:.2}us")
+    }
+}

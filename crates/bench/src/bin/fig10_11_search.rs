@@ -1,0 +1,65 @@
+//! Figures 10 & 11 — throughput and latency of 100 %-search workloads.
+//!
+//! Sweeps client counts for the five schemes at each of the paper's three
+//! request scales (1e-5 CPU-bound, 1e-2 bandwidth-bound, power law).
+//! Prints one table per scale with both metrics — Fig. 10 is the
+//! throughput column, Fig. 11 the latency column.
+
+use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
+use catfish_core::config::Scheme;
+use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_rdma::profile;
+use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Fig. 10 / Fig. 11",
+        "search-only throughput (Kops) and latency vs client count",
+    );
+    let dataset = uniform_rects(args.size, 1e-4, args.seed);
+    let clients = args
+        .clients
+        .clone()
+        .unwrap_or_else(|| vec![32, 64, 128, 256]);
+    let scales = [
+        ("scale 0.00001 (CPU-bound)", ScaleDist::small()),
+        ("scale 0.01 (bandwidth-bound)", ScaleDist::large()),
+        ("power law", ScaleDist::power_law()),
+    ];
+    let schemes: [(Scheme, catfish_rdma::NetProfile); 5] = [
+        (Scheme::TcpIp, profile::ethernet_1g()),
+        (Scheme::TcpIp, profile::ethernet_40g()),
+        (Scheme::FastMessaging, profile::infiniband_100g()),
+        (Scheme::RdmaOffloading, profile::infiniband_100g()),
+        (Scheme::Catfish, profile::infiniband_100g()),
+    ];
+
+    for (scale_label, scale) in scales {
+        println!("\n--- {scale_label} ---");
+        for &n in &clients {
+            for (scheme, prof) in &schemes {
+                let spec = ExperimentSpec {
+                    profile: *prof,
+                    scheme: *scheme,
+                    clients: n,
+                    client_nodes: 8,
+                    dataset: dataset.clone(),
+                    trace: TraceSpec::search_only(scale, args.requests),
+                    tree_config: paper_tree_config(),
+                    seed: args.seed,
+                    ..ExperimentSpec::default()
+                };
+                let label = format!("{} n={}", scheme.label(prof), n);
+                let r = timed(&label, || run_experiment(&spec));
+                println!(
+                    "{}  [fast {} / offload {}]",
+                    r.row(),
+                    r.fast_searches,
+                    r.offloaded_searches
+                );
+            }
+            println!();
+        }
+    }
+}

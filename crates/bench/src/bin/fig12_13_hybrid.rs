@@ -1,0 +1,65 @@
+//! Figures 12 & 13 — throughput and latency of the hybrid workload:
+//! 90 % searches + 10 % inserts with corner-skewed insert positions.
+//!
+//! Writes always travel through the ring and are executed by server
+//! threads; concurrent inserts also make offloading clients retry torn
+//! reads, which the tables report.
+
+use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
+use catfish_core::config::Scheme;
+use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_rdma::profile;
+use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Fig. 12 / Fig. 13",
+        "hybrid workload (90% search / 10% insert): throughput and latency",
+    );
+    let dataset = uniform_rects(args.size, 1e-4, args.seed);
+    let clients = args
+        .clients
+        .clone()
+        .unwrap_or_else(|| vec![32, 64, 128, 256]);
+    let scales = [
+        ("scale 0.00001", ScaleDist::small()),
+        ("scale 0.01", ScaleDist::large()),
+        ("power law", ScaleDist::power_law()),
+    ];
+    let schemes: [(Scheme, catfish_rdma::NetProfile); 5] = [
+        (Scheme::TcpIp, profile::ethernet_1g()),
+        (Scheme::TcpIp, profile::ethernet_40g()),
+        (Scheme::FastMessaging, profile::infiniband_100g()),
+        (Scheme::RdmaOffloading, profile::infiniband_100g()),
+        (Scheme::Catfish, profile::infiniband_100g()),
+    ];
+    for (scale_label, scale) in scales {
+        println!("\n--- {scale_label} ---");
+        for &n in &clients {
+            for (scheme, prof) in &schemes {
+                let spec = ExperimentSpec {
+                    profile: *prof,
+                    scheme: *scheme,
+                    clients: n,
+                    client_nodes: 8,
+                    dataset: dataset.clone(),
+                    trace: TraceSpec::hybrid(scale, args.requests),
+                    tree_config: paper_tree_config(),
+                    seed: args.seed,
+                    ..ExperimentSpec::default()
+                };
+                let label = format!("{} n={}", scheme.label(prof), n);
+                let r = timed(&label, || run_experiment(&spec));
+                println!(
+                    "{}  [search mean {} / insert mean {} / torn retries {}]",
+                    r.row(),
+                    r.search_latency.mean,
+                    r.insert_latency.mean,
+                    r.torn_retries
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 14 — search throughput and latency on the (synthetic) rea02
+//! dataset: clustered California street-segment rectangles with queries
+//! calibrated to return 50–150 results each.
+
+use std::rc::Rc;
+
+use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
+use catfish_core::config::Scheme;
+use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_rdma::profile;
+use catfish_workload::{rea02_dataset, rea02_queries, Request};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Fig. 14",
+        "rea02 (synthetic): search throughput and latency",
+    );
+    let size = if args.paper {
+        catfish_workload::REA02_FULL_SIZE
+    } else {
+        args.size
+    };
+    let dataset = rea02_dataset(size, args.seed);
+    let clients = args
+        .clients
+        .clone()
+        .unwrap_or_else(|| vec![32, 64, 128, 256]);
+    let schemes: [(Scheme, catfish_rdma::NetProfile); 5] = [
+        (Scheme::TcpIp, profile::ethernet_1g()),
+        (Scheme::TcpIp, profile::ethernet_40g()),
+        (Scheme::FastMessaging, profile::infiniband_100g()),
+        (Scheme::RdmaOffloading, profile::infiniband_100g()),
+        (Scheme::Catfish, profile::infiniband_100g()),
+    ];
+    // Pre-generate per-client query traces from the dataset's query model
+    // (50-150 results per query, avg ~100).
+    let max_clients = *clients.iter().max().expect("non-empty sweep");
+    let traces: Vec<Vec<Request>> = (0..max_clients)
+        .map(|c| {
+            rea02_queries(&dataset, args.requests, 50, 150, args.seed ^ (c as u64 + 1))
+                .into_iter()
+                .map(Request::Search)
+                .collect()
+        })
+        .collect();
+    let traces = Rc::new(traces);
+    for &n in &clients {
+        for (scheme, prof) in &schemes {
+            let spec = ExperimentSpec {
+                profile: *prof,
+                scheme: *scheme,
+                clients: n,
+                client_nodes: 8,
+                dataset: dataset.clone(),
+                tree_config: paper_tree_config(),
+                seed: args.seed,
+                explicit_traces: Some(Rc::clone(&traces)),
+                ..ExperimentSpec::default()
+            };
+            let label = format!("rea02 {} n={}", scheme.label(prof), n);
+            let r = timed(&label, || run_experiment(&spec));
+            println!("{}", r.row());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,140 @@
+//! Beyond the paper (§VI): the key-value service on the same Catfish
+//! machinery. Compares fast messaging, offloaded gets, and the adaptive
+//! policy for point lookups across client counts. (Key popularity is
+//! irrelevant in this cost model — every B+-tree lookup walks the same
+//! height — so keys are drawn uniformly; the Zipfian sampler exists in
+//! `catfish-workload` for cache-sensitive extensions.)
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_bench::{banner, timed, BenchArgs};
+use catfish_bplus::BpConfig;
+use catfish_core::config::{AccessMode, AdaptiveParams, ClientConfig, ServerConfig, ServerMode};
+use catfish_core::conn::RkeyAllocator;
+use catfish_core::kv::{KvClient, KvServer};
+use catfish_core::LatencyRecorder;
+use catfish_rdma::{profile, Endpoint, RdmaProfile};
+use catfish_simnet::{now, sleep, spawn, Network, Sim, SimDuration};
+use catfish_workload::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "KV service (§VI)",
+        "B+-tree gets over the Catfish framework: fast / offload / adaptive",
+    );
+    let keys = (args.size / 2).max(10_000);
+    println!(
+        "{} keys, {} gets/client, 28-core server\n",
+        keys, args.requests
+    );
+    let clients_sweep = args.clients.clone().unwrap_or_else(|| vec![32, 128, 256]);
+    for clients in clients_sweep {
+        println!("--- {clients} clients ---");
+        for (label, mode) in [
+            ("fast messaging", AccessMode::FastMessaging),
+            ("offloading", AccessMode::Offloading),
+            (
+                "adaptive (Catfish)",
+                AccessMode::Adaptive(AdaptiveParams::default()),
+            ),
+        ] {
+            let r = timed(&format!("n={clients} {label}"), || {
+                run_cell(keys as u64, clients, args.requests, mode, args.seed)
+            });
+            println!(
+                "{:<20} {:>9.1} Kops  mean {:>10}  p99 {:>10}  [fast {} / offload {}]",
+                label, r.0, r.1, r.2, r.3, r.4
+            );
+        }
+        println!();
+    }
+}
+
+/// Returns (kops, mean, p99, fast_gets, offloaded_gets).
+fn run_cell(
+    keys: u64,
+    clients: usize,
+    requests: usize,
+    mode: AccessMode,
+    seed: u64,
+) -> (f64, String, String, u64, u64) {
+    let sim = Sim::new();
+    sim.run_until(async move {
+        let net = Network::new();
+        let prof = profile::infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let server = KvServer::build(
+            &net,
+            &prof,
+            ServerConfig {
+                mode: ServerMode::EventDriven,
+                ..ServerConfig::default()
+            },
+            BpConfig::default(),
+            (0..keys).map(|k| (k, k * 2)).collect(),
+            &rkeys,
+        );
+        if matches!(mode, AccessMode::Adaptive(_)) {
+            server.start_heartbeats();
+        }
+        let eps: Vec<Endpoint> = (0..8)
+            .map(|_| Endpoint::new(&net, net.add_node(prof.link), RdmaProfile::default()))
+            .collect();
+        let sampler = Rc::new(ZipfSampler::new(keys, 0.99));
+        let stats = Rc::new(RefCell::new((
+            LatencyRecorder::new(),
+            0u64, // fast
+            0u64, // offload
+        )));
+        let started = now();
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let ch = server.accept(&eps[c % 8]);
+            let mut client = KvClient::new(
+                ch,
+                server.tree_handle(),
+                ClientConfig {
+                    mode,
+                    ..ClientConfig::default()
+                },
+                seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let sampler = Rc::clone(&sampler);
+            let stats = Rc::clone(&stats);
+            handles.push(spawn(async move {
+                sleep(SimDuration::from_nanos(17_039 * c as u64)).await;
+                let mut rng = StdRng::seed_from_u64(seed ^ c as u64);
+                let mut rec = LatencyRecorder::new();
+                for _ in 0..requests {
+                    let key = rng.gen::<u64>() % sampler.n();
+                    let t0 = now();
+                    let got = client.get(key).await;
+                    debug_assert_eq!(got, Some(key * 2));
+                    rec.record(now() - t0);
+                }
+                let mut s = stats.borrow_mut();
+                s.0.merge(&rec);
+                s.1 += client.stats().fast_gets;
+                s.2 += client.stats().offloaded_gets;
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+        let makespan = now() - started;
+        let mut s = stats.borrow_mut();
+        let summary = s.0.summary();
+        let kops = summary.count as f64 / makespan.as_secs_f64() / 1e3;
+        (
+            kops,
+            summary.mean.to_string(),
+            summary.p99.to_string(),
+            s.1,
+            s.2,
+        )
+    })
+}

@@ -1,0 +1,112 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts the same flags (all optional):
+//!
+//! * `--size N` — rectangles in the pre-built tree (default 200 000;
+//!   the paper uses 2 000 000 — pass `--paper` for full scale);
+//! * `--requests N` — search requests per client (default 200; paper
+//!   uses 10 000);
+//! * `--clients a,b,c` — client counts to sweep (figure-specific default);
+//! * `--paper` — full paper-scale parameters (slow: minutes per figure);
+//! * `--seed N` — RNG seed (default 42).
+//!
+//! Absolute numbers are simulation outputs, not testbed measurements; the
+//! reproduction target is the *shape* of each figure (see EXPERIMENTS.md).
+
+use catfish_rtree::RTreeConfig;
+use std::time::Instant;
+
+/// Common benchmark knobs parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Tree size (rectangles).
+    pub size: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Client counts to sweep (None = figure default).
+    pub clients: Option<Vec<usize>>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Full paper-scale run.
+    pub paper: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            size: 1_000_000,
+            requests: 1_000,
+            clients: None,
+            seed: 42,
+            paper: false,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, panicking with usage on malformed input.
+    pub fn parse() -> Self {
+        let mut out = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--size" => out.size = next_num(&mut args, "--size") as usize,
+                "--requests" => out.requests = next_num(&mut args, "--requests") as usize,
+                "--seed" => out.seed = next_num(&mut args, "--seed"),
+                "--clients" => {
+                    let v = args.next().expect("--clients needs a,b,c");
+                    out.clients = Some(
+                        v.split(',')
+                            .map(|s| s.parse().expect("client counts are integers"))
+                            .collect(),
+                    );
+                }
+                "--paper" => {
+                    out.paper = true;
+                    out.size = 2_000_000;
+                    out.requests = 10_000;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --size N --requests N --clients a,b,c --seed N --paper  (defaults: 1M rects, 1000 req/client)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        out
+    }
+}
+
+fn next_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag} needs an integer"))
+}
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, what: &str) {
+    println!("==================================================================");
+    println!("{figure} — {what}");
+    println!("==================================================================");
+}
+
+/// Runs `f`, printing wall-clock time spent simulating.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[wall] {label}: {:.1}s", start.elapsed().as_secs_f64());
+    out
+}
+
+/// The tree configuration used by the figure benchmarks: fanout 88 packs
+/// a node into exactly one 4 KiB chunk (64 cache lines), matching the
+/// page-sized nodes a production deployment would register. The paper does
+/// not state its fanout; this choice, with the default cost model, puts
+/// per-search fetch volume and server CPU cost in the regime the paper's
+/// measurements imply (see DESIGN.md §5).
+pub fn paper_tree_config() -> RTreeConfig {
+    RTreeConfig::with_max_entries(88)
+}

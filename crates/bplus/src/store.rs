@@ -1,0 +1,294 @@
+//! Node storage for the B+-tree: a plain arena and the versioned chunk
+//! arena (RDMA-registrable, readable by offloading clients).
+
+use catfish_rtree::chunk::ChunkMemory;
+use catfish_rtree::codec::{pack_lines, unpack_lines, CodecError, LINE_PAYLOAD_BYTES};
+use catfish_rtree::{NodeId, TreeMeta};
+
+use crate::node::{BpLayout, BpNode};
+
+const META_MAGIC: u64 = 0x4250_4C55_5330_4D45; // "BPLUS0ME"
+
+/// Storage backend for B+-tree nodes (mirrors the R-tree's `NodeStore`).
+pub trait BpStore {
+    /// Reads the node at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unallocated.
+    fn read(&self, id: NodeId) -> BpNode;
+    /// Replaces the node at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unallocated.
+    fn write(&mut self, id: NodeId, node: &BpNode);
+    /// Allocates a slot.
+    fn alloc(&mut self) -> NodeId;
+    /// Frees a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    fn free(&mut self, id: NodeId);
+    /// Tree metadata.
+    fn meta(&self) -> TreeMeta;
+    /// Persists tree metadata.
+    fn set_meta(&mut self, meta: TreeMeta);
+}
+
+/// Plain in-memory arena.
+#[derive(Debug, Default)]
+pub struct BpMemStore {
+    slots: Vec<Option<BpNode>>,
+    free: Vec<u32>,
+    meta: TreeMeta,
+}
+
+impl BpMemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BpStore for BpMemStore {
+    fn read(&self, id: NodeId) -> BpNode {
+        self.slots
+            .get(id.index() as usize)
+            .and_then(|s| s.clone())
+            .unwrap_or_else(|| panic!("read of unallocated b+ node {id}"))
+    }
+
+    fn write(&mut self, id: NodeId, node: &BpNode) {
+        let slot = self
+            .slots
+            .get_mut(id.index() as usize)
+            .unwrap_or_else(|| panic!("write to unallocated b+ node {id}"));
+        assert!(slot.is_some(), "write to freed b+ node {id}");
+        *slot = Some(node.clone());
+    }
+
+    fn alloc(&mut self) -> NodeId {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(BpNode::leaf());
+            NodeId(i)
+        } else {
+            self.slots.push(Some(BpNode::leaf()));
+            NodeId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    fn free(&mut self, id: NodeId) {
+        let slot = self
+            .slots
+            .get_mut(id.index() as usize)
+            .unwrap_or_else(|| panic!("free of unallocated b+ node {id}"));
+        assert!(slot.is_some(), "double free of b+ node {id}");
+        *slot = None;
+        self.free.push(id.index());
+    }
+
+    fn meta(&self) -> TreeMeta {
+        self.meta
+    }
+
+    fn set_meta(&mut self, meta: TreeMeta) {
+        self.meta = meta;
+    }
+}
+
+/// B+-tree nodes serialized into versioned chunks of `mem` (chunk 0 holds
+/// the metadata), using the same cache-line validation scheme as the
+/// R-tree arena.
+#[derive(Debug)]
+pub struct BpChunkStore<M> {
+    mem: M,
+    layout: BpLayout,
+    versions: Vec<u64>,
+    free: Vec<u32>,
+    next: u32,
+    meta: TreeMeta,
+}
+
+impl<M: ChunkMemory> BpChunkStore<M> {
+    /// Creates a store over `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem` holds fewer than two chunks.
+    pub fn new(mem: M, layout: BpLayout) -> Self {
+        let capacity = mem.len() / layout.chunk_bytes();
+        assert!(capacity >= 2, "arena too small for b+ chunk store");
+        let mut s = BpChunkStore {
+            mem,
+            layout,
+            versions: vec![0; capacity],
+            free: Vec::new(),
+            next: 1,
+            meta: TreeMeta::default(),
+        };
+        s.persist_meta();
+        s
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> BpLayout {
+        self.layout
+    }
+
+    /// Shared access to the backing memory.
+    pub fn mem(&self) -> &M {
+        &self.mem
+    }
+
+    fn persist_meta(&mut self) {
+        self.versions[0] += 1;
+        let chunk = encode_meta(&self.layout, &self.meta, self.versions[0]);
+        self.mem.write_at(0, &chunk);
+    }
+}
+
+/// Serializes B+-tree metadata into a chunk-0 record.
+pub fn encode_meta(layout: &BpLayout, meta: &TreeMeta, version: u64) -> Vec<u8> {
+    let lines = layout.chunk_bytes() / 64;
+    let mut logical = vec![0u8; lines * LINE_PAYLOAD_BYTES];
+    logical[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+    let root_raw = meta.root.map_or(0, |id| id.index() + 1);
+    logical[8..12].copy_from_slice(&root_raw.to_le_bytes());
+    logical[12..16].copy_from_slice(&meta.height.to_le_bytes());
+    logical[16..24].copy_from_slice(&meta.len.to_le_bytes());
+    pack_lines(&logical, version, lines)
+}
+
+/// Deserializes B+-tree metadata.
+///
+/// # Errors
+///
+/// [`CodecError::TornRead`] on racing writes; [`CodecError::Malformed`]
+/// otherwise.
+pub fn decode_meta(layout: &BpLayout, chunk: &[u8]) -> Result<(TreeMeta, u64), CodecError> {
+    let lines = layout.chunk_bytes() / 64;
+    let (logical, version) = unpack_lines(chunk, lines)?;
+    let magic = u64::from_le_bytes(logical[0..8].try_into().expect("sized"));
+    if magic != META_MAGIC {
+        return Err(CodecError::Malformed("bad b+ meta magic"));
+    }
+    let root_raw = u32::from_le_bytes(logical[8..12].try_into().expect("sized"));
+    let height = u32::from_le_bytes(logical[12..16].try_into().expect("sized"));
+    let len = u64::from_le_bytes(logical[16..24].try_into().expect("sized"));
+    let root = if root_raw == 0 {
+        None
+    } else {
+        Some(NodeId(root_raw - 1))
+    };
+    if root.is_none() != (height == 0) {
+        return Err(CodecError::Malformed("b+ root/height mismatch"));
+    }
+    Ok((TreeMeta { root, height, len }, version))
+}
+
+impl<M: ChunkMemory> BpStore for BpChunkStore<M> {
+    fn read(&self, id: NodeId) -> BpNode {
+        let mut buf = vec![0u8; self.layout.chunk_bytes()];
+        self.mem.read_into(self.layout.node_offset(id), &mut buf);
+        self.layout
+            .decode_node(&buf)
+            .map(|(n, _)| n)
+            .unwrap_or_else(|e| panic!("b+ chunk read of {id} failed: {e}"))
+    }
+
+    fn write(&mut self, id: NodeId, node: &BpNode) {
+        let idx = id.index() as usize;
+        assert!(
+            idx >= 1 && idx < self.versions.len(),
+            "b+ chunk out of range"
+        );
+        self.versions[idx] += 1;
+        let chunk = self.layout.encode_node(node, self.versions[idx]);
+        self.mem.write_at(self.layout.node_offset(id), &chunk);
+    }
+
+    fn alloc(&mut self) -> NodeId {
+        if let Some(i) = self.free.pop() {
+            return NodeId(i);
+        }
+        assert!(
+            (self.next as usize) < self.versions.len(),
+            "b+ chunk arena exhausted"
+        );
+        let id = NodeId(self.next);
+        self.next += 1;
+        self.write(id, &BpNode::leaf());
+        id
+    }
+
+    fn free(&mut self, id: NodeId) {
+        assert!(
+            id.index() >= 1 && id.index() < self.next && !self.free.contains(&id.index()),
+            "invalid b+ chunk free"
+        );
+        self.free.push(id.index());
+    }
+
+    fn meta(&self) -> TreeMeta {
+        self.meta
+    }
+
+    fn set_meta(&mut self, meta: TreeMeta) {
+        self.meta = meta;
+        self.persist_meta();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_round_trip() {
+        let mut s = BpMemStore::new();
+        let id = s.alloc();
+        let mut n = BpNode::leaf();
+        n.keys.push(7);
+        n.values_mut().push(70);
+        s.write(id, &n);
+        assert_eq!(s.read(id), n);
+    }
+
+    #[test]
+    fn chunk_store_round_trip() {
+        let layout = BpLayout::for_max_keys(8);
+        let mut s = BpChunkStore::new(vec![0u8; layout.arena_bytes(16)], layout);
+        let id = s.alloc();
+        let mut n = BpNode::leaf();
+        n.keys.extend([1, 2, 3]);
+        n.values_mut().extend([10, 20, 30]);
+        s.write(id, &n);
+        assert_eq!(s.read(id), n);
+    }
+
+    #[test]
+    fn meta_round_trip_via_chunk_zero() {
+        let layout = BpLayout::for_max_keys(8);
+        let mut s = BpChunkStore::new(vec![0u8; layout.arena_bytes(16)], layout);
+        let meta = TreeMeta {
+            root: Some(NodeId(3)),
+            height: 2,
+            len: 12,
+        };
+        s.set_meta(meta);
+        let mut buf = vec![0u8; layout.chunk_bytes()];
+        s.mem().read_into(0, &mut buf);
+        assert_eq!(decode_meta(&layout, &buf).unwrap().0, meta);
+    }
+
+    #[test]
+    fn freed_chunks_reused() {
+        let layout = BpLayout::for_max_keys(8);
+        let mut s = BpChunkStore::new(vec![0u8; layout.arena_bytes(8)], layout);
+        let a = s.alloc();
+        s.free(a);
+        assert_eq!(s.alloc(), a);
+    }
+}

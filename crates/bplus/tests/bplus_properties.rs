@@ -1,0 +1,111 @@
+//! Property-based tests of the B+-tree against `std::collections::BTreeMap`.
+
+use std::collections::BTreeMap;
+
+use catfish_bplus::{BpConfig, BpLayout, BpMemStore, BpNode, BpRefs, BpTree};
+use catfish_rtree::codec::CodecError;
+use catfish_rtree::NodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..500, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..500).prop_map(Op::Remove),
+        (0u64..500).prop_map(Op::Get),
+        (0u64..500, 0u64..500).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any op sequence behaves exactly like a BTreeMap, with invariants
+    /// intact at the end.
+    #[test]
+    fn behaves_like_btreemap(
+        ops in prop::collection::vec(arb_op(), 1..400),
+        order in 3usize..12,
+    ) {
+        let mut tree = BpTree::new(BpMemStore::new(), BpConfig::with_max_keys(order));
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v), "op {}", i);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k), "op {}", i);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k), model.get(&k).copied(), "op {}", i);
+                }
+                Op::Range(lo, hi) => {
+                    let got = tree.range(lo, hi);
+                    let expect: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, expect, "op {}", i);
+                }
+            }
+        }
+        tree.check_invariants().unwrap();
+        prop_assert_eq!(tree.len(), model.len() as u64);
+    }
+
+    /// Node chunks round-trip for arbitrary contents.
+    #[test]
+    fn node_codec_round_trips(
+        keys in prop::collection::btree_set(any::<u64>(), 0..16),
+        leaf in any::<bool>(),
+        version in any::<u64>(),
+    ) {
+        let layout = BpLayout::for_max_keys(16);
+        let keys: Vec<u64> = keys.into_iter().collect();
+        if !leaf && keys.is_empty() {
+            // Internal nodes require at least one key.
+            return Ok(());
+        }
+        let node = if leaf {
+            BpNode {
+                level: 0,
+                refs: BpRefs::Values(keys.iter().map(|k| k ^ 0xFF).collect()),
+                next: Some(NodeId(9)),
+                keys,
+            }
+        } else {
+            BpNode {
+                level: 1,
+                refs: BpRefs::Children(
+                    (0..=keys.len() as u32).map(NodeId).collect(),
+                ),
+                next: None,
+                keys,
+            }
+        };
+        let chunk = layout.encode_node(&node, version);
+        prop_assert_eq!(layout.decode_node(&chunk).unwrap(), (node, version));
+    }
+
+    /// Any single corrupted version stamp is detected.
+    #[test]
+    fn codec_detects_corruption(line_choice in any::<prop::sample::Index>()) {
+        let layout = BpLayout::for_max_keys(16);
+        let node = BpNode::leaf();
+        let mut chunk = layout.encode_node(&node, 41);
+        let lines = chunk.len() / 64;
+        let line = line_choice.index(lines.max(2) - 1) + 1; // never line 0
+        chunk[line * 64..line * 64 + 8].copy_from_slice(&99u64.to_le_bytes());
+        let torn = matches!(
+            layout.decode_node(&chunk),
+            Err(CodecError::TornRead { .. })
+        );
+        prop_assert!(torn);
+    }
+}

@@ -1,0 +1,201 @@
+//! The adaptive back-off coordination (paper Algorithm 1), factored out of
+//! the R-tree client so any Catfish-style service (e.g. the key-value
+//! service in [`crate::kv`]) can reuse it unchanged — the algorithm is
+//! index-agnostic: it only consumes server CPU heartbeats and emits
+//! per-request routing decisions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use catfish_simnet::{now, SimDuration, SimTime};
+
+use crate::config::AdaptiveParams;
+
+/// Per-client state of Algorithm 1.
+#[derive(Debug)]
+pub struct AdaptiveState {
+    params: AdaptiveParams,
+    /// Consecutive rounds the server was observed busy (`r_busy`).
+    r_busy: u32,
+    /// Remaining rounds to offload (`r_off`).
+    r_off: u64,
+    /// Instant of the last consumed heartbeat (`t_0`).
+    t0: SimTime,
+    /// Latest unconsumed heartbeat utilization (`u_serv`), if any.
+    u_serv: Option<f64>,
+    rng: StdRng,
+}
+
+impl AdaptiveState {
+    /// Creates the state with a seeded RNG. The heartbeat-consumption
+    /// phase is randomized across one interval so independent clients do
+    /// not escalate and reset in lockstep.
+    pub fn new(params: AdaptiveParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inv = params.heartbeat_interval.as_nanos().max(1);
+        let t0 = catfish_simnet::try_now().unwrap_or(SimTime::ZERO)
+            + SimDuration::from_nanos(rng.gen::<u64>() % inv);
+        AdaptiveState {
+            params,
+            r_busy: 0,
+            r_off: 0,
+            t0,
+            u_serv: None,
+            rng,
+        }
+    }
+
+    /// Records a heartbeat's utilization (in `[0, 1]`).
+    pub fn note_heartbeat(&mut self, utilization: f64) {
+        self.u_serv = Some(utilization);
+    }
+
+    /// Current back-off band (`r_busy`, `r_off`) — diagnostics and tests.
+    pub fn band(&self) -> (u32, u64) {
+        (self.r_busy, self.r_off)
+    }
+
+    /// One step of Algorithm 1: consume a fresh heartbeat at most once per
+    /// `Inv`; when the server is busy, extend the offloading band; returns
+    /// true to offload the next request.
+    ///
+    /// Per §IV-A's "It ignores that no heartbeat has arrived", the
+    /// busy/not-busy branch only runs when a fresh sample was consumed;
+    /// between heartbeats the current band keeps draining.
+    pub fn decide(&mut self) -> bool {
+        let t = now();
+        let mut fresh = None;
+        if t.saturating_duration_since(self.t0) > self.params.heartbeat_interval {
+            if let Some(v) = self.u_serv.take() {
+                fresh = Some(pred_util(v));
+                self.t0 = t;
+            }
+        }
+        if let Some(u) = fresh {
+            let n = u64::from(self.params.n_backoff);
+            if u > self.params.busy_threshold && self.r_off <= u64::from(self.r_busy) * n {
+                self.r_busy += 1;
+                self.r_off = u64::from(self.rng.gen::<u32>() % self.params.n_backoff)
+                    + (u64::from(self.r_busy) - 1) * n;
+            } else if u <= self.params.busy_threshold {
+                self.r_busy = 0;
+            }
+        }
+        if self.r_off > 0 {
+            self.r_off -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// `predUtil(·)` from Algorithm 1: currently the most recent utilization
+/// sample, as in the paper ("we use the most recent CPU utilization as the
+/// predicting value").
+fn pred_util(latest: f64) -> f64 {
+    latest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catfish_simnet::{sleep, Sim};
+
+    fn params() -> AdaptiveParams {
+        AdaptiveParams::default()
+    }
+
+    #[test]
+    fn idle_server_never_offloads() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 1);
+            for _ in 0..10 {
+                sleep(SimDuration::from_millis(11)).await;
+                s.note_heartbeat(0.3);
+                assert!(!s.decide());
+            }
+            assert_eq!(s.band(), (0, 0));
+        });
+    }
+
+    #[test]
+    fn busy_server_escalates_band() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 2);
+            sleep(SimDuration::from_millis(15)).await;
+            let mut busies = Vec::new();
+            for _ in 0..5 {
+                sleep(SimDuration::from_millis(11)).await;
+                s.note_heartbeat(1.0);
+                s.decide();
+                busies.push(s.band().0);
+            }
+            assert_eq!(busies[0], 1);
+            assert!(busies[4] > busies[0], "band must escalate: {busies:?}");
+        });
+    }
+
+    #[test]
+    fn band_drains_between_heartbeats() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 3);
+            sleep(SimDuration::from_millis(15)).await;
+            // Force a busy observation with a deterministic outcome.
+            loop {
+                sleep(SimDuration::from_millis(11)).await;
+                s.note_heartbeat(1.0);
+                if s.decide() {
+                    break;
+                }
+            }
+            let (_, r_off) = s.band();
+            // Drain the rest of the band without fresh heartbeats.
+            for _ in 0..r_off {
+                assert!(s.decide());
+            }
+            assert!(!s.decide(), "band exhausted, back to fast messaging");
+        });
+    }
+
+    #[test]
+    fn calm_heartbeat_resets_busy_counter_not_band() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 4);
+            sleep(SimDuration::from_millis(15)).await;
+            // Escalate twice.
+            for _ in 0..2 {
+                sleep(SimDuration::from_millis(11)).await;
+                s.note_heartbeat(1.0);
+                s.decide();
+            }
+            let (busy_before, _) = s.band();
+            assert!(busy_before >= 1);
+            sleep(SimDuration::from_millis(11)).await;
+            s.note_heartbeat(0.1);
+            s.decide();
+            assert_eq!(s.band().0, 0, "busy counter reset by calm heartbeat");
+        });
+    }
+
+    #[test]
+    fn stale_heartbeat_not_consumed_twice() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 5);
+            sleep(SimDuration::from_millis(15)).await;
+            s.note_heartbeat(1.0);
+            sleep(SimDuration::from_millis(11)).await;
+            s.decide();
+            let band = s.band();
+            // Immediately deciding again (within Inv) must not re-consume.
+            s.note_heartbeat(1.0);
+            s.decide();
+            assert_eq!(s.band().0, band.0, "no double consumption inside Inv");
+        });
+    }
+}

@@ -1,0 +1,203 @@
+//! Configuration: server cost model, adaptive parameters, ring sizing.
+
+use catfish_rdma::NetProfile;
+use catfish_simnet::SimDuration;
+
+/// How the server detects incoming ring-buffer messages (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// A worker thread per connection busy-polls its ring, occupying a core
+    /// for its whole scheduling quantum even when idle. Collapses when
+    /// connections outnumber cores (Fig. 7).
+    Polling,
+    /// Workers block on the completion channel (RDMA Write-with-IMM) and
+    /// yield the CPU until a message arrives.
+    EventDriven,
+}
+
+/// CPU cost model for server-side request processing.
+///
+/// These constants translate logical work (nodes visited, results
+/// marshalled) into simulated core time. Defaults are calibrated so a
+/// 28-core server saturates at roughly the paper's observed throughput for
+/// the 2-million-rectangle tree (see DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost to pick up and dispatch one ring message.
+    pub dispatch: SimDuration,
+    /// Cost per R-tree node visited during a traversal.
+    pub node_visit: SimDuration,
+    /// Cost per result rectangle marshalled into a response.
+    pub per_result: SimDuration,
+    /// Fixed extra cost of an insert/delete (lock acquisition, MBR
+    /// adjustment bookkeeping) on top of per-node costs.
+    pub write_op: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            dispatch: SimDuration::from_micros(8),
+            node_visit: SimDuration::from_micros(12),
+            per_result: SimDuration::from_nanos(150),
+            write_op: SimDuration::from_micros(10),
+        }
+    }
+}
+
+/// Parameters of the adaptive back-off coordination (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    /// `N`: the base back-off window; a newly-busy client offloads
+    /// `rand() % N + (r_busy - 1) * N` rounds. The paper uses 8.
+    pub n_backoff: u32,
+    /// `T`: the CPU-utilization busy threshold. The paper uses 0.95.
+    pub busy_threshold: f64,
+    /// `Inv`: how often the server publishes heartbeats and how long a
+    /// client considers one fresh. The paper uses 10 ms.
+    pub heartbeat_interval: SimDuration,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            n_backoff: 8,
+            busy_threshold: 0.95,
+            heartbeat_interval: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// Server-side configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Worker cores (the paper's server has 2 × 14).
+    pub cores: usize,
+    /// OS scheduling quantum for the core model.
+    pub quantum: SimDuration,
+    /// Message-detection mode.
+    pub mode: ServerMode,
+    /// Cost model for request processing.
+    pub cost: CostModel,
+    /// Duration over which a multi-cache-line node update is remotely
+    /// visible as torn (drives version-validation retries in offloading
+    /// clients).
+    pub torn_write_window: SimDuration,
+    /// Heartbeat publication interval (`Inv`).
+    pub heartbeat_interval: SimDuration,
+    /// Per-connection ring buffer capacity in bytes (the paper uses
+    /// 256 KB per pair).
+    pub ring_capacity: usize,
+    /// Maximum results per response segment before CONT-chaining.
+    pub response_segment_results: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cores: 28,
+            quantum: SimDuration::from_millis(1),
+            mode: ServerMode::EventDriven,
+            cost: CostModel::default(),
+            torn_write_window: SimDuration::from_micros(2),
+            heartbeat_interval: SimDuration::from_millis(10),
+            ring_capacity: 256 * 1024,
+            response_segment_results: 1000,
+        }
+    }
+}
+
+/// Client-side access strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessMode {
+    /// All reads through the server via ring-buffer messages.
+    FastMessaging,
+    /// All reads traverse the tree with one-sided RDMA Reads.
+    Offloading,
+    /// Algorithm 1: switch per-request based on server heartbeats.
+    Adaptive(AdaptiveParams),
+}
+
+/// Client-side configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientConfig {
+    /// Access strategy for search requests (writes always use the ring).
+    pub mode: AccessMode,
+    /// Issue concurrent RDMA Reads for all intersecting children
+    /// (paper §IV-C) instead of fetching nodes one at a time.
+    pub multi_issue: bool,
+    /// How long a cached copy of the tree metadata (root id, height) stays
+    /// valid before an offloaded search re-reads chunk 0.
+    pub meta_cache_ttl: SimDuration,
+    /// Give up after this many version-validation retries of one chunk.
+    pub max_read_retries: u32,
+    /// Client-side per-chunk processing cost (latency only).
+    pub client_node_visit: SimDuration,
+    /// Cache the top `n` levels of the tree client-side (0 disables).
+    /// A Cell-style enhancement the paper's §VI anticipates: cached
+    /// internal nodes skip their RDMA Reads, trading staleness (bounded
+    /// by [`ClientConfig::meta_cache_ttl`]) for round trips.
+    pub cache_levels: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            mode: AccessMode::Adaptive(AdaptiveParams::default()),
+            multi_issue: true,
+            meta_cache_ttl: SimDuration::from_millis(10),
+            max_read_retries: 64,
+            client_node_visit: SimDuration::from_micros(2),
+            cache_levels: 0,
+        }
+    }
+}
+
+/// A complete experiment scheme, as labelled in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Socket baseline over the profile's TCP stack.
+    TcpIp,
+    /// FaRM-style fast messaging only (ring buffers, server traversal).
+    FastMessaging,
+    /// FaRM-style offloading only (client traversal, sequential reads).
+    RdmaOffloading,
+    /// Full Catfish: event-driven server, multi-issue offloading,
+    /// adaptive switching.
+    Catfish,
+}
+
+impl Scheme {
+    /// Figure label.
+    pub fn label(&self, profile: &NetProfile) -> String {
+        match self {
+            Scheme::TcpIp => format!("TCP/IP-{}", profile.name),
+            Scheme::FastMessaging => "Fast messaging".to_string(),
+            Scheme::RdmaOffloading => "RDMA offloading".to_string(),
+            Scheme::Catfish => "Catfish".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let a = AdaptiveParams::default();
+        assert_eq!(a.n_backoff, 8);
+        assert_eq!(a.busy_threshold, 0.95);
+        assert_eq!(a.heartbeat_interval, SimDuration::from_millis(10));
+        let s = ServerConfig::default();
+        assert_eq!(s.cores, 28);
+        assert_eq!(s.ring_capacity, 256 * 1024);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        let ib = catfish_rdma::profile::infiniband_100g();
+        assert_eq!(Scheme::Catfish.label(&ib), "Catfish");
+        assert_eq!(Scheme::TcpIp.label(&ib), "TCP/IP-100G InfiniBand");
+    }
+}

@@ -1,0 +1,529 @@
+//! Whole-cluster experiment harness.
+//!
+//! Builds the paper's topology — one server plus up to hundreds of client
+//! threads spread over a handful of client machines sharing NICs — runs a
+//! workload trace through a chosen [`Scheme`], and reports throughput,
+//! latency, server CPU utilization, and server NIC bandwidth. Every
+//! figure-regeneration binary in `catfish-bench` is a thin loop over
+//! [`run_experiment`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
+use catfish_rdma::{Endpoint, NetProfile};
+use catfish_rtree::{RTreeConfig, Rect};
+use catfish_simnet::{now, sleep, spawn, CpuPool, Network, Sim, SimDuration};
+use catfish_workload::{Request, ScaleDist, TraceSpec};
+
+use crate::client::{CatfishClient, ClientStats};
+use crate::config::{AccessMode, AdaptiveParams, ClientConfig, Scheme, ServerConfig, ServerMode};
+use crate::conn::RkeyAllocator;
+use crate::msg::Message;
+use crate::server::CatfishServer;
+use crate::stats::{LatencyRecorder, LatencySummary};
+
+/// Everything needed to run one experiment cell.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Fabric characteristics.
+    pub profile: NetProfile,
+    /// Access scheme under test.
+    pub scheme: Scheme,
+    /// Total client threads.
+    pub clients: usize,
+    /// Client machines the threads are spread over (the paper uses 8).
+    pub client_nodes: usize,
+    /// Rectangles pre-loaded into the server's tree.
+    pub dataset: Vec<(Rect, u64)>,
+    /// Per-client request trace specification.
+    pub trace: TraceSpec,
+    /// Server configuration (mode is overridden per scheme).
+    pub server: ServerConfig,
+    /// Tree fanout configuration.
+    pub tree_config: RTreeConfig,
+    /// Base RNG seed (traces and back-off randomization derive from it).
+    pub seed: u64,
+    /// Overrides the scheme's default server mode (e.g. event-driven fast
+    /// messaging for the Fig. 7 comparison).
+    pub server_mode: Option<ServerMode>,
+    /// Overrides the scheme's default client configuration (e.g. toggling
+    /// multi-issue for the Fig. 8 comparison).
+    pub client_config: Option<ClientConfig>,
+    /// Explicit per-client request traces (clients cycle through the list);
+    /// overrides `trace` when set. Used by the rea02 experiment, whose
+    /// queries come from the dataset's query generator.
+    pub explicit_traces: Option<std::rc::Rc<Vec<Vec<Request>>>>,
+    /// Model client machines with this many cores and make fast-messaging
+    /// clients busy-poll for responses (FaRM-style, both sides polling).
+    /// `None` (default) = clients block on completion events with
+    /// unconstrained CPUs. Used by the Fig. 7 polling runs, where client
+    /// machines host more threads than cores.
+    pub client_polling_cores: Option<usize>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            profile: catfish_rdma::profile::infiniband_100g(),
+            scheme: Scheme::Catfish,
+            clients: 8,
+            client_nodes: 8,
+            dataset: Vec::new(),
+            trace: TraceSpec::search_only(ScaleDist::small(), 100),
+            server: ServerConfig::default(),
+            tree_config: RTreeConfig::default(),
+            seed: 42,
+            server_mode: None,
+            client_config: None,
+            explicit_traces: None,
+            client_polling_cores: None,
+        }
+    }
+}
+
+/// Aggregate outcome of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme label (figure legend entry).
+    pub label: String,
+    /// Client thread count.
+    pub clients: usize,
+    /// Requests completed across all clients.
+    pub completed_requests: usize,
+    /// Virtual time from first request to last completion.
+    pub makespan: SimDuration,
+    /// Completed requests per virtual second, in kilo-ops.
+    pub throughput_kops: f64,
+    /// Latency over all requests.
+    pub latency: LatencySummary,
+    /// Latency over search requests only.
+    pub search_latency: LatencySummary,
+    /// Latency over insert/delete requests only.
+    pub insert_latency: LatencySummary,
+    /// Mean server CPU utilization over the run, in `[0, 1]`.
+    pub server_cpu: f64,
+    /// Mean server NIC throughput over the run, in Gbps (both directions).
+    pub server_bw_gbps: f64,
+    /// Searches served by fast messaging.
+    pub fast_searches: u64,
+    /// Searches served by offloading.
+    pub offloaded_searches: u64,
+    /// Torn-read retries observed by offloading clients.
+    pub torn_retries: u64,
+    /// Offloaded traversals restarted due to observed inconsistency.
+    pub offload_restarts: u64,
+    /// Chunk reads served by the client-side level cache.
+    pub cache_hits: u64,
+    /// Periodic samples of server resource usage over the run (10 ms
+    /// grid), for plotting the adaptive algorithm's dynamics.
+    pub timeline: Vec<TimelinePoint>,
+}
+
+/// One sample of the server's resource state during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Milliseconds since the run started.
+    pub t_ms: f64,
+    /// Server CPU utilization over the preceding window, `[0, 1]`.
+    pub cpu: f64,
+    /// Server NIC throughput over the preceding window, Gbps.
+    pub bw_gbps: f64,
+}
+
+impl RunResult {
+    /// One formatted table row: scheme, clients, throughput, mean latency.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} {:>4} clients  {:>10.2} Kops  mean {:>10}  p99 {:>10}  cpu {:>5.1}%  bw {:>7.2} Gbps",
+            self.label,
+            self.clients,
+            self.throughput_kops,
+            self.latency.mean.to_string(),
+            self.latency.p99.to_string(),
+            self.server_cpu * 100.0,
+            self.server_bw_gbps,
+        )
+    }
+}
+
+/// Runs one experiment cell to completion inside a fresh simulation.
+pub fn run_experiment(spec: &ExperimentSpec) -> RunResult {
+    let sim = Sim::new();
+    let spec = spec.clone();
+    sim.run_until(async move { run_inner(spec).await })
+}
+
+fn client_config_for(scheme: Scheme, server: &ServerConfig) -> ClientConfig {
+    match scheme {
+        Scheme::FastMessaging | Scheme::TcpIp => ClientConfig {
+            mode: AccessMode::FastMessaging,
+            multi_issue: false,
+            ..ClientConfig::default()
+        },
+        Scheme::RdmaOffloading => ClientConfig {
+            mode: AccessMode::Offloading,
+            multi_issue: false,
+            ..ClientConfig::default()
+        },
+        Scheme::Catfish => ClientConfig {
+            mode: AccessMode::Adaptive(AdaptiveParams {
+                heartbeat_interval: server.heartbeat_interval,
+                ..AdaptiveParams::default()
+            }),
+            multi_issue: true,
+            ..ClientConfig::default()
+        },
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    search: LatencyRecorder,
+    write: LatencyRecorder,
+    stats: ClientStats,
+}
+
+async fn run_inner(spec: ExperimentSpec) -> RunResult {
+    let net = Network::new();
+    let rkeys = RkeyAllocator::new();
+    let mut server_cfg = spec.server;
+    server_cfg.mode = spec.server_mode.unwrap_or(match spec.scheme {
+        // The FaRM-style baselines poll; Catfish is event-driven (§IV-B).
+        Scheme::FastMessaging | Scheme::RdmaOffloading => ServerMode::Polling,
+        Scheme::Catfish => ServerMode::EventDriven,
+        Scheme::TcpIp => ServerMode::EventDriven, // unused by the TCP path
+    });
+    let server = CatfishServer::build(
+        &net,
+        &spec.profile,
+        server_cfg,
+        spec.tree_config,
+        spec.dataset.clone(),
+        &rkeys,
+    );
+    if spec.scheme == Scheme::Catfish {
+        server.start_heartbeats();
+    }
+
+    // Client machines share NICs.
+    let node_count = spec.client_nodes.max(1).min(spec.clients.max(1));
+    let rdma_eps: Vec<Endpoint> = (0..node_count)
+        .map(|_| Endpoint::new(&net, net.add_node(spec.profile.link), spec.profile.rdma))
+        .collect();
+    let poll_pools: Vec<Option<CpuPool>> = (0..node_count)
+        .map(|_| {
+            spec.client_polling_cores
+                .map(|cores| CpuPool::new(cores, server_cfg.quantum))
+        })
+        .collect();
+    let tcp_eps: Vec<TcpEndpoint> = if spec.scheme == Scheme::TcpIp {
+        rdma_eps
+            .iter()
+            .map(|ep| TcpEndpoint::new(&net, ep.node(), spec.profile.tcp, None))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let started = now();
+    let outcomes: Rc<RefCell<Vec<ClientOutcome>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut handles = Vec::with_capacity(spec.clients);
+    for client_id in 0..spec.clients {
+        let trace = match &spec.explicit_traces {
+            Some(traces) => traces[client_id % traces.len()].clone(),
+            None => spec.trace.client_trace(client_id as u64, spec.seed),
+        };
+        let outcomes = Rc::clone(&outcomes);
+        // Spread connection setup over a few milliseconds, as independent
+        // client machines would; this also de-phases the steady state.
+        let stagger = SimDuration::from_nanos(17_039 * client_id as u64);
+        match spec.scheme {
+            Scheme::TcpIp => {
+                let ep = tcp_eps[client_id % node_count].clone();
+                let (conn, server_side) = ep.connect(&server.tcp_endpoint());
+                server.accept_tcp(server_side);
+                handles.push(spawn(async move {
+                    sleep(stagger).await;
+                    let outcome = tcp_client_task(conn, trace).await;
+                    outcomes.borrow_mut().push(outcome);
+                }));
+            }
+            _ => {
+                let ep = &rdma_eps[client_id % node_count];
+                let ch = server.accept(ep);
+                let cfg = spec
+                    .client_config
+                    .unwrap_or_else(|| client_config_for(spec.scheme, &server_cfg));
+                let mut client = CatfishClient::new(
+                    ch,
+                    server.tree_handle(),
+                    cfg,
+                    spec.seed ^ (client_id as u64).wrapping_mul(0x5851_F42D_4C95_7F2D),
+                );
+                if let Some(pool) = &poll_pools[client_id % node_count] {
+                    client = client.with_response_polling(pool.clone());
+                }
+                handles.push(spawn(async move {
+                    sleep(stagger).await;
+                    let outcome = rdma_client_task(&mut client, trace).await;
+                    outcomes.borrow_mut().push(outcome);
+                }));
+            }
+        }
+    }
+
+    let cpu_start = server.cpu().sample();
+    let bw_start = net.traffic(server.endpoint().node());
+    // Background sampler for the run timeline (10 ms grid).
+    let timeline: Rc<RefCell<Vec<TimelinePoint>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let timeline = Rc::clone(&timeline);
+        let server = server.clone();
+        let net = net.clone();
+        spawn(async move {
+            let mut prev_cpu = server.cpu().sample();
+            let mut prev_bw = net.traffic(server.endpoint().node());
+            loop {
+                sleep(SimDuration::from_millis(10)).await;
+                let cpu = server.cpu().sample();
+                let bw = net.traffic(server.endpoint().node());
+                timeline.borrow_mut().push(TimelinePoint {
+                    t_ms: now().duration_since(started).as_secs_f64() * 1e3,
+                    cpu: server.cpu().utilization_between(&prev_cpu, &cpu),
+                    bw_gbps: bw.throughput_bps_since(&prev_bw) / 1e9,
+                });
+                prev_cpu = cpu;
+                prev_bw = bw;
+            }
+        });
+    }
+    for h in handles {
+        h.await;
+    }
+    let cpu_end = server.cpu().sample();
+    let bw_end = net.traffic(server.endpoint().node());
+
+    let makespan = now() - started;
+    let outcomes = Rc::try_unwrap(outcomes)
+        .expect("all client tasks joined")
+        .into_inner();
+    let mut all = LatencyRecorder::new();
+    let mut search = LatencyRecorder::new();
+    let mut write = LatencyRecorder::new();
+    let mut stats = ClientStats::default();
+    for mut o in outcomes {
+        all.merge(&o.search);
+        all.merge(&o.write);
+        search.merge(&o.search);
+        write.merge(&o.write);
+        stats.fast_searches += o.stats.fast_searches;
+        stats.offloaded_searches += o.stats.offloaded_searches;
+        stats.torn_retries += o.stats.torn_retries;
+        stats.offload_restarts += o.stats.offload_restarts;
+        stats.cache_hits += o.stats.cache_hits;
+        let _ = o.search.summary(); // keep recorder sorted for reuse
+    }
+    let completed = all.len();
+    let throughput_kops = if makespan.is_zero() {
+        0.0
+    } else {
+        completed as f64 / makespan.as_secs_f64() / 1e3
+    };
+    RunResult {
+        label: spec.scheme.label(&spec.profile),
+        clients: spec.clients,
+        completed_requests: completed,
+        makespan,
+        throughput_kops,
+        latency: all.summary(),
+        search_latency: search.summary(),
+        insert_latency: write.summary(),
+        server_cpu: server.cpu().utilization_between(&cpu_start, &cpu_end),
+        server_bw_gbps: bw_end.throughput_bps_since(&bw_start) / 1e9,
+        fast_searches: stats.fast_searches,
+        offloaded_searches: stats.offloaded_searches,
+        torn_retries: stats.torn_retries,
+        offload_restarts: stats.offload_restarts,
+        cache_hits: stats.cache_hits,
+        timeline: {
+            let t = timeline.borrow().clone();
+            t
+        },
+    }
+}
+
+async fn rdma_client_task(client: &mut CatfishClient, trace: Vec<Request>) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    for req in trace {
+        let t0 = now();
+        match req {
+            Request::Search(rect) => {
+                client.search(&rect).await;
+                outcome.search.record(now() - t0);
+            }
+            Request::Insert(rect, data) => {
+                client.insert(rect, data).await;
+                outcome.write.record(now() - t0);
+            }
+            Request::Delete(rect, data) => {
+                client.delete(rect, data).await;
+                outcome.write.record(now() - t0);
+            }
+        }
+    }
+    outcome.stats = client.stats();
+    outcome
+}
+
+async fn tcp_client_task(conn: TcpConn, trace: Vec<Request>) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    let mut seq = 0u32;
+    for req in trace {
+        let t0 = now();
+        seq += 1;
+        let msg = match req {
+            Request::Search(rect) => Message::SearchReq { seq, rect },
+            Request::Insert(rect, data) => Message::InsertReq { seq, rect, data },
+            Request::Delete(rect, data) => Message::DeleteReq { seq, rect, data },
+        };
+        conn.send(msg.encode()).await;
+        loop {
+            let bytes = conn.recv().await.expect("server stays up");
+            match Message::decode(&bytes) {
+                Ok(Message::ResponseEnd { seq: s, .. }) if s == seq => break,
+                Ok(Message::ResponseCont { .. }) => {}
+                _ => {}
+            }
+        }
+        match req {
+            Request::Search(_) => outcome.search.record(now() - t0),
+            Request::Insert(..) | Request::Delete(..) => outcome.write.record(now() - t0),
+        }
+    }
+    outcome
+}
+
+/// Convenience: measure average server CPU and bandwidth for the
+/// motivating experiment (Fig. 2) while a TCP search workload runs.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilizationPoint {
+    /// Clients in this cell.
+    pub clients: usize,
+    /// Mean server CPU utilization `[0, 1]`.
+    pub cpu: f64,
+    /// Mean server NIC throughput in Gbps.
+    pub bandwidth_gbps: f64,
+}
+
+/// Runs a TCP/IP workload and reports the server's resource profile (the
+/// paper's Fig. 2 motivating measurement).
+pub fn measure_tcp_utilization(spec: &ExperimentSpec) -> UtilizationPoint {
+    let mut spec = spec.clone();
+    spec.scheme = Scheme::TcpIp;
+    let r = run_experiment(&spec);
+    UtilizationPoint {
+        clients: r.clients,
+        cpu: r.server_cpu,
+        bandwidth_gbps: r.server_bw_gbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catfish_workload::uniform_rects;
+
+    fn small_spec(scheme: Scheme) -> ExperimentSpec {
+        ExperimentSpec {
+            scheme,
+            clients: 4,
+            client_nodes: 2,
+            dataset: uniform_rects(3_000, 1e-3, 9),
+            trace: TraceSpec::search_only(ScaleDist::Fixed { bound: 0.02 }, 25),
+            server: ServerConfig {
+                cores: 4,
+                ..ServerConfig::default()
+            },
+            ..ExperimentSpec::default()
+        }
+    }
+
+    #[test]
+    fn catfish_run_completes_all_requests() {
+        let r = run_experiment(&small_spec(Scheme::Catfish));
+        assert_eq!(r.completed_requests, 100);
+        assert!(r.throughput_kops > 0.0);
+        assert!(r.latency.mean > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn all_schemes_complete() {
+        for scheme in [
+            Scheme::TcpIp,
+            Scheme::FastMessaging,
+            Scheme::RdmaOffloading,
+            Scheme::Catfish,
+        ] {
+            let r = run_experiment(&small_spec(scheme));
+            assert_eq!(r.completed_requests, 100, "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_experiment(&small_spec(Scheme::Catfish));
+        let b = run_experiment(&small_spec(Scheme::Catfish));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.completed_requests, b.completed_requests);
+    }
+
+    #[test]
+    fn offloading_uses_no_server_search_cpu() {
+        let spec = small_spec(Scheme::RdmaOffloading);
+        let r = run_experiment(&spec);
+        assert_eq!(r.fast_searches, 0);
+        assert_eq!(r.offloaded_searches, 100);
+    }
+
+    #[test]
+    fn hybrid_workload_records_write_latency() {
+        let mut spec = small_spec(Scheme::Catfish);
+        spec.trace = TraceSpec::hybrid(ScaleDist::Fixed { bound: 0.02 }, 40);
+        let r = run_experiment(&spec);
+        assert_eq!(r.completed_requests, 160);
+        assert!(r.insert_latency.count > 0, "some inserts must occur");
+        assert!(r.search_latency.count > 0);
+    }
+
+    #[test]
+    fn timeline_is_sampled_on_long_runs() {
+        let mut spec = small_spec(Scheme::Catfish);
+        spec.trace = TraceSpec::search_only(ScaleDist::Fixed { bound: 0.02 }, 400);
+        let r = run_experiment(&spec);
+        // A run spanning > 10 ms gets timeline points with sane values.
+        assert!(!r.timeline.is_empty());
+        assert!(r.timeline.windows(2).all(|w| w[0].t_ms < w[1].t_ms));
+        assert!(r.timeline.iter().all(|p| (0.0..=1.0).contains(&p.cpu)));
+        assert!(r.timeline.iter().all(|p| p.bw_gbps >= 0.0));
+    }
+
+    #[test]
+    fn churn_workload_completes_with_valid_tree() {
+        let mut spec = small_spec(Scheme::Catfish);
+        spec.trace = TraceSpec::churn(ScaleDist::Fixed { bound: 0.02 }, 60, 0.2, 0.1);
+        let r = run_experiment(&spec);
+        assert_eq!(r.completed_requests, 240);
+        assert!(r.insert_latency.count > 0);
+    }
+
+    #[test]
+    fn tcp_utilization_point_is_sane() {
+        let mut spec = small_spec(Scheme::TcpIp);
+        spec.profile = catfish_rdma::profile::ethernet_1g();
+        let p = measure_tcp_utilization(&spec);
+        assert!(p.cpu > 0.0 && p.cpu <= 1.0);
+        assert!(p.bandwidth_gbps > 0.0 && p.bandwidth_gbps <= 1.0);
+    }
+}

@@ -1,0 +1,797 @@
+//! The Catfish R-tree server.
+//!
+//! The server owns the R\*-tree inside an RDMA-registered chunk arena (so
+//! offloading clients can traverse it with one-sided reads), accepts ring
+//! connections, and runs one worker per connection in either polling or
+//! event-driven mode. It also publishes CPU-utilization heartbeats every
+//! `Inv` (paper §IV-A) and serves the TCP baseline.
+//!
+//! ## Polling-mode modelling note
+//!
+//! Real polling workers spin on the ring buffer's length word. Simulating
+//! each poll iteration (~100 ns) would drown the event queue, so the
+//! polling worker instead *holds a core for its full scheduling quantum*
+//! and uses the completion queue purely as an arrival oracle inside the
+//! turn: messages are still handled at their arrival instants, the core is
+//! busy for the entire turn whether or not work arrived, and when
+//! connections outnumber cores a worker must wait for its next quantum —
+//! precisely the oversubscription collapse of Fig. 7 — at event-queue cost
+//! proportional to messages, not poll iterations.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
+use catfish_rdma::{Endpoint, MemoryRegion, NetProfile};
+use catfish_rtree::chunk::ChunkStore;
+use catfish_rtree::codec::ChunkLayout;
+use catfish_rtree::{bulk_load, NodeStore, RTree, RTreeConfig, Rect, TreeMeta};
+use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration};
+
+use crate::config::{ServerConfig, ServerMode};
+use crate::conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
+use crate::msg::{Message, MsgError};
+use crate::ring::RingSender;
+use crate::store::MrMemory;
+
+/// Aggregate server-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Search requests processed by server threads.
+    pub searches: u64,
+    /// Insert requests processed.
+    pub inserts: u64,
+    /// Delete requests processed.
+    pub deletes: u64,
+    /// Total result items returned by server-side searches.
+    pub results_returned: u64,
+    /// Total tree nodes visited by server-side operations.
+    pub nodes_visited: u64,
+}
+
+/// Everything an offloading client needs to traverse the tree remotely.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeHandle {
+    /// rkey of the registered tree arena.
+    pub rkey: u32,
+    /// Chunk geometry (shared constant of the deployment).
+    pub layout: ChunkLayout,
+}
+
+struct ServerInner {
+    endpoint: Endpoint,
+    cpu: CpuPool,
+    cfg: ServerConfig,
+    profile: NetProfile,
+    tree: RefCell<RTree<ChunkStore<MrMemory>>>,
+    tree_rkey: u32,
+    layout: ChunkLayout,
+    rkeys: RkeyAllocator,
+    heartbeat_targets: RefCell<Vec<RingSender>>,
+    stats: RefCell<ServerStats>,
+    tcp: RefCell<Option<TcpEndpoint>>,
+}
+
+/// The Catfish server. Cloneable handle; spawned workers share state.
+#[derive(Clone)]
+pub struct CatfishServer {
+    inner: Rc<ServerInner>,
+}
+
+impl std::fmt::Debug for CatfishServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CatfishServer")
+            .field("node", &self.inner.endpoint.node())
+            .field("tree_len", &self.inner.tree.borrow().len())
+            .finish()
+    }
+}
+
+impl CatfishServer {
+    /// Builds a server on a fresh fabric node: allocates and registers the
+    /// tree arena, bulk-loads `items`, and prepares worker infrastructure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena estimate cannot hold the dataset.
+    pub fn build(
+        net: &Network,
+        profile: &NetProfile,
+        cfg: ServerConfig,
+        tree_cfg: RTreeConfig,
+        items: Vec<(Rect, u64)>,
+        rkeys: &RkeyAllocator,
+    ) -> CatfishServer {
+        let node = net.add_node(profile.link);
+        let endpoint = Endpoint::new(net, node, profile.rdma);
+        let cpu = CpuPool::new(cfg.cores, cfg.quantum);
+        let layout = ChunkLayout::for_max_entries(tree_cfg.max_entries);
+        let chunks = estimate_chunks(items.len(), &tree_cfg);
+        let tree_rkey = rkeys.alloc();
+        let mr = MemoryRegion::new(layout.arena_bytes(chunks), tree_rkey);
+        endpoint.register(mr.clone());
+        // Load with torn visibility disabled (no clients yet), enable after.
+        let mem = MrMemory::new(mr, SimDuration::ZERO);
+        let store = ChunkStore::new(mem, layout);
+        let tree = bulk_load(store, tree_cfg, items);
+        tree.store().mem().set_torn_window(cfg.torn_write_window);
+        CatfishServer {
+            inner: Rc::new(ServerInner {
+                endpoint,
+                cpu,
+                cfg,
+                profile: *profile,
+                tree: RefCell::new(tree),
+                tree_rkey,
+                layout,
+                rkeys: rkeys.clone(),
+                heartbeat_targets: RefCell::new(Vec::new()),
+                stats: RefCell::new(ServerStats::default()),
+                tcp: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// The server's RDMA endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.inner.endpoint
+    }
+
+    /// The shared worker-core pool (for utilization sampling).
+    pub fn cpu(&self) -> &CpuPool {
+        &self.inner.cpu
+    }
+
+    /// Traversal bootstrap info for offloading clients.
+    pub fn tree_handle(&self) -> TreeHandle {
+        TreeHandle {
+            rkey: self.inner.tree_rkey,
+            layout: self.inner.layout,
+        }
+    }
+
+    /// Current tree metadata (diagnostics and tests).
+    pub fn tree_meta(&self) -> TreeMeta {
+        self.inner.tree.borrow().store().meta()
+    }
+
+    /// Runs `f` with shared access to the server's tree (tests).
+    pub fn with_tree<R>(&self, f: impl FnOnce(&RTree<ChunkStore<MrMemory>>) -> R) -> R {
+        f(&self.inner.tree.borrow())
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Accepts a ring connection from `client_ep` and spawns its worker.
+    pub fn accept(&self, client_ep: &Endpoint) -> ClientChannel {
+        let (cc, sc) = establish(
+            client_ep,
+            &self.inner.endpoint,
+            self.inner.cfg.ring_capacity,
+            &self.inner.rkeys,
+        );
+        self.inner
+            .heartbeat_targets
+            .borrow_mut()
+            .push(sc.tx.clone());
+        let this = self.clone();
+        spawn(async move {
+            match this.inner.cfg.mode {
+                ServerMode::EventDriven => this.worker_event(sc).await,
+                ServerMode::Polling => this.worker_polling(sc).await,
+            }
+        });
+        cc
+    }
+
+    /// Starts the heartbeat publisher (call once; idempotent behaviour is
+    /// the caller's responsibility).
+    pub fn start_heartbeats(&self) {
+        let this = self.clone();
+        spawn(async move {
+            let mut last = this.inner.cpu.sample();
+            loop {
+                sleep(this.inner.cfg.heartbeat_interval).await;
+                let cur = this.inner.cpu.sample();
+                let util = this.inner.cpu.utilization_between(&last, &cur);
+                last = cur;
+                let msg = Message::Heartbeat {
+                    util_permille: (util * 1000.0).round().min(1000.0) as u16,
+                }
+                .encode();
+                let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
+                for tx in targets {
+                    let m = msg.clone();
+                    spawn(async move {
+                        tx.send(&m, 0).await;
+                    });
+                }
+            }
+        });
+    }
+
+    async fn worker_event(&self, ch: ServerChannel) {
+        loop {
+            let bytes = ch.rx.wait_message().await;
+            self.handle(bytes, &ch, false).await;
+        }
+    }
+
+    async fn worker_polling(&self, ch: ServerChannel) {
+        let quantum = self.inner.cpu.quantum();
+        loop {
+            // Occupy a core for a full turn, busy or not.
+            let core = self.inner.cpu.acquire().await;
+            let turn_end = now() + quantum;
+            while let Some(bytes) = ch.rx.wait_message_until(turn_end).await {
+                self.handle(bytes, &ch, true).await;
+                if now() >= turn_end {
+                    break;
+                }
+            }
+            if now() < turn_end {
+                sleep(turn_end - now()).await;
+            }
+            drop(core);
+            // Re-contend: with more workers than cores this lands at the
+            // back of the run queue (round-robin).
+            catfish_simnet::yield_now().await;
+        }
+    }
+
+    /// Charges `cost` of CPU: queued through the pool in event mode, or
+    /// consumed on the already-held core in polling mode.
+    async fn charge(&self, cost: SimDuration, holding_core: bool) {
+        if holding_core {
+            sleep(cost).await;
+        } else {
+            self.inner.cpu.run(cost).await;
+        }
+    }
+
+    async fn handle(&self, bytes: Vec<u8>, ch: &ServerChannel, holding_core: bool) {
+        let msg = match Message::decode(&bytes) {
+            Ok(m) => m,
+            Err(MsgError::Truncated) | Err(MsgError::UnknownTag(_)) | Err(MsgError::BadRect) => {
+                // A malformed request is dropped (a real server would close
+                // the connection); counted nowhere since clients are ours.
+                return;
+            }
+        };
+        let cost_model = self.inner.cfg.cost;
+        match msg {
+            Message::SearchReq { seq, rect } => {
+                let mut results = Vec::new();
+                let tstats = self
+                    .inner
+                    .tree
+                    .borrow()
+                    .search_items_into(&rect, &mut results);
+                let cost = cost_model.dispatch
+                    + cost_model.node_visit * tstats.nodes_visited as u64
+                    + cost_model.per_result * tstats.results as u64;
+                self.charge(cost, holding_core).await;
+                {
+                    let mut st = self.inner.stats.borrow_mut();
+                    st.searches += 1;
+                    st.results_returned += tstats.results as u64;
+                    st.nodes_visited += tstats.nodes_visited as u64;
+                }
+                let tx = ch.tx.clone();
+                let seg = self.inner.cfg.response_segment_results;
+                spawn(async move {
+                    send_response(&tx, seq, results, seg).await;
+                });
+            }
+            Message::InsertReq { seq, rect, data } => {
+                let height = self.inner.tree.borrow().height() as u64;
+                let cost = cost_model.dispatch
+                    + cost_model.write_op
+                    + cost_model.node_visit * (2 * height + 1);
+                self.charge(cost, holding_core).await;
+                self.inner.tree.borrow_mut().insert(rect, data);
+                self.inner.stats.borrow_mut().inserts += 1;
+                let tx = ch.tx.clone();
+                spawn(async move {
+                    let end = Message::ResponseEnd {
+                        seq,
+                        results: Vec::new(),
+                        status: 1,
+                    };
+                    tx.send(&end.encode(), 0).await;
+                });
+            }
+            Message::DeleteReq { seq, rect, data } => {
+                let height = self.inner.tree.borrow().height() as u64;
+                let cost = cost_model.dispatch
+                    + cost_model.write_op
+                    + cost_model.node_visit * (2 * height + 1);
+                self.charge(cost, holding_core).await;
+                let ok = self.inner.tree.borrow_mut().delete(&rect, data);
+                self.inner.stats.borrow_mut().deletes += 1;
+                let tx = ch.tx.clone();
+                spawn(async move {
+                    let end = Message::ResponseEnd {
+                        seq,
+                        results: Vec::new(),
+                        status: u32::from(ok),
+                    };
+                    tx.send(&end.encode(), 0).await;
+                });
+            }
+            Message::NearestReq { seq, x, y, k } => {
+                let neighbors = self.inner.tree.borrow().nearest(x, y, k as usize);
+                // Best-first kNN visits roughly height + k nodes.
+                let height = u64::from(self.inner.tree.borrow().height());
+                let cost = cost_model.dispatch
+                    + cost_model.node_visit * (height + u64::from(k))
+                    + cost_model.per_result * neighbors.len() as u64;
+                self.charge(cost, holding_core).await;
+                self.inner.stats.borrow_mut().searches += 1;
+                let results: Vec<(Rect, u64)> =
+                    neighbors.into_iter().map(|n| (n.rect, n.data)).collect();
+                let tx = ch.tx.clone();
+                let seg = self.inner.cfg.response_segment_results;
+                spawn(async move {
+                    send_response(&tx, seq, results, seg).await;
+                });
+            }
+            // Responses/heartbeats never arrive at the server.
+            Message::ResponseCont { .. }
+            | Message::ResponseEnd { .. }
+            | Message::Heartbeat { .. } => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TCP baseline
+    // ------------------------------------------------------------------
+
+    /// The server's TCP stack (kernel work charged to the worker cores).
+    pub fn tcp_endpoint(&self) -> TcpEndpoint {
+        let mut slot = self.inner.tcp.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(TcpEndpoint::new(
+                &network_of(&self.inner.endpoint),
+                self.inner.endpoint.node(),
+                self.inner.profile.tcp,
+                Some(self.inner.cpu.clone()),
+            ));
+        }
+        slot.clone().expect("just initialized")
+    }
+
+    /// Spawns a worker serving `conn` (a thread blocked in `recv`, the
+    /// classic threaded TCP server).
+    pub fn accept_tcp(&self, conn: TcpConn) {
+        let this = self.clone();
+        spawn(async move {
+            let conn = Rc::new(conn);
+            loop {
+                let Some(bytes) = conn.recv().await else {
+                    break;
+                };
+                this.handle_tcp(bytes, &conn).await;
+            }
+        });
+    }
+
+    async fn handle_tcp(&self, bytes: Vec<u8>, conn: &Rc<TcpConn>) {
+        let Ok(msg) = Message::decode(&bytes) else {
+            return;
+        };
+        let cost_model = self.inner.cfg.cost;
+        match msg {
+            Message::SearchReq { seq, rect } => {
+                let mut results = Vec::new();
+                let tstats = self
+                    .inner
+                    .tree
+                    .borrow()
+                    .search_items_into(&rect, &mut results);
+                let cost = cost_model.dispatch
+                    + cost_model.node_visit * tstats.nodes_visited as u64
+                    + cost_model.per_result * tstats.results as u64;
+                self.inner.cpu.run(cost).await;
+                {
+                    let mut st = self.inner.stats.borrow_mut();
+                    st.searches += 1;
+                    st.results_returned += tstats.results as u64;
+                    st.nodes_visited += tstats.nodes_visited as u64;
+                }
+                let seg = self.inner.cfg.response_segment_results;
+                let conn = Rc::clone(conn);
+                spawn(async move {
+                    for m in response_segments(seq, results, seg) {
+                        conn.send(m.encode()).await;
+                    }
+                });
+            }
+            Message::InsertReq { seq, rect, data } => {
+                let height = self.inner.tree.borrow().height() as u64;
+                let cost = cost_model.dispatch
+                    + cost_model.write_op
+                    + cost_model.node_visit * (2 * height + 1);
+                self.inner.cpu.run(cost).await;
+                self.inner.tree.borrow_mut().insert(rect, data);
+                self.inner.stats.borrow_mut().inserts += 1;
+                conn.send(
+                    Message::ResponseEnd {
+                        seq,
+                        results: Vec::new(),
+                        status: 1,
+                    }
+                    .encode(),
+                )
+                .await;
+            }
+            Message::DeleteReq { seq, rect, data } => {
+                let height = self.inner.tree.borrow().height() as u64;
+                let cost = cost_model.dispatch
+                    + cost_model.write_op
+                    + cost_model.node_visit * (2 * height + 1);
+                self.inner.cpu.run(cost).await;
+                let ok = self.inner.tree.borrow_mut().delete(&rect, data);
+                self.inner.stats.borrow_mut().deletes += 1;
+                conn.send(
+                    Message::ResponseEnd {
+                        seq,
+                        results: Vec::new(),
+                        status: u32::from(ok),
+                    }
+                    .encode(),
+                )
+                .await;
+            }
+            Message::NearestReq { seq, x, y, k } => {
+                let neighbors = self.inner.tree.borrow().nearest(x, y, k as usize);
+                let height = u64::from(self.inner.tree.borrow().height());
+                let cost = cost_model.dispatch
+                    + cost_model.node_visit * (height + u64::from(k))
+                    + cost_model.per_result * neighbors.len() as u64;
+                self.inner.cpu.run(cost).await;
+                self.inner.stats.borrow_mut().searches += 1;
+                let results: Vec<(Rect, u64)> =
+                    neighbors.into_iter().map(|n| (n.rect, n.data)).collect();
+                let seg = self.inner.cfg.response_segment_results;
+                let conn = Rc::clone(conn);
+                spawn(async move {
+                    for m in response_segments(seq, results, seg) {
+                        conn.send(m.encode()).await;
+                    }
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Splits `results` into CONT segments terminated by an END segment.
+pub(crate) fn response_segments(seq: u32, results: Vec<(Rect, u64)>, seg: usize) -> Vec<Message> {
+    let seg = seg.max(1);
+    if results.len() <= seg {
+        return vec![Message::ResponseEnd {
+            seq,
+            results,
+            status: 1,
+        }];
+    }
+    let mut out = Vec::with_capacity(results.len() / seg + 1);
+    let mut it = results.into_iter().peekable();
+    loop {
+        let mut chunk = Vec::with_capacity(seg);
+        while chunk.len() < seg {
+            match it.next() {
+                Some(r) => chunk.push(r),
+                None => break,
+            }
+        }
+        if it.peek().is_some() {
+            out.push(Message::ResponseCont {
+                seq,
+                results: chunk,
+            });
+        } else {
+            out.push(Message::ResponseEnd {
+                seq,
+                results: chunk,
+                status: 1,
+            });
+            return out;
+        }
+    }
+}
+
+async fn send_response(tx: &RingSender, seq: u32, results: Vec<(Rect, u64)>, seg: usize) {
+    for m in response_segments(seq, results, seg) {
+        tx.send(&m.encode(), 0).await;
+    }
+}
+
+/// Conservative chunk-count estimate: worst-case minimum fill at every
+/// level plus slack for growth.
+fn estimate_chunks(items: usize, cfg: &RTreeConfig) -> u32 {
+    let m = cfg.min_entries.max(2);
+    let mut total = 2usize; // meta + root
+    let mut level = items.max(1);
+    while level > 1 {
+        level = level.div_ceil(m);
+        total += level;
+    }
+    ((total * 3 / 2) + 1024) as u32
+}
+
+fn network_of(ep: &Endpoint) -> Network {
+    ep.network().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catfish_rdma::profile::infiniband_100g;
+    use catfish_rdma::RdmaProfile;
+    use catfish_simnet::Sim;
+
+    fn grid_items(n: u64) -> Vec<(Rect, u64)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64 / 100.0;
+                let y = (i / 100) as f64 / 100.0;
+                (Rect::new(x, y, x + 0.005, y + 0.005), i)
+            })
+            .collect()
+    }
+
+    fn build_pair() -> (CatfishServer, ClientChannel) {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let server = CatfishServer::build(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 4,
+                ..ServerConfig::default()
+            },
+            RTreeConfig::default(),
+            grid_items(1000),
+            &rkeys,
+        );
+        let client_ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+        let ch = server.accept(&client_ep);
+        (server, ch)
+    }
+
+    async fn fast_search(ch: &ClientChannel, seq: u32, rect: Rect) -> Vec<u64> {
+        ch.tx
+            .send(&Message::SearchReq { seq, rect }.encode(), 0)
+            .await;
+        let mut out = Vec::new();
+        loop {
+            let bytes = ch.rx.wait_message().await;
+            match Message::decode(&bytes).unwrap() {
+                Message::ResponseCont { seq: s, results } if s == seq => {
+                    out.extend(results.iter().map(|(_, d)| *d));
+                }
+                Message::ResponseEnd {
+                    seq: s, results, ..
+                } if s == seq => {
+                    out.extend(results.iter().map(|(_, d)| *d));
+                    return out;
+                }
+                Message::Heartbeat { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn search_over_ring_returns_correct_results() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (server, ch) = build_pair();
+            let query = Rect::new(0.0, 0.0, 0.055, 0.055);
+            let mut got = fast_search(&ch, 1, query).await;
+            got.sort_unstable();
+            let mut expect: Vec<u64> = server.with_tree(|t| t.search(&query));
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+            assert!(!got.is_empty());
+            assert_eq!(server.stats().searches, 1);
+        });
+    }
+
+    #[test]
+    fn insert_over_ring_lands_in_tree() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (server, ch) = build_pair();
+            let rect = Rect::new(0.5, 0.5, 0.501, 0.501);
+            ch.tx
+                .send(
+                    &Message::InsertReq {
+                        seq: 2,
+                        rect,
+                        data: 999_999,
+                    }
+                    .encode(),
+                    0,
+                )
+                .await;
+            let bytes = ch.rx.wait_message().await;
+            assert!(matches!(
+                Message::decode(&bytes).unwrap(),
+                Message::ResponseEnd {
+                    seq: 2,
+                    status: 1,
+                    ..
+                }
+            ));
+            assert!(server.with_tree(|t| t.search(&rect)).contains(&999_999));
+            server.with_tree(|t| t.check_invariants()).unwrap();
+        });
+    }
+
+    #[test]
+    fn delete_over_ring_removes_item() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (server, ch) = build_pair();
+            let (rect, id) = (Rect::new(0.0, 0.0, 0.005, 0.005), 0u64);
+            ch.tx
+                .send(
+                    &Message::DeleteReq {
+                        seq: 3,
+                        rect,
+                        data: id,
+                    }
+                    .encode(),
+                    0,
+                )
+                .await;
+            let bytes = ch.rx.wait_message().await;
+            assert!(matches!(
+                Message::decode(&bytes).unwrap(),
+                Message::ResponseEnd {
+                    seq: 3,
+                    status: 1,
+                    ..
+                }
+            ));
+            assert!(!server.with_tree(|t| t.search(&rect)).contains(&id));
+        });
+    }
+
+    #[test]
+    fn large_response_is_segmented() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let net = Network::new();
+            let profile = infiniband_100g();
+            let rkeys = RkeyAllocator::new();
+            let server = CatfishServer::build(
+                &net,
+                &profile,
+                ServerConfig {
+                    cores: 4,
+                    response_segment_results: 100,
+                    ..ServerConfig::default()
+                },
+                RTreeConfig::default(),
+                grid_items(2000),
+                &rkeys,
+            );
+            let client_ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+            let ch = server.accept(&client_ep);
+            // Query covering everything: 2000 results in 100-item segments.
+            let got = fast_search(&ch, 9, Rect::new(0.0, 0.0, 1.0, 1.0)).await;
+            assert_eq!(got.len(), 2000);
+        });
+    }
+
+    #[test]
+    fn heartbeats_reach_the_client() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (server, ch) = build_pair();
+            server.start_heartbeats();
+            // Wait past one heartbeat interval.
+            sleep(SimDuration::from_millis(11)).await;
+            let bytes = ch.rx.wait_message().await;
+            assert!(matches!(
+                Message::decode(&bytes).unwrap(),
+                Message::Heartbeat { .. }
+            ));
+        });
+    }
+
+    #[test]
+    fn server_cpu_is_charged_for_searches() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (server, ch) = build_pair();
+            let before = server.cpu().busy_time();
+            fast_search(&ch, 1, Rect::new(0.0, 0.0, 0.1, 0.1)).await;
+            assert!(server.cpu().busy_time() > before);
+        });
+    }
+
+    #[test]
+    fn response_segments_split_correctly() {
+        let items: Vec<(Rect, u64)> = (0..25).map(|i| (Rect::point(i as f64, 0.0), i)).collect();
+        let segs = response_segments(5, items, 10);
+        assert_eq!(segs.len(), 3);
+        assert!(matches!(&segs[0], Message::ResponseCont { results, .. } if results.len() == 10));
+        assert!(matches!(&segs[1], Message::ResponseCont { results, .. } if results.len() == 10));
+        assert!(matches!(&segs[2], Message::ResponseEnd { results, .. } if results.len() == 5));
+    }
+
+    #[test]
+    fn empty_response_is_single_end() {
+        let segs = response_segments(1, Vec::new(), 10);
+        assert_eq!(segs.len(), 1);
+        assert!(matches!(&segs[0], Message::ResponseEnd { results, .. } if results.is_empty()));
+    }
+
+    #[test]
+    fn exact_boundary_is_single_end() {
+        let items: Vec<(Rect, u64)> = (0..10).map(|i| (Rect::point(i as f64, 0.0), i)).collect();
+        let segs = response_segments(1, items, 10);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn tcp_baseline_serves_searches() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let net = Network::new();
+            let profile = catfish_rdma::profile::ethernet_1g();
+            let rkeys = RkeyAllocator::new();
+            let server = CatfishServer::build(
+                &net,
+                &profile,
+                ServerConfig {
+                    cores: 4,
+                    ..ServerConfig::default()
+                },
+                RTreeConfig::default(),
+                grid_items(500),
+                &rkeys,
+            );
+            let client_tcp = TcpEndpoint::new(&net, net.add_node(profile.link), profile.tcp, None);
+            let (client_conn, server_conn) = client_tcp.connect(&server.tcp_endpoint());
+            server.accept_tcp(server_conn);
+            let query = Rect::new(0.0, 0.0, 0.06, 0.06);
+            client_conn
+                .send(
+                    Message::SearchReq {
+                        seq: 4,
+                        rect: query,
+                    }
+                    .encode(),
+                )
+                .await;
+            let mut got = Vec::new();
+            loop {
+                let bytes = client_conn.recv().await.unwrap();
+                match Message::decode(&bytes).unwrap() {
+                    Message::ResponseCont { results, .. } => {
+                        got.extend(results.iter().map(|(_, d)| *d))
+                    }
+                    Message::ResponseEnd { results, .. } => {
+                        got.extend(results.iter().map(|(_, d)| *d));
+                        break;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            let mut expect = server.with_tree(|t| t.search(&query));
+            got.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        });
+    }
+}

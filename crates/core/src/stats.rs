@@ -1,0 +1,142 @@
+//! Measurement: latency recording and summary statistics.
+
+use catfish_simnet::SimDuration;
+
+/// Collects individual operation latencies and summarizes them.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples.push(latency.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Computes the summary (sorts internally on first call).
+    pub fn summary(&mut self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        let q = |p: f64| -> SimDuration {
+            let idx = ((n as f64 - 1.0) * p).floor() as usize;
+            SimDuration::from_nanos(self.samples[idx])
+        };
+        LatencySummary {
+            count: n,
+            mean: SimDuration::from_nanos((sum / n as u128) as u64),
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            min: SimDuration::from_nanos(self.samples[0]),
+            max: SimDuration::from_nanos(self.samples[n - 1]),
+        }
+    }
+}
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Minimum.
+    pub min: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {} p50 {} p95 {} p99 {} max {} (n={})",
+            self.mean, self.p50, self.p95, self.p99, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_of_uniform_ramp() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(SimDuration::from_micros(i));
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, SimDuration::from_micros(1));
+        assert_eq!(s.max, SimDuration::from_micros(100));
+        assert_eq!(s.mean, SimDuration::from_nanos(50_500));
+        assert_eq!(s.p50, SimDuration::from_micros(50));
+        assert_eq!(s.p99, SimDuration::from_micros(99));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(SimDuration::from_micros(1));
+        b.record(SimDuration::from_micros(3));
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn recording_after_summary_resorts() {
+        let mut r = LatencyRecorder::new();
+        r.record(SimDuration::from_micros(5));
+        let _ = r.summary();
+        r.record(SimDuration::from_micros(1));
+        assert_eq!(r.summary().min, SimDuration::from_micros(1));
+    }
+}

@@ -1,0 +1,305 @@
+//! Registered memory regions.
+//!
+//! A [`MemoryRegion`] models memory pinned and registered with an RDMA NIC:
+//! local code reads and writes it directly, while remote peers access it
+//! with one-sided verbs through a [`QueuePair`](crate::QueuePair).
+//!
+//! ## Torn-write modelling
+//!
+//! On real hardware a CPU store sequence updating a multi-cache-line object
+//! is not atomic with respect to a concurrent RDMA Read: the NIC may DMA a
+//! mixture of old and new lines. Catfish (like FaRM) detects this with
+//! per-line version stamps. We reproduce the effect honestly:
+//! [`MemoryRegion::write_local_torn`] applies the new bytes immediately for
+//! *local* readers (program order) but records the old bytes and a
+//! completion instant; a remote snapshot taken inside the window observes
+//! the first portion of the write as new and the remainder as old, at
+//! cache-line granularity — which is exactly the mixed-version state the
+//! codec's validation rejects.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use catfish_simnet::{SimDuration, SimTime};
+
+/// Cache-line granularity of torn-write visibility.
+const TORN_LINE: usize = 64;
+
+#[derive(Debug)]
+struct TornWrite {
+    offset: usize,
+    old: Vec<u8>,
+    started: SimTime,
+    completes: SimTime,
+}
+
+#[derive(Debug)]
+struct MrInner {
+    bytes: Vec<u8>,
+    rkey: u32,
+    torn: VecDeque<TornWrite>,
+}
+
+/// A registered memory region; cloning shares the same memory.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_rdma::MemoryRegion;
+///
+/// let mr = MemoryRegion::new(1024, 7);
+/// mr.write_local(8, b"hello");
+/// let mut buf = [0u8; 5];
+/// mr.read_local(8, &mut buf);
+/// assert_eq!(&buf, b"hello");
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryRegion {
+    inner: Rc<RefCell<MrInner>>,
+}
+
+impl MemoryRegion {
+    /// Registers a zeroed region of `len` bytes with remote key `rkey`.
+    pub fn new(len: usize, rkey: u32) -> Self {
+        Self::from_bytes(vec![0; len], rkey)
+    }
+
+    /// Registers existing memory.
+    pub fn from_bytes(bytes: Vec<u8>, rkey: u32) -> Self {
+        MemoryRegion {
+            inner: Rc::new(RefCell::new(MrInner {
+                bytes,
+                rkey,
+                torn: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// The remote key peers use to address this region.
+    pub fn rkey(&self) -> u32 {
+        self.inner.borrow().rkey
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().bytes.len()
+    }
+
+    /// True if the region has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads `buf.len()` bytes at `offset` (local, always consistent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the region.
+    pub fn read_local(&self, offset: usize, buf: &mut [u8]) {
+        let inner = self.inner.borrow();
+        buf.copy_from_slice(&inner.bytes[offset..offset + buf.len()]);
+    }
+
+    /// Writes `data` at `offset` atomically (visible consistently to both
+    /// local readers and remote snapshots from this instant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the region.
+    pub fn write_local(&self, offset: usize, data: &[u8]) {
+        let mut inner = self.inner.borrow_mut();
+        inner.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Writes `data` at `offset` with a torn-visibility `window`: local
+    /// readers see the new bytes immediately, but remote snapshots taken
+    /// before `now + window` observe a cache-line-granular mixture of new
+    /// (leading lines) and old (trailing lines) bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the region, or when called outside a
+    /// running simulation.
+    pub fn write_local_torn(&self, offset: usize, data: &[u8], window: SimDuration) {
+        let now = catfish_simnet::now();
+        let mut inner = self.inner.borrow_mut();
+        // GC expired windows.
+        while inner.torn.front().is_some_and(|t| t.completes <= now) {
+            inner.torn.pop_front();
+        }
+        if !window.is_zero() {
+            let old = inner.bytes[offset..offset + data.len()].to_vec();
+            inner.torn.push_back(TornWrite {
+                offset,
+                old,
+                started: now,
+                completes: now + window,
+            });
+        }
+        inner.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// The bytes a one-sided remote read sampling this region at instant
+    /// `at` observes: consistent, except inside pending torn windows where
+    /// trailing cache lines still show pre-write contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the region.
+    pub fn snapshot_remote(&self, offset: usize, len: usize, at: SimTime) -> Vec<u8> {
+        // GC windows that have expired by the current simulation clock (a
+        // snapshot "at" a future instant may still need windows that are
+        // pending now, so GC keys off `now`, not `at`).
+        let now = catfish_simnet::now();
+        let mut inner = self.inner.borrow_mut();
+        while inner
+            .torn
+            .front()
+            .is_some_and(|t| t.completes <= now.min(at))
+        {
+            inner.torn.pop_front();
+        }
+        let inner = &*inner;
+        let mut out = inner.bytes[offset..offset + len].to_vec();
+        for t in &inner.torn {
+            if at >= t.completes || at < t.started {
+                continue;
+            }
+            // Fraction of the write already visible at `at`, rounded down
+            // to whole cache lines.
+            let dur = t.completes.duration_since(t.started).as_nanos();
+            let done = at.duration_since(t.started).as_nanos();
+            let lines_total = t.old.len().div_ceil(TORN_LINE);
+            let lines_done = ((done as u128 * lines_total as u128) / dur.max(1) as u128) as usize;
+            let new_bytes = (lines_done * TORN_LINE).min(t.old.len());
+            // Bytes [new_bytes..] of the write region still show old data.
+            let stale_begin = t.offset + new_bytes;
+            let stale_end = t.offset + t.old.len();
+            let overlap_begin = stale_begin.max(offset);
+            let overlap_end = stale_end.min(offset + len);
+            if overlap_begin < overlap_end {
+                out[overlap_begin - offset..overlap_end - offset]
+                    .copy_from_slice(&t.old[overlap_begin - t.offset..overlap_end - t.offset]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catfish_simnet::{sleep, Sim};
+
+    #[test]
+    fn local_write_read_round_trip() {
+        let mr = MemoryRegion::new(256, 1);
+        mr.write_local(10, &[1, 2, 3]);
+        let mut buf = [0u8; 3];
+        mr.read_local(10, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn clones_share_memory() {
+        let mr = MemoryRegion::new(64, 1);
+        let mr2 = mr.clone();
+        mr.write_local(0, &[9]);
+        let mut b = [0u8];
+        mr2.read_local(0, &mut b);
+        assert_eq!(b, [9]);
+    }
+
+    #[test]
+    fn torn_write_locally_consistent() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mr = MemoryRegion::new(256, 1);
+            mr.write_local_torn(0, &[7u8; 256], SimDuration::from_micros(1));
+            let mut buf = [0u8; 256];
+            mr.read_local(0, &mut buf);
+            assert_eq!(buf, [7u8; 256]);
+        });
+    }
+
+    #[test]
+    fn snapshot_inside_window_sees_mixture() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mr = MemoryRegion::new(256, 1);
+            mr.write_local(0, &[1u8; 256]);
+            mr.write_local_torn(0, &[2u8; 256], SimDuration::from_micros(4));
+            // Halfway through the window: lines 0..2 new, 2..4 old.
+            let t = catfish_simnet::now() + SimDuration::from_micros(2);
+            let snap = mr.snapshot_remote(0, 256, t);
+            assert_eq!(&snap[..128], &[2u8; 128][..]);
+            assert_eq!(&snap[128..], &[1u8; 128][..]);
+        });
+    }
+
+    #[test]
+    fn snapshot_after_window_is_clean() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mr = MemoryRegion::new(128, 1);
+            mr.write_local_torn(0, &[5u8; 128], SimDuration::from_micros(1));
+            let t = catfish_simnet::now() + SimDuration::from_micros(1);
+            assert_eq!(mr.snapshot_remote(0, 128, t), vec![5u8; 128]);
+        });
+    }
+
+    #[test]
+    fn snapshot_before_window_sees_old() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mr = MemoryRegion::new(128, 1);
+            sleep(SimDuration::from_micros(10)).await;
+            mr.write_local_torn(0, &[5u8; 128], SimDuration::from_micros(2));
+            // A snapshot "from the past" (read arrived before the write).
+            let t = catfish_simnet::now() + SimDuration::from_nanos(1);
+            let snap = mr.snapshot_remote(0, 128, t);
+            // Line 0 may already be visible at 1ns into a 2us window? No:
+            // 1ns/2us of 2 lines rounds down to 0 lines.
+            assert_eq!(snap, vec![0u8; 128]);
+        });
+    }
+
+    #[test]
+    fn snapshot_partial_range_overlap() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mr = MemoryRegion::new(512, 1);
+            mr.write_local(128, &[1u8; 128]);
+            mr.write_local_torn(128, &[2u8; 128], SimDuration::from_micros(2));
+            // Read a range that straddles the torn region's stale half.
+            let t = catfish_simnet::now() + SimDuration::from_micros(1);
+            let snap = mr.snapshot_remote(0, 512, t);
+            assert_eq!(&snap[..128], &[0u8; 128][..]); // untouched
+            assert_eq!(&snap[128..192], &[2u8; 64][..]); // first line new
+            assert_eq!(&snap[192..256], &[1u8; 64][..]); // second line old
+            assert_eq!(&snap[256..], &[0u8; 256][..]);
+        });
+    }
+
+    #[test]
+    fn expired_windows_are_garbage_collected() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mr = MemoryRegion::new(64, 1);
+            for _ in 0..100 {
+                mr.write_local_torn(0, &[1u8; 64], SimDuration::from_nanos(10));
+                sleep(SimDuration::from_nanos(20)).await;
+            }
+            assert!(mr.inner.borrow().torn.len() <= 1);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mr = MemoryRegion::new(8, 1);
+        let mut buf = [0u8; 16];
+        mr.read_local(0, &mut buf);
+    }
+}

@@ -1,0 +1,122 @@
+//! Network profile presets matching the paper's testbed fabrics.
+//!
+//! The evaluation cluster (§V) has three interconnects per node: Intel I350
+//! 1 Gbps Ethernet, Mellanox ConnectX-3 40 Gbps Ethernet, and ConnectX-5 EDR
+//! 100 Gbps InfiniBand. These presets model their bandwidth, base latency,
+//! and per-operation overheads; constants are calibrated so that the
+//! micro-benchmark (Fig. 9) reproduces the published orderings: RDMA Write
+//! < RDMA Read < TCP-40G < TCP-1G in latency, with bandwidth dominating
+//! beyond ~2 KB messages.
+
+use catfish_simnet::{LinkSpec, SimDuration};
+
+use crate::qp::RdmaProfile;
+use crate::tcp::TcpProfile;
+
+/// A complete fabric characterization: link, RDMA costs, TCP costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetProfile {
+    /// Human-readable fabric name (used in benchmark output).
+    pub name: &'static str,
+    /// NIC/link characteristics.
+    pub link: LinkSpec,
+    /// One-sided verb overheads (meaningful only on RDMA-capable fabrics).
+    pub rdma: RdmaProfile,
+    /// Kernel TCP stack costs.
+    pub tcp: TcpProfile,
+    /// Whether the fabric supports RDMA verbs.
+    pub rdma_capable: bool,
+}
+
+/// Intel I350 1 Gbps Ethernet ("TCP/IP-1G" in the paper).
+pub fn ethernet_1g() -> NetProfile {
+    NetProfile {
+        name: "1G Ethernet",
+        link: LinkSpec {
+            bandwidth_bps: 1e9,
+            latency: SimDuration::from_micros(12),
+            per_message_overhead_bytes: 58,
+        },
+        rdma: RdmaProfile::default(),
+        tcp: TcpProfile {
+            per_message_cpu: SimDuration::from_micros(3),
+            per_kib_cpu: SimDuration::from_nanos(150),
+            stack_latency: SimDuration::from_micros(15),
+        },
+        rdma_capable: false,
+    }
+}
+
+/// Mellanox ConnectX-3 40 Gbps Ethernet ("TCP/IP-40G" in the paper).
+pub fn ethernet_40g() -> NetProfile {
+    NetProfile {
+        name: "40G Ethernet",
+        link: LinkSpec {
+            bandwidth_bps: 40e9,
+            latency: SimDuration::from_micros(4),
+            per_message_overhead_bytes: 58,
+        },
+        rdma: RdmaProfile::default(),
+        tcp: TcpProfile {
+            per_message_cpu: SimDuration::from_micros(3),
+            per_kib_cpu: SimDuration::from_nanos(120),
+            stack_latency: SimDuration::from_micros(10),
+        },
+        rdma_capable: false,
+    }
+}
+
+/// Mellanox ConnectX-5 EDR 100 Gbps InfiniBand (the RDMA fabric).
+pub fn infiniband_100g() -> NetProfile {
+    NetProfile {
+        name: "100G InfiniBand",
+        link: LinkSpec {
+            bandwidth_bps: 100e9,
+            latency: SimDuration::from_nanos(900),
+            per_message_overhead_bytes: 40,
+        },
+        rdma: RdmaProfile {
+            op_overhead: SimDuration::from_nanos(250),
+            read_request_bytes: 32,
+        },
+        tcp: TcpProfile {
+            // IPoIB: still kernel-bound.
+            per_message_cpu: SimDuration::from_micros(3),
+            per_kib_cpu: SimDuration::from_nanos(120),
+            stack_latency: SimDuration::from_micros(8),
+        },
+        rdma_capable: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let e1 = ethernet_1g();
+        let e40 = ethernet_40g();
+        let ib = infiniband_100g();
+        assert!(e1.link.bandwidth_bps < e40.link.bandwidth_bps);
+        assert!(e40.link.bandwidth_bps < ib.link.bandwidth_bps);
+        assert!(ib.link.latency < e40.link.latency);
+        assert!(e40.link.latency < e1.link.latency);
+        assert!(ib.rdma_capable);
+        assert!(!e1.rdma_capable && !e40.rdma_capable);
+    }
+
+    #[test]
+    fn rdma_latency_is_microseconds() {
+        // Sanity: one-way small-message time on IB is ~1us, TCP-1G ~30us.
+        let ib = infiniband_100g();
+        let one_way = ib.link.latency + ib.link.tx_time(64);
+        assert!(one_way < SimDuration::from_micros(2), "{one_way}");
+        let e1 = ethernet_1g();
+        let tcp_one_way = e1.link.latency
+            + e1.link.tx_time(64)
+            + e1.tcp.stack_latency
+            + e1.tcp.per_message_cpu * 2;
+        assert!(tcp_one_way > SimDuration::from_micros(25), "{tcp_one_way}");
+    }
+}

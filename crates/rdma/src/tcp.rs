@@ -1,0 +1,300 @@
+//! A TCP/IP transport model — the paper's socket baseline.
+//!
+//! Unlike the one-sided verbs, every TCP message costs **kernel CPU time on
+//! both ends** (syscall, copies, protocol processing) and crosses the full
+//! network stack, adding latency. On the server these CPU charges land on
+//! the shared [`CpuPool`], which is what saturates the server in Fig. 2 and
+//! keeps the TCP baselines an order of magnitude behind RDMA in Figs. 10-14.
+//!
+//! Messages are delivered reliably and in order per connection.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use catfish_simnet::sync::{channel, Receiver, Sender};
+use catfish_simnet::{sleep, spawn, CpuPool, Network, NodeId, SimDuration};
+
+/// Kernel-stack cost parameters for the TCP model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpProfile {
+    /// CPU time per message on each end (syscall + protocol processing).
+    pub per_message_cpu: SimDuration,
+    /// Additional CPU time per KiB of payload (copies, checksums).
+    pub per_kib_cpu: SimDuration,
+    /// Extra one-way latency through the kernel stack (beyond the wire).
+    pub stack_latency: SimDuration,
+}
+
+impl Default for TcpProfile {
+    fn default() -> Self {
+        TcpProfile {
+            per_message_cpu: SimDuration::from_micros(3),
+            per_kib_cpu: SimDuration::from_nanos(150),
+            stack_latency: SimDuration::from_micros(15),
+        }
+    }
+}
+
+impl TcpProfile {
+    fn cpu_cost(&self, bytes: usize) -> SimDuration {
+        self.per_message_cpu
+            + SimDuration::from_nanos(self.per_kib_cpu.as_nanos() * (bytes as u64).div_ceil(1024))
+    }
+}
+
+struct TcpEndpointInner {
+    node: NodeId,
+    net: Network,
+    profile: TcpProfile,
+    /// Shared cores to charge kernel work to; `None` models an
+    /// unconstrained host (client machines, whose CPUs the paper observes
+    /// to be lightly loaded).
+    cpu: Option<CpuPool>,
+}
+
+impl TcpEndpointInner {
+    async fn charge(&self, cost: SimDuration) {
+        match &self.cpu {
+            Some(pool) => pool.run(cost).await,
+            None => sleep(cost).await,
+        }
+    }
+}
+
+/// One host's TCP stack.
+#[derive(Clone)]
+pub struct TcpEndpoint {
+    inner: Rc<TcpEndpointInner>,
+}
+
+impl fmt::Debug for TcpEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpEndpoint")
+            .field("node", &self.inner.node)
+            .field("constrained", &self.inner.cpu.is_some())
+            .finish()
+    }
+}
+
+impl TcpEndpoint {
+    /// Creates a TCP endpoint on `node`. Pass `cpu` to charge kernel work
+    /// to a shared core pool (server hosts); `None` for unconstrained
+    /// hosts.
+    pub fn new(net: &Network, node: NodeId, profile: TcpProfile, cpu: Option<CpuPool>) -> Self {
+        TcpEndpoint {
+            inner: Rc::new(TcpEndpointInner {
+                node,
+                net: net.clone(),
+                profile,
+                cpu,
+            }),
+        }
+    }
+
+    /// The fabric node.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Opens a connection, returning this side's and the peer's handles.
+    pub fn connect(&self, remote: &TcpEndpoint) -> (TcpConn, TcpConn) {
+        let a_to_b = pipe(&self.inner, &remote.inner);
+        let b_to_a = pipe(&remote.inner, &self.inner);
+        (
+            TcpConn {
+                local: Rc::clone(&self.inner),
+                tx: a_to_b.0,
+                rx: RefCell::new(b_to_a.1),
+            },
+            TcpConn {
+                local: Rc::clone(&remote.inner),
+                tx: b_to_a.0,
+                rx: RefCell::new(a_to_b.1),
+            },
+        )
+    }
+}
+
+/// Builds one direction of a connection: a delivery worker that moves
+/// messages across the wire in order, charging receive-side kernel CPU.
+fn pipe(
+    src: &Rc<TcpEndpointInner>,
+    dst: &Rc<TcpEndpointInner>,
+) -> (Sender<Vec<u8>>, Receiver<Vec<u8>>) {
+    let (xmit_tx, mut xmit_rx) = channel::<Vec<u8>>();
+    let (deliver_tx, deliver_rx) = channel::<Vec<u8>>();
+    let src = Rc::clone(src);
+    let dst = Rc::clone(dst);
+    spawn(async move {
+        while let Some(msg) = xmit_rx.recv().await {
+            src.net.transfer(src.node, dst.node, msg.len() as u64).await;
+            sleep(dst.profile.stack_latency).await;
+            dst.charge(dst.profile.cpu_cost(msg.len())).await;
+            deliver_tx.send(msg);
+        }
+    });
+    (xmit_tx, deliver_rx)
+}
+
+/// One side of an established TCP connection.
+pub struct TcpConn {
+    local: Rc<TcpEndpointInner>,
+    tx: Sender<Vec<u8>>,
+    rx: RefCell<Receiver<Vec<u8>>>,
+}
+
+impl fmt::Debug for TcpConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpConn")
+            .field("node", &self.local.node)
+            .finish()
+    }
+}
+
+impl TcpConn {
+    /// Sends a message; returns once local kernel processing is done (the
+    /// payload continues through the pipe asynchronously, in order).
+    pub async fn send(&self, msg: Vec<u8>) {
+        self.local
+            .charge(self.local.profile.cpu_cost(msg.len()))
+            .await;
+        self.tx.send(msg);
+    }
+
+    /// Receives the next message, or `None` if the peer hung up.
+    ///
+    /// Single-consumer: like a real socket, only one task may be blocked
+    /// in `recv` at a time (a second concurrent call panics on the
+    /// interior borrow rather than silently interleaving the stream).
+    #[allow(clippy::await_holding_refcell_ref)]
+    pub async fn recv(&self) -> Option<Vec<u8>> {
+        let mut rx = self.rx.borrow_mut();
+        rx.recv().await
+    }
+
+    /// Takes an already-delivered message without waiting.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.rx.borrow_mut().try_recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catfish_simnet::{now, LinkSpec, Sim};
+
+    fn net_1g() -> (Network, NodeId, NodeId) {
+        let net = Network::new();
+        let spec = LinkSpec {
+            bandwidth_bps: 1e9,
+            latency: SimDuration::from_micros(10),
+            per_message_overhead_bytes: 0,
+        };
+        let a = net.add_node(spec);
+        let b = net.add_node(spec);
+        (net, a, b)
+    }
+
+    #[test]
+    fn messages_arrive_in_order() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (net, a, b) = net_1g();
+            let ea = TcpEndpoint::new(&net, a, TcpProfile::default(), None);
+            let eb = TcpEndpoint::new(&net, b, TcpProfile::default(), None);
+            let (ca, cb) = ea.connect(&eb);
+            for i in 0..5u8 {
+                ca.send(vec![i]).await;
+            }
+            for i in 0..5u8 {
+                assert_eq!(cb.recv().await, Some(vec![i]));
+            }
+        });
+    }
+
+    #[test]
+    fn bidirectional_echo() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (net, a, b) = net_1g();
+            let ea = TcpEndpoint::new(&net, a, TcpProfile::default(), None);
+            let eb = TcpEndpoint::new(&net, b, TcpProfile::default(), None);
+            let (ca, cb) = ea.connect(&eb);
+            spawn(async move {
+                while let Some(msg) = cb.recv().await {
+                    cb.send(msg).await;
+                }
+            });
+            ca.send(b"ping".to_vec()).await;
+            assert_eq!(ca.recv().await, Some(b"ping".to_vec()));
+        });
+    }
+
+    #[test]
+    fn tcp_latency_includes_stack_costs() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (net, a, b) = net_1g();
+            let ea = TcpEndpoint::new(&net, a, TcpProfile::default(), None);
+            let eb = TcpEndpoint::new(&net, b, TcpProfile::default(), None);
+            let (ca, cb) = ea.connect(&eb);
+            let t0 = now();
+            ca.send(vec![0]).await;
+            cb.recv().await.unwrap();
+            let one_way = now() - t0;
+            // send cpu (3us) + wire (10us) + stack (15us) + recv cpu (~3us)
+            assert!(
+                one_way >= SimDuration::from_micros(31),
+                "one way was {one_way}"
+            );
+        });
+    }
+
+    #[test]
+    fn server_kernel_work_lands_on_shared_cpu() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (net, a, b) = net_1g();
+            let server_cpu = CpuPool::new(2, SimDuration::from_millis(1));
+            let ea = TcpEndpoint::new(&net, a, TcpProfile::default(), None);
+            let eb = TcpEndpoint::new(&net, b, TcpProfile::default(), Some(server_cpu.clone()));
+            let (ca, cb) = ea.connect(&eb);
+            ca.send(vec![0u8; 4096]).await;
+            cb.recv().await.unwrap();
+            // Receive-side kernel processing was charged to the pool.
+            assert!(server_cpu.busy_time() >= SimDuration::from_micros(3));
+        });
+    }
+
+    #[test]
+    fn large_transfer_bounded_by_bandwidth() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (net, a, b) = net_1g();
+            let ea = TcpEndpoint::new(&net, a, TcpProfile::default(), None);
+            let eb = TcpEndpoint::new(&net, b, TcpProfile::default(), None);
+            let (ca, cb) = ea.connect(&eb);
+            let t0 = now();
+            ca.send(vec![0u8; 1_250_000]).await; // 10 Mbit
+            cb.recv().await.unwrap();
+            let elapsed = now() - t0;
+            // 10 Mbit over 1 Gbps = 10 ms of serialization.
+            assert!(elapsed >= SimDuration::from_millis(10), "took {elapsed}");
+            assert!(elapsed < SimDuration::from_millis(12), "took {elapsed}");
+        });
+    }
+
+    #[test]
+    fn hangup_yields_none() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (net, a, b) = net_1g();
+            let ea = TcpEndpoint::new(&net, a, TcpProfile::default(), None);
+            let eb = TcpEndpoint::new(&net, b, TcpProfile::default(), None);
+            let (ca, cb) = ea.connect(&eb);
+            drop(ca);
+            assert_eq!(cb.recv().await, None);
+        });
+    }
+}

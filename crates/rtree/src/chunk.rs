@@ -1,0 +1,345 @@
+//! [`ChunkStore`]: a [`NodeStore`] over a flat byte arena of versioned
+//! chunks.
+//!
+//! The arena is abstracted as [`ChunkMemory`] so the same store logic can
+//! run over a plain `Vec<u8>` (local use, tests) or an RDMA-registered
+//! memory region (the server in `catfish-core`), where remote clients read
+//! the very same bytes with one-sided RDMA Reads.
+
+use crate::codec::{ChunkLayout, CodecError};
+use crate::node::{Node, NodeId};
+use crate::store::{NodeStore, TreeMeta};
+
+/// Byte-addressable backing memory for a chunk arena.
+pub trait ChunkMemory {
+    /// Total capacity in bytes.
+    fn len(&self) -> usize;
+
+    /// True if the arena has zero capacity.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies `buf.len()` bytes starting at `offset` into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    fn read_into(&self, offset: usize, buf: &mut [u8]);
+
+    /// Writes `data` starting at `offset`.
+    ///
+    /// Implementations backed by shared (RDMA-visible) memory may model a
+    /// non-atomic write that remote readers can observe as torn; the local
+    /// view must always reflect the completed write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    fn write_at(&mut self, offset: usize, data: &[u8]);
+}
+
+impl ChunkMemory for Vec<u8> {
+    fn len(&self) -> usize {
+        Vec::len(self)
+    }
+
+    fn read_into(&self, offset: usize, buf: &mut [u8]) {
+        buf.copy_from_slice(&self[offset..offset + buf.len()]);
+    }
+
+    fn write_at(&mut self, offset: usize, data: &[u8]) {
+        self[offset..offset + data.len()].copy_from_slice(data);
+    }
+}
+
+/// A [`NodeStore`] that serializes every node into a fixed-size versioned
+/// chunk of `mem`. Chunk 0 holds the tree metadata; node chunks start at 1.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_rtree::chunk::ChunkStore;
+/// use catfish_rtree::codec::ChunkLayout;
+/// use catfish_rtree::{Node, NodeStore};
+///
+/// let layout = ChunkLayout::for_max_entries(16);
+/// let mem = vec![0u8; layout.arena_bytes(64)];
+/// let mut store = ChunkStore::new(mem, layout);
+/// let id = store.alloc();
+/// store.write(id, &Node::new(0));
+/// assert!(store.read(id).is_leaf());
+/// ```
+#[derive(Debug)]
+pub struct ChunkStore<M> {
+    mem: M,
+    layout: ChunkLayout,
+    versions: Vec<u64>,
+    free: Vec<u32>,
+    next: u32,
+    live: usize,
+    meta: TreeMeta,
+}
+
+impl<M: ChunkMemory> ChunkStore<M> {
+    /// Creates a store over `mem`, writing an empty metadata chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem` cannot hold at least the metadata chunk plus one
+    /// node chunk.
+    pub fn new(mem: M, layout: ChunkLayout) -> Self {
+        let capacity = mem.len() / layout.chunk_bytes();
+        assert!(
+            capacity >= 2,
+            "arena too small: {} bytes holds {} chunks, need at least 2",
+            mem.len(),
+            capacity
+        );
+        let mut store = ChunkStore {
+            mem,
+            layout,
+            versions: vec![0; capacity],
+            free: Vec::new(),
+            next: 1,
+            live: 0,
+            meta: TreeMeta::default(),
+        };
+        store.persist_meta();
+        store
+    }
+
+    /// The chunk layout in use.
+    pub fn layout(&self) -> ChunkLayout {
+        self.layout
+    }
+
+    /// Number of chunks the arena can hold (including the meta chunk).
+    pub fn capacity_chunks(&self) -> u32 {
+        self.versions.len() as u32
+    }
+
+    /// Shared access to the backing memory.
+    pub fn mem(&self) -> &M {
+        &self.mem
+    }
+
+    /// Consumes the store, returning the backing memory.
+    pub fn into_mem(self) -> M {
+        self.mem
+    }
+
+    /// The allocator state `(next_unused_chunk, free_list)` — what a
+    /// snapshot must persist besides the arena bytes.
+    pub fn allocator_state(&self) -> (u32, Vec<u32>) {
+        (self.next, self.free.clone())
+    }
+
+    /// Reconstructs a store from persisted parts: the arena bytes, the
+    /// layout, and the allocator state. Per-chunk version counters are
+    /// recovered from the chunks' own line stamps, and the tree metadata
+    /// from chunk 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the metadata chunk does not decode or the
+    /// allocator state is inconsistent with the arena size.
+    pub fn from_parts(
+        mem: M,
+        layout: ChunkLayout,
+        next: u32,
+        free: Vec<u32>,
+    ) -> Result<Self, &'static str> {
+        let capacity = mem.len() / layout.chunk_bytes();
+        if capacity < 2 || next as usize > capacity || next == 0 {
+            return Err("allocator state inconsistent with arena size");
+        }
+        if free.iter().any(|&f| f == 0 || f >= next) {
+            return Err("free list references out-of-range chunks");
+        }
+        let mut versions = vec![0u64; capacity];
+        let mut line0 = [0u8; 8];
+        for (i, v) in versions.iter_mut().enumerate().take(next as usize) {
+            mem.read_into(layout.chunk_offset(i as u32), &mut line0);
+            *v = u64::from_le_bytes(line0);
+        }
+        let mut buf = vec![0u8; layout.chunk_bytes()];
+        mem.read_into(0, &mut buf);
+        let (meta, _) = layout
+            .decode_meta(&buf)
+            .map_err(|_| "metadata chunk does not decode")?;
+        let live = (next as usize - 1) - free.len();
+        Ok(ChunkStore {
+            mem,
+            layout,
+            versions,
+            free,
+            next,
+            live,
+            meta,
+        })
+    }
+
+    /// Reads and decodes the chunk at `id` without panicking on errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodecError`] from decoding.
+    pub fn try_read(&self, id: NodeId) -> Result<Node, CodecError> {
+        let mut buf = vec![0u8; self.layout.chunk_bytes()];
+        self.mem.read_into(self.layout.node_offset(id), &mut buf);
+        self.layout.decode_node(&buf).map(|(n, _)| n)
+    }
+
+    fn persist_meta(&mut self) {
+        self.versions[0] += 1;
+        let chunk = self.layout.encode_meta(&self.meta, self.versions[0]);
+        self.mem.write_at(0, &chunk);
+    }
+}
+
+impl<M: ChunkMemory> NodeStore for ChunkStore<M> {
+    fn read(&self, id: NodeId) -> Node {
+        self.try_read(id)
+            .unwrap_or_else(|e| panic!("chunk store read of {id} failed: {e}"))
+    }
+
+    fn write(&mut self, id: NodeId, node: &Node) {
+        let idx = id.0 as usize;
+        assert!(
+            idx >= 1 && idx < self.versions.len(),
+            "write to out-of-range chunk {id}"
+        );
+        self.versions[idx] += 1;
+        let chunk = self.layout.encode_node(node, self.versions[idx]);
+        self.mem.write_at(self.layout.node_offset(id), &chunk);
+    }
+
+    fn alloc(&mut self) -> NodeId {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            return NodeId(i);
+        }
+        assert!(
+            (self.next as usize) < self.versions.len(),
+            "chunk arena exhausted: {} chunks",
+            self.versions.len()
+        );
+        let id = NodeId(self.next);
+        self.next += 1;
+        // Initialize the chunk so reads of a freshly allocated node decode.
+        self.write(id, &Node::new(0));
+        id
+    }
+
+    fn free(&mut self, id: NodeId) {
+        assert!(
+            id.0 >= 1 && id.0 < self.next && !self.free.contains(&id.0),
+            "invalid free of chunk {id}"
+        );
+        self.free.push(id.0);
+        self.live -= 1;
+    }
+
+    fn meta(&self) -> TreeMeta {
+        self.meta
+    }
+
+    fn set_meta(&mut self, meta: TreeMeta) {
+        self.meta = meta;
+        self.persist_meta();
+    }
+
+    fn node_count(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::node::Entry;
+
+    fn store_with(chunks: u32) -> ChunkStore<Vec<u8>> {
+        let layout = ChunkLayout::for_max_entries(8);
+        ChunkStore::new(vec![0u8; layout.arena_bytes(chunks)], layout)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut s = store_with(8);
+        let id = s.alloc();
+        let mut n = Node::new(0);
+        n.entries
+            .push(Entry::data(Rect::new(0.0, 0.0, 1.0, 1.0), 5));
+        s.write(id, &n);
+        assert_eq!(s.read(id), n);
+    }
+
+    #[test]
+    fn versions_bump_on_every_write() {
+        let mut s = store_with(8);
+        let id = s.alloc();
+        let n = Node::new(0);
+        s.write(id, &n);
+        let v1 = s.versions[id.0 as usize];
+        s.write(id, &n);
+        assert_eq!(s.versions[id.0 as usize], v1 + 1);
+    }
+
+    #[test]
+    fn meta_persisted_to_chunk_zero() {
+        let mut s = store_with(8);
+        let meta = TreeMeta {
+            root: Some(NodeId(1)),
+            height: 1,
+            len: 3,
+        };
+        s.set_meta(meta);
+        let mut buf = vec![0u8; s.layout().chunk_bytes()];
+        s.mem().read_into(0, &mut buf);
+        let (decoded, _) = s.layout().decode_meta(&buf).unwrap();
+        assert_eq!(decoded, meta);
+    }
+
+    #[test]
+    fn alloc_skips_meta_chunk() {
+        let mut s = store_with(8);
+        assert_eq!(s.alloc(), NodeId(1));
+        assert_eq!(s.alloc(), NodeId(2));
+    }
+
+    #[test]
+    fn freed_chunks_are_reused() {
+        let mut s = store_with(8);
+        let a = s.alloc();
+        let _b = s.alloc();
+        s.free(a);
+        assert_eq!(s.alloc(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn arena_exhaustion_panics() {
+        let mut s = store_with(2); // meta + 1 node
+        let _ = s.alloc();
+        let _ = s.alloc();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid free")]
+    fn double_free_panics() {
+        let mut s = store_with(4);
+        let a = s.alloc();
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_arena_rejected() {
+        let layout = ChunkLayout::for_max_entries(8);
+        let _ = ChunkStore::new(vec![0u8; layout.chunk_bytes()], layout);
+    }
+}

@@ -1,0 +1,486 @@
+//! Versioned cache-line chunk codec — the RDMA-readable node layout.
+//!
+//! Following FaRM (and §III-B of the Catfish paper), every R-tree node is
+//! serialized into a fixed-size **chunk** made of 64-byte cache lines. Each
+//! line carries an 8-byte version stamp followed by 56 payload bytes. A
+//! writer bumps the node's version on every update and stamps every line
+//! with it; a reader (local, or remote via one-sided RDMA Read) accepts a
+//! chunk only if *all* line versions agree. Because both RDMA Reads and CPU
+//! stores are cache-line atomic, a mixed-version chunk is exactly the
+//! signature of a read that raced a concurrent write — the reader retries.
+//!
+//! Chunk 0 of the arena holds the [`TreeMeta`] (root id, height, item
+//! count) under the same scheme, so an offloading client can bootstrap its
+//! traversal with a single read.
+
+use std::fmt;
+
+use crate::geom::Rect;
+use crate::node::{Entry, EntryRef, Node, NodeId};
+use crate::store::TreeMeta;
+
+/// Bytes per cache line.
+pub const LINE_BYTES: usize = 64;
+/// Bytes of version stamp at the start of each line.
+pub const LINE_VERSION_BYTES: usize = 8;
+/// Payload bytes per line.
+pub const LINE_PAYLOAD_BYTES: usize = LINE_BYTES - LINE_VERSION_BYTES;
+
+const NODE_HEADER_BYTES: usize = 16;
+const ENTRY_BYTES: usize = 40;
+const NODE_MAGIC: u32 = 0x5254_4E44; // "RTND"
+const META_MAGIC: u64 = 0x4341_5446_4953_4830; // "CATFISH0"
+const DATA_TAG: u64 = 1 << 63;
+
+/// Errors produced while decoding a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Line version stamps disagree: the read raced a concurrent write and
+    /// must be retried.
+    TornRead {
+        /// Version of the first line.
+        first: u64,
+        /// The first conflicting version encountered.
+        conflicting: u64,
+    },
+    /// The chunk bytes do not describe a valid node or metadata record.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::TornRead { first, conflicting } => write!(
+                f,
+                "torn read: line versions disagree ({first} vs {conflicting})"
+            ),
+            CodecError::Malformed(what) => write!(f, "malformed chunk: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Geometry of the chunk arena for a given maximum node fanout.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_rtree::codec::ChunkLayout;
+///
+/// let layout = ChunkLayout::for_max_entries(16);
+/// assert_eq!(layout.chunk_bytes() % 64, 0);
+/// assert!(layout.chunk_bytes() >= 16 + 40 * 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkLayout {
+    max_entries: usize,
+    lines: usize,
+}
+
+impl ChunkLayout {
+    /// Computes the layout for nodes with at most `max_entries` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` is zero.
+    pub fn for_max_entries(max_entries: usize) -> Self {
+        assert!(max_entries > 0, "layout needs a positive fanout");
+        let logical = NODE_HEADER_BYTES + ENTRY_BYTES * max_entries;
+        let lines = logical.div_ceil(LINE_PAYLOAD_BYTES);
+        ChunkLayout { max_entries, lines }
+    }
+
+    /// Maximum entries representable per node.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Cache lines per chunk.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Bytes per chunk (a multiple of the cache-line size).
+    pub fn chunk_bytes(&self) -> usize {
+        self.lines * LINE_BYTES
+    }
+
+    /// Byte offset of chunk `index` within the arena.
+    pub fn chunk_offset(&self, index: u32) -> usize {
+        index as usize * self.chunk_bytes()
+    }
+
+    /// Byte offset of the chunk storing `id` (node chunks start at index 1;
+    /// chunk 0 is the metadata).
+    pub fn node_offset(&self, id: NodeId) -> usize {
+        self.chunk_offset(id.0)
+    }
+
+    /// Total arena bytes needed for `chunks` chunks (including chunk 0).
+    pub fn arena_bytes(&self, chunks: u32) -> usize {
+        self.chunk_bytes() * chunks as usize
+    }
+
+    /// Serializes `node` into a fresh chunk stamped with `version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has more than `max_entries` entries or a data
+    /// payload uses the reserved tag bit.
+    pub fn encode_node(&self, node: &Node, version: u64) -> Vec<u8> {
+        assert!(
+            node.entries.len() <= self.max_entries,
+            "node has {} entries but the layout allows {}",
+            node.entries.len(),
+            self.max_entries
+        );
+        let mut logical = vec![0u8; self.lines * LINE_PAYLOAD_BYTES];
+        logical[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
+        logical[4..8].copy_from_slice(&node.level.to_le_bytes());
+        logical[8..12].copy_from_slice(&(node.entries.len() as u32).to_le_bytes());
+        // logical[12..16] reserved.
+        for (i, e) in node.entries.iter().enumerate() {
+            let at = NODE_HEADER_BYTES + i * ENTRY_BYTES;
+            logical[at..at + 8].copy_from_slice(&e.mbr.min_x().to_le_bytes());
+            logical[at + 8..at + 16].copy_from_slice(&e.mbr.min_y().to_le_bytes());
+            logical[at + 16..at + 24].copy_from_slice(&e.mbr.max_x().to_le_bytes());
+            logical[at + 24..at + 32].copy_from_slice(&e.mbr.max_y().to_le_bytes());
+            let raw = match e.child {
+                EntryRef::Node(id) => {
+                    let v = u64::from(id.0);
+                    assert!(v & DATA_TAG == 0, "node id uses reserved tag bit");
+                    v
+                }
+                EntryRef::Data(d) => {
+                    assert!(d & DATA_TAG == 0, "data payload uses reserved tag bit");
+                    d | DATA_TAG
+                }
+            };
+            logical[at + 32..at + 40].copy_from_slice(&raw.to_le_bytes());
+        }
+        self.pack_lines(&logical, version)
+    }
+
+    /// Deserializes a node chunk, validating version consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TornRead`] if line versions disagree;
+    /// [`CodecError::Malformed`] if the payload is not a valid node.
+    pub fn decode_node(&self, chunk: &[u8]) -> Result<(Node, u64), CodecError> {
+        let (logical, version) = self.unpack_lines(chunk)?;
+        let magic = u32::from_le_bytes(logical[0..4].try_into().expect("sized"));
+        if magic != NODE_MAGIC {
+            return Err(CodecError::Malformed("bad node magic"));
+        }
+        let level = u32::from_le_bytes(logical[4..8].try_into().expect("sized"));
+        let count = u32::from_le_bytes(logical[8..12].try_into().expect("sized")) as usize;
+        if count > self.max_entries {
+            return Err(CodecError::Malformed("entry count exceeds layout fanout"));
+        }
+        if level > 64 {
+            return Err(CodecError::Malformed("implausible node level"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = NODE_HEADER_BYTES + i * ENTRY_BYTES;
+            let f = |o: usize| {
+                f64::from_le_bytes(logical[at + o..at + o + 8].try_into().expect("sized"))
+            };
+            let (min_x, min_y, max_x, max_y) = (f(0), f(8), f(16), f(24));
+            if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite())
+                || min_x > max_x
+                || min_y > max_y
+            {
+                return Err(CodecError::Malformed("invalid entry rectangle"));
+            }
+            let mbr = Rect::new(min_x, min_y, max_x, max_y);
+            let raw = u64::from_le_bytes(logical[at + 32..at + 40].try_into().expect("sized"));
+            let child = if level == 0 {
+                if raw & DATA_TAG == 0 {
+                    return Err(CodecError::Malformed("leaf entry without data tag"));
+                }
+                EntryRef::Data(raw & !DATA_TAG)
+            } else {
+                if raw & DATA_TAG != 0 {
+                    return Err(CodecError::Malformed("internal entry with data tag"));
+                }
+                if raw > u64::from(u32::MAX) {
+                    return Err(CodecError::Malformed("child id out of range"));
+                }
+                EntryRef::Node(NodeId(raw as u32))
+            };
+            entries.push(Entry { mbr, child });
+        }
+        Ok((Node { level, entries }, version))
+    }
+
+    /// Serializes tree metadata into chunk 0's format.
+    pub fn encode_meta(&self, meta: &TreeMeta, version: u64) -> Vec<u8> {
+        let mut logical = vec![0u8; self.lines * LINE_PAYLOAD_BYTES];
+        logical[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        let root_raw = meta.root.map_or(0, |id| id.0 + 1);
+        logical[8..12].copy_from_slice(&root_raw.to_le_bytes());
+        logical[12..16].copy_from_slice(&meta.height.to_le_bytes());
+        logical[16..24].copy_from_slice(&meta.len.to_le_bytes());
+        self.pack_lines(&logical, version)
+    }
+
+    /// Deserializes tree metadata, validating version consistency.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChunkLayout::decode_node`].
+    pub fn decode_meta(&self, chunk: &[u8]) -> Result<(TreeMeta, u64), CodecError> {
+        let (logical, version) = self.unpack_lines(chunk)?;
+        let magic = u64::from_le_bytes(logical[0..8].try_into().expect("sized"));
+        if magic != META_MAGIC {
+            return Err(CodecError::Malformed("bad meta magic"));
+        }
+        let root_raw = u32::from_le_bytes(logical[8..12].try_into().expect("sized"));
+        let height = u32::from_le_bytes(logical[12..16].try_into().expect("sized"));
+        let len = u64::from_le_bytes(logical[16..24].try_into().expect("sized"));
+        let root = if root_raw == 0 {
+            None
+        } else {
+            Some(NodeId(root_raw - 1))
+        };
+        if root.is_none() != (height == 0) {
+            return Err(CodecError::Malformed("root/height mismatch"));
+        }
+        Ok((TreeMeta { root, height, len }, version))
+    }
+
+    fn pack_lines(&self, logical: &[u8], version: u64) -> Vec<u8> {
+        pack_lines(logical, version, self.lines)
+    }
+
+    fn unpack_lines(&self, chunk: &[u8]) -> Result<(Vec<u8>, u64), CodecError> {
+        unpack_lines(chunk, self.lines)
+    }
+}
+
+/// Splits a logical byte buffer into `lines` versioned cache lines (8-byte
+/// stamp + 56 payload bytes each). Shared by every chunk format built on
+/// the FaRM-style validation scheme (the R-tree here, the B+-tree in
+/// `catfish-bplus`).
+///
+/// # Panics
+///
+/// Panics if `logical` is not exactly `lines * 56` bytes.
+pub fn pack_lines(logical: &[u8], version: u64, lines: usize) -> Vec<u8> {
+    assert_eq!(
+        logical.len(),
+        lines * LINE_PAYLOAD_BYTES,
+        "logical buffer must fill the lines exactly"
+    );
+    let mut out = vec![0u8; lines * LINE_BYTES];
+    for line in 0..lines {
+        let dst = line * LINE_BYTES;
+        out[dst..dst + LINE_VERSION_BYTES].copy_from_slice(&version.to_le_bytes());
+        let src = line * LINE_PAYLOAD_BYTES;
+        out[dst + LINE_VERSION_BYTES..dst + LINE_BYTES]
+            .copy_from_slice(&logical[src..src + LINE_PAYLOAD_BYTES]);
+    }
+    out
+}
+
+/// Reassembles the logical bytes of a versioned chunk, validating that all
+/// line stamps agree. Inverse of [`pack_lines`].
+///
+/// # Errors
+///
+/// [`CodecError::TornRead`] on version disagreement;
+/// [`CodecError::Malformed`] if the chunk is not `lines * 64` bytes.
+pub fn unpack_lines(chunk: &[u8], lines: usize) -> Result<(Vec<u8>, u64), CodecError> {
+    if chunk.len() != lines * LINE_BYTES {
+        return Err(CodecError::Malformed("chunk length mismatch"));
+    }
+    let version = u64::from_le_bytes(chunk[0..LINE_VERSION_BYTES].try_into().expect("sized"));
+    let mut logical = vec![0u8; lines * LINE_PAYLOAD_BYTES];
+    for line in 0..lines {
+        let src = line * LINE_BYTES;
+        let v = u64::from_le_bytes(
+            chunk[src..src + LINE_VERSION_BYTES]
+                .try_into()
+                .expect("sized"),
+        );
+        if v != version {
+            return Err(CodecError::TornRead {
+                first: version,
+                conflicting: v,
+            });
+        }
+        let dst = line * LINE_PAYLOAD_BYTES;
+        logical[dst..dst + LINE_PAYLOAD_BYTES]
+            .copy_from_slice(&chunk[src + LINE_VERSION_BYTES..src + LINE_BYTES]);
+    }
+    Ok((logical, version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_leaf() -> Node {
+        let mut n = Node::new(0);
+        n.entries
+            .push(Entry::data(Rect::new(0.1, 0.2, 0.3, 0.4), 42));
+        n.entries
+            .push(Entry::data(Rect::new(0.5, 0.5, 0.9, 0.9), 7));
+        n
+    }
+
+    fn sample_internal() -> Node {
+        let mut n = Node::new(2);
+        n.entries
+            .push(Entry::node(Rect::new(0.0, 0.0, 0.5, 0.5), NodeId(3)));
+        n.entries
+            .push(Entry::node(Rect::new(0.5, 0.5, 1.0, 1.0), NodeId(9)));
+        n
+    }
+
+    #[test]
+    fn layout_dimensions() {
+        let l = ChunkLayout::for_max_entries(16);
+        // 16 + 40*16 = 656 logical bytes -> ceil(656/56) = 12 lines -> 768B.
+        assert_eq!(l.lines(), 12);
+        assert_eq!(l.chunk_bytes(), 768);
+        assert_eq!(l.node_offset(NodeId(2)), 1536);
+    }
+
+    #[test]
+    fn node_round_trip_leaf() {
+        let l = ChunkLayout::for_max_entries(16);
+        let n = sample_leaf();
+        let chunk = l.encode_node(&n, 5);
+        let (back, v) = l.decode_node(&chunk).unwrap();
+        assert_eq!(back, n);
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn node_round_trip_internal() {
+        let l = ChunkLayout::for_max_entries(16);
+        let n = sample_internal();
+        let chunk = l.encode_node(&n, 99);
+        let (back, v) = l.decode_node(&chunk).unwrap();
+        assert_eq!(back, n);
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn empty_node_round_trips() {
+        let l = ChunkLayout::for_max_entries(8);
+        let n = Node::new(0);
+        let (back, _) = l.decode_node(&l.encode_node(&n, 1)).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn full_node_round_trips() {
+        let l = ChunkLayout::for_max_entries(8);
+        let mut n = Node::new(0);
+        for i in 0..8 {
+            let x = i as f64;
+            n.entries
+                .push(Entry::data(Rect::new(x, x, x + 1.0, x + 1.0), i));
+        }
+        let (back, _) = l.decode_node(&l.encode_node(&n, 1)).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn torn_read_detected() {
+        let l = ChunkLayout::for_max_entries(16);
+        let mut chunk = l.encode_node(&sample_leaf(), 5);
+        // Corrupt the version stamp of the last line.
+        let last = (l.lines() - 1) * LINE_BYTES;
+        chunk[last..last + 8].copy_from_slice(&4u64.to_le_bytes());
+        assert_eq!(
+            l.decode_node(&chunk),
+            Err(CodecError::TornRead {
+                first: 5,
+                conflicting: 4
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let l = ChunkLayout::for_max_entries(16);
+        assert_eq!(
+            l.decode_node(&[0u8; 64]),
+            Err(CodecError::Malformed("chunk length mismatch"))
+        );
+    }
+
+    #[test]
+    fn garbage_magic_rejected() {
+        let l = ChunkLayout::for_max_entries(16);
+        let chunk = l.pack_lines(&vec![0xAB; l.lines() * LINE_PAYLOAD_BYTES], 1);
+        assert!(matches!(
+            l.decode_node(&chunk),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let l = ChunkLayout::for_max_entries(16);
+        let meta = TreeMeta {
+            root: Some(NodeId(12)),
+            height: 3,
+            len: 2_000_000,
+        };
+        let chunk = l.encode_meta(&meta, 77);
+        assert_eq!(l.decode_meta(&chunk).unwrap(), (meta, 77));
+    }
+
+    #[test]
+    fn empty_meta_round_trip() {
+        let l = ChunkLayout::for_max_entries(16);
+        let meta = TreeMeta::default();
+        assert_eq!(l.decode_meta(&l.encode_meta(&meta, 0)).unwrap(), (meta, 0));
+    }
+
+    #[test]
+    fn meta_root_zero_is_distinct_from_none() {
+        let l = ChunkLayout::for_max_entries(16);
+        let meta = TreeMeta {
+            root: Some(NodeId(0)),
+            height: 1,
+            len: 1,
+        };
+        let (back, _) = l.decode_meta(&l.encode_meta(&meta, 1)).unwrap();
+        assert_eq!(back.root, Some(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "entries")]
+    fn oversized_node_rejected_on_encode() {
+        let l = ChunkLayout::for_max_entries(2);
+        let mut n = Node::new(0);
+        for i in 0..3 {
+            n.entries
+                .push(Entry::data(Rect::new(0.0, 0.0, 1.0, 1.0), i));
+        }
+        let _ = l.encode_node(&n, 1);
+    }
+
+    #[test]
+    fn level_mismatch_tags_rejected() {
+        let l = ChunkLayout::for_max_entries(4);
+        // Encode an internal node, then flip its level to 0: the node-ref
+        // entries lack the data tag and must be rejected.
+        let chunk = l.encode_node(&sample_internal(), 3);
+        let (mut logical, v) = l.unpack_lines(&chunk).unwrap();
+        logical[4..8].copy_from_slice(&0u32.to_le_bytes());
+        let retagged = l.pack_lines(&logical, v);
+        assert_eq!(
+            l.decode_node(&retagged),
+            Err(CodecError::Malformed("leaf entry without data tag"))
+        );
+    }
+}

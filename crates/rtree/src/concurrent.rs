@@ -1,0 +1,205 @@
+//! A thread-safe R-tree wrapper for real (OS-thread) concurrency.
+//!
+//! The paper's server protects its tree with lock-based concurrency control
+//! (Kornacker & Banks-style latching); inside the discrete-event simulation
+//! the executor is single-threaded so no locks are needed there. This
+//! wrapper provides the equivalent guarantee for library users running the
+//! tree from multiple OS threads: a readers-writer lock around the whole
+//! tree, which matches the paper's semantics (readers share, writers
+//! exclude) at coarser granularity.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::geom::Rect;
+use crate::node::RTreeConfig;
+use crate::store::MemStore;
+use crate::tree::{RTree, SearchStats};
+
+/// A cloneable, thread-safe handle to an in-memory R\*-tree.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_rtree::{Rect, SharedRTree};
+///
+/// let tree = SharedRTree::new(Default::default());
+/// let writer = tree.clone();
+/// std::thread::spawn(move || {
+///     writer.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 1);
+/// })
+/// .join()
+/// .unwrap();
+/// assert_eq!(tree.search(&Rect::new(0.0, 0.0, 2.0, 2.0)), vec![1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SharedRTree {
+    inner: Arc<RwLock<RTree<MemStore>>>,
+}
+
+impl SharedRTree {
+    /// Creates an empty shared tree.
+    pub fn new(config: RTreeConfig) -> Self {
+        SharedRTree {
+            inner: Arc::new(RwLock::new(RTree::new(MemStore::new(), config))),
+        }
+    }
+
+    /// Wraps an existing tree.
+    pub fn from_tree(tree: RTree<MemStore>) -> Self {
+        SharedRTree {
+            inner: Arc::new(RwLock::new(tree)),
+        }
+    }
+
+    /// Searches under a shared (read) lock.
+    pub fn search(&self, query: &Rect) -> Vec<u64> {
+        self.inner.read().search(query)
+    }
+
+    /// Searches into a caller buffer under a shared lock.
+    pub fn search_into(&self, query: &Rect, out: &mut Vec<u64>) -> SearchStats {
+        self.inner.read().search_into(query, out)
+    }
+
+    /// Inserts under an exclusive (write) lock.
+    pub fn insert(&self, rect: Rect, data: u64) {
+        self.inner.write().insert(rect, data);
+    }
+
+    /// Deletes under an exclusive lock; see [`RTree::delete`].
+    pub fn delete(&self, rect: &Rect, data: u64) -> bool {
+        self.inner.write().delete(rect, data)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> u64 {
+        self.inner.read().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> u32 {
+        self.inner.read().height()
+    }
+
+    /// Runs `f` with shared access to the underlying tree.
+    pub fn with_read<R>(&self, f: impl FnOnce(&RTree<MemStore>) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive access to the underlying tree.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut RTree<MemStore>) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedRTree>();
+    }
+
+    #[test]
+    fn concurrent_inserts_all_land() {
+        let tree = SharedRTree::new(RTreeConfig::default());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let tree = tree.clone();
+                thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let id = t * 1000 + i;
+                        let x = (id as f64 * 0.61803) % 50.0;
+                        let y = (id as f64 * 0.41421) % 50.0;
+                        tree.insert(Rect::new(x, y, x + 0.1, y + 0.1), id);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(tree.len(), 1600);
+        tree.with_read(|t| t.check_invariants()).unwrap();
+    }
+
+    #[test]
+    fn readers_run_alongside_writers() {
+        let tree = SharedRTree::new(RTreeConfig::default());
+        for i in 0..500u64 {
+            let x = (i as f64 * 0.7) % 20.0;
+            tree.insert(Rect::new(x, x, x + 0.2, x + 0.2), i);
+        }
+        let writer = {
+            let tree = tree.clone();
+            thread::spawn(move || {
+                for i in 500..1000u64 {
+                    let x = (i as f64 * 0.7) % 20.0;
+                    tree.insert(Rect::new(x, x, x + 0.2, x + 0.2), i);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let tree = tree.clone();
+                thread::spawn(move || {
+                    let mut total = 0usize;
+                    for _ in 0..100 {
+                        total += tree.search(&Rect::new(0.0, 0.0, 20.0, 20.0)).len();
+                    }
+                    total
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            assert!(r.join().unwrap() >= 100 * 500);
+        }
+        assert_eq!(tree.len(), 1000);
+        tree.with_read(|t| t.check_invariants()).unwrap();
+    }
+
+    #[test]
+    fn concurrent_deletes_and_searches() {
+        let tree = SharedRTree::new(RTreeConfig::default());
+        let mut items = Vec::new();
+        for i in 0..800u64 {
+            let x = (i as f64 * 0.33) % 30.0;
+            let r = Rect::new(x, x, x + 0.5, x + 0.5);
+            tree.insert(r, i);
+            items.push((r, i));
+        }
+        let (del_half, _keep_half) = items.split_at(400);
+        let deleter = {
+            let tree = tree.clone();
+            let del: Vec<_> = del_half.to_vec();
+            thread::spawn(move || {
+                for (r, id) in del {
+                    assert!(tree.delete(&r, id));
+                }
+            })
+        };
+        let searcher = {
+            let tree = tree.clone();
+            thread::spawn(move || {
+                for _ in 0..50 {
+                    let _ = tree.search(&Rect::new(0.0, 0.0, 30.0, 30.0));
+                }
+            })
+        };
+        deleter.join().unwrap();
+        searcher.join().unwrap();
+        assert_eq!(tree.len(), 400);
+        tree.with_read(|t| t.check_invariants()).unwrap();
+    }
+}

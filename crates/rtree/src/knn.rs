@@ -1,0 +1,248 @@
+//! k-nearest-neighbor search (best-first branch-and-bound, Hjaltason &
+//! Samet). Not evaluated in the paper, but a standard R-tree operation
+//! any spatial service exposes ("find restaurants near me" is literally
+//! the paper's motivating query).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::geom::Rect;
+use crate::node::EntryRef;
+use crate::store::NodeStore;
+use crate::tree::RTree;
+
+/// A kNN result: payload plus squared distance from the query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The item's payload.
+    pub data: u64,
+    /// The item's rectangle.
+    pub rect: Rect,
+    /// Squared minimum distance from the query point to the rectangle.
+    pub dist_sq: f64,
+}
+
+/// Min-heap entry over candidate distance.
+struct Candidate {
+    dist_sq: f64,
+    entry: CandidateKind,
+}
+
+enum CandidateKind {
+    Node(crate::node::NodeId),
+    Item(Rect, u64),
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the nearest first.
+        other
+            .dist_sq
+            .partial_cmp(&self.dist_sq)
+            .expect("distances are finite")
+    }
+}
+
+/// Squared distance from point `(x, y)` to the nearest point of `r`.
+pub fn min_dist_sq(r: &Rect, x: f64, y: f64) -> f64 {
+    let dx = if x < r.min_x() {
+        r.min_x() - x
+    } else if x > r.max_x() {
+        x - r.max_x()
+    } else {
+        0.0
+    };
+    let dy = if y < r.min_y() {
+        r.min_y() - y
+    } else if y > r.max_y() {
+        y - r.max_y()
+    } else {
+        0.0
+    };
+    dx * dx + dy * dy
+}
+
+impl<S: NodeStore> RTree<S> {
+    /// The `k` items nearest to `(x, y)`, in increasing distance order
+    /// (fewer if the tree holds fewer than `k` items). Distance is from
+    /// the query point to the nearest point of each rectangle; ties are
+    /// broken arbitrarily but deterministically.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use catfish_rtree::{MemStore, RTree, Rect};
+    ///
+    /// let mut tree: RTree<MemStore> = RTree::new(MemStore::new(), Default::default());
+    /// for i in 0..10u64 {
+    ///     let x = i as f64;
+    ///     tree.insert(Rect::new(x, 0.0, x + 0.5, 0.5), i);
+    /// }
+    /// let near = tree.nearest(3.6, 0.2, 2);
+    /// assert_eq!(near[0].data, 3); // contains the point: distance 0
+    /// assert_eq!(near[1].data, 4);
+    /// ```
+    pub fn nearest(&self, x: f64, y: f64, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.store().meta().root else {
+            return out;
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(Candidate {
+            dist_sq: 0.0,
+            entry: CandidateKind::Node(root),
+        });
+        while let Some(cand) = heap.pop() {
+            match cand.entry {
+                CandidateKind::Item(rect, data) => {
+                    out.push(Neighbor {
+                        data,
+                        rect,
+                        dist_sq: cand.dist_sq,
+                    });
+                    if out.len() == k {
+                        return out;
+                    }
+                }
+                CandidateKind::Node(id) => {
+                    let node = self.store().read(id);
+                    for e in &node.entries {
+                        let d = min_dist_sq(&e.mbr, x, y);
+                        let entry = match e.child {
+                            EntryRef::Data(data) => CandidateKind::Item(e.mbr, data),
+                            EntryRef::Node(child) => CandidateKind::Node(child),
+                        };
+                        heap.push(Candidate { dist_sq: d, entry });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::RTreeConfig;
+    use crate::store::MemStore;
+
+    fn grid_tree(n: u64) -> RTree<MemStore> {
+        let mut tree = RTree::new(
+            MemStore::new(),
+            RTreeConfig {
+                max_entries: 5,
+                min_entries: 2,
+                reinsert_count: 1,
+            },
+        );
+        let side = (n as f64).sqrt().ceil() as u64;
+        for i in 0..n {
+            let x = (i % side) as f64;
+            let y = (i / side) as f64;
+            tree.insert(Rect::new(x, y, x + 0.2, y + 0.2), i);
+        }
+        tree
+    }
+
+    /// Brute-force oracle.
+    fn oracle(tree: &RTree<MemStore>, x: f64, y: f64, k: usize) -> Vec<(f64, u64)> {
+        let mut all: Vec<(f64, u64)> = tree
+            .items()
+            .into_iter()
+            .map(|(r, d)| (min_dist_sq(&r, x, y), d))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn min_dist_regions() {
+        let r = Rect::new(1.0, 1.0, 3.0, 2.0);
+        assert_eq!(min_dist_sq(&r, 2.0, 1.5), 0.0); // inside
+        assert_eq!(min_dist_sq(&r, 0.0, 1.5), 1.0); // left
+        assert_eq!(min_dist_sq(&r, 4.0, 3.0), 2.0); // corner
+        assert_eq!(min_dist_sq(&r, 2.0, 0.0), 1.0); // below
+    }
+
+    #[test]
+    fn nearest_matches_oracle_distances() {
+        let tree = grid_tree(200);
+        for (x, y) in [(0.0, 0.0), (7.3, 7.9), (14.9, 0.1), (5.5, 5.5)] {
+            let got = tree.nearest(x, y, 10);
+            let expect = oracle(&tree, x, y, 10);
+            assert_eq!(got.len(), 10);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(
+                    (g.dist_sq - e.0).abs() < 1e-12,
+                    "at ({x},{y}): got {} expected {}",
+                    g.dist_sq,
+                    e.0
+                );
+            }
+            // Results are sorted by distance.
+            assert!(got.windows(2).all(|w| w[0].dist_sq <= w[1].dist_sq));
+        }
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let tree = grid_tree(10);
+        assert!(tree.nearest(0.0, 0.0, 0).is_empty());
+        assert_eq!(tree.nearest(0.0, 0.0, 100).len(), 10);
+    }
+
+    #[test]
+    fn empty_tree_has_no_neighbors() {
+        let tree: RTree<MemStore> = RTree::new(MemStore::new(), RTreeConfig::default());
+        assert!(tree.nearest(1.0, 1.0, 5).is_empty());
+    }
+
+    #[test]
+    fn knn_works_over_chunk_store() {
+        use crate::chunk::ChunkStore;
+        use crate::codec::ChunkLayout;
+        let config = RTreeConfig::default();
+        let layout = ChunkLayout::for_max_entries(config.max_entries);
+        let mut tree = RTree::new(
+            ChunkStore::new(vec![0u8; layout.arena_bytes(1024)], layout),
+            config,
+        );
+        for i in 0..500u64 {
+            let x = (i % 25) as f64;
+            let y = (i / 25) as f64;
+            tree.insert(Rect::new(x, y, x + 0.3, y + 0.3), i);
+        }
+        let near = tree.nearest(12.1, 10.2, 5);
+        assert_eq!(near.len(), 5);
+        assert!(near.windows(2).all(|w| w[0].dist_sq <= w[1].dist_sq));
+        assert_eq!(near[0].dist_sq, 0.0); // query point inside a rect
+    }
+
+    #[test]
+    fn containing_rect_is_distance_zero() {
+        let mut tree = RTree::new(MemStore::new(), RTreeConfig::default());
+        tree.insert(Rect::new(0.0, 0.0, 10.0, 10.0), 1);
+        tree.insert(Rect::new(20.0, 20.0, 21.0, 21.0), 2);
+        let near = tree.nearest(5.0, 5.0, 2);
+        assert_eq!(near[0].data, 1);
+        assert_eq!(near[0].dist_sq, 0.0);
+        assert_eq!(near[1].data, 2);
+        assert!(near[1].dist_sq > 0.0);
+    }
+}

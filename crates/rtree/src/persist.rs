@@ -1,0 +1,228 @@
+//! Snapshot persistence for chunk-backed trees.
+//!
+//! A [`ChunkStore`] over a plain byte arena is already a self-contained
+//! serialized representation of the tree; this module adds a small framed
+//! container (magic, format version, layout, allocator state, arena bytes)
+//! so an index can be written to any `Write` sink and reopened later —
+//! e.g. to snapshot a server's tree across restarts without replaying the
+//! build.
+
+use std::io::{self, Read, Write};
+
+use crate::chunk::ChunkStore;
+use crate::codec::ChunkLayout;
+use crate::node::RTreeConfig;
+use crate::tree::RTree;
+
+const SNAPSHOT_MAGIC: [u8; 8] = *b"CATFSNP1";
+
+/// Errors from snapshot I/O.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a Catfish snapshot or uses an unknown format
+    /// version.
+    BadFormat(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadFormat(what) => write!(f, "bad snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::BadFormat(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Writes a snapshot of a chunk-backed tree to `w`.
+///
+/// Pass `&mut w` for writers you need back (see C-RW-VALUE).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn save_snapshot<W: Write>(
+    tree: &RTree<ChunkStore<Vec<u8>>>,
+    mut w: W,
+) -> Result<(), SnapshotError> {
+    let store = tree.store();
+    let layout = store.layout();
+    let config = tree.config();
+    w.write_all(&SNAPSHOT_MAGIC)?;
+    w.write_all(&(layout.max_entries() as u32).to_le_bytes())?;
+    w.write_all(&(config.max_entries as u32).to_le_bytes())?;
+    w.write_all(&(config.min_entries as u32).to_le_bytes())?;
+    w.write_all(&(config.reinsert_count as u32).to_le_bytes())?;
+    let (next, free) = store.allocator_state();
+    w.write_all(&next.to_le_bytes())?;
+    w.write_all(&(free.len() as u32).to_le_bytes())?;
+    for id in &free {
+        w.write_all(&id.to_le_bytes())?;
+    }
+    let arena = store.mem();
+    w.write_all(&(arena.len() as u64).to_le_bytes())?;
+    w.write_all(arena)?;
+    Ok(())
+}
+
+/// Reads a snapshot produced by [`save_snapshot`], reconstructing the tree.
+///
+/// # Errors
+///
+/// [`SnapshotError::BadFormat`] on a foreign or corrupt header;
+/// [`SnapshotError::Io`] on read failures.
+pub fn load_snapshot<R: Read>(mut r: R) -> Result<RTree<ChunkStore<Vec<u8>>>, SnapshotError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadFormat("wrong magic"));
+    }
+    let mut u32b = [0u8; 4];
+    let mut read_u32 = |r: &mut R| -> Result<u32, SnapshotError> {
+        r.read_exact(&mut u32b)?;
+        Ok(u32::from_le_bytes(u32b))
+    };
+    let layout_max = read_u32(&mut r)? as usize;
+    let max_entries = read_u32(&mut r)? as usize;
+    let min_entries = read_u32(&mut r)? as usize;
+    let reinsert_count = read_u32(&mut r)? as usize;
+    let next = read_u32(&mut r)?;
+    let free_len = read_u32(&mut r)? as usize;
+    if layout_max == 0 || max_entries == 0 || max_entries > layout_max {
+        return Err(SnapshotError::BadFormat("implausible fanout header"));
+    }
+    let mut free = Vec::with_capacity(free_len.min(1 << 20));
+    for _ in 0..free_len {
+        free.push(read_u32(&mut r)?);
+    }
+    let mut u64b = [0u8; 8];
+    r.read_exact(&mut u64b)?;
+    let arena_len = u64::from_le_bytes(u64b) as usize;
+    let layout = ChunkLayout::for_max_entries(layout_max);
+    if !arena_len.is_multiple_of(layout.chunk_bytes()) || arena_len < 2 * layout.chunk_bytes() {
+        return Err(SnapshotError::BadFormat("arena size mismatch"));
+    }
+    let mut arena = vec![0u8; arena_len];
+    r.read_exact(&mut arena)?;
+    let config = RTreeConfig {
+        max_entries,
+        min_entries,
+        reinsert_count,
+    };
+    config.validate();
+    let store =
+        ChunkStore::from_parts(arena, layout, next, free).map_err(SnapshotError::BadFormat)?;
+    Ok(RTree::open(store, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::bulk_load;
+    use crate::geom::Rect;
+
+    fn sample_tree(n: u64) -> RTree<ChunkStore<Vec<u8>>> {
+        let config = RTreeConfig::default();
+        let layout = ChunkLayout::for_max_entries(config.max_entries);
+        let items: Vec<(Rect, u64)> = (0..n)
+            .map(|i| {
+                let x = (i as f64 * 0.7548) % 10.0;
+                let y = (i as f64 * 0.5698) % 10.0;
+                (Rect::new(x, y, x + 0.1, y + 0.1), i)
+            })
+            .collect();
+        bulk_load(
+            ChunkStore::new(vec![0u8; layout.arena_bytes(2048)], layout),
+            config,
+            items,
+        )
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let tree = sample_tree(2_000);
+        let mut buf = Vec::new();
+        save_snapshot(&tree, &mut buf).unwrap();
+        let restored = load_snapshot(buf.as_slice()).unwrap();
+        restored.check_invariants().unwrap();
+        assert_eq!(restored.len(), 2_000);
+        let q = Rect::new(1.0, 1.0, 4.0, 4.0);
+        let mut a = tree.search(&q);
+        let mut b = restored.search(&q);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restored_tree_accepts_writes() {
+        let mut tree = sample_tree(500);
+        // Free some chunks so the allocator state is non-trivial.
+        let victims: Vec<(Rect, u64)> = tree.items().into_iter().take(200).collect();
+        for (r, d) in &victims {
+            assert!(tree.delete(r, *d));
+        }
+        let mut buf = Vec::new();
+        save_snapshot(&tree, &mut buf).unwrap();
+        let mut restored = load_snapshot(buf.as_slice()).unwrap();
+        for i in 10_000..10_300u64 {
+            let x = (i as f64 * 0.01) % 9.0;
+            restored.insert(Rect::new(x, x, x + 0.05, x + 0.05), i);
+        }
+        restored.check_invariants().unwrap();
+        assert_eq!(restored.len(), 300 + 300);
+    }
+
+    #[test]
+    fn foreign_bytes_rejected() {
+        assert!(matches!(
+            load_snapshot(&b"not a snapshot at all"[..]),
+            Err(SnapshotError::BadFormat(_) | SnapshotError::Io(_))
+        ));
+        let mut buf = Vec::new();
+        save_snapshot(&sample_tree(10), &mut buf).unwrap();
+        buf[3] ^= 0xFF; // corrupt the magic
+        assert!(matches!(
+            load_snapshot(buf.as_slice()),
+            Err(SnapshotError::BadFormat("wrong magic"))
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let mut buf = Vec::new();
+        save_snapshot(&sample_tree(100), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            load_snapshot(buf.as_slice()),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let tree = sample_tree(300);
+        let path = std::env::temp_dir().join("catfish_snapshot_test.bin");
+        save_snapshot(&tree, std::fs::File::create(&path).unwrap()).unwrap();
+        let restored = load_snapshot(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(restored.len(), 300);
+        restored.check_invariants().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

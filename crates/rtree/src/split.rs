@@ -1,0 +1,242 @@
+//! The R\*-tree node split (Beckmann et al., SIGMOD '90, §4.2).
+//!
+//! Axis selection minimizes the summed margins of all candidate
+//! distributions; index selection then minimizes overlap between the two
+//! groups, breaking ties by combined area.
+
+use crate::geom::Rect;
+use crate::node::{Entry, RTreeConfig};
+
+/// Splits an overflowing entry set (`M + 1` entries) into two groups, each
+/// with at least `config.min_entries` entries.
+///
+/// # Panics
+///
+/// Panics if `entries.len() < 2 * config.min_entries`.
+pub(crate) fn rstar_split(config: &RTreeConfig, entries: Vec<Entry>) -> (Vec<Entry>, Vec<Entry>) {
+    let m = config.min_entries;
+    let total = entries.len();
+    assert!(
+        total >= 2 * m,
+        "cannot split {total} entries with min group size {m}"
+    );
+
+    let axis = choose_split_axis(&entries, m);
+    let mut best: Option<(f64, f64, bool, usize)> = None; // (overlap, area, by_upper, split_at)
+    for by_upper in [false, true] {
+        let sorted = sorted_indices(&entries, axis, by_upper);
+        let (prefix, suffix) = group_bounds(&entries, &sorted);
+        for split_at in m..=total - m {
+            let bb1 = prefix[split_at - 1];
+            let bb2 = suffix[split_at];
+            let overlap = bb1.intersection_area(&bb2);
+            let area = bb1.area() + bb2.area();
+            let better = match best {
+                None => true,
+                Some((bo, ba, _, _)) => overlap < bo || (overlap == bo && area < ba),
+            };
+            if better {
+                best = Some((overlap, area, by_upper, split_at));
+            }
+        }
+    }
+    let (_, _, by_upper, split_at) = best.expect("at least one distribution exists");
+    let order = sorted_indices(&entries, axis, by_upper);
+    let mut group1 = Vec::with_capacity(split_at);
+    let mut group2 = Vec::with_capacity(total - split_at);
+    let mut slots: Vec<Option<Entry>> = entries.into_iter().map(Some).collect();
+    for (rank, &i) in order.iter().enumerate() {
+        let e = slots[i].take().expect("each index appears once");
+        if rank < split_at {
+            group1.push(e);
+        } else {
+            group2.push(e);
+        }
+    }
+    (group1, group2)
+}
+
+/// R\* ChooseSplitAxis: the axis whose candidate distributions have the
+/// smallest total margin. Returns 0 for x, 1 for y.
+fn choose_split_axis(entries: &[Entry], m: usize) -> usize {
+    let total = entries.len();
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..2 {
+        let mut margin_sum = 0.0;
+        for by_upper in [false, true] {
+            let sorted = sorted_indices(entries, axis, by_upper);
+            let (prefix, suffix) = group_bounds(entries, &sorted);
+            for split_at in m..=total - m {
+                margin_sum += prefix[split_at - 1].margin() + suffix[split_at].margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+    best_axis
+}
+
+/// Indices of `entries` sorted along `axis` by lower bound (`by_upper =
+/// false`) or upper bound (`by_upper = true`), with the other bound as
+/// tiebreak for determinism.
+fn sorted_indices(entries: &[Entry], axis: usize, by_upper: bool) -> Vec<usize> {
+    let key = |e: &Entry| -> (f64, f64) {
+        let (lo, hi) = match axis {
+            0 => (e.mbr.min_x(), e.mbr.max_x()),
+            _ => (e.mbr.min_y(), e.mbr.max_y()),
+        };
+        if by_upper {
+            (hi, lo)
+        } else {
+            (lo, hi)
+        }
+    };
+    let mut idx: Vec<usize> = (0..entries.len()).collect();
+    idx.sort_by(|&a, &b| {
+        key(&entries[a])
+            .partial_cmp(&key(&entries[b]))
+            .expect("rect coordinates are finite")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Prefix and suffix bounding boxes over a sorted order: `prefix[i]` bounds
+/// `order[..=i]`, `suffix[i]` bounds `order[i..]`.
+fn group_bounds(entries: &[Entry], order: &[usize]) -> (Vec<Rect>, Vec<Rect>) {
+    let n = order.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = entries[order[0]].mbr;
+    for &i in order {
+        acc = acc.union(&entries[i].mbr);
+        prefix.push(acc);
+    }
+    let mut suffix = vec![entries[order[n - 1]].mbr; n];
+    for k in (0..n - 1).rev() {
+        suffix[k] = suffix[k + 1].union(&entries[order[k]].mbr);
+    }
+    (prefix, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::EntryRef;
+
+    fn data_entry(min_x: f64, min_y: f64, max_x: f64, max_y: f64, id: u64) -> Entry {
+        Entry {
+            mbr: Rect::new(min_x, min_y, max_x, max_y),
+            child: EntryRef::Data(id),
+        }
+    }
+
+    fn config() -> RTreeConfig {
+        RTreeConfig {
+            max_entries: 4,
+            min_entries: 2,
+            reinsert_count: 1,
+        }
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two tight clusters far apart along x: the split must cut between
+        // them, never mixing clusters.
+        let entries = vec![
+            data_entry(0.0, 0.0, 0.1, 0.1, 1),
+            data_entry(0.1, 0.1, 0.2, 0.2, 2),
+            data_entry(9.0, 9.0, 9.1, 9.1, 3),
+            data_entry(9.1, 9.1, 9.2, 9.2, 4),
+            data_entry(0.05, 0.0, 0.15, 0.1, 5),
+        ];
+        let (g1, g2) = rstar_split(&config(), entries);
+        let ids = |g: &[Entry]| {
+            let mut v: Vec<u64> = g.iter().filter_map(|e| e.child.data()).collect();
+            v.sort_unstable();
+            v
+        };
+        let (small, big) = if g1.len() < g2.len() {
+            (g1, g2)
+        } else {
+            (g2, g1)
+        };
+        assert_eq!(ids(&small), vec![3, 4]);
+        assert_eq!(ids(&big), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn split_respects_minimum_group_size() {
+        let entries: Vec<Entry> = (0..5)
+            .map(|i| {
+                let x = i as f64;
+                data_entry(x, 0.0, x + 0.5, 0.5, i as u64)
+            })
+            .collect();
+        let (g1, g2) = rstar_split(&config(), entries);
+        assert!(g1.len() >= 2 && g2.len() >= 2);
+        assert_eq!(g1.len() + g2.len(), 5);
+    }
+
+    #[test]
+    fn split_preserves_every_entry() {
+        let entries: Vec<Entry> = (0..9)
+            .map(|i| {
+                let x = (i % 3) as f64;
+                let y = (i / 3) as f64;
+                data_entry(x, y, x + 0.9, y + 0.9, i as u64)
+            })
+            .collect();
+        let cfg = RTreeConfig {
+            max_entries: 8,
+            min_entries: 3,
+            reinsert_count: 2,
+        };
+        let (g1, g2) = rstar_split(&cfg, entries);
+        let mut all: Vec<u64> = g1
+            .iter()
+            .chain(g2.iter())
+            .filter_map(|e| e.child.data())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn vertical_clusters_split_on_y() {
+        let entries = vec![
+            data_entry(0.0, 0.0, 1.0, 0.1, 1),
+            data_entry(0.0, 0.05, 1.0, 0.15, 2),
+            data_entry(0.0, 9.0, 1.0, 9.1, 3),
+            data_entry(0.0, 9.05, 1.0, 9.15, 4),
+            data_entry(0.0, 0.02, 1.0, 0.12, 5),
+        ];
+        let (g1, g2) = rstar_split(&config(), entries);
+        let bb1 = Rect::union_all(g1.iter().map(|e| &e.mbr)).unwrap();
+        let bb2 = Rect::union_all(g2.iter().map(|e| &e.mbr)).unwrap();
+        assert_eq!(bb1.intersection_area(&bb2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn undersized_split_panics() {
+        let entries = vec![
+            data_entry(0.0, 0.0, 1.0, 1.0, 1),
+            data_entry(1.0, 1.0, 2.0, 2.0, 2),
+            data_entry(2.0, 2.0, 3.0, 3.0, 3),
+        ];
+        let _ = rstar_split(&config(), entries);
+    }
+
+    #[test]
+    fn identical_rects_split_without_panic() {
+        let entries: Vec<Entry> = (0..5)
+            .map(|i| data_entry(1.0, 1.0, 2.0, 2.0, i as u64))
+            .collect();
+        let (g1, g2) = rstar_split(&config(), entries);
+        assert_eq!(g1.len() + g2.len(), 5);
+        assert!(g1.len() >= 2 && g2.len() >= 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Node storage abstraction.
+//!
+//! The tree algorithms in [`crate::tree`] are written against the
+//! [`NodeStore`] trait so the same code can run on a plain in-memory arena
+//! ([`MemStore`]) or on the RDMA-registered chunk layout
+//! ([`ChunkStore`](crate::chunk::ChunkStore)), where every node write
+//! becomes a versioned chunk update that remote clients may read with
+//! one-sided RDMA.
+
+use crate::node::{Node, NodeId};
+
+/// Tree-level metadata, persisted alongside the nodes so that offloading
+/// clients can bootstrap a traversal (it lives in chunk 0 of the chunk
+/// layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeMeta {
+    /// The root node, or `None` for an empty tree.
+    pub root: Option<NodeId>,
+    /// Number of levels (`0` for an empty tree; a lone leaf root is `1`).
+    pub height: u32,
+    /// Number of data items in the tree.
+    pub len: u64,
+}
+
+/// Storage backend for R-tree nodes.
+///
+/// Reads return owned copies: the tree algorithms mutate a copy and write it
+/// back, which keeps the trait implementable over serialized storage (the
+/// chunk layout re-encodes on every write, bumping version stamps).
+pub trait NodeStore {
+    /// Reads the node stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated or has been freed.
+    fn read(&self, id: NodeId) -> Node;
+
+    /// Writes (replaces) the node stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated or has been freed.
+    fn write(&mut self, id: NodeId, node: &Node);
+
+    /// Allocates a slot for a new node.
+    fn alloc(&mut self) -> NodeId;
+
+    /// Returns `id`'s slot to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated or has already been freed.
+    fn free(&mut self, id: NodeId);
+
+    /// Reads the tree metadata.
+    fn meta(&self) -> TreeMeta;
+
+    /// Writes the tree metadata.
+    fn set_meta(&mut self, meta: TreeMeta);
+
+    /// Number of live (allocated, not freed) nodes.
+    fn node_count(&self) -> usize;
+}
+
+/// A plain in-memory node arena with a free list.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_rtree::{MemStore, Node, NodeStore};
+///
+/// let mut store = MemStore::default();
+/// let id = store.alloc();
+/// store.write(id, &Node::new(0));
+/// assert!(store.read(id).is_leaf());
+/// ```
+#[derive(Debug, Default)]
+pub struct MemStore {
+    slots: Vec<Option<Node>>,
+    free: Vec<u32>,
+    meta: TreeMeta,
+    live: usize,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl NodeStore for MemStore {
+    fn read(&self, id: NodeId) -> Node {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(|s| s.clone())
+            .unwrap_or_else(|| panic!("read of unallocated node {id}"))
+    }
+
+    fn write(&mut self, id: NodeId, node: &Node) {
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("write to unallocated node {id}"));
+        assert!(slot.is_some(), "write to freed node {id}");
+        *slot = Some(node.clone());
+    }
+
+    fn alloc(&mut self) -> NodeId {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(Node::new(0));
+            NodeId(i)
+        } else {
+            self.slots.push(Some(Node::new(0)));
+            NodeId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    fn free(&mut self, id: NodeId) {
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .unwrap_or_else(|| panic!("free of unallocated node {id}"));
+        assert!(slot.is_some(), "double free of node {id}");
+        *slot = None;
+        self.free.push(id.0);
+        self.live -= 1;
+    }
+
+    fn meta(&self) -> TreeMeta {
+        self.meta
+    }
+
+    fn set_meta(&mut self, meta: TreeMeta) {
+        self.meta = meta;
+    }
+
+    fn node_count(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::node::Entry;
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut s = MemStore::new();
+        let id = s.alloc();
+        let mut n = Node::new(2);
+        n.entries
+            .push(Entry::node(Rect::new(0.0, 0.0, 1.0, 1.0), NodeId(9)));
+        s.write(id, &n);
+        assert_eq!(s.read(id), n);
+        assert_eq!(s.node_count(), 1);
+    }
+
+    #[test]
+    fn free_slots_are_reused() {
+        let mut s = MemStore::new();
+        let a = s.alloc();
+        let _b = s.alloc();
+        s.free(a);
+        let c = s.alloc();
+        assert_eq!(a, c);
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut s = MemStore::new();
+        let a = s.alloc();
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn read_unallocated_panics() {
+        let s = MemStore::new();
+        let _ = s.read(NodeId(3));
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let mut s = MemStore::new();
+        let m = TreeMeta {
+            root: Some(NodeId(4)),
+            height: 2,
+            len: 17,
+        };
+        s.set_meta(m);
+        assert_eq!(s.meta(), m);
+    }
+}

@@ -1,0 +1,688 @@
+//! The deterministic single-threaded executor and virtual clock.
+//!
+//! A [`Sim`] owns a set of tasks (plain `Future`s), a ready queue, and a
+//! timer wheel keyed on [`SimTime`]. Execution alternates between two steps:
+//!
+//! 1. poll every ready task to quiescence (FIFO order), then
+//! 2. advance the virtual clock to the earliest pending timer and fire it.
+//!
+//! Nothing ever blocks on the host OS and no host time is read, so a given
+//! program produces the identical event interleaving on every run — which is
+//! what makes the benchmark figures reproducible.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+type TaskId = u64;
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// The shared ready queue. Wakers must be `Send + Sync`, so this lives
+/// behind an `Arc<Mutex<_>>` even though the executor itself is
+/// single-threaded.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready
+            .queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(self.id);
+    }
+}
+
+#[derive(Debug, Default)]
+struct TimerState {
+    waker: Option<Waker>,
+    cancelled: bool,
+}
+
+type TimerSlot = Rc<RefCell<TimerState>>;
+
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    slot: TimerSlot,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+pub(crate) struct Inner {
+    now: Cell<SimTime>,
+    next_task: Cell<TaskId>,
+    next_timer_seq: Cell<u64>,
+    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Rc<Inner>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_current<R>(f: impl FnOnce(&Rc<Inner>) -> R) -> R {
+    CURRENT.with(|c| {
+        let stack = c.borrow();
+        let inner = stack
+            .last()
+            .expect("no simulation is running on this thread; call this from inside Sim::run_until or hold a Sim handle");
+        f(inner)
+    })
+}
+
+struct EnterGuard;
+
+impl EnterGuard {
+    fn new(inner: Rc<Inner>) -> Self {
+        CURRENT.with(|c| c.borrow_mut().push(inner));
+        EnterGuard
+    }
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// A deterministic discrete-event simulation runtime.
+///
+/// `Sim` is a cheap reference-counted handle; clones refer to the same
+/// simulation. Build one, spawn root tasks, then drive it with
+/// [`Sim::run_until`] or [`Sim::run`].
+///
+/// # Examples
+///
+/// ```
+/// use catfish_simnet::{Sim, SimDuration};
+///
+/// let sim = Sim::new();
+/// let out = sim.run_until(async {
+///     catfish_simnet::sleep(SimDuration::from_micros(5)).await;
+///     catfish_simnet::now()
+/// });
+/// assert_eq!(out.as_nanos(), 5_000);
+/// ```
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.inner.now.get())
+            .field("tasks", &self.inner.tasks.borrow().len())
+            .field("timers", &self.inner.timers.borrow().len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a fresh simulation with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                next_task: Cell::new(0),
+                next_timer_seq: Cell::new(0),
+                tasks: RefCell::new(HashMap::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                timers: RefCell::new(BinaryHeap::new()),
+            }),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Spawns a task onto the simulation and returns a handle to its result.
+    ///
+    /// The task does not run until the simulation is driven.
+    pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        T: 'static,
+        F: Future<Output = T> + 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState::<T> {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped = async move {
+            let out = fut.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(out);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        };
+        let id = self.inner.next_task.get();
+        self.inner.next_task.set(id + 1);
+        self.inner.tasks.borrow_mut().insert(id, Box::pin(wrapped));
+        self.inner
+            .ready
+            .queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+        JoinHandle { state }
+    }
+
+    /// Runs the simulation until `fut` completes and returns its output.
+    ///
+    /// Other tasks keep running as long as they are ready or have timers
+    /// scheduled before the completion point; once `fut` resolves, execution
+    /// stops at the current virtual instant (remaining tasks are simply no
+    /// longer polled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks: `fut` is not complete but no task
+    /// is ready and no timer is pending.
+    pub fn run_until<T, F>(&self, fut: F) -> T
+    where
+        T: 'static,
+        F: Future<Output = T> + 'static,
+    {
+        let handle = self.spawn(fut);
+        let _guard = EnterGuard::new(Rc::clone(&self.inner));
+        loop {
+            self.drain_ready();
+            if let Some(out) = handle.state.borrow_mut().result.take() {
+                return out;
+            }
+            if !self.fire_next_timer(None) {
+                panic!(
+                    "simulation deadlock at t={}: root future pending, nothing ready, no timers",
+                    self.now()
+                );
+            }
+        }
+    }
+
+    /// Runs until no task is ready and no timer is pending (quiescence).
+    pub fn run(&self) {
+        let _guard = EnterGuard::new(Rc::clone(&self.inner));
+        loop {
+            self.drain_ready();
+            if !self.fire_next_timer(None) {
+                return;
+            }
+        }
+    }
+
+    /// Runs for at most `dur` of virtual time, then stops (leaving later
+    /// timers pending). Returns at quiescence if that happens sooner.
+    pub fn run_for(&self, dur: SimDuration) {
+        let deadline = self.now() + dur;
+        let _guard = EnterGuard::new(Rc::clone(&self.inner));
+        loop {
+            self.drain_ready();
+            if !self.fire_next_timer(Some(deadline)) {
+                // Either quiescent or the next timer is past the deadline.
+                if self.now() < deadline {
+                    self.inner.now.set(deadline);
+                }
+                return;
+            }
+        }
+    }
+
+    fn drain_ready(&self) {
+        loop {
+            let next = self
+                .inner
+                .ready
+                .queue
+                .lock()
+                .expect("ready queue poisoned")
+                .pop_front();
+            let Some(id) = next else { return };
+            // Remove the task while polling so the task body may freely
+            // spawn siblings (which mutates the task map).
+            let Some(mut task) = self.inner.tasks.borrow_mut().remove(&id) else {
+                continue; // completed task woken redundantly
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: Arc::clone(&self.inner.ready),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            match task.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {}
+                Poll::Pending => {
+                    self.inner.tasks.borrow_mut().insert(id, task);
+                }
+            }
+        }
+    }
+
+    /// Advances the clock to the next live timer (bounded by `limit`) and
+    /// wakes every timer scheduled at that instant. Cancelled timers are
+    /// purged without advancing the clock. Returns false if there was no
+    /// eligible timer.
+    fn fire_next_timer(&self, limit: Option<SimTime>) -> bool {
+        let deadline = loop {
+            let mut timers = self.inner.timers.borrow_mut();
+            match timers.peek() {
+                Some(Reverse(e)) if e.slot.borrow().cancelled => {
+                    timers.pop();
+                }
+                Some(Reverse(e)) => break e.deadline,
+                None => return false,
+            }
+        };
+        if let Some(limit) = limit {
+            if deadline > limit {
+                return false;
+            }
+        }
+        debug_assert!(deadline >= self.now(), "timer scheduled in the past");
+        self.inner.now.set(deadline);
+        loop {
+            let slot = {
+                let mut timers = self.inner.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.deadline == deadline => {
+                        timers.pop().map(|Reverse(e)| e.slot)
+                    }
+                    _ => None,
+                }
+            };
+            match slot {
+                Some(slot) => {
+                    let mut state = slot.borrow_mut();
+                    if !state.cancelled {
+                        if let Some(w) = state.waker.take() {
+                            w.wake();
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        true
+    }
+}
+
+impl Inner {
+    pub(crate) fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    fn register_timer(&self, deadline: SimTime, slot: TimerSlot) {
+        let seq = self.next_timer_seq.get();
+        self.next_timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            slot,
+        }));
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task's result. Awaiting it yields the task output.
+///
+/// Dropping the handle detaches the task (it keeps running).
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("completed", &self.state.borrow().result.is_some())
+            .finish()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        match s.result.take() {
+            Some(out) => Poll::Ready(out),
+            None => {
+                s.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns `Some` if the task has finished, consuming the result.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+/// The current virtual time of the simulation running on this thread.
+///
+/// # Panics
+///
+/// Panics when called outside a running simulation.
+pub fn now() -> SimTime {
+    with_current(|i| i.now())
+}
+
+/// Like [`now`], but returns `None` outside a running simulation (useful
+/// in `Drop` implementations that may run during teardown).
+pub fn try_now() -> Option<SimTime> {
+    CURRENT.with(|c| c.borrow().last().map(|i| i.now()))
+}
+
+/// Spawns a task onto the simulation running on this thread.
+///
+/// # Panics
+///
+/// Panics when called outside a running simulation.
+pub fn spawn<T, F>(fut: F) -> JoinHandle<T>
+where
+    T: 'static,
+    F: Future<Output = T> + 'static,
+{
+    with_current(|i| {
+        Sim {
+            inner: Rc::clone(i),
+        }
+        .spawn(fut)
+    })
+}
+
+/// Sleeps for `dur` of virtual time.
+///
+/// # Panics
+///
+/// The returned future panics if polled outside a running simulation.
+pub fn sleep(dur: SimDuration) -> Sleep {
+    Sleep {
+        dur: Some(dur),
+        slot: None,
+        deadline: SimTime::ZERO,
+        done: false,
+    }
+}
+
+/// Sleeps until the virtual instant `deadline` (no-op if already past).
+pub fn sleep_until(deadline: SimTime) -> Sleep {
+    Sleep {
+        dur: None,
+        slot: None,
+        deadline,
+        done: false,
+    }
+}
+
+/// Future returned by [`sleep`] and [`sleep_until`].
+///
+/// Dropping an unfired `Sleep` cancels its timer (it will not hold the
+/// simulation clock hostage).
+#[derive(Debug)]
+pub struct Sleep {
+    dur: Option<SimDuration>,
+    slot: Option<TimerSlot>,
+    deadline: SimTime,
+    done: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        with_current(|inner| {
+            if let Some(dur) = self.dur.take() {
+                self.deadline = inner.now() + dur;
+            }
+            if inner.now() >= self.deadline {
+                self.done = true;
+                return Poll::Ready(());
+            }
+            match &self.slot {
+                Some(slot) => {
+                    slot.borrow_mut().waker = Some(cx.waker().clone());
+                }
+                None => {
+                    let slot: TimerSlot = Rc::new(RefCell::new(TimerState {
+                        waker: Some(cx.waker().clone()),
+                        cancelled: false,
+                    }));
+                    inner.register_timer(self.deadline, Rc::clone(&slot));
+                    self.slot = Some(slot);
+                }
+            }
+            Poll::Pending
+        })
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if !self.done {
+            if let Some(slot) = &self.slot {
+                let mut s = slot.borrow_mut();
+                s.cancelled = true;
+                s.waker = None;
+            }
+        }
+    }
+}
+
+/// Yields once, letting every other ready task run before this one resumes.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let sim = Sim::new();
+        let t = sim.run_until(async {
+            sleep(SimDuration::from_secs(3600)).await;
+            now()
+        });
+        assert_eq!(t.as_nanos(), 3600 * 1_000_000_000);
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let sim = Sim::new();
+        let order = sim.run_until(async {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut handles = Vec::new();
+            for i in 0..3u32 {
+                let log = Rc::clone(&log);
+                handles.push(spawn(async move {
+                    sleep(SimDuration::from_nanos(10 * (3 - i) as u64)).await;
+                    log.borrow_mut().push(i);
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let v = sim.run_until(async {
+            let h = spawn(async {
+                sleep(SimDuration::from_nanos(1)).await;
+                42
+            });
+            h.await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let sim = Sim::new();
+        let order = sim.run_until(async {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut handles = Vec::new();
+            for i in 0..4u32 {
+                let log = Rc::clone(&log);
+                handles.push(spawn(async move {
+                    sleep(SimDuration::from_nanos(100)).await;
+                    log.borrow_mut().push(i);
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_for_stops_at_deadline() {
+        let sim = Sim::new();
+        sim.spawn(async {
+            loop {
+                sleep(SimDuration::from_millis(10)).await;
+            }
+        });
+        sim.run_for(SimDuration::from_millis(35));
+        assert_eq!(sim.now().as_nanos(), 35_000_000);
+    }
+
+    #[test]
+    fn run_reaches_quiescence() {
+        let sim = Sim::new();
+        sim.spawn(async {
+            sleep(SimDuration::from_micros(7)).await;
+        });
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 7_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let sim = Sim::new();
+        sim.run_until(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn yield_now_lets_others_run() {
+        let sim = Sim::new();
+        let log = sim.run_until(async {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l1 = Rc::clone(&log);
+            let h = spawn(async move {
+                l1.borrow_mut().push("other");
+            });
+            log.borrow_mut().push("before");
+            yield_now().await;
+            h.await;
+            log.borrow_mut().push("after");
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(log, vec!["before", "other", "after"]);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_noop() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            sleep(SimDuration::from_micros(10)).await;
+            sleep_until(SimTime::from_nanos(5)).await; // already past
+            assert_eq!(now().as_nanos(), 10_000);
+        });
+    }
+
+    #[test]
+    fn nested_sims_are_independent() {
+        let outer = Sim::new();
+        let t = outer.run_until(async {
+            sleep(SimDuration::from_micros(1)).await;
+            let inner = Sim::new();
+            let inner_t = inner.run_until(async {
+                sleep(SimDuration::from_micros(9)).await;
+                now()
+            });
+            (now(), inner_t)
+        });
+        assert_eq!(t.0.as_nanos(), 1_000);
+        assert_eq!(t.1.as_nanos(), 9_000);
+    }
+}

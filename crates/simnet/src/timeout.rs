@@ -1,0 +1,79 @@
+//! A virtual-time timeout combinator.
+
+use std::future::Future;
+
+use crate::executor::sleep;
+use crate::select::{select2, Either};
+use crate::time::SimDuration;
+
+/// Runs `fut` with a virtual-time deadline, returning `None` if the
+/// deadline fires first (the future is dropped).
+///
+/// `fut` must be `Unpin`; wrap with `Box::pin` if needed.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_simnet::{sleep, timeout, Sim, SimDuration};
+///
+/// let sim = Sim::new();
+/// let (fast, slow) = sim.run_until(async {
+///     let fast = timeout(
+///         SimDuration::from_millis(1),
+///         Box::pin(async { 42 }),
+///     )
+///     .await;
+///     let slow = timeout(
+///         SimDuration::from_micros(1),
+///         Box::pin(sleep(SimDuration::from_secs(1))),
+///     )
+///     .await;
+///     (fast, slow)
+/// });
+/// assert_eq!(fast, Some(42));
+/// assert_eq!(slow, None);
+/// ```
+pub async fn timeout<F>(dur: SimDuration, fut: F) -> Option<F::Output>
+where
+    F: Future + Unpin,
+{
+    match select2(fut, Box::pin(sleep(dur))).await {
+        Either::Left(out) => Some(out),
+        Either::Right(()) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{now, Sim};
+    use crate::sync::channel;
+
+    #[test]
+    fn completes_before_deadline() {
+        let sim = Sim::new();
+        let out = sim.run_until(async {
+            timeout(
+                SimDuration::from_millis(10),
+                Box::pin(sleep(SimDuration::from_micros(5))),
+            )
+            .await
+        });
+        assert_eq!(out, Some(()));
+        assert_eq!(sim.now().as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn expires_and_cancels() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (_tx, mut rx) = channel::<u8>();
+            let got = timeout(SimDuration::from_micros(3), Box::pin(rx.recv())).await;
+            assert_eq!(got, None);
+            assert_eq!(now().as_nanos(), 3_000);
+        });
+        // The cancelled recv leaves no timers pinning the clock.
+        sim.run();
+        assert!(sim.now().as_nanos() <= 3_000);
+    }
+}

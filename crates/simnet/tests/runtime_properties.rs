@@ -1,0 +1,164 @@
+//! Property-based tests of the simulation runtime: determinism, timer
+//! ordering, CPU-model conservation laws, and network queueing bounds.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_simnet::{now, sleep, spawn, CpuPool, LinkSpec, Network, Sim, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary sets of sleepers always wake in deadline order, and ties
+    /// wake in spawn order.
+    #[test]
+    fn timers_fire_in_deadline_order(delays in prop::collection::vec(0u64..10_000, 1..40)) {
+        let sim = Sim::new();
+        let delays2 = delays.clone();
+        let order = sim.run_until(async move {
+            let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+            let mut handles = Vec::new();
+            for (i, &d) in delays2.iter().enumerate() {
+                let log = Rc::clone(&log);
+                handles.push(spawn(async move {
+                    sleep(SimDuration::from_nanos(d)).await;
+                    log.borrow_mut().push((d, i));
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        let mut expect: Vec<(u64, usize)> = delays.iter().copied().zip(0..).collect();
+        expect.sort_by_key(|&(d, i)| (d, i));
+        prop_assert_eq!(order, expect);
+    }
+
+    /// Total CPU busy time equals total work submitted, regardless of
+    /// core count, quantum, or arrival pattern (work conservation).
+    #[test]
+    fn cpu_pool_conserves_work(
+        jobs in prop::collection::vec((0u64..5_000, 0u64..2_000), 1..30),
+        cores in 1usize..6,
+        quantum_ns in 100u64..5_000,
+    ) {
+        let sim = Sim::new();
+        let total_work: u64 = jobs.iter().map(|&(w, _)| w).sum();
+        let busy = sim.run_until(async move {
+            let cpu = CpuPool::new(cores, SimDuration::from_nanos(quantum_ns));
+            let mut handles = Vec::new();
+            for (work, delay) in jobs {
+                let cpu = cpu.clone();
+                handles.push(spawn(async move {
+                    sleep(SimDuration::from_nanos(delay)).await;
+                    cpu.run(SimDuration::from_nanos(work)).await;
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            cpu.busy_time()
+        });
+        prop_assert_eq!(busy.as_nanos(), total_work);
+    }
+
+    /// Makespan bounds: all jobs on one core finish no earlier than
+    /// total_work and no later than last_arrival + total_work.
+    #[test]
+    fn single_core_makespan_bounds(
+        jobs in prop::collection::vec((1u64..5_000, 0u64..3_000), 1..20),
+    ) {
+        let sim = Sim::new();
+        let total: u64 = jobs.iter().map(|&(w, _)| w).sum();
+        let last_arrival: u64 = jobs.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        let end = sim.run_until(async move {
+            let cpu = CpuPool::new(1, SimDuration::from_micros(1));
+            let mut handles = Vec::new();
+            for (work, delay) in jobs {
+                let cpu = cpu.clone();
+                handles.push(spawn(async move {
+                    sleep(SimDuration::from_nanos(delay)).await;
+                    cpu.run(SimDuration::from_nanos(work)).await;
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            now().as_nanos()
+        });
+        prop_assert!(end >= total, "end {end} < total work {total}");
+        prop_assert!(
+            end <= last_arrival + total,
+            "end {end} > last_arrival {last_arrival} + total {total}"
+        );
+    }
+
+    /// Network conservation: N same-size messages into one receiver take
+    /// at least N serialization times plus one latency, and each message's
+    /// payload accounting is exact.
+    #[test]
+    fn network_serialization_bounds(
+        n in 1usize..20,
+        bytes in 100u64..50_000,
+    ) {
+        let sim = Sim::new();
+        let (elapsed, received) = sim.run_until(async move {
+            let net = Network::new();
+            let spec = LinkSpec {
+                bandwidth_bps: 10e9,
+                latency: SimDuration::from_micros(1),
+                per_message_overhead_bytes: 0,
+            };
+            let dst = net.add_node(spec);
+            let mut handles = Vec::new();
+            for _ in 0..n {
+                let src = net.add_node(spec);
+                let net = net.clone();
+                handles.push(spawn(async move {
+                    net.transfer(src, dst, bytes).await;
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            (now(), net.traffic(dst).bytes_received)
+        });
+        prop_assert_eq!(received, n as u64 * bytes);
+        let tx_ns = (bytes as f64 * 8.0 / 10e9 * 1e9).round() as u64;
+        let min_ns = n as u64 * tx_ns + 1_000;
+        prop_assert!(
+            elapsed.as_nanos() >= min_ns.saturating_sub(n as u64), // rounding slack
+            "elapsed {} < minimum {}ns",
+            elapsed,
+            min_ns
+        );
+    }
+
+    /// Two identical runs produce identical event timelines.
+    #[test]
+    fn simulation_is_deterministic(
+        delays in prop::collection::vec(0u64..1_000, 1..25),
+    ) {
+        let run = |delays: Vec<u64>| -> u64 {
+            let sim = Sim::new();
+            sim.run_until(async move {
+                let cpu = CpuPool::new(2, SimDuration::from_nanos(500));
+                let mut handles = Vec::new();
+                for d in delays {
+                    let cpu = cpu.clone();
+                    handles.push(spawn(async move {
+                        sleep(SimDuration::from_nanos(d)).await;
+                        cpu.run(SimDuration::from_nanos(d * 3 + 1)).await;
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+                now().as_nanos()
+            })
+        };
+        prop_assert_eq!(run(delays.clone()), run(delays));
+    }
+}

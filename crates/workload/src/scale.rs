@@ -1,0 +1,162 @@
+//! Request-scale distributions (paper §V-B).
+//!
+//! A "scale" bounds the edge lengths of requested rectangles. The paper
+//! evaluates a fixed bound of `1e-5` (CPU-intensive: tiny result sets), a
+//! fixed bound of `1e-2` (bandwidth-intensive: huge result sets), and a
+//! truncated power law `f(t) ∝ t^-0.99` over `(1e-5, 1e-2]` (skewed toward
+//! small scopes, as real map workloads are).
+
+use rand::Rng;
+
+/// How request-rectangle edge lengths are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleDist {
+    /// Edges uniform in `(0, bound]`.
+    Fixed {
+        /// Upper bound on edge length.
+        bound: f64,
+    },
+    /// Edges from a truncated power law `f(t) ∝ t^-exponent` on
+    /// `(min, max]`.
+    PowerLaw {
+        /// Lower truncation (exclusive).
+        min: f64,
+        /// Upper truncation (inclusive).
+        max: f64,
+        /// The (positive) exponent; the paper uses `0.99`.
+        exponent: f64,
+    },
+}
+
+impl ScaleDist {
+    /// The paper's CPU-bound scale: edges in `(0, 1e-5]`.
+    pub fn small() -> Self {
+        ScaleDist::Fixed { bound: 1e-5 }
+    }
+
+    /// The paper's bandwidth-bound scale: edges in `(0, 1e-2]`.
+    pub fn large() -> Self {
+        ScaleDist::Fixed { bound: 1e-2 }
+    }
+
+    /// The paper's skewed scale: `f(t) ∝ t^-0.99`, `t ∈ (1e-5, 1e-2]`.
+    pub fn power_law() -> Self {
+        ScaleDist::PowerLaw {
+            min: 1e-5,
+            max: 1e-2,
+            exponent: 0.99,
+        }
+    }
+
+    /// A short label for benchmark tables.
+    pub fn label(&self) -> String {
+        match self {
+            ScaleDist::Fixed { bound } => format!("{bound}"),
+            ScaleDist::PowerLaw { .. } => "power law".to_string(),
+        }
+    }
+
+    /// Draws one edge length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameters are non-positive or inverted.
+    pub fn sample_edge<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ScaleDist::Fixed { bound } => {
+                assert!(bound > 0.0, "scale bound must be positive");
+                // Uniform over (0, bound]: flip the half-open side.
+                bound * (1.0 - rng.gen::<f64>())
+            }
+            ScaleDist::PowerLaw { min, max, exponent } => {
+                assert!(min > 0.0 && max > min, "power law needs 0 < min < max");
+                sample_truncated_power_law(rng, min, max, exponent)
+            }
+        }
+    }
+}
+
+/// Inverse-CDF sampling of `f(t) ∝ t^-s` truncated to `(a, b]`.
+fn sample_truncated_power_law<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64, s: f64) -> f64 {
+    let u: f64 = rng.gen();
+    if (s - 1.0).abs() < 1e-9 {
+        // f ∝ 1/t: F^-1(u) = a * (b/a)^u
+        a * (b / a).powf(u)
+    } else {
+        let e = 1.0 - s;
+        (a.powf(e) + u * (b.powf(e) - a.powf(e))).powf(1.0 / e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_samples_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = ScaleDist::Fixed { bound: 0.01 };
+        for _ in 0..1000 {
+            let e = d.sample_edge(&mut rng);
+            assert!(e > 0.0 && e <= 0.01);
+        }
+    }
+
+    #[test]
+    fn power_law_samples_within_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = ScaleDist::power_law();
+        for _ in 0..1000 {
+            let e = d.sample_edge(&mut rng);
+            assert!(e > 1e-5 && e <= 1e-2, "{e}");
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed_toward_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = ScaleDist::power_law();
+        let n = 20_000;
+        // With exponent 0.99 over 3 decades, each decade gets a roughly
+        // comparable share, but the small decade must dominate a uniform
+        // draw massively (uniform would put ~0.1% below 1e-4).
+        let small = (0..n).filter(|_| d.sample_edge(&mut rng) < 1e-4).count();
+        assert!(
+            small as f64 / n as f64 > 0.2,
+            "only {small}/{n} samples below 1e-4"
+        );
+    }
+
+    #[test]
+    fn exponent_one_branch_works() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = ScaleDist::PowerLaw {
+            min: 0.1,
+            max: 10.0,
+            exponent: 1.0,
+        };
+        for _ in 0..100 {
+            let e = d.sample_edge(&mut rng);
+            assert!((0.1..=10.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = ScaleDist::power_law();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(d.sample_edge(&mut a), d.sample_edge(&mut b));
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ScaleDist::small().label(), "0.00001");
+        assert_eq!(ScaleDist::large().label(), "0.01");
+        assert_eq!(ScaleDist::power_law().label(), "power law");
+    }
+}

@@ -1,0 +1,150 @@
+//! Zipfian key sampling (YCSB-style), for the key-value generality
+//! experiments: skewed key popularity is the KV analogue of the paper's
+//! skewed spatial scales.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with exponent `theta`
+/// (YCSB uses 0.99). Implementation follows Gray et al.'s rejection-free
+/// inverse method as popularized by YCSB's `ZipfianGenerator`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1); YCSB uses 0.99"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        ZipfSampler {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            zeta2,
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The `zeta(2, theta)` constant (diagnostics).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n; sampled harmonic approximation for large n (the
+    // YCSB generator precomputes this once, so precision, not speed,
+    // matters — but 2M-term sums per experiment cell add up).
+    if n <= 100_000 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=100_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // Integral approximation of the tail.
+        let a = 100_000f64;
+        let b = n as f64;
+        head + (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = ZipfSampler::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let top_ten = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+        // Under uniform sampling the top 10 ranks would get 0.1 % of
+        // draws; zipf(0.99) concentrates tens of percent there.
+        assert!(
+            top_ten as f64 / n as f64 > 0.2,
+            "only {top_ten}/{n} draws in the top 10 ranks"
+        );
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = ZipfSampler::new(100, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max);
+        assert!(counts[0] > counts[50] * 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = ZipfSampler::new(500, 0.99);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn large_domain_constructs_quickly_and_samples() {
+        let z = ZipfSampler::new(10_000_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_rejected() {
+        let _ = ZipfSampler::new(10, 1.5);
+    }
+}

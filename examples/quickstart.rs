@@ -1,0 +1,56 @@
+//! Quickstart: the R*-tree as a plain library, plus the RDMA-readable
+//! chunk layout.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use catfish::rtree::chunk::ChunkStore;
+use catfish::rtree::codec::ChunkLayout;
+use catfish::rtree::{bulk_load, MemStore, NodeStore, RTree, RTreeConfig, Rect};
+
+fn main() {
+    // 1. A plain in-memory R*-tree.
+    let mut tree: RTree<MemStore> = RTree::new(MemStore::new(), RTreeConfig::default());
+    for i in 0..10_000u64 {
+        let x = (i % 100) as f64 / 100.0;
+        let y = (i / 100) as f64 / 100.0;
+        tree.insert(Rect::new(x, y, x + 0.008, y + 0.008), i);
+    }
+    let query = Rect::new(0.25, 0.25, 0.35, 0.35);
+    let mut out = Vec::new();
+    let stats = tree.search_into(&query, &mut out);
+    println!(
+        "in-memory tree: {} items, height {}, query hit {} items visiting {} nodes",
+        tree.len(),
+        tree.height(),
+        stats.results,
+        stats.nodes_visited
+    );
+
+    // 2. The same tree living in a flat chunk arena — the layout a Catfish
+    //    server registers with its RDMA NIC. Every node is a fixed-size
+    //    chunk of versioned 64-byte cache lines.
+    let config = RTreeConfig::with_max_entries(88); // node == one 4 KiB chunk
+    let layout = ChunkLayout::for_max_entries(config.max_entries);
+    let items = tree.items();
+    let arena = vec![0u8; layout.arena_bytes(2048)];
+    let chunk_tree = bulk_load(ChunkStore::new(arena, layout), config, items);
+    println!(
+        "chunk-arena tree: {} items in {} chunks of {} bytes ({} cache lines each)",
+        chunk_tree.len(),
+        chunk_tree.store().node_count() + 1,
+        layout.chunk_bytes(),
+        layout.lines()
+    );
+    let hits = chunk_tree.search(&query);
+    assert_eq!(hits.len(), stats.results);
+    println!(
+        "same query against the arena tree: {} hits — identical",
+        hits.len()
+    );
+
+    // 3. Deletion keeps the structure valid.
+    let mut tree = { tree };
+    let removed = tree.delete(&Rect::new(0.0, 0.0, 0.008, 0.008), 0);
+    tree.check_invariants().expect("invariants hold");
+    println!("deleted item 0: {removed}; invariants verified");
+}

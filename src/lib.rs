@@ -1,0 +1,34 @@
+//! Umbrella crate for the Catfish workspace.
+//!
+//! Catfish is a reproduction of *"Catfish: Adaptive RDMA-enabled R-Tree for
+//! Low Latency and High Throughput"* (ICDCS 2019): a client–server R-tree
+//! whose clients adaptively switch between **fast messaging** (RDMA-Write
+//! ring buffers, server-side traversal) and **RDMA offloading** (client-side
+//! traversal over one-sided RDMA Reads), balancing server CPU against network
+//! bandwidth.
+//!
+//! Because real RDMA hardware is unavailable, the verbs layer runs on a
+//! deterministic discrete-event network simulator ([`simnet`]); all protocol
+//! logic (ring buffers, version-validated reads, multi-issue traversal, the
+//! adaptive back-off algorithm) is real code exercised end to end.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use catfish::rtree::{MemStore, RTree, Rect};
+//!
+//! let mut tree: RTree<MemStore> = RTree::new(MemStore::default(), Default::default());
+//! tree.insert(Rect::new(0.1, 0.1, 0.2, 0.2), 1);
+//! tree.insert(Rect::new(0.5, 0.5, 0.6, 0.6), 2);
+//! let hits = tree.search(&Rect::new(0.0, 0.0, 0.3, 0.3));
+//! assert_eq!(hits.len(), 1);
+//! ```
+//!
+//! See the `examples/` directory for full cluster simulations.
+
+pub use catfish_bplus as bplus;
+pub use catfish_core as core;
+pub use catfish_rdma as rdma;
+pub use catfish_rtree as rtree;
+pub use catfish_simnet as simnet;
+pub use catfish_workload as workload;
