@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks of the R*-tree itself: insert, search at the
 //! paper's request scales, delete, and STR bulk loading.
 
-use catfish_rtree::{bulk_load, MemStore, RTree, RTreeConfig, Rect};
+use catfish_rtree::chunk::{ChunkMemory, ChunkStore};
+use catfish_rtree::codec::ChunkLayout;
+use catfish_rtree::{bulk_load, EntryRef, MemStore, NodeStore, RTree, RTreeConfig, Rect};
 use catfish_workload::uniform_rects;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -13,6 +15,46 @@ fn build_tree(n: usize) -> RTree<MemStore> {
         RTreeConfig::default(),
         uniform_rects(n, 1e-4, 1),
     )
+}
+
+fn build_chunk_tree(n: usize) -> RTree<ChunkStore<Vec<u8>>> {
+    let config = RTreeConfig::default();
+    let layout = ChunkLayout::for_max_entries(config.max_entries);
+    // STR packing needs roughly n / max_entries leaf chunks plus the
+    // internal levels; n / 4 leaves ample headroom for later inserts.
+    let chunks = (n / 4 + 1024) as u32;
+    bulk_load(
+        ChunkStore::new(vec![0u8; layout.arena_bytes(chunks)], layout),
+        config,
+        uniform_rects(n, 1e-4, 1),
+    )
+}
+
+/// The chunk-store read path as it was before the borrowed `visit` API:
+/// every node visited allocates a fresh chunk buffer and decodes into a
+/// fresh [`catfish_rtree::Node`]. Kept here as the baseline the
+/// `rtree_chunk_search/borrowed_*` benches are measured against.
+fn owned_decode_search(store: &ChunkStore<Vec<u8>>, query: &Rect, out: &mut Vec<u64>) {
+    let Some(root) = store.meta().root else {
+        return;
+    };
+    let layout = store.layout();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let mut chunk = vec![0u8; layout.chunk_bytes()];
+        store.mem().read_into(layout.node_offset(id), &mut chunk);
+        let (node, _version) = layout
+            .decode_node(&chunk)
+            .expect("local decode cannot tear");
+        for e in &node.entries {
+            if e.mbr.intersects(query) {
+                match e.child {
+                    EntryRef::Node(child) => stack.push(child),
+                    EntryRef::Data(d) => out.push(d),
+                }
+            }
+        }
+    }
 }
 
 fn bench_insert(c: &mut Criterion) {
@@ -73,6 +115,82 @@ fn bench_delete(c: &mut Criterion) {
     });
 }
 
+fn bench_chunk_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_chunk_search");
+    let tree = build_chunk_tree(200_000);
+
+    // Sanity: the borrowed path and the owned-decode baseline agree before
+    // we time either of them.
+    {
+        let q = Rect::new(0.4, 0.4, 0.41, 0.41);
+        let mut borrowed = Vec::new();
+        let mut owned = Vec::new();
+        tree.search_into(&q, &mut borrowed);
+        owned_decode_search(tree.store(), &q, &mut owned);
+        borrowed.sort_unstable();
+        owned.sort_unstable();
+        assert_eq!(borrowed, owned);
+    }
+
+    for (label, edge) in [("borrowed_1e-5", 1e-5), ("borrowed_1e-2", 1e-2)] {
+        group.bench_function(label, |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut out = Vec::new();
+            b.iter(|| {
+                let x = rng.gen::<f64>() * (1.0 - edge);
+                let y = rng.gen::<f64>() * (1.0 - edge);
+                out.clear();
+                tree.search_into(&Rect::new(x, y, x + edge, y + edge), &mut out)
+            });
+        });
+    }
+    for (label, edge) in [("owned_1e-5", 1e-5), ("owned_1e-2", 1e-2)] {
+        group.bench_function(label, |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut out = Vec::new();
+            b.iter(|| {
+                let x = rng.gen::<f64>() * (1.0 - edge);
+                let y = rng.gen::<f64>() * (1.0 - edge);
+                out.clear();
+                owned_decode_search(tree.store(), &Rect::new(x, y, x + edge, y + edge), &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunk_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_chunk_insert");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Insert a fresh item, then delete it again so the arena stays
+            // within its fixed chunk budget however long the run is. The
+            // pair still exercises the encode-on-write path plus the
+            // borrowed descent on every iteration.
+            let mut tree = build_chunk_tree(n);
+            let mut rng = StdRng::seed_from_u64(5);
+            let inputs: Vec<(Rect, u64)> = (0..65_536u64)
+                .map(|i| {
+                    let x = rng.gen::<f64>() * 0.999;
+                    let y = rng.gen::<f64>() * 0.999;
+                    // Distinct from the bulk-loaded payloads, and clear of
+                    // the codec's reserved node/data tag bit.
+                    (Rect::new(x, y, x + 1e-4, y + 1e-4), (1 << 40) + i)
+                })
+                .collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let (r, d) = inputs[i % inputs.len()];
+                tree.insert(r, d);
+                assert!(tree.delete(&r, d));
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_bulk_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("rtree_bulk_load");
     group.sample_size(10);
@@ -93,6 +211,8 @@ criterion_group!(
     benches,
     bench_insert,
     bench_search,
+    bench_chunk_search,
+    bench_chunk_insert,
     bench_delete,
     bench_bulk_load
 );

@@ -4,7 +4,10 @@
 //! R-tree ([`catfish_rtree::codec`]): fixed-size chunks of 64-byte lines,
 //! each stamped with the node version, validated on every read.
 
-use catfish_rtree::codec::{pack_lines, unpack_lines, CodecError, LINE_PAYLOAD_BYTES};
+use catfish_rtree::codec::{
+    chunk_version, read_packed, write_packed, CodecError, LINE_BYTES, LINE_PAYLOAD_BYTES,
+    LINE_VERSION_BYTES,
+};
 use catfish_rtree::NodeId;
 
 const NODE_MAGIC: u32 = 0x4250_4E44; // "BPND"
@@ -184,36 +187,50 @@ impl BpLayout {
     /// Panics if the node exceeds the layout's fanout or is internally
     /// inconsistent.
     pub fn encode_node(&self, node: &BpNode, version: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_node_into(node, version, &mut out);
+        out
+    }
+
+    /// Serializes a node directly into `out`, reusing its capacity. The
+    /// version stamps and every field are written at their packed
+    /// positions, so no intermediate logical buffer is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node exceeds the layout's fanout or is internally
+    /// inconsistent.
+    pub fn encode_node_into(&self, node: &BpNode, version: u64, out: &mut Vec<u8>) {
         assert!(node.keys.len() <= self.max_keys, "node overflows layout");
-        let mut logical = vec![0u8; self.lines * LINE_PAYLOAD_BYTES];
-        logical[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
-        logical[4..8].copy_from_slice(&node.level.to_le_bytes());
-        logical[8..12].copy_from_slice(&(node.keys.len() as u32).to_le_bytes());
-        let next_raw = node.next.map_or(0, |n| n.index() + 1);
-        logical[12..16].copy_from_slice(&next_raw.to_le_bytes());
-        let mut at = HEADER_BYTES;
-        for k in &node.keys {
-            logical[at..at + 8].copy_from_slice(&k.to_le_bytes());
-            at += 8;
+        out.clear();
+        out.resize(self.lines * LINE_BYTES, 0);
+        for line in 0..self.lines {
+            out[line * LINE_BYTES..line * LINE_BYTES + LINE_VERSION_BYTES]
+                .copy_from_slice(&version.to_le_bytes());
         }
-        at = HEADER_BYTES + 8 * self.max_keys;
+        write_packed(out, 0, &NODE_MAGIC.to_le_bytes());
+        write_packed(out, 4, &node.level.to_le_bytes());
+        write_packed(out, 8, &(node.keys.len() as u32).to_le_bytes());
+        let next_raw = node.next.map_or(0, |n| n.index() + 1);
+        write_packed(out, 12, &next_raw.to_le_bytes());
+        for (i, k) in node.keys.iter().enumerate() {
+            write_packed(out, HEADER_BYTES + 8 * i, &k.to_le_bytes());
+        }
+        let refs_at = HEADER_BYTES + 8 * self.max_keys;
         match &node.refs {
             BpRefs::Values(vals) => {
                 assert_eq!(vals.len(), node.keys.len(), "leaf slots mismatch");
-                for v in vals {
-                    logical[at..at + 8].copy_from_slice(&v.to_le_bytes());
-                    at += 8;
+                for (i, v) in vals.iter().enumerate() {
+                    write_packed(out, refs_at + 8 * i, &v.to_le_bytes());
                 }
             }
             BpRefs::Children(kids) => {
                 assert_eq!(kids.len(), node.keys.len() + 1, "internal slots mismatch");
-                for c in kids {
-                    logical[at..at + 8].copy_from_slice(&u64::from(c.index()).to_le_bytes());
-                    at += 8;
+                for (i, c) in kids.iter().enumerate() {
+                    write_packed(out, refs_at + 8 * i, &u64::from(c.index()).to_le_bytes());
                 }
             }
         }
-        pack_lines(&logical, version, self.lines)
     }
 
     /// Deserializes a node chunk with version validation.
@@ -223,60 +240,94 @@ impl BpLayout {
     /// [`CodecError::TornRead`] on racing writes;
     /// [`CodecError::Malformed`] on anything implausible.
     pub fn decode_node(&self, chunk: &[u8]) -> Result<(BpNode, u64), CodecError> {
-        let (logical, version) = unpack_lines(chunk, self.lines)?;
-        let magic = u32::from_le_bytes(logical[0..4].try_into().expect("sized"));
+        let mut node = BpNode::leaf();
+        let version = self.decode_node_into(chunk, &mut node)?;
+        Ok((node, version))
+    }
+
+    /// Deserializes a node chunk into `node`, reusing its key and slot
+    /// vectors, and returns the version. Fields are read straight out of
+    /// the packed chunk, so a decode into warm scratch performs no heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TornRead`] on racing writes;
+    /// [`CodecError::Malformed`] on anything implausible. On error `node`
+    /// is left in an unspecified but valid state.
+    pub fn decode_node_into(&self, chunk: &[u8], node: &mut BpNode) -> Result<u64, CodecError> {
+        let version = chunk_version(chunk, self.lines)?;
+        let magic = u32::from_le_bytes(read_packed::<4>(chunk, 0));
         if magic != NODE_MAGIC {
             return Err(CodecError::Malformed("bad b+ node magic"));
         }
-        let level = u32::from_le_bytes(logical[4..8].try_into().expect("sized"));
-        let count = u32::from_le_bytes(logical[8..12].try_into().expect("sized")) as usize;
-        let next_raw = u32::from_le_bytes(logical[12..16].try_into().expect("sized"));
+        let level = u32::from_le_bytes(read_packed::<4>(chunk, 4));
+        let count = u32::from_le_bytes(read_packed::<4>(chunk, 8)) as usize;
+        let next_raw = u32::from_le_bytes(read_packed::<4>(chunk, 12));
         if count > self.max_keys || level > 64 {
             return Err(CodecError::Malformed("implausible b+ node header"));
         }
-        let u64_at = |o: usize| u64::from_le_bytes(logical[o..o + 8].try_into().expect("sized"));
-        let mut keys = Vec::with_capacity(count);
+        node.level = level;
+        node.keys.clear();
         for i in 0..count {
-            keys.push(u64_at(HEADER_BYTES + 8 * i));
+            node.keys.push(u64::from_le_bytes(read_packed::<8>(
+                chunk,
+                HEADER_BYTES + 8 * i,
+            )));
         }
-        if !keys.windows(2).all(|w| w[0] < w[1]) {
+        if !node.keys.windows(2).all(|w| w[0] < w[1]) {
             return Err(CodecError::Malformed("b+ keys not strictly sorted"));
         }
         let refs_at = HEADER_BYTES + 8 * self.max_keys;
-        let refs = if level == 0 {
-            let mut vals = Vec::with_capacity(count);
+        if level == 0 {
+            // Reuse the existing vector when the variant already matches.
+            let vals = match &mut node.refs {
+                BpRefs::Values(v) => {
+                    v.clear();
+                    v
+                }
+                refs @ BpRefs::Children(_) => {
+                    *refs = BpRefs::Values(Vec::with_capacity(count));
+                    match refs {
+                        BpRefs::Values(v) => v,
+                        BpRefs::Children(_) => unreachable!(),
+                    }
+                }
+            };
             for i in 0..count {
-                vals.push(u64_at(refs_at + 8 * i));
+                vals.push(u64::from_le_bytes(read_packed::<8>(chunk, refs_at + 8 * i)));
             }
-            BpRefs::Values(vals)
         } else {
             if count == 0 {
                 return Err(CodecError::Malformed("internal b+ node without keys"));
             }
-            let mut kids = Vec::with_capacity(count + 1);
+            let kids = match &mut node.refs {
+                BpRefs::Children(c) => {
+                    c.clear();
+                    c
+                }
+                refs @ BpRefs::Values(_) => {
+                    *refs = BpRefs::Children(Vec::with_capacity(count + 1));
+                    match refs {
+                        BpRefs::Children(c) => c,
+                        BpRefs::Values(_) => unreachable!(),
+                    }
+                }
+            };
             for i in 0..=count {
-                let raw = u64_at(refs_at + 8 * i);
+                let raw = u64::from_le_bytes(read_packed::<8>(chunk, refs_at + 8 * i));
                 if raw > u64::from(u32::MAX) {
                     return Err(CodecError::Malformed("b+ child id out of range"));
                 }
                 kids.push(NodeId(raw as u32));
             }
-            BpRefs::Children(kids)
-        };
-        let next = if next_raw == 0 {
+        }
+        node.next = if next_raw == 0 {
             None
         } else {
             Some(NodeId(next_raw - 1))
         };
-        Ok((
-            BpNode {
-                level,
-                keys,
-                refs,
-                next,
-            },
-            version,
-        ))
+        Ok(version)
     }
 }
 
@@ -338,6 +389,45 @@ mod tests {
             layout.decode_node(&chunk),
             Err(CodecError::Malformed("b+ keys not strictly sorted"))
         );
+    }
+
+    #[test]
+    fn decode_into_reuses_node_across_variants() {
+        let layout = BpLayout::for_max_keys(8);
+        let leaf = BpNode {
+            level: 0,
+            keys: vec![1, 5, 9],
+            refs: BpRefs::Values(vec![10, 50, 90]),
+            next: Some(NodeId(4)),
+        };
+        let internal = BpNode {
+            level: 1,
+            keys: vec![100],
+            refs: BpRefs::Children(vec![NodeId(1), NodeId(2)]),
+            next: None,
+        };
+        let mut scratch = BpNode::leaf();
+        for round in 0..3 {
+            for n in [&leaf, &internal] {
+                let chunk = layout.encode_node(n, round);
+                assert_eq!(layout.decode_node_into(&chunk, &mut scratch), Ok(round));
+                assert_eq!(&scratch, n);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_with_dirty_buffer() {
+        let layout = BpLayout::for_max_keys(8);
+        let node = BpNode {
+            level: 0,
+            keys: vec![2, 4],
+            refs: BpRefs::Values(vec![20, 40]),
+            next: None,
+        };
+        let mut buf = vec![0xFFu8; layout.chunk_bytes() * 2];
+        layout.encode_node_into(&node, 9, &mut buf);
+        assert_eq!(buf, layout.encode_node(&node, 9));
     }
 
     #[test]

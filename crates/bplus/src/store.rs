@@ -1,6 +1,8 @@
 //! Node storage for the B+-tree: a plain arena and the versioned chunk
 //! arena (RDMA-registrable, readable by offloading clients).
 
+use std::cell::RefCell;
+
 use catfish_rtree::chunk::ChunkMemory;
 use catfish_rtree::codec::{pack_lines, unpack_lines, CodecError, LINE_PAYLOAD_BYTES};
 use catfish_rtree::{NodeId, TreeMeta};
@@ -11,12 +13,29 @@ const META_MAGIC: u64 = 0x4250_4C55_5330_4D45; // "BPLUS0ME"
 
 /// Storage backend for B+-tree nodes (mirrors the R-tree's `NodeStore`).
 pub trait BpStore {
-    /// Reads the node at `id`.
+    /// Reads the node at `id` into an owned value. Mutating paths use
+    /// this; read-only traversals should prefer [`BpStore::visit`].
     ///
     /// # Panics
     ///
     /// Panics if `id` is unallocated.
     fn read(&self, id: NodeId) -> BpNode;
+
+    /// Runs `f` over a borrowed view of the node at `id` — the hot-loop
+    /// read path. Implementations hand out a reference to their own
+    /// storage (or decode scratch), so a visit performs no per-node heap
+    /// allocation. Visits may nest: `f` may call `visit` on the same
+    /// store again, and implementations must support that re-entrancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unallocated.
+    fn visit<R>(&self, id: NodeId, f: impl FnOnce(&BpNode) -> R) -> R
+    where
+        Self: Sized,
+    {
+        f(&self.read(id))
+    }
     /// Replaces the node at `id`.
     ///
     /// # Panics
@@ -54,10 +73,16 @@ impl BpMemStore {
 
 impl BpStore for BpMemStore {
     fn read(&self, id: NodeId) -> BpNode {
-        self.slots
+        self.visit(id, BpNode::clone)
+    }
+
+    fn visit<R>(&self, id: NodeId, f: impl FnOnce(&BpNode) -> R) -> R {
+        let node = self
+            .slots
             .get(id.index() as usize)
-            .and_then(|s| s.clone())
-            .unwrap_or_else(|| panic!("read of unallocated b+ node {id}"))
+            .and_then(|s| s.as_ref())
+            .unwrap_or_else(|| panic!("read of unallocated b+ node {id}"));
+        f(node)
     }
 
     fn write(&mut self, id: NodeId, node: &BpNode) {
@@ -109,6 +134,18 @@ pub struct BpChunkStore<M> {
     free: Vec<u32>,
     next: u32,
     meta: TreeMeta,
+    /// Pool of decode scratch, one entry per active visit nesting depth.
+    scratch: RefCell<Vec<BpScratch>>,
+    /// Reused encode buffer for [`BpStore::write`].
+    write_buf: Vec<u8>,
+}
+
+/// Reusable decode scratch: a chunk read buffer plus a decoded node whose
+/// vectors retain their capacity between visits.
+#[derive(Debug)]
+struct BpScratch {
+    chunk: Vec<u8>,
+    node: BpNode,
 }
 
 impl<M: ChunkMemory> BpChunkStore<M> {
@@ -127,9 +164,37 @@ impl<M: ChunkMemory> BpChunkStore<M> {
             free: Vec::new(),
             next: 1,
             meta: TreeMeta::default(),
+            scratch: RefCell::new(Vec::new()),
+            write_buf: Vec::new(),
         };
         s.persist_meta();
         s
+    }
+
+    /// Runs `f` over a borrowed view of the node at `id`, decoded into
+    /// pooled scratch — no heap allocation once the pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TornRead`] when a concurrent writer raced the read;
+    /// [`CodecError::Malformed`] on corrupt bytes.
+    pub fn try_visit<R>(&self, id: NodeId, f: impl FnOnce(&BpNode) -> R) -> Result<R, CodecError> {
+        let mut scratch = self
+            .scratch
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| BpScratch {
+                chunk: vec![0u8; self.layout.chunk_bytes()],
+                node: BpNode::leaf(),
+            });
+        self.mem
+            .read_into(self.layout.node_offset(id), &mut scratch.chunk);
+        let result = self
+            .layout
+            .decode_node_into(&scratch.chunk, &mut scratch.node)
+            .map(|_| f(&scratch.node));
+        self.scratch.borrow_mut().push(scratch);
+        result
     }
 
     /// The layout in use.
@@ -190,11 +255,11 @@ pub fn decode_meta(layout: &BpLayout, chunk: &[u8]) -> Result<(TreeMeta, u64), C
 
 impl<M: ChunkMemory> BpStore for BpChunkStore<M> {
     fn read(&self, id: NodeId) -> BpNode {
-        let mut buf = vec![0u8; self.layout.chunk_bytes()];
-        self.mem.read_into(self.layout.node_offset(id), &mut buf);
-        self.layout
-            .decode_node(&buf)
-            .map(|(n, _)| n)
+        self.visit(id, BpNode::clone)
+    }
+
+    fn visit<R>(&self, id: NodeId, f: impl FnOnce(&BpNode) -> R) -> R {
+        self.try_visit(id, f)
             .unwrap_or_else(|e| panic!("b+ chunk read of {id} failed: {e}"))
     }
 
@@ -205,8 +270,11 @@ impl<M: ChunkMemory> BpStore for BpChunkStore<M> {
             "b+ chunk out of range"
         );
         self.versions[idx] += 1;
-        let chunk = self.layout.encode_node(node, self.versions[idx]);
+        let mut chunk = std::mem::take(&mut self.write_buf);
+        self.layout
+            .encode_node_into(node, self.versions[idx], &mut chunk);
         self.mem.write_at(self.layout.node_offset(id), &chunk);
+        self.write_buf = chunk;
     }
 
     fn alloc(&mut self) -> NodeId {
@@ -281,6 +349,49 @@ mod tests {
         let mut buf = vec![0u8; layout.chunk_bytes()];
         s.mem().read_into(0, &mut buf);
         assert_eq!(decode_meta(&layout, &buf).unwrap().0, meta);
+    }
+
+    #[test]
+    fn visit_borrows_and_nests() {
+        let layout = BpLayout::for_max_keys(8);
+        let mut s = BpChunkStore::new(vec![0u8; layout.arena_bytes(8)], layout);
+        let a = s.alloc();
+        let b = s.alloc();
+        let mut na = BpNode::leaf();
+        na.keys.push(1);
+        na.values_mut().push(10);
+        let mut nb = BpNode::leaf();
+        nb.keys.push(2);
+        nb.values_mut().push(20);
+        s.write(a, &na);
+        s.write(b, &nb);
+        // Nested visits must not corrupt each other's scratch.
+        let sum = s.visit(a, |outer| {
+            outer.values()[0] + s.visit(b, |inner| inner.values()[0])
+        });
+        assert_eq!(sum, 30);
+        assert_eq!(s.scratch.borrow().len(), 2);
+        // The pool is reused, not regrown, by later visits.
+        s.visit(a, |n| assert_eq!(n, &na));
+        assert_eq!(s.scratch.borrow().len(), 2);
+    }
+
+    #[test]
+    fn torn_read_surfaces_through_try_visit() {
+        let layout = BpLayout::for_max_keys(8);
+        let mut s = BpChunkStore::new(vec![0u8; layout.arena_bytes(8)], layout);
+        let id = s.alloc();
+        let mut n = BpNode::leaf();
+        n.keys.push(3);
+        n.values_mut().push(30);
+        s.write(id, &n);
+        // Corrupt the second line's version stamp, as a racing writer would.
+        let at = layout.node_offset(id) + 64;
+        s.mem[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            s.try_visit(id, |_| ()),
+            Err(CodecError::TornRead { .. })
+        ));
     }
 
     #[test]

@@ -68,23 +68,29 @@ impl<S: BpStore> BpTree<S> {
         node.keys.partition_point(|k| *k <= key)
     }
 
-    /// Looks up `key`.
+    /// Looks up `key` (borrowed read path — no per-node allocation).
     pub fn get(&self, key: u64) -> Option<u64> {
         let mut id = self.store.meta().root?;
         loop {
-            let node = self.store.read(id);
-            if node.is_leaf() {
-                return match node.keys.binary_search(&key) {
-                    Ok(i) => Some(node.values()[i]),
-                    Err(_) => None,
-                };
+            let step = self.store.visit(id, |node| {
+                if node.is_leaf() {
+                    Err(match node.keys.binary_search(&key) {
+                        Ok(i) => Some(node.values()[i]),
+                        Err(_) => None,
+                    })
+                } else {
+                    Ok(node.children()[Self::child_index(node, key)])
+                }
+            });
+            match step {
+                Err(hit) => return hit,
+                Ok(child) => id = child,
             }
-            id = node.children()[Self::child_index(&node, key)];
         }
     }
 
     /// All pairs with `lo <= key <= hi`, in key order (walks the leaf
-    /// chain).
+    /// chain over the borrowed read path).
     pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
         let Some(root) = self.store.meta().root else {
@@ -92,25 +98,30 @@ impl<S: BpStore> BpTree<S> {
         };
         // Descend to the leaf that would contain `lo`.
         let mut id = root;
-        loop {
-            let node = self.store.read(id);
+        while let Some(child) = self.store.visit(id, |node| {
             if node.is_leaf() {
-                break;
+                None
+            } else {
+                Some(node.children()[Self::child_index(node, lo)])
             }
-            id = node.children()[Self::child_index(&node, lo)];
+        }) {
+            id = child;
         }
         let mut cursor = Some(id);
         while let Some(id) = cursor {
-            let node = self.store.read(id);
-            for (i, &k) in node.keys.iter().enumerate() {
-                if k > hi {
-                    return out;
+            cursor = self.store.visit(id, |node| {
+                for (i, &k) in node.keys.iter().enumerate() {
+                    if k > hi {
+                        // Keys past `hi` end the scan: later leaves only
+                        // hold larger keys.
+                        return None;
+                    }
+                    if k >= lo {
+                        out.push((k, node.values()[i]));
+                    }
                 }
-                if k >= lo {
-                    out.push((k, node.values()[i]));
-                }
-            }
-            cursor = node.next;
+                node.next
+            });
         }
         out
     }
@@ -131,17 +142,20 @@ impl<S: BpStore> BpTree<S> {
             self.store.set_meta(meta);
             return None;
         };
-        // Descend, recording the path.
+        // Descend, recording the path (borrowed reads — only the leaf
+        // needs an owned copy for mutation).
         let mut path: Vec<(NodeId, usize)> = Vec::new();
         let mut id = root;
-        loop {
-            let node = self.store.read(id);
+        while let Some((idx, child)) = self.store.visit(id, |node| {
             if node.is_leaf() {
-                break;
+                None
+            } else {
+                let idx = Self::child_index(node, key);
+                Some((idx, node.children()[idx]))
             }
-            let idx = Self::child_index(&node, key);
+        }) {
             path.push((id, idx));
-            id = node.children()[idx];
+            id = child;
         }
         let mut leaf = self.store.read(id);
         match leaf.keys.binary_search(&key) {
@@ -193,7 +207,7 @@ impl<S: BpStore> BpTree<S> {
     ) {
         let Some((pid, idx)) = path.pop() else {
             // Split reached the root: grow the tree.
-            let old_root_level = self.store.read(left).level;
+            let old_root_level = self.store.visit(left, |n| n.level);
             let new_root_id = self.store.alloc();
             let new_root = BpNode {
                 level: old_root_level + 1,
@@ -238,14 +252,16 @@ impl<S: BpStore> BpTree<S> {
         let root = self.store.meta().root?;
         let mut path: Vec<(NodeId, usize)> = Vec::new();
         let mut id = root;
-        loop {
-            let node = self.store.read(id);
+        while let Some((idx, child)) = self.store.visit(id, |node| {
             if node.is_leaf() {
-                break;
+                None
+            } else {
+                let idx = Self::child_index(node, key);
+                Some((idx, node.children()[idx]))
             }
-            let idx = Self::child_index(&node, key);
+        }) {
             path.push((id, idx));
-            id = node.children()[idx];
+            id = child;
         }
         let mut leaf = self.store.read(id);
         let pos = leaf.keys.binary_search(&key).ok()?;
@@ -384,21 +400,13 @@ impl<S: BpStore> BpTree<S> {
                 Err("empty tree with nonzero meta".into())
             };
         };
-        let root_node = self.store.read(root);
-        if meta.height != root_node.level + 1 {
+        let root_level = self.store.visit(root, |n| n.level);
+        if meta.height != root_level + 1 {
             return Err("height/root level mismatch".into());
         }
         let mut leaves = Vec::new();
         let mut count = 0u64;
-        self.check_node(
-            root,
-            root_node.level,
-            true,
-            None,
-            None,
-            &mut leaves,
-            &mut count,
-        )?;
+        self.check_node(root, root_level, true, None, None, &mut leaves, &mut count)?;
         if count != meta.len {
             return Err(format!("meta.len {} but counted {count}", meta.len));
         }
@@ -407,7 +415,7 @@ impl<S: BpStore> BpTree<S> {
         let mut cursor = Some(*leaves.first().expect("non-empty tree has leaves"));
         while let Some(id) = cursor {
             chain.push(id);
-            cursor = self.store.read(id).next;
+            cursor = self.store.visit(id, |n| n.next);
         }
         if chain != leaves {
             return Err(format!(
@@ -428,58 +436,61 @@ impl<S: BpStore> BpTree<S> {
         leaves: &mut Vec<NodeId>,
         count: &mut u64,
     ) -> Result<(), String> {
-        let node = self.store.read(id);
-        if node.level != expected_level {
-            return Err(format!("node {id} at wrong level"));
-        }
-        if !node.keys.windows(2).all(|w| w[0] < w[1]) {
-            return Err(format!("node {id} keys unsorted"));
-        }
-        let min = if is_root { 1 } else { self.config.min_keys() };
-        if node.keys.len() < min || node.keys.len() > self.config.max_keys {
-            return Err(format!(
-                "node {id} has {} keys (allowed {min}..={})",
-                node.keys.len(),
-                self.config.max_keys
-            ));
-        }
-        for &k in &node.keys {
-            if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h) {
-                return Err(format!("node {id} key {k} outside ({lo:?}, {hi:?})"));
+        // The recursion below nests visits; chunk-backed stores keep one
+        // scratch entry alive per level.
+        self.store.visit(id, |node| {
+            if node.level != expected_level {
+                return Err(format!("node {id} at wrong level"));
             }
-        }
-        match &node.refs {
-            BpRefs::Values(vals) => {
-                if vals.len() != node.keys.len() {
-                    return Err(format!("leaf {id} slots mismatch"));
-                }
-                leaves.push(id);
-                *count += node.keys.len() as u64;
+            if !node.keys.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("node {id} keys unsorted"));
             }
-            BpRefs::Children(kids) => {
-                if kids.len() != node.keys.len() + 1 {
-                    return Err(format!("internal {id} fanout mismatch"));
-                }
-                for (i, &child) in kids.iter().enumerate() {
-                    let child_lo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
-                    let child_hi = if i == node.keys.len() {
-                        hi
-                    } else {
-                        Some(node.keys[i])
-                    };
-                    self.check_node(
-                        child,
-                        expected_level - 1,
-                        false,
-                        child_lo,
-                        child_hi,
-                        leaves,
-                        count,
-                    )?;
+            let min = if is_root { 1 } else { self.config.min_keys() };
+            if node.keys.len() < min || node.keys.len() > self.config.max_keys {
+                return Err(format!(
+                    "node {id} has {} keys (allowed {min}..={})",
+                    node.keys.len(),
+                    self.config.max_keys
+                ));
+            }
+            for &k in &node.keys {
+                if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h) {
+                    return Err(format!("node {id} key {k} outside ({lo:?}, {hi:?})"));
                 }
             }
-        }
-        Ok(())
+            match &node.refs {
+                BpRefs::Values(vals) => {
+                    if vals.len() != node.keys.len() {
+                        return Err(format!("leaf {id} slots mismatch"));
+                    }
+                    leaves.push(id);
+                    *count += node.keys.len() as u64;
+                }
+                BpRefs::Children(kids) => {
+                    if kids.len() != node.keys.len() + 1 {
+                        return Err(format!("internal {id} fanout mismatch"));
+                    }
+                    for (i, &child) in kids.iter().enumerate() {
+                        let child_lo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
+                        let child_hi = if i == node.keys.len() {
+                            hi
+                        } else {
+                            Some(node.keys[i])
+                        };
+                        self.check_node(
+                            child,
+                            expected_level - 1,
+                            false,
+                            child_lo,
+                            child_hi,
+                            leaves,
+                            count,
+                        )?;
+                    }
+                }
+            }
+            Ok(())
+        })
     }
 }
 

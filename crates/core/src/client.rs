@@ -410,7 +410,7 @@ impl CatfishClient {
             return None;
         }
         let (node, at) = self.node_cache.get(&id)?;
-        if now().saturating_duration_since(*at) > self.cfg.meta_cache_ttl {
+        if now().saturating_duration_since(*at) > self.cfg.node_cache_ttl {
             return None;
         }
         self.stats.cache_hits += 1;
@@ -418,9 +418,23 @@ impl CatfishClient {
     }
 
     fn cache_store(&mut self, id: NodeId, level: u32, cache_floor: u32, node: &Node) {
-        if self.cfg.cache_levels > 0 && level >= cache_floor {
-            self.node_cache.insert(id, (node.clone(), now()));
+        if self.cfg.cache_levels == 0 || level < cache_floor || self.cfg.node_cache_capacity == 0 {
+            return;
         }
+        if self.node_cache.len() >= self.cfg.node_cache_capacity
+            && !self.node_cache.contains_key(&id)
+        {
+            // Evict the stalest entry to stay within capacity.
+            if let Some(oldest) = self
+                .node_cache
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(id, _)| *id)
+            {
+                self.node_cache.remove(&oldest);
+            }
+        }
+        self.node_cache.insert(id, (node.clone(), now()));
     }
 
     /// Sequential offloading (the paper's baseline): one outstanding RDMA
@@ -909,6 +923,46 @@ mod tests {
             sleep(SimDuration::from_millis(25)).await;
             client.adaptive.note_heartbeat(1.0);
             assert!(client.adaptive.decide() || client.adaptive.band().0 > 0);
+        });
+    }
+
+    #[test]
+    fn node_cache_expires_on_its_own_ttl() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (_server, mut client) = build(AccessMode::Offloading, false);
+            client.cfg.cache_levels = 2;
+            client.cfg.node_cache_ttl = SimDuration::from_millis(5);
+            // The meta TTL is far longer; expiry must follow the node TTL.
+            client.cfg.meta_cache_ttl = SimDuration::from_secs(60);
+            let id = NodeId(1);
+            client.cache_store(id, 3, 1, &Node::new(3));
+            assert!(client.cache_lookup(id, 3, 1).is_some());
+            sleep(SimDuration::from_millis(6)).await;
+            assert!(client.cache_lookup(id, 3, 1).is_none());
+            assert_eq!(client.stats().cache_hits, 1);
+        });
+    }
+
+    #[test]
+    fn node_cache_capacity_evicts_stalest() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (_server, mut client) = build(AccessMode::Offloading, false);
+            client.cfg.cache_levels = 2;
+            client.cfg.node_cache_capacity = 2;
+            for i in 0..3u32 {
+                client.cache_store(NodeId(i), 3, 1, &Node::new(3));
+                sleep(SimDuration::from_millis(1)).await;
+            }
+            assert_eq!(client.node_cache.len(), 2);
+            // The first (stalest) entry made way for the third.
+            assert!(client.cache_lookup(NodeId(0), 3, 1).is_none());
+            assert!(client.cache_lookup(NodeId(1), 3, 1).is_some());
+            assert!(client.cache_lookup(NodeId(2), 3, 1).is_some());
+            // Re-storing an already-cached id never evicts.
+            client.cache_store(NodeId(2), 3, 1, &Node::new(3));
+            assert!(client.cache_lookup(NodeId(1), 3, 1).is_some());
         });
     }
 }

@@ -136,8 +136,17 @@ pub struct ClientConfig {
     /// Cache the top `n` levels of the tree client-side (0 disables).
     /// A Cell-style enhancement the paper's §VI anticipates: cached
     /// internal nodes skip their RDMA Reads, trading staleness (bounded
-    /// by [`ClientConfig::meta_cache_ttl`]) for round trips.
+    /// by [`ClientConfig::node_cache_ttl`]) for round trips.
     pub cache_levels: u32,
+    /// How long a cached internal node stays valid before an offloaded
+    /// search re-fetches it. Separate from [`ClientConfig::meta_cache_ttl`]:
+    /// internal nodes move less than the root metadata, so they may
+    /// tolerate a different staleness bound.
+    pub node_cache_ttl: SimDuration,
+    /// Maximum entries in the client node cache; storing into a full
+    /// cache evicts the stalest entry. Bounds client memory no matter how
+    /// large the tree's cached levels grow.
+    pub node_cache_capacity: usize,
 }
 
 impl Default for ClientConfig {
@@ -149,6 +158,8 @@ impl Default for ClientConfig {
             max_read_retries: 64,
             client_node_visit: SimDuration::from_micros(2),
             cache_levels: 0,
+            node_cache_ttl: SimDuration::from_millis(10),
+            node_cache_capacity: 4096,
         }
     }
 }

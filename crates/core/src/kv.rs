@@ -366,16 +366,16 @@ impl KvServer {
                 let cur = this.inner.cpu.sample();
                 let util = this.inner.cpu.utilization_between(&last, &cur);
                 last = cur;
-                let msg = KvMessage::Heartbeat {
+                // Encode once and share the bytes — same fan-out fix as
+                // the R-tree server's heartbeat loop.
+                let msg: Rc<[u8]> = KvMessage::Heartbeat {
                     util_permille: (util * 1000.0).round().min(1000.0) as u16,
                 }
-                .encode();
+                .encode()
+                .into();
                 let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
                 for tx in targets {
-                    let m = msg.clone();
-                    spawn(async move {
-                        tx.send(&m, 0).await;
-                    });
+                    tx.send(&msg, 0).await;
                 }
             }
         });

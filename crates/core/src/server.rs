@@ -198,16 +198,17 @@ impl CatfishServer {
                 let cur = this.inner.cpu.sample();
                 let util = this.inner.cpu.utilization_between(&last, &cur);
                 last = cur;
-                let msg = Message::Heartbeat {
+                // Encode once and share the bytes: the old per-connection
+                // clone + spawn allocated a Vec and a task for every
+                // client on every 10 ms tick.
+                let msg: Rc<[u8]> = Message::Heartbeat {
                     util_permille: (util * 1000.0).round().min(1000.0) as u16,
                 }
-                .encode();
+                .encode()
+                .into();
                 let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
                 for tx in targets {
-                    let m = msg.clone();
-                    spawn(async move {
-                        tx.send(&m, 0).await;
-                    });
+                    tx.send(&msg, 0).await;
                 }
             }
         });

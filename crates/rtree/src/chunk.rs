@@ -6,6 +6,8 @@
 //! memory region (the server in `catfish-core`), where remote clients read
 //! the very same bytes with one-sided RDMA Reads.
 
+use std::cell::RefCell;
+
 use crate::codec::{ChunkLayout, CodecError};
 use crate::node::{Node, NodeId};
 use crate::store::{NodeStore, TreeMeta};
@@ -79,6 +81,20 @@ pub struct ChunkStore<M> {
     next: u32,
     live: usize,
     meta: TreeMeta,
+    /// Pool of decode scratch (chunk bytes + a reusable [`Node`]) for the
+    /// borrowed read path. One entry per concurrent visit depth: flat hot
+    /// loops reuse a single warm entry, recursive visits (invariant checks,
+    /// leaf searches) pop deeper ones. Allocates only the first time each
+    /// depth is reached.
+    scratch: RefCell<Vec<Scratch>>,
+    /// Reusable encode buffer for the write path.
+    write_buf: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Scratch {
+    chunk: Vec<u8>,
+    node: Node,
 }
 
 impl<M: ChunkMemory> ChunkStore<M> {
@@ -104,6 +120,8 @@ impl<M: ChunkMemory> ChunkStore<M> {
             next: 1,
             live: 0,
             meta: TreeMeta::default(),
+            scratch: RefCell::new(Vec::new()),
+            write_buf: Vec::new(),
         };
         store.persist_meta();
         store
@@ -177,6 +195,8 @@ impl<M: ChunkMemory> ChunkStore<M> {
             next,
             live,
             meta,
+            scratch: RefCell::new(Vec::new()),
+            write_buf: Vec::new(),
         })
     }
 
@@ -186,9 +206,33 @@ impl<M: ChunkMemory> ChunkStore<M> {
     ///
     /// Propagates [`CodecError`] from decoding.
     pub fn try_read(&self, id: NodeId) -> Result<Node, CodecError> {
-        let mut buf = vec![0u8; self.layout.chunk_bytes()];
-        self.mem.read_into(self.layout.node_offset(id), &mut buf);
-        self.layout.decode_node(&buf).map(|(n, _)| n)
+        self.try_visit(id, Node::clone)
+    }
+
+    /// Borrowed read path: reads the chunk at `id` into pooled scratch,
+    /// decodes it in place, and lends the resulting `&Node` to `f`.
+    ///
+    /// Once the pool is warm this performs zero heap allocations per visit
+    /// while still running the full FaRM-style line-version check
+    /// ([`CodecError::TornRead`] on disagreement). Visits may nest: an inner
+    /// visit simply pops (or allocates) the next scratch entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodecError`] from decoding; `f` is not called on error.
+    pub fn try_visit<R>(&self, id: NodeId, f: impl FnOnce(&Node) -> R) -> Result<R, CodecError> {
+        let mut scratch = self.scratch.borrow_mut().pop().unwrap_or_else(|| Scratch {
+            chunk: vec![0u8; self.layout.chunk_bytes()],
+            node: Node::new(0),
+        });
+        self.mem
+            .read_into(self.layout.node_offset(id), &mut scratch.chunk);
+        let result = self
+            .layout
+            .decode_node_into(&scratch.chunk, &mut scratch.node)
+            .map(|_| f(&scratch.node));
+        self.scratch.borrow_mut().push(scratch);
+        result
     }
 
     fn persist_meta(&mut self) {
@@ -204,6 +248,11 @@ impl<M: ChunkMemory> NodeStore for ChunkStore<M> {
             .unwrap_or_else(|e| panic!("chunk store read of {id} failed: {e}"))
     }
 
+    fn visit<R>(&self, id: NodeId, f: impl FnOnce(&Node) -> R) -> R {
+        self.try_visit(id, f)
+            .unwrap_or_else(|e| panic!("chunk store read of {id} failed: {e}"))
+    }
+
     fn write(&mut self, id: NodeId, node: &Node) {
         let idx = id.0 as usize;
         assert!(
@@ -211,8 +260,11 @@ impl<M: ChunkMemory> NodeStore for ChunkStore<M> {
             "write to out-of-range chunk {id}"
         );
         self.versions[idx] += 1;
-        let chunk = self.layout.encode_node(node, self.versions[idx]);
+        let mut chunk = std::mem::take(&mut self.write_buf);
+        self.layout
+            .encode_node_into(node, self.versions[idx], &mut chunk);
         self.mem.write_at(self.layout.node_offset(id), &chunk);
+        self.write_buf = chunk;
     }
 
     fn alloc(&mut self) -> NodeId {
@@ -334,6 +386,47 @@ mod tests {
         let a = s.alloc();
         s.free(a);
         s.free(a);
+    }
+
+    #[test]
+    fn try_visit_borrows_and_nests() {
+        let mut s = store_with(8);
+        let a = s.alloc();
+        let b = s.alloc();
+        let mut n = Node::new(0);
+        n.entries
+            .push(Entry::data(Rect::new(0.0, 0.0, 1.0, 1.0), 5));
+        s.write(a, &n);
+        s.write(b, &n);
+        assert_eq!(s.visit(a, |node| node.entries.len()), 1);
+        // Nested visits use distinct scratch entries, so both borrows are
+        // live at once and observe independent decodes.
+        assert!(s.visit(a, |na| s.visit(b, |nb| na == nb)));
+        // The pool should have grown to exactly the max nesting depth.
+        assert_eq!(s.scratch.borrow().len(), 2);
+    }
+
+    #[test]
+    fn torn_read_surfaces_through_try_visit() {
+        use crate::codec::LINE_BYTES;
+
+        let mut s = store_with(8);
+        let id = s.alloc();
+        let mut n = Node::new(0);
+        n.entries
+            .push(Entry::data(Rect::new(0.1, 0.1, 0.2, 0.2), 9));
+        s.write(id, &n);
+        let layout = s.layout();
+        let (next, free) = s.allocator_state();
+        let mut mem = s.into_mem();
+        // Corrupt the second line's version stamp: a torn write snapshot.
+        let off = layout.node_offset(id) + LINE_BYTES;
+        mem[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let s = ChunkStore::from_parts(mem, layout, next, free).unwrap();
+        assert!(matches!(
+            s.try_visit(id, |n| n.clone()),
+            Err(CodecError::TornRead { .. })
+        ));
     }
 
     #[test]

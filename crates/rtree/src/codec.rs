@@ -129,23 +129,41 @@ impl ChunkLayout {
     /// Panics if the node has more than `max_entries` entries or a data
     /// payload uses the reserved tag bit.
     pub fn encode_node(&self, node: &Node, version: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_node_into(node, version, &mut out);
+        out
+    }
+
+    /// Serializes `node` directly into `out` (cleared and resized), packing
+    /// the versioned lines in place. Reusing `out` across calls makes the
+    /// write path allocation-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ChunkLayout::encode_node`].
+    pub fn encode_node_into(&self, node: &Node, version: u64, out: &mut Vec<u8>) {
         assert!(
             node.entries.len() <= self.max_entries,
             "node has {} entries but the layout allows {}",
             node.entries.len(),
             self.max_entries
         );
-        let mut logical = vec![0u8; self.lines * LINE_PAYLOAD_BYTES];
-        logical[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
-        logical[4..8].copy_from_slice(&node.level.to_le_bytes());
-        logical[8..12].copy_from_slice(&(node.entries.len() as u32).to_le_bytes());
-        // logical[12..16] reserved.
+        out.clear();
+        out.resize(self.lines * LINE_BYTES, 0);
+        for line in 0..self.lines {
+            let dst = line * LINE_BYTES;
+            out[dst..dst + LINE_VERSION_BYTES].copy_from_slice(&version.to_le_bytes());
+        }
+        write_packed(out, 0, &NODE_MAGIC.to_le_bytes());
+        write_packed(out, 4, &node.level.to_le_bytes());
+        write_packed(out, 8, &(node.entries.len() as u32).to_le_bytes());
+        // Logical bytes 12..16 reserved (left zero).
         for (i, e) in node.entries.iter().enumerate() {
             let at = NODE_HEADER_BYTES + i * ENTRY_BYTES;
-            logical[at..at + 8].copy_from_slice(&e.mbr.min_x().to_le_bytes());
-            logical[at + 8..at + 16].copy_from_slice(&e.mbr.min_y().to_le_bytes());
-            logical[at + 16..at + 24].copy_from_slice(&e.mbr.max_x().to_le_bytes());
-            logical[at + 24..at + 32].copy_from_slice(&e.mbr.max_y().to_le_bytes());
+            write_packed(out, at, &e.mbr.min_x().to_le_bytes());
+            write_packed(out, at + 8, &e.mbr.min_y().to_le_bytes());
+            write_packed(out, at + 16, &e.mbr.max_x().to_le_bytes());
+            write_packed(out, at + 24, &e.mbr.max_y().to_le_bytes());
             let raw = match e.child {
                 EntryRef::Node(id) => {
                     let v = u64::from(id.0);
@@ -157,9 +175,8 @@ impl ChunkLayout {
                     d | DATA_TAG
                 }
             };
-            logical[at + 32..at + 40].copy_from_slice(&raw.to_le_bytes());
+            write_packed(out, at + 32, &raw.to_le_bytes());
         }
-        self.pack_lines(&logical, version)
     }
 
     /// Deserializes a node chunk, validating version consistency.
@@ -169,25 +186,40 @@ impl ChunkLayout {
     /// [`CodecError::TornRead`] if line versions disagree;
     /// [`CodecError::Malformed`] if the payload is not a valid node.
     pub fn decode_node(&self, chunk: &[u8]) -> Result<(Node, u64), CodecError> {
-        let (logical, version) = self.unpack_lines(chunk)?;
-        let magic = u32::from_le_bytes(logical[0..4].try_into().expect("sized"));
+        let mut node = Node::new(0);
+        let version = self.decode_node_into(chunk, &mut node)?;
+        Ok((node, version))
+    }
+
+    /// Deserializes a node chunk into `node`, reusing its entry buffer, and
+    /// returns the chunk version. Fields are parsed straight out of the
+    /// packed lines (no intermediate logical buffer), so with a warm `node`
+    /// the whole decode performs zero heap allocations.
+    ///
+    /// On error `node` is left in an unspecified (but valid) state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChunkLayout::decode_node`].
+    pub fn decode_node_into(&self, chunk: &[u8], node: &mut Node) -> Result<u64, CodecError> {
+        let version = chunk_version(chunk, self.lines)?;
+        let magic = u32::from_le_bytes(read_packed::<4>(chunk, 0));
         if magic != NODE_MAGIC {
             return Err(CodecError::Malformed("bad node magic"));
         }
-        let level = u32::from_le_bytes(logical[4..8].try_into().expect("sized"));
-        let count = u32::from_le_bytes(logical[8..12].try_into().expect("sized")) as usize;
+        let level = u32::from_le_bytes(read_packed::<4>(chunk, 4));
+        let count = u32::from_le_bytes(read_packed::<4>(chunk, 8)) as usize;
         if count > self.max_entries {
             return Err(CodecError::Malformed("entry count exceeds layout fanout"));
         }
         if level > 64 {
             return Err(CodecError::Malformed("implausible node level"));
         }
-        let mut entries = Vec::with_capacity(count);
+        node.level = level;
+        node.entries.clear();
         for i in 0..count {
             let at = NODE_HEADER_BYTES + i * ENTRY_BYTES;
-            let f = |o: usize| {
-                f64::from_le_bytes(logical[at + o..at + o + 8].try_into().expect("sized"))
-            };
+            let f = |o: usize| f64::from_le_bytes(read_packed::<8>(chunk, at + o));
             let (min_x, min_y, max_x, max_y) = (f(0), f(8), f(16), f(24));
             if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite())
                 || min_x > max_x
@@ -196,7 +228,7 @@ impl ChunkLayout {
                 return Err(CodecError::Malformed("invalid entry rectangle"));
             }
             let mbr = Rect::new(min_x, min_y, max_x, max_y);
-            let raw = u64::from_le_bytes(logical[at + 32..at + 40].try_into().expect("sized"));
+            let raw = u64::from_le_bytes(read_packed::<8>(chunk, at + 32));
             let child = if level == 0 {
                 if raw & DATA_TAG == 0 {
                     return Err(CodecError::Malformed("leaf entry without data tag"));
@@ -211,9 +243,9 @@ impl ChunkLayout {
                 }
                 EntryRef::Node(NodeId(raw as u32))
             };
-            entries.push(Entry { mbr, child });
+            node.entries.push(Entry { mbr, child });
         }
-        Ok((Node { level, entries }, version))
+        Ok(version)
     }
 
     /// Serializes tree metadata into chunk 0's format.
@@ -258,6 +290,79 @@ impl ChunkLayout {
 
     fn unpack_lines(&self, chunk: &[u8]) -> Result<(Vec<u8>, u64), CodecError> {
         unpack_lines(chunk, self.lines)
+    }
+}
+
+/// Validates that every line stamp of a packed chunk agrees and returns the
+/// common version. This is the allocation-free half of [`unpack_lines`]:
+/// zero-copy readers call it once, then parse fields straight out of the
+/// packed payload bytes.
+///
+/// # Errors
+///
+/// [`CodecError::TornRead`] on version disagreement;
+/// [`CodecError::Malformed`] if the chunk is not `lines * 64` bytes.
+pub fn chunk_version(chunk: &[u8], lines: usize) -> Result<u64, CodecError> {
+    if chunk.len() != lines * LINE_BYTES {
+        return Err(CodecError::Malformed("chunk length mismatch"));
+    }
+    let version = u64::from_le_bytes(chunk[0..LINE_VERSION_BYTES].try_into().expect("sized"));
+    for line in 1..lines {
+        let src = line * LINE_BYTES;
+        let v = u64::from_le_bytes(
+            chunk[src..src + LINE_VERSION_BYTES]
+                .try_into()
+                .expect("sized"),
+        );
+        if v != version {
+            return Err(CodecError::TornRead {
+                first: version,
+                conflicting: v,
+            });
+        }
+    }
+    Ok(version)
+}
+
+/// Position of logical payload byte `logical` inside a packed chunk.
+#[inline]
+fn payload_pos(logical: usize) -> usize {
+    (logical / LINE_PAYLOAD_BYTES) * LINE_BYTES
+        + LINE_VERSION_BYTES
+        + (logical % LINE_PAYLOAD_BYTES)
+}
+
+/// Reads `N` logical payload bytes at `logical` straight out of a packed
+/// chunk, stitching across the line boundary when the field spans one.
+/// Fields are at most 8 bytes, so they cross at most one boundary.
+///
+/// Public so other chunk formats built on the same line scheme (the
+/// B+-tree in `catfish-bplus`) can share the zero-copy field access.
+#[inline]
+pub fn read_packed<const N: usize>(chunk: &[u8], logical: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    let head = (LINE_PAYLOAD_BYTES - logical % LINE_PAYLOAD_BYTES).min(N);
+    let pos = payload_pos(logical);
+    out[..head].copy_from_slice(&chunk[pos..pos + head]);
+    if head < N {
+        let pos2 = payload_pos(logical + head);
+        out[head..].copy_from_slice(&chunk[pos2..pos2 + N - head]);
+    }
+    out
+}
+
+/// Writes logical payload bytes at `logical` into a packed chunk,
+/// stitching across the line boundary when the field spans one.
+///
+/// Counterpart of [`read_packed`]; see there for why it is public.
+#[inline]
+pub fn write_packed(chunk: &mut [u8], logical: usize, data: &[u8]) {
+    let head = (LINE_PAYLOAD_BYTES - logical % LINE_PAYLOAD_BYTES).min(data.len());
+    let pos = payload_pos(logical);
+    chunk[pos..pos + head].copy_from_slice(&data[..head]);
+    if head < data.len() {
+        let pos2 = payload_pos(logical + head);
+        chunk[pos2..pos2 + data.len() - head].copy_from_slice(&data[head..]);
     }
 }
 
@@ -467,6 +572,57 @@ mod tests {
                 .push(Entry::data(Rect::new(0.0, 0.0, 1.0, 1.0), i));
         }
         let _ = l.encode_node(&n, 1);
+    }
+
+    #[test]
+    fn decode_into_reuses_scratch_across_shapes() {
+        let l = ChunkLayout::for_max_entries(16);
+        let mut scratch = Node::new(0);
+        for n in [sample_leaf(), sample_internal(), Node::new(0), {
+            let mut full = Node::new(0);
+            for i in 0..16 {
+                let x = i as f64;
+                full.entries
+                    .push(Entry::data(Rect::new(x, x, x + 1.0, x + 1.0), i));
+            }
+            full
+        }] {
+            let chunk = l.encode_node(&n, 7);
+            let v = l.decode_node_into(&chunk, &mut scratch).unwrap();
+            assert_eq!(scratch, n);
+            assert_eq!(v, 7);
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_when_buffer_reused() {
+        let l = ChunkLayout::for_max_entries(16);
+        let mut buf = Vec::new();
+        // A dirty, oversized buffer must still produce identical bytes.
+        buf.resize(2 * l.chunk_bytes(), 0xEE);
+        for n in [sample_internal(), sample_leaf(), Node::new(0)] {
+            l.encode_node_into(&n, 11, &mut buf);
+            assert_eq!(buf, l.encode_node(&n, 11));
+        }
+    }
+
+    #[test]
+    fn chunk_version_validates_without_unpacking() {
+        let l = ChunkLayout::for_max_entries(16);
+        let mut chunk = l.encode_node(&sample_leaf(), 9);
+        assert_eq!(chunk_version(&chunk, l.lines()), Ok(9));
+        chunk[LINE_BYTES..LINE_BYTES + 8].copy_from_slice(&8u64.to_le_bytes());
+        assert_eq!(
+            chunk_version(&chunk, l.lines()),
+            Err(CodecError::TornRead {
+                first: 9,
+                conflicting: 8
+            })
+        );
+        assert_eq!(
+            chunk_version(&chunk[..LINE_BYTES], l.lines()),
+            Err(CodecError::Malformed("chunk length mismatch"))
+        );
     }
 
     #[test]

@@ -63,6 +63,18 @@ impl SharedRTree {
         self.inner.read().search_into(query, out)
     }
 
+    /// Collects full `(rectangle, payload)` matches into a caller buffer
+    /// under a shared lock; see [`RTree::search_items_into`].
+    pub fn search_items_into(&self, query: &Rect, out: &mut Vec<(Rect, u64)>) -> SearchStats {
+        self.inner.read().search_items_into(query, out)
+    }
+
+    /// The `k` items nearest to `(x, y)` under a shared lock; see
+    /// [`RTree::nearest`].
+    pub fn nearest(&self, x: f64, y: f64, k: usize) -> Vec<crate::knn::Neighbor> {
+        self.inner.read().nearest(x, y, k)
+    }
+
     /// Inserts under an exclusive (write) lock.
     pub fn insert(&self, rect: Rect, data: u64) {
         self.inner.write().insert(rect, data);
@@ -167,6 +179,22 @@ mod tests {
         }
         assert_eq!(tree.len(), 1000);
         tree.with_read(|t| t.check_invariants()).unwrap();
+    }
+
+    #[test]
+    fn item_search_and_knn_wrappers() {
+        let tree = SharedRTree::new(RTreeConfig::default());
+        for i in 0..100u64 {
+            let x = i as f64;
+            tree.insert(Rect::new(x, 0.0, x + 0.5, 0.5), i);
+        }
+        let mut items = Vec::new();
+        let stats = tree.search_items_into(&Rect::new(0.0, 0.0, 9.9, 1.0), &mut items);
+        assert_eq!(items.len(), 10);
+        assert_eq!(stats.results, 10);
+        let near = tree.nearest(4.6, 0.2, 3);
+        assert_eq!(near[0].data, 4);
+        assert_eq!(near.len(), 3);
     }
 
     #[test]

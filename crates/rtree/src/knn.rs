@@ -119,15 +119,16 @@ impl<S: NodeStore> RTree<S> {
                     }
                 }
                 CandidateKind::Node(id) => {
-                    let node = self.store().read(id);
-                    for e in &node.entries {
-                        let d = min_dist_sq(&e.mbr, x, y);
-                        let entry = match e.child {
-                            EntryRef::Data(data) => CandidateKind::Item(e.mbr, data),
-                            EntryRef::Node(child) => CandidateKind::Node(child),
-                        };
-                        heap.push(Candidate { dist_sq: d, entry });
-                    }
+                    self.store().visit(id, |node| {
+                        for e in &node.entries {
+                            let d = min_dist_sq(&e.mbr, x, y);
+                            let entry = match e.child {
+                                EntryRef::Data(data) => CandidateKind::Item(e.mbr, data),
+                                EntryRef::Node(child) => CandidateKind::Node(child),
+                            };
+                            heap.push(Candidate { dist_sq: d, entry });
+                        }
+                    });
                 }
             }
         }

@@ -24,16 +24,37 @@ pub struct TreeMeta {
 
 /// Storage backend for R-tree nodes.
 ///
-/// Reads return owned copies: the tree algorithms mutate a copy and write it
-/// back, which keeps the trait implementable over serialized storage (the
-/// chunk layout re-encodes on every write, bumping version stamps).
+/// Read-only traversals use [`NodeStore::visit`], which lends the caller a
+/// `&Node` for the duration of a closure: [`MemStore`] borrows straight out
+/// of its arena and [`ChunkStore`](crate::chunk::ChunkStore) decodes into
+/// reusable scratch, so neither allocates per visit. Mutating paths use
+/// [`NodeStore::read`] to obtain an owned copy, mutate it, and write it back
+/// — which keeps the trait implementable over serialized storage (the chunk
+/// layout re-encodes on every write, bumping version stamps).
 pub trait NodeStore {
-    /// Reads the node stored at `id`.
+    /// Reads the node stored at `id`, returning an owned copy.
     ///
     /// # Panics
     ///
     /// Panics if `id` was never allocated or has been freed.
     fn read(&self, id: NodeId) -> Node;
+
+    /// Lends the node stored at `id` to `f` without giving up ownership.
+    ///
+    /// This is the hot-loop access path: implementations should hand `f` a
+    /// borrow of existing (or scratch) state rather than an allocation.
+    /// Visits may nest (e.g. recursive invariant checks); implementations
+    /// must support re-entrancy from within `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated or has been freed.
+    fn visit<R>(&self, id: NodeId, f: impl FnOnce(&Node) -> R) -> R
+    where
+        Self: Sized,
+    {
+        f(&self.read(id))
+    }
 
     /// Writes (replaces) the node stored at `id`.
     ///
@@ -91,10 +112,16 @@ impl MemStore {
 
 impl NodeStore for MemStore {
     fn read(&self, id: NodeId) -> Node {
-        self.slots
+        self.visit(id, Node::clone)
+    }
+
+    fn visit<R>(&self, id: NodeId, f: impl FnOnce(&Node) -> R) -> R {
+        let node = self
+            .slots
             .get(id.0 as usize)
-            .and_then(|s| s.clone())
-            .unwrap_or_else(|| panic!("read of unallocated node {id}"))
+            .and_then(|s| s.as_ref())
+            .unwrap_or_else(|| panic!("read of unallocated node {id}"));
+        f(node)
     }
 
     fn write(&mut self, id: NodeId, node: &Node) {
@@ -184,6 +211,19 @@ mod tests {
     fn read_unallocated_panics() {
         let s = MemStore::new();
         let _ = s.read(NodeId(3));
+    }
+
+    #[test]
+    fn visit_borrows_and_nests() {
+        let mut s = MemStore::new();
+        let id = s.alloc();
+        let mut n = Node::new(0);
+        n.entries
+            .push(Entry::data(Rect::new(0.0, 0.0, 1.0, 1.0), 3));
+        s.write(id, &n);
+        assert_eq!(s.visit(id, |node| node.entries.len()), 1);
+        // Visits may nest: both closures observe the same node.
+        assert!(s.visit(id, |a| s.visit(id, |b| a == b)));
     }
 
     #[test]

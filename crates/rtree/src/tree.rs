@@ -125,20 +125,21 @@ impl<S: NodeStore> RTree<S> {
         };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let node = self.store.read(id);
             stats.nodes_visited += 1;
-            for e in &node.entries {
-                if !e.mbr.intersects(query) {
-                    continue;
-                }
-                match e.child {
-                    EntryRef::Data(d) => {
-                        out.push(d);
-                        stats.results += 1;
+            self.store.visit(id, |node| {
+                for e in &node.entries {
+                    if !e.mbr.intersects(query) {
+                        continue;
                     }
-                    EntryRef::Node(c) => stack.push(c),
+                    match e.child {
+                        EntryRef::Data(d) => {
+                            out.push(d);
+                            stats.results += 1;
+                        }
+                        EntryRef::Node(c) => stack.push(c),
+                    }
                 }
-            }
+            });
         }
         stats
     }
@@ -153,20 +154,21 @@ impl<S: NodeStore> RTree<S> {
         };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let node = self.store.read(id);
             stats.nodes_visited += 1;
-            for e in &node.entries {
-                if !e.mbr.intersects(query) {
-                    continue;
-                }
-                match e.child {
-                    EntryRef::Data(d) => {
-                        out.push((e.mbr, d));
-                        stats.results += 1;
+            self.store.visit(id, |node| {
+                for e in &node.entries {
+                    if !e.mbr.intersects(query) {
+                        continue;
                     }
-                    EntryRef::Node(c) => stack.push(c),
+                    match e.child {
+                        EntryRef::Data(d) => {
+                            out.push((e.mbr, d));
+                            stats.results += 1;
+                        }
+                        EntryRef::Node(c) => stack.push(c),
+                    }
                 }
-            }
+            });
         }
         stats
     }
@@ -201,13 +203,14 @@ impl<S: NodeStore> RTree<S> {
         };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let node = self.store.read(id);
-            for e in &node.entries {
-                match e.child {
-                    EntryRef::Data(d) => out.push((e.mbr, d)),
-                    EntryRef::Node(c) => stack.push(c),
+            self.store.visit(id, |node| {
+                for e in &node.entries {
+                    match e.child {
+                        EntryRef::Data(d) => out.push((e.mbr, d)),
+                        EntryRef::Node(c) => stack.push(c),
+                    }
                 }
-            }
+            });
         }
         out
     }
@@ -251,14 +254,21 @@ impl<S: NodeStore> RTree<S> {
         let mut id = meta.root.expect("choose_path requires a non-empty tree");
         let mut path = Vec::with_capacity(meta.height as usize);
         loop {
-            let node = self.store.read(id);
-            debug_assert!(node.level >= target_level, "descended past target level");
-            if node.level == target_level {
-                return (id, path);
+            let next = self.store.visit(id, |node| {
+                debug_assert!(node.level >= target_level, "descended past target level");
+                if node.level == target_level {
+                    return None;
+                }
+                let idx = self.choose_subtree_index(node, mbr);
+                Some((idx, node.entries[idx].child.node().expect("internal entry")))
+            });
+            match next {
+                None => return (id, path),
+                Some((idx, child)) => {
+                    path.push((id, idx));
+                    id = child;
+                }
             }
-            let idx = self.choose_subtree_index(&node, mbr);
-            path.push((id, idx));
-            id = node.entries[idx].child.node().expect("internal entry");
         }
     }
 
@@ -409,8 +419,7 @@ impl<S: NodeStore> RTree<S> {
             let child_id = parent.entries[idx].child.node().expect("internal entry");
             let child_mbr = self
                 .store
-                .read(child_id)
-                .mbr()
+                .visit(child_id, |n| n.mbr())
                 .expect("tree nodes are non-empty");
             if parent.entries[idx].mbr == child_mbr {
                 return;
@@ -458,26 +467,27 @@ impl<S: NodeStore> RTree<S> {
         data: u64,
         path: &mut Vec<(NodeId, usize)>,
     ) -> Option<NodeId> {
-        let node = self.store.read(id);
-        if node.is_leaf() {
-            let found = node
-                .entries
-                .iter()
-                .any(|e| e.child == EntryRef::Data(data) && e.mbr == *rect);
-            return found.then_some(id);
-        }
-        for (i, e) in node.entries.iter().enumerate() {
-            if !e.mbr.contains(rect) {
-                continue;
+        self.store.visit(id, |node| {
+            if node.is_leaf() {
+                let found = node
+                    .entries
+                    .iter()
+                    .any(|e| e.child == EntryRef::Data(data) && e.mbr == *rect);
+                return found.then_some(id);
             }
-            let child = e.child.node().expect("internal entry");
-            path.push((id, i));
-            if let Some(found) = self.find_leaf(child, rect, data, path) {
-                return Some(found);
+            for (i, e) in node.entries.iter().enumerate() {
+                if !e.mbr.contains(rect) {
+                    continue;
+                }
+                let child = e.child.node().expect("internal entry");
+                path.push((id, i));
+                if let Some(found) = self.find_leaf(child, rect, data, path) {
+                    return Some(found);
+                }
+                path.pop();
             }
-            path.pop();
-        }
-        None
+            None
+        })
     }
 
     fn condense(&mut self, leaf: NodeId, mut path: Vec<(NodeId, usize)>) {
@@ -510,27 +520,42 @@ impl<S: NodeStore> RTree<S> {
     /// Collapses trivial roots: an internal root with one child is replaced
     /// by that child; an empty leaf root empties the tree.
     fn shrink_root(&mut self) {
+        enum Shrink {
+            Done,
+            FreeEmptyLeaf,
+            Collapse(NodeId),
+        }
         let mut meta = self.store.meta();
         let mut changed = false;
         while let Some(root) = meta.root {
-            let node = self.store.read(root);
-            if node.is_leaf() {
-                if node.entries.is_empty() {
+            let action = self.store.visit(root, |node| {
+                if node.is_leaf() {
+                    if node.entries.is_empty() {
+                        Shrink::FreeEmptyLeaf
+                    } else {
+                        Shrink::Done
+                    }
+                } else if node.entries.len() == 1 {
+                    Shrink::Collapse(node.entries[0].child.node().expect("internal entry"))
+                } else {
+                    Shrink::Done
+                }
+            });
+            match action {
+                Shrink::Done => break,
+                Shrink::FreeEmptyLeaf => {
                     self.store.free(root);
                     meta.root = None;
                     meta.height = 0;
                     changed = true;
+                    break;
                 }
-                break;
-            }
-            if node.entries.len() == 1 {
-                let child = node.entries[0].child.node().expect("internal entry");
-                self.store.free(root);
-                meta.root = Some(child);
-                meta.height -= 1;
-                changed = true;
-            } else {
-                break;
+                Shrink::Collapse(child) => {
+                    self.store.free(root);
+                    meta.root = Some(child);
+                    meta.height -= 1;
+                    changed = true;
+                }
             }
         }
         if changed {
@@ -557,16 +582,16 @@ impl<S: NodeStore> RTree<S> {
             }
             return Ok(());
         };
-        let root_node = self.store.read(root);
-        if meta.height != root_node.level + 1 {
+        let root_level = self.store.visit(root, |n| n.level);
+        if meta.height != root_level + 1 {
             return Err(format!(
-                "height {} disagrees with root level {}",
-                meta.height, root_node.level
+                "height {} disagrees with root level {root_level}",
+                meta.height
             ));
         }
         let mut seen = HashSet::new();
         let mut items = 0u64;
-        self.check_node(root, root_node.level, true, &mut seen, &mut items)?;
+        self.check_node(root, root_level, true, &mut seen, &mut items)?;
         if items != meta.len {
             return Err(format!("meta.len {} but counted {} items", meta.len, items));
         }
@@ -584,53 +609,54 @@ impl<S: NodeStore> RTree<S> {
         if !seen.insert(id) {
             return Err(format!("node {id} reachable twice"));
         }
-        let node = self.store.read(id);
-        if node.level != expected_level {
-            return Err(format!(
-                "node {id} at level {} but expected {expected_level}",
-                node.level
-            ));
-        }
-        let count = node.entries.len();
-        let min_allowed = if is_root {
-            if node.is_leaf() {
-                1
+        self.store.visit(id, |node| {
+            if node.level != expected_level {
+                return Err(format!(
+                    "node {id} at level {} but expected {expected_level}",
+                    node.level
+                ));
+            }
+            let count = node.entries.len();
+            let min_allowed = if is_root {
+                if node.is_leaf() {
+                    1
+                } else {
+                    2
+                }
             } else {
-                2
+                self.config.min_entries
+            };
+            if count < min_allowed || count > self.config.max_entries {
+                return Err(format!(
+                    "node {id} has {count} entries (allowed {min_allowed}..={})",
+                    self.config.max_entries
+                ));
             }
-        } else {
-            self.config.min_entries
-        };
-        if count < min_allowed || count > self.config.max_entries {
-            return Err(format!(
-                "node {id} has {count} entries (allowed {min_allowed}..={})",
-                self.config.max_entries
-            ));
-        }
-        for e in &node.entries {
-            match e.child {
-                EntryRef::Data(_) => {
-                    if !node.is_leaf() {
-                        return Err(format!("internal node {id} holds a data entry"));
+            for e in &node.entries {
+                match e.child {
+                    EntryRef::Data(_) => {
+                        if !node.is_leaf() {
+                            return Err(format!("internal node {id} holds a data entry"));
+                        }
+                        *items += 1;
                     }
-                    *items += 1;
-                }
-                EntryRef::Node(child) => {
-                    if node.is_leaf() {
-                        return Err(format!("leaf {id} holds a node entry"));
-                    }
-                    let child_mbr =
-                        self.check_node(child, expected_level - 1, false, seen, items)?;
-                    if child_mbr != e.mbr {
-                        return Err(format!(
-                            "node {id} entry MBR {:?} differs from child {child} MBR {child_mbr:?}",
-                            e.mbr
-                        ));
+                    EntryRef::Node(child) => {
+                        if node.is_leaf() {
+                            return Err(format!("leaf {id} holds a node entry"));
+                        }
+                        let child_mbr =
+                            self.check_node(child, expected_level - 1, false, seen, items)?;
+                        if child_mbr != e.mbr {
+                            return Err(format!(
+                                "node {id} entry MBR {:?} differs from child {child} MBR {child_mbr:?}",
+                                e.mbr
+                            ));
+                        }
                     }
                 }
             }
-        }
-        node.mbr().ok_or_else(|| format!("node {id} is empty"))
+            node.mbr().ok_or_else(|| format!("node {id} is empty"))
+        })
     }
 }
 
@@ -654,18 +680,24 @@ impl<S: NodeStore> Iterator for Iter<'_, S> {
     type Item = (Rect, u64);
 
     fn next(&mut self) -> Option<(Rect, u64)> {
+        let Iter {
+            tree,
+            stack,
+            pending,
+        } = self;
         loop {
-            if let Some(item) = self.pending.pop() {
+            if let Some(item) = pending.pop() {
                 return Some(item);
             }
-            let id = self.stack.pop()?;
-            let node = self.tree.store.read(id);
-            for e in &node.entries {
-                match e.child {
-                    EntryRef::Data(d) => self.pending.push((e.mbr, d)),
-                    EntryRef::Node(c) => self.stack.push(c),
+            let id = stack.pop()?;
+            tree.store.visit(id, |node| {
+                for e in &node.entries {
+                    match e.child {
+                        EntryRef::Data(d) => pending.push((e.mbr, d)),
+                        EntryRef::Node(c) => stack.push(c),
+                    }
                 }
-            }
+            });
         }
     }
 }

@@ -1,0 +1,224 @@
+//! Property tests for the borrowed (zero-copy) read path.
+//!
+//! The tree's hot loops — `search_into`, kNN — now traverse through
+//! [`NodeStore::visit`], which lends nodes out of the store instead of
+//! decoding an owned copy per visit. These tests pin the refactor's
+//! contract: over randomized insert/delete workloads, the borrowed path
+//! returns exactly what an owned-decode traversal returns, on both the
+//! in-memory store and the versioned chunk store, and torn chunk reads
+//! still surface through the new view API.
+
+use std::cell::Cell;
+use std::collections::BTreeSet;
+
+use catfish_rtree::chunk::{ChunkMemory, ChunkStore};
+use catfish_rtree::codec::{ChunkLayout, CodecError, LINE_BYTES};
+use catfish_rtree::{min_dist_sq, EntryRef, MemStore, NodeStore, RTree, RTreeConfig, Rect};
+use proptest::prelude::*;
+
+fn small_config() -> RTreeConfig {
+    RTreeConfig {
+        max_entries: 5,
+        min_entries: 2,
+        reinsert_count: 1,
+    }
+}
+
+fn chunk_store() -> ChunkStore<Vec<u8>> {
+    let layout = ChunkLayout::for_max_entries(small_config().max_entries);
+    ChunkStore::new(vec![0u8; layout.arena_bytes(2048)], layout)
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..5.0, 0.0f64..5.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn arb_items(max: usize) -> impl Strategy<Value = Vec<(Rect, u64)>> {
+    prop::collection::vec(arb_rect(), 1..max).prop_map(|rects| {
+        rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u64))
+            .collect()
+    })
+}
+
+/// Inserts every item, then deletes the subset picked by `deletes`.
+fn run_workload<S: NodeStore>(
+    store: S,
+    items: &[(Rect, u64)],
+    deletes: &[prop::sample::Index],
+) -> RTree<S> {
+    let mut tree = RTree::new(store, small_config());
+    for (r, d) in items {
+        tree.insert(*r, *d);
+    }
+    let doomed: BTreeSet<usize> = deletes.iter().map(|ix| ix.index(items.len())).collect();
+    for i in doomed {
+        let (r, d) = items[i];
+        assert!(tree.delete(&r, d));
+    }
+    tree
+}
+
+/// Reference search that never touches `visit`: an explicit stack over
+/// owned [`NodeStore::read`] copies, the way every traversal worked before
+/// the borrowed path existed.
+fn owned_search<S: NodeStore>(store: &S, query: &Rect, out: &mut Vec<u64>) {
+    let Some(root) = store.meta().root else {
+        return;
+    };
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let node = store.read(id);
+        for e in &node.entries {
+            if e.mbr.intersects(query) {
+                match e.child {
+                    EntryRef::Node(child) => stack.push(child),
+                    EntryRef::Data(d) => out.push(d),
+                }
+            }
+        }
+    }
+}
+
+/// Every item in the tree, collected through owned reads only.
+fn owned_items<S: NodeStore>(store: &S) -> Vec<(Rect, u64)> {
+    let mut out = Vec::new();
+    let Some(root) = store.meta().root else {
+        return out;
+    };
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let node = store.read(id);
+        for e in &node.entries {
+            match e.child {
+                EntryRef::Node(child) => stack.push(child),
+                EntryRef::Data(d) => out.push((e.mbr, d)),
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Borrowed-path search equals an owned-decode traversal after a
+    /// random insert/delete workload, on both store kinds, and the two
+    /// stores agree with each other.
+    #[test]
+    fn borrowed_search_matches_owned(
+        items in arb_items(100),
+        deletes in prop::collection::vec(any::<prop::sample::Index>(), 0..30),
+        q in arb_rect(),
+    ) {
+        let mem_tree = run_workload(MemStore::new(), &items, &deletes);
+        let chunk_tree = run_workload(chunk_store(), &items, &deletes);
+
+        let mut mem_borrowed = mem_tree.search(&q);
+        let mut chunk_borrowed = chunk_tree.search(&q);
+        let mut mem_owned = Vec::new();
+        owned_search(mem_tree.store(), &q, &mut mem_owned);
+        let mut chunk_owned = Vec::new();
+        owned_search(chunk_tree.store(), &q, &mut chunk_owned);
+
+        mem_borrowed.sort_unstable();
+        chunk_borrowed.sort_unstable();
+        mem_owned.sort_unstable();
+        chunk_owned.sort_unstable();
+        prop_assert_eq!(&mem_borrowed, &mem_owned);
+        prop_assert_eq!(&chunk_borrowed, &chunk_owned);
+        prop_assert_eq!(&mem_borrowed, &chunk_borrowed);
+    }
+
+    /// Borrowed-path kNN returns the same neighbors (payload and distance)
+    /// as a linear scan over owned-read items, on both store kinds.
+    #[test]
+    fn borrowed_knn_matches_owned(
+        items in arb_items(80),
+        deletes in prop::collection::vec(any::<prop::sample::Index>(), 0..20),
+        x in 0.0f64..100.0,
+        y in 0.0f64..100.0,
+        k in 1usize..10,
+    ) {
+        let mem_tree = run_workload(MemStore::new(), &items, &deletes);
+        let chunk_tree = run_workload(chunk_store(), &items, &deletes);
+
+        let mut expect: Vec<(f64, u64)> = owned_items(mem_tree.store())
+            .into_iter()
+            .map(|(r, d)| (min_dist_sq(&r, x, y), d))
+            .collect();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.truncate(k);
+
+        for got in [mem_tree.nearest(x, y, k), chunk_tree.nearest(x, y, k)] {
+            let mut got: Vec<(f64, u64)> = got.into_iter().map(|n| (n.dist_sq, n.data)).collect();
+            got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}
+
+/// A chunk arena that can serve a torn snapshot of one chunk: when armed,
+/// reads covering `offset` see the second cache line's version stamp
+/// disagreeing with the first — exactly what a remote reader racing a
+/// multi-line write observes.
+struct TearingMem {
+    bytes: Vec<u8>,
+    tear_at: Cell<Option<usize>>,
+}
+
+impl ChunkMemory for TearingMem {
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn read_into(&self, offset: usize, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.bytes[offset..offset + buf.len()]);
+        if self.tear_at.get() == Some(offset) && buf.len() >= 2 * LINE_BYTES {
+            let stamp: [u8; 8] = buf[LINE_BYTES..LINE_BYTES + 8].try_into().unwrap();
+            let v = u64::from_le_bytes(stamp).wrapping_add(1);
+            buf[LINE_BYTES..LINE_BYTES + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn write_at(&mut self, offset: usize, data: &[u8]) {
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+}
+
+/// Torn reads surface as `Err(TornRead)` through `try_visit` (the view
+/// API underneath `visit`), and the scratch pool recovers: the same store
+/// serves clean borrowed reads immediately afterwards.
+#[test]
+fn torn_read_surfaces_through_try_visit() {
+    let layout = ChunkLayout::for_max_entries(small_config().max_entries);
+    let mem = TearingMem {
+        bytes: vec![0u8; layout.arena_bytes(64)],
+        tear_at: Cell::new(None),
+    };
+    let mut tree = RTree::new(ChunkStore::new(mem, layout), small_config());
+    for i in 0..20u64 {
+        let x = i as f64;
+        tree.insert(Rect::new(x, x, x + 1.0, x + 1.0), i);
+    }
+    let root = tree.store().meta().root.unwrap();
+
+    tree.store()
+        .mem()
+        .tear_at
+        .set(Some(layout.node_offset(root)));
+    let res = tree.store().try_visit(root, |n| n.entries.len());
+    assert!(
+        matches!(res, Err(CodecError::TornRead { .. })),
+        "expected torn read, got {res:?}"
+    );
+
+    tree.store().mem().tear_at.set(None);
+    let entries = tree.store().try_visit(root, |n| n.entries.len()).unwrap();
+    assert!(entries > 0);
+    let hits = tree.search(&Rect::new(-1.0, -1.0, 200.0, 200.0));
+    assert_eq!(hits.len(), 20);
+}

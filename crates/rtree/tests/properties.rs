@@ -84,7 +84,7 @@ proptest! {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
-            if rng % 2 == 0 {
+            if rng.is_multiple_of(2) {
                 prop_assert!(tree.delete(r, *d));
                 tree.check_invariants().unwrap();
                 removed.push(*d);

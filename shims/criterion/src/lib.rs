@@ -1,0 +1,288 @@
+//! Minimal offline shim for the subset of the `criterion` benchmark
+//! harness this workspace uses. Each benchmark is timed with
+//! `std::time::Instant`: a short calibration pass picks an iteration
+//! count targeting ~200 ms per sample, several samples run, and the
+//! median ns/iter is printed in a criterion-like format:
+//!
+//! ```text
+//! group/name              time: [12.345 µs 12.400 µs 12.501 µs]
+//! ```
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report —
+//! just honest wall-clock medians, which is enough to compare two code
+//! paths in the same process run.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; the shim times each routine
+/// invocation individually, so the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per routine invocation, small input.
+    SmallInput,
+    /// One setup per routine invocation, large input.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    target: Duration,
+    samples: usize,
+    /// Collected ns/iter samples.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(target: Duration, samples: usize) -> Self {
+        Bencher {
+            target,
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run until 5 ms or 1000 iters to estimate per-iter cost.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(5) && calib_iters < 1000 {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let iters = ((self.target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 50_000_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.results.push(elapsed * 1e9 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One timed invocation per sample; setup runs outside the clock.
+        let total = self.samples.max(3);
+        for _ in 0..total {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn report(name: &str, results: &mut [f64]) {
+    if results.is_empty() {
+        println!("{name:<40} time: [no samples]");
+        return;
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let lo = results[0];
+    let hi = results[results.len() - 1];
+    let mid = results[results.len() / 2];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(mid),
+        fmt_ns(hi)
+    );
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(200),
+            samples: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.target, self.samples);
+        f(&mut b);
+        report(name, &mut b.results);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.clamp(2, 100));
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        let mut b = Bencher::new(self.criterion.target, samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.results);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.samples.unwrap_or(self.criterion.samples);
+        let mut b = Bencher::new(self.criterion.target, samples);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &mut b.results);
+        self
+    }
+
+    /// Finishes the group (printing happens eagerly; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion {
+            target: Duration::from_millis(2),
+            samples: 3,
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(Duration::from_millis(1), 3);
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(b.results.len(), 3);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(10).to_string(), "10");
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+    }
+}
