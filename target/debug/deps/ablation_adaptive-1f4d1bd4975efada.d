@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adaptive-1f4d1bd4975efada.d: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adaptive-1f4d1bd4975efada.rmeta: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablation_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

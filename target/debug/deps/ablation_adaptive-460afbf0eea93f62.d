@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adaptive-460afbf0eea93f62.d: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adaptive-460afbf0eea93f62.rmeta: crates/bench/src/bin/ablation_adaptive.rs Cargo.toml
+
+crates/bench/src/bin/ablation_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_adaptive-8a463be3b3ba64d8.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/debug/deps/ablation_adaptive-8a463be3b3ba64d8: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

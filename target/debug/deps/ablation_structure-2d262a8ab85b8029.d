@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_structure-2d262a8ab85b8029.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/debug/deps/ablation_structure-2d262a8ab85b8029: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_structure-7af15050f07949eb.d: crates/bench/src/bin/ablation_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_structure-7af15050f07949eb.rmeta: crates/bench/src/bin/ablation_structure.rs Cargo.toml
+
+crates/bench/src/bin/ablation_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

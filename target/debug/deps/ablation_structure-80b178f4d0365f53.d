@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_structure-80b178f4d0365f53.d: crates/bench/src/bin/ablation_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_structure-80b178f4d0365f53.rmeta: crates/bench/src/bin/ablation_structure.rs Cargo.toml
+
+crates/bench/src/bin/ablation_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_dynamics-c44df7d07f39e9bb.d: crates/bench/src/bin/adaptive_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_dynamics-c44df7d07f39e9bb.rmeta: crates/bench/src/bin/adaptive_dynamics.rs Cargo.toml
+
+crates/bench/src/bin/adaptive_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_dynamics-dc3ac51792e6c4f4.d: crates/bench/src/bin/adaptive_dynamics.rs
+
+/root/repo/target/debug/deps/adaptive_dynamics-dc3ac51792e6c4f4: crates/bench/src/bin/adaptive_dynamics.rs
+
+crates/bench/src/bin/adaptive_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/borrowed_path-0231f486216a609a.d: crates/rtree/tests/borrowed_path.rs Cargo.toml
+
+/root/repo/target/debug/deps/libborrowed_path-0231f486216a609a.rmeta: crates/rtree/tests/borrowed_path.rs Cargo.toml
+
+crates/rtree/tests/borrowed_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

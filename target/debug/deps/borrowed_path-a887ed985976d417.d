@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/borrowed_path-a887ed985976d417.d: crates/rtree/tests/borrowed_path.rs
+
+/root/repo/target/debug/deps/borrowed_path-a887ed985976d417: crates/rtree/tests/borrowed_path.rs
+
+crates/rtree/tests/borrowed_path.rs:

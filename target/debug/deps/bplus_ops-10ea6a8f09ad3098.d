@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bplus_ops-10ea6a8f09ad3098.d: crates/bench/benches/bplus_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbplus_ops-10ea6a8f09ad3098.rmeta: crates/bench/benches/bplus_ops.rs Cargo.toml
+
+crates/bench/benches/bplus_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

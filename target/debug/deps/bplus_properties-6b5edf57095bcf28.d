@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bplus_properties-6b5edf57095bcf28.d: crates/bplus/tests/bplus_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbplus_properties-6b5edf57095bcf28.rmeta: crates/bplus/tests/bplus_properties.rs Cargo.toml
+
+crates/bplus/tests/bplus_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

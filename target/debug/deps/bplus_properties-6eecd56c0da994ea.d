@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bplus_properties-6eecd56c0da994ea.d: crates/bplus/tests/bplus_properties.rs
+
+/root/repo/target/debug/deps/bplus_properties-6eecd56c0da994ea: crates/bplus/tests/bplus_properties.rs
+
+crates/bplus/tests/bplus_properties.rs:

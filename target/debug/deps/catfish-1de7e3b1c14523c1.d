@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catfish-1de7e3b1c14523c1.d: src/lib.rs
+
+/root/repo/target/debug/deps/catfish-1de7e3b1c14523c1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/catfish-a96e58399faa89a8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcatfish-a96e58399faa89a8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcatfish-a96e58399faa89a8.rmeta: src/lib.rs
+
+src/lib.rs:

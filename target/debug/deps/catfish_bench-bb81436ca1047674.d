@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/catfish_bench-bb81436ca1047674.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcatfish_bench-bb81436ca1047674.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcatfish_bench-bb81436ca1047674.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catfish_bench-d99ff47a196e2bfa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/catfish_bench-d99ff47a196e2bfa: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

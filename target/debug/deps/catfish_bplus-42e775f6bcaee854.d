@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/catfish_bplus-42e775f6bcaee854.d: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+/root/repo/target/debug/deps/libcatfish_bplus-42e775f6bcaee854.rlib: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+/root/repo/target/debug/deps/libcatfish_bplus-42e775f6bcaee854.rmeta: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+crates/bplus/src/lib.rs:
+crates/bplus/src/node.rs:
+crates/bplus/src/store.rs:
+crates/bplus/src/tree.rs:

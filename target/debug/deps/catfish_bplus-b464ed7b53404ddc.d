@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/catfish_bplus-b464ed7b53404ddc.d: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+/root/repo/target/debug/deps/catfish_bplus-b464ed7b53404ddc: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+crates/bplus/src/lib.rs:
+crates/bplus/src/node.rs:
+crates/bplus/src/store.rs:
+crates/bplus/src/tree.rs:

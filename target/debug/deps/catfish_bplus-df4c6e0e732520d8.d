@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/catfish_bplus-df4c6e0e732520d8.d: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatfish_bplus-df4c6e0e732520d8.rmeta: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs Cargo.toml
+
+crates/bplus/src/lib.rs:
+crates/bplus/src/node.rs:
+crates/bplus/src/store.rs:
+crates/bplus/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/catfish_core-25fecec5d411ef2e.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/conn.rs crates/core/src/harness.rs crates/core/src/kv.rs crates/core/src/msg.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/stats.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/catfish_core-25fecec5d411ef2e: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/conn.rs crates/core/src/harness.rs crates/core/src/kv.rs crates/core/src/msg.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/stats.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/conn.rs:
+crates/core/src/harness.rs:
+crates/core/src/kv.rs:
+crates/core/src/msg.rs:
+crates/core/src/ring.rs:
+crates/core/src/server.rs:
+crates/core/src/stats.rs:
+crates/core/src/store.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/catfish_core-fbc333ff2cee1741.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/conn.rs crates/core/src/harness.rs crates/core/src/kv.rs crates/core/src/msg.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/stats.rs crates/core/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatfish_core-fbc333ff2cee1741.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/conn.rs crates/core/src/harness.rs crates/core/src/kv.rs crates/core/src/msg.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/stats.rs crates/core/src/store.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/conn.rs:
+crates/core/src/harness.rs:
+crates/core/src/kv.rs:
+crates/core/src/msg.rs:
+crates/core/src/ring.rs:
+crates/core/src/server.rs:
+crates/core/src/stats.rs:
+crates/core/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/catfish_rdma-c9464b90d99f81b6.d: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+/root/repo/target/debug/deps/catfish_rdma-c9464b90d99f81b6: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+crates/rdma/src/lib.rs:
+crates/rdma/src/mr.rs:
+crates/rdma/src/profile.rs:
+crates/rdma/src/qp.rs:
+crates/rdma/src/tcp.rs:

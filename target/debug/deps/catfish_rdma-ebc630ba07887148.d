@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/catfish_rdma-ebc630ba07887148.d: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatfish_rdma-ebc630ba07887148.rmeta: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs Cargo.toml
+
+crates/rdma/src/lib.rs:
+crates/rdma/src/mr.rs:
+crates/rdma/src/profile.rs:
+crates/rdma/src/qp.rs:
+crates/rdma/src/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

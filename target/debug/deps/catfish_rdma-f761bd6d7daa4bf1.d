@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/catfish_rdma-f761bd6d7daa4bf1.d: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+/root/repo/target/debug/deps/libcatfish_rdma-f761bd6d7daa4bf1.rlib: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+/root/repo/target/debug/deps/libcatfish_rdma-f761bd6d7daa4bf1.rmeta: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+crates/rdma/src/lib.rs:
+crates/rdma/src/mr.rs:
+crates/rdma/src/profile.rs:
+crates/rdma/src/qp.rs:
+crates/rdma/src/tcp.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/catfish_rtree-4c951d967e8c6746.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/chunk.rs crates/rtree/src/codec.rs crates/rtree/src/concurrent.rs crates/rtree/src/geom.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/split.rs crates/rtree/src/store.rs crates/rtree/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatfish_rtree-4c951d967e8c6746.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/chunk.rs crates/rtree/src/codec.rs crates/rtree/src/concurrent.rs crates/rtree/src/geom.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/split.rs crates/rtree/src/store.rs crates/rtree/src/tree.rs Cargo.toml
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/chunk.rs:
+crates/rtree/src/codec.rs:
+crates/rtree/src/concurrent.rs:
+crates/rtree/src/geom.rs:
+crates/rtree/src/knn.rs:
+crates/rtree/src/node.rs:
+crates/rtree/src/persist.rs:
+crates/rtree/src/split.rs:
+crates/rtree/src/store.rs:
+crates/rtree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

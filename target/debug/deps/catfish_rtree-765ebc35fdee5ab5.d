@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/catfish_rtree-765ebc35fdee5ab5.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/chunk.rs crates/rtree/src/codec.rs crates/rtree/src/concurrent.rs crates/rtree/src/geom.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/split.rs crates/rtree/src/store.rs crates/rtree/src/tree.rs
+
+/root/repo/target/debug/deps/catfish_rtree-765ebc35fdee5ab5: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/chunk.rs crates/rtree/src/codec.rs crates/rtree/src/concurrent.rs crates/rtree/src/geom.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/split.rs crates/rtree/src/store.rs crates/rtree/src/tree.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/chunk.rs:
+crates/rtree/src/codec.rs:
+crates/rtree/src/concurrent.rs:
+crates/rtree/src/geom.rs:
+crates/rtree/src/knn.rs:
+crates/rtree/src/node.rs:
+crates/rtree/src/persist.rs:
+crates/rtree/src/split.rs:
+crates/rtree/src/store.rs:
+crates/rtree/src/tree.rs:

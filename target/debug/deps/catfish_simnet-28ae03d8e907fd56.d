@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/catfish_simnet-28ae03d8e907fd56.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+/root/repo/target/debug/deps/libcatfish_simnet-28ae03d8e907fd56.rlib: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+/root/repo/target/debug/deps/libcatfish_simnet-28ae03d8e907fd56.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/executor.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/select.rs:
+crates/simnet/src/sync.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/timeout.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/catfish_simnet-8aaa6aa1c0ef970b.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+/root/repo/target/debug/deps/catfish_simnet-8aaa6aa1c0ef970b: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/executor.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/select.rs:
+crates/simnet/src/sync.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/timeout.rs:

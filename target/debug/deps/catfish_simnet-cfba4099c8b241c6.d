@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/catfish_simnet-cfba4099c8b241c6.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatfish_simnet-cfba4099c8b241c6.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/executor.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/select.rs:
+crates/simnet/src/sync.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/timeout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

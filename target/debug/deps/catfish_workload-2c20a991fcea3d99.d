@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/catfish_workload-2c20a991fcea3d99.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatfish_workload-2c20a991fcea3d99.rmeta: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/requests.rs:
+crates/workload/src/scale.rs:
+crates/workload/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

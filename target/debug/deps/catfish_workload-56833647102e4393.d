@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/catfish_workload-56833647102e4393.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/catfish_workload-56833647102e4393: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/requests.rs:
+crates/workload/src/scale.rs:
+crates/workload/src/zipf.rs:

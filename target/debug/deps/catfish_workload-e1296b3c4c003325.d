@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/catfish_workload-e1296b3c4c003325.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libcatfish_workload-e1296b3c4c003325.rlib: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libcatfish_workload-e1296b3c4c003325.rmeta: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/requests.rs:
+crates/workload/src/scale.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-049a1bcc21221c83.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-049a1bcc21221c83: tests/end_to_end.rs
+
+tests/end_to_end.rs:

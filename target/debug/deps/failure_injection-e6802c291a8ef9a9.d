@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e6802c291a8ef9a9.d: crates/core/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e6802c291a8ef9a9: crates/core/tests/failure_injection.rs
+
+crates/core/tests/failure_injection.rs:

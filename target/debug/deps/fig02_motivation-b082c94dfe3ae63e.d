@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_motivation-b082c94dfe3ae63e.d: crates/bench/src/bin/fig02_motivation.rs
+
+/root/repo/target/debug/deps/fig02_motivation-b082c94dfe3ae63e: crates/bench/src/bin/fig02_motivation.rs
+
+crates/bench/src/bin/fig02_motivation.rs:

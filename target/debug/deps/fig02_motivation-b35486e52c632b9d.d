@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_motivation-b35486e52c632b9d.d: crates/bench/src/bin/fig02_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_motivation-b35486e52c632b9d.rmeta: crates/bench/src/bin/fig02_motivation.rs Cargo.toml
+
+crates/bench/src/bin/fig02_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

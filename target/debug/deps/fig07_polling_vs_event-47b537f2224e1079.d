@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_polling_vs_event-47b537f2224e1079.d: crates/bench/src/bin/fig07_polling_vs_event.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_polling_vs_event-47b537f2224e1079.rmeta: crates/bench/src/bin/fig07_polling_vs_event.rs Cargo.toml
+
+crates/bench/src/bin/fig07_polling_vs_event.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_polling_vs_event-690f5a635b16dc5a.d: crates/bench/src/bin/fig07_polling_vs_event.rs
+
+/root/repo/target/debug/deps/fig07_polling_vs_event-690f5a635b16dc5a: crates/bench/src/bin/fig07_polling_vs_event.rs
+
+crates/bench/src/bin/fig07_polling_vs_event.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_polling_vs_event-c672a70920b75b9c.d: crates/bench/src/bin/fig07_polling_vs_event.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_polling_vs_event-c672a70920b75b9c.rmeta: crates/bench/src/bin/fig07_polling_vs_event.rs Cargo.toml
+
+crates/bench/src/bin/fig07_polling_vs_event.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_multi_issue-978d212df6aabc19.d: crates/bench/src/bin/fig08_multi_issue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_multi_issue-978d212df6aabc19.rmeta: crates/bench/src/bin/fig08_multi_issue.rs Cargo.toml
+
+crates/bench/src/bin/fig08_multi_issue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

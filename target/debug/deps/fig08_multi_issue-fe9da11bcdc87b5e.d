@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_multi_issue-fe9da11bcdc87b5e.d: crates/bench/src/bin/fig08_multi_issue.rs
+
+/root/repo/target/debug/deps/fig08_multi_issue-fe9da11bcdc87b5e: crates/bench/src/bin/fig08_multi_issue.rs
+
+crates/bench/src/bin/fig08_multi_issue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_microbench-76effbf63c91eb05.d: crates/bench/src/bin/fig09_microbench.rs
+
+/root/repo/target/debug/deps/fig09_microbench-76effbf63c91eb05: crates/bench/src/bin/fig09_microbench.rs
+
+crates/bench/src/bin/fig09_microbench.rs:

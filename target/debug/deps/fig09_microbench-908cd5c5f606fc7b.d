@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_microbench-908cd5c5f606fc7b.d: crates/bench/src/bin/fig09_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_microbench-908cd5c5f606fc7b.rmeta: crates/bench/src/bin/fig09_microbench.rs Cargo.toml
+
+crates/bench/src/bin/fig09_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

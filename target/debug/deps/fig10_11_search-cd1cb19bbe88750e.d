@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_11_search-cd1cb19bbe88750e.d: crates/bench/src/bin/fig10_11_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_11_search-cd1cb19bbe88750e.rmeta: crates/bench/src/bin/fig10_11_search.rs Cargo.toml
+
+crates/bench/src/bin/fig10_11_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

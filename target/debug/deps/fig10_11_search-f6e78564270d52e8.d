@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_11_search-f6e78564270d52e8.d: crates/bench/src/bin/fig10_11_search.rs
+
+/root/repo/target/debug/deps/fig10_11_search-f6e78564270d52e8: crates/bench/src/bin/fig10_11_search.rs
+
+crates/bench/src/bin/fig10_11_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_13_hybrid-53020544d7220ccb.d: crates/bench/src/bin/fig12_13_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_13_hybrid-53020544d7220ccb.rmeta: crates/bench/src/bin/fig12_13_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/fig12_13_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_13_hybrid-b22e443951f395d1.d: crates/bench/src/bin/fig12_13_hybrid.rs
+
+/root/repo/target/debug/deps/fig12_13_hybrid-b22e443951f395d1: crates/bench/src/bin/fig12_13_hybrid.rs
+
+crates/bench/src/bin/fig12_13_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_rea02-3db800396526543e.d: crates/bench/src/bin/fig14_rea02.rs
+
+/root/repo/target/debug/deps/fig14_rea02-3db800396526543e: crates/bench/src/bin/fig14_rea02.rs
+
+crates/bench/src/bin/fig14_rea02.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kv_service-428e3133da15ebd9.d: crates/bench/src/bin/kv_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkv_service-428e3133da15ebd9.rmeta: crates/bench/src/bin/kv_service.rs Cargo.toml
+
+crates/bench/src/bin/kv_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kv_service-90e543934a835a11.d: crates/bench/src/bin/kv_service.rs
+
+/root/repo/target/debug/deps/kv_service-90e543934a835a11: crates/bench/src/bin/kv_service.rs
+
+crates/bench/src/bin/kv_service.rs:

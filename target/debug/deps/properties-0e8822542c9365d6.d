@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0e8822542c9365d6.d: crates/rtree/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0e8822542c9365d6.rmeta: crates/rtree/tests/properties.rs Cargo.toml
+
+crates/rtree/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ec0ae886db1e7f5e.d: crates/rtree/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ec0ae886db1e7f5e: crates/rtree/tests/properties.rs
+
+crates/rtree/tests/properties.rs:

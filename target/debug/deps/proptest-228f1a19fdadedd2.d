@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-228f1a19fdadedd2.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-228f1a19fdadedd2: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9808f50242e17f1c.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9808f50242e17f1c.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9808f50242e17f1c.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_properties-027b46739ca4f72e.d: crates/core/tests/protocol_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_properties-027b46739ca4f72e.rmeta: crates/core/tests/protocol_properties.rs Cargo.toml
+
+crates/core/tests/protocol_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

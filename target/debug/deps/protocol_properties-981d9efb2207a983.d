@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_properties-981d9efb2207a983.d: crates/core/tests/protocol_properties.rs
+
+/root/repo/target/debug/deps/protocol_properties-981d9efb2207a983: crates/core/tests/protocol_properties.rs
+
+crates/core/tests/protocol_properties.rs:

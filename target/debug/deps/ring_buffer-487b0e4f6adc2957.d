@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ring_buffer-487b0e4f6adc2957.d: crates/bench/benches/ring_buffer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libring_buffer-487b0e4f6adc2957.rmeta: crates/bench/benches/ring_buffer.rs Cargo.toml
+
+crates/bench/benches/ring_buffer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

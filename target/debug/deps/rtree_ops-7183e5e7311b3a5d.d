@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtree_ops-7183e5e7311b3a5d.d: crates/bench/benches/rtree_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtree_ops-7183e5e7311b3a5d.rmeta: crates/bench/benches/rtree_ops.rs Cargo.toml
+
+crates/bench/benches/rtree_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_properties-966dab81df6afcd5.d: crates/simnet/tests/runtime_properties.rs
+
+/root/repo/target/debug/deps/runtime_properties-966dab81df6afcd5: crates/simnet/tests/runtime_properties.rs
+
+crates/simnet/tests/runtime_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_properties-ca7f4d9e5aeb3549.d: crates/simnet/tests/runtime_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_properties-ca7f4d9e5aeb3549.rmeta: crates/simnet/tests/runtime_properties.rs Cargo.toml
+
+crates/simnet/tests/runtime_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

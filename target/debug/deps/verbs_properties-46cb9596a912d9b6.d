@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verbs_properties-46cb9596a912d9b6.d: crates/rdma/tests/verbs_properties.rs
+
+/root/repo/target/debug/deps/verbs_properties-46cb9596a912d9b6: crates/rdma/tests/verbs_properties.rs
+
+crates/rdma/tests/verbs_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verbs_properties-e4a6577bf69a3132.d: crates/rdma/tests/verbs_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverbs_properties-e4a6577bf69a3132.rmeta: crates/rdma/tests/verbs_properties.rs Cargo.toml
+
+crates/rdma/tests/verbs_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

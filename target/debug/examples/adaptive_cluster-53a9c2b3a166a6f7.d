@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_cluster-53a9c2b3a166a6f7.d: examples/adaptive_cluster.rs
+
+/root/repo/target/debug/examples/adaptive_cluster-53a9c2b3a166a6f7: examples/adaptive_cluster.rs
+
+examples/adaptive_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/btree_offload-0e83bf451e354484.d: examples/btree_offload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbtree_offload-0e83bf451e354484.rmeta: examples/btree_offload.rs Cargo.toml
+
+examples/btree_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

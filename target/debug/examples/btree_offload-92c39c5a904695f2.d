@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/btree_offload-92c39c5a904695f2.d: examples/btree_offload.rs
+
+/root/repo/target/debug/examples/btree_offload-92c39c5a904695f2: examples/btree_offload.rs
+
+examples/btree_offload.rs:

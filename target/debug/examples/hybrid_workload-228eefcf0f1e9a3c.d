@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_workload-228eefcf0f1e9a3c.d: examples/hybrid_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_workload-228eefcf0f1e9a3c.rmeta: examples/hybrid_workload.rs Cargo.toml
+
+examples/hybrid_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

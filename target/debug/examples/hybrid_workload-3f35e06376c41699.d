@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_workload-3f35e06376c41699.d: examples/hybrid_workload.rs
+
+/root/repo/target/debug/examples/hybrid_workload-3f35e06376c41699: examples/hybrid_workload.rs
+
+examples/hybrid_workload.rs:

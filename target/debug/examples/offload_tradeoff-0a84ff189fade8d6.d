@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/offload_tradeoff-0a84ff189fade8d6.d: examples/offload_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboffload_tradeoff-0a84ff189fade8d6.rmeta: examples/offload_tradeoff.rs Cargo.toml
+
+examples/offload_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

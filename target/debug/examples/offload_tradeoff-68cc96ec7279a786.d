@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offload_tradeoff-68cc96ec7279a786.d: examples/offload_tradeoff.rs
+
+/root/repo/target/debug/examples/offload_tradeoff-68cc96ec7279a786: examples/offload_tradeoff.rs
+
+examples/offload_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bae1bceb08b17f8d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bae1bceb08b17f8d: examples/quickstart.rs
+
+examples/quickstart.rs:

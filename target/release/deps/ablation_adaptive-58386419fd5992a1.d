@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_adaptive-58386419fd5992a1.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/release/deps/ablation_adaptive-58386419fd5992a1: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

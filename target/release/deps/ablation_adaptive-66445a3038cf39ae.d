@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_adaptive-66445a3038cf39ae.d: crates/bench/src/bin/ablation_adaptive.rs
+
+/root/repo/target/release/deps/ablation_adaptive-66445a3038cf39ae: crates/bench/src/bin/ablation_adaptive.rs
+
+crates/bench/src/bin/ablation_adaptive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_structure-b83e707079c333a9.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/release/deps/ablation_structure-b83e707079c333a9: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_structure-bb77a1c9d3dd6a98.d: crates/bench/src/bin/ablation_structure.rs
+
+/root/repo/target/release/deps/ablation_structure-bb77a1c9d3dd6a98: crates/bench/src/bin/ablation_structure.rs
+
+crates/bench/src/bin/ablation_structure.rs:

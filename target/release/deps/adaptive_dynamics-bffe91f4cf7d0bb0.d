@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adaptive_dynamics-bffe91f4cf7d0bb0.d: crates/bench/src/bin/adaptive_dynamics.rs
+
+/root/repo/target/release/deps/adaptive_dynamics-bffe91f4cf7d0bb0: crates/bench/src/bin/adaptive_dynamics.rs
+
+crates/bench/src/bin/adaptive_dynamics.rs:

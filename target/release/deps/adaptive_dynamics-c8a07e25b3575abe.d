@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adaptive_dynamics-c8a07e25b3575abe.d: crates/bench/src/bin/adaptive_dynamics.rs
+
+/root/repo/target/release/deps/adaptive_dynamics-c8a07e25b3575abe: crates/bench/src/bin/adaptive_dynamics.rs
+
+crates/bench/src/bin/adaptive_dynamics.rs:

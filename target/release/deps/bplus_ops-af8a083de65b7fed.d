@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bplus_ops-af8a083de65b7fed.d: crates/bench/benches/bplus_ops.rs
+
+/root/repo/target/release/deps/bplus_ops-af8a083de65b7fed: crates/bench/benches/bplus_ops.rs
+
+crates/bench/benches/bplus_ops.rs:

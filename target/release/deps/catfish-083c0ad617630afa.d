@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/catfish-083c0ad617630afa.d: src/lib.rs
+
+/root/repo/target/release/deps/libcatfish-083c0ad617630afa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcatfish-083c0ad617630afa.rmeta: src/lib.rs
+
+src/lib.rs:

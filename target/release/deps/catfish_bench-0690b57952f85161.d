@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/catfish_bench-0690b57952f85161.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/catfish_bench-0690b57952f85161: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/catfish_bench-a26311ab320e8a69.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcatfish_bench-a26311ab320e8a69.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcatfish_bench-a26311ab320e8a69.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/catfish_bplus-674332f982f1ca9e.d: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+/root/repo/target/release/deps/libcatfish_bplus-674332f982f1ca9e.rlib: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+/root/repo/target/release/deps/libcatfish_bplus-674332f982f1ca9e.rmeta: crates/bplus/src/lib.rs crates/bplus/src/node.rs crates/bplus/src/store.rs crates/bplus/src/tree.rs
+
+crates/bplus/src/lib.rs:
+crates/bplus/src/node.rs:
+crates/bplus/src/store.rs:
+crates/bplus/src/tree.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/catfish_core-560081467977a150.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/conn.rs crates/core/src/harness.rs crates/core/src/kv.rs crates/core/src/msg.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/stats.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libcatfish_core-560081467977a150.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/conn.rs crates/core/src/harness.rs crates/core/src/kv.rs crates/core/src/msg.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/stats.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libcatfish_core-560081467977a150.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/client.rs crates/core/src/config.rs crates/core/src/conn.rs crates/core/src/harness.rs crates/core/src/kv.rs crates/core/src/msg.rs crates/core/src/ring.rs crates/core/src/server.rs crates/core/src/stats.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/client.rs:
+crates/core/src/config.rs:
+crates/core/src/conn.rs:
+crates/core/src/harness.rs:
+crates/core/src/kv.rs:
+crates/core/src/msg.rs:
+crates/core/src/ring.rs:
+crates/core/src/server.rs:
+crates/core/src/stats.rs:
+crates/core/src/store.rs:

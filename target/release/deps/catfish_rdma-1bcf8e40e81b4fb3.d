@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/catfish_rdma-1bcf8e40e81b4fb3.d: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+/root/repo/target/release/deps/libcatfish_rdma-1bcf8e40e81b4fb3.rlib: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+/root/repo/target/release/deps/libcatfish_rdma-1bcf8e40e81b4fb3.rmeta: crates/rdma/src/lib.rs crates/rdma/src/mr.rs crates/rdma/src/profile.rs crates/rdma/src/qp.rs crates/rdma/src/tcp.rs
+
+crates/rdma/src/lib.rs:
+crates/rdma/src/mr.rs:
+crates/rdma/src/profile.rs:
+crates/rdma/src/qp.rs:
+crates/rdma/src/tcp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/catfish_rtree-6d4c01e514fc3ae0.d: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/chunk.rs crates/rtree/src/codec.rs crates/rtree/src/concurrent.rs crates/rtree/src/geom.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/split.rs crates/rtree/src/store.rs crates/rtree/src/tree.rs
+
+/root/repo/target/release/deps/libcatfish_rtree-6d4c01e514fc3ae0.rlib: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/chunk.rs crates/rtree/src/codec.rs crates/rtree/src/concurrent.rs crates/rtree/src/geom.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/split.rs crates/rtree/src/store.rs crates/rtree/src/tree.rs
+
+/root/repo/target/release/deps/libcatfish_rtree-6d4c01e514fc3ae0.rmeta: crates/rtree/src/lib.rs crates/rtree/src/bulk.rs crates/rtree/src/chunk.rs crates/rtree/src/codec.rs crates/rtree/src/concurrent.rs crates/rtree/src/geom.rs crates/rtree/src/knn.rs crates/rtree/src/node.rs crates/rtree/src/persist.rs crates/rtree/src/split.rs crates/rtree/src/store.rs crates/rtree/src/tree.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/bulk.rs:
+crates/rtree/src/chunk.rs:
+crates/rtree/src/codec.rs:
+crates/rtree/src/concurrent.rs:
+crates/rtree/src/geom.rs:
+crates/rtree/src/knn.rs:
+crates/rtree/src/node.rs:
+crates/rtree/src/persist.rs:
+crates/rtree/src/split.rs:
+crates/rtree/src/store.rs:
+crates/rtree/src/tree.rs:

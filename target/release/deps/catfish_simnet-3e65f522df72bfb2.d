@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/catfish_simnet-3e65f522df72bfb2.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+/root/repo/target/release/deps/libcatfish_simnet-3e65f522df72bfb2.rlib: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+/root/repo/target/release/deps/libcatfish_simnet-3e65f522df72bfb2.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/executor.rs crates/simnet/src/net.rs crates/simnet/src/select.rs crates/simnet/src/sync.rs crates/simnet/src/time.rs crates/simnet/src/timeout.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/executor.rs:
+crates/simnet/src/net.rs:
+crates/simnet/src/select.rs:
+crates/simnet/src/sync.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/timeout.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/catfish_workload-9cb6dc1c768433d2.d: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libcatfish_workload-9cb6dc1c768433d2.rlib: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libcatfish_workload-9cb6dc1c768433d2.rmeta: crates/workload/src/lib.rs crates/workload/src/dataset.rs crates/workload/src/requests.rs crates/workload/src/scale.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/dataset.rs:
+crates/workload/src/requests.rs:
+crates/workload/src/scale.rs:
+crates/workload/src/zipf.rs:

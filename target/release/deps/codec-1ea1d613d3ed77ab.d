@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codec-1ea1d613d3ed77ab.d: crates/bench/benches/codec.rs
+
+/root/repo/target/release/deps/codec-1ea1d613d3ed77ab: crates/bench/benches/codec.rs
+
+crates/bench/benches/codec.rs:

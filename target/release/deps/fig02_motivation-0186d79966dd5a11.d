@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_motivation-0186d79966dd5a11.d: crates/bench/src/bin/fig02_motivation.rs
+
+/root/repo/target/release/deps/fig02_motivation-0186d79966dd5a11: crates/bench/src/bin/fig02_motivation.rs
+
+crates/bench/src/bin/fig02_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_motivation-26f2a31303e7314a.d: crates/bench/src/bin/fig02_motivation.rs
+
+/root/repo/target/release/deps/fig02_motivation-26f2a31303e7314a: crates/bench/src/bin/fig02_motivation.rs
+
+crates/bench/src/bin/fig02_motivation.rs:

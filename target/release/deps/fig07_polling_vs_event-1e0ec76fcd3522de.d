@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_polling_vs_event-1e0ec76fcd3522de.d: crates/bench/src/bin/fig07_polling_vs_event.rs
+
+/root/repo/target/release/deps/fig07_polling_vs_event-1e0ec76fcd3522de: crates/bench/src/bin/fig07_polling_vs_event.rs
+
+crates/bench/src/bin/fig07_polling_vs_event.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_polling_vs_event-b178689dec23ff85.d: crates/bench/src/bin/fig07_polling_vs_event.rs
+
+/root/repo/target/release/deps/fig07_polling_vs_event-b178689dec23ff85: crates/bench/src/bin/fig07_polling_vs_event.rs
+
+crates/bench/src/bin/fig07_polling_vs_event.rs:

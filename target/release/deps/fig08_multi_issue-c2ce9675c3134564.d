@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_multi_issue-c2ce9675c3134564.d: crates/bench/src/bin/fig08_multi_issue.rs
+
+/root/repo/target/release/deps/fig08_multi_issue-c2ce9675c3134564: crates/bench/src/bin/fig08_multi_issue.rs
+
+crates/bench/src/bin/fig08_multi_issue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_multi_issue-ea90c8be2f5acc3f.d: crates/bench/src/bin/fig08_multi_issue.rs
+
+/root/repo/target/release/deps/fig08_multi_issue-ea90c8be2f5acc3f: crates/bench/src/bin/fig08_multi_issue.rs
+
+crates/bench/src/bin/fig08_multi_issue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_microbench-734b669d2c0d62e9.d: crates/bench/src/bin/fig09_microbench.rs
+
+/root/repo/target/release/deps/fig09_microbench-734b669d2c0d62e9: crates/bench/src/bin/fig09_microbench.rs
+
+crates/bench/src/bin/fig09_microbench.rs:

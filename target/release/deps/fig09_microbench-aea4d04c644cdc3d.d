@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_microbench-aea4d04c644cdc3d.d: crates/bench/src/bin/fig09_microbench.rs
+
+/root/repo/target/release/deps/fig09_microbench-aea4d04c644cdc3d: crates/bench/src/bin/fig09_microbench.rs
+
+crates/bench/src/bin/fig09_microbench.rs:

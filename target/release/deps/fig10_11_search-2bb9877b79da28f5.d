@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_11_search-2bb9877b79da28f5.d: crates/bench/src/bin/fig10_11_search.rs
+
+/root/repo/target/release/deps/fig10_11_search-2bb9877b79da28f5: crates/bench/src/bin/fig10_11_search.rs
+
+crates/bench/src/bin/fig10_11_search.rs:

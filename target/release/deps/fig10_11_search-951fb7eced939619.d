@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_11_search-951fb7eced939619.d: crates/bench/src/bin/fig10_11_search.rs
+
+/root/repo/target/release/deps/fig10_11_search-951fb7eced939619: crates/bench/src/bin/fig10_11_search.rs
+
+crates/bench/src/bin/fig10_11_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_13_hybrid-0470f6e8cb12eb26.d: crates/bench/src/bin/fig12_13_hybrid.rs
+
+/root/repo/target/release/deps/fig12_13_hybrid-0470f6e8cb12eb26: crates/bench/src/bin/fig12_13_hybrid.rs
+
+crates/bench/src/bin/fig12_13_hybrid.rs:

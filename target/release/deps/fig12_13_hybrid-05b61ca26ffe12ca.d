@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_13_hybrid-05b61ca26ffe12ca.d: crates/bench/src/bin/fig12_13_hybrid.rs
+
+/root/repo/target/release/deps/fig12_13_hybrid-05b61ca26ffe12ca: crates/bench/src/bin/fig12_13_hybrid.rs
+
+crates/bench/src/bin/fig12_13_hybrid.rs:

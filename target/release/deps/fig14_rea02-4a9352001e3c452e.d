@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_rea02-4a9352001e3c452e.d: crates/bench/src/bin/fig14_rea02.rs
+
+/root/repo/target/release/deps/fig14_rea02-4a9352001e3c452e: crates/bench/src/bin/fig14_rea02.rs
+
+crates/bench/src/bin/fig14_rea02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_rea02-7fb1feb9d9021534.d: crates/bench/src/bin/fig14_rea02.rs
+
+/root/repo/target/release/deps/fig14_rea02-7fb1feb9d9021534: crates/bench/src/bin/fig14_rea02.rs
+
+crates/bench/src/bin/fig14_rea02.rs:

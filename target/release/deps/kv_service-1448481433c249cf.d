@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kv_service-1448481433c249cf.d: crates/bench/src/bin/kv_service.rs
+
+/root/repo/target/release/deps/kv_service-1448481433c249cf: crates/bench/src/bin/kv_service.rs
+
+crates/bench/src/bin/kv_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kv_service-412871607885b282.d: crates/bench/src/bin/kv_service.rs
+
+/root/repo/target/release/deps/kv_service-412871607885b282: crates/bench/src/bin/kv_service.rs
+
+crates/bench/src/bin/kv_service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0cc75fc5c981334a.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0cc75fc5c981334a.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0cc75fc5c981334a.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

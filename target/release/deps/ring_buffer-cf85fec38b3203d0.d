@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ring_buffer-cf85fec38b3203d0.d: crates/bench/benches/ring_buffer.rs
+
+/root/repo/target/release/deps/ring_buffer-cf85fec38b3203d0: crates/bench/benches/ring_buffer.rs
+
+crates/bench/benches/ring_buffer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtree_ops-a563b435e8ea8f50.d: crates/bench/benches/rtree_ops.rs
+
+/root/repo/target/release/deps/rtree_ops-a563b435e8ea8f50: crates/bench/benches/rtree_ops.rs
+
+crates/bench/benches/rtree_ops.rs:

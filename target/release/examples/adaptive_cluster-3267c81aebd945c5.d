@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_cluster-3267c81aebd945c5.d: examples/adaptive_cluster.rs
+
+/root/repo/target/release/examples/adaptive_cluster-3267c81aebd945c5: examples/adaptive_cluster.rs
+
+examples/adaptive_cluster.rs:

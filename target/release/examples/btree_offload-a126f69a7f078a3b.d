@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/btree_offload-a126f69a7f078a3b.d: examples/btree_offload.rs
+
+/root/repo/target/release/examples/btree_offload-a126f69a7f078a3b: examples/btree_offload.rs
+
+examples/btree_offload.rs:

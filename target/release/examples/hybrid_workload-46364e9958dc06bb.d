@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hybrid_workload-46364e9958dc06bb.d: examples/hybrid_workload.rs
+
+/root/repo/target/release/examples/hybrid_workload-46364e9958dc06bb: examples/hybrid_workload.rs
+
+examples/hybrid_workload.rs:

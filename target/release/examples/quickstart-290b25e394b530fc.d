@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-290b25e394b530fc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-290b25e394b530fc: examples/quickstart.rs
+
+examples/quickstart.rs:
