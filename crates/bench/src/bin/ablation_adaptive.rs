@@ -54,8 +54,8 @@ fn main() {
             label,
             r.throughput_kops,
             r.latency.mean.to_string(),
-            100.0 * r.offloaded_searches as f64
-                / (r.fast_searches + r.offloaded_searches).max(1) as f64,
+            100.0 * r.stats.offloaded_reads as f64
+                / (r.stats.fast_reads + r.stats.offloaded_reads).max(1) as f64,
         );
     };
 

@@ -89,7 +89,7 @@ fn main() {
             cache_levels,
             r.throughput_kops,
             r.latency.mean.to_string(),
-            r.cache_hits,
+            r.stats.cache_hits,
         );
     }
 

@@ -32,8 +32,8 @@ fn main() {
         "run: {} over {} ({} fast / {} offloaded)\n",
         r.row(),
         r.makespan,
-        r.fast_searches,
-        r.offloaded_searches
+        r.stats.fast_reads,
+        r.stats.offloaded_reads
     );
     println!(
         "{:>8} {:>7} {:>9}  cpu [#] vs bandwidth [=] (each col = 2.5%/2.5Gbps)",

@@ -52,12 +52,7 @@ fn main() {
                 };
                 let label = format!("{} n={}", scheme.label(prof), n);
                 let r = timed(&label, || run_experiment(&spec));
-                println!(
-                    "{}  [fast {} / offload {}]",
-                    r.row(),
-                    r.fast_searches,
-                    r.offloaded_searches
-                );
+                println!("{}  [{}]", r.row(), r.stats);
             }
             println!();
         }

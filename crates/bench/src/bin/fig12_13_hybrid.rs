@@ -52,11 +52,11 @@ fn main() {
                 let label = format!("{} n={}", scheme.label(prof), n);
                 let r = timed(&label, || run_experiment(&spec));
                 println!(
-                    "{}  [search mean {} / insert mean {} / torn retries {}]",
+                    "{}  [search mean {} / insert mean {} / {}]",
                     r.row(),
                     r.search_latency.mean,
                     r.insert_latency.mean,
-                    r.torn_retries
+                    r.stats
                 );
             }
             println!();

@@ -54,7 +54,7 @@ fn main() {
     }
 }
 
-/// Returns (kops, mean, p99, fast_gets, offloaded_gets).
+/// Returns (kops, mean, p99, fast_reads, offloaded_reads).
 fn run_cell(
     keys: u64,
     clients: usize,
@@ -96,7 +96,7 @@ fn run_cell(
             let ch = server.accept(&eps[c % 8]);
             let mut client = KvClient::new(
                 ch,
-                server.tree_handle(),
+                server.remote_handle(),
                 ClientConfig {
                     mode,
                     ..ClientConfig::default()
@@ -118,8 +118,8 @@ fn run_cell(
                 }
                 let mut s = stats.borrow_mut();
                 s.0.merge(&rec);
-                s.1 += client.stats().fast_gets;
-                s.2 += client.stats().offloaded_gets;
+                s.1 += client.stats().fast_reads;
+                s.2 += client.stats().offloaded_reads;
             }));
         }
         for h in handles {

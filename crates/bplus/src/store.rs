@@ -4,7 +4,9 @@
 use std::cell::RefCell;
 
 use catfish_rtree::chunk::ChunkMemory;
-use catfish_rtree::codec::{pack_lines, unpack_lines, CodecError, LINE_PAYLOAD_BYTES};
+use catfish_rtree::codec::{
+    pack_lines, unpack_lines, CodecError, RemoteLayout, LINE_PAYLOAD_BYTES,
+};
 use catfish_rtree::{NodeId, TreeMeta};
 
 use crate::node::{BpLayout, BpNode};
@@ -251,6 +253,34 @@ pub fn decode_meta(layout: &BpLayout, chunk: &[u8]) -> Result<(TreeMeta, u64), C
         return Err(CodecError::Malformed("b+ root/height mismatch"));
     }
     Ok((TreeMeta { root, height, len }, version))
+}
+
+impl RemoteLayout for BpLayout {
+    type Node = BpNode;
+
+    fn chunk_bytes(&self) -> usize {
+        BpLayout::chunk_bytes(self)
+    }
+
+    fn node_offset(&self, id: NodeId) -> usize {
+        BpLayout::node_offset(self, id)
+    }
+
+    fn arena_bytes(&self, chunks: u32) -> usize {
+        BpLayout::arena_bytes(self, chunks)
+    }
+
+    fn decode_node(&self, chunk: &[u8]) -> Result<(BpNode, u64), CodecError> {
+        BpLayout::decode_node(self, chunk)
+    }
+
+    fn decode_meta(&self, chunk: &[u8]) -> Result<(TreeMeta, u64), CodecError> {
+        decode_meta(self, chunk)
+    }
+
+    fn node_level(node: &BpNode) -> u32 {
+        node.level
+    }
 }
 
 impl<M: ChunkMemory> BpStore for BpChunkStore<M> {

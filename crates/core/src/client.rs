@@ -1,202 +1,102 @@
-//! The Catfish client: fast messaging, RDMA-offloaded traversal with
-//! multi-issue, and the adaptive back-off coordination (Algorithm 1).
+//! The Catfish R-tree client: the R\*-tree's [`ClientBackend`] port onto
+//! the generic [`ServiceClient`] engine, plus the R-tree-specific kNN
+//! operations.
+//!
+//! Path routing (Algorithm 1), the ring request/response sequencing, and
+//! the offloaded traversal engine (sequential and multi-issue, §IV-C) all
+//! live in [`crate::service`]; this module contributes only how a search
+//! rectangle expands one fetched node, and the best-first kNN that cannot
+//! be expressed as a plain frontier traversal.
 
-use std::collections::HashMap;
+use catfish_rtree::{Node, NodeId, Rect};
+use catfish_simnet::sleep;
 
-use catfish_rtree::codec::CodecError;
-use catfish_rtree::{Node, NodeId, Rect, TreeMeta};
-use catfish_simnet::{now, sleep, spawn, CpuPool, SimTime};
-
-use crate::adaptive::AdaptiveState;
-use crate::config::{AccessMode, ClientConfig};
-use crate::conn::ClientChannel;
 use crate::msg::Message;
-use crate::server::TreeHandle;
+use crate::server::RtreeBackend;
+use crate::service::{ClientBackend, Inconsistent, OpKind, ServiceClient};
 
-/// Per-client counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ClientStats {
-    /// Searches executed through fast messaging.
-    pub fast_searches: u64,
-    /// Searches executed through RDMA offloading.
-    pub offloaded_searches: u64,
-    /// Inserts sent (always fast messaging).
-    pub inserts: u64,
-    /// Deletes sent.
-    pub deletes: u64,
-    /// Chunk reads retried after version-validation failure (torn reads).
-    pub torn_retries: u64,
-    /// Metadata chunk reads.
-    pub meta_refreshes: u64,
-    /// Offloaded searches restarted after observing an inconsistent tree.
-    pub offload_restarts: u64,
-    /// Total chunks fetched by offloaded traversals.
-    pub chunks_fetched: u64,
-    /// Chunk reads avoided by the client-side level cache.
-    pub cache_hits: u64,
-}
+pub use crate::service::SearchPath;
 
-/// Which path executed a search (for tests and diagnostics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SearchPath {
-    /// Server-side traversal via the ring buffer.
-    FastMessaging,
-    /// Client-side traversal via one-sided reads.
-    Offloaded,
-}
+/// The Catfish R-tree client.
+pub type CatfishClient = ServiceClient<RtreeBackend>;
 
-enum ChunkReadError {
-    /// Retries exhausted on torn reads.
-    TooManyRetries,
-    /// The chunk no longer decodes to a plausible node (stale pointer).
-    Inconsistent,
-}
+impl ClientBackend for RtreeBackend {
+    type Read = Rect;
 
-/// A Catfish client bound to one connection.
-pub struct CatfishClient {
-    ch: ClientChannel,
-    cfg: ClientConfig,
-    tree: TreeHandle,
-    seq: u32,
-    adaptive: AdaptiveState,
-    meta_cache: Option<(TreeMeta, SimTime)>,
-    node_cache: HashMap<NodeId, (Node, SimTime)>,
-    /// When set, responses are detected by busy-polling a core of this
-    /// (client-machine) pool, FaRM-style, instead of blocking on the
-    /// completion channel — the client-side half of the oversubscription
-    /// collapse in paper Fig. 7.
-    poll_pool: Option<CpuPool>,
-    stats: ClientStats,
-}
-
-impl std::fmt::Debug for CatfishClient {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CatfishClient")
-            .field("seq", &self.seq)
-            .field("adaptive", &self.adaptive)
-            .finish()
-    }
-}
-
-impl CatfishClient {
-    /// Creates a client over an established channel. `seed` drives the
-    /// back-off randomization.
-    pub fn new(ch: ClientChannel, tree: TreeHandle, cfg: ClientConfig, seed: u64) -> Self {
-        let params = match cfg.mode {
-            AccessMode::Adaptive(p) => p,
-            _ => Default::default(),
-        };
-        CatfishClient {
-            ch,
-            cfg,
-            tree,
-            seq: 0,
-            adaptive: AdaptiveState::new(params, seed),
-            meta_cache: None,
-            node_cache: HashMap::new(),
-            poll_pool: None,
-            stats: ClientStats::default(),
-        }
+    fn read_request(seq: u32, read: &Rect) -> Message {
+        Message::SearchReq { seq, rect: *read }
     }
 
-    /// Switches response detection to busy-polling on a core of `pool`
-    /// (the client machine's CPUs). With more client threads per machine
-    /// than cores, response pickup waits for the thread's next scheduling
-    /// turn — reproducing the client-side half of Fig. 7's collapse.
-    pub fn with_response_polling(mut self, pool: CpuPool) -> Self {
-        self.poll_pool = Some(pool);
-        self
-    }
-
-    /// Receives the next ring message, either event-driven (block on the
-    /// completion channel, off-CPU) or by holding a core and polling.
-    async fn recv_ring_message(&mut self) -> Vec<u8> {
-        match self.poll_pool.clone() {
-            None => self.ch.rx.wait_message().await,
-            Some(pool) => loop {
-                let quantum = pool.quantum();
-                let core = pool.acquire().await;
-                let got = self.ch.rx.wait_message_until(now() + quantum).await;
-                drop(core);
-                if let Some(bytes) = got {
-                    return bytes;
+    /// Intersects a node against the query, pushing full `(mbr, payload)`
+    /// hits to `items` and intersecting children (with their expected
+    /// level) to `children`.
+    fn expand(
+        read: &Rect,
+        node: &Node,
+        items: &mut Vec<(Rect, u64)>,
+        children: &mut Vec<(NodeId, u32)>,
+    ) -> Result<(), Inconsistent> {
+        for e in &node.entries {
+            if !e.mbr.intersects(read) {
+                continue;
+            }
+            match e.child {
+                catfish_rtree::EntryRef::Data(d) => {
+                    if node.level != 0 {
+                        return Err(Inconsistent);
+                    }
+                    items.push((e.mbr, d));
                 }
-                // Turn expired without a message: requeue behind the other
-                // polling threads on this machine.
-                catfish_simnet::yield_now().await;
-            },
+                catfish_rtree::EntryRef::Node(c) => {
+                    if node.level == 0 {
+                        return Err(Inconsistent);
+                    }
+                    children.push((c, node.level - 1));
+                }
+            }
         }
+        Ok(())
     }
+}
 
-    /// Counters so far.
-    pub fn stats(&self) -> ClientStats {
-        self.stats
-    }
-
+impl ServiceClient<RtreeBackend> {
     /// Searches for all items intersecting `rect`, choosing the execution
-    /// path per the configured [`AccessMode`]. Returns the payload ids.
+    /// path per the configured [`crate::config::AccessMode`]. Returns the
+    /// payload ids.
     pub async fn search(&mut self, rect: &Rect) -> Vec<u64> {
         self.search_traced(rect).await.0
     }
 
     /// Like [`CatfishClient::search`], also reporting which path ran.
     pub async fn search_traced(&mut self, rect: &Rect) -> (Vec<u64>, SearchPath) {
-        self.drain_pending();
-        let offload = match self.cfg.mode {
-            AccessMode::FastMessaging => false,
-            AccessMode::Offloading => true,
-            AccessMode::Adaptive(_) => self.adaptive.decide(),
-        };
-        if offload {
-            self.stats.offloaded_searches += 1;
-            (self.offload_search(rect).await, SearchPath::Offloaded)
-        } else {
-            self.stats.fast_searches += 1;
-            (self.fast_search(rect).await, SearchPath::FastMessaging)
-        }
+        let (items, path) = self.read_traced(rect).await;
+        (items.into_iter().map(|(_, d)| d).collect(), path)
     }
 
     /// Inserts an item; write requests always travel through the ring and
     /// are executed by server threads (paper §III-B).
     pub async fn insert(&mut self, rect: Rect, data: u64) -> bool {
-        self.drain_pending();
-        self.stats.inserts += 1;
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&Message::InsertReq { seq, rect, data }.encode(), seq)
-            .await;
-        self.wait_write_ack(seq).await
+        self.write_request(OpKind::Write, |seq| Message::InsertReq { seq, rect, data })
+            .await
+            .0
+            == 1
+    }
+
+    /// Deletes the exact item `(rect, data)` through the server.
+    pub async fn delete(&mut self, rect: Rect, data: u64) -> bool {
+        self.write_request(OpKind::Remove, |seq| Message::DeleteReq { seq, rect, data })
+            .await
+            .0
+            == 1
     }
 
     /// Finds the `k` items nearest to `(x, y)`, in increasing distance
     /// order, served by the server through fast messaging.
     pub async fn nearest(&mut self, x: f64, y: f64, k: u32) -> Vec<(Rect, u64)> {
         self.drain_pending();
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&Message::NearestReq { seq, x, y, k }.encode(), seq)
-            .await;
-        let mut out = Vec::new();
-        loop {
-            let bytes = self.recv_ring_message().await;
-            match Message::decode(&bytes) {
-                Ok(m @ Message::Heartbeat { .. }) => self.note(&m),
-                Ok(Message::ResponseCont { seq: s, results }) if s == seq => {
-                    out.extend(results);
-                }
-                Ok(Message::ResponseEnd {
-                    seq: s, results, ..
-                }) if s == seq => {
-                    out.extend(results);
-                    return out;
-                }
-                _ => {}
-            }
-        }
+        self.fast_request(|seq| Message::NearestReq { seq, x, y, k })
+            .await
+            .1
     }
 
     /// Offloaded kNN: best-first search executed entirely with one-sided
@@ -210,7 +110,7 @@ impl CatfishClient {
         for _ in 0..8 {
             match self.nearest_attempt(x, y, k).await {
                 Ok(out) => return out,
-                Err(()) => {
+                Err(Inconsistent) => {
                     self.stats.offload_restarts += 1;
                     self.meta_cache = None;
                     self.node_cache.clear();
@@ -220,7 +120,12 @@ impl CatfishClient {
         self.nearest(x, y, k).await
     }
 
-    async fn nearest_attempt(&mut self, x: f64, y: f64, k: u32) -> Result<Vec<(Rect, u64)>, ()> {
+    async fn nearest_attempt(
+        &mut self,
+        x: f64,
+        y: f64,
+        k: u32,
+    ) -> Result<Vec<(Rect, u64)>, Inconsistent> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
         let meta = self.read_meta().await;
@@ -248,9 +153,9 @@ impl CatfishClient {
                     }
                 }
                 HeapEntry::Node(id, level) => {
-                    let node = self.fetch_chunk(id).await?;
+                    let node = self.fetch_node(id).await?;
                     if node.level != level {
-                        return Err(());
+                        return Err(Inconsistent);
                     }
                     sleep(self.cfg.client_node_visit).await;
                     for e in &node.entries {
@@ -259,7 +164,7 @@ impl CatfishClient {
                         match e.child {
                             catfish_rtree::EntryRef::Data(data) => {
                                 if node.level != 0 {
-                                    return Err(());
+                                    return Err(Inconsistent);
                                 }
                                 heap.push(Reverse((
                                     key(d),
@@ -269,7 +174,7 @@ impl CatfishClient {
                             }
                             catfish_rtree::EntryRef::Node(c) => {
                                 if node.level == 0 {
-                                    return Err(());
+                                    return Err(Inconsistent);
                                 }
                                 heap.push(Reverse((
                                     key(d),
@@ -283,308 +188,6 @@ impl CatfishClient {
             }
         }
         Ok(out)
-    }
-
-    /// Deletes the exact item `(rect, data)` through the server.
-    pub async fn delete(&mut self, rect: Rect, data: u64) -> bool {
-        self.drain_pending();
-        self.stats.deletes += 1;
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&Message::DeleteReq { seq, rect, data }.encode(), seq)
-            .await;
-        self.wait_write_ack(seq).await
-    }
-
-    /// Consumes everything already sitting in the response ring —
-    /// primarily heartbeats accumulated while the client was offloading.
-    fn drain_pending(&mut self) {
-        while let Some(bytes) = self.ch.rx.try_pop() {
-            if let Ok(Message::Heartbeat { util_permille }) = Message::decode(&bytes) {
-                self.adaptive
-                    .note_heartbeat(f64::from(util_permille) / 1000.0);
-            }
-        }
-    }
-
-    fn note(&mut self, msg: &Message) {
-        if let Message::Heartbeat { util_permille } = msg {
-            self.adaptive
-                .note_heartbeat(f64::from(*util_permille) / 1000.0);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Fast messaging
-    // ------------------------------------------------------------------
-
-    async fn fast_search(&mut self, rect: &Rect) -> Vec<u64> {
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&Message::SearchReq { seq, rect: *rect }.encode(), seq)
-            .await;
-        let mut out = Vec::new();
-        loop {
-            let bytes = self.recv_ring_message().await;
-            match Message::decode(&bytes) {
-                Ok(m @ Message::Heartbeat { .. }) => self.note(&m),
-                Ok(Message::ResponseCont { seq: s, results }) if s == seq => {
-                    out.extend(results.iter().map(|(_, d)| *d));
-                }
-                Ok(Message::ResponseEnd {
-                    seq: s, results, ..
-                }) if s == seq => {
-                    out.extend(results.iter().map(|(_, d)| *d));
-                    return out;
-                }
-                // Stale or unexpected messages are dropped.
-                _ => {}
-            }
-        }
-    }
-
-    async fn wait_write_ack(&mut self, seq: u32) -> bool {
-        loop {
-            let bytes = self.recv_ring_message().await;
-            match Message::decode(&bytes) {
-                Ok(m @ Message::Heartbeat { .. }) => self.note(&m),
-                Ok(Message::ResponseEnd { seq: s, status, .. }) if s == seq => {
-                    return status == 1;
-                }
-                _ => {}
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // RDMA offloading
-    // ------------------------------------------------------------------
-
-    async fn offload_search(&mut self, rect: &Rect) -> Vec<u64> {
-        let mut attempts = 0u32;
-        loop {
-            match self.offload_attempt(rect).await {
-                Ok(results) => return results,
-                Err(()) => {
-                    self.stats.offload_restarts += 1;
-                    self.meta_cache = None;
-                    self.node_cache.clear();
-                    attempts += 1;
-                    if attempts >= 8 {
-                        // The tree is churning faster than we can traverse
-                        // it; fall back to the server's consistent view.
-                        return self.fast_search(rect).await;
-                    }
-                }
-            }
-        }
-    }
-
-    /// One traversal attempt; `Err(())` means an inconsistency was
-    /// observed (stale root, level mismatch, undecodable chunk).
-    async fn offload_attempt(&mut self, rect: &Rect) -> Result<Vec<u64>, ()> {
-        let meta = self.read_meta().await;
-        let Some(root) = meta.root else {
-            return Ok(Vec::new());
-        };
-        // Nodes at or above this level may be served from the client-side
-        // cache (internal top levels only; leaves are never cached).
-        let cache_floor = meta.height.saturating_sub(self.cfg.cache_levels).max(1);
-        if self.cfg.multi_issue {
-            self.traverse_multi_issue(rect, root, meta.height - 1, cache_floor)
-                .await
-        } else {
-            self.traverse_sequential(rect, root, meta.height - 1, cache_floor)
-                .await
-        }
-    }
-
-    /// Consults the level cache for a node at `level`; `cache_floor` is
-    /// the lowest cacheable level.
-    fn cache_lookup(&mut self, id: NodeId, level: u32, cache_floor: u32) -> Option<Node> {
-        if self.cfg.cache_levels == 0 || level < cache_floor {
-            return None;
-        }
-        let (node, at) = self.node_cache.get(&id)?;
-        if now().saturating_duration_since(*at) > self.cfg.node_cache_ttl {
-            return None;
-        }
-        self.stats.cache_hits += 1;
-        Some(node.clone())
-    }
-
-    fn cache_store(&mut self, id: NodeId, level: u32, cache_floor: u32, node: &Node) {
-        if self.cfg.cache_levels == 0 || level < cache_floor || self.cfg.node_cache_capacity == 0 {
-            return;
-        }
-        if self.node_cache.len() >= self.cfg.node_cache_capacity
-            && !self.node_cache.contains_key(&id)
-        {
-            // Evict the stalest entry to stay within capacity.
-            if let Some(oldest) = self
-                .node_cache
-                .iter()
-                .min_by_key(|(_, (_, at))| *at)
-                .map(|(id, _)| *id)
-            {
-                self.node_cache.remove(&oldest);
-            }
-        }
-        self.node_cache.insert(id, (node.clone(), now()));
-    }
-
-    /// Sequential offloading (the paper's baseline): one outstanding RDMA
-    /// read; every node access is a full round trip.
-    async fn traverse_sequential(
-        &mut self,
-        rect: &Rect,
-        root: NodeId,
-        root_level: u32,
-        cache_floor: u32,
-    ) -> Result<Vec<u64>, ()> {
-        let mut results = Vec::new();
-        let mut queue: Vec<(NodeId, u32)> = vec![(root, root_level)];
-        while let Some((id, level)) = queue.pop() {
-            let node = match self.cache_lookup(id, level, cache_floor) {
-                Some(node) => node,
-                None => {
-                    let node = self.fetch_chunk(id).await?;
-                    self.cache_store(id, node.level, cache_floor, &node);
-                    node
-                }
-            };
-            if node.level != level {
-                return Err(());
-            }
-            sleep(self.cfg.client_node_visit).await;
-            collect_node(&node, rect, &mut results, &mut queue)?;
-        }
-        Ok(results)
-    }
-
-    /// Multi-issue offloading (§IV-C): all intersecting children of a
-    /// processed node are fetched with concurrently issued reads, hiding
-    /// round trips in a pipeline.
-    async fn traverse_multi_issue(
-        &mut self,
-        rect: &Rect,
-        root: NodeId,
-        root_level: u32,
-        cache_floor: u32,
-    ) -> Result<Vec<u64>, ()> {
-        let (tx, mut rx) = catfish_simnet::sync::channel();
-        let mut inflight = 0usize;
-        let qp = self.ch.qp.clone();
-        let tree = self.tree;
-        let retries = self.cfg.max_read_retries;
-        let cache_tx = tx.clone();
-        let issue = move |id: NodeId, level: u32, inflight: &mut usize| {
-            let qp = qp.clone();
-            let tx = tx.clone();
-            *inflight += 1;
-            spawn(async move {
-                let got = read_chunk(&qp, &tree, id, retries).await;
-                tx.send((id, level, got));
-            });
-        };
-        // Dispatches through the cache when possible, else over the wire.
-        let dispatch = |this: &mut Self, id: NodeId, level: u32, inflight: &mut usize| match this
-            .cache_lookup(id, level, cache_floor)
-        {
-            Some(node) => {
-                *inflight += 1;
-                cache_tx.send((id, level, Ok((node, u32::MAX))));
-            }
-            None => issue(id, level, inflight),
-        };
-        dispatch(self, root, root_level, &mut inflight);
-        let mut results = Vec::new();
-        let mut failed = false;
-        while inflight > 0 {
-            let (id, level, got) = rx.recv().await.expect("sender held locally");
-            inflight -= 1;
-            if failed {
-                continue; // drain remaining reads after failure
-            }
-            let (node, retries) = match got {
-                Ok(v) => v,
-                Err(_) => {
-                    failed = true;
-                    continue;
-                }
-            };
-            // `u32::MAX` marks a cache-served node: no wire fetch happened.
-            if retries != u32::MAX {
-                self.stats.torn_retries += u64::from(retries);
-                self.stats.chunks_fetched += 1;
-            }
-            if node.level != level {
-                failed = true;
-                continue;
-            }
-            self.cache_store(id, node.level, cache_floor, &node);
-            sleep(self.cfg.client_node_visit).await;
-            let mut children = Vec::new();
-            if collect_node(&node, rect, &mut results, &mut children).is_err() {
-                failed = true;
-                continue;
-            }
-            for (child, child_level) in children {
-                dispatch(self, child, child_level, &mut inflight);
-            }
-        }
-        if failed {
-            Err(())
-        } else {
-            Ok(results)
-        }
-    }
-
-    /// Fetches and validates one chunk, counting retries.
-    async fn fetch_chunk(&mut self, id: NodeId) -> Result<Node, ()> {
-        match read_chunk(&self.ch.qp, &self.tree, id, self.cfg.max_read_retries).await {
-            Ok((node, retries)) => {
-                self.stats.torn_retries += u64::from(retries);
-                self.stats.chunks_fetched += 1;
-                Ok(node)
-            }
-            Err(_) => Err(()),
-        }
-    }
-
-    /// Reads (and caches) the tree metadata from chunk 0.
-    async fn read_meta(&mut self) -> TreeMeta {
-        let t = now();
-        if let Some((m, at)) = self.meta_cache {
-            if t.saturating_duration_since(at) <= self.cfg.meta_cache_ttl {
-                return m;
-            }
-        }
-        loop {
-            let bytes = self
-                .ch
-                .qp
-                .read(self.tree.rkey, 0, self.tree.layout.chunk_bytes())
-                .await
-                .expect("tree arena registered");
-            match self.tree.layout.decode_meta(&bytes) {
-                Ok((m, _)) => {
-                    self.stats.meta_refreshes += 1;
-                    self.meta_cache = Some((m, now()));
-                    return m;
-                }
-                Err(CodecError::TornRead { .. }) => {
-                    self.stats.torn_retries += 1;
-                }
-                Err(CodecError::Malformed(what)) => {
-                    panic!("tree metadata chunk is corrupt: {what}")
-                }
-            }
-        }
     }
 }
 
@@ -621,76 +224,16 @@ impl From<RectBits> for Rect {
     }
 }
 
-/// Intersects a node against the query, pushing leaf payloads to `results`
-/// and intersecting children (with their expected level) to `children`.
-fn collect_node(
-    node: &Node,
-    rect: &Rect,
-    results: &mut Vec<u64>,
-    children: &mut Vec<(NodeId, u32)>,
-) -> Result<(), ()> {
-    for e in &node.entries {
-        if !e.mbr.intersects(rect) {
-            continue;
-        }
-        match e.child {
-            catfish_rtree::EntryRef::Data(d) => {
-                if node.level != 0 {
-                    return Err(());
-                }
-                results.push(d);
-            }
-            catfish_rtree::EntryRef::Node(c) => {
-                if node.level == 0 {
-                    return Err(());
-                }
-                children.push((c, node.level - 1));
-            }
-        }
-    }
-    Ok(())
-}
-
-/// One validated chunk read with torn-read retries.
-async fn read_chunk(
-    qp: &catfish_rdma::QueuePair,
-    tree: &TreeHandle,
-    id: NodeId,
-    max_retries: u32,
-) -> Result<(Node, u32), ChunkReadError> {
-    let mut retries = 0u32;
-    loop {
-        let bytes = qp
-            .read(
-                tree.rkey,
-                tree.layout.node_offset(id),
-                tree.layout.chunk_bytes(),
-            )
-            .await
-            .expect("tree arena registered");
-        match tree.layout.decode_node(&bytes) {
-            Ok((node, _version)) => return Ok((node, retries)),
-            Err(CodecError::TornRead { .. }) => {
-                retries += 1;
-                if retries > max_retries {
-                    return Err(ChunkReadError::TooManyRetries);
-                }
-            }
-            Err(CodecError::Malformed(_)) => return Err(ChunkReadError::Inconsistent),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{AdaptiveParams, ServerConfig, ServerMode};
+    use crate::config::{AccessMode, AdaptiveParams, ClientConfig, ServerConfig, ServerMode};
     use crate::conn::RkeyAllocator;
     use crate::server::CatfishServer;
     use catfish_rdma::profile::infiniband_100g;
     use catfish_rdma::{Endpoint, RdmaProfile};
     use catfish_rtree::RTreeConfig;
-    use catfish_simnet::{Network, Sim, SimDuration};
+    use catfish_simnet::{now, Network, Sim, SimDuration};
 
     fn grid_items(n: u64) -> Vec<(Rect, u64)> {
         (0..n)
@@ -722,7 +265,7 @@ mod tests {
         let ch = server.accept(&client_ep);
         let client = CatfishClient::new(
             ch,
-            server.tree_handle(),
+            server.remote_handle(),
             ClientConfig {
                 mode,
                 multi_issue,
@@ -734,7 +277,7 @@ mod tests {
     }
 
     fn expected(server: &CatfishServer, q: &Rect) -> Vec<u64> {
-        let mut v = server.with_tree(|t| t.search(q));
+        let mut v = server.with_index(|t| t.search(q));
         v.sort_unstable();
         v
     }
@@ -749,8 +292,8 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, expected(&server, &q));
             assert!(!got.is_empty());
-            assert_eq!(client.stats().fast_searches, 1);
-            assert_eq!(client.stats().offloaded_searches, 0);
+            assert_eq!(client.stats().fast_reads, 1);
+            assert_eq!(client.stats().offloaded_reads, 0);
         });
     }
 
@@ -764,9 +307,9 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, expected(&server, &q));
             assert!(client.stats().chunks_fetched > 0);
-            assert_eq!(client.stats().offloaded_searches, 1);
+            assert_eq!(client.stats().offloaded_reads, 1);
             // Server CPU untouched by offloaded reads.
-            assert_eq!(server.stats().searches, 0);
+            assert_eq!(server.stats().reads, 0);
         });
     }
 
@@ -790,7 +333,7 @@ mod tests {
             let ch = server.accept(&client_ep);
             let mut mi_client = CatfishClient::new(
                 ch,
-                server.tree_handle(),
+                server.remote_handle(),
                 ClientConfig {
                     mode: AccessMode::Offloading,
                     multi_issue: true,
@@ -824,7 +367,7 @@ mod tests {
             assert!(got.contains(&555_000));
             assert!(client.delete(rect, 555_000).await);
             assert!(!client.search(&rect).await.contains(&555_000));
-            server.with_tree(|t| t.check_invariants()).unwrap();
+            server.with_index(|t| t.check_invariants()).unwrap();
         });
     }
 
@@ -840,7 +383,7 @@ mod tests {
             client.meta_cache = None;
             let got = client.search(&rect).await;
             assert!(got.contains(&777_000));
-            assert!(client.stats().inserts == 1);
+            assert!(client.stats().writes_sent == 1);
         });
     }
 
@@ -856,8 +399,8 @@ mod tests {
                 sleep(SimDuration::from_millis(1)).await;
             }
             // An idle server never crosses T: everything stays fast.
-            assert_eq!(client.stats().offloaded_searches, 0);
-            assert_eq!(client.stats().fast_searches, 20);
+            assert_eq!(client.stats().offloaded_reads, 0);
+            assert_eq!(client.stats().fast_reads, 20);
         });
     }
 

@@ -16,12 +16,12 @@ use catfish_rtree::{RTreeConfig, Rect};
 use catfish_simnet::{now, sleep, spawn, CpuPool, Network, Sim, SimDuration};
 use catfish_workload::{Request, ScaleDist, TraceSpec};
 
-use crate::client::{CatfishClient, ClientStats};
+use crate::client::CatfishClient;
 use crate::config::{AccessMode, AdaptiveParams, ClientConfig, Scheme, ServerConfig, ServerMode};
 use crate::conn::RkeyAllocator;
 use crate::msg::Message;
 use crate::server::CatfishServer;
-use crate::stats::{LatencyRecorder, LatencySummary};
+use crate::stats::{LatencyRecorder, LatencySummary, ServiceStats};
 
 /// Everything needed to run one experiment cell.
 #[derive(Debug, Clone)]
@@ -105,16 +105,9 @@ pub struct RunResult {
     pub server_cpu: f64,
     /// Mean server NIC throughput over the run, in Gbps (both directions).
     pub server_bw_gbps: f64,
-    /// Searches served by fast messaging.
-    pub fast_searches: u64,
-    /// Searches served by offloading.
-    pub offloaded_searches: u64,
-    /// Torn-read retries observed by offloading clients.
-    pub torn_retries: u64,
-    /// Offloaded traversals restarted due to observed inconsistency.
-    pub offload_restarts: u64,
-    /// Chunk reads served by the client-side level cache.
-    pub cache_hits: u64,
+    /// Client-side service counters merged over all clients (fast vs
+    /// offloaded reads, torn retries, restarts, cache hits, ...).
+    pub stats: ServiceStats,
     /// Periodic samples of server resource usage over the run (10 ms
     /// grid), for plotting the adaptive algorithm's dynamics.
     pub timeline: Vec<TimelinePoint>,
@@ -181,7 +174,7 @@ fn client_config_for(scheme: Scheme, server: &ServerConfig) -> ClientConfig {
 struct ClientOutcome {
     search: LatencyRecorder,
     write: LatencyRecorder,
-    stats: ClientStats,
+    stats: ServiceStats,
 }
 
 async fn run_inner(spec: ExperimentSpec) -> RunResult {
@@ -257,7 +250,7 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
                     .unwrap_or_else(|| client_config_for(spec.scheme, &server_cfg));
                 let mut client = CatfishClient::new(
                     ch,
-                    server.tree_handle(),
+                    server.remote_handle(),
                     cfg,
                     spec.seed ^ (client_id as u64).wrapping_mul(0x5851_F42D_4C95_7F2D),
                 );
@@ -311,17 +304,13 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
     let mut all = LatencyRecorder::new();
     let mut search = LatencyRecorder::new();
     let mut write = LatencyRecorder::new();
-    let mut stats = ClientStats::default();
+    let mut stats = ServiceStats::default();
     for mut o in outcomes {
         all.merge(&o.search);
         all.merge(&o.write);
         search.merge(&o.search);
         write.merge(&o.write);
-        stats.fast_searches += o.stats.fast_searches;
-        stats.offloaded_searches += o.stats.offloaded_searches;
-        stats.torn_retries += o.stats.torn_retries;
-        stats.offload_restarts += o.stats.offload_restarts;
-        stats.cache_hits += o.stats.cache_hits;
+        stats.merge(&o.stats);
         let _ = o.search.summary(); // keep recorder sorted for reuse
     }
     let completed = all.len();
@@ -341,11 +330,7 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
         insert_latency: write.summary(),
         server_cpu: server.cpu().utilization_between(&cpu_start, &cpu_end),
         server_bw_gbps: bw_end.throughput_bps_since(&bw_start) / 1e9,
-        fast_searches: stats.fast_searches,
-        offloaded_searches: stats.offloaded_searches,
-        torn_retries: stats.torn_retries,
-        offload_restarts: stats.offload_restarts,
-        cache_hits: stats.cache_hits,
+        stats,
         timeline: {
             let t = timeline.borrow().clone();
             t
@@ -483,8 +468,8 @@ mod tests {
     fn offloading_uses_no_server_search_cpu() {
         let spec = small_spec(Scheme::RdmaOffloading);
         let r = run_experiment(&spec);
-        assert_eq!(r.fast_searches, 0);
-        assert_eq!(r.offloaded_searches, 100);
+        assert_eq!(r.stats.fast_reads, 0);
+        assert_eq!(r.stats.offloaded_reads, 100);
     }
 
     #[test]

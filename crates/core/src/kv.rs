@@ -1,28 +1,27 @@
 //! A Catfish-style **key-value service** over a B+-tree — the paper's §VI
-//! generality claim realized at the protocol level.
+//! generality claim realized at the service layer.
 //!
-//! Everything structural is shared with the R-tree service: the same ring
-//! buffers ([`crate::ring`]), the same one-sided verbs, the same versioned
-//! chunk validation (now over [`catfish_bplus`] chunks), the same CPU
-//! heartbeats, and the *same* Algorithm 1 implementation
-//! ([`crate::adaptive::AdaptiveState`]) deciding per-request between fast
-//! messaging and offloaded traversal. Only the index and the wire payloads
-//! differ — which is precisely the paper's point.
+//! Everything structural is shared with the R-tree service through the
+//! generic engine in [`crate::service`]: the same ring workers (polling and
+//! event-driven), the same one-sided verbs, the same versioned chunk
+//! validation (now over [`catfish_bplus`] chunks), the same CPU heartbeats,
+//! the *same* Algorithm 1 implementation deciding per-request between fast
+//! messaging and offloaded traversal, and the same multi-issue traversal
+//! engine. This module contributes only the KV wire payloads ([`KvWire`]),
+//! the B+-tree's [`IndexBackend`]/[`ClientBackend`] port, and the typed
+//! `get`/`put`/`remove`/`range` surface — which is precisely the paper's
+//! point.
 
-use std::cell::RefCell;
-use std::fmt;
-use std::rc::Rc;
+use catfish_bplus::{BpChunkStore, BpConfig, BpLayout, BpNode, BpRefs, BpStore, BpTree};
+use catfish_rtree::{NodeId, TreeMeta};
+use catfish_simnet::SimDuration;
 
-use catfish_bplus::{decode_meta, BpChunkStore, BpConfig, BpLayout, BpNode, BpTree};
-use catfish_rdma::{Endpoint, MemoryRegion, NetProfile};
-use catfish_rtree::codec::CodecError;
-use catfish_rtree::NodeId;
-use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration, SimTime};
-
-use crate::adaptive::AdaptiveState;
-use crate::config::{AccessMode, ClientConfig, ServerConfig, ServerMode};
-use crate::conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
-use crate::ring::RingSender;
+use crate::config::CostModel;
+use crate::msg::MsgError;
+use crate::service::{
+    ClientBackend, Execution, Incoming, Inconsistent, IndexBackend, OpKind, RemoteHandle,
+    ServiceClient, ServiceServer, WireCodec,
+};
 use crate::store::MrMemory;
 
 // ---------------------------------------------------------------------
@@ -158,18 +157,18 @@ impl KvMessage {
     ///
     /// # Errors
     ///
-    /// Returns a static description on truncation or unknown tags.
-    pub fn decode(buf: &[u8]) -> Result<KvMessage, &'static str> {
-        let (&tag, rest) = buf.split_first().ok_or("empty message")?;
-        let u32_at = |o: usize| -> Result<u32, &'static str> {
+    /// Returns [`MsgError`] on truncation or unknown tags.
+    pub fn decode(buf: &[u8]) -> Result<KvMessage, MsgError> {
+        let (&tag, rest) = buf.split_first().ok_or(MsgError::Truncated)?;
+        let u32_at = |o: usize| -> Result<u32, MsgError> {
             rest.get(o..o + 4)
                 .map(|b| u32::from_le_bytes(b.try_into().expect("sized")))
-                .ok_or("truncated")
+                .ok_or(MsgError::Truncated)
         };
-        let u64_at = |o: usize| -> Result<u64, &'static str> {
+        let u64_at = |o: usize| -> Result<u64, MsgError> {
             rest.get(o..o + 8)
                 .map(|b| u64::from_le_bytes(b.try_into().expect("sized")))
-                .ok_or("truncated")
+                .ok_or(MsgError::Truncated)
         };
         match tag {
             TAG_GET => Ok(KvMessage::GetReq {
@@ -193,8 +192,10 @@ impl KvMessage {
             TAG_RESP_CONT => {
                 let seq = u32_at(0)?;
                 let n = u32_at(4)? as usize;
+                // Validate against the buffer before allocating: a forged
+                // count must not trigger a huge allocation.
                 if rest.len() < 8usize.saturating_add(n.saturating_mul(16)) {
-                    return Err("truncated");
+                    return Err(MsgError::Truncated);
                 }
                 let mut entries = Vec::with_capacity(n);
                 for i in 0..n {
@@ -207,7 +208,7 @@ impl KvMessage {
                 let status = u32_at(4)?;
                 let n = u32_at(8)? as usize;
                 if rest.len() < 12usize.saturating_add(n.saturating_mul(16)) {
-                    return Err("truncated");
+                    return Err(MsgError::Truncated);
                 }
                 let mut entries = Vec::with_capacity(n);
                 for i in 0..n {
@@ -220,627 +221,320 @@ impl KvMessage {
                 })
             }
             TAG_HEARTBEAT => {
-                let b = rest.get(0..2).ok_or("truncated")?;
+                let b = rest.get(0..2).ok_or(MsgError::Truncated)?;
                 Ok(KvMessage::Heartbeat {
                     util_permille: u16::from_le_bytes(b.try_into().expect("sized")),
                 })
             }
-            _ => Err("unknown kv tag"),
+            other => Err(MsgError::UnknownTag(other)),
+        }
+    }
+}
+
+/// The KV service's [`WireCodec`]: [`KvMessage`] on the wire, result items
+/// are `(key, value)` pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct KvWire;
+
+impl WireCodec for KvWire {
+    type Message = KvMessage;
+    type Item = (u64, u64);
+
+    fn encode(msg: &KvMessage) -> Vec<u8> {
+        msg.encode()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<KvMessage, MsgError> {
+        KvMessage::decode(bytes)
+    }
+
+    fn heartbeat(util_permille: u16) -> KvMessage {
+        KvMessage::Heartbeat { util_permille }
+    }
+
+    fn cont(seq: u32, items: Vec<(u64, u64)>) -> KvMessage {
+        KvMessage::RespCont {
+            seq,
+            entries: items,
+        }
+    }
+
+    fn end(seq: u32, items: Vec<(u64, u64)>, status: u32) -> KvMessage {
+        KvMessage::RespEnd {
+            seq,
+            entries: items,
+            status,
+        }
+    }
+
+    fn classify(msg: KvMessage) -> Incoming<Self> {
+        match msg {
+            KvMessage::Heartbeat { util_permille } => Incoming::Heartbeat(util_permille),
+            KvMessage::RespCont { seq, entries } => Incoming::Cont {
+                seq,
+                items: entries,
+            },
+            KvMessage::RespEnd {
+                seq,
+                entries,
+                status,
+            } => Incoming::End {
+                seq,
+                items: entries,
+                status,
+            },
+            other => Incoming::Request(other),
         }
     }
 }
 
 // ---------------------------------------------------------------------
-// Server
+// Backend
 // ---------------------------------------------------------------------
 
+/// The KV service backend: a B+-tree over a registered chunk arena.
+pub type KvBackend = BpTree<BpChunkStore<MrMemory>>;
+
+/// The key-value server.
+pub type KvServer = ServiceServer<KvBackend>;
+
+/// A key-value client with the same three access modes as the R-tree
+/// client; point lookups and range scans may be offloaded, writes always
+/// use the ring.
+pub type KvClient = ServiceClient<KvBackend>;
+
 /// Bootstrap info for offloading KV clients.
-#[derive(Debug, Clone, Copy)]
-pub struct KvTreeHandle {
-    /// rkey of the registered B+-tree arena.
-    pub rkey: u32,
-    /// Chunk geometry.
-    pub layout: BpLayout,
-}
+pub type KvTreeHandle = RemoteHandle<BpLayout>;
 
-struct KvInner {
-    endpoint: Endpoint,
-    cpu: CpuPool,
-    cfg: ServerConfig,
-    tree: RefCell<BpTree<BpChunkStore<MrMemory>>>,
-    rkey: u32,
-    layout: BpLayout,
-    rkeys: RkeyAllocator,
-    heartbeat_targets: RefCell<Vec<RingSender>>,
-}
+impl IndexBackend for KvBackend {
+    type Wire = KvWire;
+    type Config = BpConfig;
+    type LoadItem = (u64, u64);
+    type Layout = BpLayout;
 
-/// The key-value server (event-driven only).
-#[derive(Clone)]
-pub struct KvServer {
-    inner: Rc<KvInner>,
-}
-
-impl fmt::Debug for KvServer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("KvServer")
-            .field("node", &self.inner.endpoint.node())
-            .field("len", &self.inner.tree.borrow().len())
-            .finish()
+    fn layout(cfg: &BpConfig) -> BpLayout {
+        BpLayout::for_max_keys(cfg.max_keys)
     }
-}
 
-impl KvServer {
-    /// Builds a KV server hosting `items` in a registered B+-tree arena.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg.mode` is [`ServerMode::Polling`] (the KV service
-    /// only implements the event-driven worker).
-    pub fn build(
-        net: &Network,
-        profile: &NetProfile,
-        cfg: ServerConfig,
-        bp_config: BpConfig,
-        items: Vec<(u64, u64)>,
-        rkeys: &RkeyAllocator,
-    ) -> KvServer {
-        assert!(
-            cfg.mode == ServerMode::EventDriven,
-            "the KV service implements the event-driven worker only"
-        );
-        let node = net.add_node(profile.link);
-        let endpoint = Endpoint::new(net, node, profile.rdma);
-        let cpu = CpuPool::new(cfg.cores, cfg.quantum);
-        let layout = BpLayout::for_max_keys(bp_config.max_keys);
-        let chunks = (items.len() / bp_config.min_keys().max(1) + 1024) * 2;
-        let rkey = rkeys.alloc();
-        let mr = MemoryRegion::new(layout.arena_bytes(chunks as u32), rkey);
-        endpoint.register(mr.clone());
-        let mem = MrMemory::new(mr, SimDuration::ZERO);
-        let mut tree = BpTree::new(BpChunkStore::new(mem, layout), bp_config);
+    fn estimate_chunks(cfg: &BpConfig, items: usize) -> u32 {
+        ((items / cfg.min_keys().max(1) + 1024) * 2) as u32
+    }
+
+    fn load(mem: MrMemory, layout: BpLayout, cfg: BpConfig, items: Vec<(u64, u64)>) -> Self {
+        let mut tree = BpTree::new(BpChunkStore::new(mem, layout), cfg);
         for (k, v) in items {
             tree.insert(k, v);
         }
-        tree.store().mem().set_torn_window(cfg.torn_write_window);
-        KvServer {
-            inner: Rc::new(KvInner {
-                endpoint,
-                cpu,
-                cfg,
-                tree: RefCell::new(tree),
-                rkey,
-                layout,
-                rkeys: rkeys.clone(),
-                heartbeat_targets: RefCell::new(Vec::new()),
-            }),
+        tree
+    }
+
+    fn set_torn_window(&self, window: SimDuration) {
+        self.store().mem().set_torn_window(window);
+    }
+
+    fn meta(&self) -> TreeMeta {
+        self.store().meta()
+    }
+
+    fn execute(&mut self, msg: KvMessage, cost: &CostModel) -> Option<Execution<KvWire>> {
+        let height = u64::from(self.height());
+        match msg {
+            KvMessage::GetReq { seq, key } => {
+                let got = self.get(key);
+                let (entries, status) = match got {
+                    Some(v) => (vec![(key, v)], 1),
+                    None => (Vec::new(), 0),
+                };
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Read,
+                    cost: cost.dispatch + cost.node_visit * height.max(1),
+                    items: entries,
+                    status,
+                    nodes_visited: height.max(1),
+                })
+            }
+            KvMessage::PutReq { seq, key, value } => {
+                let old = self.insert(key, value);
+                let (entries, status) = match old {
+                    Some(v) => (vec![(key, v)], 1),
+                    None => (Vec::new(), 0),
+                };
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Write,
+                    cost: cost.dispatch + cost.write_op + cost.node_visit * (height + 1),
+                    items: entries,
+                    status,
+                    nodes_visited: 0,
+                })
+            }
+            KvMessage::RemoveReq { seq, key } => {
+                let old = self.remove(key);
+                let (entries, status) = match old {
+                    Some(v) => (vec![(key, v)], 1),
+                    None => (Vec::new(), 0),
+                };
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Remove,
+                    cost: cost.dispatch + cost.write_op + cost.node_visit * (height + 1),
+                    items: entries,
+                    status,
+                    nodes_visited: 0,
+                })
+            }
+            KvMessage::RangeReq { seq, lo, hi } => {
+                let entries = self.range(lo, hi);
+                let len = entries.len() as u64;
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Read,
+                    cost: cost.dispatch + cost.node_visit * height.max(1) + cost.per_result * len,
+                    items: entries,
+                    status: 1,
+                    nodes_visited: height.max(1),
+                })
+            }
+            // Responses/heartbeats never arrive at the server.
+            KvMessage::RespCont { .. }
+            | KvMessage::RespEnd { .. }
+            | KvMessage::Heartbeat { .. } => None,
+        }
+    }
+}
+
+/// A KV read request as the client sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvRead {
+    /// Look up one key.
+    Get(u64),
+    /// All pairs with `lo <= key <= hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+}
+
+impl ClientBackend for KvBackend {
+    type Read = KvRead;
+
+    fn read_request(seq: u32, read: &KvRead) -> KvMessage {
+        match *read {
+            KvRead::Get(key) => KvMessage::GetReq { seq, key },
+            KvRead::Range { lo, hi } => KvMessage::RangeReq { seq, lo, hi },
         }
     }
 
-    /// The server's RDMA endpoint.
-    pub fn endpoint(&self) -> &Endpoint {
-        &self.inner.endpoint
-    }
-
-    /// The worker core pool.
-    pub fn cpu(&self) -> &CpuPool {
-        &self.inner.cpu
-    }
-
-    /// Bootstrap info for offloading clients.
-    pub fn tree_handle(&self) -> KvTreeHandle {
-        KvTreeHandle {
-            rkey: self.inner.rkey,
-            layout: self.inner.layout,
-        }
-    }
-
-    /// Runs `f` with shared access to the tree (tests).
-    pub fn with_tree<R>(&self, f: impl FnOnce(&BpTree<BpChunkStore<MrMemory>>) -> R) -> R {
-        f(&self.inner.tree.borrow())
-    }
-
-    /// Accepts a connection and spawns its event-driven worker.
-    pub fn accept(&self, client_ep: &Endpoint) -> ClientChannel {
-        let (cc, sc) = establish(
-            client_ep,
-            &self.inner.endpoint,
-            self.inner.cfg.ring_capacity,
-            &self.inner.rkeys,
-        );
-        self.inner
-            .heartbeat_targets
-            .borrow_mut()
-            .push(sc.tx.clone());
-        let this = self.clone();
-        spawn(async move { this.worker(sc).await });
-        cc
-    }
-
-    /// Starts the heartbeat publisher.
-    pub fn start_heartbeats(&self) {
-        let this = self.clone();
-        spawn(async move {
-            let mut last = this.inner.cpu.sample();
-            loop {
-                sleep(this.inner.cfg.heartbeat_interval).await;
-                let cur = this.inner.cpu.sample();
-                let util = this.inner.cpu.utilization_between(&last, &cur);
-                last = cur;
-                // Encode once and share the bytes — same fan-out fix as
-                // the R-tree server's heartbeat loop.
-                let msg: Rc<[u8]> = KvMessage::Heartbeat {
-                    util_permille: (util * 1000.0).round().min(1000.0) as u16,
+    /// Expands one fetched B+ node. Descents push the single child
+    /// covering the search key; leaf visits push matching pairs, and range
+    /// scans continue through the leaf `next` chain (at most one child per
+    /// node, so both traversal engines preserve key order).
+    fn expand(
+        read: &KvRead,
+        node: &BpNode,
+        items: &mut Vec<(u64, u64)>,
+        children: &mut Vec<(NodeId, u32)>,
+    ) -> Result<(), Inconsistent> {
+        match (&node.refs, *read) {
+            (BpRefs::Children(kids), KvRead::Get(key)) => {
+                let next_level = node.level.checked_sub(1).ok_or(Inconsistent)?;
+                let idx = node.keys.partition_point(|k| *k <= key);
+                let child = *kids.get(idx).ok_or(Inconsistent)?;
+                children.push((child, next_level));
+            }
+            (BpRefs::Values(vals), KvRead::Get(key)) => {
+                if node.level != 0 || vals.len() != node.keys.len() {
+                    return Err(Inconsistent);
                 }
-                .encode()
-                .into();
-                let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
-                for tx in targets {
-                    tx.send(&msg, 0).await;
+                if let Ok(i) = node.keys.binary_search(&key) {
+                    items.push((key, vals[i]));
                 }
             }
-        });
-    }
-
-    async fn worker(&self, ch: ServerChannel) {
-        loop {
-            let bytes = ch.rx.wait_message().await;
-            let Ok(msg) = KvMessage::decode(&bytes) else {
-                continue;
-            };
-            let cost = self.inner.cfg.cost;
-            let height = u64::from(self.inner.tree.borrow().height());
-            match msg {
-                KvMessage::GetReq { seq, key } => {
-                    self.inner
-                        .cpu
-                        .run(cost.dispatch + cost.node_visit * height.max(1))
-                        .await;
-                    let got = self.inner.tree.borrow().get(key);
-                    let (entries, status) = match got {
-                        Some(v) => (vec![(key, v)], 1),
-                        None => (Vec::new(), 0),
-                    };
-                    self.respond(
-                        &ch,
-                        KvMessage::RespEnd {
-                            seq,
-                            entries,
-                            status,
-                        },
-                    );
+            (BpRefs::Children(kids), KvRead::Range { lo, .. }) => {
+                let next_level = node.level.checked_sub(1).ok_or(Inconsistent)?;
+                let idx = node.keys.partition_point(|k| *k <= lo);
+                let child = *kids.get(idx).ok_or(Inconsistent)?;
+                children.push((child, next_level));
+            }
+            (BpRefs::Values(vals), KvRead::Range { lo, hi }) => {
+                if node.level != 0 || vals.len() != node.keys.len() {
+                    return Err(Inconsistent);
                 }
-                KvMessage::PutReq { seq, key, value } => {
-                    self.inner
-                        .cpu
-                        .run(cost.dispatch + cost.write_op + cost.node_visit * (height + 1))
-                        .await;
-                    let old = self.inner.tree.borrow_mut().insert(key, value);
-                    let (entries, status) = match old {
-                        Some(v) => (vec![(key, v)], 1),
-                        None => (Vec::new(), 0),
-                    };
-                    self.respond(
-                        &ch,
-                        KvMessage::RespEnd {
-                            seq,
-                            entries,
-                            status,
-                        },
-                    );
+                let mut done = false;
+                for (i, &k) in node.keys.iter().enumerate() {
+                    if k > hi {
+                        done = true;
+                        break;
+                    }
+                    if k >= lo {
+                        items.push((k, vals[i]));
+                    }
                 }
-                KvMessage::RemoveReq { seq, key } => {
-                    self.inner
-                        .cpu
-                        .run(cost.dispatch + cost.write_op + cost.node_visit * (height + 1))
-                        .await;
-                    let old = self.inner.tree.borrow_mut().remove(key);
-                    let (entries, status) = match old {
-                        Some(v) => (vec![(key, v)], 1),
-                        None => (Vec::new(), 0),
-                    };
-                    self.respond(
-                        &ch,
-                        KvMessage::RespEnd {
-                            seq,
-                            entries,
-                            status,
-                        },
-                    );
+                if !done {
+                    if let Some(next) = node.next {
+                        children.push((next, 0));
+                    }
                 }
-                KvMessage::RangeReq { seq, lo, hi } => {
-                    let entries = self.inner.tree.borrow().range(lo, hi);
-                    self.inner
-                        .cpu
-                        .run(
-                            cost.dispatch
-                                + cost.node_visit * height.max(1)
-                                + cost.per_result * entries.len() as u64,
-                        )
-                        .await;
-                    let seg = self.inner.cfg.response_segment_results.max(1);
-                    let tx = ch.tx.clone();
-                    spawn(async move {
-                        let mut rest = entries;
-                        loop {
-                            if rest.len() <= seg {
-                                tx.send(
-                                    &KvMessage::RespEnd {
-                                        seq,
-                                        entries: rest,
-                                        status: 1,
-                                    }
-                                    .encode(),
-                                    0,
-                                )
-                                .await;
-                                return;
-                            }
-                            let tail = rest.split_off(seg);
-                            tx.send(&KvMessage::RespCont { seq, entries: rest }.encode(), 0)
-                                .await;
-                            rest = tail;
-                        }
-                    });
-                }
-                _ => {}
             }
         }
-    }
-
-    fn respond(&self, ch: &ServerChannel, msg: KvMessage) {
-        let tx = ch.tx.clone();
-        spawn(async move {
-            tx.send(&msg.encode(), 0).await;
-        });
+        Ok(())
     }
 }
 
-// ---------------------------------------------------------------------
-// Client
-// ---------------------------------------------------------------------
-
-/// KV client counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct KvClientStats {
-    /// Gets served via the ring.
-    pub fast_gets: u64,
-    /// Gets served via one-sided traversal.
-    pub offloaded_gets: u64,
-    /// Puts issued.
-    pub puts: u64,
-    /// Removes issued.
-    pub removes: u64,
-    /// Range queries issued.
-    pub ranges: u64,
-    /// Torn-read retries during offloaded traversals.
-    pub torn_retries: u64,
-    /// Offloaded traversals restarted after inconsistencies.
-    pub restarts: u64,
-}
-
-/// A key-value client with the same three access modes as the R-tree
-/// client; point lookups may be offloaded, writes always use the ring,
-/// range scans use the ring (the server walks its leaf chain locally).
-pub struct KvClient {
-    ch: ClientChannel,
-    cfg: ClientConfig,
-    tree: KvTreeHandle,
-    seq: u32,
-    adaptive: AdaptiveState,
-    meta_cache: Option<(catfish_rtree::TreeMeta, SimTime)>,
-    stats: KvClientStats,
-}
-
-impl fmt::Debug for KvClient {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("KvClient").field("seq", &self.seq).finish()
-    }
-}
-
-impl KvClient {
-    /// Creates a client over an established channel.
-    pub fn new(ch: ClientChannel, tree: KvTreeHandle, cfg: ClientConfig, seed: u64) -> Self {
-        let params = match cfg.mode {
-            AccessMode::Adaptive(p) => p,
-            _ => Default::default(),
-        };
-        KvClient {
-            ch,
-            cfg,
-            tree,
-            seq: 0,
-            adaptive: AdaptiveState::new(params, seed),
-            meta_cache: None,
-            stats: KvClientStats::default(),
-        }
-    }
-
-    /// Counters so far.
-    pub fn stats(&self) -> KvClientStats {
-        self.stats
-    }
-
-    fn drain_pending(&mut self) {
-        while let Some(bytes) = self.ch.rx.try_pop() {
-            if let Ok(KvMessage::Heartbeat { util_permille }) = KvMessage::decode(&bytes) {
-                self.adaptive
-                    .note_heartbeat(f64::from(util_permille) / 1000.0);
-            }
-        }
-    }
-
-    /// Looks up `key`, routing per the configured access mode.
+impl ServiceClient<KvBackend> {
+    /// Looks up `key`, routing per the configured
+    /// [`crate::config::AccessMode`].
     pub async fn get(&mut self, key: u64) -> Option<u64> {
-        self.drain_pending();
-        let offload = match self.cfg.mode {
-            AccessMode::FastMessaging => false,
-            AccessMode::Offloading => true,
-            AccessMode::Adaptive(_) => self.adaptive.decide(),
-        };
-        if offload {
-            self.stats.offloaded_gets += 1;
-            self.offload_get(key).await
-        } else {
-            self.stats.fast_gets += 1;
-            self.fast_get(key).await
-        }
+        self.read(&KvRead::Get(key)).await.first().map(|&(_, v)| v)
     }
 
     /// Inserts or replaces a pair through the server; returns the previous
     /// value if any.
     pub async fn put(&mut self, key: u64, value: u64) -> Option<u64> {
-        self.drain_pending();
-        self.stats.puts += 1;
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&KvMessage::PutReq { seq, key, value }.encode(), seq)
-            .await;
-        self.wait_end(seq).await.1.first().map(|&(_, v)| v)
+        self.write_request(OpKind::Write, |seq| KvMessage::PutReq { seq, key, value })
+            .await
+            .1
+            .first()
+            .map(|&(_, v)| v)
     }
 
     /// Removes a key through the server; returns its value if present.
     pub async fn remove(&mut self, key: u64) -> Option<u64> {
-        self.drain_pending();
-        self.stats.removes += 1;
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&KvMessage::RemoveReq { seq, key }.encode(), seq)
-            .await;
-        self.wait_end(seq).await.1.first().map(|&(_, v)| v)
-    }
-
-    /// All pairs with `lo <= key <= hi`, gathered entirely with one-sided
-    /// reads: descend to the leaf containing `lo`, then walk the leaf
-    /// chain. Falls back to the server-side [`KvClient::range`] after
-    /// repeated inconsistencies.
-    pub async fn range_offloaded(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        self.drain_pending();
-        self.stats.ranges += 1;
-        for _ in 0..8 {
-            match self.range_attempt(lo, hi).await {
-                Ok(out) => return out,
-                Err(()) => {
-                    self.stats.restarts += 1;
-                    self.meta_cache = None;
-                }
-            }
-        }
-        self.stats.ranges -= 1; // range() will count itself
-        self.range(lo, hi).await
-    }
-
-    async fn range_attempt(&mut self, lo: u64, hi: u64) -> Result<Vec<(u64, u64)>, ()> {
-        let meta = self.read_meta().await;
-        let Some(root) = meta.root else {
-            return Ok(Vec::new());
-        };
-        // Descend to the leaf covering `lo`.
-        let mut id = root;
-        let mut level = meta.height - 1;
-        loop {
-            let node = self.read_node(id).await?;
-            if node.level != level {
-                return Err(());
-            }
-            sleep(self.cfg.client_node_visit).await;
-            if node.is_leaf() {
-                break;
-            }
-            let idx = node.keys.partition_point(|k| *k <= lo);
-            id = node.children()[idx];
-            level -= 1;
-        }
-        // Walk the leaf chain.
-        let mut out = Vec::new();
-        let mut cursor = Some(id);
-        let mut hops = 0u32;
-        while let Some(id) = cursor {
-            let node = self.read_node(id).await?;
-            if !node.is_leaf() {
-                return Err(());
-            }
-            sleep(self.cfg.client_node_visit).await;
-            for (i, &k) in node.keys.iter().enumerate() {
-                if k > hi {
-                    return Ok(out);
-                }
-                if k >= lo {
-                    out.push((k, node.values()[i]));
-                }
-            }
-            cursor = node.next;
-            hops += 1;
-            if hops > 1_000_000 {
-                return Err(()); // defensive: a corrupted chain must not loop forever
-            }
-        }
-        Ok(out)
+        self.write_request(OpKind::Remove, |seq| KvMessage::RemoveReq { seq, key })
+            .await
+            .1
+            .first()
+            .map(|&(_, v)| v)
     }
 
     /// All pairs with `lo <= key <= hi`, served by the server.
     pub async fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         self.drain_pending();
-        self.stats.ranges += 1;
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&KvMessage::RangeReq { seq, lo, hi }.encode(), seq)
-            .await;
-        let mut out = Vec::new();
-        loop {
-            let bytes = self.ch.rx.wait_message().await;
-            match KvMessage::decode(&bytes) {
-                Ok(KvMessage::Heartbeat { util_permille }) => {
-                    self.adaptive
-                        .note_heartbeat(f64::from(util_permille) / 1000.0);
-                }
-                Ok(KvMessage::RespCont { seq: s, entries }) if s == seq => out.extend(entries),
-                Ok(KvMessage::RespEnd {
-                    seq: s, entries, ..
-                }) if s == seq => {
-                    out.extend(entries);
-                    return out;
-                }
-                _ => {}
-            }
-        }
+        self.stats.fast_reads += 1;
+        self.fast_read(&KvRead::Range { lo, hi }).await
     }
 
-    async fn fast_get(&mut self, key: u64) -> Option<u64> {
-        self.seq += 1;
-        let seq = self.seq;
-        self.ch
-            .tx
-            .send(&KvMessage::GetReq { seq, key }.encode(), seq)
-            .await;
-        let (status, entries) = self.wait_end(seq).await;
-        (status == 1).then(|| entries[0].1)
-    }
-
-    async fn wait_end(&mut self, seq: u32) -> (u32, Vec<(u64, u64)>) {
-        loop {
-            let bytes = self.ch.rx.wait_message().await;
-            match KvMessage::decode(&bytes) {
-                Ok(KvMessage::Heartbeat { util_permille }) => {
-                    self.adaptive
-                        .note_heartbeat(f64::from(util_permille) / 1000.0);
-                }
-                Ok(KvMessage::RespEnd {
-                    seq: s,
-                    entries,
-                    status,
-                }) if s == seq => return (status, entries),
-                _ => {}
-            }
-        }
-    }
-
-    /// One-sided lookup with version validation; falls back to the ring
-    /// after repeated inconsistencies.
-    async fn offload_get(&mut self, key: u64) -> Option<u64> {
-        for _ in 0..8 {
-            match self.offload_attempt(key).await {
-                Ok(found) => return found,
-                Err(()) => {
-                    self.stats.restarts += 1;
-                    self.meta_cache = None;
-                }
-            }
-        }
-        self.fast_get(key).await
-    }
-
-    async fn offload_attempt(&mut self, key: u64) -> Result<Option<u64>, ()> {
-        let meta = self.read_meta().await;
-        let Some(root) = meta.root else {
-            return Ok(None);
-        };
-        let mut id = root;
-        let mut level = meta.height - 1;
-        loop {
-            let node = self.read_node(id).await?;
-            if node.level != level {
-                return Err(());
-            }
-            sleep(self.cfg.client_node_visit).await;
-            if node.is_leaf() {
-                return Ok(match node.keys.binary_search(&key) {
-                    Ok(i) => Some(node.values()[i]),
-                    Err(_) => None,
-                });
-            }
-            let idx = node.keys.partition_point(|k| *k <= key);
-            id = node.children()[idx];
-            level -= 1;
-        }
-    }
-
-    async fn read_node(&mut self, id: NodeId) -> Result<BpNode, ()> {
-        let mut retries = 0;
-        loop {
-            let bytes = self
-                .ch
-                .qp
-                .read(
-                    self.tree.rkey,
-                    self.tree.layout.node_offset(id),
-                    self.tree.layout.chunk_bytes(),
-                )
-                .await
-                .expect("kv arena registered");
-            match self.tree.layout.decode_node(&bytes) {
-                Ok((node, _)) => return Ok(node),
-                Err(CodecError::TornRead { .. }) => {
-                    self.stats.torn_retries += 1;
-                    retries += 1;
-                    if retries > self.cfg.max_read_retries {
-                        return Err(());
-                    }
-                }
-                Err(CodecError::Malformed(_)) => return Err(()),
-            }
-        }
-    }
-
-    async fn read_meta(&mut self) -> catfish_rtree::TreeMeta {
-        let t = now();
-        if let Some((m, at)) = self.meta_cache {
-            if t.saturating_duration_since(at) <= self.cfg.meta_cache_ttl {
-                return m;
-            }
-        }
-        loop {
-            let bytes = self
-                .ch
-                .qp
-                .read(self.tree.rkey, 0, self.tree.layout.chunk_bytes())
-                .await
-                .expect("kv arena registered");
-            match decode_meta(&self.tree.layout, &bytes) {
-                Ok((m, _)) => {
-                    self.meta_cache = Some((m, now()));
-                    return m;
-                }
-                Err(CodecError::TornRead { .. }) => {
-                    self.stats.torn_retries += 1;
-                }
-                Err(CodecError::Malformed(what)) => panic!("corrupt kv meta: {what}"),
-            }
-        }
+    /// All pairs with `lo <= key <= hi`, gathered entirely with one-sided
+    /// reads: descend to the leaf containing `lo`, then walk the leaf
+    /// chain. Falls back to the server after repeated inconsistencies.
+    pub async fn range_offloaded(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.drain_pending();
+        self.stats.offloaded_reads += 1;
+        self.offload_read(&KvRead::Range { lo, hi }).await
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{AccessMode, ClientConfig, ServerConfig, ServerMode};
+    use crate::conn::RkeyAllocator;
     use catfish_rdma::profile::infiniband_100g;
-    use catfish_rdma::RdmaProfile;
-    use catfish_simnet::Sim;
+    use catfish_rdma::{Endpoint, RdmaProfile};
+    use catfish_simnet::{spawn, Network, Sim};
 
     fn build(items: Vec<(u64, u64)>) -> (Network, KvServer) {
         let net = Network::new();
@@ -867,7 +561,7 @@ mod tests {
         let ch = server.accept(&ep);
         KvClient::new(
             ch,
-            server.tree_handle(),
+            server.remote_handle(),
             ClientConfig {
                 mode,
                 ..ClientConfig::default()
@@ -878,38 +572,6 @@ mod tests {
 
     fn items(n: u64) -> Vec<(u64, u64)> {
         (0..n).map(|i| (i * 7 % (n * 4), i)).collect()
-    }
-
-    #[test]
-    fn kv_message_round_trips() {
-        for msg in [
-            KvMessage::GetReq { seq: 1, key: 42 },
-            KvMessage::PutReq {
-                seq: 2,
-                key: 1,
-                value: 2,
-            },
-            KvMessage::RemoveReq { seq: 3, key: 9 },
-            KvMessage::RangeReq {
-                seq: 4,
-                lo: 5,
-                hi: 50,
-            },
-            KvMessage::RespCont {
-                seq: 5,
-                entries: vec![(1, 2), (3, 4)],
-            },
-            KvMessage::RespEnd {
-                seq: 6,
-                entries: vec![(7, 8)],
-                status: 1,
-            },
-            KvMessage::Heartbeat { util_permille: 999 },
-        ] {
-            assert_eq!(KvMessage::decode(&msg.encode()).unwrap(), msg);
-        }
-        assert!(KvMessage::decode(&[]).is_err());
-        assert!(KvMessage::decode(&[200, 1]).is_err());
     }
 
     #[test]
@@ -925,7 +587,7 @@ mod tests {
             assert_eq!(c.remove(7).await, Some(999));
             assert_eq!(c.get(7).await, None);
             let r = c.range(0, 100).await;
-            let expect = server.with_tree(|t| t.range(0, 100));
+            let expect = server.with_index(|t| t.range(0, 100));
             assert_eq!(r, expect);
             assert!(!r.is_empty());
         });
@@ -942,8 +604,8 @@ mod tests {
                 let key = probe * 61 % 20_000;
                 assert_eq!(off.get(key).await, fast.get(key).await, "key {key}");
             }
-            assert_eq!(off.stats().offloaded_gets, 300);
-            assert_eq!(fast.stats().fast_gets, 300);
+            assert_eq!(off.stats().offloaded_reads, 300);
+            assert_eq!(fast.stats().fast_reads, 300);
         });
     }
 
@@ -991,11 +653,11 @@ mod tests {
             );
             for probe in 0..100u64 {
                 let key = probe * 7 % 8_000;
-                let expect = server.with_tree(|t| t.get(key));
+                let expect = server.with_index(|t| t.get(key));
                 assert_eq!(c.get(key).await, expect, "key {key}");
             }
             let s = c.stats();
-            assert_eq!(s.fast_gets + s.offloaded_gets, 100);
+            assert_eq!(s.fast_reads + s.offloaded_reads, 100);
         });
     }
 
@@ -1012,11 +674,12 @@ mod tests {
                 (20_000, 30_000),
             ] {
                 let off = c.range_offloaded(lo, hi).await;
-                let srv = server.with_tree(|t| t.range(lo, hi));
+                let srv = server.with_index(|t| t.range(lo, hi));
                 assert_eq!(off, srv, "range [{lo}, {hi}]");
             }
             // Server CPU untouched by offloaded ranges except connection setup.
-            assert!(c.stats().ranges >= 4);
+            assert!(c.stats().offloaded_reads >= 4);
+            assert_eq!(server.stats().reads, 0);
         });
     }
 

@@ -56,14 +56,19 @@ pub mod kv;
 pub mod msg;
 pub mod ring;
 pub mod server;
+pub mod service;
 pub mod stats;
 pub mod store;
 
 pub use adaptive::AdaptiveState;
-pub use client::{CatfishClient, ClientStats, SearchPath};
+pub use client::{CatfishClient, SearchPath};
 pub use config::{
     AccessMode, AdaptiveParams, ClientConfig, CostModel, Scheme, ServerConfig, ServerMode,
 };
 pub use conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
-pub use server::{CatfishServer, ServerStats, TreeHandle};
-pub use stats::{LatencyRecorder, LatencySummary};
+pub use server::{CatfishServer, RtreeBackend, TreeHandle};
+pub use service::{
+    ClientBackend, Execution, Incoming, Inconsistent, IndexBackend, OpKind, RemoteHandle,
+    ServiceClient, ServiceServer, WireCodec,
+};
+pub use stats::{LatencyRecorder, LatencySummary, ServiceStats};

@@ -9,6 +9,8 @@ use std::fmt;
 
 use catfish_rtree::Rect;
 
+use crate::service::{Incoming, WireCodec};
+
 const TAG_SEARCH: u8 = 1;
 const TAG_INSERT: u8 = 2;
 const TAG_DELETE: u8 = 3;
@@ -294,51 +296,66 @@ impl Message {
     }
 }
 
+/// The R-tree service's [`WireCodec`]: [`Message`] on the wire, result
+/// items are `(Rect, u64)` hits.
+#[derive(Debug, Clone, Copy)]
+pub struct RtreeWire;
+
+impl WireCodec for RtreeWire {
+    type Message = Message;
+    type Item = (Rect, u64);
+
+    fn encode(msg: &Message) -> Vec<u8> {
+        msg.encode()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Message, MsgError> {
+        Message::decode(bytes)
+    }
+
+    fn heartbeat(util_permille: u16) -> Message {
+        Message::Heartbeat { util_permille }
+    }
+
+    fn cont(seq: u32, items: Vec<(Rect, u64)>) -> Message {
+        Message::ResponseCont {
+            seq,
+            results: items,
+        }
+    }
+
+    fn end(seq: u32, items: Vec<(Rect, u64)>, status: u32) -> Message {
+        Message::ResponseEnd {
+            seq,
+            results: items,
+            status,
+        }
+    }
+
+    fn classify(msg: Message) -> Incoming<Self> {
+        match msg {
+            Message::Heartbeat { util_permille } => Incoming::Heartbeat(util_permille),
+            Message::ResponseCont { seq, results } => Incoming::Cont {
+                seq,
+                items: results,
+            },
+            Message::ResponseEnd {
+                seq,
+                results,
+                status,
+            } => Incoming::End {
+                seq,
+                items: results,
+                status,
+            },
+            other => Incoming::Request(other),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn round_trip(m: Message) {
-        let bytes = m.encode();
-        assert_eq!(bytes.len(), m.encoded_len());
-        assert_eq!(Message::decode(&bytes).unwrap(), m);
-    }
-
-    #[test]
-    fn all_variants_round_trip() {
-        round_trip(Message::SearchReq {
-            seq: 42,
-            rect: Rect::new(0.1, 0.2, 0.3, 0.4),
-        });
-        round_trip(Message::InsertReq {
-            seq: 1,
-            rect: Rect::new(0.0, 0.0, 1.0, 1.0),
-            data: u64::MAX >> 1,
-        });
-        round_trip(Message::DeleteReq {
-            seq: 7,
-            rect: Rect::point(0.5, 0.5),
-            data: 3,
-        });
-        round_trip(Message::ResponseCont {
-            seq: 9,
-            results: (0..100)
-                .map(|i| (Rect::new(0.0, 0.0, i as f64 + 1.0, i as f64 + 1.0), i))
-                .collect(),
-        });
-        round_trip(Message::ResponseEnd {
-            seq: 9,
-            results: vec![],
-            status: 1,
-        });
-        round_trip(Message::NearestReq {
-            seq: 12,
-            x: 0.25,
-            y: 0.75,
-            k: 10,
-        });
-        round_trip(Message::Heartbeat { util_permille: 987 });
-    }
 
     #[test]
     fn truncated_rejected() {
@@ -368,16 +385,5 @@ mod tests {
         // Overwrite min_x with NaN.
         bytes[5..13].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(Message::decode(&bytes), Err(MsgError::BadRect));
-    }
-
-    #[test]
-    fn large_response_round_trips() {
-        round_trip(Message::ResponseEnd {
-            seq: u32::MAX,
-            results: (0..10_000u64)
-                .map(|i| (Rect::point(i as f64, i as f64), i * 31))
-                .collect(),
-            status: 1,
-        });
     }
 }

@@ -1,540 +1,139 @@
-//! The Catfish R-tree server.
+//! The Catfish R-tree server: the R\*-tree's [`IndexBackend`] port onto the
+//! generic [`ServiceServer`] engine.
 //!
-//! The server owns the R\*-tree inside an RDMA-registered chunk arena (so
-//! offloading clients can traverse it with one-sided reads), accepts ring
-//! connections, and runs one worker per connection in either polling or
-//! event-driven mode. It also publishes CPU-utilization heartbeats every
-//! `Inv` (paper §IV-A) and serves the TCP baseline.
-//!
-//! ## Polling-mode modelling note
-//!
-//! Real polling workers spin on the ring buffer's length word. Simulating
-//! each poll iteration (~100 ns) would drown the event queue, so the
-//! polling worker instead *holds a core for its full scheduling quantum*
-//! and uses the completion queue purely as an arrival oracle inside the
-//! turn: messages are still handled at their arrival instants, the core is
-//! busy for the entire turn whether or not work arrived, and when
-//! connections outnumber cores a worker must wait for its next quantum —
-//! precisely the oversubscription collapse of Fig. 7 — at event-queue cost
-//! proportional to messages, not poll iterations.
+//! Everything transport-shaped — ring workers (polling and event-driven),
+//! heartbeat publication, response segmentation, the TCP baseline — lives in
+//! [`crate::service`]; this module only maps decoded [`Message`]s onto tree
+//! operations and their CPU cost model.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
-use catfish_rdma::{Endpoint, MemoryRegion, NetProfile};
 use catfish_rtree::chunk::ChunkStore;
 use catfish_rtree::codec::ChunkLayout;
 use catfish_rtree::{bulk_load, NodeStore, RTree, RTreeConfig, Rect, TreeMeta};
-use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration};
+use catfish_simnet::SimDuration;
 
-use crate::config::{ServerConfig, ServerMode};
-use crate::conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
-use crate::msg::{Message, MsgError};
-use crate::ring::RingSender;
+use crate::config::CostModel;
+use crate::msg::{Message, RtreeWire};
+use crate::service::{Execution, IndexBackend, OpKind, RemoteHandle, ServiceServer};
 use crate::store::MrMemory;
 
-/// Aggregate server-side counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Search requests processed by server threads.
-    pub searches: u64,
-    /// Insert requests processed.
-    pub inserts: u64,
-    /// Delete requests processed.
-    pub deletes: u64,
-    /// Total result items returned by server-side searches.
-    pub results_returned: u64,
-    /// Total tree nodes visited by server-side operations.
-    pub nodes_visited: u64,
-}
+/// The R-tree service backend: an R\*-tree over a registered chunk arena.
+pub type RtreeBackend = RTree<ChunkStore<MrMemory>>;
+
+/// The Catfish R-tree server.
+pub type CatfishServer = ServiceServer<RtreeBackend>;
 
 /// Everything an offloading client needs to traverse the tree remotely.
-#[derive(Debug, Clone, Copy)]
-pub struct TreeHandle {
-    /// rkey of the registered tree arena.
-    pub rkey: u32,
-    /// Chunk geometry (shared constant of the deployment).
-    pub layout: ChunkLayout,
-}
+pub type TreeHandle = RemoteHandle<ChunkLayout>;
 
-struct ServerInner {
-    endpoint: Endpoint,
-    cpu: CpuPool,
-    cfg: ServerConfig,
-    profile: NetProfile,
-    tree: RefCell<RTree<ChunkStore<MrMemory>>>,
-    tree_rkey: u32,
-    layout: ChunkLayout,
-    rkeys: RkeyAllocator,
-    heartbeat_targets: RefCell<Vec<RingSender>>,
-    stats: RefCell<ServerStats>,
-    tcp: RefCell<Option<TcpEndpoint>>,
-}
+impl IndexBackend for RtreeBackend {
+    type Wire = RtreeWire;
+    type Config = RTreeConfig;
+    type LoadItem = (Rect, u64);
+    type Layout = ChunkLayout;
 
-/// The Catfish server. Cloneable handle; spawned workers share state.
-#[derive(Clone)]
-pub struct CatfishServer {
-    inner: Rc<ServerInner>,
-}
-
-impl std::fmt::Debug for CatfishServer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CatfishServer")
-            .field("node", &self.inner.endpoint.node())
-            .field("tree_len", &self.inner.tree.borrow().len())
-            .finish()
+    fn layout(cfg: &RTreeConfig) -> ChunkLayout {
+        ChunkLayout::for_max_entries(cfg.max_entries)
     }
-}
 
-impl CatfishServer {
-    /// Builds a server on a fresh fabric node: allocates and registers the
-    /// tree arena, bulk-loads `items`, and prepares worker infrastructure.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the arena estimate cannot hold the dataset.
-    pub fn build(
-        net: &Network,
-        profile: &NetProfile,
-        cfg: ServerConfig,
-        tree_cfg: RTreeConfig,
-        items: Vec<(Rect, u64)>,
-        rkeys: &RkeyAllocator,
-    ) -> CatfishServer {
-        let node = net.add_node(profile.link);
-        let endpoint = Endpoint::new(net, node, profile.rdma);
-        let cpu = CpuPool::new(cfg.cores, cfg.quantum);
-        let layout = ChunkLayout::for_max_entries(tree_cfg.max_entries);
-        let chunks = estimate_chunks(items.len(), &tree_cfg);
-        let tree_rkey = rkeys.alloc();
-        let mr = MemoryRegion::new(layout.arena_bytes(chunks), tree_rkey);
-        endpoint.register(mr.clone());
-        // Load with torn visibility disabled (no clients yet), enable after.
-        let mem = MrMemory::new(mr, SimDuration::ZERO);
-        let store = ChunkStore::new(mem, layout);
-        let tree = bulk_load(store, tree_cfg, items);
-        tree.store().mem().set_torn_window(cfg.torn_write_window);
-        CatfishServer {
-            inner: Rc::new(ServerInner {
-                endpoint,
-                cpu,
-                cfg,
-                profile: *profile,
-                tree: RefCell::new(tree),
-                tree_rkey,
-                layout,
-                rkeys: rkeys.clone(),
-                heartbeat_targets: RefCell::new(Vec::new()),
-                stats: RefCell::new(ServerStats::default()),
-                tcp: RefCell::new(None),
-            }),
+    /// Conservative chunk-count estimate: worst-case minimum fill at every
+    /// level plus slack for growth.
+    fn estimate_chunks(cfg: &RTreeConfig, items: usize) -> u32 {
+        let m = cfg.min_entries.max(2);
+        let mut total = 2usize; // meta + root
+        let mut level = items.max(1);
+        while level > 1 {
+            level = level.div_ceil(m);
+            total += level;
         }
+        ((total * 3 / 2) + 1024) as u32
     }
 
-    /// The server's RDMA endpoint.
-    pub fn endpoint(&self) -> &Endpoint {
-        &self.inner.endpoint
+    fn load(mem: MrMemory, layout: ChunkLayout, cfg: RTreeConfig, items: Vec<(Rect, u64)>) -> Self {
+        bulk_load(ChunkStore::new(mem, layout), cfg, items)
     }
 
-    /// The shared worker-core pool (for utilization sampling).
-    pub fn cpu(&self) -> &CpuPool {
-        &self.inner.cpu
+    fn set_torn_window(&self, window: SimDuration) {
+        self.store().mem().set_torn_window(window);
     }
 
-    /// Traversal bootstrap info for offloading clients.
-    pub fn tree_handle(&self) -> TreeHandle {
-        TreeHandle {
-            rkey: self.inner.tree_rkey,
-            layout: self.inner.layout,
-        }
+    fn meta(&self) -> TreeMeta {
+        self.store().meta()
     }
 
-    /// Current tree metadata (diagnostics and tests).
-    pub fn tree_meta(&self) -> TreeMeta {
-        self.inner.tree.borrow().store().meta()
-    }
-
-    /// Runs `f` with shared access to the server's tree (tests).
-    pub fn with_tree<R>(&self, f: impl FnOnce(&RTree<ChunkStore<MrMemory>>) -> R) -> R {
-        f(&self.inner.tree.borrow())
-    }
-
-    /// Aggregate counters.
-    pub fn stats(&self) -> ServerStats {
-        *self.inner.stats.borrow()
-    }
-
-    /// Accepts a ring connection from `client_ep` and spawns its worker.
-    pub fn accept(&self, client_ep: &Endpoint) -> ClientChannel {
-        let (cc, sc) = establish(
-            client_ep,
-            &self.inner.endpoint,
-            self.inner.cfg.ring_capacity,
-            &self.inner.rkeys,
-        );
-        self.inner
-            .heartbeat_targets
-            .borrow_mut()
-            .push(sc.tx.clone());
-        let this = self.clone();
-        spawn(async move {
-            match this.inner.cfg.mode {
-                ServerMode::EventDriven => this.worker_event(sc).await,
-                ServerMode::Polling => this.worker_polling(sc).await,
-            }
-        });
-        cc
-    }
-
-    /// Starts the heartbeat publisher (call once; idempotent behaviour is
-    /// the caller's responsibility).
-    pub fn start_heartbeats(&self) {
-        let this = self.clone();
-        spawn(async move {
-            let mut last = this.inner.cpu.sample();
-            loop {
-                sleep(this.inner.cfg.heartbeat_interval).await;
-                let cur = this.inner.cpu.sample();
-                let util = this.inner.cpu.utilization_between(&last, &cur);
-                last = cur;
-                // Encode once and share the bytes: the old per-connection
-                // clone + spawn allocated a Vec and a task for every
-                // client on every 10 ms tick.
-                let msg: Rc<[u8]> = Message::Heartbeat {
-                    util_permille: (util * 1000.0).round().min(1000.0) as u16,
-                }
-                .encode()
-                .into();
-                let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
-                for tx in targets {
-                    tx.send(&msg, 0).await;
-                }
-            }
-        });
-    }
-
-    async fn worker_event(&self, ch: ServerChannel) {
-        loop {
-            let bytes = ch.rx.wait_message().await;
-            self.handle(bytes, &ch, false).await;
-        }
-    }
-
-    async fn worker_polling(&self, ch: ServerChannel) {
-        let quantum = self.inner.cpu.quantum();
-        loop {
-            // Occupy a core for a full turn, busy or not.
-            let core = self.inner.cpu.acquire().await;
-            let turn_end = now() + quantum;
-            while let Some(bytes) = ch.rx.wait_message_until(turn_end).await {
-                self.handle(bytes, &ch, true).await;
-                if now() >= turn_end {
-                    break;
-                }
-            }
-            if now() < turn_end {
-                sleep(turn_end - now()).await;
-            }
-            drop(core);
-            // Re-contend: with more workers than cores this lands at the
-            // back of the run queue (round-robin).
-            catfish_simnet::yield_now().await;
-        }
-    }
-
-    /// Charges `cost` of CPU: queued through the pool in event mode, or
-    /// consumed on the already-held core in polling mode.
-    async fn charge(&self, cost: SimDuration, holding_core: bool) {
-        if holding_core {
-            sleep(cost).await;
-        } else {
-            self.inner.cpu.run(cost).await;
-        }
-    }
-
-    async fn handle(&self, bytes: Vec<u8>, ch: &ServerChannel, holding_core: bool) {
-        let msg = match Message::decode(&bytes) {
-            Ok(m) => m,
-            Err(MsgError::Truncated) | Err(MsgError::UnknownTag(_)) | Err(MsgError::BadRect) => {
-                // A malformed request is dropped (a real server would close
-                // the connection); counted nowhere since clients are ours.
-                return;
-            }
-        };
-        let cost_model = self.inner.cfg.cost;
+    fn execute(&mut self, msg: Message, cost: &CostModel) -> Option<Execution<RtreeWire>> {
         match msg {
             Message::SearchReq { seq, rect } => {
                 let mut results = Vec::new();
-                let tstats = self
-                    .inner
-                    .tree
-                    .borrow()
-                    .search_items_into(&rect, &mut results);
-                let cost = cost_model.dispatch
-                    + cost_model.node_visit * tstats.nodes_visited as u64
-                    + cost_model.per_result * tstats.results as u64;
-                self.charge(cost, holding_core).await;
-                {
-                    let mut st = self.inner.stats.borrow_mut();
-                    st.searches += 1;
-                    st.results_returned += tstats.results as u64;
-                    st.nodes_visited += tstats.nodes_visited as u64;
-                }
-                let tx = ch.tx.clone();
-                let seg = self.inner.cfg.response_segment_results;
-                spawn(async move {
-                    send_response(&tx, seq, results, seg).await;
-                });
+                let tstats = self.search_items_into(&rect, &mut results);
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Read,
+                    cost: cost.dispatch
+                        + cost.node_visit * tstats.nodes_visited as u64
+                        + cost.per_result * tstats.results as u64,
+                    items: results,
+                    status: 1,
+                    nodes_visited: tstats.nodes_visited as u64,
+                })
             }
             Message::InsertReq { seq, rect, data } => {
-                let height = self.inner.tree.borrow().height() as u64;
-                let cost = cost_model.dispatch
-                    + cost_model.write_op
-                    + cost_model.node_visit * (2 * height + 1);
-                self.charge(cost, holding_core).await;
-                self.inner.tree.borrow_mut().insert(rect, data);
-                self.inner.stats.borrow_mut().inserts += 1;
-                let tx = ch.tx.clone();
-                spawn(async move {
-                    let end = Message::ResponseEnd {
-                        seq,
-                        results: Vec::new(),
-                        status: 1,
-                    };
-                    tx.send(&end.encode(), 0).await;
-                });
+                let height = self.height() as u64;
+                self.insert(rect, data);
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Write,
+                    cost: cost.dispatch + cost.write_op + cost.node_visit * (2 * height + 1),
+                    items: Vec::new(),
+                    status: 1,
+                    nodes_visited: 0,
+                })
             }
             Message::DeleteReq { seq, rect, data } => {
-                let height = self.inner.tree.borrow().height() as u64;
-                let cost = cost_model.dispatch
-                    + cost_model.write_op
-                    + cost_model.node_visit * (2 * height + 1);
-                self.charge(cost, holding_core).await;
-                let ok = self.inner.tree.borrow_mut().delete(&rect, data);
-                self.inner.stats.borrow_mut().deletes += 1;
-                let tx = ch.tx.clone();
-                spawn(async move {
-                    let end = Message::ResponseEnd {
-                        seq,
-                        results: Vec::new(),
-                        status: u32::from(ok),
-                    };
-                    tx.send(&end.encode(), 0).await;
-                });
+                let height = self.height() as u64;
+                let ok = self.delete(&rect, data);
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Remove,
+                    cost: cost.dispatch + cost.write_op + cost.node_visit * (2 * height + 1),
+                    items: Vec::new(),
+                    status: u32::from(ok),
+                    nodes_visited: 0,
+                })
             }
             Message::NearestReq { seq, x, y, k } => {
-                let neighbors = self.inner.tree.borrow().nearest(x, y, k as usize);
+                let neighbors = self.nearest(x, y, k as usize);
                 // Best-first kNN visits roughly height + k nodes.
-                let height = u64::from(self.inner.tree.borrow().height());
-                let cost = cost_model.dispatch
-                    + cost_model.node_visit * (height + u64::from(k))
-                    + cost_model.per_result * neighbors.len() as u64;
-                self.charge(cost, holding_core).await;
-                self.inner.stats.borrow_mut().searches += 1;
-                let results: Vec<(Rect, u64)> =
-                    neighbors.into_iter().map(|n| (n.rect, n.data)).collect();
-                let tx = ch.tx.clone();
-                let seg = self.inner.cfg.response_segment_results;
-                spawn(async move {
-                    send_response(&tx, seq, results, seg).await;
-                });
+                let height = u64::from(self.height());
+                let len = neighbors.len() as u64;
+                Some(Execution {
+                    seq,
+                    kind: OpKind::Read,
+                    cost: cost.dispatch
+                        + cost.node_visit * (height + u64::from(k))
+                        + cost.per_result * len,
+                    items: neighbors.into_iter().map(|n| (n.rect, n.data)).collect(),
+                    status: 1,
+                    nodes_visited: 0,
+                })
             }
             // Responses/heartbeats never arrive at the server.
             Message::ResponseCont { .. }
             | Message::ResponseEnd { .. }
-            | Message::Heartbeat { .. } => {}
+            | Message::Heartbeat { .. } => None,
         }
     }
-
-    // ------------------------------------------------------------------
-    // TCP baseline
-    // ------------------------------------------------------------------
-
-    /// The server's TCP stack (kernel work charged to the worker cores).
-    pub fn tcp_endpoint(&self) -> TcpEndpoint {
-        let mut slot = self.inner.tcp.borrow_mut();
-        if slot.is_none() {
-            *slot = Some(TcpEndpoint::new(
-                &network_of(&self.inner.endpoint),
-                self.inner.endpoint.node(),
-                self.inner.profile.tcp,
-                Some(self.inner.cpu.clone()),
-            ));
-        }
-        slot.clone().expect("just initialized")
-    }
-
-    /// Spawns a worker serving `conn` (a thread blocked in `recv`, the
-    /// classic threaded TCP server).
-    pub fn accept_tcp(&self, conn: TcpConn) {
-        let this = self.clone();
-        spawn(async move {
-            let conn = Rc::new(conn);
-            loop {
-                let Some(bytes) = conn.recv().await else {
-                    break;
-                };
-                this.handle_tcp(bytes, &conn).await;
-            }
-        });
-    }
-
-    async fn handle_tcp(&self, bytes: Vec<u8>, conn: &Rc<TcpConn>) {
-        let Ok(msg) = Message::decode(&bytes) else {
-            return;
-        };
-        let cost_model = self.inner.cfg.cost;
-        match msg {
-            Message::SearchReq { seq, rect } => {
-                let mut results = Vec::new();
-                let tstats = self
-                    .inner
-                    .tree
-                    .borrow()
-                    .search_items_into(&rect, &mut results);
-                let cost = cost_model.dispatch
-                    + cost_model.node_visit * tstats.nodes_visited as u64
-                    + cost_model.per_result * tstats.results as u64;
-                self.inner.cpu.run(cost).await;
-                {
-                    let mut st = self.inner.stats.borrow_mut();
-                    st.searches += 1;
-                    st.results_returned += tstats.results as u64;
-                    st.nodes_visited += tstats.nodes_visited as u64;
-                }
-                let seg = self.inner.cfg.response_segment_results;
-                let conn = Rc::clone(conn);
-                spawn(async move {
-                    for m in response_segments(seq, results, seg) {
-                        conn.send(m.encode()).await;
-                    }
-                });
-            }
-            Message::InsertReq { seq, rect, data } => {
-                let height = self.inner.tree.borrow().height() as u64;
-                let cost = cost_model.dispatch
-                    + cost_model.write_op
-                    + cost_model.node_visit * (2 * height + 1);
-                self.inner.cpu.run(cost).await;
-                self.inner.tree.borrow_mut().insert(rect, data);
-                self.inner.stats.borrow_mut().inserts += 1;
-                conn.send(
-                    Message::ResponseEnd {
-                        seq,
-                        results: Vec::new(),
-                        status: 1,
-                    }
-                    .encode(),
-                )
-                .await;
-            }
-            Message::DeleteReq { seq, rect, data } => {
-                let height = self.inner.tree.borrow().height() as u64;
-                let cost = cost_model.dispatch
-                    + cost_model.write_op
-                    + cost_model.node_visit * (2 * height + 1);
-                self.inner.cpu.run(cost).await;
-                let ok = self.inner.tree.borrow_mut().delete(&rect, data);
-                self.inner.stats.borrow_mut().deletes += 1;
-                conn.send(
-                    Message::ResponseEnd {
-                        seq,
-                        results: Vec::new(),
-                        status: u32::from(ok),
-                    }
-                    .encode(),
-                )
-                .await;
-            }
-            Message::NearestReq { seq, x, y, k } => {
-                let neighbors = self.inner.tree.borrow().nearest(x, y, k as usize);
-                let height = u64::from(self.inner.tree.borrow().height());
-                let cost = cost_model.dispatch
-                    + cost_model.node_visit * (height + u64::from(k))
-                    + cost_model.per_result * neighbors.len() as u64;
-                self.inner.cpu.run(cost).await;
-                self.inner.stats.borrow_mut().searches += 1;
-                let results: Vec<(Rect, u64)> =
-                    neighbors.into_iter().map(|n| (n.rect, n.data)).collect();
-                let seg = self.inner.cfg.response_segment_results;
-                let conn = Rc::clone(conn);
-                spawn(async move {
-                    for m in response_segments(seq, results, seg) {
-                        conn.send(m.encode()).await;
-                    }
-                });
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Splits `results` into CONT segments terminated by an END segment.
-pub(crate) fn response_segments(seq: u32, results: Vec<(Rect, u64)>, seg: usize) -> Vec<Message> {
-    let seg = seg.max(1);
-    if results.len() <= seg {
-        return vec![Message::ResponseEnd {
-            seq,
-            results,
-            status: 1,
-        }];
-    }
-    let mut out = Vec::with_capacity(results.len() / seg + 1);
-    let mut it = results.into_iter().peekable();
-    loop {
-        let mut chunk = Vec::with_capacity(seg);
-        while chunk.len() < seg {
-            match it.next() {
-                Some(r) => chunk.push(r),
-                None => break,
-            }
-        }
-        if it.peek().is_some() {
-            out.push(Message::ResponseCont {
-                seq,
-                results: chunk,
-            });
-        } else {
-            out.push(Message::ResponseEnd {
-                seq,
-                results: chunk,
-                status: 1,
-            });
-            return out;
-        }
-    }
-}
-
-async fn send_response(tx: &RingSender, seq: u32, results: Vec<(Rect, u64)>, seg: usize) {
-    for m in response_segments(seq, results, seg) {
-        tx.send(&m.encode(), 0).await;
-    }
-}
-
-/// Conservative chunk-count estimate: worst-case minimum fill at every
-/// level plus slack for growth.
-fn estimate_chunks(items: usize, cfg: &RTreeConfig) -> u32 {
-    let m = cfg.min_entries.max(2);
-    let mut total = 2usize; // meta + root
-    let mut level = items.max(1);
-    while level > 1 {
-        level = level.div_ceil(m);
-        total += level;
-    }
-    ((total * 3 / 2) + 1024) as u32
-}
-
-fn network_of(ep: &Endpoint) -> Network {
-    ep.network().clone()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ServerConfig;
+    use crate::conn::{ClientChannel, RkeyAllocator};
+    use crate::service::response_frames;
     use catfish_rdma::profile::infiniband_100g;
-    use catfish_rdma::RdmaProfile;
-    use catfish_simnet::Sim;
+    use catfish_rdma::tcp::TcpEndpoint;
+    use catfish_rdma::{Endpoint, RdmaProfile};
+    use catfish_simnet::{sleep, Network, Sim};
 
     fn grid_items(n: u64) -> Vec<(Rect, u64)> {
         (0..n)
@@ -597,11 +196,11 @@ mod tests {
             let query = Rect::new(0.0, 0.0, 0.055, 0.055);
             let mut got = fast_search(&ch, 1, query).await;
             got.sort_unstable();
-            let mut expect: Vec<u64> = server.with_tree(|t| t.search(&query));
+            let mut expect: Vec<u64> = server.with_index(|t| t.search(&query));
             expect.sort_unstable();
             assert_eq!(got, expect);
             assert!(!got.is_empty());
-            assert_eq!(server.stats().searches, 1);
+            assert_eq!(server.stats().reads, 1);
         });
     }
 
@@ -631,8 +230,9 @@ mod tests {
                     ..
                 }
             ));
-            assert!(server.with_tree(|t| t.search(&rect)).contains(&999_999));
-            server.with_tree(|t| t.check_invariants()).unwrap();
+            assert!(server.with_index(|t| t.search(&rect)).contains(&999_999));
+            server.with_index(|t| t.check_invariants()).unwrap();
+            assert_eq!(server.stats().writes, 1);
         });
     }
 
@@ -662,7 +262,8 @@ mod tests {
                     ..
                 }
             ));
-            assert!(!server.with_tree(|t| t.search(&rect)).contains(&id));
+            assert!(!server.with_index(|t| t.search(&rect)).contains(&id));
+            assert_eq!(server.stats().removes, 1);
         });
     }
 
@@ -721,9 +322,9 @@ mod tests {
     }
 
     #[test]
-    fn response_segments_split_correctly() {
+    fn response_frames_split_correctly() {
         let items: Vec<(Rect, u64)> = (0..25).map(|i| (Rect::point(i as f64, 0.0), i)).collect();
-        let segs = response_segments(5, items, 10);
+        let segs = response_frames::<RtreeWire>(5, items, 1, 10);
         assert_eq!(segs.len(), 3);
         assert!(matches!(&segs[0], Message::ResponseCont { results, .. } if results.len() == 10));
         assert!(matches!(&segs[1], Message::ResponseCont { results, .. } if results.len() == 10));
@@ -732,7 +333,7 @@ mod tests {
 
     #[test]
     fn empty_response_is_single_end() {
-        let segs = response_segments(1, Vec::new(), 10);
+        let segs = response_frames::<RtreeWire>(1, Vec::new(), 1, 10);
         assert_eq!(segs.len(), 1);
         assert!(matches!(&segs[0], Message::ResponseEnd { results, .. } if results.is_empty()));
     }
@@ -740,7 +341,7 @@ mod tests {
     #[test]
     fn exact_boundary_is_single_end() {
         let items: Vec<(Rect, u64)> = (0..10).map(|i| (Rect::point(i as f64, 0.0), i)).collect();
-        let segs = response_segments(1, items, 10);
+        let segs = response_frames::<RtreeWire>(1, items, 1, 10);
         assert_eq!(segs.len(), 1);
     }
 
@@ -789,7 +390,7 @@ mod tests {
                     other => panic!("unexpected {other:?}"),
                 }
             }
-            let mut expect = server.with_tree(|t| t.search(&query));
+            let mut expect = server.with_index(|t| t.search(&query));
             got.sort_unstable();
             expect.sort_unstable();
             assert_eq!(got, expect);

@@ -1,0 +1,491 @@
+//! The generic Catfish client: fast messaging, RDMA-offloaded traversal
+//! with multi-issue, and the adaptive back-off coordination (Algorithm 1),
+//! shared by every [`ClientBackend`].
+
+use std::collections::HashMap;
+
+use catfish_rdma::QueuePair;
+use catfish_rtree::codec::{CodecError, RemoteLayout};
+use catfish_rtree::{NodeId, TreeMeta};
+use catfish_simnet::{now, sleep, spawn, CpuPool, SimTime};
+
+use crate::adaptive::AdaptiveState;
+use crate::config::{AccessMode, ClientConfig};
+use crate::conn::ClientChannel;
+use crate::stats::ServiceStats;
+
+use super::{
+    ClientBackend, Incoming, Inconsistent, LayoutNode, OpKind, RemoteHandle, SearchPath, WireCodec,
+    WireItem, WireMessage,
+};
+
+/// Why one chunk read gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChunkReadError {
+    /// Retries exhausted on torn reads.
+    TooManyRetries,
+    /// The chunk no longer decodes to a plausible node (stale pointer).
+    Inconsistent,
+}
+
+/// A Catfish client bound to one connection, generic over the index being
+/// served. Owns the single implementation of request/response sequencing,
+/// heartbeat consumption, Algorithm 1 routing, and the offloaded traversal
+/// engine; the backend contributes only [`ClientBackend::read_request`] and
+/// [`ClientBackend::expand`].
+pub struct ServiceClient<B: ClientBackend> {
+    pub(crate) ch: ClientChannel,
+    pub(crate) cfg: ClientConfig,
+    pub(crate) handle: RemoteHandle<B::Layout>,
+    pub(crate) seq: u32,
+    pub(crate) adaptive: AdaptiveState,
+    pub(crate) meta_cache: Option<(TreeMeta, SimTime)>,
+    pub(crate) node_cache: HashMap<NodeId, (LayoutNode<B>, SimTime)>,
+    /// When set, responses are detected by busy-polling a core of this
+    /// (client-machine) pool, FaRM-style, instead of blocking on the
+    /// completion channel — the client-side half of the oversubscription
+    /// collapse in paper Fig. 7.
+    pub(crate) poll_pool: Option<CpuPool>,
+    pub(crate) stats: ServiceStats,
+}
+
+impl<B: ClientBackend> std::fmt::Debug for ServiceClient<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("seq", &self.seq)
+            .field("adaptive", &self.adaptive)
+            .finish()
+    }
+}
+
+impl<B: ClientBackend> ServiceClient<B> {
+    /// Creates a client over an established channel. `seed` drives the
+    /// back-off randomization.
+    pub fn new(
+        ch: ClientChannel,
+        handle: RemoteHandle<B::Layout>,
+        cfg: ClientConfig,
+        seed: u64,
+    ) -> Self {
+        let params = match cfg.mode {
+            AccessMode::Adaptive(p) => p,
+            _ => Default::default(),
+        };
+        ServiceClient {
+            ch,
+            cfg,
+            handle,
+            seq: 0,
+            adaptive: AdaptiveState::new(params, seed),
+            meta_cache: None,
+            node_cache: HashMap::new(),
+            poll_pool: None,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Switches response detection to busy-polling on a core of `pool`
+    /// (the client machine's CPUs). With more client threads per machine
+    /// than cores, response pickup waits for the thread's next scheduling
+    /// turn — reproducing the client-side half of Fig. 7's collapse.
+    pub fn with_response_polling(mut self, pool: CpuPool) -> Self {
+        self.poll_pool = Some(pool);
+        self
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Receives the next ring message, either event-driven (block on the
+    /// completion channel, off-CPU) or by holding a core and polling.
+    async fn recv_ring_message(&mut self) -> Vec<u8> {
+        match self.poll_pool.clone() {
+            None => self.ch.rx.wait_message().await,
+            Some(pool) => loop {
+                let quantum = pool.quantum();
+                let core = pool.acquire().await;
+                let got = self.ch.rx.wait_message_until(now() + quantum).await;
+                drop(core);
+                if let Some(bytes) = got {
+                    return bytes;
+                }
+                // Turn expired without a message: requeue behind the other
+                // polling threads on this machine.
+                catfish_simnet::yield_now().await;
+            },
+        }
+    }
+
+    /// Consumes everything already sitting in the response ring —
+    /// primarily heartbeats accumulated while the client was offloading.
+    pub(crate) fn drain_pending(&mut self) {
+        while let Some(bytes) = self.ch.rx.try_pop() {
+            if let Ok(msg) = B::Wire::decode(&bytes) {
+                if let Incoming::Heartbeat(p) = B::Wire::classify(msg) {
+                    self.note_heartbeat(p);
+                }
+            }
+        }
+    }
+
+    fn note_heartbeat(&mut self, util_permille: u16) {
+        self.adaptive
+            .note_heartbeat(f64::from(util_permille) / 1000.0);
+    }
+
+    /// Executes `read`, choosing the execution path per the configured
+    /// [`AccessMode`].
+    pub async fn read(&mut self, read: &B::Read) -> Vec<WireItem<B>> {
+        self.read_traced(read).await.0
+    }
+
+    /// Like [`ServiceClient::read`], also reporting which path ran.
+    pub async fn read_traced(&mut self, read: &B::Read) -> (Vec<WireItem<B>>, SearchPath) {
+        self.drain_pending();
+        let offload = match self.cfg.mode {
+            AccessMode::FastMessaging => false,
+            AccessMode::Offloading => true,
+            AccessMode::Adaptive(_) => self.adaptive.decide(),
+        };
+        if offload {
+            self.stats.offloaded_reads += 1;
+            (self.offload_read(read).await, SearchPath::Offloaded)
+        } else {
+            self.stats.fast_reads += 1;
+            (self.fast_read(read).await, SearchPath::FastMessaging)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fast messaging
+    // ------------------------------------------------------------------
+
+    /// Sends one request over the ring and collects its CONT/END response
+    /// segments, returning `(status, items)`. Heartbeats observed while
+    /// waiting are recorded; stale or unexpected messages are dropped.
+    pub(crate) async fn fast_request(
+        &mut self,
+        build: impl FnOnce(u32) -> WireMessage<B>,
+    ) -> (u32, Vec<WireItem<B>>) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.ch.tx.send(&B::Wire::encode(&build(seq)), seq).await;
+        let mut out = Vec::new();
+        loop {
+            let bytes = self.recv_ring_message().await;
+            let Ok(msg) = B::Wire::decode(&bytes) else {
+                continue;
+            };
+            match B::Wire::classify(msg) {
+                Incoming::Heartbeat(p) => self.note_heartbeat(p),
+                Incoming::Cont { seq: s, items } if s == seq => out.extend(items),
+                Incoming::End {
+                    seq: s,
+                    items,
+                    status,
+                } if s == seq => {
+                    out.extend(items);
+                    return (status, out);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// A read served by the server through fast messaging.
+    pub(crate) async fn fast_read(&mut self, read: &B::Read) -> Vec<WireItem<B>> {
+        self.fast_request(|seq| B::read_request(seq, read)).await.1
+    }
+
+    /// A write-class request (insert, put, delete, ...); writes always
+    /// travel through the ring and are executed by server threads (paper
+    /// §III-B). Returns `(status, items)` from the END frame.
+    pub(crate) async fn write_request(
+        &mut self,
+        kind: OpKind,
+        build: impl FnOnce(u32) -> WireMessage<B>,
+    ) -> (u32, Vec<WireItem<B>>) {
+        self.drain_pending();
+        match kind {
+            OpKind::Write => self.stats.writes_sent += 1,
+            OpKind::Remove => self.stats.removes_sent += 1,
+            OpKind::Read => {}
+        }
+        self.fast_request(build).await
+    }
+
+    // ------------------------------------------------------------------
+    // RDMA offloading
+    // ------------------------------------------------------------------
+
+    /// A read traversing the index with one-sided RDMA Reads. After eight
+    /// inconsistent attempts the index is churning faster than we can
+    /// traverse it; fall back to the server's consistent view.
+    pub(crate) async fn offload_read(&mut self, read: &B::Read) -> Vec<WireItem<B>> {
+        let mut attempts = 0u32;
+        loop {
+            match self.offload_attempt(read).await {
+                Ok(items) => return items,
+                Err(Inconsistent) => {
+                    self.stats.offload_restarts += 1;
+                    self.meta_cache = None;
+                    self.node_cache.clear();
+                    attempts += 1;
+                    if attempts >= 8 {
+                        return self.fast_read(read).await;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One traversal attempt; [`Inconsistent`] means a stale root, level
+    /// mismatch, or undecodable chunk was observed.
+    async fn offload_attempt(&mut self, read: &B::Read) -> Result<Vec<WireItem<B>>, Inconsistent> {
+        let meta = self.read_meta().await;
+        let Some(root) = meta.root else {
+            return Ok(Vec::new());
+        };
+        // Nodes at or above this level may be served from the client-side
+        // cache (internal top levels only; leaves are never cached).
+        let cache_floor = meta.height.saturating_sub(self.cfg.cache_levels).max(1);
+        if self.cfg.multi_issue {
+            self.traverse_multi_issue(read, root, meta.height - 1, cache_floor)
+                .await
+        } else {
+            self.traverse_sequential(read, root, meta.height - 1, cache_floor)
+                .await
+        }
+    }
+
+    /// Consults the level cache for a node at `level`; `cache_floor` is
+    /// the lowest cacheable level.
+    pub(crate) fn cache_lookup(
+        &mut self,
+        id: NodeId,
+        level: u32,
+        cache_floor: u32,
+    ) -> Option<LayoutNode<B>> {
+        if self.cfg.cache_levels == 0 || level < cache_floor {
+            return None;
+        }
+        let (node, at) = self.node_cache.get(&id)?;
+        if now().saturating_duration_since(*at) > self.cfg.node_cache_ttl {
+            return None;
+        }
+        self.stats.cache_hits += 1;
+        Some(node.clone())
+    }
+
+    pub(crate) fn cache_store(
+        &mut self,
+        id: NodeId,
+        level: u32,
+        cache_floor: u32,
+        node: &LayoutNode<B>,
+    ) {
+        if self.cfg.cache_levels == 0 || level < cache_floor || self.cfg.node_cache_capacity == 0 {
+            return;
+        }
+        if self.node_cache.len() >= self.cfg.node_cache_capacity
+            && !self.node_cache.contains_key(&id)
+        {
+            // Evict the stalest entry to stay within capacity.
+            if let Some(oldest) = self
+                .node_cache
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(id, _)| *id)
+            {
+                self.node_cache.remove(&oldest);
+            }
+        }
+        self.node_cache.insert(id, (node.clone(), now()));
+    }
+
+    /// Sequential offloading (the paper's baseline): one outstanding RDMA
+    /// read; every node access is a full round trip.
+    async fn traverse_sequential(
+        &mut self,
+        read: &B::Read,
+        root: NodeId,
+        root_level: u32,
+        cache_floor: u32,
+    ) -> Result<Vec<WireItem<B>>, Inconsistent> {
+        let mut results = Vec::new();
+        let mut queue: Vec<(NodeId, u32)> = vec![(root, root_level)];
+        while let Some((id, level)) = queue.pop() {
+            let node = match self.cache_lookup(id, level, cache_floor) {
+                Some(node) => node,
+                None => {
+                    let node = self.fetch_node(id).await?;
+                    let node_level = <B::Layout as RemoteLayout>::node_level(&node);
+                    self.cache_store(id, node_level, cache_floor, &node);
+                    node
+                }
+            };
+            if <B::Layout as RemoteLayout>::node_level(&node) != level {
+                return Err(Inconsistent);
+            }
+            sleep(self.cfg.client_node_visit).await;
+            B::expand(read, &node, &mut results, &mut queue)?;
+        }
+        Ok(results)
+    }
+
+    /// Multi-issue offloading (§IV-C): all matching children of a
+    /// processed node are fetched with concurrently issued reads, hiding
+    /// round trips in a pipeline.
+    async fn traverse_multi_issue(
+        &mut self,
+        read: &B::Read,
+        root: NodeId,
+        root_level: u32,
+        cache_floor: u32,
+    ) -> Result<Vec<WireItem<B>>, Inconsistent> {
+        let (tx, mut rx) = catfish_simnet::sync::channel();
+        let mut inflight = 0usize;
+        let qp = self.ch.qp.clone();
+        let handle = self.handle;
+        let retries = self.cfg.max_read_retries;
+        let cache_tx = tx.clone();
+        let issue = move |id: NodeId, level: u32, inflight: &mut usize| {
+            let qp = qp.clone();
+            let tx = tx.clone();
+            *inflight += 1;
+            spawn(async move {
+                let got = read_chunk::<B::Layout>(&qp, &handle, id, retries).await;
+                tx.send((id, level, got));
+            });
+        };
+        // Dispatches through the cache when possible, else over the wire.
+        let dispatch = |this: &mut Self, id: NodeId, level: u32, inflight: &mut usize| match this
+            .cache_lookup(id, level, cache_floor)
+        {
+            Some(node) => {
+                *inflight += 1;
+                cache_tx.send((id, level, Ok((node, u32::MAX))));
+            }
+            None => issue(id, level, inflight),
+        };
+        dispatch(self, root, root_level, &mut inflight);
+        let mut results = Vec::new();
+        let mut failed = false;
+        while inflight > 0 {
+            let (id, level, got) = rx.recv().await.expect("sender held locally");
+            inflight -= 1;
+            if failed {
+                continue; // drain remaining reads after failure
+            }
+            let (node, retries) = match got {
+                Ok(v) => v,
+                Err(_) => {
+                    failed = true;
+                    continue;
+                }
+            };
+            // `u32::MAX` marks a cache-served node: no wire fetch happened.
+            if retries != u32::MAX {
+                self.stats.torn_retries += u64::from(retries);
+                self.stats.chunks_fetched += 1;
+            }
+            let node_level = <B::Layout as RemoteLayout>::node_level(&node);
+            if node_level != level {
+                failed = true;
+                continue;
+            }
+            self.cache_store(id, node_level, cache_floor, &node);
+            sleep(self.cfg.client_node_visit).await;
+            let mut children = Vec::new();
+            if B::expand(read, &node, &mut results, &mut children).is_err() {
+                failed = true;
+                continue;
+            }
+            for (child, child_level) in children {
+                dispatch(self, child, child_level, &mut inflight);
+            }
+        }
+        if failed {
+            Err(Inconsistent)
+        } else {
+            Ok(results)
+        }
+    }
+
+    /// Fetches and validates one chunk, counting retries.
+    pub(crate) async fn fetch_node(&mut self, id: NodeId) -> Result<LayoutNode<B>, Inconsistent> {
+        match read_chunk::<B::Layout>(&self.ch.qp, &self.handle, id, self.cfg.max_read_retries)
+            .await
+        {
+            Ok((node, retries)) => {
+                self.stats.torn_retries += u64::from(retries);
+                self.stats.chunks_fetched += 1;
+                Ok(node)
+            }
+            Err(_) => Err(Inconsistent),
+        }
+    }
+
+    /// Reads (and caches) the index metadata from chunk 0.
+    pub(crate) async fn read_meta(&mut self) -> TreeMeta {
+        let t = now();
+        if let Some((m, at)) = self.meta_cache {
+            if t.saturating_duration_since(at) <= self.cfg.meta_cache_ttl {
+                return m;
+            }
+        }
+        loop {
+            let bytes = self
+                .ch
+                .qp
+                .read(self.handle.rkey, 0, self.handle.layout.chunk_bytes())
+                .await
+                .expect("index arena registered");
+            match self.handle.layout.decode_meta(&bytes) {
+                Ok((m, _)) => {
+                    self.stats.meta_refreshes += 1;
+                    self.meta_cache = Some((m, now()));
+                    return m;
+                }
+                Err(CodecError::TornRead { .. }) => {
+                    self.stats.torn_retries += 1;
+                }
+                Err(CodecError::Malformed(what)) => {
+                    panic!("index metadata chunk is corrupt: {what}")
+                }
+            }
+        }
+    }
+}
+
+/// One validated chunk read with torn-read retries.
+pub(crate) async fn read_chunk<L: RemoteLayout>(
+    qp: &QueuePair,
+    handle: &RemoteHandle<L>,
+    id: NodeId,
+    max_retries: u32,
+) -> Result<(L::Node, u32), ChunkReadError> {
+    let mut retries = 0u32;
+    loop {
+        let bytes = qp
+            .read(
+                handle.rkey,
+                handle.layout.node_offset(id),
+                handle.layout.chunk_bytes(),
+            )
+            .await
+            .expect("index arena registered");
+        match handle.layout.decode_node(&bytes) {
+            Ok((node, _version)) => return Ok((node, retries)),
+            Err(CodecError::TornRead { .. }) => {
+                retries += 1;
+                if retries > max_retries {
+                    return Err(ChunkReadError::TooManyRetries);
+                }
+            }
+            Err(CodecError::Malformed(_)) => return Err(ChunkReadError::Inconsistent),
+        }
+    }
+}

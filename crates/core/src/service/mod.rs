@@ -1,0 +1,264 @@
+//! The index-agnostic service core — one engine for every backend.
+//!
+//! The paper's §VI claims Catfish's three pillars (fast messaging, RDMA
+//! offloading, Algorithm 1 adaptivity) are independent of the index being
+//! served. This module is that claim as code: [`ServiceServer`] and
+//! [`ServiceClient`] own the single implementation of the ring-buffer
+//! worker loops (polling and event-driven), the CPU-heartbeat publisher,
+//! the adaptive back-off routing, the multi-issue offloaded traversal with
+//! FaRM-style version retry, and the unified [`crate::stats::ServiceStats`] — while two
+//! small traits describe everything that differs per index:
+//!
+//! * [`WireCodec`] — the message set: how requests, CONT/END response
+//!   segments, and heartbeats are framed on the ring.
+//! * [`IndexBackend`] — the index: how to bulk-load it into an [`MrMemory`]
+//!   chunk arena, execute one request server-side, and describe the chunk
+//!   layout + root metadata that offloading clients traverse. The
+//!   client-side half, [`ClientBackend`], adds how a traversal expands one
+//!   decoded node.
+//!
+//! The R-tree service ([`crate::server`]/[`crate::client`]) and the
+//! KV/B+-tree service ([`crate::kv`]) are both instantiations of these
+//! generics; adding a third backend (hash index, sharded tree) is a
+//! two-trait implementation, not a fork of the dataplane.
+
+use catfish_rtree::codec::RemoteLayout;
+use catfish_rtree::NodeId;
+use catfish_simnet::SimDuration;
+
+use crate::config::CostModel;
+use crate::msg::MsgError;
+use crate::store::MrMemory;
+
+mod client;
+mod server;
+
+pub use client::ServiceClient;
+pub use server::ServiceServer;
+
+/// Request message type of a backend's wire codec.
+pub type WireMessage<B> = <<B as IndexBackend>::Wire as WireCodec>::Message;
+/// Response item type of a backend's wire codec.
+pub type WireItem<B> = <<B as IndexBackend>::Wire as WireCodec>::Item;
+/// Decoded remote-node type of a backend's chunk layout.
+pub type LayoutNode<B> = <<B as IndexBackend>::Layout as RemoteLayout>::Node;
+
+/// A message set carried inside the ring buffers.
+///
+/// Every Catfish service speaks the same conversation shape — requests in,
+/// CONT/END-segmented responses out, utilization heartbeats piggybacked —
+/// but with per-service payloads. This trait captures the shape so the
+/// generic server and client can frame responses and recognize heartbeats
+/// without knowing the payload types.
+pub trait WireCodec: Sized + 'static {
+    /// The full message enum (requests, responses, heartbeat).
+    type Message: Clone + std::fmt::Debug + 'static;
+    /// One response item (an R-tree `(Rect, u64)` hit, a KV pair, ...).
+    type Item: Clone + std::fmt::Debug + 'static;
+
+    /// Serializes a message to ring bytes.
+    fn encode(msg: &Self::Message) -> Vec<u8>;
+
+    /// Deserializes ring bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MsgError`] on truncation, unknown tags, or invalid fields.
+    fn decode(bytes: &[u8]) -> Result<Self::Message, MsgError>;
+
+    /// Builds the CPU-utilization heartbeat message.
+    fn heartbeat(util_permille: u16) -> Self::Message;
+
+    /// Builds a non-final response segment ("CONT").
+    fn cont(seq: u32, items: Vec<Self::Item>) -> Self::Message;
+
+    /// Builds the final response segment ("END").
+    fn end(seq: u32, items: Vec<Self::Item>, status: u32) -> Self::Message;
+
+    /// Classifies a received message for the generic receive loops.
+    fn classify(msg: Self::Message) -> Incoming<Self>;
+}
+
+/// A received message, classified for the generic receive loops.
+#[derive(Debug, Clone)]
+pub enum Incoming<W: WireCodec> {
+    /// Server CPU-utilization heartbeat (Algorithm 1's `u_serv`).
+    Heartbeat(u16),
+    /// Non-final response segment.
+    Cont {
+        /// Echo of the request sequence number.
+        seq: u32,
+        /// Items in this segment.
+        items: Vec<W::Item>,
+    },
+    /// Final response segment.
+    End {
+        /// Echo of the request sequence number.
+        seq: u32,
+        /// Items in this segment.
+        items: Vec<W::Item>,
+        /// Operation status (1 = success / found).
+        status: u32,
+    },
+    /// A request (only meaningful on the server side).
+    Request(W::Message),
+}
+
+/// How a server-side operation is counted in [`crate::stats::ServiceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A read (search, get, range, kNN).
+    Read,
+    /// A write (insert, put).
+    Write,
+    /// A removal (delete, remove).
+    Remove,
+}
+
+/// The outcome of executing one request against a backend.
+#[derive(Debug, Clone)]
+pub struct Execution<W: WireCodec> {
+    /// Sequence number to echo in the response.
+    pub seq: u32,
+    /// Stats bucket for this operation.
+    pub kind: OpKind,
+    /// CPU time to charge for the operation.
+    pub cost: SimDuration,
+    /// Response items (segmented into CONT/END frames by the server).
+    pub items: Vec<W::Item>,
+    /// Response status carried on the END frame.
+    pub status: u32,
+    /// Index nodes visited (server-side `nodes_visited` counter).
+    pub nodes_visited: u64,
+}
+
+/// An index that can be served over the Catfish dataplane.
+///
+/// Implementations live in the index crates' service ports (the R-tree's in
+/// [`crate::server`], the B+-tree's in [`crate::kv`]) and are deliberately
+/// small: bulk-load into a registered chunk arena, execute one decoded
+/// request, and expose the layout/metadata that offloading clients need.
+pub trait IndexBackend: Sized + 'static {
+    /// The message set this service speaks.
+    type Wire: WireCodec;
+    /// Index tuning parameters (fanout, max keys, ...).
+    type Config: Clone + std::fmt::Debug + 'static;
+    /// One bulk-load item (`(Rect, u64)` for the R-tree, `(u64, u64)` for
+    /// the KV service).
+    type LoadItem: Clone + 'static;
+    /// The chunk layout offloading clients traverse.
+    type Layout: RemoteLayout;
+
+    /// Chunk geometry for the given index configuration (a shared constant
+    /// of the deployment).
+    fn layout(cfg: &Self::Config) -> Self::Layout;
+
+    /// Conservative arena size estimate (in chunks, including chunk 0) for
+    /// hosting `items` entries with headroom for growth.
+    fn estimate_chunks(cfg: &Self::Config, items: usize) -> u32;
+
+    /// Bulk-loads `items` into the registered arena `mem`.
+    fn load(
+        mem: MrMemory,
+        layout: Self::Layout,
+        cfg: Self::Config,
+        items: Vec<Self::LoadItem>,
+    ) -> Self;
+
+    /// Sets the torn-write visibility window on the backing arena (enabled
+    /// after load, once clients may be racing writers).
+    fn set_torn_window(&self, window: SimDuration);
+
+    /// Current root metadata (diagnostics and tests).
+    fn meta(&self) -> catfish_rtree::TreeMeta;
+
+    /// Executes one decoded request, returning what to charge, count, and
+    /// respond. `None` for messages a server ignores (responses and
+    /// heartbeats never arrive at the server).
+    fn execute(
+        &mut self,
+        msg: <Self::Wire as WireCodec>::Message,
+        cost: &CostModel,
+    ) -> Option<Execution<Self::Wire>>;
+}
+
+/// The client-side half of a backend: how offloaded traversals interpret
+/// nodes fetched with one-sided reads.
+pub trait ClientBackend: IndexBackend {
+    /// A read request as the client sees it (query rectangle, key, key
+    /// range, ...).
+    type Read: Clone + std::fmt::Debug + 'static;
+
+    /// Builds the fast-messaging request for `read`.
+    fn read_request(seq: u32, read: &Self::Read) -> WireMessage<Self>;
+
+    /// Expands one fetched node: pushes matching items to `items` and
+    /// children still to visit (with their expected level) to `children`.
+    ///
+    /// # Errors
+    ///
+    /// [`Inconsistent`] when the node contradicts the traversal's
+    /// expectations (stale pointer, leaf/internal mismatch) — the generic
+    /// engine restarts the traversal from fresh metadata.
+    fn expand(
+        read: &Self::Read,
+        node: &LayoutNode<Self>,
+        items: &mut Vec<WireItem<Self>>,
+        children: &mut Vec<(NodeId, u32)>,
+    ) -> Result<(), Inconsistent>;
+}
+
+/// An offloaded traversal observed a state that cannot belong to any
+/// consistent snapshot of the index (stale root, level mismatch,
+/// undecodable chunk). The traversal restarts from fresh metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inconsistent;
+
+/// Everything an offloading client needs to traverse an index remotely.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteHandle<L: RemoteLayout> {
+    /// rkey of the registered chunk arena.
+    pub rkey: u32,
+    /// Chunk geometry (shared constant of the deployment).
+    pub layout: L,
+}
+
+/// Which path executed a read (for tests and diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchPath {
+    /// Server-side traversal via the ring buffer.
+    FastMessaging,
+    /// Client-side traversal via one-sided reads.
+    Offloaded,
+}
+
+/// Splits `items` into CONT frames terminated by an END frame carrying
+/// `status`. Responses that fit one segment are a single END.
+pub(crate) fn response_frames<W: WireCodec>(
+    seq: u32,
+    items: Vec<W::Item>,
+    status: u32,
+    seg: usize,
+) -> Vec<W::Message> {
+    let seg = seg.max(1);
+    if items.len() <= seg {
+        return vec![W::end(seq, items, status)];
+    }
+    let mut out = Vec::with_capacity(items.len() / seg + 1);
+    let mut it = items.into_iter().peekable();
+    loop {
+        let mut chunk = Vec::with_capacity(seg);
+        while chunk.len() < seg {
+            match it.next() {
+                Some(r) => chunk.push(r),
+                None => break,
+            }
+        }
+        if it.peek().is_some() {
+            out.push(W::cont(seq, chunk));
+        } else {
+            out.push(W::end(seq, chunk, status));
+            return out;
+        }
+    }
+}

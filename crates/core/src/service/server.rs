@@ -1,0 +1,327 @@
+//! The generic Catfish server: one worker/heartbeat/dispatch engine for
+//! every [`IndexBackend`].
+//!
+//! The server owns the index inside an RDMA-registered chunk arena (so
+//! offloading clients can traverse it with one-sided reads), accepts ring
+//! connections, and runs one worker per connection in either polling or
+//! event-driven mode. It also publishes CPU-utilization heartbeats every
+//! `Inv` (paper §IV-A) and serves the TCP baseline.
+//!
+//! ## Polling-mode modelling note
+//!
+//! Real polling workers spin on the ring buffer's length word. Simulating
+//! each poll iteration (~100 ns) would drown the event queue, so the
+//! polling worker instead *holds a core for its full scheduling quantum*
+//! and uses the completion queue purely as an arrival oracle inside the
+//! turn: messages are still handled at their arrival instants, the core is
+//! busy for the entire turn whether or not work arrived, and when
+//! connections outnumber cores a worker must wait for its next quantum —
+//! precisely the oversubscription collapse of Fig. 7 — at event-queue cost
+//! proportional to messages, not poll iterations.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
+use catfish_rdma::{Endpoint, MemoryRegion, NetProfile};
+use catfish_rtree::codec::RemoteLayout;
+use catfish_rtree::TreeMeta;
+use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration};
+
+use crate::config::{ServerConfig, ServerMode};
+use crate::conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
+use crate::ring::RingSender;
+use crate::stats::ServiceStats;
+use crate::store::MrMemory;
+
+use super::{response_frames, Execution, IndexBackend, OpKind, RemoteHandle, WireCodec};
+
+struct ServerInner<B: IndexBackend> {
+    endpoint: Endpoint,
+    cpu: CpuPool,
+    cfg: ServerConfig,
+    profile: NetProfile,
+    backend: RefCell<B>,
+    rkey: u32,
+    layout: B::Layout,
+    rkeys: RkeyAllocator,
+    heartbeat_targets: RefCell<Vec<RingSender>>,
+    stats: RefCell<ServiceStats>,
+    tcp: RefCell<Option<TcpEndpoint>>,
+}
+
+/// A Catfish server over any [`IndexBackend`]. Cloneable handle; spawned
+/// workers share state.
+pub struct ServiceServer<B: IndexBackend> {
+    inner: Rc<ServerInner<B>>,
+}
+
+impl<B: IndexBackend> Clone for ServiceServer<B> {
+    fn clone(&self) -> Self {
+        ServiceServer {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: IndexBackend> std::fmt::Debug for ServiceServer<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceServer")
+            .field("node", &self.inner.endpoint.node())
+            .field("meta", &self.inner.backend.borrow().meta())
+            .finish()
+    }
+}
+
+impl<B: IndexBackend> ServiceServer<B> {
+    /// Builds a server on a fresh fabric node: allocates and registers the
+    /// index arena, bulk-loads `items`, and prepares worker infrastructure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena estimate cannot hold the dataset.
+    pub fn build(
+        net: &Network,
+        profile: &NetProfile,
+        cfg: ServerConfig,
+        index_cfg: B::Config,
+        items: Vec<B::LoadItem>,
+        rkeys: &RkeyAllocator,
+    ) -> ServiceServer<B> {
+        let node = net.add_node(profile.link);
+        let endpoint = Endpoint::new(net, node, profile.rdma);
+        let cpu = CpuPool::new(cfg.cores, cfg.quantum);
+        let layout = B::layout(&index_cfg);
+        let chunks = B::estimate_chunks(&index_cfg, items.len());
+        let rkey = rkeys.alloc();
+        let mr = MemoryRegion::new(layout.arena_bytes(chunks), rkey);
+        endpoint.register(mr.clone());
+        // Load with torn visibility disabled (no clients yet), enable after.
+        let mem = MrMemory::new(mr, SimDuration::ZERO);
+        let backend = B::load(mem, layout, index_cfg, items);
+        backend.set_torn_window(cfg.torn_write_window);
+        ServiceServer {
+            inner: Rc::new(ServerInner {
+                endpoint,
+                cpu,
+                cfg,
+                profile: *profile,
+                backend: RefCell::new(backend),
+                rkey,
+                layout,
+                rkeys: rkeys.clone(),
+                heartbeat_targets: RefCell::new(Vec::new()),
+                stats: RefCell::new(ServiceStats::default()),
+                tcp: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// The server's RDMA endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.inner.endpoint
+    }
+
+    /// The shared worker-core pool (for utilization sampling).
+    pub fn cpu(&self) -> &CpuPool {
+        &self.inner.cpu
+    }
+
+    /// Traversal bootstrap info for offloading clients.
+    pub fn remote_handle(&self) -> RemoteHandle<B::Layout> {
+        RemoteHandle {
+            rkey: self.inner.rkey,
+            layout: self.inner.layout,
+        }
+    }
+
+    /// Current index metadata (diagnostics and tests).
+    pub fn meta(&self) -> TreeMeta {
+        self.inner.backend.borrow().meta()
+    }
+
+    /// Runs `f` with shared access to the server's index (tests).
+    pub fn with_index<R>(&self, f: impl FnOnce(&B) -> R) -> R {
+        f(&self.inner.backend.borrow())
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Accepts a ring connection from `client_ep` and spawns its worker.
+    pub fn accept(&self, client_ep: &Endpoint) -> ClientChannel {
+        let (cc, sc) = establish(
+            client_ep,
+            &self.inner.endpoint,
+            self.inner.cfg.ring_capacity,
+            &self.inner.rkeys,
+        );
+        self.inner
+            .heartbeat_targets
+            .borrow_mut()
+            .push(sc.tx.clone());
+        let this = self.clone();
+        spawn(async move {
+            match this.inner.cfg.mode {
+                ServerMode::EventDriven => this.worker_event(sc).await,
+                ServerMode::Polling => this.worker_polling(sc).await,
+            }
+        });
+        cc
+    }
+
+    /// Starts the heartbeat publisher (call once; idempotent behaviour is
+    /// the caller's responsibility).
+    pub fn start_heartbeats(&self) {
+        let this = self.clone();
+        spawn(async move {
+            let mut last = this.inner.cpu.sample();
+            loop {
+                sleep(this.inner.cfg.heartbeat_interval).await;
+                let cur = this.inner.cpu.sample();
+                let util = this.inner.cpu.utilization_between(&last, &cur);
+                last = cur;
+                // Encode once and share the bytes: a per-connection clone
+                // + spawn would allocate a Vec and a task for every client
+                // on every 10 ms tick.
+                let msg: Rc<[u8]> = B::Wire::encode(&B::Wire::heartbeat(
+                    (util * 1000.0).round().min(1000.0) as u16,
+                ))
+                .into();
+                let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
+                for tx in targets {
+                    tx.send(&msg, 0).await;
+                }
+            }
+        });
+    }
+
+    async fn worker_event(&self, ch: ServerChannel) {
+        loop {
+            let bytes = ch.rx.wait_message().await;
+            self.handle(bytes, &ch, false).await;
+        }
+    }
+
+    async fn worker_polling(&self, ch: ServerChannel) {
+        let quantum = self.inner.cpu.quantum();
+        loop {
+            // Occupy a core for a full turn, busy or not.
+            let core = self.inner.cpu.acquire().await;
+            let turn_end = now() + quantum;
+            while let Some(bytes) = ch.rx.wait_message_until(turn_end).await {
+                self.handle(bytes, &ch, true).await;
+                if now() >= turn_end {
+                    break;
+                }
+            }
+            if now() < turn_end {
+                sleep(turn_end - now()).await;
+            }
+            drop(core);
+            // Re-contend: with more workers than cores this lands at the
+            // back of the run queue (round-robin).
+            catfish_simnet::yield_now().await;
+        }
+    }
+
+    /// Charges `cost` of CPU: queued through the pool in event mode, or
+    /// consumed on the already-held core in polling mode.
+    async fn charge(&self, cost: SimDuration, holding_core: bool) {
+        if holding_core {
+            sleep(cost).await;
+        } else {
+            self.inner.cpu.run(cost).await;
+        }
+    }
+
+    /// Decodes, executes, charges, and counts one request. Shared by the
+    /// ring workers and the TCP baseline; only the response transport
+    /// differs between them.
+    async fn process(&self, bytes: &[u8], holding_core: bool) -> Option<Execution<B::Wire>> {
+        // A malformed request is dropped (a real server would close the
+        // connection); counted nowhere since clients are ours.
+        let msg = B::Wire::decode(bytes).ok()?;
+        // The backend borrow is released before any await point.
+        let exec = self
+            .inner
+            .backend
+            .borrow_mut()
+            .execute(msg, &self.inner.cfg.cost)?;
+        self.charge(exec.cost, holding_core).await;
+        {
+            let mut st = self.inner.stats.borrow_mut();
+            match exec.kind {
+                OpKind::Read => {
+                    st.reads += 1;
+                    st.results_returned += exec.items.len() as u64;
+                    st.nodes_visited += exec.nodes_visited;
+                }
+                OpKind::Write => st.writes += 1,
+                OpKind::Remove => st.removes += 1,
+            }
+        }
+        Some(exec)
+    }
+
+    async fn handle(&self, bytes: Vec<u8>, ch: &ServerChannel, holding_core: bool) {
+        let Some(exec) = self.process(&bytes, holding_core).await else {
+            return;
+        };
+        let tx = ch.tx.clone();
+        let seg = self.inner.cfg.response_segment_results;
+        spawn(async move {
+            for m in response_frames::<B::Wire>(exec.seq, exec.items, exec.status, seg) {
+                tx.send(&B::Wire::encode(&m), 0).await;
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // TCP baseline
+    // ------------------------------------------------------------------
+
+    /// The server's TCP stack (kernel work charged to the worker cores).
+    pub fn tcp_endpoint(&self) -> TcpEndpoint {
+        let mut slot = self.inner.tcp.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(TcpEndpoint::new(
+                self.inner.endpoint.network(),
+                self.inner.endpoint.node(),
+                self.inner.profile.tcp,
+                Some(self.inner.cpu.clone()),
+            ));
+        }
+        slot.clone().expect("just initialized")
+    }
+
+    /// Spawns a worker serving `conn` (a thread blocked in `recv`, the
+    /// classic threaded TCP server).
+    pub fn accept_tcp(&self, conn: TcpConn) {
+        let this = self.clone();
+        spawn(async move {
+            let conn = Rc::new(conn);
+            loop {
+                let Some(bytes) = conn.recv().await else {
+                    break;
+                };
+                this.handle_tcp(bytes, &conn).await;
+            }
+        });
+    }
+
+    async fn handle_tcp(&self, bytes: Vec<u8>, conn: &Rc<TcpConn>) {
+        let Some(exec) = self.process(&bytes, false).await else {
+            return;
+        };
+        let seg = self.inner.cfg.response_segment_results;
+        let conn = Rc::clone(conn);
+        spawn(async move {
+            for m in response_frames::<B::Wire>(exec.seq, exec.items, exec.status, seg) {
+                conn.send(B::Wire::encode(&m)).await;
+            }
+        });
+    }
+}

@@ -1,6 +1,95 @@
-//! Measurement: latency recording and summary statistics.
+//! Measurement: latency recording, summary statistics, and the unified
+//! service counters shared by every backend.
+
+use std::fmt;
 
 use catfish_simnet::SimDuration;
+
+/// Unified operation counters for a Catfish service endpoint.
+///
+/// One struct covers both sides of a connection: servers populate the
+/// request-execution counters (`reads`, `writes`, ...), clients populate the
+/// path-routing and offload counters (`fast_reads`, `torn_retries`, ...).
+/// Keeping a single index-agnostic struct (instead of the drifted per-service
+/// `ServerStats`/`ClientStats`/`KvClientStats` copies it replaced) means the
+/// harness and figure binaries aggregate every backend the same way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Read requests (searches, gets, ranges, kNN) executed server-side.
+    pub reads: u64,
+    /// Write requests (inserts, puts) executed server-side.
+    pub writes: u64,
+    /// Remove requests (deletes) executed server-side.
+    pub removes: u64,
+    /// Total result items returned by server-side reads.
+    pub results_returned: u64,
+    /// Total index nodes visited by server-side operations.
+    pub nodes_visited: u64,
+    /// Client reads served through fast messaging.
+    pub fast_reads: u64,
+    /// Client reads served through RDMA-offloaded traversal.
+    pub offloaded_reads: u64,
+    /// Write requests sent by the client (always fast messaging).
+    pub writes_sent: u64,
+    /// Remove requests sent by the client.
+    pub removes_sent: u64,
+    /// Chunk reads retried after version-validation failure (torn reads).
+    pub torn_retries: u64,
+    /// Metadata chunk reads issued by the client.
+    pub meta_refreshes: u64,
+    /// Offloaded traversals restarted after observing an inconsistency.
+    pub offload_restarts: u64,
+    /// Chunks fetched over the wire by offloaded traversals.
+    pub chunks_fetched: u64,
+    /// Chunk reads avoided by the client-side level cache.
+    pub cache_hits: u64,
+}
+
+impl ServiceStats {
+    /// Adds every counter of `other` into `self` (harness aggregation).
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.removes += other.removes;
+        self.results_returned += other.results_returned;
+        self.nodes_visited += other.nodes_visited;
+        self.fast_reads += other.fast_reads;
+        self.offloaded_reads += other.offloaded_reads;
+        self.writes_sent += other.writes_sent;
+        self.removes_sent += other.removes_sent;
+        self.torn_retries += other.torn_retries;
+        self.meta_refreshes += other.meta_refreshes;
+        self.offload_restarts += other.offload_restarts;
+        self.chunks_fetched += other.chunks_fetched;
+        self.cache_hits += other.cache_hits;
+    }
+
+    /// Fraction of client reads that went through the offloaded path,
+    /// in `[0, 1]` (0 when no reads were issued).
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.fast_reads + self.offloaded_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.offloaded_reads as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fast {} / offloaded {} ({:.1}% offloaded), torn retries {}, restarts {}, cache hits {}",
+            self.fast_reads,
+            self.offloaded_reads,
+            self.offload_fraction() * 100.0,
+            self.torn_retries,
+            self.offload_restarts,
+            self.cache_hits,
+        )
+    }
+}
 
 /// Collects individual operation latencies and summarizes them.
 #[derive(Debug, Clone, Default)]
@@ -138,5 +227,37 @@ mod tests {
         let _ = r.summary();
         r.record(SimDuration::from_micros(1));
         assert_eq!(r.summary().min, SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn service_stats_merge_adds_every_counter() {
+        let mut a = ServiceStats {
+            reads: 1,
+            fast_reads: 3,
+            offloaded_reads: 1,
+            torn_retries: 2,
+            ..ServiceStats::default()
+        };
+        let b = ServiceStats {
+            reads: 2,
+            offloaded_reads: 2,
+            cache_hits: 5,
+            ..ServiceStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.fast_reads, 3);
+        assert_eq!(a.offloaded_reads, 3);
+        assert_eq!(a.torn_retries, 2);
+        assert_eq!(a.cache_hits, 5);
+        assert!((a.offload_fraction() - 0.5).abs() < 1e-12);
+        assert!(a.to_string().contains("50.0% offloaded"));
+    }
+
+    #[test]
+    fn empty_service_stats_display_is_sane() {
+        let s = ServiceStats::default();
+        assert_eq!(s.offload_fraction(), 0.0);
+        assert!(s.to_string().contains("fast 0"));
     }
 }

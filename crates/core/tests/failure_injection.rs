@@ -43,7 +43,7 @@ fn attach(net: &Network, server: &CatfishServer, cfg: ClientConfig, seed: u64) -
     let profile = infiniband_100g();
     let ep = Endpoint::new(net, net.add_node(profile.link), RdmaProfile::default());
     let ch = server.accept(&ep);
-    CatfishClient::new(ch, server.tree_handle(), cfg, seed)
+    CatfishClient::new(ch, server.remote_handle(), cfg, seed)
 }
 
 /// An adaptive client that never receives a heartbeat (server publisher
@@ -67,13 +67,13 @@ fn heartbeat_loss_degrades_gracefully() {
             let x = (i as f64 * 0.017) % 0.9;
             let q = Rect::new(x, x, x + 0.05, x + 0.05);
             let mut got = client.search(&q).await;
-            let mut expect = server.with_tree(|t| t.search(&q));
+            let mut expect = server.with_index(|t| t.search(&q));
             got.sort_unstable();
             expect.sort_unstable();
             assert_eq!(got, expect);
         }
-        assert_eq!(client.stats().offloaded_searches, 0);
-        assert_eq!(client.stats().fast_searches, 50);
+        assert_eq!(client.stats().offloaded_reads, 0);
+        assert_eq!(client.stats().fast_reads, 50);
     });
 }
 
@@ -157,7 +157,7 @@ fn starved_ring_stays_correct() {
             // Broad queries: hundreds of results, dozens of segments.
             let q = Rect::new(x, x, x + 0.3, x + 0.3);
             let mut got = client.search(&q).await;
-            let mut expect = server.with_tree(|t| t.search(&q));
+            let mut expect = server.with_index(|t| t.search(&q));
             got.sort_unstable();
             expect.sort_unstable();
             assert_eq!(got.len(), expect.len(), "query {i}");
@@ -197,7 +197,7 @@ fn polling_oversubscription_is_correct() {
                     let x = ((c * 31 + i) as f64 * 0.013) % 0.8;
                     let q = Rect::new(x, x, x + 0.05, x + 0.05);
                     let mut got = client.search(&q).await;
-                    let mut expect = expected.with_tree(|t| t.search(&q));
+                    let mut expect = expected.with_index(|t| t.search(&q));
                     got.sort_unstable();
                     expect.sort_unstable();
                     assert_eq!(got, expect, "client {c} query {i}");
@@ -251,7 +251,7 @@ fn offloading_correct_under_deletes() {
             }
         }
         deleter_task.await;
-        server.with_tree(|t| t.check_invariants()).unwrap();
+        server.with_index(|t| t.check_invariants()).unwrap();
     });
 }
 
@@ -366,7 +366,7 @@ fn protocol_knn_matches_local() {
             let x = (probe as f64 * 0.037) % 1.0;
             let y = (probe as f64 * 0.053) % 1.0;
             let got = client.nearest(x, y, 8).await;
-            let expect = server.with_tree(|t| t.nearest(x, y, 8));
+            let expect = server.with_index(|t| t.nearest(x, y, 8));
             assert_eq!(got.len(), 8, "probe {probe}");
             for (g, e) in got.iter().zip(&expect) {
                 assert_eq!(g.1, e.data, "probe {probe}");
@@ -396,7 +396,7 @@ fn offloaded_knn_matches_local() {
             let x = (probe as f64 * 0.041) % 1.0;
             let y = (probe as f64 * 0.029) % 1.0;
             let got = client.nearest_offloaded(x, y, 6).await;
-            let expect = server.with_tree(|t| t.nearest(x, y, 6));
+            let expect = server.with_index(|t| t.nearest(x, y, 6));
             assert_eq!(got.len(), 6, "probe {probe}");
             // Ties at equal distance may order differently between the
             // local and remote heaps; compare the distance sequences.

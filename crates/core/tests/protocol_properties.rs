@@ -1,12 +1,29 @@
-//! Property-based tests of the wire protocol: message codec round-trips
-//! and ring-buffer stream integrity under arbitrary payload sequences.
+//! Property-based tests of the wire protocol: [`WireCodec`] round-trips
+//! for *both* service message sets (R-tree and KV) through one generic
+//! property, and ring-buffer stream integrity under arbitrary payload
+//! sequences.
+
+use std::fmt::Debug;
 
 use catfish_core::conn::{establish, RkeyAllocator};
-use catfish_core::msg::Message;
+use catfish_core::kv::{KvMessage, KvWire};
+use catfish_core::msg::{Message, RtreeWire};
+use catfish_core::service::WireCodec;
 use catfish_rdma::{Endpoint, RdmaProfile};
 use catfish_rtree::Rect;
 use catfish_simnet::{LinkSpec, Network, Sim, SimDuration};
 use proptest::prelude::*;
+
+/// The single round-trip law every codec must satisfy: decode(encode(m))
+/// reproduces m exactly, whichever backend's message set m comes from.
+fn assert_codec_round_trips<W: WireCodec>(msg: W::Message)
+where
+    W::Message: PartialEq + Debug + Clone,
+{
+    let bytes = W::encode(&msg);
+    let back = W::decode(&bytes).expect("well-formed frame decodes");
+    assert_eq!(back, msg);
+}
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
     (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.5, 0.0f64..0.5)
@@ -43,21 +60,56 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+fn arb_entries() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((any::<u64>(), any::<u64>()), 0..50)
+}
+
+fn arb_kv_message() -> impl Strategy<Value = KvMessage> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>()).prop_map(|(seq, key)| KvMessage::GetReq { seq, key }),
+        (any::<u32>(), any::<u64>(), any::<u64>())
+            .prop_map(|(seq, key, value)| KvMessage::PutReq { seq, key, value }),
+        (any::<u32>(), any::<u64>()).prop_map(|(seq, key)| KvMessage::RemoveReq { seq, key }),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(seq, lo, hi)| KvMessage::RangeReq {
+            seq,
+            lo,
+            hi
+        }),
+        (any::<u32>(), arb_entries())
+            .prop_map(|(seq, entries)| KvMessage::RespCont { seq, entries }),
+        (any::<u32>(), arb_entries(), any::<u32>()).prop_map(|(seq, entries, status)| {
+            KvMessage::RespEnd {
+                seq,
+                entries,
+                status,
+            }
+        }),
+        any::<u16>().prop_map(|util_permille| KvMessage::Heartbeat { util_permille }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Every message round-trips exactly, and encoded_len is exact.
+    /// Every R-tree message round-trips through the generic codec, and
+    /// encoded_len is exact.
     #[test]
-    fn message_codec_round_trips(msg in arb_message()) {
-        let bytes = msg.encode();
-        prop_assert_eq!(bytes.len(), msg.encoded_len());
-        prop_assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    fn rtree_codec_round_trips(msg in arb_message()) {
+        prop_assert_eq!(msg.encode().len(), msg.encoded_len());
+        assert_codec_round_trips::<RtreeWire>(msg);
     }
 
-    /// Decoding never panics on arbitrary bytes.
+    /// Every KV message round-trips through the generic codec.
     #[test]
-    fn message_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
-        let _ = Message::decode(&bytes);
+    fn kv_codec_round_trips(msg in arb_kv_message()) {
+        assert_codec_round_trips::<KvWire>(msg);
+    }
+
+    /// Decoding never panics on arbitrary bytes — for either codec.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = RtreeWire::decode(&bytes);
+        let _ = KvWire::decode(&bytes);
     }
 
     /// An arbitrary sequence of payloads pushed through a (small) ring

@@ -293,6 +293,78 @@ impl ChunkLayout {
     }
 }
 
+/// A chunk layout that offloading clients can traverse remotely.
+///
+/// Every index served over the Catfish dataplane stores its nodes in a
+/// fixed-stride arena of versioned cache-line chunks, with chunk 0 holding a
+/// [`TreeMeta`] bootstrap record. This trait captures exactly the surface an
+/// RDMA client needs — where a node lives, how big a read to issue, and how
+/// to decode (and version-validate) what came back — without saying anything
+/// about the index structure itself. The R-tree's [`ChunkLayout`] and the
+/// B+-tree's layout in `catfish-bplus` both implement it, which is what lets
+/// the generic service core in `catfish-core` run one offload engine over
+/// either index.
+pub trait RemoteLayout: Copy + fmt::Debug + 'static {
+    /// Decoded node type this layout produces.
+    type Node: Clone + fmt::Debug + 'static;
+
+    /// Bytes per chunk — the size of every one-sided read.
+    fn chunk_bytes(&self) -> usize;
+
+    /// Byte offset of the chunk storing `id` within the arena.
+    fn node_offset(&self, id: NodeId) -> usize;
+
+    /// Total arena bytes needed for `chunks` chunks (including chunk 0).
+    fn arena_bytes(&self, chunks: u32) -> usize;
+
+    /// Decodes a node chunk, validating version consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TornRead`] if the read raced a concurrent write;
+    /// [`CodecError::Malformed`] if the payload is not a valid node.
+    fn decode_node(&self, chunk: &[u8]) -> Result<(Self::Node, u64), CodecError>;
+
+    /// Decodes the chunk-0 metadata record.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RemoteLayout::decode_node`].
+    fn decode_meta(&self, chunk: &[u8]) -> Result<(TreeMeta, u64), CodecError>;
+
+    /// Level of a decoded node (0 = leaf). Traversals cross-check this
+    /// against the level they expected to catch stale pointers.
+    fn node_level(node: &Self::Node) -> u32;
+}
+
+impl RemoteLayout for ChunkLayout {
+    type Node = Node;
+
+    fn chunk_bytes(&self) -> usize {
+        ChunkLayout::chunk_bytes(self)
+    }
+
+    fn node_offset(&self, id: NodeId) -> usize {
+        ChunkLayout::node_offset(self, id)
+    }
+
+    fn arena_bytes(&self, chunks: u32) -> usize {
+        ChunkLayout::arena_bytes(self, chunks)
+    }
+
+    fn decode_node(&self, chunk: &[u8]) -> Result<(Node, u64), CodecError> {
+        ChunkLayout::decode_node(self, chunk)
+    }
+
+    fn decode_meta(&self, chunk: &[u8]) -> Result<(TreeMeta, u64), CodecError> {
+        ChunkLayout::decode_meta(self, chunk)
+    }
+
+    fn node_level(node: &Node) -> u32 {
+        node.level
+    }
+}
+
 /// Validates that every line stamp of a packed chunk agrees and returns the
 /// common version. This is the allocation-free half of [`unpack_lines`]:
 /// zero-copy readers call it once, then parse fields straight out of the

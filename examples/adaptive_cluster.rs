@@ -34,9 +34,10 @@ fn main() {
         if scheme == Scheme::Catfish {
             println!(
                 "  adaptive split: {} fast / {} offloaded ({}% offloaded)",
-                r.fast_searches,
-                r.offloaded_searches,
-                100 * r.offloaded_searches / (r.fast_searches + r.offloaded_searches).max(1)
+                r.stats.fast_reads,
+                r.stats.offloaded_reads,
+                100 * r.stats.offloaded_reads
+                    / (r.stats.fast_reads + r.stats.offloaded_reads).max(1)
             );
         }
     }

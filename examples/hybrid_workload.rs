@@ -33,7 +33,10 @@ fn main() {
         println!("{}", r.row());
         println!(
             "  search mean {} | insert mean {} | torn-read retries {} | traversal restarts {}",
-            r.search_latency.mean, r.insert_latency.mean, r.torn_retries, r.offload_restarts
+            r.search_latency.mean,
+            r.insert_latency.mean,
+            r.stats.torn_retries,
+            r.stats.offload_restarts
         );
     }
     println!("\nWrites always go through the ring (server threads + locks);");

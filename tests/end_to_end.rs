@@ -61,7 +61,7 @@ fn all_paths_agree_with_oracle() {
             let ch = server.accept(&ep);
             let mut client = CatfishClient::new(
                 ch,
-                server.tree_handle(),
+                server.remote_handle(),
                 ClientConfig {
                     mode,
                     ..ClientConfig::default()
@@ -106,7 +106,7 @@ fn protocol_writes_match_reference_tree() {
         let ch = server.accept(&ep);
         let mut client = CatfishClient::new(
             ch,
-            server.tree_handle(),
+            server.remote_handle(),
             ClientConfig {
                 mode: AccessMode::FastMessaging,
                 ..ClientConfig::default()
@@ -139,7 +139,7 @@ fn protocol_writes_match_reference_tree() {
                 }
             }
         }
-        server.with_tree(|t| t.check_invariants()).unwrap();
+        server.with_index(|t| t.check_invariants()).unwrap();
     });
 }
 
@@ -183,7 +183,7 @@ async fn retries_run(
     // Writer client.
     let writer_ep = Endpoint::new(net, net.add_node(profile.link), RdmaProfile::default());
     let writer_ch = server.accept(&writer_ep);
-    let tree_handle = server.tree_handle();
+    let tree_handle = server.remote_handle();
     let writer = catfish::simnet::spawn(async move {
         let mut w = CatfishClient::new(writer_ch, tree_handle, ClientConfig::default(), 2);
         for i in 0..2_000u64 {
@@ -197,7 +197,7 @@ async fn retries_run(
     let reader_ch = server.accept(&reader_ep);
     let mut reader = CatfishClient::new(
         reader_ch,
-        server.tree_handle(),
+        server.remote_handle(),
         ClientConfig {
             mode: AccessMode::Offloading,
             multi_issue: true,
