@@ -225,6 +225,7 @@ pub fn encode_meta(layout: &BpLayout, meta: &TreeMeta, version: u64) -> Vec<u8> 
     logical[8..12].copy_from_slice(&root_raw.to_le_bytes());
     logical[12..16].copy_from_slice(&meta.height.to_le_bytes());
     logical[16..24].copy_from_slice(&meta.len.to_le_bytes());
+    logical[24..32].copy_from_slice(&meta.structure_version.to_le_bytes());
     pack_lines(&logical, version, lines)
 }
 
@@ -244,6 +245,7 @@ pub fn decode_meta(layout: &BpLayout, chunk: &[u8]) -> Result<(TreeMeta, u64), C
     let root_raw = u32::from_le_bytes(logical[8..12].try_into().expect("sized"));
     let height = u32::from_le_bytes(logical[12..16].try_into().expect("sized"));
     let len = u64::from_le_bytes(logical[16..24].try_into().expect("sized"));
+    let structure_version = u64::from_le_bytes(logical[24..32].try_into().expect("sized"));
     let root = if root_raw == 0 {
         None
     } else {
@@ -252,7 +254,15 @@ pub fn decode_meta(layout: &BpLayout, chunk: &[u8]) -> Result<(TreeMeta, u64), C
     if root.is_none() != (height == 0) {
         return Err(CodecError::Malformed("b+ root/height mismatch"));
     }
-    Ok((TreeMeta { root, height, len }, version))
+    Ok((
+        TreeMeta {
+            root,
+            height,
+            len,
+            structure_version,
+        },
+        version,
+    ))
 }
 
 impl RemoteLayout for BpLayout {
@@ -374,6 +384,7 @@ mod tests {
             root: Some(NodeId(3)),
             height: 2,
             len: 12,
+            structure_version: 7,
         };
         s.set_meta(meta);
         let mut buf = vec![0u8; layout.chunk_bytes()];

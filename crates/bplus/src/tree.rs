@@ -174,6 +174,7 @@ impl<S: BpStore> BpTree<S> {
             self.store.write(id, &leaf);
         } else {
             // Split the leaf.
+            self.bump_structure_version();
             let mid = leaf.keys.len() / 2;
             let right_keys = leaf.keys.split_off(mid);
             let right_vals = leaf.values_mut().split_off(mid);
@@ -289,6 +290,7 @@ impl<S: BpStore> BpTree<S> {
                         self.store.free(id);
                         meta.root = None;
                         meta.height = 0;
+                        meta.structure_version += 1;
                         self.store.set_meta(meta);
                     }
                 } else if node.keys.is_empty() {
@@ -297,6 +299,7 @@ impl<S: BpStore> BpTree<S> {
                     self.store.free(id);
                     meta.root = Some(child);
                     meta.height -= 1;
+                    meta.structure_version += 1;
                     self.store.set_meta(meta);
                 }
                 return;
@@ -304,6 +307,8 @@ impl<S: BpStore> BpTree<S> {
             if node.keys.len() >= min {
                 return;
             }
+            // A borrow or merge follows: keys move between nodes.
+            self.bump_structure_version();
             let mut parent = self.store.read(pid);
             // Try borrowing from the left sibling.
             if idx > 0 {
@@ -384,6 +389,15 @@ impl<S: BpStore> BpTree<S> {
             self.store.free(right_id);
             id = pid;
         }
+    }
+
+    /// Records a structural reorganization — keys moving between nodes —
+    /// in the persisted metadata. Offloading clients validate this
+    /// counter after multi-chunk traversals (see [`TreeMeta`]).
+    fn bump_structure_version(&mut self) {
+        let mut meta = self.store.meta();
+        meta.structure_version += 1;
+        self.store.set_meta(meta);
     }
 
     /// Checks every structural invariant (tests).

@@ -143,13 +143,14 @@ impl ServiceClient<RtreeBackend> {
             seq,
             HeapEntry::Node(root, meta.height - 1),
         )));
+        let fetched_before = self.stats.chunks_fetched;
         let mut out = Vec::with_capacity(k as usize);
-        while let Some(Reverse((_, _, entry))) = heap.pop() {
+        'search: while let Some(Reverse((_, _, entry))) = heap.pop() {
             match entry {
                 HeapEntry::Item(rect, data) => {
                     out.push((rect.into(), data));
                     if out.len() == k as usize {
-                        return Ok(out);
+                        break 'search;
                     }
                 }
                 HeapEntry::Node(id, level) => {
@@ -185,6 +186,14 @@ impl ServiceClient<RtreeBackend> {
                         }
                     }
                 }
+            }
+        }
+        // Multi-chunk traversals must confirm no structural change moved
+        // entries between the chunks mid-read (same rule as range reads).
+        if self.stats.chunks_fetched - fetched_before >= 2 {
+            let fresh = self.refresh_meta().await;
+            if fresh.structure_version != meta.structure_version {
+                return Err(Inconsistent);
             }
         }
         Ok(out)

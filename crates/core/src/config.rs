@@ -23,7 +23,9 @@ pub enum ServerMode {
 /// the 2-million-rectangle tree (see DESIGN.md §5).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
-    /// Fixed cost to pick up and dispatch one ring message.
+    /// Fixed cost to pick up and dispatch one **ring frame** (CQ poll,
+    /// wakeup, decode). Charged once per arriving frame, so a doorbell
+    /// batch of N requests amortizes it N ways.
     pub dispatch: SimDuration,
     /// Cost per R-tree node visited during a traversal.
     pub node_visit: SimDuration,
@@ -32,6 +34,10 @@ pub struct CostModel {
     /// Fixed extra cost of an insert/delete (lock acquisition, MBR
     /// adjustment bookkeeping) on top of per-node costs.
     pub write_op: SimDuration,
+    /// Fixed cost to post one response doorbell (WQE build + MMIO ring).
+    /// Charged once per `send`/`send_batch` group, so batched responses
+    /// amortize it too.
+    pub post: SimDuration,
 }
 
 impl Default for CostModel {
@@ -41,6 +47,7 @@ impl Default for CostModel {
             node_visit: SimDuration::from_micros(12),
             per_result: SimDuration::from_nanos(150),
             write_op: SimDuration::from_micros(10),
+            post: SimDuration::from_micros(4),
         }
     }
 }
@@ -90,6 +97,15 @@ pub struct ServerConfig {
     pub ring_capacity: usize,
     /// Maximum results per response segment before CONT-chaining.
     pub response_segment_results: usize,
+    /// Maximum requests an event-driven worker drains per wakeup and
+    /// maximum response frames coalesced into one doorbell. 1 disables
+    /// batching (every frame pays its own dispatch and post).
+    pub max_batch: usize,
+    /// How long an event-driven worker may linger after the first request
+    /// of a wakeup, waiting for more arrivals to fill the batch. ZERO
+    /// (the default) drains only messages that have **already** arrived —
+    /// batching stays purely opportunistic and adds no latency.
+    pub batch_window: SimDuration,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +119,8 @@ impl Default for ServerConfig {
             heartbeat_interval: SimDuration::from_millis(10),
             ring_capacity: 256 * 1024,
             response_segment_results: 1000,
+            max_batch: 16,
+            batch_window: SimDuration::ZERO,
         }
     }
 }
@@ -147,6 +165,14 @@ pub struct ClientConfig {
     /// cache evicts the stalest entry. Bounds client memory no matter how
     /// large the tree's cached levels grow.
     pub node_cache_capacity: usize,
+    /// Maximum requests coalesced into one doorbell-batched ring frame by
+    /// the group-read path. 1 disables client-side batching (every
+    /// request is its own doorbell, today's behavior).
+    pub max_batch: usize,
+    /// Latency guard for client-side coalescing: a flush is capped so its
+    /// estimated service time (per-op estimate × batch size) stays within
+    /// this window. ZERO disables the guard (only `max_batch` caps).
+    pub batch_window: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -160,6 +186,8 @@ impl Default for ClientConfig {
             cache_levels: 0,
             node_cache_ttl: SimDuration::from_millis(10),
             node_cache_capacity: 4096,
+            max_batch: 16,
+            batch_window: SimDuration::from_millis(1),
         }
     }
 }

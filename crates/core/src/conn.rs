@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 use catfish_rdma::{Endpoint, MemoryRegion, QueuePair};
 
-use crate::ring::{RingReceiver, RingSender};
+use crate::ring::{RingLiveness, RingReceiver, RingSender};
 
 /// Allocates unique rkeys across an experiment.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +51,18 @@ pub struct ClientChannel {
     pub rx: RingReceiver,
     /// The client→server queue pair, reused for offloaded tree reads.
     pub qp: QueuePair,
+    /// Liveness of the server→client direction; closing it tells the
+    /// server this client departed.
+    departure: RingLiveness,
+}
+
+impl ClientChannel {
+    /// Marks this client as departed: the server's response/heartbeat
+    /// sender for this connection starts reporting closed, and the
+    /// heartbeat loop prunes it on the next tick.
+    pub fn close(&self) {
+        self.departure.close();
+    }
 }
 
 /// The server's half of an established connection.
@@ -84,6 +96,20 @@ pub fn establish(
 
     let (client_qp, server_qp) = client_ep.connect(server_ep);
 
+    let server = ServerChannel {
+        tx: RingSender::new(
+            server_qp.clone(),
+            resp_ring.rkey(),
+            ring_capacity,
+            resp_cell.clone(),
+        ),
+        rx: RingReceiver::new(
+            req_ring.clone(),
+            server_qp.clone(),
+            req_cell.rkey(),
+            server_qp.recv_cq().clone(),
+        ),
+    };
     let client = ClientChannel {
         tx: RingSender::new(
             client_qp.clone(),
@@ -98,20 +124,7 @@ pub fn establish(
             client_qp.recv_cq().clone(),
         ),
         qp: client_qp,
-    };
-    let server = ServerChannel {
-        tx: RingSender::new(
-            server_qp.clone(),
-            resp_ring.rkey(),
-            ring_capacity,
-            resp_cell,
-        ),
-        rx: RingReceiver::new(
-            req_ring,
-            server_qp.clone(),
-            req_cell.rkey(),
-            server_qp.recv_cq().clone(),
-        ),
+        departure: server.tx.liveness(),
     };
     (client, server)
 }

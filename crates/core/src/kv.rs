@@ -35,6 +35,7 @@ const TAG_RANGE: u8 = 35;
 const TAG_RESP_CONT: u8 = 36;
 const TAG_RESP_END: u8 = 37;
 const TAG_HEARTBEAT: u8 = 38;
+const TAG_BATCH: u8 = 39;
 
 /// A key-value service message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +94,9 @@ pub enum KvMessage {
         /// Utilization × 1000.
         util_permille: u16,
     },
+    /// Several messages coalesced into one doorbell-batched frame.
+    /// Batches must not nest.
+    Batch(Vec<KvMessage>),
 }
 
 impl KvMessage {
@@ -148,6 +152,19 @@ impl KvMessage {
             KvMessage::Heartbeat { util_permille } => {
                 out.push(TAG_HEARTBEAT);
                 out.extend_from_slice(&util_permille.to_le_bytes());
+            }
+            KvMessage::Batch(msgs) => {
+                out.push(TAG_BATCH);
+                out.extend_from_slice(&(msgs.len() as u32).to_le_bytes());
+                for m in msgs {
+                    debug_assert!(
+                        !matches!(m, KvMessage::Batch(_)),
+                        "batch frames must not nest"
+                    );
+                    let inner = m.encode();
+                    out.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&inner);
+                }
             }
         }
         out
@@ -226,6 +243,25 @@ impl KvMessage {
                     util_permille: u16::from_le_bytes(b.try_into().expect("sized")),
                 })
             }
+            TAG_BATCH => {
+                let n = u32_at(0)? as usize;
+                if rest.len() < 4usize.saturating_add(n.saturating_mul(4)) {
+                    return Err(MsgError::Truncated);
+                }
+                let mut msgs = Vec::with_capacity(n);
+                let mut at = 4usize;
+                for _ in 0..n {
+                    let len = u32_at(at)? as usize;
+                    let body = rest.get(at + 4..at + 4 + len).ok_or(MsgError::Truncated)?;
+                    let inner = KvMessage::decode(body)?;
+                    if matches!(inner, KvMessage::Batch(_)) {
+                        return Err(MsgError::NestedBatch);
+                    }
+                    msgs.push(inner);
+                    at += 4 + len;
+                }
+                Ok(KvMessage::Batch(msgs))
+            }
             other => Err(MsgError::UnknownTag(other)),
         }
     }
@@ -267,9 +303,14 @@ impl WireCodec for KvWire {
         }
     }
 
+    fn batch(msgs: Vec<KvMessage>) -> KvMessage {
+        KvMessage::Batch(msgs)
+    }
+
     fn classify(msg: KvMessage) -> Incoming<Self> {
         match msg {
             KvMessage::Heartbeat { util_permille } => Incoming::Heartbeat(util_permille),
+            KvMessage::Batch(msgs) => Incoming::Batch(msgs),
             KvMessage::RespCont { seq, entries } => Incoming::Cont {
                 seq,
                 items: entries,
@@ -348,7 +389,7 @@ impl IndexBackend for KvBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Read,
-                    cost: cost.dispatch + cost.node_visit * height.max(1),
+                    cost: cost.node_visit * height.max(1),
                     items: entries,
                     status,
                     nodes_visited: height.max(1),
@@ -363,7 +404,7 @@ impl IndexBackend for KvBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Write,
-                    cost: cost.dispatch + cost.write_op + cost.node_visit * (height + 1),
+                    cost: cost.write_op + cost.node_visit * (height + 1),
                     items: entries,
                     status,
                     nodes_visited: 0,
@@ -378,7 +419,7 @@ impl IndexBackend for KvBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Remove,
-                    cost: cost.dispatch + cost.write_op + cost.node_visit * (height + 1),
+                    cost: cost.write_op + cost.node_visit * (height + 1),
                     items: entries,
                     status,
                     nodes_visited: 0,
@@ -390,16 +431,18 @@ impl IndexBackend for KvBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Read,
-                    cost: cost.dispatch + cost.node_visit * height.max(1) + cost.per_result * len,
+                    cost: cost.node_visit * height.max(1) + cost.per_result * len,
                     items: entries,
                     status: 1,
                     nodes_visited: height.max(1),
                 })
             }
-            // Responses/heartbeats never arrive at the server.
+            // Responses/heartbeats never arrive at the server; batches are
+            // unrolled by the generic server before execute.
             KvMessage::RespCont { .. }
             | KvMessage::RespEnd { .. }
-            | KvMessage::Heartbeat { .. } => None,
+            | KvMessage::Heartbeat { .. }
+            | KvMessage::Batch(_) => None,
         }
     }
 }

@@ -18,6 +18,7 @@ const TAG_RESP_CONT: u8 = 4;
 const TAG_RESP_END: u8 = 5;
 const TAG_HEARTBEAT: u8 = 6;
 const TAG_NEAREST: u8 = 7;
+const TAG_BATCH: u8 = 8;
 
 /// A typed ring-buffer message.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +86,10 @@ pub enum Message {
         /// Server CPU utilization × 1000, clamped to 1000.
         util_permille: u16,
     },
+    /// Several messages coalesced into one doorbell-batched frame: one
+    /// ring write, one completion, one wakeup for the whole group.
+    /// Batches must not nest.
+    Batch(Vec<Message>),
 }
 
 /// Errors from decoding a ring message.
@@ -96,6 +101,8 @@ pub enum MsgError {
     UnknownTag(u8),
     /// A rectangle field failed validation.
     BadRect,
+    /// A batch frame contained another batch frame.
+    NestedBatch,
 }
 
 impl fmt::Display for MsgError {
@@ -104,6 +111,7 @@ impl fmt::Display for MsgError {
             MsgError::Truncated => write!(f, "message truncated"),
             MsgError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             MsgError::BadRect => write!(f, "invalid rectangle in message"),
+            MsgError::NestedBatch => write!(f, "batch frame nested inside a batch frame"),
         }
     }
 }
@@ -185,6 +193,19 @@ impl Message {
                 out.push(TAG_HEARTBEAT);
                 out.extend_from_slice(&util_permille.to_le_bytes());
             }
+            Message::Batch(msgs) => {
+                out.push(TAG_BATCH);
+                out.extend_from_slice(&(msgs.len() as u32).to_le_bytes());
+                for m in msgs {
+                    debug_assert!(
+                        !matches!(m, Message::Batch(_)),
+                        "batch frames must not nest"
+                    );
+                    let inner = m.encode();
+                    out.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&inner);
+                }
+            }
         }
         out
     }
@@ -198,6 +219,7 @@ impl Message {
             Message::ResponseEnd { results, .. } => 1 + 4 + 4 + 4 + 40 * results.len(),
             Message::NearestReq { .. } => 1 + 4 + 8 + 8 + 4,
             Message::Heartbeat { .. } => 1 + 2,
+            Message::Batch(msgs) => 1 + 4 + msgs.iter().map(|m| 4 + m.encoded_len()).sum::<usize>(),
         }
     }
 
@@ -291,6 +313,27 @@ impl Message {
                     util_permille: u16::from_le_bytes(b.try_into().expect("sized")),
                 })
             }
+            TAG_BATCH => {
+                let n = u32_at(0)? as usize;
+                // Validate against the buffer before allocating: each inner
+                // message needs at least its 4-byte length prefix.
+                if rest.len() < 4usize.saturating_add(n.saturating_mul(4)) {
+                    return Err(MsgError::Truncated);
+                }
+                let mut msgs = Vec::with_capacity(n);
+                let mut at = 4usize;
+                for _ in 0..n {
+                    let len = u32_at(at)? as usize;
+                    let body = rest.get(at + 4..at + 4 + len).ok_or(MsgError::Truncated)?;
+                    let inner = Message::decode(body)?;
+                    if matches!(inner, Message::Batch(_)) {
+                        return Err(MsgError::NestedBatch);
+                    }
+                    msgs.push(inner);
+                    at += 4 + len;
+                }
+                Ok(Message::Batch(msgs))
+            }
             other => Err(MsgError::UnknownTag(other)),
         }
     }
@@ -332,9 +375,14 @@ impl WireCodec for RtreeWire {
         }
     }
 
+    fn batch(msgs: Vec<Message>) -> Message {
+        Message::Batch(msgs)
+    }
+
     fn classify(msg: Message) -> Incoming<Self> {
         match msg {
             Message::Heartbeat { util_permille } => Incoming::Heartbeat(util_permille),
+            Message::Batch(msgs) => Incoming::Batch(msgs),
             Message::ResponseCont { seq, results } => Incoming::Cont {
                 seq,
                 items: results,
@@ -385,5 +433,56 @@ mod tests {
         // Overwrite min_x with NaN.
         bytes[5..13].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(Message::decode(&bytes), Err(MsgError::BadRect));
+    }
+
+    #[test]
+    fn batch_round_trips_and_sizes_exactly() {
+        let batch = Message::Batch(vec![
+            Message::SearchReq {
+                seq: 1,
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            },
+            Message::InsertReq {
+                seq: 2,
+                rect: Rect::new(0.1, 0.1, 0.2, 0.2),
+                data: 42,
+            },
+            Message::NearestReq {
+                seq: 3,
+                x: 0.5,
+                y: 0.5,
+                k: 4,
+            },
+        ]);
+        let bytes = batch.encode();
+        assert_eq!(bytes.len(), batch.encoded_len());
+        assert_eq!(Message::decode(&bytes), Ok(batch));
+    }
+
+    #[test]
+    fn nested_batch_rejected() {
+        // encode() debug-asserts against building nested batches, so forge
+        // the bytes: an outer batch whose single element is itself a batch.
+        let inner = Message::Batch(vec![Message::Heartbeat { util_permille: 7 }]).encode();
+        let mut outer = vec![8u8]; // TAG_BATCH
+        outer.extend_from_slice(&1u32.to_le_bytes());
+        outer.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        outer.extend_from_slice(&inner);
+        assert_eq!(Message::decode(&outer), Err(MsgError::NestedBatch));
+    }
+
+    #[test]
+    fn truncated_batch_rejected() {
+        let full = Message::Batch(vec![
+            Message::Heartbeat { util_permille: 1 },
+            Message::SearchReq {
+                seq: 9,
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            },
+        ])
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Message::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

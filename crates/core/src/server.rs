@@ -68,8 +68,7 @@ impl IndexBackend for RtreeBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Read,
-                    cost: cost.dispatch
-                        + cost.node_visit * tstats.nodes_visited as u64
+                    cost: cost.node_visit * tstats.nodes_visited as u64
                         + cost.per_result * tstats.results as u64,
                     items: results,
                     status: 1,
@@ -82,7 +81,7 @@ impl IndexBackend for RtreeBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Write,
-                    cost: cost.dispatch + cost.write_op + cost.node_visit * (2 * height + 1),
+                    cost: cost.write_op + cost.node_visit * (2 * height + 1),
                     items: Vec::new(),
                     status: 1,
                     nodes_visited: 0,
@@ -94,7 +93,7 @@ impl IndexBackend for RtreeBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Remove,
-                    cost: cost.dispatch + cost.write_op + cost.node_visit * (2 * height + 1),
+                    cost: cost.write_op + cost.node_visit * (2 * height + 1),
                     items: Vec::new(),
                     status: u32::from(ok),
                     nodes_visited: 0,
@@ -108,18 +107,18 @@ impl IndexBackend for RtreeBackend {
                 Some(Execution {
                     seq,
                     kind: OpKind::Read,
-                    cost: cost.dispatch
-                        + cost.node_visit * (height + u64::from(k))
-                        + cost.per_result * len,
+                    cost: cost.node_visit * (height + u64::from(k)) + cost.per_result * len,
                     items: neighbors.into_iter().map(|n| (n.rect, n.data)).collect(),
                     status: 1,
                     nodes_visited: 0,
                 })
             }
-            // Responses/heartbeats never arrive at the server.
+            // Responses/heartbeats never arrive at the server; batches are
+            // unrolled by the generic server before execute.
             Message::ResponseCont { .. }
             | Message::ResponseEnd { .. }
-            | Message::Heartbeat { .. } => None,
+            | Message::Heartbeat { .. }
+            | Message::Batch(_) => None,
         }
     }
 }
@@ -343,6 +342,97 @@ mod tests {
         let items: Vec<(Rect, u64)> = (0..10).map(|i| (Rect::point(i as f64, 0.0), i)).collect();
         let segs = response_frames::<RtreeWire>(1, items, 1, 10);
         assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn batched_requests_execute_and_responses_coalesce() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (server, ch) = build_pair();
+            let q1 = Rect::new(0.0, 0.0, 0.03, 0.03);
+            let q2 = Rect::new(0.2, 0.2, 0.23, 0.23);
+            let ins = Rect::new(0.7, 0.7, 0.701, 0.701);
+            let batch = Message::Batch(vec![
+                Message::SearchReq { seq: 1, rect: q1 },
+                Message::SearchReq { seq: 2, rect: q2 },
+                Message::InsertReq {
+                    seq: 3,
+                    rect: ins,
+                    data: 777,
+                },
+            ]);
+            ch.tx.send(&batch.encode(), 0).await;
+            let mut ends = 0;
+            while ends < 3 {
+                let bytes = ch.rx.wait_message().await;
+                if let Message::ResponseEnd { seq, status, .. } = Message::decode(&bytes).unwrap() {
+                    assert!((1..=3).contains(&seq));
+                    assert_eq!(status, 1);
+                    ends += 1;
+                }
+            }
+            let s = server.stats();
+            assert_eq!(s.reads, 2);
+            assert_eq!(s.writes, 1);
+            // All three responses leave in one doorbell group.
+            assert_eq!(s.batches_sent, 1);
+            assert_eq!(s.batched_msgs, 3);
+            assert!(server.with_index(|t| t.search(&ins)).contains(&777));
+        });
+    }
+
+    #[test]
+    fn malformed_requests_are_counted_and_dropped() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (server, ch) = build_pair();
+            // Unknown tag 0xFF: dropped, counted, connection stays usable.
+            ch.tx.send(&[0xFF, 1, 2, 3], 0).await;
+            let got = fast_search(&ch, 1, Rect::new(0.0, 0.0, 0.05, 0.05)).await;
+            assert!(!got.is_empty());
+            assert_eq!(server.stats().decode_errors, 1);
+            assert!(server.stats().to_string().contains("decode errors 1"));
+        });
+    }
+
+    #[test]
+    fn departed_clients_are_pruned_from_heartbeats() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let net = Network::new();
+            let profile = infiniband_100g();
+            let rkeys = RkeyAllocator::new();
+            let server = CatfishServer::build(
+                &net,
+                &profile,
+                ServerConfig {
+                    cores: 4,
+                    ..ServerConfig::default()
+                },
+                RTreeConfig::default(),
+                grid_items(200),
+                &rkeys,
+            );
+            let ep1 = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+            let ep2 = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+            let ch1 = server.accept(&ep1);
+            let ch2 = server.accept(&ep2);
+            server.start_heartbeats();
+            assert_eq!(server.heartbeat_target_count(), 2);
+            ch2.close();
+            // The tick after the departure notices the closed sender and
+            // prunes it.
+            sleep(SimDuration::from_millis(25)).await;
+            assert_eq!(server.heartbeat_target_count(), 1);
+            // The surviving connection still receives heartbeats.
+            let bytes = ch1.rx.wait_message().await;
+            assert!(matches!(
+                Message::decode(&bytes).unwrap(),
+                Message::Heartbeat { .. }
+            ));
+            // The departed ring receives none after the close.
+            assert_eq!(ch2.rx.try_pop(), None);
+        });
     }
 
     #[test]

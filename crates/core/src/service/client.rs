@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use catfish_rdma::QueuePair;
 use catfish_rtree::codec::{CodecError, RemoteLayout};
 use catfish_rtree::{NodeId, TreeMeta};
-use catfish_simnet::{now, sleep, spawn, CpuPool, SimTime};
+use catfish_simnet::{now, sleep, spawn, CpuPool, SimDuration, SimTime};
 
 use crate::adaptive::AdaptiveState;
 use crate::config::{AccessMode, ClientConfig};
@@ -199,6 +199,96 @@ impl<B: ClientBackend> ServiceClient<B> {
         self.fast_request(|seq| B::read_request(seq, read)).await.1
     }
 
+    /// Executes a window of reads through fast messaging, coalescing the
+    /// ones that queue while the ring is busy into doorbell batches — the
+    /// client half of adaptive batching, mirroring Algorithm 1's "adapt
+    /// only under pressure" rule. The first request goes out alone, so an
+    /// idle ring keeps today's single-op latency; while its flush is in
+    /// flight the rest of the window queues, and each subsequent flush
+    /// packs up to [`crate::config::ClientConfig::max_batch`] queued
+    /// requests into one `Batch` frame (one ring write, one CQ event, one
+    /// server wakeup). [`crate::config::ClientConfig::batch_window`]
+    /// additionally caps a flush so its estimated service time (previous
+    /// flush's per-op time × batch size) stays within the window.
+    ///
+    /// Results are returned per read, in request order. With `max_batch`
+    /// = 1 every request is its own frame — exactly the sequential path.
+    pub async fn read_batch(&mut self, reads: &[B::Read]) -> Vec<Vec<WireItem<B>>> {
+        self.drain_pending();
+        let max_batch = self.cfg.max_batch.max(1);
+        let mut out: Vec<Vec<WireItem<B>>> = Vec::with_capacity(reads.len());
+        // Per-op service-time estimate from the previous flush, feeding
+        // the batch_window latency guard.
+        let mut est_per_op: Option<SimDuration> = None;
+        let mut next = 0usize;
+        while next < reads.len() {
+            let remaining = reads.len() - next;
+            let mut chunk = if next == 0 {
+                1 // ring idle: no queue yet, nothing to coalesce
+            } else {
+                remaining.min(max_batch)
+            };
+            if chunk > 1 && !self.cfg.batch_window.is_zero() {
+                if let Some(est) = est_per_op {
+                    if !est.is_zero() {
+                        let cap = (self.cfg.batch_window.as_nanos() / est.as_nanos()).max(1);
+                        chunk = chunk.min(cap as usize);
+                    }
+                }
+            }
+            let started = now();
+            let mut seqs = Vec::with_capacity(chunk);
+            let mut msgs = Vec::with_capacity(chunk);
+            for read in &reads[next..next + chunk] {
+                self.seq += 1;
+                seqs.push(self.seq);
+                msgs.push(B::read_request(self.seq, read));
+            }
+            self.stats.fast_reads += chunk as u64;
+            let first_seq = seqs[0];
+            if chunk == 1 {
+                let msg = msgs.pop().expect("one request");
+                self.ch.tx.send(&B::Wire::encode(&msg), first_seq).await;
+            } else {
+                self.stats.batches_sent += 1;
+                self.stats.batched_msgs += chunk as u64;
+                self.ch
+                    .tx
+                    .send(&B::Wire::encode(&B::Wire::batch(msgs)), first_seq)
+                    .await;
+            }
+            let mut pending: HashMap<u32, usize> =
+                seqs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+            let mut bufs: Vec<Vec<WireItem<B>>> = vec![Vec::new(); chunk];
+            let mut done = 0usize;
+            while done < chunk {
+                let bytes = self.recv_ring_message().await;
+                let Ok(msg) = B::Wire::decode(&bytes) else {
+                    continue;
+                };
+                match B::Wire::classify(msg) {
+                    Incoming::Heartbeat(p) => self.note_heartbeat(p),
+                    Incoming::Cont { seq, items } => {
+                        if let Some(&i) = pending.get(&seq) {
+                            bufs[i].extend(items);
+                        }
+                    }
+                    Incoming::End { seq, items, .. } => {
+                        if let Some(i) = pending.remove(&seq) {
+                            bufs[i].extend(items);
+                            done += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            est_per_op = Some(now().saturating_duration_since(started) / chunk as u64);
+            out.extend(bufs);
+            next += chunk;
+        }
+        out
+    }
+
     /// A write-class request (insert, put, delete, ...); writes always
     /// travel through the ring and are executed by server threads (paper
     /// §III-B). Returns `(status, items)` from the END frame.
@@ -242,7 +332,8 @@ impl<B: ClientBackend> ServiceClient<B> {
     }
 
     /// One traversal attempt; [`Inconsistent`] means a stale root, level
-    /// mismatch, or undecodable chunk was observed.
+    /// mismatch, undecodable chunk, or a structural reorganization raced
+    /// the traversal.
     async fn offload_attempt(&mut self, read: &B::Read) -> Result<Vec<WireItem<B>>, Inconsistent> {
         let meta = self.read_meta().await;
         let Some(root) = meta.root else {
@@ -251,13 +342,29 @@ impl<B: ClientBackend> ServiceClient<B> {
         // Nodes at or above this level may be served from the client-side
         // cache (internal top levels only; leaves are never cached).
         let cache_floor = meta.height.saturating_sub(self.cfg.cache_levels).max(1);
-        if self.cfg.multi_issue {
+        let fetched_before = self.stats.chunks_fetched;
+        let items = if self.cfg.multi_issue {
             self.traverse_multi_issue(read, root, meta.height - 1, cache_floor)
-                .await
+                .await?
         } else {
             self.traverse_sequential(read, root, meta.height - 1, cache_floor)
-                .await
+                .await?
+        };
+        // A single-chunk traversal is made consistent by its line-version
+        // stamps alone; anything longer must also confirm that no
+        // structural reorganization (split, merge, forced reinsertion)
+        // moved entries between the chunks while they were being read —
+        // each chunk validates individually, but entries relocated from an
+        // already-read node to a not-yet-read sibling would vanish
+        // silently. Cache-served nodes are exempt: their staleness is
+        // bounded by the cache TTL by design.
+        if self.stats.chunks_fetched - fetched_before >= 2 {
+            let fresh = self.refresh_meta().await;
+            if fresh.structure_version != meta.structure_version {
+                return Err(Inconsistent);
+            }
         }
+        Ok(items)
     }
 
     /// Consults the level cache for a node at `level`; `cache_floor` is
@@ -436,6 +543,12 @@ impl<B: ClientBackend> ServiceClient<B> {
                 return m;
             }
         }
+        self.refresh_meta().await
+    }
+
+    /// Reads chunk 0 unconditionally (bypassing the cached copy) and
+    /// refreshes the cache — the traversal validation path.
+    pub(crate) async fn refresh_meta(&mut self) -> TreeMeta {
         loop {
             let bytes = self
                 .ch

@@ -75,6 +75,11 @@ pub trait WireCodec: Sized + 'static {
     /// Builds the final response segment ("END").
     fn end(seq: u32, items: Vec<Self::Item>, status: u32) -> Self::Message;
 
+    /// Packs several messages into one doorbell-batched frame (paper-side
+    /// analogue of RDMAbox's request merging). Nesting batches is a
+    /// protocol error: `msgs` must not itself contain a batch.
+    fn batch(msgs: Vec<Self::Message>) -> Self::Message;
+
     /// Classifies a received message for the generic receive loops.
     fn classify(msg: Self::Message) -> Incoming<Self>;
 }
@@ -102,6 +107,9 @@ pub enum Incoming<W: WireCodec> {
     },
     /// A request (only meaningful on the server side).
     Request(W::Message),
+    /// A doorbell batch: several coalesced messages that arrived as one
+    /// ring frame (one CQ event, one wakeup).
+    Batch(Vec<W::Message>),
 }
 
 /// How a server-side operation is counted in [`crate::stats::ServiceStats`].

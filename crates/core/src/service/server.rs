@@ -34,7 +34,7 @@ use crate::ring::RingSender;
 use crate::stats::ServiceStats;
 use crate::store::MrMemory;
 
-use super::{response_frames, Execution, IndexBackend, OpKind, RemoteHandle, WireCodec};
+use super::{response_frames, Execution, Incoming, IndexBackend, OpKind, RemoteHandle, WireCodec};
 
 struct ServerInner<B: IndexBackend> {
     endpoint: Endpoint,
@@ -150,6 +150,12 @@ impl<B: IndexBackend> ServiceServer<B> {
         *self.inner.stats.borrow()
     }
 
+    /// Connections the heartbeat publisher currently fans out to (departed
+    /// clients are pruned on the tick after they close).
+    pub fn heartbeat_target_count(&self) -> usize {
+        self.inner.heartbeat_targets.borrow().len()
+    }
+
     /// Accepts a ring connection from `client_ep` and spawns its worker.
     pub fn accept(&self, client_ep: &Endpoint) -> ClientChannel {
         let (cc, sc) = establish(
@@ -191,17 +197,53 @@ impl<B: IndexBackend> ServiceServer<B> {
                 ))
                 .into();
                 let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
+                let mut any_closed = false;
                 for tx in targets {
-                    tx.send(&msg, 0).await;
+                    if !tx.send(&msg, 0).await {
+                        any_closed = true;
+                    }
+                }
+                if any_closed {
+                    this.inner
+                        .heartbeat_targets
+                        .borrow_mut()
+                        .retain(|t| !t.is_closed());
                 }
             }
         });
     }
 
+    /// Drains up to `max_batch - 1` further frames that have **already**
+    /// arrived behind `first` — the server half of adaptive batching: a
+    /// batch exists only when a queue exists, so an idle connection keeps
+    /// today's one-frame path.
+    fn drain_arrived(&self, first: Vec<u8>, ch: &ServerChannel) -> Vec<Vec<u8>> {
+        let max_batch = self.inner.cfg.max_batch.max(1);
+        let mut frames = vec![first];
+        while frames.len() < max_batch {
+            match ch.rx.try_pop() {
+                Some(b) => frames.push(b),
+                None => break,
+            }
+        }
+        frames
+    }
+
     async fn worker_event(&self, ch: ServerChannel) {
+        let window = self.inner.cfg.batch_window;
         loop {
-            let bytes = ch.rx.wait_message().await;
-            self.handle(bytes, &ch, false).await;
+            let first = ch.rx.wait_message().await;
+            // Optional linger: trade latency for fuller batches. The
+            // default window is ZERO, so batching stays opportunistic.
+            if !window.is_zero() && self.inner.cfg.max_batch > 1 {
+                sleep(window).await;
+            }
+            let frames = self.drain_arrived(first, &ch);
+            let mut execs = Vec::new();
+            for bytes in frames {
+                execs.extend(self.process(&bytes, false).await);
+            }
+            self.respond(execs, &ch, false).await;
         }
     }
 
@@ -212,7 +254,12 @@ impl<B: IndexBackend> ServiceServer<B> {
             let core = self.inner.cpu.acquire().await;
             let turn_end = now() + quantum;
             while let Some(bytes) = ch.rx.wait_message_until(turn_end).await {
-                self.handle(bytes, &ch, true).await;
+                let frames = self.drain_arrived(bytes, &ch);
+                let mut execs = Vec::new();
+                for b in frames {
+                    execs.extend(self.process(&b, true).await);
+                }
+                self.respond(execs, &ch, true).await;
                 if now() >= turn_end {
                     break;
                 }
@@ -237,44 +284,97 @@ impl<B: IndexBackend> ServiceServer<B> {
         }
     }
 
-    /// Decodes, executes, charges, and counts one request. Shared by the
-    /// ring workers and the TCP baseline; only the response transport
+    /// Decodes, executes, charges, and counts one ring frame — which may
+    /// carry a single request or a doorbell batch of them. The fixed
+    /// `dispatch` cost (CQ poll, wakeup, decode) is charged **once per
+    /// frame**, so a batch of N requests amortizes it N ways. Shared by
+    /// the ring workers and the TCP baseline; only the response transport
     /// differs between them.
-    async fn process(&self, bytes: &[u8], holding_core: bool) -> Option<Execution<B::Wire>> {
+    async fn process(&self, bytes: &[u8], holding_core: bool) -> Vec<Execution<B::Wire>> {
         // A malformed request is dropped (a real server would close the
-        // connection); counted nowhere since clients are ours.
-        let msg = B::Wire::decode(bytes).ok()?;
-        // The backend borrow is released before any await point.
-        let exec = self
-            .inner
-            .backend
-            .borrow_mut()
-            .execute(msg, &self.inner.cfg.cost)?;
-        self.charge(exec.cost, holding_core).await;
-        {
-            let mut st = self.inner.stats.borrow_mut();
-            match exec.kind {
-                OpKind::Read => {
-                    st.reads += 1;
-                    st.results_returned += exec.items.len() as u64;
-                    st.nodes_visited += exec.nodes_visited;
-                }
-                OpKind::Write => st.writes += 1,
-                OpKind::Remove => st.removes += 1,
+        // connection) and counted so operators can see it happening.
+        let msg = match B::Wire::decode(bytes) {
+            Ok(m) => m,
+            Err(_) => {
+                self.inner.stats.borrow_mut().decode_errors += 1;
+                return Vec::new();
             }
+        };
+        self.charge(self.inner.cfg.cost.dispatch, holding_core)
+            .await;
+        let msgs = match B::Wire::classify(msg) {
+            Incoming::Batch(msgs) => msgs,
+            Incoming::Request(m) => vec![m],
+            // Responses/heartbeats never arrive at the server.
+            Incoming::Heartbeat(_) | Incoming::Cont { .. } | Incoming::End { .. } => {
+                return Vec::new()
+            }
+        };
+        let mut execs = Vec::with_capacity(msgs.len());
+        for m in msgs {
+            // The backend borrow is released before any await point.
+            let Some(exec) = self
+                .inner
+                .backend
+                .borrow_mut()
+                .execute(m, &self.inner.cfg.cost)
+            else {
+                continue;
+            };
+            self.charge(exec.cost, holding_core).await;
+            {
+                let mut st = self.inner.stats.borrow_mut();
+                match exec.kind {
+                    OpKind::Read => {
+                        st.reads += 1;
+                        st.results_returned += exec.items.len() as u64;
+                        st.nodes_visited += exec.nodes_visited;
+                    }
+                    OpKind::Write => st.writes += 1,
+                    OpKind::Remove => st.removes += 1,
+                }
+            }
+            execs.push(exec);
         }
-        Some(exec)
+        execs
     }
 
-    async fn handle(&self, bytes: Vec<u8>, ch: &ServerChannel, holding_core: bool) {
-        let Some(exec) = self.process(&bytes, holding_core).await else {
+    /// Sends every response frame of `execs`, coalescing up to `max_batch`
+    /// frames per doorbell: one `post` charge and one CQ event per group
+    /// instead of one per frame.
+    async fn respond(
+        &self,
+        execs: Vec<Execution<B::Wire>>,
+        ch: &ServerChannel,
+        holding_core: bool,
+    ) {
+        if execs.is_empty() {
             return;
-        };
-        let tx = ch.tx.clone();
+        }
         let seg = self.inner.cfg.response_segment_results;
-        spawn(async move {
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for exec in execs {
             for m in response_frames::<B::Wire>(exec.seq, exec.items, exec.status, seg) {
-                tx.send(&B::Wire::encode(&m), 0).await;
+                frames.push(B::Wire::encode(&m));
+            }
+        }
+        let max_batch = self.inner.cfg.max_batch.max(1);
+        let groups = frames.len().div_ceil(max_batch);
+        self.charge(self.inner.cfg.cost.post * groups as u64, holding_core)
+            .await;
+        {
+            let mut st = self.inner.stats.borrow_mut();
+            for group in frames.chunks(max_batch) {
+                if group.len() >= 2 {
+                    st.batches_sent += 1;
+                    st.batched_msgs += group.len() as u64;
+                }
+            }
+        }
+        let tx = ch.tx.clone();
+        spawn(async move {
+            for group in frames.chunks(max_batch) {
+                tx.send_batch(group, 0).await;
             }
         });
     }
@@ -313,14 +413,17 @@ impl<B: IndexBackend> ServiceServer<B> {
     }
 
     async fn handle_tcp(&self, bytes: Vec<u8>, conn: &Rc<TcpConn>) {
-        let Some(exec) = self.process(&bytes, false).await else {
+        let execs = self.process(&bytes, false).await;
+        if execs.is_empty() {
             return;
-        };
+        }
         let seg = self.inner.cfg.response_segment_results;
         let conn = Rc::clone(conn);
         spawn(async move {
-            for m in response_frames::<B::Wire>(exec.seq, exec.items, exec.status, seg) {
-                conn.send(B::Wire::encode(&m)).await;
+            for exec in execs {
+                for m in response_frames::<B::Wire>(exec.seq, exec.items, exec.status, seg) {
+                    conn.send(B::Wire::encode(&m)).await;
+                }
             }
         });
     }

@@ -43,6 +43,14 @@ pub struct ServiceStats {
     pub chunks_fetched: u64,
     /// Chunk reads avoided by the client-side level cache.
     pub cache_hits: u64,
+    /// Doorbell batches sent (ring frames carrying ≥ 2 coalesced
+    /// messages, on either side of the connection).
+    pub batches_sent: u64,
+    /// Messages carried inside those batches (so
+    /// [`ServiceStats::msgs_per_batch`] is observable).
+    pub batched_msgs: u64,
+    /// Malformed ring frames dropped by the server's decode step.
+    pub decode_errors: u64,
 }
 
 impl ServiceStats {
@@ -62,6 +70,9 @@ impl ServiceStats {
         self.offload_restarts += other.offload_restarts;
         self.chunks_fetched += other.chunks_fetched;
         self.cache_hits += other.cache_hits;
+        self.batches_sent += other.batches_sent;
+        self.batched_msgs += other.batched_msgs;
+        self.decode_errors += other.decode_errors;
     }
 
     /// Fraction of client reads that went through the offloaded path,
@@ -74,19 +85,32 @@ impl ServiceStats {
             self.offloaded_reads as f64 / total as f64
         }
     }
+
+    /// Mean messages per doorbell batch (0 when no batches were sent).
+    pub fn msgs_per_batch(&self) -> f64 {
+        if self.batches_sent == 0 {
+            0.0
+        } else {
+            self.batched_msgs as f64 / self.batches_sent as f64
+        }
+    }
 }
 
 impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fast {} / offloaded {} ({:.1}% offloaded), torn retries {}, restarts {}, cache hits {}",
+            "fast {} / offloaded {} ({:.1}% offloaded), torn retries {}, restarts {}, cache hits {}, \
+             batches {} ({:.1} msgs/batch), decode errors {}",
             self.fast_reads,
             self.offloaded_reads,
             self.offload_fraction() * 100.0,
             self.torn_retries,
             self.offload_restarts,
             self.cache_hits,
+            self.batches_sent,
+            self.msgs_per_batch(),
+            self.decode_errors,
         )
     }
 }

@@ -146,6 +146,107 @@ fn mode_counters_are_consistent_for_both_backends() {
     }
 }
 
+/// Doorbell batching produces exactly the sequential path's results for
+/// both backends, under both server modes, with batching on (`max_batch`
+/// 8) and off (`max_batch` 1) — and the batching counters observe it:
+/// coalesced flushes appear in `batches_sent`/`msgs_per_batch` when
+/// enabled and stay at zero when disabled.
+#[test]
+fn batched_reads_match_sequential_for_both_backends_and_modes() {
+    for server_mode in [ServerMode::EventDriven, ServerMode::Polling] {
+        for max_batch in [1usize, 8] {
+            let sim = Sim::new();
+            sim.run_until(async move {
+                let net = Network::new();
+                let profile = infiniband_100g();
+                let scfg = ServerConfig {
+                    cores: 4,
+                    mode: server_mode,
+                    max_batch,
+                    ..ServerConfig::default()
+                };
+                let ccfg = ClientConfig {
+                    mode: AccessMode::FastMessaging,
+                    max_batch,
+                    ..ClientConfig::default()
+                };
+
+                // --- R-tree backend ---
+                let rkeys = RkeyAllocator::new();
+                let server = CatfishServer::build(
+                    &net,
+                    &profile,
+                    scfg,
+                    RTreeConfig::default(),
+                    uniform_rects(2_000, 1e-4, 5),
+                    &rkeys,
+                );
+                let ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+                let ch = server.accept(&ep);
+                let mut client = CatfishClient::new(ch, server.remote_handle(), ccfg, 41);
+                let rects = query_rects(24);
+                let batched = client.read_batch(&rects).await;
+                assert_eq!(batched.len(), rects.len());
+                for (q, got) in rects.iter().zip(&batched) {
+                    let mut got: Vec<u64> = got.iter().map(|&(_, d)| d).collect();
+                    let mut expect = server.with_index(|t| t.search(q));
+                    got.sort_unstable();
+                    expect.sort_unstable();
+                    assert_eq!(got, expect, "{server_mode:?} max_batch {max_batch} {q:?}");
+                }
+                let s = client.stats();
+                assert_eq!(s.fast_reads, 24);
+                assert_eq!(server.stats().reads, 24);
+                if max_batch > 1 {
+                    assert!(
+                        s.batches_sent > 0,
+                        "{server_mode:?}: batching should engage"
+                    );
+                    assert!(s.msgs_per_batch() > 1.0);
+                } else {
+                    assert_eq!(s.batches_sent, 0, "{server_mode:?}: batch 1 is sequential");
+                }
+
+                // --- KV backend, same shape ---
+                let rkeys = RkeyAllocator::new();
+                let server = KvServer::build(
+                    &net,
+                    &profile,
+                    scfg,
+                    BpConfig::with_max_keys(32),
+                    (0..2_000u64).map(|i| (i * 3, i)).collect(),
+                    &rkeys,
+                );
+                let ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+                let ch = server.accept(&ep);
+                let mut client = KvClient::new(ch, server.remote_handle(), ccfg, 42);
+                let gets: Vec<KvRead> = (0..24u64).map(|i| KvRead::Get(i * 151 % 6_000)).collect();
+                let batched = client.read_batch(&gets).await;
+                for (read, got) in gets.iter().zip(&batched) {
+                    let expect: Vec<(u64, u64)> = server.with_index(|t| match *read {
+                        KvRead::Get(k) => t.get(k).map(|v| (k, v)).into_iter().collect(),
+                        KvRead::Range { lo, hi } => t.range(lo, hi),
+                    });
+                    assert_eq!(
+                        got, &expect,
+                        "{server_mode:?} max_batch {max_batch} {read:?}"
+                    );
+                }
+                let s = client.stats();
+                assert_eq!(s.fast_reads, 24);
+                if max_batch > 1 {
+                    assert!(
+                        s.batches_sent > 0,
+                        "{server_mode:?}: kv batching should engage"
+                    );
+                } else {
+                    assert_eq!(s.batches_sent, 0);
+                }
+            });
+        }
+    }
+}
+
 /// The same adaptive hybrid workload — interleaved writes and reads —
 /// produces results matching the server's ground truth on both backends,
 /// and every write is accounted for in the unified stats.

@@ -60,6 +60,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// A doorbell batch of arbitrary (non-batch) R-tree messages.
+fn arb_batch_message() -> impl Strategy<Value = Message> {
+    prop::collection::vec(arb_message(), 1..8).prop_map(Message::Batch)
+}
+
 fn arb_entries() -> impl Strategy<Value = Vec<(u64, u64)>> {
     prop::collection::vec((any::<u64>(), any::<u64>()), 0..50)
 }
@@ -88,6 +93,11 @@ fn arb_kv_message() -> impl Strategy<Value = KvMessage> {
     ]
 }
 
+/// A doorbell batch of arbitrary (non-batch) KV messages.
+fn arb_kv_batch_message() -> impl Strategy<Value = KvMessage> {
+    prop::collection::vec(arb_kv_message(), 1..8).prop_map(KvMessage::Batch)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -103,6 +113,15 @@ proptest! {
     #[test]
     fn kv_codec_round_trips(msg in arb_kv_message()) {
         assert_codec_round_trips::<KvWire>(msg);
+    }
+
+    /// Doorbell batches of arbitrary messages round-trip for both codecs,
+    /// and the R-tree batch's encoded_len is exact.
+    #[test]
+    fn batch_codec_round_trips(rt in arb_batch_message(), kv in arb_kv_batch_message()) {
+        prop_assert_eq!(rt.encode().len(), rt.encoded_len());
+        assert_codec_round_trips::<RtreeWire>(rt);
+        assert_codec_round_trips::<KvWire>(kv);
     }
 
     /// Decoding never panics on arbitrary bytes — for either codec.
@@ -147,6 +166,51 @@ proptest! {
                 );
             }
             sender.await;
+        });
+    }
+
+    /// A doorbell batch posted at an arbitrary ring offset — priming the
+    /// tail with a message of arbitrary size first, so batches straddle
+    /// the `WRAP_MARKER` boundary at every capacity/offset combination —
+    /// arrives complete, in order, and uncorrupted, even when the batch
+    /// must be split across multiple capacity-bounded posts.
+    #[test]
+    fn batched_sends_straddle_wrap_marker(
+        prime in 1usize..700,
+        payload_sizes in prop::collection::vec(1usize..200, 2..12),
+        ring_kb in 1usize..3,
+    ) {
+        let sim = Sim::new();
+        let sizes = payload_sizes.clone();
+        sim.run_until(async move {
+            let net = Network::new();
+            let spec = LinkSpec::gbps(100.0, SimDuration::from_micros(1));
+            let a = Endpoint::new(&net, net.add_node(spec), RdmaProfile::default());
+            let b = Endpoint::new(&net, net.add_node(spec), RdmaProfile::default());
+            let rkeys = RkeyAllocator::new();
+            let (ca, sb) = establish(&a, &b, ring_kb * 1024, &rkeys);
+            // Prime: advance the ring tail to an arbitrary offset.
+            ca.tx.send(&vec![0xAA; prime], 0).await;
+            assert_eq!(sb.rx.wait_message().await.len(), prime);
+            let payloads: Vec<Vec<u8>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    let mut p = vec![(i % 251) as u8; len];
+                    p[0] = (i % 256) as u8;
+                    p
+                })
+                .collect();
+            let expect = payloads.clone();
+            let sender = catfish_simnet::spawn(async move {
+                assert!(ca.tx.send_batch(&payloads, 7).await >= 1);
+            });
+            for (i, want) in expect.iter().enumerate() {
+                let got = sb.rx.wait_message().await;
+                assert_eq!(&got, want, "batched message {i}");
+            }
+            sender.await;
+            assert!(sb.rx.try_pop().is_none(), "no trailing bytes after batch");
         });
     }
 }

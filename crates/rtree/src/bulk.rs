@@ -96,6 +96,7 @@ pub fn bulk_load_with_fill<S: NodeStore>(
                 root: Some(root),
                 height: level + 1,
                 len: n,
+                structure_version: 0,
             });
             return RTree::open(store, config);
         }

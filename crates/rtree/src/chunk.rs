@@ -347,6 +347,7 @@ mod tests {
             root: Some(NodeId(1)),
             height: 1,
             len: 3,
+            structure_version: 5,
         };
         s.set_meta(meta);
         let mut buf = vec![0u8; s.layout().chunk_bytes()];

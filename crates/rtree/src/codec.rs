@@ -256,6 +256,7 @@ impl ChunkLayout {
         logical[8..12].copy_from_slice(&root_raw.to_le_bytes());
         logical[12..16].copy_from_slice(&meta.height.to_le_bytes());
         logical[16..24].copy_from_slice(&meta.len.to_le_bytes());
+        logical[24..32].copy_from_slice(&meta.structure_version.to_le_bytes());
         self.pack_lines(&logical, version)
     }
 
@@ -273,6 +274,7 @@ impl ChunkLayout {
         let root_raw = u32::from_le_bytes(logical[8..12].try_into().expect("sized"));
         let height = u32::from_le_bytes(logical[12..16].try_into().expect("sized"));
         let len = u64::from_le_bytes(logical[16..24].try_into().expect("sized"));
+        let structure_version = u64::from_le_bytes(logical[24..32].try_into().expect("sized"));
         let root = if root_raw == 0 {
             None
         } else {
@@ -281,7 +283,15 @@ impl ChunkLayout {
         if root.is_none() != (height == 0) {
             return Err(CodecError::Malformed("root/height mismatch"));
         }
-        Ok((TreeMeta { root, height, len }, version))
+        Ok((
+            TreeMeta {
+                root,
+                height,
+                len,
+                structure_version,
+            },
+            version,
+        ))
     }
 
     fn pack_lines(&self, logical: &[u8], version: u64) -> Vec<u8> {
@@ -610,6 +620,7 @@ mod tests {
             root: Some(NodeId(12)),
             height: 3,
             len: 2_000_000,
+            structure_version: 41,
         };
         let chunk = l.encode_meta(&meta, 77);
         assert_eq!(l.decode_meta(&chunk).unwrap(), (meta, 77));
@@ -629,6 +640,7 @@ mod tests {
             root: Some(NodeId(0)),
             height: 1,
             len: 1,
+            structure_version: 0,
         };
         let (back, _) = l.decode_meta(&l.encode_meta(&meta, 1)).unwrap();
         assert_eq!(back.root, Some(NodeId(0)));

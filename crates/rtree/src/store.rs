@@ -20,6 +20,15 @@ pub struct TreeMeta {
     pub height: u32,
     /// Number of data items in the tree.
     pub len: u64,
+    /// Bumped whenever entries move **between** nodes (splits, forced
+    /// reinsertion, underflow dissolution, root collapse). Per-chunk
+    /// version stamps catch torn reads of a single node, but a traversal
+    /// spanning several one-sided reads can still observe a parent from
+    /// before such a reorganization and a child from after it — silently
+    /// missing the relocated entries. Offloading clients record this
+    /// counter when they bootstrap and re-validate it after a multi-chunk
+    /// traversal, restarting on a mismatch.
+    pub structure_version: u64,
 }
 
 /// Storage backend for R-tree nodes.
@@ -233,6 +242,7 @@ mod tests {
             root: Some(NodeId(4)),
             height: 2,
             len: 17,
+            structure_version: 1,
         };
         s.set_meta(m);
         assert_eq!(s.meta(), m);

@@ -343,6 +343,7 @@ impl<S: NodeStore> RTree<S> {
         }
 
         // R* split.
+        self.bump_structure_version();
         let level = node.level;
         let (group1, group2) = rstar_split(&self.config, std::mem::take(&mut node.entries));
         node.entries = group1;
@@ -389,6 +390,7 @@ impl<S: NodeStore> RTree<S> {
         mut node: Node,
         reinserted: &mut HashSet<u32>,
     ) {
+        self.bump_structure_version();
         let node_mbr = node.mbr().expect("overflowing node is non-empty");
         let mut keyed: Vec<(f64, Entry)> = node
             .entries
@@ -507,6 +509,9 @@ impl<S: NodeStore> RTree<S> {
             }
             current = pid;
         }
+        if !orphans.is_empty() {
+            self.bump_structure_version();
+        }
         for orphan in orphans {
             let level = orphan.level;
             for e in orphan.entries {
@@ -515,6 +520,15 @@ impl<S: NodeStore> RTree<S> {
             }
         }
         self.shrink_root();
+    }
+
+    /// Records a structural reorganization — entries moving between nodes
+    /// — in the persisted metadata. Offloading clients validate this
+    /// counter after multi-chunk traversals (see [`TreeMeta`]).
+    fn bump_structure_version(&mut self) {
+        let mut meta = self.store.meta();
+        meta.structure_version += 1;
+        self.store.set_meta(meta);
     }
 
     /// Collapses trivial roots: an internal root with one child is replaced
@@ -559,6 +573,7 @@ impl<S: NodeStore> RTree<S> {
             }
         }
         if changed {
+            meta.structure_version += 1;
             self.store.set_meta(meta);
         }
     }

@@ -190,6 +190,7 @@ proptest! {
             root: root.map(catfish_rtree::NodeId),
             height: if root.is_some() { 3 } else { 0 },
             len,
+            structure_version: len % 97,
         };
         let chunk = layout.encode_meta(&meta, version);
         prop_assert_eq!(layout.decode_meta(&chunk).unwrap(), (meta, version));
