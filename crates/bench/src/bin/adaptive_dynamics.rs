@@ -4,9 +4,10 @@
 //! back-off bands escalating until both resources are productive, and the
 //! oscillation the paper's §V-B discussion attributes to the heuristic.
 
-use catfish_bench::{banner, paper_tree_config, BenchArgs};
+use catfish_bench::{banner, paper_tree_config, write_metrics, BenchArgs};
 use catfish_core::config::Scheme;
 use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_core::AdaptiveEvent;
 use catfish_rdma::profile;
 use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
 
@@ -25,6 +26,7 @@ fn main() {
         trace: TraceSpec::search_only(ScaleDist::small(), args.requests.max(1_500)),
         tree_config: paper_tree_config(),
         seed: args.seed,
+        collect_adaptive_events: true,
         ..ExperimentSpec::default()
     };
     let r = run_experiment(&spec);
@@ -49,6 +51,35 @@ fn main() {
             p.bw_gbps
         );
         println!("{:>27}{bw_bar}", "");
+    }
+    let escalations = r
+        .adaptive_events
+        .iter()
+        .filter(|e| matches!(e.event, AdaptiveEvent::BandEscalated { .. }))
+        .count();
+    let resets = r
+        .adaptive_events
+        .iter()
+        .filter(|e| matches!(e.event, AdaptiveEvent::BusyReset))
+        .count();
+    println!(
+        "\nadaptive events: {} total ({} band escalations, {} busy resets)",
+        r.adaptive_events.len(),
+        escalations,
+        resets
+    );
+    if let Some(base) = &args.metrics_out {
+        let path = format!("{base}.events.jsonl");
+        let mut jsonl = String::new();
+        for e in &r.adaptive_events {
+            jsonl.push_str(&e.to_json());
+            jsonl.push('\n');
+        }
+        match std::fs::write(&path, jsonl) {
+            Ok(()) => println!("[metrics] wrote {path}"),
+            Err(e) => eprintln!("[metrics] write failed for {path}: {e}"),
+        }
+        write_metrics(&args, &r.metrics());
     }
     println!("\nThe CPU line pins near the T=95% threshold while bandwidth climbs as");
     println!("clients escalate their offloading bands — the balance the paper's");

@@ -22,7 +22,7 @@ use catfish_bplus::BpConfig;
 use catfish_core::config::{AccessMode, ClientConfig, ServerConfig, ServerMode};
 use catfish_core::conn::RkeyAllocator;
 use catfish_core::kv::{KvClient, KvRead, KvServer};
-use catfish_core::{LatencyRecorder, ServiceStats};
+use catfish_core::{LatencyHistogram, ServiceStats};
 use catfish_rdma::{profile, Endpoint, RdmaProfile};
 use catfish_simnet::{now, sleep, spawn, Network, Sim, SimDuration};
 use rand::rngs::StdRng;
@@ -142,7 +142,7 @@ fn run_cell(
             .map(|_| Endpoint::new(&net, net.add_node(prof.link), RdmaProfile::default()))
             .collect();
         let stats = Rc::new(RefCell::new((
-            LatencyRecorder::new(),
+            LatencyHistogram::new(),
             ServiceStats::default(),
         )));
         let started = now();
@@ -163,7 +163,7 @@ fn run_cell(
             handles.push(spawn(async move {
                 sleep(SimDuration::from_nanos(17_039 * c as u64)).await;
                 let mut rng = StdRng::seed_from_u64(seed ^ c as u64);
-                let mut rec = LatencyRecorder::new();
+                let mut rec = LatencyHistogram::new();
                 let mut issued = 0usize;
                 while issued < requests {
                     let window = WINDOW.min(requests - issued);
@@ -194,7 +194,7 @@ fn run_cell(
             h.await;
         }
         let makespan = now() - started;
-        let mut s = stats.borrow_mut();
+        let s = stats.borrow();
         let summary = s.0.summary();
         Cell {
             mode,

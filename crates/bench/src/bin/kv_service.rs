@@ -13,7 +13,7 @@ use catfish_bplus::BpConfig;
 use catfish_core::config::{AccessMode, AdaptiveParams, ClientConfig, ServerConfig, ServerMode};
 use catfish_core::conn::RkeyAllocator;
 use catfish_core::kv::{KvClient, KvServer};
-use catfish_core::LatencyRecorder;
+use catfish_core::LatencyHistogram;
 use catfish_rdma::{profile, Endpoint, RdmaProfile};
 use catfish_simnet::{now, sleep, spawn, Network, Sim, SimDuration};
 use catfish_workload::ZipfSampler;
@@ -86,7 +86,7 @@ fn run_cell(
             .collect();
         let sampler = Rc::new(ZipfSampler::new(keys, 0.99));
         let stats = Rc::new(RefCell::new((
-            LatencyRecorder::new(),
+            LatencyHistogram::new(),
             0u64, // fast
             0u64, // offload
         )));
@@ -108,7 +108,7 @@ fn run_cell(
             handles.push(spawn(async move {
                 sleep(SimDuration::from_nanos(17_039 * c as u64)).await;
                 let mut rng = StdRng::seed_from_u64(seed ^ c as u64);
-                let mut rec = LatencyRecorder::new();
+                let mut rec = LatencyHistogram::new();
                 for _ in 0..requests {
                     let key = rng.gen::<u64>() % sampler.n();
                     let t0 = now();
@@ -126,7 +126,7 @@ fn run_cell(
             h.await;
         }
         let makespan = now() - started;
-        let mut s = stats.borrow_mut();
+        let s = stats.borrow();
         let summary = s.0.summary();
         let kops = summary.count as f64 / makespan.as_secs_f64() / 1e3;
         (

@@ -1,0 +1,119 @@
+//! Observability overhead check: runs the same experiment with phase-span
+//! collection off and then on, asserting the simulated results are
+//! unchanged (spans record virtual time without advancing it, so tracing
+//! must never perturb what is being measured) and reporting the wall-clock
+//! cost of recording. Built with `--no-default-features`, every span call
+//! site compiles to a no-op and the traced run is byte-for-byte the same
+//! code path — the second half of the tentpole's zero-cost claim.
+//!
+//! Also prints the per-phase latency breakdown from a single-client run
+//! and checks that the request-path phases (ring enqueue, server queue,
+//! dispatch, index execution, response transit) sum to within 5% of the
+//! end-to-end p50 — the phases partition the request path rather than
+//! merely sampling it.
+
+use catfish_bench::{banner, paper_tree_config, write_metrics, BenchArgs};
+use catfish_core::config::Scheme;
+use catfish_core::harness::{run_experiment, ExperimentSpec, RunResult};
+use catfish_core::{Phase, TraceSink};
+use catfish_rdma::profile;
+use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
+use std::time::Instant;
+
+/// Max tolerated change in simulated throughput when tracing is enabled.
+const SIM_DELTA_PCT: f64 = 5.0;
+/// Max tolerated gap between the phase-sum and the end-to-end p50.
+const SUM_DELTA_PCT: f64 = 5.0;
+
+fn spec(args: &BenchArgs, scheme: Scheme, clients: usize, spans: bool) -> ExperimentSpec {
+    ExperimentSpec {
+        profile: profile::infiniband_100g(),
+        scheme,
+        clients,
+        client_nodes: 8.min(clients),
+        dataset: uniform_rects(args.size, 1e-4, args.seed),
+        trace: TraceSpec::search_only(ScaleDist::small(), args.requests),
+        tree_config: paper_tree_config(),
+        seed: args.seed,
+        collect_phase_spans: spans,
+        ..ExperimentSpec::default()
+    }
+}
+
+fn timed_run(s: &ExperimentSpec) -> (RunResult, f64) {
+    let start = Instant::now();
+    let r = run_experiment(s);
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Observability overhead",
+        "span recording cost and per-phase breakdown consistency",
+    );
+    println!(
+        "trace feature compiled {}\n",
+        if TraceSink::enabled() { "IN" } else { "OUT" }
+    );
+
+    // --- overhead: identical spec, spans off vs on -----------------------
+    let clients = 32;
+    let (base, wall_base) = timed_run(&spec(&args, Scheme::Catfish, clients, false));
+    let (traced, wall_traced) = timed_run(&spec(&args, Scheme::Catfish, clients, true));
+    println!("untraced: {}   [wall {:.2}s]", base.row(), wall_base);
+    println!("traced:   {}   [wall {:.2}s]", traced.row(), wall_traced);
+    let sim_delta = (traced.throughput_kops / base.throughput_kops - 1.0) * 100.0;
+    let wall_delta = (wall_traced / wall_base - 1.0) * 100.0;
+    println!(
+        "sim throughput delta {sim_delta:+.2}% (limit ±{SIM_DELTA_PCT}%), wall-clock delta {wall_delta:+.1}%"
+    );
+    if sim_delta.abs() > SIM_DELTA_PCT {
+        eprintln!("FAIL: tracing changed simulated throughput beyond {SIM_DELTA_PCT}%");
+        std::process::exit(1);
+    }
+    if !TraceSink::enabled() && !traced.phase_hists.is_empty() {
+        eprintln!("FAIL: spans recorded despite the trace feature being compiled out");
+        std::process::exit(1);
+    }
+
+    // --- breakdown: one client, fast messaging only ----------------------
+    // With a single closed-loop client there is no queueing overlap, so
+    // the request-path phases partition the end-to-end latency.
+    let (solo, _) = timed_run(&spec(&args, Scheme::FastMessaging, 1, true));
+    if solo.phase_hists.is_empty() {
+        println!("\nno phase spans recorded (trace feature off) — breakdown skipped");
+    } else {
+        println!("\nper-phase breakdown (1 client, fast messaging):");
+        for (phase, hist) in &solo.phase_hists {
+            println!("  {:>13}: {}", phase.name(), hist.summary());
+        }
+        let path_phases = [
+            Phase::RingEnqueue,
+            Phase::ServerQueue,
+            Phase::Dispatch,
+            Phase::IndexExec,
+            Phase::RespTransit,
+        ];
+        let sum_ns: u64 = solo
+            .phase_hists
+            .iter()
+            .filter(|(p, _)| path_phases.contains(p))
+            .map(|(_, h)| h.summary().p50.as_nanos())
+            .sum();
+        let e2e_ns = solo.hist.summary().p50.as_nanos();
+        let gap = (sum_ns as f64 / e2e_ns as f64 - 1.0) * 100.0;
+        println!(
+            "phase-sum p50 {:.2}us vs end-to-end p50 {:.2}us: gap {gap:+.2}% (limit ±{SUM_DELTA_PCT}%)",
+            sum_ns as f64 / 1e3,
+            e2e_ns as f64 / 1e3
+        );
+        if gap.abs() > SUM_DELTA_PCT {
+            eprintln!("FAIL: phase breakdown does not account for the end-to-end p50");
+            std::process::exit(1);
+        }
+    }
+
+    write_metrics(&args, &traced.metrics());
+    println!("\nOK");
+}

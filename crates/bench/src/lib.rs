@@ -8,7 +8,10 @@
 //!   uses 10 000);
 //! * `--clients a,b,c` — client counts to sweep (figure-specific default);
 //! * `--paper` — full paper-scale parameters (slow: minutes per figure);
-//! * `--seed N` — RNG seed (default 42).
+//! * `--seed N` — RNG seed (default 42);
+//! * `--metrics-out BASE` — write `BASE.prom` (Prometheus text format)
+//!   and `BASE.jsonl` metric snapshots of the run (binaries that record
+//!   adaptive events also write `BASE.events.jsonl`).
 //!
 //! Absolute numbers are simulation outputs, not testbed measurements; the
 //! reproduction target is the *shape* of each figure (see EXPERIMENTS.md).
@@ -29,6 +32,9 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Full paper-scale run.
     pub paper: bool,
+    /// Base path for metric snapshots (`--metrics-out`): the binary
+    /// writes `<base>.prom` and `<base>.jsonl` when set.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -39,6 +45,7 @@ impl Default for BenchArgs {
             clients: None,
             seed: 42,
             paper: false,
+            metrics_out: None,
         }
     }
 }
@@ -66,9 +73,12 @@ impl BenchArgs {
                     out.size = 2_000_000;
                     out.requests = 10_000;
                 }
+                "--metrics-out" => {
+                    out.metrics_out = Some(args.next().expect("--metrics-out needs a base path"));
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --size N --requests N --clients a,b,c --seed N --paper  (defaults: 1M rects, 1000 req/client)"
+                        "flags: --size N --requests N --clients a,b,c --seed N --paper --metrics-out BASE  (defaults: 1M rects, 1000 req/client)"
                     );
                     std::process::exit(0);
                 }
@@ -91,6 +101,19 @@ pub fn banner(figure: &str, what: &str) {
     println!("==================================================================");
     println!("{figure} — {what}");
     println!("==================================================================");
+}
+
+/// Writes a [`catfish_core::MetricsRegistry`] snapshot to
+/// `<base>.prom`/`<base>.jsonl` when `--metrics-out` was given, printing
+/// the paths (or the error — metrics failures never fail a benchmark).
+pub fn write_metrics(args: &BenchArgs, reg: &catfish_core::MetricsRegistry) {
+    let Some(base) = &args.metrics_out else {
+        return;
+    };
+    match reg.write_files(base) {
+        Ok((prom, jsonl)) => println!("[metrics] wrote {prom} and {jsonl}"),
+        Err(e) => eprintln!("[metrics] write failed for base {base}: {e}"),
+    }
 }
 
 /// Runs `f`, printing wall-clock time spent simulating.

@@ -10,6 +10,7 @@ use rand::{Rng, SeedableRng};
 use catfish_simnet::{now, SimDuration, SimTime};
 
 use crate::config::AdaptiveParams;
+use crate::obs::{AdaptiveEvent, AdaptiveEventLog};
 
 /// Per-client state of Algorithm 1.
 #[derive(Debug)]
@@ -24,6 +25,8 @@ pub struct AdaptiveState {
     /// Latest unconsumed heartbeat utilization (`u_serv`), if any.
     u_serv: Option<f64>,
     rng: StdRng,
+    /// Optional structured event timeline ([`AdaptiveState::set_event_log`]).
+    events: Option<AdaptiveEventLog>,
 }
 
 impl AdaptiveState {
@@ -42,6 +45,20 @@ impl AdaptiveState {
             t0,
             u_serv: None,
             rng,
+            events: None,
+        }
+    }
+
+    /// Emits every decision step ([`AdaptiveEvent`]) into `log` — use a
+    /// [`AdaptiveEventLog::for_client`] handle so the timeline records
+    /// which client decided. Logging is opt-in and off by default.
+    pub fn set_event_log(&mut self, log: AdaptiveEventLog) {
+        self.events = Some(log);
+    }
+
+    fn emit(&self, event: AdaptiveEvent) {
+        if let Some(log) = &self.events {
+            log.emit(event);
         }
     }
 
@@ -72,21 +89,31 @@ impl AdaptiveState {
             }
         }
         if let Some(u) = fresh {
+            self.emit(AdaptiveEvent::HeartbeatConsumed { util: u });
             let n = u64::from(self.params.n_backoff);
             if u > self.params.busy_threshold && self.r_off <= u64::from(self.r_busy) * n {
                 self.r_busy += 1;
                 self.r_off = u64::from(self.rng.gen::<u32>() % self.params.n_backoff)
                     + (u64::from(self.r_busy) - 1) * n;
+                self.emit(AdaptiveEvent::BandEscalated {
+                    r_busy: self.r_busy,
+                    r_off: self.r_off as u32,
+                });
             } else if u <= self.params.busy_threshold {
+                if self.r_busy > 0 {
+                    self.emit(AdaptiveEvent::BusyReset);
+                }
                 self.r_busy = 0;
             }
         }
-        if self.r_off > 0 {
+        let offload = if self.r_off > 0 {
             self.r_off -= 1;
             true
         } else {
             false
-        }
+        };
+        self.emit(AdaptiveEvent::Route { offloaded: offload });
+        offload
     }
 }
 

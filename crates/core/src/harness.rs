@@ -20,8 +20,11 @@ use crate::client::CatfishClient;
 use crate::config::{AccessMode, AdaptiveParams, ClientConfig, Scheme, ServerConfig, ServerMode};
 use crate::conn::RkeyAllocator;
 use crate::msg::Message;
+use crate::obs::{
+    AdaptiveEventLog, AdaptiveEventRecord, LatencyHistogram, MetricsRegistry, Phase, TraceSink,
+};
 use crate::server::CatfishServer;
-use crate::stats::{LatencyRecorder, LatencySummary, ServiceStats};
+use crate::stats::{LatencySummary, ServiceStats};
 
 /// Everything needed to run one experiment cell.
 #[derive(Debug, Clone)]
@@ -60,6 +63,16 @@ pub struct ExperimentSpec {
     /// unconstrained CPUs. Used by the Fig. 7 polling runs, where client
     /// machines host more threads than cores.
     pub client_polling_cores: Option<usize>,
+    /// Attach one shared [`TraceSink`] to the server and every client,
+    /// populating [`RunResult::phase_hists`] with the per-phase latency
+    /// breakdown. Spans record virtual time without ever advancing it, so
+    /// enabling this cannot change a run's outcome. No-op when the
+    /// `trace` cargo feature is disabled.
+    pub collect_phase_spans: bool,
+    /// Record every client's Algorithm 1 decision steps into
+    /// [`RunResult::adaptive_events`] (heartbeat consumed, band
+    /// escalated/reset, route chosen, with sim timestamps).
+    pub collect_adaptive_events: bool,
 }
 
 impl Default for ExperimentSpec {
@@ -78,6 +91,8 @@ impl Default for ExperimentSpec {
             client_config: None,
             explicit_traces: None,
             client_polling_cores: None,
+            collect_phase_spans: false,
+            collect_adaptive_events: false,
         }
     }
 }
@@ -111,6 +126,17 @@ pub struct RunResult {
     /// Periodic samples of server resource usage over the run (10 ms
     /// grid), for plotting the adaptive algorithm's dynamics.
     pub timeline: Vec<TimelinePoint>,
+    /// Full end-to-end latency distribution over all requests (the
+    /// summaries above are views of this histogram).
+    pub hist: LatencyHistogram,
+    /// Per-phase latency breakdown, in [`Phase::ALL`] order, for phases
+    /// that recorded spans. Populated when
+    /// [`ExperimentSpec::collect_phase_spans`] is set and the `trace`
+    /// feature is compiled in; empty otherwise.
+    pub phase_hists: Vec<(Phase, LatencyHistogram)>,
+    /// Timeline of adaptive (Algorithm 1) decision events. Populated when
+    /// [`ExperimentSpec::collect_adaptive_events`] is set.
+    pub adaptive_events: Vec<AdaptiveEventRecord>,
 }
 
 /// One sample of the server's resource state during a run.
@@ -125,10 +151,18 @@ pub struct TimelinePoint {
 }
 
 impl RunResult {
-    /// One formatted table row: scheme, clients, throughput, mean latency.
+    /// One formatted table row: scheme, clients, throughput, mean latency,
+    /// plus per-kop torn-retry and offload-restart rates.
     pub fn row(&self) -> String {
+        let per_kop = |count: u64| {
+            if self.completed_requests == 0 {
+                0.0
+            } else {
+                count as f64 * 1e3 / self.completed_requests as f64
+            }
+        };
         format!(
-            "{:<22} {:>4} clients  {:>10.2} Kops  mean {:>10}  p99 {:>10}  cpu {:>5.1}%  bw {:>7.2} Gbps",
+            "{:<22} {:>4} clients  {:>10.2} Kops  mean {:>10}  p99 {:>10}  cpu {:>5.1}%  bw {:>7.2} Gbps  torn {:>6.1}/kop  restarts {:>5.1}/kop",
             self.label,
             self.clients,
             self.throughput_kops,
@@ -136,7 +170,91 @@ impl RunResult {
             self.latency.p99.to_string(),
             self.server_cpu * 100.0,
             self.server_bw_gbps,
+            per_kop(self.stats.torn_retries),
+            per_kop(self.stats.offload_restarts),
         )
+    }
+
+    /// Snapshots the run into a [`MetricsRegistry`] — counters from
+    /// [`ServiceStats`], resource gauges, the end-to-end latency
+    /// histogram, and one histogram per traced phase — ready for
+    /// Prometheus-text or JSONL exposition (`--metrics-out` in the bench
+    /// binaries).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "catfish_requests_total",
+            "Requests completed across all clients.",
+            self.completed_requests as u64,
+        )
+        .counter(
+            "catfish_fast_reads_total",
+            "Client reads served through fast messaging.",
+            self.stats.fast_reads,
+        )
+        .counter(
+            "catfish_offloaded_reads_total",
+            "Client reads served through RDMA-offloaded traversal.",
+            self.stats.offloaded_reads,
+        )
+        .counter(
+            "catfish_torn_retries_total",
+            "Chunk reads retried after version-validation failure.",
+            self.stats.torn_retries,
+        )
+        .counter(
+            "catfish_offload_restarts_total",
+            "Offloaded traversals restarted after an inconsistency.",
+            self.stats.offload_restarts,
+        )
+        .counter(
+            "catfish_cache_hits_total",
+            "Chunk reads served from the client-side level cache.",
+            self.stats.cache_hits,
+        )
+        .counter(
+            "catfish_batches_sent_total",
+            "Doorbell batches carrying two or more coalesced messages.",
+            self.stats.batches_sent,
+        )
+        .counter(
+            "catfish_batched_msgs_total",
+            "Messages carried inside doorbell batches.",
+            self.stats.batched_msgs,
+        )
+        .counter(
+            "catfish_decode_errors_total",
+            "Malformed ring frames dropped by the server.",
+            self.stats.decode_errors,
+        )
+        .gauge(
+            "catfish_throughput_kops",
+            "Completed requests per virtual second, kilo-ops.",
+            self.throughput_kops,
+        )
+        .gauge(
+            "catfish_server_cpu_utilization",
+            "Mean server CPU utilization over the run.",
+            self.server_cpu,
+        )
+        .gauge(
+            "catfish_server_bandwidth_gbps",
+            "Mean server NIC throughput over the run, Gbps.",
+            self.server_bw_gbps,
+        )
+        .histogram(
+            "catfish_request_latency_seconds",
+            "End-to-end request latency.",
+            &self.hist,
+        );
+        for (phase, hist) in &self.phase_hists {
+            reg.histogram(
+                &format!("catfish_phase_{}_seconds", phase.name()),
+                &format!("Virtual time attributed to the {} phase.", phase.name()),
+                hist,
+            );
+        }
+        reg
     }
 }
 
@@ -172,8 +290,8 @@ fn client_config_for(scheme: Scheme, server: &ServerConfig) -> ClientConfig {
 
 #[derive(Debug, Default)]
 struct ClientOutcome {
-    search: LatencyRecorder,
-    write: LatencyRecorder,
+    search: LatencyHistogram,
+    write: LatencyHistogram,
     stats: ServiceStats,
 }
 
@@ -198,6 +316,13 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
     if spec.scheme == Scheme::Catfish {
         server.start_heartbeats();
     }
+    // One sink shared by the server and every client: the per-phase
+    // breakdown aggregates the whole cluster.
+    let trace_sink = spec.collect_phase_spans.then(TraceSink::new);
+    if let Some(sink) = &trace_sink {
+        server.set_trace(sink.clone());
+    }
+    let event_log = spec.collect_adaptive_events.then(AdaptiveEventLog::new);
 
     // Client machines share NICs.
     let node_count = spec.client_nodes.max(1).min(spec.clients.max(1));
@@ -257,6 +382,12 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
                 if let Some(pool) = &poll_pools[client_id % node_count] {
                     client = client.with_response_polling(pool.clone());
                 }
+                if let Some(sink) = &trace_sink {
+                    client = client.with_trace(sink.clone());
+                }
+                if let Some(log) = &event_log {
+                    client.set_adaptive_event_log(log.for_client(client_id as u32));
+                }
                 handles.push(spawn(async move {
                     sleep(stagger).await;
                     let outcome = rdma_client_task(&mut client, trace).await;
@@ -301,17 +432,16 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
     let outcomes = Rc::try_unwrap(outcomes)
         .expect("all client tasks joined")
         .into_inner();
-    let mut all = LatencyRecorder::new();
-    let mut search = LatencyRecorder::new();
-    let mut write = LatencyRecorder::new();
+    let mut all = LatencyHistogram::new();
+    let mut search = LatencyHistogram::new();
+    let mut write = LatencyHistogram::new();
     let mut stats = ServiceStats::default();
-    for mut o in outcomes {
+    for o in outcomes {
         all.merge(&o.search);
         all.merge(&o.write);
         search.merge(&o.search);
         write.merge(&o.write);
         stats.merge(&o.stats);
-        let _ = o.search.summary(); // keep recorder sorted for reuse
     }
     let completed = all.len();
     let throughput_kops = if makespan.is_zero() {
@@ -335,6 +465,16 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
             let t = timeline.borrow().clone();
             t
         },
+        hist: all,
+        phase_hists: trace_sink
+            .map(|sink| {
+                Phase::ALL
+                    .iter()
+                    .filter_map(|&p| sink.phase_histogram(p).map(|h| (p, h)))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        adaptive_events: event_log.map(|log| log.snapshot()).unwrap_or_default(),
     }
 }
 

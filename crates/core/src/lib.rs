@@ -54,6 +54,7 @@ pub mod conn;
 pub mod harness;
 pub mod kv;
 pub mod msg;
+pub mod obs;
 pub mod ring;
 pub mod server;
 pub mod service;
@@ -66,6 +67,10 @@ pub use config::{
     AccessMode, AdaptiveParams, ClientConfig, CostModel, Scheme, ServerConfig, ServerMode,
 };
 pub use conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
+pub use obs::{
+    AdaptiveEvent, AdaptiveEventLog, AdaptiveEventRecord, LatencyHistogram, MetricsRegistry, Phase,
+    PhaseSummary, TraceSink,
+};
 pub use server::{CatfishServer, RtreeBackend, TreeHandle};
 pub use service::{
     ClientBackend, Execution, Incoming, Inconsistent, IndexBackend, OpKind, RemoteHandle,

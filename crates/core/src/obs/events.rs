@@ -1,0 +1,218 @@
+//! Structured adaptive-decision events.
+//!
+//! Algorithm 1's behaviour — heartbeat utilization consumption, busy-band
+//! escalation, back-off draining, and the final fast-vs-offload route —
+//! was previously only visible through aggregate counters. The client's
+//! [`crate::adaptive::AdaptiveState`] can now emit one
+//! [`AdaptiveEventRecord`] per decision step into a shared
+//! [`AdaptiveEventLog`], turning a run into a replayable timeline that
+//! `adaptive_dynamics --metrics-out` writes as JSONL.
+//!
+//! Event logging is *not* gated behind the `trace` feature: it is opt-in
+//! per run, off the request hot path (a few events per adaptive decision),
+//! and the satellite tests script it directly.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use catfish_simnet::{try_now, SimTime};
+
+/// One structured adaptive-algorithm event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptiveEvent {
+    /// A fresh heartbeat's utilization sample was consumed by a decision.
+    HeartbeatConsumed {
+        /// Server CPU utilization carried by the heartbeat, in `[0, 1]`.
+        util: f64,
+    },
+    /// Utilization crossed the busy threshold: the busy streak grew and a
+    /// new back-off band was drawn (Algorithm 1's doubling step).
+    BandEscalated {
+        /// Consecutive busy heartbeats (`r_busy` after the escalation).
+        r_busy: u32,
+        /// Offloaded operations still to perform before re-probing.
+        r_off: u32,
+    },
+    /// Utilization fell below the threshold: the busy streak reset.
+    BusyReset,
+    /// The route chosen for this operation.
+    Route {
+        /// True when the operation was sent down the offloaded path.
+        offloaded: bool,
+    },
+}
+
+impl AdaptiveEvent {
+    /// Stable snake_case event kind used in JSONL output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdaptiveEvent::HeartbeatConsumed { .. } => "heartbeat_consumed",
+            AdaptiveEvent::BandEscalated { .. } => "band_escalated",
+            AdaptiveEvent::BusyReset => "busy_reset",
+            AdaptiveEvent::Route { .. } => "route",
+        }
+    }
+}
+
+/// An [`AdaptiveEvent`] stamped with its virtual time and client id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveEventRecord {
+    /// Virtual instant the event was emitted.
+    pub t: SimTime,
+    /// Client the deciding `AdaptiveState` belongs to.
+    pub client: u32,
+    /// The event itself.
+    pub event: AdaptiveEvent,
+}
+
+impl AdaptiveEventRecord {
+    /// Serializes the record as one JSON object (a JSONL line, sans
+    /// newline). Hand-rolled: every field is numeric or a fixed literal,
+    /// so no escaping is needed.
+    pub fn to_json(&self) -> String {
+        let head = format!(
+            "{{\"t_ns\":{},\"client\":{},\"event\":\"{}\"",
+            self.t.as_nanos(),
+            self.client,
+            self.event.kind()
+        );
+        match self.event {
+            AdaptiveEvent::HeartbeatConsumed { util } => {
+                format!("{head},\"util\":{util:.4}}}")
+            }
+            AdaptiveEvent::BandEscalated { r_busy, r_off } => {
+                format!("{head},\"r_busy\":{r_busy},\"r_off\":{r_off}}}")
+            }
+            AdaptiveEvent::BusyReset => format!("{head}}}"),
+            AdaptiveEvent::Route { offloaded } => {
+                format!("{head},\"offloaded\":{offloaded}}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for AdaptiveEventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// A shared, append-only log of adaptive events for one run.
+///
+/// Cloning shares the buffer; [`AdaptiveEventLog::for_client`] stamps a
+/// client id so each client's `AdaptiveState` gets its own handle into
+/// the common timeline.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveEventLog {
+    events: Rc<RefCell<Vec<AdaptiveEventRecord>>>,
+    client: u32,
+}
+
+impl AdaptiveEventLog {
+    /// Creates an empty log (client id 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle onto the same buffer that stamps `client` on every
+    /// event it emits.
+    pub fn for_client(&self, client: u32) -> Self {
+        AdaptiveEventLog {
+            events: Rc::clone(&self.events),
+            client,
+        }
+    }
+
+    /// Appends an event stamped with the current virtual time (epoch
+    /// outside a simulation) and this handle's client id.
+    pub fn emit(&self, event: AdaptiveEvent) {
+        self.events.borrow_mut().push(AdaptiveEventRecord {
+            t: try_now().unwrap_or(SimTime::ZERO),
+            client: self.client,
+            event,
+        });
+    }
+
+    /// Number of events logged so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True if no events were logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Snapshot of the full timeline in emission order.
+    pub fn snapshot(&self) -> Vec<AdaptiveEventRecord> {
+        self.events.borrow().clone()
+    }
+
+    /// The timeline as JSONL (one event per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.events.borrow().iter() {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_one_timeline() {
+        let log = AdaptiveEventLog::new();
+        let c3 = log.for_client(3);
+        let c7 = log.for_client(7);
+        c3.emit(AdaptiveEvent::Route { offloaded: false });
+        c7.emit(AdaptiveEvent::BusyReset);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].client, 3);
+        assert_eq!(events[1].client, 7);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let log = AdaptiveEventLog::new();
+        log.emit(AdaptiveEvent::HeartbeatConsumed { util: 0.97 });
+        log.emit(AdaptiveEvent::BandEscalated {
+            r_busy: 2,
+            r_off: 11,
+        });
+        log.emit(AdaptiveEvent::Route { offloaded: true });
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"heartbeat_consumed\""));
+        assert!(lines[0].contains("\"util\":0.9700"));
+        assert!(lines[1].contains("\"r_busy\":2"));
+        assert!(lines[1].contains("\"r_off\":11"));
+        assert!(lines[2].ends_with("\"offloaded\":true}"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn events_are_stamped_with_virtual_time() {
+        use catfish_simnet::{sleep, Sim, SimDuration};
+        let sim = Sim::new();
+        sim.run_until(async {
+            let log = AdaptiveEventLog::new();
+            log.emit(AdaptiveEvent::BusyReset);
+            sleep(SimDuration::from_micros(9)).await;
+            log.emit(AdaptiveEvent::BusyReset);
+            let events = log.snapshot();
+            assert_eq!(
+                events[1].t.saturating_duration_since(events[0].t),
+                SimDuration::from_micros(9)
+            );
+        });
+    }
+}

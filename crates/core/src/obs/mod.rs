@@ -1,0 +1,27 @@
+//! Observability: phase-level span tracing, streaming latency
+//! histograms, adaptive-decision event timelines, and metrics
+//! exposition.
+//!
+//! The module splits along the four concerns of the observability layer:
+//!
+//! * [`hist`] — [`LatencyHistogram`], the fixed-footprint log-bucketed
+//!   recorder behind every distribution here;
+//! * [`span`] — [`Phase`] taxonomy and the [`TraceSink`] handle threaded
+//!   through `ServiceClient`/`ServiceServer`/ring endpoints (no-op when
+//!   the `trace` feature is off);
+//! * [`events`] — [`AdaptiveEventLog`], the structured Algorithm 1
+//!   decision timeline;
+//! * [`registry`] — [`MetricsRegistry`], snapshotting everything to
+//!   Prometheus text and JSONL.
+//!
+//! See `DESIGN.md §11` for the span taxonomy and bucketing scheme.
+
+pub mod events;
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use events::{AdaptiveEvent, AdaptiveEventLog, AdaptiveEventRecord};
+pub use hist::LatencyHistogram;
+pub use registry::{Metric, MetricValue, MetricsRegistry};
+pub use span::{Phase, PhaseSummary, SpanStart, TraceSink, N_PHASES};

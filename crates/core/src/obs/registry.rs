@@ -1,0 +1,296 @@
+//! Metrics exposition: snapshotting counters, gauges, and histograms to
+//! Prometheus text format and JSONL.
+//!
+//! A [`MetricsRegistry`] is a write-once snapshot, not a live registry:
+//! the harness builds one from a finished
+//! [`RunResult`](crate::harness::RunResult) (`RunResult::metrics`) and
+//! bench binaries dump it behind
+//! `--metrics-out BASE`, producing `BASE.prom` (Prometheus text
+//! exposition format 0.0.4) and `BASE.jsonl` (one metric per line).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use super::hist::LatencyHistogram;
+
+/// A metric value: monotonic counter, instantaneous gauge, or latency
+/// histogram.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Point-in-time measurement (utilization, throughput, ...).
+    Gauge(f64),
+    /// A latency distribution (exposed in seconds, Prometheus-style).
+    /// Boxed: the histogram's fixed 2 KB of buckets would otherwise
+    /// dominate every variant of the enum.
+    Histogram(Box<LatencyHistogram>),
+}
+
+/// One named metric with help text.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric name (`snake_case`, no catfish_ prefix required — the
+    /// exposition methods add none).
+    pub name: String,
+    /// One-line description emitted as `# HELP`.
+    pub help: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metrics ready for exposition.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: MetricValue::Counter(value),
+        });
+        self
+    }
+
+    /// Adds a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: MetricValue::Gauge(value),
+        });
+        self
+    }
+
+    /// Adds a histogram snapshot.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &LatencyHistogram) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            value: MetricValue::Histogram(Box::new(hist.clone())),
+        });
+        self
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metrics were registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The registered metrics, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    ///
+    /// Histograms become cumulative `_bucket{le="..."}` series over the
+    /// non-empty log-linear buckets (upper edges in **seconds**), plus
+    /// `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {} counter", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                    let mut cumulative = 0u64;
+                    for (_, high_ns, count) in h.nonzero_buckets() {
+                        cumulative += count;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {}",
+                            m.name,
+                            fmt_f64(high_ns as f64 * 1e-9),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.len());
+                    let _ = writeln!(
+                        out,
+                        "{}_sum {}",
+                        m.name,
+                        fmt_f64(h.sum_nanos() as f64 * 1e-9)
+                    );
+                    let _ = writeln!(out, "{}_count {}", m.name, h.len());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as JSONL: one metric object per line.
+    /// Histogram lines carry the summary percentiles (nanoseconds) and
+    /// the non-empty buckets.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"counter\",\"value\":{}}}",
+                        m.name, v
+                    );
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"gauge\",\"value\":{}}}",
+                        m.name,
+                        fmt_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let s = h.summary();
+                    let mut buckets = String::new();
+                    for (low, high, count) in h.nonzero_buckets() {
+                        if !buckets.is_empty() {
+                            buckets.push(',');
+                        }
+                        let _ = write!(buckets, "[{low},{high},{count}]");
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"histogram\",\"count\":{},\
+                         \"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\
+                         \"p999_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}",
+                        m.name,
+                        s.count,
+                        s.mean.as_nanos(),
+                        s.p50.as_nanos(),
+                        s.p90.as_nanos(),
+                        s.p99.as_nanos(),
+                        s.p999.as_nanos(),
+                        s.max.as_nanos(),
+                        buckets
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes `<base>.prom` and `<base>.jsonl` next to each other.
+    /// Returns the two paths written.
+    pub fn write_files(&self, base: &str) -> io::Result<(String, String)> {
+        let prom = format!("{base}.prom");
+        let jsonl = format!("{base}.jsonl");
+        std::fs::write(Path::new(&prom), self.to_prometheus())?;
+        std::fs::write(Path::new(&jsonl), self.to_jsonl())?;
+        Ok((prom, jsonl))
+    }
+}
+
+/// Formats an f64 without scientific notation surprises: plain decimal,
+/// trimmed trailing zeros (Prometheus accepts any float syntax, but the
+/// output stays grep-friendly).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        let s = format!("{v:.9}");
+        let s = s.trim_end_matches('0');
+        let s = s.strip_suffix('.').unwrap_or(s);
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catfish_simnet::SimDuration;
+
+    #[test]
+    fn prometheus_counter_and_gauge_lines() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("catfish_requests_total", "Completed requests.", 42)
+            .gauge("catfish_server_cpu", "Mean server CPU utilization.", 0.25);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE catfish_requests_total counter"));
+        assert!(text.contains("catfish_requests_total 42"));
+        assert!(text.contains("# TYPE catfish_server_cpu gauge"));
+        assert!(text.contains("catfish_server_cpu 0.25"));
+        assert!(text.contains("# HELP catfish_requests_total Completed requests."));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_and_ends_at_inf() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_millis(1));
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("catfish_latency_seconds", "Op latency.", &h);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE catfish_latency_seconds histogram"));
+        assert!(text.contains("catfish_latency_seconds_count 3"));
+        assert!(text.contains("catfish_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        // Bucket counts are cumulative: the 10us bucket holds 2, the
+        // 1ms bucket line reads 3.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket{le=") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts, vec![2, 3]);
+    }
+
+    #[test]
+    fn jsonl_one_line_per_metric() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(5));
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a_total", "A.", 1)
+            .gauge("b", "B.", 1.5)
+            .histogram("c_ns", "C.", &h);
+        let jsonl = reg.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"counter\""));
+        assert!(lines[1].contains("\"value\":1.5"));
+        assert!(lines[2].contains("\"type\":\"histogram\""));
+        assert!(lines[2].contains("\"count\":1"));
+        assert!(lines[2].contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn write_files_produces_both_formats() {
+        let dir = std::env::temp_dir().join("catfish_obs_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("run").to_string_lossy().into_owned();
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x_total", "X.", 7);
+        let (prom, jsonl) = reg.write_files(&base).unwrap();
+        assert!(std::fs::read_to_string(&prom)
+            .unwrap()
+            .contains("x_total 7"));
+        assert!(std::fs::read_to_string(&jsonl)
+            .unwrap()
+            .contains("\"name\":\"x_total\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -32,11 +32,15 @@
 //! split into capacity-bounded posts.
 
 use std::cell::Cell;
+#[cfg(feature = "trace")]
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use catfish_rdma::{CompletionQueue, MemoryRegion, QueuePair};
 use catfish_simnet::sync::Semaphore;
 use catfish_simnet::{select2, sleep, Either, SimDuration, SimTime};
+
+use crate::obs::{Phase, TraceSink};
 
 /// Length word marking a wrap to offset 0.
 const WRAP_MARKER: u32 = u32::MAX;
@@ -58,6 +62,9 @@ struct SenderShared {
     /// Set when the receiving peer departs; senders drop messages instead
     /// of writing into a ring nobody will ever drain.
     closed: Rc<Cell<bool>>,
+    /// Span sink + phase each send is attributed to (None: untraced).
+    #[cfg(feature = "trace")]
+    trace: RefCell<Option<(TraceSink, Phase)>>,
 }
 
 /// A handle that marks a ring direction's receiver as departed. Cloned
@@ -134,8 +141,34 @@ impl RingSender {
                 processed_cell,
                 lock: Semaphore::new(1),
                 closed: Rc::new(Cell::new(false)),
+                #[cfg(feature = "trace")]
+                trace: RefCell::new(None),
             }),
         }
+    }
+
+    /// Attributes each send's elapsed virtual time — lock wait, ring
+    /// reservation (including full-ring backpressure), and the doorbell
+    /// write through to remote delivery — to `phase` in `sink`. No-op
+    /// when the `trace` feature is disabled.
+    pub fn set_trace(&self, sink: TraceSink, phase: Phase) {
+        #[cfg(feature = "trace")]
+        {
+            *self.shared.trace.borrow_mut() = Some((sink, phase));
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (sink, phase);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn span_begin(&self) -> Option<(TraceSink, Phase, crate::obs::SpanStart)> {
+        self.shared
+            .trace
+            .borrow()
+            .as_ref()
+            .map(|(s, p)| (s.clone(), *p, s.begin()))
     }
 
     /// A handle for marking this direction's receiver as departed.
@@ -184,12 +217,18 @@ impl RingSender {
         if s.closed.get() {
             return false;
         }
+        #[cfg(feature = "trace")]
+        let span = self.span_begin();
         let _guard = s.lock.acquire().await;
         let mut frame = Vec::with_capacity(total as usize);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(payload);
         frame.resize(total as usize, 0);
         self.post(&frame, imm).await;
+        #[cfg(feature = "trace")]
+        if let Some((sink, phase, start)) = span {
+            sink.end(phase, start);
+        }
         true
     }
 
@@ -216,6 +255,8 @@ impl RingSender {
         if s.closed.get() {
             return 0;
         }
+        #[cfg(feature = "trace")]
+        let span = self.span_begin();
         let _guard = s.lock.acquire().await;
         let mut doorbells = 0usize;
         let mut group: Vec<u8> = Vec::new();
@@ -239,6 +280,10 @@ impl RingSender {
         if !group.is_empty() {
             self.post(&group, imm).await;
             doorbells += 1;
+        }
+        #[cfg(feature = "trace")]
+        if let Some((sink, phase, start)) = span {
+            sink.end(phase, start);
         }
         doorbells
     }
@@ -287,6 +332,13 @@ struct ReceiverShared {
     qp: QueuePair,
     cell_rkey: u32,
     cq: CompletionQueue,
+    /// Span sink + phase queue-time is attributed to (None: untraced).
+    #[cfg(feature = "trace")]
+    trace: RefCell<Option<(TraceSink, Phase)>>,
+    /// Delivery instant of the completion the receiver last woke on,
+    /// consumed by the next successful `try_pop` to measure queue time.
+    #[cfg(feature = "trace")]
+    pending_at: Cell<Option<SimTime>>,
 }
 
 /// The receiving half of one ring direction.
@@ -319,7 +371,48 @@ impl RingReceiver {
                 qp,
                 cell_rkey,
                 cq,
+                #[cfg(feature = "trace")]
+                trace: RefCell::new(None),
+                #[cfg(feature = "trace")]
+                pending_at: Cell::new(None),
             }),
+        }
+    }
+
+    /// Attributes each delivered doorbell's queue time — NIC delivery
+    /// instant (`Completion.at`) to the pop that retrieves it — to
+    /// `phase` in `sink`. One span per doorbell, so a batched group of
+    /// frames counts once. No-op when the `trace` feature is disabled.
+    pub fn set_trace(&self, sink: TraceSink, phase: Phase) {
+        #[cfg(feature = "trace")]
+        {
+            *self.shared.trace.borrow_mut() = Some((sink, phase));
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (sink, phase);
+        }
+    }
+
+    /// Records queue time for a successful pop: prefers the delivery
+    /// instant stashed by the event wait, else drains one completion from
+    /// the CQ (the pure-polling path). When several doorbells are queued
+    /// the completion popped may belong to an earlier doorbell than the
+    /// frame — queue-time attribution is approximate under backlog.
+    #[cfg(feature = "trace")]
+    fn note_arrival(&self) {
+        let s = &*self.shared;
+        let trace = s.trace.borrow();
+        let Some((sink, phase)) = trace.as_ref() else {
+            return;
+        };
+        let delivered = s
+            .pending_at
+            .take()
+            .or_else(|| s.cq.try_poll().map(|c| c.at));
+        if let Some(at) = delivered {
+            let now = catfish_simnet::try_now().unwrap_or(at);
+            sink.record(*phase, now.saturating_duration_since(at));
         }
     }
 
@@ -350,6 +443,8 @@ impl RingReceiver {
             // message after wrap-around.
             s.ring.write_local(pos, &vec![0u8; total as usize]);
             self.consume(head, total);
+            #[cfg(feature = "trace")]
+            self.note_arrival();
             return Some(payload);
         }
     }
@@ -398,7 +493,11 @@ impl RingReceiver {
                 return m;
             }
             self.flush_writeback();
-            self.shared.cq.wait().await;
+            let completion = self.shared.cq.wait().await;
+            #[cfg(feature = "trace")]
+            self.shared.pending_at.set(Some(completion.at));
+            #[cfg(not(feature = "trace"))]
+            let _ = completion;
         }
     }
 
@@ -416,7 +515,11 @@ impl RingReceiver {
             let wait = Box::pin(self.shared.cq.wait());
             let timer = Box::pin(catfish_simnet::sleep_until(deadline));
             match select2(wait, timer).await {
-                Either::Left(_) => continue,
+                Either::Left(_completion) => {
+                    #[cfg(feature = "trace")]
+                    self.shared.pending_at.set(Some(_completion.at));
+                    continue;
+                }
                 Either::Right(()) => return None,
             }
         }

@@ -12,6 +12,7 @@ use catfish_simnet::{now, sleep, spawn, CpuPool, SimDuration, SimTime};
 use crate::adaptive::AdaptiveState;
 use crate::config::{AccessMode, ClientConfig};
 use crate::conn::ClientChannel;
+use crate::obs::{Phase, TraceSink};
 use crate::stats::ServiceStats;
 
 use super::{
@@ -47,6 +48,7 @@ pub struct ServiceClient<B: ClientBackend> {
     /// collapse in paper Fig. 7.
     pub(crate) poll_pool: Option<CpuPool>,
     pub(crate) stats: ServiceStats,
+    pub(crate) trace: TraceSink,
 }
 
 impl<B: ClientBackend> std::fmt::Debug for ServiceClient<B> {
@@ -81,7 +83,31 @@ impl<B: ClientBackend> ServiceClient<B> {
             node_cache: HashMap::new(),
             poll_pool: None,
             stats: ServiceStats::default(),
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Routes this client's phase spans into `sink`: the request ring
+    /// sender reports [`Phase::RingEnqueue`], and the client itself
+    /// reports [`Phase::CqWait`], [`Phase::MetaRead`],
+    /// [`Phase::OffloadRead`], and [`Phase::OffloadRetry`]. With the
+    /// `trace` feature disabled this wires nothing.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.ch.tx.set_trace(sink.clone(), Phase::RingEnqueue);
+        self.trace = sink;
+        self
+    }
+
+    /// The sink this client's spans go to (a fresh untraced sink unless
+    /// [`ServiceClient::with_trace`] was used).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Emits this client's Algorithm 1 decision steps into `log`
+    /// (see [`crate::obs::AdaptiveEventLog`]).
+    pub fn set_adaptive_event_log(&mut self, log: crate::obs::AdaptiveEventLog) {
+        self.adaptive.set_event_log(log);
     }
 
     /// Switches response detection to busy-polling on a core of `pool`
@@ -172,6 +198,9 @@ impl<B: ClientBackend> ServiceClient<B> {
         self.seq += 1;
         let seq = self.seq;
         self.ch.tx.send(&B::Wire::encode(&build(seq)), seq).await;
+        // CqWait: request delivered until the END frame is in hand —
+        // everything the client spends blocked on the response path.
+        let wait_span = self.trace.begin();
         let mut out = Vec::new();
         loop {
             let bytes = self.recv_ring_message().await;
@@ -187,6 +216,7 @@ impl<B: ClientBackend> ServiceClient<B> {
                     status,
                 } if s == seq => {
                     out.extend(items);
+                    self.trace.end(Phase::CqWait, wait_span);
                     return (status, out);
                 }
                 _ => {}
@@ -257,6 +287,7 @@ impl<B: ClientBackend> ServiceClient<B> {
                     .send(&B::Wire::encode(&B::Wire::batch(msgs)), first_seq)
                     .await;
             }
+            let wait_span = self.trace.begin();
             let mut pending: HashMap<u32, usize> =
                 seqs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
             let mut bufs: Vec<Vec<WireItem<B>>> = vec![Vec::new(); chunk];
@@ -282,6 +313,7 @@ impl<B: ClientBackend> ServiceClient<B> {
                     _ => {}
                 }
             }
+            self.trace.end(Phase::CqWait, wait_span);
             est_per_op = Some(now().saturating_duration_since(started) / chunk as u64);
             out.extend(bufs);
             next += chunk;
@@ -314,17 +346,34 @@ impl<B: ClientBackend> ServiceClient<B> {
     /// inconsistent attempts the index is churning faster than we can
     /// traverse it; fall back to the server's consistent view.
     pub(crate) async fn offload_read(&mut self, read: &B::Read) -> Vec<WireItem<B>> {
+        // OffloadRead spans the whole traversal including restarts;
+        // OffloadRetry spans only from the first failure onward, so
+        // (OffloadRead − OffloadRetry) is the cost of a clean attempt.
+        let total_span = self.trace.begin();
+        let mut retry_span = total_span;
         let mut attempts = 0u32;
         loop {
             match self.offload_attempt(read).await {
-                Ok(items) => return items,
+                Ok(items) => {
+                    if attempts > 0 {
+                        self.trace.end(Phase::OffloadRetry, retry_span);
+                    }
+                    self.trace.end(Phase::OffloadRead, total_span);
+                    return items;
+                }
                 Err(Inconsistent) => {
                     self.stats.offload_restarts += 1;
                     self.meta_cache = None;
                     self.node_cache.clear();
                     attempts += 1;
+                    if attempts == 1 {
+                        retry_span = self.trace.begin();
+                    }
                     if attempts >= 8 {
-                        return self.fast_read(read).await;
+                        let items = self.fast_read(read).await;
+                        self.trace.end(Phase::OffloadRetry, retry_span);
+                        self.trace.end(Phase::OffloadRead, total_span);
+                        return items;
                     }
                 }
             }
@@ -549,6 +598,7 @@ impl<B: ClientBackend> ServiceClient<B> {
     /// Reads chunk 0 unconditionally (bypassing the cached copy) and
     /// refreshes the cache — the traversal validation path.
     pub(crate) async fn refresh_meta(&mut self) -> TreeMeta {
+        let span = self.trace.begin();
         loop {
             let bytes = self
                 .ch
@@ -560,6 +610,7 @@ impl<B: ClientBackend> ServiceClient<B> {
                 Ok((m, _)) => {
                     self.stats.meta_refreshes += 1;
                     self.meta_cache = Some((m, now()));
+                    self.trace.end(Phase::MetaRead, span);
                     return m;
                 }
                 Err(CodecError::TornRead { .. }) => {

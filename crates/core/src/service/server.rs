@@ -30,6 +30,7 @@ use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration};
 
 use crate::config::{ServerConfig, ServerMode};
 use crate::conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
+use crate::obs::{Phase, TraceSink};
 use crate::ring::RingSender;
 use crate::stats::ServiceStats;
 use crate::store::MrMemory;
@@ -48,6 +49,7 @@ struct ServerInner<B: IndexBackend> {
     heartbeat_targets: RefCell<Vec<RingSender>>,
     stats: RefCell<ServiceStats>,
     tcp: RefCell<Option<TcpEndpoint>>,
+    trace: RefCell<TraceSink>,
 }
 
 /// A Catfish server over any [`IndexBackend`]. Cloneable handle; spawned
@@ -113,8 +115,19 @@ impl<B: IndexBackend> ServiceServer<B> {
                 heartbeat_targets: RefCell::new(Vec::new()),
                 stats: RefCell::new(ServiceStats::default()),
                 tcp: RefCell::new(None),
+                trace: RefCell::new(TraceSink::default()),
             }),
         }
+    }
+
+    /// Routes the server's phase spans into `sink`:
+    /// [`Phase::ServerQueue`] (NIC delivery to worker pickup, reported by
+    /// the ring receivers), [`Phase::Dispatch`], [`Phase::IndexExec`],
+    /// and [`Phase::RespTransit`]. Call **before** [`ServiceServer::accept`]
+    /// — already-accepted connections keep their receivers untraced. With
+    /// the `trace` feature disabled this wires nothing.
+    pub fn set_trace(&self, sink: TraceSink) {
+        *self.inner.trace.borrow_mut() = sink;
     }
 
     /// The server's RDMA endpoint.
@@ -168,6 +181,8 @@ impl<B: IndexBackend> ServiceServer<B> {
             .heartbeat_targets
             .borrow_mut()
             .push(sc.tx.clone());
+        sc.rx
+            .set_trace(self.inner.trace.borrow().clone(), Phase::ServerQueue);
         let this = self.clone();
         spawn(async move {
             match this.inner.cfg.mode {
@@ -291,6 +306,8 @@ impl<B: IndexBackend> ServiceServer<B> {
     /// the ring workers and the TCP baseline; only the response transport
     /// differs between them.
     async fn process(&self, bytes: &[u8], holding_core: bool) -> Vec<Execution<B::Wire>> {
+        let trace = self.inner.trace.borrow().clone();
+        let dispatch_span = trace.begin();
         // A malformed request is dropped (a real server would close the
         // connection) and counted so operators can see it happening.
         let msg = match B::Wire::decode(bytes) {
@@ -302,6 +319,8 @@ impl<B: IndexBackend> ServiceServer<B> {
         };
         self.charge(self.inner.cfg.cost.dispatch, holding_core)
             .await;
+        trace.end(Phase::Dispatch, dispatch_span);
+        let exec_span = trace.begin();
         let msgs = match B::Wire::classify(msg) {
             Incoming::Batch(msgs) => msgs,
             Incoming::Request(m) => vec![m],
@@ -336,6 +355,7 @@ impl<B: IndexBackend> ServiceServer<B> {
             }
             execs.push(exec);
         }
+        trace.end(Phase::IndexExec, exec_span);
         execs
     }
 
@@ -351,6 +371,10 @@ impl<B: IndexBackend> ServiceServer<B> {
         if execs.is_empty() {
             return;
         }
+        // RespTransit: post charge through last ring write of the group —
+        // ends inside the spawned sender so transit time is included.
+        let trace = self.inner.trace.borrow().clone();
+        let transit_span = trace.begin();
         let seg = self.inner.cfg.response_segment_results;
         let mut frames: Vec<Vec<u8>> = Vec::new();
         for exec in execs {
@@ -376,6 +400,7 @@ impl<B: IndexBackend> ServiceServer<B> {
             for group in frames.chunks(max_batch) {
                 tx.send_batch(group, 0).await;
             }
+            trace.end(Phase::RespTransit, transit_span);
         });
     }
 

@@ -115,11 +115,17 @@ impl fmt::Display for ServiceStats {
     }
 }
 
-/// Collects individual operation latencies and summarizes them.
+/// Collects individual operation latencies exactly and summarizes them.
+///
+/// **Deprecated in spirit** (kept for compatibility and as the exactness
+/// oracle in tests): this recorder stores every sample in an unbounded
+/// `Vec` and sorts to summarize. Prefer
+/// [`LatencyHistogram`](crate::obs::LatencyHistogram), the fixed-footprint
+/// streaming recorder the harness and bench binaries now use — it records
+/// in O(1), merges in O(buckets), and summarizes without cloning.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     samples: Vec<u64>,
-    sorted: bool,
 }
 
 impl LatencyRecorder {
@@ -131,7 +137,6 @@ impl LatencyRecorder {
     /// Records one latency sample.
     pub fn record(&mut self, latency: SimDuration) {
         self.samples.push(latency.as_nanos());
-        self.sorted = false;
     }
 
     /// Number of samples.
@@ -147,32 +152,34 @@ impl LatencyRecorder {
     /// Merges another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
     }
 
-    /// Computes the summary (sorts internally on first call).
-    pub fn summary(&mut self) -> LatencySummary {
+    /// Computes the exact summary. Takes `&self`: summarizing works on a
+    /// sorted copy instead of reordering the recorder in place (the old
+    /// `&mut self` signature forced callers to make result structs
+    /// mutable just to read percentiles).
+    pub fn summary(&self) -> LatencySummary {
         if self.samples.is_empty() {
             return LatencySummary::default();
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let n = self.samples.len();
-        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let sum: u128 = sorted.iter().map(|&s| s as u128).sum();
         let q = |p: f64| -> SimDuration {
             let idx = ((n as f64 - 1.0) * p).floor() as usize;
-            SimDuration::from_nanos(self.samples[idx])
+            SimDuration::from_nanos(sorted[idx])
         };
         LatencySummary {
             count: n,
             mean: SimDuration::from_nanos((sum / n as u128) as u64),
             p50: q(0.50),
+            p90: q(0.90),
             p95: q(0.95),
             p99: q(0.99),
-            min: SimDuration::from_nanos(self.samples[0]),
-            max: SimDuration::from_nanos(self.samples[n - 1]),
+            p999: q(0.999),
+            min: SimDuration::from_nanos(sorted[0]),
+            max: SimDuration::from_nanos(sorted[n - 1]),
         }
     }
 }
@@ -186,10 +193,14 @@ pub struct LatencySummary {
     pub mean: SimDuration,
     /// Median.
     pub p50: SimDuration,
+    /// 90th percentile.
+    pub p90: SimDuration,
     /// 95th percentile.
     pub p95: SimDuration,
     /// 99th percentile.
     pub p99: SimDuration,
+    /// 99.9th percentile.
+    pub p999: SimDuration,
     /// Minimum.
     pub min: SimDuration,
     /// Maximum.
@@ -200,8 +211,8 @@ impl std::fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "mean {} p50 {} p95 {} p99 {} max {} (n={})",
-            self.mean, self.p50, self.p95, self.p99, self.max, self.count
+            "mean {} p50 {} p90 {} p95 {} p99 {} p999 {} max {} (n={})",
+            self.mean, self.p50, self.p90, self.p95, self.p99, self.p999, self.max, self.count
         )
     }
 }
@@ -212,7 +223,7 @@ mod tests {
 
     #[test]
     fn empty_summary_is_zero() {
-        let mut r = LatencyRecorder::new();
+        let r = LatencyRecorder::new();
         assert!(r.is_empty());
         assert_eq!(r.summary(), LatencySummary::default());
     }
@@ -245,12 +256,14 @@ mod tests {
     }
 
     #[test]
-    fn recording_after_summary_resorts() {
+    fn summary_does_not_disturb_the_recorder() {
         let mut r = LatencyRecorder::new();
         r.record(SimDuration::from_micros(5));
-        let _ = r.summary();
+        let first = r.summary();
         r.record(SimDuration::from_micros(1));
+        assert_eq!(first.min, SimDuration::from_micros(5));
         assert_eq!(r.summary().min, SimDuration::from_micros(1));
+        assert_eq!(r.summary().max, SimDuration::from_micros(5));
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod cpu;
 mod executor;
 mod net;
 mod select;
+mod stopwatch;
 pub mod sync;
 mod time;
 mod timeout;
@@ -58,5 +59,6 @@ pub use executor::{
 };
 pub use net::{LinkSpec, Network, NodeId, Traffic};
 pub use select::{select2, Either, Select2};
+pub use stopwatch::Stopwatch;
 pub use time::{SimDuration, SimTime};
 pub use timeout::timeout;

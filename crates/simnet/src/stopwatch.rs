@@ -1,0 +1,103 @@
+//! Monotonic span-clock helpers for instrumentation.
+//!
+//! Observability layers want to bracket regions of simulated work without
+//! caring whether they run inside a simulation (`now()` available) or in a
+//! plain unit test (no executor). [`Stopwatch`] captures the virtual clock
+//! at construction and measures elapsed virtual time on demand, degrading
+//! to zero spans outside a simulation instead of panicking.
+
+use crate::executor::try_now;
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonic virtual-time stopwatch.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_simnet::{sleep, SimDuration, Sim, Stopwatch};
+///
+/// let sim = Sim::new();
+/// sim.run_until(async {
+///     let sw = Stopwatch::start();
+///     sleep(SimDuration::from_micros(5)).await;
+///     assert_eq!(sw.elapsed(), SimDuration::from_micros(5));
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stopwatch {
+    start: SimTime,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current virtual instant (or the epoch
+    /// when called outside a simulation).
+    pub fn start() -> Self {
+        Stopwatch {
+            start: try_now().unwrap_or(SimTime::ZERO),
+        }
+    }
+
+    /// The instant the stopwatch was started (or last lapped).
+    pub fn started_at(&self) -> SimTime {
+        self.start
+    }
+
+    /// Virtual time elapsed since start. Outside a simulation, or if the
+    /// clock has not advanced, this is zero — never a panic.
+    pub fn elapsed(&self) -> SimDuration {
+        try_now()
+            .unwrap_or(SimTime::ZERO)
+            .saturating_duration_since(self.start)
+    }
+
+    /// Returns the elapsed span and restarts the stopwatch at the current
+    /// instant — for measuring consecutive phases back to back.
+    pub fn lap(&mut self) -> SimDuration {
+        let t = try_now().unwrap_or(SimTime::ZERO);
+        let span = t.saturating_duration_since(self.start);
+        self.start = t;
+        span
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{sleep, Sim};
+
+    #[test]
+    fn elapsed_tracks_virtual_time() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let sw = Stopwatch::start();
+            sleep(SimDuration::from_micros(3)).await;
+            assert_eq!(sw.elapsed(), SimDuration::from_micros(3));
+            sleep(SimDuration::from_micros(2)).await;
+            assert_eq!(sw.elapsed(), SimDuration::from_micros(5));
+        });
+    }
+
+    #[test]
+    fn lap_restarts_the_clock() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut sw = Stopwatch::start();
+            sleep(SimDuration::from_micros(3)).await;
+            assert_eq!(sw.lap(), SimDuration::from_micros(3));
+            sleep(SimDuration::from_micros(4)).await;
+            assert_eq!(sw.lap(), SimDuration::from_micros(4));
+        });
+    }
+
+    #[test]
+    fn outside_a_sim_spans_are_zero() {
+        let sw = Stopwatch::start();
+        assert_eq!(sw.elapsed(), SimDuration::ZERO);
+    }
+}
