@@ -28,11 +28,11 @@ fn bench_ring_round_trips(c: &mut Criterion) {
                     let echo = catfish_simnet::spawn(async move {
                         for _ in 0..msgs {
                             let m = sc.rx.wait_message().await;
-                            sc.tx.send(&m, 0).await;
+                            sc.tx.send(&m, 0).await.unwrap();
                         }
                     });
                     for i in 0..msgs {
-                        cc.tx.send(&vec![0u8; 64 + (i % 128)], 0).await;
+                        cc.tx.send(&vec![0u8; 64 + (i % 128)], 0).await.unwrap();
                         cc.rx.wait_message().await;
                     }
                     echo.await;

@@ -32,7 +32,7 @@ fn main() {
             ),
             None => (Scheme::Catfish, None),
         };
-        let spec = ExperimentSpec {
+        let mut spec = ExperimentSpec {
             profile: profile::infiniband_100g(),
             scheme,
             client_config,
@@ -48,6 +48,7 @@ fn main() {
             seed: args.seed,
             ..ExperimentSpec::default()
         };
+        args.apply_faults(&mut spec);
         let r = timed(label, || run_experiment(&spec));
         println!(
             "{:<28} {:>9.1} Kops  mean {:>10}  offloaded {:>5.1}%",
@@ -100,7 +101,7 @@ fn main() {
         ("always fast messaging", AccessMode::FastMessaging),
         ("always offloading", AccessMode::Offloading),
     ] {
-        let spec = ExperimentSpec {
+        let mut spec = ExperimentSpec {
             profile: profile::infiniband_100g(),
             scheme: Scheme::Catfish,
             client_config: Some(ClientConfig {
@@ -116,6 +117,7 @@ fn main() {
             seed: args.seed,
             ..ExperimentSpec::default()
         };
+        args.apply_faults(&mut spec);
         let r = timed(label, || run_experiment(&spec));
         println!(
             "{:<28} {:>9.1} Kops  mean {:>10}",

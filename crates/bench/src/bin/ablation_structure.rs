@@ -26,7 +26,7 @@ fn main() {
     );
     for m in [16usize, 32, 88, 176] {
         let layout = ChunkLayout::for_max_entries(m);
-        let spec = ExperimentSpec {
+        let mut spec = ExperimentSpec {
             profile: profile::infiniband_100g(),
             scheme: Scheme::RdmaOffloading,
             client_config: Some(ClientConfig {
@@ -42,6 +42,7 @@ fn main() {
             seed: args.seed,
             ..ExperimentSpec::default()
         };
+        args.apply_faults(&mut spec);
         let r = timed(&format!("fanout {m}"), || run_experiment(&spec));
         // Height from a local rebuild (cheap relative to the run).
         let height = catfish_rtree::bulk_load(
@@ -66,7 +67,7 @@ fn main() {
         "levels", "offload Kops", "offload mean", "cache hits"
     );
     for cache_levels in [0u32, 1, 2, 3] {
-        let spec = ExperimentSpec {
+        let mut spec = ExperimentSpec {
             profile: profile::infiniband_100g(),
             scheme: Scheme::RdmaOffloading,
             client_config: Some(ClientConfig {
@@ -83,6 +84,7 @@ fn main() {
             seed: args.seed,
             ..ExperimentSpec::default()
         };
+        args.apply_faults(&mut spec);
         let r = timed(&format!("cache {cache_levels}"), || run_experiment(&spec));
         println!(
             "{:>8} {:>14.1} {:>14} {:>12}",
@@ -96,7 +98,7 @@ fn main() {
     println!("\n-- ring buffer capacity (fast messaging, 64 clients) --");
     println!("{:>12} {:>14} {:>14}", "ring", "FM Kops", "FM mean");
     for kb in [16usize, 64, 256, 1024] {
-        let spec = ExperimentSpec {
+        let mut spec = ExperimentSpec {
             profile: profile::infiniband_100g(),
             scheme: Scheme::FastMessaging,
             server_mode: Some(catfish_core::config::ServerMode::EventDriven),
@@ -112,6 +114,7 @@ fn main() {
             seed: args.seed,
             ..ExperimentSpec::default()
         };
+        args.apply_faults(&mut spec);
         let r = timed(&format!("ring {kb}KB"), || run_experiment(&spec));
         println!(
             "{:>10}KB {:>14.1} {:>14}",

@@ -17,7 +17,7 @@ fn main() {
         "Adaptive dynamics",
         "server CPU% and bandwidth over time while Algorithm 1 converges",
     );
-    let spec = ExperimentSpec {
+    let mut spec = ExperimentSpec {
         profile: profile::infiniband_100g(),
         scheme: Scheme::Catfish,
         clients: 128,
@@ -29,6 +29,7 @@ fn main() {
         collect_adaptive_events: true,
         ..ExperimentSpec::default()
     };
+    args.apply_faults(&mut spec);
     let r = run_experiment(&spec);
     println!(
         "run: {} over {} ({} fast / {} offloaded)\n",

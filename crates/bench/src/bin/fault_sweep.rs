@@ -1,0 +1,395 @@
+//! Chaos harness: sweeps injected fault rates (RDMA write loss, worker
+//! stalls, heartbeat suppression, payload corruption) over an insert-heavy
+//! workload and checks the exactly-once contract — every acknowledged
+//! insert is in the tree exactly once, no matter how many frames were
+//! dropped, duplicated, corrupted, or discarded by a crashing worker.
+//!
+//! Each client inserts rectangles tagged with globally unique ids, so a
+//! duplicated (non-idempotent) retry would be visible as the same id
+//! appearing twice in a server-side search. After the workload joins, the
+//! harness searches the server's tree for every inserted id and counts
+//! occurrences: `lost` (0 hits) and `duplicated` (>1 hits) must both be
+//! zero in every cell.
+//!
+//! Emits `BENCH_faults.json` with the fault-rate → p99 / retransmission
+//! curve (see EXPERIMENTS.md). A virtual-time watchdog panics if a cell
+//! wedges instead of recovering.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_bench::{banner, timed, BenchArgs};
+use catfish_core::config::{AccessMode, AdaptiveParams, ClientConfig, ServerConfig, ServerMode};
+use catfish_core::conn::RkeyAllocator;
+use catfish_core::obs::LatencyHistogram;
+use catfish_core::server::CatfishServer;
+use catfish_core::CatfishClient;
+use catfish_core::ServiceStats;
+use catfish_rdma::profile::infiniband_100g;
+use catfish_rdma::{Endpoint, FaultConfig, FaultCounters, FaultPlan, RdmaProfile};
+use catfish_rtree::{RTreeConfig, Rect};
+use catfish_simnet::{now, sleep, spawn, Network, Sim, SimDuration};
+
+/// Virtual-time budget per cell: a wedged run (a request loop that stops
+/// making progress but keeps arming timers) trips this instead of hanging.
+const WATCHDOG: SimDuration = SimDuration::from_secs(300);
+
+const CLIENTS: usize = 4;
+
+/// Ids far above the pre-loaded dataset so occurrence counting is exact.
+const ID_BASE: u64 = 10_000_000;
+
+struct Cell {
+    label: &'static str,
+    fault: FaultConfig,
+}
+
+#[derive(Debug)]
+struct CellResult {
+    label: String,
+    fault: FaultConfig,
+    ops: usize,
+    makespan: SimDuration,
+    hist: LatencyHistogram,
+    stats: ServiceStats,
+    injected: FaultCounters,
+    lost: usize,
+    duplicated: usize,
+}
+
+fn unique_rect(op: u64) -> Rect {
+    // A dense grid disjoint from itself (every op gets its own cell) but
+    // freely overlapping the pre-loaded dataset — occurrence counting
+    // keys on the unique id, not the rectangle.
+    let x = (op % 997) as f64 / 997.0 * 0.9;
+    let y = (op / 997) as f64 / 997.0 * 0.9;
+    Rect::new(x, y, x + 0.0004, y + 0.0004)
+}
+
+fn dataset(n: usize) -> Vec<(Rect, u64)> {
+    (0..n as u64)
+        .map(|i| {
+            let x = (i % 256) as f64 / 256.0;
+            let y = (i / 256) as f64 / 256.0 % 1.0;
+            (Rect::new(x, y, x + 0.003, y + 0.003), i)
+        })
+        .collect()
+}
+
+fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResult {
+    let sim = Sim::new();
+    let fault = cell.fault;
+    let seed = args.seed;
+    let timeout = SimDuration::from_micros(args.timeout_us.unwrap_or(500));
+    let max_retries = args.max_retries.unwrap_or(64);
+    let (makespan, hist, stats, injected, lost, duplicated) = sim.run_until(async move {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        // Fast heartbeats so the staleness failsafe (k intervals of
+        // silence) can trip inside a short chaos cell.
+        let hb_interval = SimDuration::from_millis(1);
+        let server = CatfishServer::build(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 4,
+                mode: ServerMode::EventDriven,
+                heartbeat_interval: hb_interval,
+                ..ServerConfig::default()
+            },
+            RTreeConfig::with_max_entries(88),
+            dataset(size),
+            &rkeys,
+        );
+        let plan = fault.is_active().then(|| FaultPlan::new(fault, seed));
+        if let Some(plan) = &plan {
+            server.endpoint().set_fault_plan(Some(plan.clone()));
+        }
+        server.start_heartbeats();
+        // Virtual-time watchdog: recovery must converge, not crawl.
+        spawn(async {
+            sleep(WATCHDOG).await;
+            panic!("fault_sweep cell wedged: no convergence within {WATCHDOG}");
+        });
+        let started = now();
+        let hist: Rc<RefCell<LatencyHistogram>> = Rc::default();
+        let stats: Rc<RefCell<ServiceStats>> = Rc::default();
+        let lost: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+            if let Some(plan) = &plan {
+                ep.set_fault_plan(Some(plan.clone()));
+            }
+            let ch = server.accept(&ep);
+            let mut client = CatfishClient::new(
+                ch,
+                server.remote_handle(),
+                ClientConfig {
+                    mode: AccessMode::Adaptive(AdaptiveParams {
+                        heartbeat_interval: hb_interval,
+                        ..AdaptiveParams::default()
+                    }),
+                    request_timeout: timeout,
+                    max_retries,
+                    ..ClientConfig::default()
+                },
+                seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let hist = Rc::clone(&hist);
+            let stats = Rc::clone(&stats);
+            let lost = Rc::clone(&lost);
+            handles.push(spawn(async move {
+                sleep(SimDuration::from_nanos(13_007 * c as u64)).await;
+                for i in 0..ops as u64 {
+                    let op = (c * ops) as u64 + i;
+                    let id = ID_BASE + op;
+                    let rect = unique_rect(op);
+                    let t0 = now();
+                    if !client.insert(rect, id).await {
+                        lost.borrow_mut().push(id);
+                    }
+                    hist.borrow_mut().record(now() - t0);
+                    // Every few inserts, read back an earlier one through
+                    // the ring so the read path rides the same chaos.
+                    if i % 8 == 7 {
+                        let back = ID_BASE + (c * ops) as u64 + i / 2;
+                        let q = unique_rect((c * ops) as u64 + i / 2);
+                        let got = client.search(&q).await;
+                        assert!(
+                            got.contains(&back),
+                            "cell read-back lost id {back} (client {c}, op {i})"
+                        );
+                    }
+                }
+                stats.borrow_mut().merge(&client.stats());
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+        let makespan = now() - started;
+        let mut st = stats.borrow().to_owned();
+        {
+            let ss = server.stats();
+            st.dup_drops += ss.dup_drops;
+            st.checksum_failures += ss.checksum_failures;
+            st.resyncs += ss.resyncs;
+        }
+        // Exactly-once audit over every op of every client.
+        let mut lost = lost.borrow().to_owned();
+        let mut duplicated = Vec::new();
+        for op in 0..(CLIENTS * ops) as u64 {
+            let id = ID_BASE + op;
+            let hits = server.with_index(|t| {
+                t.search(&unique_rect(op))
+                    .iter()
+                    .filter(|d| **d == id)
+                    .count()
+            });
+            match hits {
+                0 => lost.push(id),
+                1 => {}
+                _ => duplicated.push(id),
+            }
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        server.with_index(|t| t.check_invariants()).unwrap();
+        let injected = plan.map(|p| p.counters()).unwrap_or_default();
+        let hist = hist.borrow().to_owned();
+        (makespan, hist, st, injected, lost.len(), duplicated.len())
+    });
+    CellResult {
+        label: cell.label.to_string(),
+        fault: cell.fault,
+        ops: CLIENTS * ops,
+        makespan,
+        hist,
+        stats,
+        injected,
+        lost,
+        duplicated,
+    }
+}
+
+fn json_cell(r: &CellResult) -> String {
+    let s = r.hist.summary();
+    let us = |d: SimDuration| d.as_nanos() as f64 / 1e3;
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"loss\":{},\"hb_drop\":{},\"stall\":{},\"corrupt\":{},",
+            "\"dupe\":{},\"delay\":{},\"ops\":{},\"makespan_ms\":{:.3},",
+            "\"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},",
+            "\"timeouts\":{},\"retransmits\":{},\"dup_drops\":{},",
+            "\"checksum_failures\":{},\"resyncs\":{},\"stale_heartbeat_windows\":{},",
+            "\"injected\":{{\"writes_dropped\":{},\"completions_duplicated\":{},",
+            "\"writes_delayed\":{},\"frames_corrupted\":{},\"heartbeats_suppressed\":{},",
+            "\"stalls\":{}}},\"lost\":{},\"duplicated\":{},\"exactly_once\":{}}}"
+        ),
+        r.label,
+        r.fault.drop_write,
+        r.fault.suppress_heartbeat,
+        r.fault.stall,
+        r.fault.corrupt,
+        r.fault.duplicate,
+        r.fault.delay,
+        r.ops,
+        r.makespan.as_nanos() as f64 / 1e6,
+        us(s.mean),
+        us(s.p50),
+        us(s.p99),
+        r.stats.timeouts,
+        r.stats.retransmits,
+        r.stats.dup_drops,
+        r.stats.checksum_failures,
+        r.stats.resyncs,
+        r.stats.stale_heartbeat_windows,
+        r.injected.writes_dropped,
+        r.injected.completions_duplicated,
+        r.injected.writes_delayed,
+        r.injected.frames_corrupted,
+        r.injected.heartbeats_suppressed,
+        r.injected.stalls,
+        r.lost,
+        r.duplicated,
+        r.lost == 0 && r.duplicated == 0,
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Fault sweep",
+        "exactly-once under injected loss, stalls, and heartbeat suppression",
+    );
+    // Chaos cells are dominated by timeout recovery, not index scale;
+    // a moderate tree keeps the sweep fast without weakening the check.
+    let size = if args.paper {
+        args.size
+    } else {
+        args.size.min(50_000)
+    };
+    let ops = if args.paper {
+        args.requests
+    } else {
+        args.requests.min(150)
+    };
+    println!(
+        "dataset {size} rects, {CLIENTS} clients x {ops} inserts, timeout {} us, retries {}",
+        args.timeout_us.unwrap_or(500),
+        args.max_retries.unwrap_or(64),
+    );
+
+    let mut cells = vec![
+        Cell {
+            label: "baseline",
+            fault: FaultConfig::off(),
+        },
+        Cell {
+            label: "loss_1pct",
+            fault: FaultConfig {
+                drop_write: 0.01,
+                ..FaultConfig::off()
+            },
+        },
+        Cell {
+            label: "loss_5pct",
+            fault: FaultConfig {
+                drop_write: 0.05,
+                ..FaultConfig::off()
+            },
+        },
+        Cell {
+            label: "loss_10pct",
+            fault: FaultConfig {
+                drop_write: 0.10,
+                ..FaultConfig::off()
+            },
+        },
+        Cell {
+            label: "loss5_hb90",
+            fault: FaultConfig {
+                drop_write: 0.05,
+                suppress_heartbeat: 0.9,
+                ..FaultConfig::off()
+            },
+        },
+        Cell {
+            label: "chaos_mix",
+            fault: FaultConfig {
+                drop_write: 0.05,
+                suppress_heartbeat: 0.9,
+                stall: 0.01,
+                corrupt: 0.02,
+                duplicate: 0.02,
+                delay: 0.05,
+                ..FaultConfig::off()
+            },
+        },
+    ];
+    // Explicit knobs replace the built-in sweep with one custom cell.
+    if args.loss > 0.0 || args.stall > 0.0 || args.hb_drop > 0.0 {
+        cells = vec![Cell {
+            label: "custom",
+            fault: FaultConfig {
+                drop_write: args.loss,
+                stall: args.stall,
+                suppress_heartbeat: args.hb_drop,
+                ..FaultConfig::off()
+            },
+        }];
+    }
+
+    let mut results = Vec::new();
+    for cell in &cells {
+        let r = timed(cell.label, || run_cell(cell, &args, size, ops));
+        let s = r.hist.summary();
+        println!(
+            "{:<12} p50 {:>10} p99 {:>10}  timeouts {:>5}  retransmits {:>5}  dup_drops {:>4}  crc {:>4}  resyncs {:>4}  stale_hb {:>3}  lost {} dup {}",
+            r.label,
+            s.p50.to_string(),
+            s.p99.to_string(),
+            r.stats.timeouts,
+            r.stats.retransmits,
+            r.stats.dup_drops,
+            r.stats.checksum_failures,
+            r.stats.resyncs,
+            r.stats.stale_heartbeat_windows,
+            r.lost,
+            r.duplicated,
+        );
+        assert!(
+            r.stats.retransmits <= r.stats.timeouts,
+            "{}: every retransmission follows a timeout ({} > {})",
+            r.label,
+            r.stats.retransmits,
+            r.stats.timeouts
+        );
+        assert_eq!(r.lost, 0, "{}: {} operations lost", r.label, r.lost);
+        assert_eq!(
+            r.duplicated, 0,
+            "{}: {} operations applied twice",
+            r.label, r.duplicated
+        );
+        results.push(r);
+    }
+
+    let body = format!(
+        "{{\"harness\":\"fault_sweep\",\"clients\":{CLIENTS},\"ops_per_client\":{ops},\"dataset\":{size},\"seed\":{},\"cells\":[\n{}\n]}}\n",
+        args.seed,
+        results
+            .iter()
+            .map(json_cell)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let out = args
+        .metrics_out
+        .clone()
+        .map(|b| format!("{b}.json"))
+        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+    std::fs::write(&out, body).expect("write fault sweep results");
+    println!("all cells exactly-once: wrote {out}");
+}

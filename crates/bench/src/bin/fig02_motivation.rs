@@ -29,7 +29,7 @@ fn main() {
         println!("\n--- Fig. 2{sub} ---");
         println!("{:>8} {:>10} {:>16}", "clients", "CPU util", "bandwidth");
         for &n in &clients {
-            let spec = ExperimentSpec {
+            let mut spec = ExperimentSpec {
                 profile: profile::ethernet_1g(),
                 scheme: Scheme::TcpIp,
                 clients: n,
@@ -40,6 +40,7 @@ fn main() {
                 seed: args.seed,
                 ..ExperimentSpec::default()
             };
+            args.apply_faults(&mut spec);
             let r = timed(&format!("fig2{sub} n={n}"), || run_experiment(&spec));
             println!(
                 "{:>8} {:>9.1}% {:>11.3} Gbps",

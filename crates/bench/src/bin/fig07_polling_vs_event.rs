@@ -41,7 +41,7 @@ fn main() {
         for &n in &clients {
             let mut results = Vec::new();
             for mode in [ServerMode::Polling, ServerMode::EventDriven] {
-                let spec = ExperimentSpec {
+                let mut spec = ExperimentSpec {
                     profile: profile::infiniband_100g(),
                     scheme: Scheme::FastMessaging,
                     server_mode: Some(mode),
@@ -57,6 +57,7 @@ fn main() {
                     seed: args.seed,
                     ..ExperimentSpec::default()
                 };
+                args.apply_faults(&mut spec);
                 results.push(timed(&format!("{label} {mode:?} n={n}"), || {
                     run_experiment(&spec)
                 }));

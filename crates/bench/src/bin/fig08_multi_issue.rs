@@ -24,7 +24,7 @@ fn main() {
     for bound in [1e-5, 1e-4, 1e-3, 1e-2] {
         let mut means = Vec::new();
         for multi_issue in [false, true] {
-            let spec = ExperimentSpec {
+            let mut spec = ExperimentSpec {
                 profile: profile::infiniband_100g(),
                 scheme: Scheme::RdmaOffloading,
                 client_config: Some(ClientConfig {
@@ -40,6 +40,7 @@ fn main() {
                 seed: args.seed,
                 ..ExperimentSpec::default()
             };
+            args.apply_faults(&mut spec);
             let r = timed(&format!("scale {bound} multi={multi_issue}"), || {
                 run_experiment(&spec)
             });

@@ -39,7 +39,7 @@ fn main() {
         println!("\n--- {scale_label} ---");
         for &n in &clients {
             for (scheme, prof) in &schemes {
-                let spec = ExperimentSpec {
+                let mut spec = ExperimentSpec {
                     profile: *prof,
                     scheme: *scheme,
                     clients: n,
@@ -50,6 +50,7 @@ fn main() {
                     seed: args.seed,
                     ..ExperimentSpec::default()
                 };
+                args.apply_faults(&mut spec);
                 let label = format!("{} n={}", scheme.label(prof), n);
                 let r = timed(&label, || run_experiment(&spec));
                 println!("{}  [{}]", r.row(), r.stats);

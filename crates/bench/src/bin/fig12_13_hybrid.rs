@@ -38,7 +38,7 @@ fn main() {
         println!("\n--- {scale_label} ---");
         for &n in &clients {
             for (scheme, prof) in &schemes {
-                let spec = ExperimentSpec {
+                let mut spec = ExperimentSpec {
                     profile: *prof,
                     scheme: *scheme,
                     clients: n,
@@ -49,6 +49,7 @@ fn main() {
                     seed: args.seed,
                     ..ExperimentSpec::default()
                 };
+                args.apply_faults(&mut spec);
                 let label = format!("{} n={}", scheme.label(prof), n);
                 let r = timed(&label, || run_experiment(&spec));
                 println!(

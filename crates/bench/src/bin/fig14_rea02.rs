@@ -47,7 +47,7 @@ fn main() {
     let traces = Rc::new(traces);
     for &n in &clients {
         for (scheme, prof) in &schemes {
-            let spec = ExperimentSpec {
+            let mut spec = ExperimentSpec {
                 profile: *prof,
                 scheme: *scheme,
                 clients: n,
@@ -58,6 +58,7 @@ fn main() {
                 explicit_traces: Some(Rc::clone(&traces)),
                 ..ExperimentSpec::default()
             };
+            args.apply_faults(&mut spec);
             let label = format!("rea02 {} n={}", scheme.label(prof), n);
             let r = timed(&label, || run_experiment(&spec));
             println!("{}", r.row());

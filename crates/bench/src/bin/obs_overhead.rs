@@ -26,7 +26,7 @@ const SIM_DELTA_PCT: f64 = 5.0;
 const SUM_DELTA_PCT: f64 = 5.0;
 
 fn spec(args: &BenchArgs, scheme: Scheme, clients: usize, spans: bool) -> ExperimentSpec {
-    ExperimentSpec {
+    let mut spec = ExperimentSpec {
         profile: profile::infiniband_100g(),
         scheme,
         clients,
@@ -37,7 +37,9 @@ fn spec(args: &BenchArgs, scheme: Scheme, clients: usize, spans: bool) -> Experi
         seed: args.seed,
         collect_phase_spans: spans,
         ..ExperimentSpec::default()
-    }
+    };
+    args.apply_faults(&mut spec);
+    spec
 }
 
 fn timed_run(s: &ExperimentSpec) -> (RunResult, f64) {

@@ -35,6 +35,18 @@ pub struct BenchArgs {
     /// Base path for metric snapshots (`--metrics-out`): the binary
     /// writes `<base>.prom` and `<base>.jsonl` when set.
     pub metrics_out: Option<String>,
+    /// Fault injection: RDMA write-loss probability (`--loss`, default 0).
+    pub loss: f64,
+    /// Fault injection: per-frame worker-stall probability (`--stall`).
+    pub stall: f64,
+    /// Fault injection: per-tick heartbeat suppression probability
+    /// (`--hb-drop`).
+    pub hb_drop: f64,
+    /// Client per-attempt request timeout override in microseconds
+    /// (`--timeout`).
+    pub timeout_us: Option<u64>,
+    /// Client retransmission budget override (`--max-retries`).
+    pub max_retries: Option<u32>,
 }
 
 impl Default for BenchArgs {
@@ -46,6 +58,11 @@ impl Default for BenchArgs {
             seed: 42,
             paper: false,
             metrics_out: None,
+            loss: 0.0,
+            stall: 0.0,
+            hb_drop: 0.0,
+            timeout_us: None,
+            max_retries: None,
         }
     }
 }
@@ -76,9 +93,17 @@ impl BenchArgs {
                 "--metrics-out" => {
                     out.metrics_out = Some(args.next().expect("--metrics-out needs a base path"));
                 }
+                "--loss" => out.loss = next_prob(&mut args, "--loss"),
+                "--stall" => out.stall = next_prob(&mut args, "--stall"),
+                "--hb-drop" => out.hb_drop = next_prob(&mut args, "--hb-drop"),
+                "--timeout" => out.timeout_us = Some(next_num(&mut args, "--timeout")),
+                "--max-retries" => {
+                    out.max_retries = Some(next_num(&mut args, "--max-retries") as u32);
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --size N --requests N --clients a,b,c --seed N --paper --metrics-out BASE  (defaults: 1M rects, 1000 req/client)"
+                        "flags: --size N --requests N --clients a,b,c --seed N --paper --metrics-out BASE \
+                         --loss P --stall P --hb-drop P --timeout USEC --max-retries N  (defaults: 1M rects, 1000 req/client, faults off)"
                     );
                     std::process::exit(0);
                 }
@@ -94,6 +119,38 @@ fn next_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
         .unwrap_or_else(|| panic!("{flag} needs a value"))
         .parse()
         .unwrap_or_else(|_| panic!("{flag} needs an integer"))
+}
+
+fn next_prob(args: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
+    let p: f64 = args
+        .next()
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag} needs a probability"));
+    assert!((0.0..=1.0).contains(&p), "{flag} must be in [0, 1]");
+    p
+}
+
+impl BenchArgs {
+    /// Applies the fault-injection and retry knobs to `spec`. With all
+    /// knobs at their defaults this is a no-op, so every figure binary can
+    /// call it unconditionally and stay byte-identical to a knob-free run.
+    pub fn apply_faults(&self, spec: &mut catfish_core::harness::ExperimentSpec) {
+        if self.loss > 0.0 || self.stall > 0.0 || self.hb_drop > 0.0 {
+            spec.fault = Some(catfish_rdma::FaultConfig {
+                drop_write: self.loss,
+                stall: self.stall,
+                suppress_heartbeat: self.hb_drop,
+                ..catfish_rdma::FaultConfig::off()
+            });
+        }
+        if let Some(us) = self.timeout_us {
+            spec.request_timeout = Some(catfish_simnet::SimDuration::from_micros(us));
+        }
+        if let Some(r) = self.max_retries {
+            spec.max_retries = Some(r);
+        }
+    }
 }
 
 /// Prints a figure banner.

@@ -24,6 +24,14 @@ pub struct AdaptiveState {
     t0: SimTime,
     /// Latest unconsumed heartbeat utilization (`u_serv`), if any.
     u_serv: Option<f64>,
+    /// Instant the most recent heartbeat was *received* (not consumed) —
+    /// drives the staleness failsafe. `None` until the first heartbeat:
+    /// a client that has never heard the server keeps the fast path.
+    last_seen: Option<SimTime>,
+    /// Whether the staleness failsafe is currently engaged.
+    stale: bool,
+    /// Fresh→stale transitions observed (edge-triggered counter).
+    stale_windows: u64,
     rng: StdRng,
     /// Optional structured event timeline ([`AdaptiveState::set_event_log`]).
     events: Option<AdaptiveEventLog>,
@@ -44,6 +52,9 @@ impl AdaptiveState {
             r_off: 0,
             t0,
             u_serv: None,
+            last_seen: None,
+            stale: false,
+            stale_windows: 0,
             rng,
             events: None,
         }
@@ -65,11 +76,59 @@ impl AdaptiveState {
     /// Records a heartbeat's utilization (in `[0, 1]`).
     pub fn note_heartbeat(&mut self, utilization: f64) {
         self.u_serv = Some(utilization);
+        self.last_seen = Some(catfish_simnet::try_now().unwrap_or(SimTime::ZERO));
     }
 
     /// Current back-off band (`r_busy`, `r_off`) — diagnostics and tests.
     pub fn band(&self) -> (u32, u64) {
         (self.r_busy, self.r_off)
+    }
+
+    /// Fresh→stale heartbeat transitions seen so far (the
+    /// `stale_heartbeat_windows` stat).
+    pub fn stale_windows(&self) -> u64 {
+        self.stale_windows
+    }
+
+    /// Whether the staleness failsafe is currently engaged.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// The staleness failsafe: a client that has *seen* a heartbeat but
+    /// then heard nothing for `stale_after_intervals · Inv` stops trusting
+    /// the last utilization figure and fails over to offloading until the
+    /// stream resumes — the graceful-degradation dual of Algorithm 1.
+    /// Returns `true` while the failsafe holds the offloaded route.
+    fn staleness_failsafe(&mut self, t: SimTime) -> bool {
+        if self.params.stale_after_intervals == 0 {
+            return false; // failsafe disabled
+        }
+        let Some(seen) = self.last_seen else {
+            // Never heard the server: keep the fast path (matching the
+            // paper's "it ignores that no heartbeat has arrived").
+            return false;
+        };
+        let silent = t.saturating_duration_since(seen);
+        let stale_after = SimDuration::from_nanos(
+            self.params
+                .heartbeat_interval
+                .as_nanos()
+                .saturating_mul(u64::from(self.params.stale_after_intervals)),
+        );
+        if silent > stale_after {
+            if !self.stale {
+                self.stale = true;
+                self.stale_windows += 1;
+                self.emit(AdaptiveEvent::StaleHeartbeat {
+                    silent_ns: silent.as_nanos(),
+                });
+            }
+            true
+        } else {
+            self.stale = false;
+            false
+        }
     }
 
     /// One step of Algorithm 1: consume a fresh heartbeat at most once per
@@ -81,6 +140,12 @@ impl AdaptiveState {
     /// between heartbeats the current band keeps draining.
     pub fn decide(&mut self) -> bool {
         let t = now();
+        if self.staleness_failsafe(t) {
+            // Band bookkeeping is frozen while stale: the last utilization
+            // figure is untrustworthy, so neither escalate nor drain.
+            self.emit(AdaptiveEvent::Route { offloaded: true });
+            return true;
+        }
         let mut fresh = None;
         if t.saturating_duration_since(self.t0) > self.params.heartbeat_interval {
             if let Some(v) = self.u_serv.take() {
@@ -206,6 +271,42 @@ mod tests {
             s.note_heartbeat(0.1);
             s.decide();
             assert_eq!(s.band().0, 0, "busy counter reset by calm heartbeat");
+        });
+    }
+
+    #[test]
+    fn silence_after_heartbeats_fails_over_to_offload() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 6);
+            sleep(SimDuration::from_millis(15)).await;
+            s.note_heartbeat(0.1);
+            sleep(SimDuration::from_millis(11)).await;
+            assert!(!s.decide(), "calm server: fast path");
+            // Silence beyond k·Inv (5 × 10 ms default) trips the failsafe.
+            sleep(SimDuration::from_millis(60)).await;
+            assert!(s.decide(), "stale heartbeats: offload");
+            assert!(s.is_stale());
+            assert_eq!(s.stale_windows(), 1);
+            // Edge-triggered: the window counts once while it lasts.
+            assert!(s.decide());
+            assert_eq!(s.stale_windows(), 1);
+            // The stream resumes: trust returns, fast path resumes.
+            s.note_heartbeat(0.1);
+            assert!(!s.decide());
+            assert!(!s.is_stale());
+            assert_eq!(s.stale_windows(), 1);
+        });
+    }
+
+    #[test]
+    fn never_heard_server_keeps_fast_path() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 7);
+            sleep(SimDuration::from_millis(200)).await;
+            assert!(!s.decide(), "no heartbeat ever: no failsafe");
+            assert_eq!(s.stale_windows(), 0);
         });
     }
 

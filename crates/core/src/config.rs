@@ -63,6 +63,14 @@ pub struct AdaptiveParams {
     /// `Inv`: how often the server publishes heartbeats and how long a
     /// client considers one fresh. The paper uses 10 ms.
     pub heartbeat_interval: SimDuration,
+    /// `k`: heartbeat-staleness failsafe. A client that has *seen* a
+    /// heartbeat but then hears nothing for `k · Inv` stops trusting the
+    /// last utilization figure and treats the server as busy (failing
+    /// over to offloading) until heartbeats resume — the
+    /// graceful-degradation dual of Algorithm 1. Clients that have never
+    /// received a heartbeat are unaffected (they keep the fast path, as
+    /// before).
+    pub stale_after_intervals: u32,
 }
 
 impl Default for AdaptiveParams {
@@ -71,6 +79,7 @@ impl Default for AdaptiveParams {
             n_backoff: 8,
             busy_threshold: 0.95,
             heartbeat_interval: SimDuration::from_millis(10),
+            stale_after_intervals: 5,
         }
     }
 }
@@ -173,6 +182,18 @@ pub struct ClientConfig {
     /// estimated service time (per-op estimate × batch size) stays within
     /// this window. ZERO disables the guard (only `max_batch` caps).
     pub batch_window: SimDuration,
+    /// Deadline for one fast-messaging request attempt: if no response
+    /// arrives within this window the request is retransmitted (the
+    /// server deduplicates by sequence number). Generous relative to
+    /// µs-scale service times so the happy path never trips it.
+    pub request_timeout: SimDuration,
+    /// Retransmission attempts after the first send before giving up.
+    pub max_retries: u32,
+    /// Initial client backoff between retransmission attempts; doubles
+    /// per retry up to [`ClientConfig::retry_backoff_max`].
+    pub retry_backoff: SimDuration,
+    /// Ceiling for the retransmission backoff.
+    pub retry_backoff_max: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -188,6 +209,10 @@ impl Default for ClientConfig {
             node_cache_capacity: 4096,
             max_batch: 16,
             batch_window: SimDuration::from_millis(1),
+            request_timeout: SimDuration::from_secs(1),
+            max_retries: 16,
+            retry_backoff: SimDuration::from_micros(100),
+            retry_backoff_max: SimDuration::from_millis(100),
         }
     }
 }
@@ -228,6 +253,10 @@ mod tests {
         assert_eq!(a.n_backoff, 8);
         assert_eq!(a.busy_threshold, 0.95);
         assert_eq!(a.heartbeat_interval, SimDuration::from_millis(10));
+        assert!(a.stale_after_intervals >= 2, "failsafe must outlast jitter");
+        let c = ClientConfig::default();
+        assert!(c.request_timeout >= SimDuration::from_millis(100));
+        assert!(c.max_retries >= 1);
         let s = ServerConfig::default();
         assert_eq!(s.cores, 28);
         assert_eq!(s.ring_capacity, 256 * 1024);

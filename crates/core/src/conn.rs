@@ -151,9 +151,9 @@ mod tests {
             let (client_ep, server_ep) = endpoints();
             let rkeys = RkeyAllocator::new();
             let (client, server) = establish(&client_ep, &server_ep, 4096, &rkeys);
-            client.tx.send(b"request", 1).await;
+            client.tx.send(b"request", 1).await.unwrap();
             assert_eq!(server.rx.wait_message().await, b"request".to_vec());
-            server.tx.send(b"response", 2).await;
+            server.tx.send(b"response", 2).await.unwrap();
             assert_eq!(client.rx.wait_message().await, b"response".to_vec());
         });
     }
@@ -166,8 +166,8 @@ mod tests {
             let rkeys = RkeyAllocator::new();
             let (c1, s1) = establish(&client_ep, &server_ep, 4096, &rkeys);
             let (c2, s2) = establish(&client_ep, &server_ep, 4096, &rkeys);
-            c1.tx.send(b"one", 0).await;
-            c2.tx.send(b"two", 0).await;
+            c1.tx.send(b"one", 0).await.unwrap();
+            c2.tx.send(b"two", 0).await.unwrap();
             assert_eq!(s1.rx.wait_message().await, b"one".to_vec());
             assert_eq!(s2.rx.wait_message().await, b"two".to_vec());
             assert!(s1.rx.try_pop().is_none());

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
-use catfish_rdma::{Endpoint, NetProfile};
+use catfish_rdma::{Endpoint, FaultConfig, FaultPlan, NetProfile};
 use catfish_rtree::{RTreeConfig, Rect};
 use catfish_simnet::{now, sleep, spawn, CpuPool, Network, Sim, SimDuration};
 use catfish_workload::{Request, ScaleDist, TraceSpec};
@@ -73,6 +73,19 @@ pub struct ExperimentSpec {
     /// [`RunResult::adaptive_events`] (heartbeat consumed, band
     /// escalated/reset, route chosen, with sim timestamps).
     pub collect_adaptive_events: bool,
+    /// Fault-injection configuration. When set, one [`FaultPlan`] seeded
+    /// from [`ExperimentSpec::seed`] is attached to the server endpoint
+    /// and every client NIC, so the whole cluster draws faults from a
+    /// single deterministic stream. `None` (the default) honors the
+    /// `CATFISH_FAULTS` environment variable ([`FaultPlan::from_env`]),
+    /// letting CI run existing workloads under low-rate chaos without
+    /// touching their specs.
+    pub fault: Option<FaultConfig>,
+    /// Overrides every client's per-attempt request timeout (the `--timeout`
+    /// bench knob) without replacing the scheme's client configuration.
+    pub request_timeout: Option<SimDuration>,
+    /// Overrides every client's retransmission budget (`--max-retries`).
+    pub max_retries: Option<u32>,
 }
 
 impl Default for ExperimentSpec {
@@ -93,6 +106,9 @@ impl Default for ExperimentSpec {
             client_polling_cores: None,
             collect_phase_spans: false,
             collect_adaptive_events: false,
+            fault: None,
+            request_timeout: None,
+            max_retries: None,
         }
     }
 }
@@ -227,6 +243,36 @@ impl RunResult {
             "Malformed ring frames dropped by the server.",
             self.stats.decode_errors,
         )
+        .counter(
+            "catfish_timeouts_total",
+            "Request attempts that expired without a response.",
+            self.stats.timeouts,
+        )
+        .counter(
+            "catfish_retransmits_total",
+            "Requests re-sent after a timeout.",
+            self.stats.retransmits,
+        )
+        .counter(
+            "catfish_dup_drops_total",
+            "Duplicate write-class requests answered from the dedup cache.",
+            self.stats.dup_drops,
+        )
+        .counter(
+            "catfish_checksum_failures_total",
+            "Ring frames dropped on CRC mismatch.",
+            self.stats.checksum_failures,
+        )
+        .counter(
+            "catfish_resyncs_total",
+            "Ring receivers that skipped a lost-frame hole.",
+            self.stats.resyncs,
+        )
+        .counter(
+            "catfish_stale_heartbeat_windows_total",
+            "Fresh-to-stale heartbeat transitions (failsafe engagements).",
+            self.stats.stale_heartbeat_windows,
+        )
         .gauge(
             "catfish_throughput_kops",
             "Completed requests per virtual second, kilo-ops.",
@@ -313,6 +359,16 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
         spec.dataset.clone(),
         &rkeys,
     );
+    // One shared fault plan for the whole cluster: every endpoint draws
+    // from the same seeded decision stream, so runs replay byte-identically.
+    let fault_plan = match spec.fault {
+        Some(cfg) if cfg.is_active() => Some(FaultPlan::new(cfg, spec.seed)),
+        Some(_) => None,
+        None => FaultPlan::from_env(),
+    };
+    if let Some(plan) = &fault_plan {
+        server.endpoint().set_fault_plan(Some(plan.clone()));
+    }
     if spec.scheme == Scheme::Catfish {
         server.start_heartbeats();
     }
@@ -327,7 +383,13 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
     // Client machines share NICs.
     let node_count = spec.client_nodes.max(1).min(spec.clients.max(1));
     let rdma_eps: Vec<Endpoint> = (0..node_count)
-        .map(|_| Endpoint::new(&net, net.add_node(spec.profile.link), spec.profile.rdma))
+        .map(|_| {
+            let ep = Endpoint::new(&net, net.add_node(spec.profile.link), spec.profile.rdma);
+            if let Some(plan) = &fault_plan {
+                ep.set_fault_plan(Some(plan.clone()));
+            }
+            ep
+        })
         .collect();
     let poll_pools: Vec<Option<CpuPool>> = (0..node_count)
         .map(|_| {
@@ -370,9 +432,15 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
             _ => {
                 let ep = &rdma_eps[client_id % node_count];
                 let ch = server.accept(ep);
-                let cfg = spec
+                let mut cfg = spec
                     .client_config
                     .unwrap_or_else(|| client_config_for(spec.scheme, &server_cfg));
+                if let Some(t) = spec.request_timeout {
+                    cfg.request_timeout = t;
+                }
+                if let Some(r) = spec.max_retries {
+                    cfg.max_retries = r;
+                }
                 let mut client = CatfishClient::new(
                     ch,
                     server.remote_handle(),
@@ -442,6 +510,17 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
         search.merge(&o.search);
         write.merge(&o.write);
         stats.merge(&o.stats);
+    }
+    // Robustness counters that live server-side (duplicate suppression,
+    // request-ring integrity) join the client-merged snapshot so one
+    // struct tells the whole fault story. The other server counters stay
+    // separate: fields like `batches_sent` exist on both sides and the
+    // client-side reading is what the batching figures plot.
+    {
+        let ss = server.stats();
+        stats.dup_drops += ss.dup_drops;
+        stats.checksum_failures += ss.checksum_failures;
+        stats.resyncs += ss.resyncs;
     }
     let completed = all.len();
     let throughput_kops = if makespan.is_zero() {

@@ -327,6 +327,16 @@ impl WireCodec for KvWire {
             other => Incoming::Request(other),
         }
     }
+
+    fn request_meta(msg: &KvMessage) -> Option<(u32, OpKind)> {
+        match msg {
+            KvMessage::GetReq { seq, .. } => Some((*seq, OpKind::Read)),
+            KvMessage::RangeReq { seq, .. } => Some((*seq, OpKind::Read)),
+            KvMessage::PutReq { seq, .. } => Some((*seq, OpKind::Write)),
+            KvMessage::RemoveReq { seq, .. } => Some((*seq, OpKind::Remove)),
+            _ => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

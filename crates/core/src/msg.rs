@@ -399,6 +399,17 @@ impl WireCodec for RtreeWire {
             other => Incoming::Request(other),
         }
     }
+
+    fn request_meta(msg: &Message) -> Option<(u32, crate::service::OpKind)> {
+        use crate::service::OpKind;
+        match msg {
+            Message::SearchReq { seq, .. } => Some((*seq, OpKind::Read)),
+            Message::NearestReq { seq, .. } => Some((*seq, OpKind::Read)),
+            Message::InsertReq { seq, .. } => Some((*seq, OpKind::Write)),
+            Message::DeleteReq { seq, .. } => Some((*seq, OpKind::Remove)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

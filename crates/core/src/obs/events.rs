@@ -36,6 +36,15 @@ pub enum AdaptiveEvent {
     },
     /// Utilization fell below the threshold: the busy streak reset.
     BusyReset,
+    /// The heartbeat stream went stale: no heartbeat for `k · Inv` after
+    /// at least one had been seen. The client stops trusting the last
+    /// utilization figure and fails over to offloading until heartbeats
+    /// resume.
+    StaleHeartbeat {
+        /// How long the stream had been silent when the failsafe fired,
+        /// in nanoseconds of virtual time.
+        silent_ns: u64,
+    },
     /// The route chosen for this operation.
     Route {
         /// True when the operation was sent down the offloaded path.
@@ -50,6 +59,7 @@ impl AdaptiveEvent {
             AdaptiveEvent::HeartbeatConsumed { .. } => "heartbeat_consumed",
             AdaptiveEvent::BandEscalated { .. } => "band_escalated",
             AdaptiveEvent::BusyReset => "busy_reset",
+            AdaptiveEvent::StaleHeartbeat { .. } => "stale_heartbeat",
             AdaptiveEvent::Route { .. } => "route",
         }
     }
@@ -85,6 +95,9 @@ impl AdaptiveEventRecord {
                 format!("{head},\"r_busy\":{r_busy},\"r_off\":{r_off}}}")
             }
             AdaptiveEvent::BusyReset => format!("{head}}}"),
+            AdaptiveEvent::StaleHeartbeat { silent_ns } => {
+                format!("{head},\"silent_ns\":{silent_ns}}}")
+            }
             AdaptiveEvent::Route { offloaded } => {
                 format!("{head},\"offloaded\":{offloaded}}}")
             }
@@ -186,9 +199,14 @@ mod tests {
             r_off: 11,
         });
         log.emit(AdaptiveEvent::Route { offloaded: true });
+        log.emit(AdaptiveEvent::StaleHeartbeat {
+            silent_ns: 50_000_000,
+        });
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("\"event\":\"stale_heartbeat\""));
+        assert!(lines[3].contains("\"silent_ns\":50000000"));
         assert!(lines[0].contains("\"event\":\"heartbeat_consumed\""));
         assert!(lines[0].contains("\"util\":0.9700"));
         assert!(lines[1].contains("\"r_busy\":2"));

@@ -51,10 +51,13 @@ pub enum Phase {
     /// Extra time an offloaded traversal spent beyond its first attempt
     /// (version-retry and restart cost).
     OffloadRetry,
+    /// Client time spent backing off between retransmission attempts of
+    /// a timed-out fast-messaging request.
+    RetryBackoff,
 }
 
 /// Number of phases (sizes the per-sink histogram array).
-pub const N_PHASES: usize = 9;
+pub const N_PHASES: usize = 10;
 
 impl Phase {
     /// Every phase, in display order.
@@ -68,6 +71,7 @@ impl Phase {
         Phase::MetaRead,
         Phase::OffloadRead,
         Phase::OffloadRetry,
+        Phase::RetryBackoff,
     ];
 
     /// Stable snake_case name used in metric names and reports.
@@ -82,6 +86,7 @@ impl Phase {
             Phase::MetaRead => "meta_read",
             Phase::OffloadRead => "offload_read",
             Phase::OffloadRetry => "offload_retry",
+            Phase::RetryBackoff => "retry_backoff",
         }
     }
 
@@ -97,6 +102,7 @@ impl Phase {
             Phase::MetaRead => 6,
             Phase::OffloadRead => 7,
             Phase::OffloadRetry => 8,
+            Phase::RetryBackoff => 9,
         }
     }
 }

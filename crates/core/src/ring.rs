@@ -10,12 +10,16 @@
 //!   periodically RDMA-writes it back into a small cell registered at the
 //!   *sender*, so the sender knows how much space has been reclaimed.
 //!
-//! Framing: `[len: u32][payload][pad to 4]`. A zero length word means "no
-//! message yet" (consumed regions are zeroed); `u32::MAX` is the
-//! wrap marker telling the receiver to jump to offset 0. Messages are
-//! delivered atomically by the simulated NIC, so a nonzero length word
-//! implies a complete message — mirroring the real protocol where the
-//! length word is written last / checked for stability.
+//! Framing: `[len: u32][crc32: u32][payload][pad to 4]`. A zero length
+//! word means "no message yet" (consumed regions are zeroed); `u32::MAX`
+//! is the wrap marker telling the receiver to jump to offset 0. Messages
+//! are delivered atomically by the simulated NIC, so a nonzero length
+//! word implies a complete message — mirroring the real protocol where
+//! the length word is written last / checked for stability. The CRC-32
+//! (IEEE polynomial) covers the payload bytes: a frame whose stored
+//! checksum disagrees with its contents is dropped and counted instead of
+//! being decoded into garbage, so upper layers see a lost message (which
+//! they already retry) rather than a corrupted one.
 //!
 //! Every send uses RDMA Write **with Immediate Data**, so a completion
 //! lands in the receiver's CQ; polling receivers simply never block on it
@@ -30,6 +34,21 @@
 //! length-prefixed, and [`RingReceiver::try_pop`] consumes them one at a
 //! time out of the contiguous region. Batches larger than the ring are
 //! split into capacity-bounded posts.
+//!
+//! ## Loss recovery (resync)
+//!
+//! Under fault injection a Write-with-Immediate can be dropped in flight,
+//! leaving a zeroed **hole** at the receiver's head while later frames
+//! land beyond it — without recovery the stream wedges, because a zero
+//! length word reads as "no message yet" forever. The receiver therefore
+//! keeps a byte-level account of delivered-but-unpopped data: each
+//! dequeued completion credits its `byte_len`, each popped frame debits
+//! its framed size. When a wakeup finds the account positive but the head
+//! frame absent, [`RingReceiver::resync`] scans forward for the next
+//! CRC-valid frame (or wrap marker) and skips the hole, surfacing the
+//! loss as counters instead of a hang. Fault-free, the account never goes
+//! positive without a poppable frame, so the scan never runs and the
+//! happy path is untouched.
 
 use std::cell::Cell;
 #[cfg(feature = "trace")]
@@ -44,12 +63,75 @@ use crate::obs::{Phase, TraceSink};
 
 /// Length word marking a wrap to offset 0.
 const WRAP_MARKER: u32 = u32::MAX;
-/// Sender poll interval while the ring is full.
+/// Initial sender backoff while the ring is full.
 const FULL_RETRY: SimDuration = SimDuration::from_micros(2);
+/// Ceiling for the full-ring backoff (doubles from [`FULL_RETRY`]).
+const FULL_RETRY_CAP: SimDuration = SimDuration::from_micros(512);
+/// Cumulative full-ring wait after which a send gives up with
+/// [`SendError::Timeout`] instead of spinning forever.
+const SEND_GIVE_UP: SimDuration = SimDuration::from_millis(50);
 
 fn padded(len: usize) -> u64 {
     ((len + 3) & !3) as u64
 }
+
+/// Framed size of a payload: `[len][crc32]` header plus padded payload.
+fn framed(len: usize) -> u64 {
+    8 + padded(len)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the per-frame payload checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Why a ring send did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The receiving peer departed ([`RingLiveness::close`]); the message
+    /// was dropped without touching the wire.
+    Closed,
+    /// The ring stayed full past the give-up deadline (the receiver is
+    /// wedged or has silently died without closing the connection).
+    Timeout,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Closed => write!(f, "ring peer departed"),
+            SendError::Timeout => write!(f, "ring stayed full past the send deadline"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
 
 struct SenderShared {
     qp: QueuePair,
@@ -85,7 +167,8 @@ impl std::fmt::Debug for RingLiveness {
 
 impl RingLiveness {
     /// Marks the peer as departed. All future sends through the matching
-    /// [`RingSender`] return `false` without touching the wire.
+    /// [`RingSender`] return [`SendError::Closed`] without touching the
+    /// wire.
     pub fn close(&self) {
         self.closed.set(true);
     }
@@ -195,19 +278,43 @@ impl RingSender {
         self.shared.tail.get() - self.processed()
     }
 
-    /// Appends `payload` to the remote ring, waiting while the ring is
-    /// full. The immediate value `imm` is delivered with the completion.
+    /// Builds the framed wire image of `payload`: length word, payload
+    /// CRC, payload bytes, zero padding to a 4-byte boundary. If a fault
+    /// plan is attached to the local endpoint, a payload byte may be
+    /// flipped *after* the checksum is computed — modeling in-flight
+    /// corruption that the receiver's CRC check must catch.
+    fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        let total = framed(payload.len()) as usize;
+        let mut frame = Vec::with_capacity(total);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.resize(total, 0);
+        if !payload.is_empty() {
+            if let Some(plan) = self.shared.qp.fault_plan() {
+                if let Some((at, mask)) = plan.corrupt_frame(payload.len()) {
+                    frame[8 + at] ^= mask;
+                }
+            }
+        }
+        frame
+    }
+
+    /// Appends `payload` to the remote ring, waiting (with capped
+    /// exponential backoff) while the ring is full. The immediate value
+    /// `imm` is delivered with the completion.
     ///
     /// Concurrent senders are serialized FIFO; message boundaries are
-    /// always preserved. Returns `false` (dropping the message) if the
-    /// peer has departed.
+    /// always preserved. Returns [`SendError::Closed`] (dropping the
+    /// message) if the peer has departed, and [`SendError::Timeout`] if
+    /// the ring stays full past the give-up deadline.
     ///
     /// # Panics
     ///
     /// Panics if the framed message cannot ever fit the ring.
-    pub async fn send(&self, payload: &[u8], imm: u32) -> bool {
+    pub async fn send(&self, payload: &[u8], imm: u32) -> Result<(), SendError> {
         let s = &*self.shared;
-        let total = 4 + padded(payload.len());
+        let total = framed(payload.len());
         assert!(
             total + 8 <= s.capacity,
             "message of {} bytes cannot fit a {}-byte ring",
@@ -215,21 +322,18 @@ impl RingSender {
             s.capacity
         );
         if s.closed.get() {
-            return false;
+            return Err(SendError::Closed);
         }
         #[cfg(feature = "trace")]
         let span = self.span_begin();
         let _guard = s.lock.acquire().await;
-        let mut frame = Vec::with_capacity(total as usize);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(payload);
-        frame.resize(total as usize, 0);
-        self.post(&frame, imm).await;
+        let frame = self.frame(payload);
+        let res = self.post(&frame, imm).await;
         #[cfg(feature = "trace")]
         if let Some((sink, phase, start)) = span {
             sink.end(phase, start);
         }
-        true
+        res
     }
 
     /// Appends every payload in `payloads` to the remote ring and rings
@@ -237,14 +341,16 @@ impl RingSender {
     /// written contiguously by a single RDMA Write-with-Immediate, so the
     /// receiver sees one completion (one wakeup) for the whole batch.
     ///
-    /// Returns the number of doorbells posted (0 if the peer departed,
+    /// Returns the number of doorbells posted (0 for an empty batch,
     /// 1 for a batch that fits the ring in one group, more only when the
-    /// combined frames exceed the ring and the batch is split).
+    /// combined frames exceed the ring and the batch is split), or the
+    /// first [`SendError`] hit — groups posted before the error stay
+    /// delivered.
     ///
     /// # Panics
     ///
     /// Panics if any single framed message cannot ever fit the ring.
-    pub async fn send_batch(&self, payloads: &[Vec<u8>], imm: u32) -> usize {
+    pub async fn send_batch(&self, payloads: &[Vec<u8>], imm: u32) -> Result<usize, SendError> {
         let s = &*self.shared;
         // Cap multi-frame groups at half the ring: a wrapped reservation
         // consumes `to_end + total` bytes of budget, which is only
@@ -253,15 +359,16 @@ impl RingSender {
         // it forms its own group, matching `send`'s size contract.
         let group_cap = s.capacity / 2;
         if s.closed.get() {
-            return 0;
+            return Err(SendError::Closed);
         }
         #[cfg(feature = "trace")]
         let span = self.span_begin();
         let _guard = s.lock.acquire().await;
         let mut doorbells = 0usize;
         let mut group: Vec<u8> = Vec::new();
+        let mut res = Ok(());
         for payload in payloads {
-            let total = 4 + padded(payload.len());
+            let total = framed(payload.len());
             assert!(
                 total + 8 <= s.capacity,
                 "message of {} bytes cannot fit a {}-byte ring",
@@ -269,33 +376,47 @@ impl RingSender {
                 s.capacity
             );
             if !group.is_empty() && group.len() as u64 + total > group_cap {
-                self.post(&group, imm).await;
+                if let Err(e) = self.post(&group, imm).await {
+                    res = Err(e);
+                    break;
+                }
                 doorbells += 1;
                 group.clear();
             }
-            group.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            group.extend_from_slice(payload);
-            group.resize(group.len() + (total as usize - 4 - payload.len()), 0);
+            group.extend_from_slice(&self.frame(payload));
         }
-        if !group.is_empty() {
-            self.post(&group, imm).await;
-            doorbells += 1;
+        if res.is_ok() && !group.is_empty() {
+            match self.post(&group, imm).await {
+                Ok(()) => doorbells += 1,
+                Err(e) => res = Err(e),
+            }
         }
         #[cfg(feature = "trace")]
         if let Some((sink, phase, start)) = span {
             sink.end(phase, start);
         }
-        doorbells
+        res.map(|()| doorbells)
     }
 
     /// Reserves `frame.len()` contiguous bytes (wrapping if needed) and
     /// posts them with one Write-with-Immediate. Caller holds the lock;
     /// `frame` is already length-prefixed and padded.
-    async fn post(&self, frame: &[u8], imm: u32) {
+    ///
+    /// While the ring is full the reservation retries with exponential
+    /// backoff (starting at [`FULL_RETRY`], capped at [`FULL_RETRY_CAP`]);
+    /// once the cumulative wait exceeds [`SEND_GIVE_UP`] the send fails
+    /// with [`SendError::Timeout`] instead of spinning forever. A peer
+    /// departure observed mid-wait fails with [`SendError::Closed`].
+    async fn post(&self, frame: &[u8], imm: u32) -> Result<(), SendError> {
         let s = &*self.shared;
         let total = frame.len() as u64;
+        let mut backoff = FULL_RETRY;
+        let mut waited = SimDuration::ZERO;
         // Reserve space (wait for the receiver to reclaim if needed).
         let (write_at, skip) = loop {
+            if s.closed.get() {
+                return Err(SendError::Closed);
+            }
             let tail = s.tail.get();
             let pos = tail % s.capacity;
             let to_end = s.capacity - pos;
@@ -309,7 +430,13 @@ impl RingSender {
                 s.tail.set(tail + skip + total);
                 break (write_at, if skip > 0 { Some(pos) } else { None });
             }
-            sleep(FULL_RETRY).await;
+            if waited >= SEND_GIVE_UP {
+                return Err(SendError::Timeout);
+            }
+            sleep(backoff).await;
+            waited += backoff;
+            let doubled = backoff.as_nanos().saturating_mul(2);
+            backoff = SimDuration::from_nanos(doubled.min(FULL_RETRY_CAP.as_nanos()));
         };
         if let Some(marker_pos) = skip {
             s.qp.write(s.ring_rkey, marker_pos as usize, &WRAP_MARKER.to_le_bytes())
@@ -319,6 +446,7 @@ impl RingSender {
         s.qp.write_with_imm(s.ring_rkey, write_at as usize, frame, imm)
             .await
             .expect("ring region registered");
+        Ok(())
     }
 }
 
@@ -332,6 +460,16 @@ struct ReceiverShared {
     qp: QueuePair,
     cell_rkey: u32,
     cq: CompletionQueue,
+    /// Byte-level delivery account: completions credit their `byte_len`,
+    /// popped frames debit their framed size. Positive with no poppable
+    /// frame ⇒ a delivered frame is stranded beyond a hole (lost write)
+    /// and a [`RingReceiver::resync`] scan is warranted. Signed because
+    /// a dropped *completion* makes frames poppable without a credit.
+    pending_delivered: Cell<i64>,
+    /// Frames whose stored CRC disagreed with their payload (dropped).
+    checksum_failures: Cell<u64>,
+    /// Holes skipped by [`RingReceiver::resync`].
+    resyncs: Cell<u64>,
     /// Span sink + phase queue-time is attributed to (None: untraced).
     #[cfg(feature = "trace")]
     trace: RefCell<Option<(TraceSink, Phase)>>,
@@ -371,6 +509,9 @@ impl RingReceiver {
                 qp,
                 cell_rkey,
                 cq,
+                pending_delivered: Cell::new(0),
+                checksum_failures: Cell::new(0),
+                resyncs: Cell::new(0),
                 #[cfg(feature = "trace")]
                 trace: RefCell::new(None),
                 #[cfg(feature = "trace")]
@@ -394,6 +535,34 @@ impl RingReceiver {
         }
     }
 
+    /// Frames dropped because their stored CRC disagreed with the payload.
+    pub fn checksum_failures(&self) -> u64 {
+        self.shared.checksum_failures.get()
+    }
+
+    /// Holes (lost writes) skipped by [`RingReceiver::resync`].
+    pub fn resyncs(&self) -> u64 {
+        self.shared.resyncs.get()
+    }
+
+    fn credit_pending(&self, byte_len: u32) {
+        let s = &*self.shared;
+        s.pending_delivered
+            .set(s.pending_delivered.get() + byte_len as i64);
+    }
+
+    fn debit_pending(&self, bytes: u64) {
+        let s = &*self.shared;
+        let v = s.pending_delivered.get() - bytes as i64;
+        // A dropped completion lets frames become poppable without a
+        // credit, skewing the account negative; once the CQ is drained
+        // the balance is provably zero, so repair it. Fault-free, every
+        // poppable frame's completion is dequeued first and this clamp
+        // never fires.
+        s.pending_delivered
+            .set(if v < 0 && s.cq.is_empty() { 0 } else { v });
+    }
+
     /// Records queue time for a successful pop: prefers the delivery
     /// instant stashed by the event wait, else drains one completion from
     /// the CQ (the pure-polling path). When several doorbells are queued
@@ -406,10 +575,12 @@ impl RingReceiver {
         let Some((sink, phase)) = trace.as_ref() else {
             return;
         };
-        let delivered = s
-            .pending_at
-            .take()
-            .or_else(|| s.cq.try_poll().map(|c| c.at));
+        let delivered = s.pending_at.take().or_else(|| {
+            s.cq.try_poll().map(|c| {
+                self.credit_pending(c.byte_len);
+                c.at
+            })
+        });
         if let Some(at) = delivered {
             let now = catfish_simnet::try_now().unwrap_or(at);
             sink.record(*phase, now.saturating_duration_since(at));
@@ -417,7 +588,9 @@ impl RingReceiver {
     }
 
     /// Takes the next complete message if one is present (the polling
-    /// path: a memory check, no blocking).
+    /// path: a memory check, no blocking). A frame failing its CRC check
+    /// is dropped (counted in [`RingReceiver::checksum_failures`]) and
+    /// the scan continues with the next frame.
     pub fn try_pop(&self) -> Option<Vec<u8>> {
         let s = &*self.shared;
         loop {
@@ -436,13 +609,21 @@ impl RingReceiver {
                 self.consume(head, to_end);
                 continue;
             }
-            let total = 4 + padded(len as usize);
+            let total = framed(len as usize);
+            let mut crc_b = [0u8; 4];
+            s.ring.read_local(pos + 4, &mut crc_b);
+            let stored_crc = u32::from_le_bytes(crc_b);
             let mut payload = vec![0u8; len as usize];
-            s.ring.read_local(pos + 4, &mut payload);
+            s.ring.read_local(pos + 8, &mut payload);
             // Zero the consumed frame so stale bytes never parse as a
             // message after wrap-around.
             s.ring.write_local(pos, &vec![0u8; total as usize]);
             self.consume(head, total);
+            self.debit_pending(total);
+            if crc32(&payload) != stored_crc {
+                s.checksum_failures.set(s.checksum_failures.get() + 1);
+                continue;
+            }
             #[cfg(feature = "trace")]
             self.note_arrival();
             return Some(payload);
@@ -486,27 +667,111 @@ impl RingReceiver {
         }
     }
 
+    /// Whether a CRC-valid frame starts at `off` in the ring snapshot.
+    fn frame_valid_at(buf: &[u8], off: usize) -> bool {
+        if off + 8 > buf.len() {
+            return false;
+        }
+        let len = u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
+        if len == 0 || len == WRAP_MARKER {
+            return false;
+        }
+        let total = framed(len as usize) as usize;
+        if off + total > buf.len() {
+            return false;
+        }
+        let stored = u32::from_le_bytes([buf[off + 4], buf[off + 5], buf[off + 6], buf[off + 7]]);
+        crc32(&buf[off + 8..off + 8 + len as usize]) == stored
+    }
+
+    /// Skips past a hole left by a lost RDMA Write: scans forward from
+    /// the head for the next CRC-valid frame (or the wrap marker — wrap
+    /// markers ride plain Writes the RC transport retries below the verbs
+    /// API, so they always land) and advances the head to it, reclaiming
+    /// the lost region for the sender. Returns `true` if the head moved
+    /// (a subsequent [`RingReceiver::try_pop`] will find the frame).
+    ///
+    /// Only scans while the delivery account says a delivered frame is
+    /// stranded (`pending_delivered > 0`); a fruitless scan zeroes the
+    /// account, bounding repeat scans when duplicate completions inflate
+    /// it. A random payload passing the CRC check and masquerading as a
+    /// frame boundary has probability ~2⁻³², which this sim accepts —
+    /// the real protocol would carry a stronger end-to-end checksum.
+    pub fn resync(&self) -> bool {
+        let s = &*self.shared;
+        if s.pending_delivered.get() <= 0 {
+            return false;
+        }
+        let cap = s.capacity as usize;
+        let mut buf = vec![0u8; cap];
+        s.ring.read_local(0, &mut buf);
+        let head = s.head.get();
+        let pos = (head % s.capacity) as usize;
+        let mut off = pos + 4;
+        while off + 4 <= cap {
+            let word = u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
+            if word == WRAP_MARKER {
+                // The hole ends at the wrap: accept if offset 0 holds the
+                // next frame (or is still empty — another hole, which the
+                // next resync handles from there).
+                let first = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+                if Self::frame_valid_at(&buf, 0) || first == 0 {
+                    return self.skip_hole(head, (off - pos) as u64);
+                }
+            } else if word != 0 && Self::frame_valid_at(&buf, off) {
+                return self.skip_hole(head, (off - pos) as u64);
+            }
+            off += 4;
+        }
+        // No recoverable frame beyond the head: nothing was stranded
+        // after all (duplicate completions inflate the account).
+        s.pending_delivered.set(0);
+        false
+    }
+
+    /// Advances the head past `bytes` of lost (zeroed) ring without
+    /// debiting the delivery account — the lost frame's completion was
+    /// dropped with it, so it never credited the account.
+    fn skip_hole(&self, head: u64, bytes: u64) -> bool {
+        let s = &*self.shared;
+        s.resyncs.set(s.resyncs.get() + 1);
+        self.consume(head, bytes);
+        true
+    }
+
     /// Waits (event-driven, off-CPU) for the next message.
     pub async fn wait_message(&self) -> Vec<u8> {
+        let mut woke = false;
         loop {
             if let Some(m) = self.try_pop() {
                 return m;
             }
+            // Woken by a completion yet nothing poppable: if the account
+            // says a frame is stranded beyond a hole, skip the hole.
+            // Every path below reassigns `woke` before the next check.
+            if woke && self.resync() {
+                continue;
+            }
             self.flush_writeback();
             let completion = self.shared.cq.wait().await;
+            self.credit_pending(completion.byte_len);
+            woke = true;
             #[cfg(feature = "trace")]
             self.shared.pending_at.set(Some(completion.at));
-            #[cfg(not(feature = "trace"))]
-            let _ = completion;
         }
     }
 
     /// Waits for the next message, giving up at `deadline` (used by the
     /// polling server to bound a scheduling turn).
     pub async fn wait_message_until(&self, deadline: SimTime) -> Option<Vec<u8>> {
+        let mut woke = false;
         loop {
             if let Some(m) = self.try_pop() {
                 return Some(m);
+            }
+            // Every path below reassigns `woke` or returns.
+            if woke && self.resync() {
+                continue;
             }
             if catfish_simnet::now() >= deadline {
                 return None;
@@ -515,9 +780,11 @@ impl RingReceiver {
             let wait = Box::pin(self.shared.cq.wait());
             let timer = Box::pin(catfish_simnet::sleep_until(deadline));
             match select2(wait, timer).await {
-                Either::Left(_completion) => {
+                Either::Left(completion) => {
+                    self.credit_pending(completion.byte_len);
+                    woke = true;
                     #[cfg(feature = "trace")]
-                    self.shared.pending_at.set(Some(_completion.at));
+                    self.shared.pending_at.set(Some(completion.at));
                     continue;
                 }
                 Either::Right(()) => return None,
@@ -534,12 +801,13 @@ impl RingReceiver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use catfish_rdma::{Endpoint, RdmaProfile};
+    use catfish_rdma::{Endpoint, FaultConfig, FaultPlan, RdmaProfile};
     use catfish_simnet::{now, spawn, LinkSpec, Network, Sim};
 
     struct Rig {
         tx: RingSender,
         rx: RingReceiver,
+        sender_ep: Endpoint,
     }
 
     fn build_ring(capacity: usize) -> Rig {
@@ -560,7 +828,15 @@ mod tests {
         Rig {
             tx: RingSender::new(send_qp, 1, capacity, cell),
             rx: RingReceiver::new(ring, recv_qp, 2, cq),
+            sender_ep,
         }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -568,7 +844,7 @@ mod tests {
         let sim = Sim::new();
         sim.run_until(async {
             let rig = build_ring(4096);
-            rig.tx.send(b"hello ring", 0).await;
+            rig.tx.send(b"hello ring", 0).await.unwrap();
             assert_eq!(rig.rx.try_pop(), Some(b"hello ring".to_vec()));
             assert_eq!(rig.rx.try_pop(), None);
         });
@@ -580,7 +856,10 @@ mod tests {
         sim.run_until(async {
             let rig = build_ring(4096);
             for i in 0..20u8 {
-                rig.tx.send(&vec![i; (i as usize % 7) + 1], 0).await;
+                rig.tx
+                    .send(&vec![i; (i as usize % 7) + 1], 0)
+                    .await
+                    .unwrap();
             }
             for i in 0..20u8 {
                 let m = rig.rx.try_pop().expect("message present");
@@ -600,7 +879,7 @@ mod tests {
                 (m, now())
             });
             catfish_simnet::sleep(SimDuration::from_micros(50)).await;
-            rig.tx.send(b"wake", 7).await;
+            rig.tx.send(b"wake", 7).await.unwrap();
             let (m, at) = h.await;
             assert_eq!(m, b"wake".to_vec());
             // Arrived at 50us (send time) + ~1us wire latency.
@@ -624,7 +903,7 @@ mod tests {
     fn wrap_around_preserves_stream() {
         let sim = Sim::new();
         sim.run_until(async {
-            // Ring of 128 bytes; 24-byte payloads (28 framed): wraps often.
+            // Ring of 128 bytes; 24-byte payloads (32 framed): wraps often.
             let rig = build_ring(128);
             let rx = rig.rx.clone();
             let consumer = spawn(async move {
@@ -636,7 +915,7 @@ mod tests {
                 got
             });
             for i in 0..50u8 {
-                rig.tx.send(&[i; 24], 0).await;
+                rig.tx.send(&[i; 24], 0).await.unwrap();
             }
             let got = consumer.await;
             assert_eq!(got, (0..50).collect::<Vec<u8>>());
@@ -648,13 +927,13 @@ mod tests {
         let sim = Sim::new();
         sim.run_until(async {
             let rig = build_ring(64);
-            // 20-byte payloads frame to 24 bytes; two fit, third must wait.
-            rig.tx.send(&[1u8; 20], 0).await;
-            rig.tx.send(&[2u8; 20], 0).await;
+            // 20-byte payloads frame to 28 bytes; two fit, third must wait.
+            rig.tx.send(&[1u8; 20], 0).await.unwrap();
+            rig.tx.send(&[2u8; 20], 0).await.unwrap();
             let tx = rig.tx.clone();
             let t0 = now();
             let blocked = spawn(async move {
-                tx.send(&[3u8; 20], 0).await;
+                tx.send(&[3u8; 20], 0).await.unwrap();
                 now()
             });
             // Give the blocked sender time to be truly stuck.
@@ -682,7 +961,7 @@ mod tests {
                     for i in 0..25u8 {
                         let mut payload = vec![sender; 16];
                         payload[1] = i;
-                        tx.send(&payload, 0).await;
+                        tx.send(&payload, 0).await.unwrap();
                     }
                 }));
             }
@@ -714,7 +993,7 @@ mod tests {
         let sim = Sim::new();
         sim.run_until(async {
             let rig = build_ring(64);
-            rig.tx.send(&[0u8; 100], 0).await;
+            let _ = rig.tx.send(&[0u8; 100], 0).await;
         });
     }
 
@@ -724,7 +1003,7 @@ mod tests {
         sim.run_until(async {
             let rig = build_ring(4096);
             let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 10 + i as usize]).collect();
-            let doorbells = rig.tx.send_batch(&payloads, 3).await;
+            let doorbells = rig.tx.send_batch(&payloads, 3).await.unwrap();
             assert_eq!(doorbells, 1, "batch fits the ring in one post");
             for want in &payloads {
                 assert_eq!(rig.rx.try_pop().as_ref(), Some(want));
@@ -752,7 +1031,8 @@ mod tests {
             catfish_simnet::sleep(SimDuration::from_micros(10)).await;
             rig.tx
                 .send_batch(&[b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()], 0)
-                .await;
+                .await
+                .unwrap();
             let (first, rest) = consumer.await;
             assert_eq!(first, b"a".to_vec());
             assert_eq!(rest, vec![b"bb".to_vec(), b"ccc".to_vec()]);
@@ -773,10 +1053,10 @@ mod tests {
                 }
                 got
             });
-            let doorbells = rig.tx.send_batch(&payloads, 0).await;
+            let doorbells = rig.tx.send_batch(&payloads, 0).await.unwrap();
             assert!(
                 doorbells > 1,
-                "280 framed bytes cannot fit one 128-byte post"
+                "320 framed bytes cannot fit one 128-byte post"
             );
             assert_eq!(consumer.await, (0..10).collect::<Vec<u8>>());
         });
@@ -788,13 +1068,79 @@ mod tests {
         sim.run_until(async {
             let rig = build_ring(4096);
             assert!(!rig.tx.is_closed());
-            assert!(rig.tx.send(b"before", 0).await);
+            assert!(rig.tx.send(b"before", 0).await.is_ok());
             rig.tx.liveness().close();
             assert!(rig.tx.is_closed());
-            assert!(!rig.tx.send(b"after", 0).await);
-            assert_eq!(rig.tx.send_batch(&[b"x".to_vec()], 0).await, 0);
+            assert_eq!(rig.tx.send(b"after", 0).await, Err(SendError::Closed));
+            assert_eq!(
+                rig.tx.send_batch(&[b"x".to_vec()], 0).await,
+                Err(SendError::Closed)
+            );
             assert_eq!(rig.rx.try_pop(), Some(b"before".to_vec()));
             assert_eq!(rig.rx.try_pop(), None);
+        });
+    }
+
+    #[test]
+    fn corrupt_frame_is_dropped_and_stream_continues() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let rig = build_ring(4096);
+            // Corrupt every frame while the plan is attached.
+            let cfg = FaultConfig {
+                corrupt: 1.0,
+                ..FaultConfig::off()
+            };
+            rig.sender_ep.set_fault_plan(Some(FaultPlan::new(cfg, 7)));
+            for i in 0..3u8 {
+                rig.tx.send(&[i; 16], 0).await.unwrap();
+            }
+            // Clean sends after the plan is removed.
+            rig.sender_ep.set_fault_plan(None);
+            rig.tx.send(b"clean", 9).await.unwrap();
+            // The corrupt frames are silently dropped; the clean one pops.
+            assert_eq!(rig.rx.try_pop(), Some(b"clean".to_vec()));
+            assert_eq!(rig.rx.try_pop(), None);
+            assert_eq!(rig.rx.checksum_failures(), 3);
+            assert_eq!(rig.rx.resyncs(), 0);
+        });
+    }
+
+    #[test]
+    fn dropped_write_resyncs_to_next_frame() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let rig = build_ring(4096);
+            // First frame (and its completion) vanish in flight.
+            let cfg = FaultConfig {
+                drop_write: 1.0,
+                ..FaultConfig::off()
+            };
+            rig.sender_ep.set_fault_plan(Some(FaultPlan::new(cfg, 11)));
+            rig.tx.send(&[0xAB; 32], 1).await.unwrap();
+            rig.sender_ep.set_fault_plan(None);
+            // Second frame lands beyond the hole; its completion wakes
+            // the receiver, which must skip the hole to reach it.
+            rig.tx.send(b"survivor", 2).await.unwrap();
+            let m = rig.rx.wait_message().await;
+            assert_eq!(m, b"survivor".to_vec());
+            assert_eq!(rig.rx.resyncs(), 1);
+            assert_eq!(rig.rx.checksum_failures(), 0);
+        });
+    }
+
+    #[test]
+    fn full_ring_send_gives_up_with_timeout() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let rig = build_ring(64);
+            rig.tx.send(&[1u8; 20], 0).await.unwrap();
+            rig.tx.send(&[2u8; 20], 0).await.unwrap();
+            // Nobody drains: the third send must give up, not spin forever.
+            let t0 = now();
+            let res = rig.tx.send(&[3u8; 20], 0).await;
+            assert_eq!(res, Err(SendError::Timeout));
+            assert!(now() - t0 >= SEND_GIVE_UP);
         });
     }
 }

@@ -167,7 +167,8 @@ mod tests {
     async fn fast_search(ch: &ClientChannel, seq: u32, rect: Rect) -> Vec<u64> {
         ch.tx
             .send(&Message::SearchReq { seq, rect }.encode(), 0)
-            .await;
+            .await
+            .unwrap();
         let mut out = Vec::new();
         loop {
             let bytes = ch.rx.wait_message().await;
@@ -219,7 +220,8 @@ mod tests {
                     .encode(),
                     0,
                 )
-                .await;
+                .await
+                .unwrap();
             let bytes = ch.rx.wait_message().await;
             assert!(matches!(
                 Message::decode(&bytes).unwrap(),
@@ -251,7 +253,8 @@ mod tests {
                     .encode(),
                     0,
                 )
-                .await;
+                .await
+                .unwrap();
             let bytes = ch.rx.wait_message().await;
             assert!(matches!(
                 Message::decode(&bytes).unwrap(),
@@ -361,7 +364,7 @@ mod tests {
                     data: 777,
                 },
             ]);
-            ch.tx.send(&batch.encode(), 0).await;
+            ch.tx.send(&batch.encode(), 0).await.unwrap();
             let mut ends = 0;
             while ends < 3 {
                 let bytes = ch.rx.wait_message().await;
@@ -387,7 +390,7 @@ mod tests {
         sim.run_until(async {
             let (server, ch) = build_pair();
             // Unknown tag 0xFF: dropped, counted, connection stays usable.
-            ch.tx.send(&[0xFF, 1, 2, 3], 0).await;
+            ch.tx.send(&[0xFF, 1, 2, 3], 0).await.unwrap();
             let got = fast_search(&ch, 1, Rect::new(0.0, 0.0, 0.05, 0.05)).await;
             assert!(!got.is_empty());
             assert_eq!(server.stats().decode_errors, 1);

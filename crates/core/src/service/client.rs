@@ -119,29 +119,66 @@ impl<B: ClientBackend> ServiceClient<B> {
         self
     }
 
-    /// Counters so far.
+    /// Counters so far, folding in the response-ring integrity counters
+    /// and the adaptive staleness-failsafe windows.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        let mut st = self.stats;
+        st.checksum_failures += self.ch.rx.checksum_failures();
+        st.resyncs += self.ch.rx.resyncs();
+        st.stale_heartbeat_windows += self.adaptive.stale_windows();
+        st
     }
 
     /// Receives the next ring message, either event-driven (block on the
     /// completion channel, off-CPU) or by holding a core and polling.
-    async fn recv_ring_message(&mut self) -> Vec<u8> {
+    /// Gives up at `deadline` (the per-attempt request timeout).
+    async fn recv_ring_message(&mut self, deadline: SimTime) -> Option<Vec<u8>> {
         match self.poll_pool.clone() {
-            None => self.ch.rx.wait_message().await,
+            None => self.ch.rx.wait_message_until(deadline).await,
             Some(pool) => loop {
+                if now() >= deadline {
+                    return None;
+                }
                 let quantum = pool.quantum();
                 let core = pool.acquire().await;
-                let got = self.ch.rx.wait_message_until(now() + quantum).await;
+                let turn_end = now() + quantum;
+                let turn_end = if turn_end < deadline {
+                    turn_end
+                } else {
+                    deadline
+                };
+                let got = self.ch.rx.wait_message_until(turn_end).await;
                 drop(core);
-                if let Some(bytes) = got {
-                    return bytes;
+                if got.is_some() {
+                    return got;
                 }
                 // Turn expired without a message: requeue behind the other
                 // polling threads on this machine.
                 catfish_simnet::yield_now().await;
             },
         }
+    }
+
+    /// Doubles a backoff up to the configured ceiling.
+    fn next_backoff(&self, backoff: SimDuration) -> SimDuration {
+        let doubled = backoff.as_nanos().saturating_mul(2);
+        SimDuration::from_nanos(doubled.min(self.cfg.retry_backoff_max.as_nanos()))
+    }
+
+    /// Handles one request-attempt timeout: counts it, nudges a possibly
+    /// wedged response stream past any lost-write hole, and backs off
+    /// (attributed to [`Phase::RetryBackoff`]). Returns `false` when the
+    /// retry budget is exhausted.
+    async fn timeout_backoff(&mut self, retries: u32, backoff: SimDuration) -> bool {
+        self.stats.timeouts += 1;
+        if retries >= self.cfg.max_retries {
+            return false;
+        }
+        self.ch.rx.resync();
+        let span = self.trace.begin();
+        sleep(backoff).await;
+        self.trace.end(Phase::RetryBackoff, span);
+        true
     }
 
     /// Consumes everything already sitting in the response ring —
@@ -197,29 +234,56 @@ impl<B: ClientBackend> ServiceClient<B> {
     ) -> (u32, Vec<WireItem<B>>) {
         self.seq += 1;
         let seq = self.seq;
-        self.ch.tx.send(&B::Wire::encode(&build(seq)), seq).await;
+        let encoded = B::Wire::encode(&build(seq));
+        if self.ch.tx.send(&encoded, seq).await.is_err() {
+            return (0, Vec::new());
+        }
         // CqWait: request delivered until the END frame is in hand —
         // everything the client spends blocked on the response path.
         let wait_span = self.trace.begin();
         let mut out = Vec::new();
+        let mut retries = 0u32;
+        let mut backoff = self.cfg.retry_backoff;
         loop {
-            let bytes = self.recv_ring_message().await;
-            let Ok(msg) = B::Wire::decode(&bytes) else {
-                continue;
-            };
-            match B::Wire::classify(msg) {
-                Incoming::Heartbeat(p) => self.note_heartbeat(p),
-                Incoming::Cont { seq: s, items } if s == seq => out.extend(items),
-                Incoming::End {
-                    seq: s,
-                    items,
-                    status,
-                } if s == seq => {
-                    out.extend(items);
-                    self.trace.end(Phase::CqWait, wait_span);
-                    return (status, out);
+            let deadline = now() + self.cfg.request_timeout;
+            loop {
+                let Some(bytes) = self.recv_ring_message(deadline).await else {
+                    break;
+                };
+                let Ok(msg) = B::Wire::decode(&bytes) else {
+                    continue;
+                };
+                match B::Wire::classify(msg) {
+                    Incoming::Heartbeat(p) => self.note_heartbeat(p),
+                    Incoming::Cont { seq: s, items } if s == seq => out.extend(items),
+                    Incoming::End {
+                        seq: s,
+                        items,
+                        status,
+                    } if s == seq => {
+                        out.extend(items);
+                        self.trace.end(Phase::CqWait, wait_span);
+                        return (status, out);
+                    }
+                    _ => {}
                 }
-                _ => {}
+            }
+            // Attempt timed out: retransmit under the same sequence number
+            // (the server's dedup window keeps retried writes idempotent),
+            // with capped exponential backoff between attempts.
+            if !self.timeout_backoff(retries, backoff).await {
+                self.trace.end(Phase::CqWait, wait_span);
+                return (0, out);
+            }
+            backoff = self.next_backoff(backoff);
+            retries += 1;
+            // CONT segments of an abandoned attempt may be partial; a
+            // retransmitted request re-sends the full response.
+            out.clear();
+            self.stats.retransmits += 1;
+            if self.ch.tx.send(&encoded, seq).await.is_err() {
+                self.trace.end(Phase::CqWait, wait_span);
+                return (0, out);
             }
         }
     }
@@ -276,41 +340,86 @@ impl<B: ClientBackend> ServiceClient<B> {
             }
             self.stats.fast_reads += chunk as u64;
             let first_seq = seqs[0];
-            if chunk == 1 {
+            let sent = if chunk == 1 {
                 let msg = msgs.pop().expect("one request");
-                self.ch.tx.send(&B::Wire::encode(&msg), first_seq).await;
+                self.ch.tx.send(&B::Wire::encode(&msg), first_seq).await
             } else {
                 self.stats.batches_sent += 1;
                 self.stats.batched_msgs += chunk as u64;
                 self.ch
                     .tx
                     .send(&B::Wire::encode(&B::Wire::batch(msgs)), first_seq)
-                    .await;
+                    .await
+            };
+            if sent.is_err() {
+                out.extend(vec![Vec::new(); chunk]);
+                next += chunk;
+                continue;
             }
             let wait_span = self.trace.begin();
             let mut pending: HashMap<u32, usize> =
                 seqs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
             let mut bufs: Vec<Vec<WireItem<B>>> = vec![Vec::new(); chunk];
             let mut done = 0usize;
-            while done < chunk {
-                let bytes = self.recv_ring_message().await;
-                let Ok(msg) = B::Wire::decode(&bytes) else {
-                    continue;
+            let mut retries = 0u32;
+            let mut backoff = self.cfg.retry_backoff;
+            'flush: while done < chunk {
+                let deadline = now() + self.cfg.request_timeout;
+                while done < chunk {
+                    let Some(bytes) = self.recv_ring_message(deadline).await else {
+                        break;
+                    };
+                    let Ok(msg) = B::Wire::decode(&bytes) else {
+                        continue;
+                    };
+                    match B::Wire::classify(msg) {
+                        Incoming::Heartbeat(p) => self.note_heartbeat(p),
+                        Incoming::Cont { seq, items } => {
+                            if let Some(&i) = pending.get(&seq) {
+                                bufs[i].extend(items);
+                            }
+                        }
+                        Incoming::End { seq, items, .. } => {
+                            if let Some(i) = pending.remove(&seq) {
+                                bufs[i].extend(items);
+                                done += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if done >= chunk {
+                    break;
+                }
+                // Responses for part of the flush never arrived:
+                // retransmit only the still-pending requests, re-keyed by
+                // their original sequence numbers so server-side dedup
+                // keeps the retried operations idempotent.
+                if !self.timeout_backoff(retries, backoff).await {
+                    break; // give up: unanswered slots stay empty
+                }
+                backoff = self.next_backoff(backoff);
+                retries += 1;
+                let mut redo: Vec<(usize, u32)> = pending.iter().map(|(&s, &i)| (i, s)).collect();
+                redo.sort_unstable();
+                let mut remsgs = Vec::with_capacity(redo.len());
+                for &(i, s) in &redo {
+                    bufs[i].clear(); // partial CONTs will be re-sent in full
+                    remsgs.push(B::read_request(s, &reads[next + i]));
+                }
+                self.stats.retransmits += remsgs.len() as u64;
+                let re_seq = redo[0].1;
+                let resent = if remsgs.len() == 1 {
+                    let msg = remsgs.pop().expect("one request");
+                    self.ch.tx.send(&B::Wire::encode(&msg), re_seq).await
+                } else {
+                    self.ch
+                        .tx
+                        .send(&B::Wire::encode(&B::Wire::batch(remsgs)), re_seq)
+                        .await
                 };
-                match B::Wire::classify(msg) {
-                    Incoming::Heartbeat(p) => self.note_heartbeat(p),
-                    Incoming::Cont { seq, items } => {
-                        if let Some(&i) = pending.get(&seq) {
-                            bufs[i].extend(items);
-                        }
-                    }
-                    Incoming::End { seq, items, .. } => {
-                        if let Some(i) = pending.remove(&seq) {
-                            bufs[i].extend(items);
-                            done += 1;
-                        }
-                    }
-                    _ => {}
+                if resent.is_err() {
+                    break 'flush;
                 }
             }
             self.trace.end(Phase::CqWait, wait_span);

@@ -82,6 +82,12 @@ pub trait WireCodec: Sized + 'static {
 
     /// Classifies a received message for the generic receive loops.
     fn classify(msg: Self::Message) -> Incoming<Self>;
+
+    /// Identifies a request: its sequence number and stats kind. `None`
+    /// for non-requests (responses, heartbeats, batch envelopes). The
+    /// server's per-connection duplicate-detection window keys on the
+    /// sequence number to keep retransmitted writes idempotent.
+    fn request_meta(msg: &Self::Message) -> Option<(u32, OpKind)>;
 }
 
 /// A received message, classified for the generic receive loops.

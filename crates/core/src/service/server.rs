@@ -20,6 +20,7 @@
 //! proportional to messages, not poll iterations.
 
 use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
@@ -31,11 +32,53 @@ use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration};
 use crate::config::{ServerConfig, ServerMode};
 use crate::conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
 use crate::obs::{Phase, TraceSink};
-use crate::ring::RingSender;
+use crate::ring::{RingReceiver, RingSender};
 use crate::stats::ServiceStats;
 use crate::store::MrMemory;
 
 use super::{response_frames, Execution, Incoming, IndexBackend, OpKind, RemoteHandle, WireCodec};
+
+/// Per-connection duplicate-detection window: remembers the sequence
+/// numbers (and END statuses) of recently executed write-class requests so
+/// a retransmitted insert/put/delete is answered from the cache instead of
+/// being applied twice — the server half of the exactly-once contract.
+/// Reads are simply re-executed. Bounded FIFO: the client's retry budget
+/// bounds how far behind a duplicate can trail, so a window much larger
+/// than `max_retries · max_batch` never evicts a live entry.
+struct DedupWindow {
+    seen: HashMap<u32, u32>,
+    order: VecDeque<u32>,
+    cap: usize,
+}
+
+impl DedupWindow {
+    fn new(cap: usize) -> Self {
+        DedupWindow {
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The cached END status for `seq`, if this write was already applied.
+    fn hit(&self, seq: u32) -> Option<u32> {
+        self.seen.get(&seq).copied()
+    }
+
+    fn record(&mut self, seq: u32, status: u32) {
+        if self.seen.insert(seq, status).is_none() {
+            self.order.push_back(seq);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.seen.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Dedup-window capacity per connection (see [`DedupWindow`]).
+const DEDUP_WINDOW: usize = 1024;
 
 struct ServerInner<B: IndexBackend> {
     endpoint: Endpoint,
@@ -47,6 +90,9 @@ struct ServerInner<B: IndexBackend> {
     layout: B::Layout,
     rkeys: RkeyAllocator,
     heartbeat_targets: RefCell<Vec<RingSender>>,
+    /// Request-ring receivers of accepted connections, kept so
+    /// [`ServiceServer::stats`] can fold their integrity counters in.
+    rings: RefCell<Vec<RingReceiver>>,
     stats: RefCell<ServiceStats>,
     tcp: RefCell<Option<TcpEndpoint>>,
     trace: RefCell<TraceSink>,
@@ -113,6 +159,7 @@ impl<B: IndexBackend> ServiceServer<B> {
                 layout,
                 rkeys: rkeys.clone(),
                 heartbeat_targets: RefCell::new(Vec::new()),
+                rings: RefCell::new(Vec::new()),
                 stats: RefCell::new(ServiceStats::default()),
                 tcp: RefCell::new(None),
                 trace: RefCell::new(TraceSink::default()),
@@ -158,9 +205,15 @@ impl<B: IndexBackend> ServiceServer<B> {
         f(&self.inner.backend.borrow())
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters, folding in the request-ring integrity counters
+    /// of every accepted connection.
     pub fn stats(&self) -> ServiceStats {
-        *self.inner.stats.borrow()
+        let mut st = *self.inner.stats.borrow();
+        for rx in self.inner.rings.borrow().iter() {
+            st.checksum_failures += rx.checksum_failures();
+            st.resyncs += rx.resyncs();
+        }
+        st
     }
 
     /// Connections the heartbeat publisher currently fans out to (departed
@@ -181,6 +234,7 @@ impl<B: IndexBackend> ServiceServer<B> {
             .heartbeat_targets
             .borrow_mut()
             .push(sc.tx.clone());
+        self.inner.rings.borrow_mut().push(sc.rx.clone());
         sc.rx
             .set_trace(self.inner.trace.borrow().clone(), Phase::ServerQueue);
         let this = self.clone();
@@ -212,9 +266,18 @@ impl<B: IndexBackend> ServiceServer<B> {
                 ))
                 .into();
                 let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
+                let plan = this.inner.endpoint.fault_plan();
                 let mut any_closed = false;
                 for tx in targets {
-                    if !tx.send(&msg, 0).await {
+                    // Fault injection: a suppressed heartbeat is simply not
+                    // delivered this tick — the client-side staleness
+                    // failsafe must cover for it.
+                    if let Some(plan) = &plan {
+                        if plan.suppress_heartbeat() {
+                            continue;
+                        }
+                    }
+                    if tx.send(&msg, 0).await.is_err() {
                         any_closed = true;
                     }
                 }
@@ -244,8 +307,25 @@ impl<B: IndexBackend> ServiceServer<B> {
         frames
     }
 
+    /// Worker-side fault injection, applied once per received frame:
+    /// an injected stall parks the worker (GC pause, scheduler hiccup),
+    /// and a crash window discards the frame entirely — the worker
+    /// "restarts" with its connection state (including the dedup window)
+    /// intact, so retransmitted requests are still answered idempotently.
+    /// Returns `true` when the frame was consumed by a crash.
+    async fn inject_worker_faults(&self) -> bool {
+        let Some(plan) = self.inner.endpoint.fault_plan() else {
+            return false;
+        };
+        if let Some(d) = plan.worker_stall() {
+            sleep(d).await;
+        }
+        plan.crash_discard(now())
+    }
+
     async fn worker_event(&self, ch: ServerChannel) {
         let window = self.inner.cfg.batch_window;
+        let dedup = RefCell::new(DedupWindow::new(DEDUP_WINDOW));
         loop {
             let first = ch.rx.wait_message().await;
             // Optional linger: trade latency for fuller batches. The
@@ -256,7 +336,10 @@ impl<B: IndexBackend> ServiceServer<B> {
             let frames = self.drain_arrived(first, &ch);
             let mut execs = Vec::new();
             for bytes in frames {
-                execs.extend(self.process(&bytes, false).await);
+                if self.inject_worker_faults().await {
+                    continue;
+                }
+                execs.extend(self.process(&bytes, false, Some(&dedup)).await);
             }
             self.respond(execs, &ch, false).await;
         }
@@ -264,6 +347,7 @@ impl<B: IndexBackend> ServiceServer<B> {
 
     async fn worker_polling(&self, ch: ServerChannel) {
         let quantum = self.inner.cpu.quantum();
+        let dedup = RefCell::new(DedupWindow::new(DEDUP_WINDOW));
         loop {
             // Occupy a core for a full turn, busy or not.
             let core = self.inner.cpu.acquire().await;
@@ -272,7 +356,10 @@ impl<B: IndexBackend> ServiceServer<B> {
                 let frames = self.drain_arrived(bytes, &ch);
                 let mut execs = Vec::new();
                 for b in frames {
-                    execs.extend(self.process(&b, true).await);
+                    if self.inject_worker_faults().await {
+                        continue;
+                    }
+                    execs.extend(self.process(&b, true, Some(&dedup)).await);
                 }
                 self.respond(execs, &ch, true).await;
                 if now() >= turn_end {
@@ -305,7 +392,12 @@ impl<B: IndexBackend> ServiceServer<B> {
     /// frame**, so a batch of N requests amortizes it N ways. Shared by
     /// the ring workers and the TCP baseline; only the response transport
     /// differs between them.
-    async fn process(&self, bytes: &[u8], holding_core: bool) -> Vec<Execution<B::Wire>> {
+    async fn process(
+        &self,
+        bytes: &[u8],
+        holding_core: bool,
+        dedup: Option<&RefCell<DedupWindow>>,
+    ) -> Vec<Execution<B::Wire>> {
         let trace = self.inner.trace.borrow().clone();
         let dispatch_span = trace.begin();
         // A malformed request is dropped (a real server would close the
@@ -331,6 +423,26 @@ impl<B: IndexBackend> ServiceServer<B> {
         };
         let mut execs = Vec::with_capacity(msgs.len());
         for m in msgs {
+            // Duplicate detection: a retransmitted write-class request is
+            // answered from the cached END status instead of being applied
+            // twice — retried inserts/deletes stay idempotent.
+            let meta = B::Wire::request_meta(&m);
+            if let (Some(dedup), Some((seq, kind))) = (dedup, meta) {
+                if kind != OpKind::Read {
+                    if let Some(status) = dedup.borrow().hit(seq) {
+                        self.inner.stats.borrow_mut().dup_drops += 1;
+                        execs.push(Execution {
+                            seq,
+                            kind,
+                            cost: SimDuration::ZERO,
+                            items: Vec::new(),
+                            status,
+                            nodes_visited: 0,
+                        });
+                        continue;
+                    }
+                }
+            }
             // The backend borrow is released before any await point.
             let Some(exec) = self
                 .inner
@@ -340,6 +452,11 @@ impl<B: IndexBackend> ServiceServer<B> {
             else {
                 continue;
             };
+            if let (Some(dedup), Some((seq, kind))) = (dedup, meta) {
+                if kind != OpKind::Read {
+                    dedup.borrow_mut().record(seq, exec.status);
+                }
+            }
             self.charge(exec.cost, holding_core).await;
             {
                 let mut st = self.inner.stats.borrow_mut();
@@ -398,7 +515,12 @@ impl<B: IndexBackend> ServiceServer<B> {
         let tx = ch.tx.clone();
         spawn(async move {
             for group in frames.chunks(max_batch) {
-                tx.send_batch(group, 0).await;
+                // A closed or persistently full response ring means the
+                // client is gone (or wedged): drop the rest of the group
+                // rather than block the worker forever.
+                if tx.send_batch(group, 0).await.is_err() {
+                    break;
+                }
             }
             trace.end(Phase::RespTransit, transit_span);
         });
@@ -438,7 +560,9 @@ impl<B: IndexBackend> ServiceServer<B> {
     }
 
     async fn handle_tcp(&self, bytes: Vec<u8>, conn: &Rc<TcpConn>) {
-        let execs = self.process(&bytes, false).await;
+        // TCP is the lossless baseline: no retransmission layer above it,
+        // so no dedup window either.
+        let execs = self.process(&bytes, false, None).await;
         if execs.is_empty() {
             return;
         }

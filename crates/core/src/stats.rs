@@ -51,6 +51,24 @@ pub struct ServiceStats {
     pub batched_msgs: u64,
     /// Malformed ring frames dropped by the server's decode step.
     pub decode_errors: u64,
+    /// Client request attempts that hit their deadline without a response.
+    pub timeouts: u64,
+    /// Requests retransmitted after a timeout (≤ `timeouts`: each timeout
+    /// triggers at most one retransmission; the final timeout of an
+    /// exhausted budget triggers none).
+    pub retransmits: u64,
+    /// Retried requests the server recognized by sequence number and
+    /// answered from its duplicate-detection window instead of
+    /// re-executing (keeps retried inserts/deletes idempotent).
+    pub dup_drops: u64,
+    /// Ring frames dropped because their payload checksum failed.
+    pub checksum_failures: u64,
+    /// Lost-write holes skipped by ring resync scans.
+    pub resyncs: u64,
+    /// Windows in which the adaptive failsafe declared the heartbeat
+    /// stream stale and failed over to offloading (edge-triggered: one
+    /// count per fresh→stale transition).
+    pub stale_heartbeat_windows: u64,
 }
 
 impl ServiceStats {
@@ -73,6 +91,12 @@ impl ServiceStats {
         self.batches_sent += other.batches_sent;
         self.batched_msgs += other.batched_msgs;
         self.decode_errors += other.decode_errors;
+        self.timeouts += other.timeouts;
+        self.retransmits += other.retransmits;
+        self.dup_drops += other.dup_drops;
+        self.checksum_failures += other.checksum_failures;
+        self.resyncs += other.resyncs;
+        self.stale_heartbeat_windows += other.stale_heartbeat_windows;
     }
 
     /// Fraction of client reads that went through the offloaded path,
@@ -101,7 +125,8 @@ impl fmt::Display for ServiceStats {
         write!(
             f,
             "fast {} / offloaded {} ({:.1}% offloaded), torn retries {}, restarts {}, cache hits {}, \
-             batches {} ({:.1} msgs/batch), decode errors {}",
+             batches {} ({:.1} msgs/batch), decode errors {}, timeouts {}, retransmits {}, \
+             dup drops {}, checksum failures {}, resyncs {}, stale hb windows {}",
             self.fast_reads,
             self.offloaded_reads,
             self.offload_fraction() * 100.0,
@@ -111,6 +136,12 @@ impl fmt::Display for ServiceStats {
             self.batches_sent,
             self.msgs_per_batch(),
             self.decode_errors,
+            self.timeouts,
+            self.retransmits,
+            self.dup_drops,
+            self.checksum_failures,
+            self.resyncs,
+            self.stale_heartbeat_windows,
         )
     }
 }
@@ -279,10 +310,22 @@ mod tests {
             reads: 2,
             offloaded_reads: 2,
             cache_hits: 5,
+            timeouts: 4,
+            retransmits: 3,
+            dup_drops: 2,
+            checksum_failures: 1,
+            resyncs: 1,
+            stale_heartbeat_windows: 1,
             ..ServiceStats::default()
         };
         a.merge(&b);
         assert_eq!(a.reads, 3);
+        assert_eq!(a.timeouts, 4);
+        assert_eq!(a.retransmits, 3);
+        assert_eq!(a.dup_drops, 2);
+        assert_eq!(a.checksum_failures, 1);
+        assert_eq!(a.resyncs, 1);
+        assert_eq!(a.stale_heartbeat_windows, 1);
         assert_eq!(a.fast_reads, 3);
         assert_eq!(a.offloaded_reads, 3);
         assert_eq!(a.torn_retries, 2);

@@ -126,6 +126,9 @@ fn scripted_heartbeats_match_algorithm_one_bands() {
             }
             AdaptiveEvent::BusyReset => resets += 1,
             AdaptiveEvent::Route { .. } => routes += 1,
+            AdaptiveEvent::StaleHeartbeat { .. } => {
+                panic!("heartbeats flow throughout this scenario")
+            }
         }
     }
     // Five decisions, five heartbeats consumed; the band never exceeds

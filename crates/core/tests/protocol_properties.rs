@@ -153,7 +153,7 @@ proptest! {
                 for (i, len) in sender_sizes.into_iter().enumerate() {
                     let mut payload = vec![(i % 251) as u8; len];
                     payload[0] = (i % 256) as u8;
-                    ca.tx.send(&payload, i as u32).await;
+                    ca.tx.send(&payload, i as u32).await.unwrap();
                 }
             });
             for (i, len) in sizes.into_iter().enumerate() {
@@ -190,7 +190,7 @@ proptest! {
             let rkeys = RkeyAllocator::new();
             let (ca, sb) = establish(&a, &b, ring_kb * 1024, &rkeys);
             // Prime: advance the ring tail to an arbitrary offset.
-            ca.tx.send(&vec![0xAA; prime], 0).await;
+            ca.tx.send(&vec![0xAA; prime], 0).await.unwrap();
             assert_eq!(sb.rx.wait_message().await.len(), prime);
             let payloads: Vec<Vec<u8>> = sizes
                 .iter()
@@ -203,7 +203,7 @@ proptest! {
                 .collect();
             let expect = payloads.clone();
             let sender = catfish_simnet::spawn(async move {
-                assert!(ca.tx.send_batch(&payloads, 7).await >= 1);
+                assert!(ca.tx.send_batch(&payloads, 7).await.unwrap() >= 1);
             });
             for (i, want) in expect.iter().enumerate() {
                 let got = sb.rx.wait_message().await;

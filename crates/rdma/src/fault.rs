@@ -1,0 +1,444 @@
+//! Seeded, deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] is a cloneable handle attached to an [`Endpoint`]
+//! (and, through it, every [`QueuePair`] and ring built on that
+//! endpoint). Each injection decision draws from one seeded RNG on the
+//! deterministic virtual clock, so a faulty run replays byte-identically
+//! from its seed — `cargo test` can script a lost write and land on the
+//! exact same recovery interleaving every time.
+//!
+//! The plan can:
+//!
+//! * drop, duplicate, or delay message-bearing RDMA writes (those posted
+//!   with an immediate) and their completions;
+//! * corrupt ring frame payload bytes (caught by the ring CRC);
+//! * suppress heartbeat deliveries;
+//! * stall a server worker, or discard every frame a worker picks up
+//!   inside a scripted crash-restart window.
+//!
+//! Plain writes (ring wrap markers, processed-head write-backs) are
+//! deliberately exempt: they model RC-transport bookkeeping that real
+//! hardware retransmits below the verbs API, and no software recovery
+//! protocol ever observes their loss.
+//!
+//! [`Endpoint`]: crate::Endpoint
+//! [`QueuePair`]: crate::QueuePair
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use catfish_simnet::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probabilities and windows governing injected faults. All
+/// probabilities are in `[0, 1]` and default to `0` (no faults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a message-bearing write is dropped entirely (neither
+    /// its bytes nor its completion arrive).
+    pub drop_write: f64,
+    /// Probability a delivered write's completion is dropped (bytes
+    /// land, but the event-driven receiver is not woken for them).
+    pub drop_completion: f64,
+    /// Probability a delivered write's completion is duplicated (the
+    /// receiver sees one spurious extra wakeup).
+    pub duplicate: f64,
+    /// Probability a delivered write is delayed by up to
+    /// [`FaultConfig::max_delay`] beyond its modeled delivery time.
+    pub delay: f64,
+    /// Upper bound of the uniform extra delivery delay.
+    pub max_delay: SimDuration,
+    /// Probability one payload byte of a ring frame is flipped in
+    /// flight (detected by the frame CRC at the receiver).
+    pub corrupt: f64,
+    /// Probability an individual heartbeat delivery is suppressed.
+    pub suppress_heartbeat: f64,
+    /// Probability a server worker stalls for
+    /// [`FaultConfig::stall_duration`] before processing a frame.
+    pub stall: f64,
+    /// Length of an injected worker stall.
+    pub stall_duration: SimDuration,
+    /// A scripted crash-restart window: every frame a server worker
+    /// picks up inside `[start, start + duration)` is discarded before
+    /// execution, as if the process died with requests in flight and a
+    /// replacement came back with the same state.
+    pub crash_window: Option<(SimTime, SimDuration)>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_write: 0.0,
+            drop_completion: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay: SimDuration::from_micros(50),
+            corrupt: 0.0,
+            suppress_heartbeat: 0.0,
+            stall: 0.0,
+            stall_duration: SimDuration::from_millis(2),
+            crash_window: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config that injects nothing (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// True when at least one fault can fire.
+    pub fn is_active(&self) -> bool {
+        self.drop_write > 0.0
+            || self.drop_completion > 0.0
+            || self.duplicate > 0.0
+            || self.delay > 0.0
+            || self.corrupt > 0.0
+            || self.suppress_heartbeat > 0.0
+            || self.stall > 0.0
+            || self.crash_window.is_some()
+    }
+}
+
+/// Counts of faults actually injected — what the chaos harness checks
+/// its recovery accounting against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Message-bearing writes dropped (bytes and completion lost).
+    pub writes_dropped: u64,
+    /// Completions dropped while their write's bytes still landed.
+    pub completions_dropped: u64,
+    /// Completions duplicated.
+    pub completions_duplicated: u64,
+    /// Writes delivered late.
+    pub writes_delayed: u64,
+    /// Ring frames with a payload byte flipped.
+    pub frames_corrupted: u64,
+    /// Heartbeat deliveries suppressed.
+    pub heartbeats_suppressed: u64,
+    /// Worker stalls injected.
+    pub stalls: u64,
+    /// Frames discarded inside the crash-restart window.
+    pub crash_discards: u64,
+}
+
+impl FaultCounters {
+    /// Total number of injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.writes_dropped
+            + self.completions_dropped
+            + self.completions_duplicated
+            + self.writes_delayed
+            + self.frames_corrupted
+            + self.heartbeats_suppressed
+            + self.stalls
+            + self.crash_discards
+    }
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    cfg: FaultConfig,
+    rng: StdRng,
+    counters: FaultCounters,
+}
+
+/// A shared, seeded fault-injection plan. Cloning shares the RNG and
+/// counters, so one plan attached to several endpoints draws one
+/// deterministic decision stream across the whole cluster.
+#[derive(Clone)]
+pub struct FaultPlan {
+    inner: Rc<RefCell<PlanInner>>,
+}
+
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("FaultPlan")
+            .field("cfg", &inner.cfg)
+            .field("counters", &inner.counters)
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// Creates a plan from `cfg`, seeding its decision RNG with `seed`.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultPlan {
+            inner: Rc::new(RefCell::new(PlanInner {
+                cfg,
+                rng: StdRng::seed_from_u64(seed ^ 0xFA17_FA17_FA17_FA17),
+                counters: FaultCounters::default(),
+            })),
+        }
+    }
+
+    /// Builds a plan from the `CATFISH_FAULTS` environment variable, for
+    /// running an unmodified test suite with faults globally enabled.
+    ///
+    /// Format: comma-separated `key=value` pairs; keys `loss`, `dupe`,
+    /// `delay`, `corrupt`, `hb`, `stall` (probabilities) and `seed`
+    /// (u64). Example: `CATFISH_FAULTS=loss=0.01,hb=0.05,seed=7`.
+    /// Returns `None` when the variable is unset or empty.
+    pub fn from_env() -> Option<FaultPlan> {
+        let raw = std::env::var("CATFISH_FAULTS").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        let mut cfg = FaultConfig::default();
+        let mut seed = 0x0C47_F15D_u64;
+        for pair in raw.split(',') {
+            let mut it = pair.splitn(2, '=');
+            let (key, val) = (
+                it.next().unwrap_or("").trim(),
+                it.next().unwrap_or("").trim(),
+            );
+            let prob = || val.parse::<f64>().unwrap_or(0.0).clamp(0.0, 1.0);
+            match key {
+                "loss" => cfg.drop_write = prob(),
+                "dupe" => cfg.duplicate = prob(),
+                "delay" => cfg.delay = prob(),
+                "corrupt" => cfg.corrupt = prob(),
+                "hb" => cfg.suppress_heartbeat = prob(),
+                "stall" => cfg.stall = prob(),
+                "seed" => seed = val.parse().unwrap_or(seed),
+                _ => {}
+            }
+        }
+        cfg.is_active().then(|| FaultPlan::new(cfg, seed))
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> FaultConfig {
+        self.inner.borrow().cfg
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn counters(&self) -> FaultCounters {
+        self.inner.borrow().counters
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        self.inner.borrow_mut().rng.gen_bool(p.min(1.0))
+    }
+
+    /// Should this message-bearing write be dropped entirely?
+    pub fn drop_write(&self) -> bool {
+        let p = self.inner.borrow().cfg.drop_write;
+        let hit = self.roll(p);
+        if hit {
+            self.inner.borrow_mut().counters.writes_dropped += 1;
+        }
+        hit
+    }
+
+    /// Should this write's completion be dropped (bytes still land)?
+    pub fn drop_completion(&self) -> bool {
+        let p = self.inner.borrow().cfg.drop_completion;
+        let hit = self.roll(p);
+        if hit {
+            self.inner.borrow_mut().counters.completions_dropped += 1;
+        }
+        hit
+    }
+
+    /// Should this write's completion be delivered twice?
+    pub fn duplicate_completion(&self) -> bool {
+        let p = self.inner.borrow().cfg.duplicate;
+        let hit = self.roll(p);
+        if hit {
+            self.inner.borrow_mut().counters.completions_duplicated += 1;
+        }
+        hit
+    }
+
+    /// Extra delivery delay for this write, if any.
+    pub fn write_delay(&self) -> Option<SimDuration> {
+        let (p, max) = {
+            let inner = self.inner.borrow();
+            (inner.cfg.delay, inner.cfg.max_delay)
+        };
+        if !self.roll(p) || max.is_zero() {
+            return None;
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.writes_delayed += 1;
+        let extra = inner.rng.gen_range(1..=max.as_nanos().max(1));
+        Some(SimDuration::from_nanos(extra))
+    }
+
+    /// Corruption for a frame of `payload_len` bytes: the payload byte
+    /// index to damage and a non-zero XOR mask, or `None`.
+    pub fn corrupt_frame(&self, payload_len: usize) -> Option<(usize, u8)> {
+        let p = self.inner.borrow().cfg.corrupt;
+        if payload_len == 0 || !self.roll(p) {
+            return None;
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.frames_corrupted += 1;
+        let at = inner.rng.gen_range(0..payload_len);
+        let mask = (inner.rng.gen_range(1..=255u32)) as u8;
+        Some((at, mask))
+    }
+
+    /// Should this heartbeat delivery be suppressed?
+    pub fn suppress_heartbeat(&self) -> bool {
+        let p = self.inner.borrow().cfg.suppress_heartbeat;
+        let hit = self.roll(p);
+        if hit {
+            self.inner.borrow_mut().counters.heartbeats_suppressed += 1;
+        }
+        hit
+    }
+
+    /// Injected stall before a server worker processes its next frame.
+    pub fn worker_stall(&self) -> Option<SimDuration> {
+        let (p, dur) = {
+            let inner = self.inner.borrow();
+            (inner.cfg.stall, inner.cfg.stall_duration)
+        };
+        if !self.roll(p) || dur.is_zero() {
+            return None;
+        }
+        self.inner.borrow_mut().counters.stalls += 1;
+        Some(dur)
+    }
+
+    /// True when `now` falls inside the scripted crash-restart window:
+    /// the caller must discard the frame it just picked up.
+    pub fn crash_discard(&self, now: SimTime) -> bool {
+        let window = self.inner.borrow().cfg.crash_window;
+        let hit = match window {
+            Some((start, dur)) => now >= start && now < start + dur,
+            None => false,
+        };
+        if hit {
+            self.inner.borrow_mut().counters.crash_discards += 1;
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_never_fires() {
+        let plan = FaultPlan::new(FaultConfig::off(), 7);
+        for _ in 0..100 {
+            assert!(!plan.drop_write());
+            assert!(!plan.drop_completion());
+            assert!(!plan.duplicate_completion());
+            assert!(plan.write_delay().is_none());
+            assert!(plan.corrupt_frame(64).is_none());
+            assert!(!plan.suppress_heartbeat());
+            assert!(plan.worker_stall().is_none());
+            assert!(!plan.crash_discard(SimTime::ZERO));
+        }
+        assert_eq!(plan.counters().total(), 0);
+    }
+
+    #[test]
+    fn decisions_replay_from_seed() {
+        let draw = |seed: u64| {
+            let plan = FaultPlan::new(
+                FaultConfig {
+                    drop_write: 0.3,
+                    corrupt: 0.3,
+                    delay: 0.3,
+                    ..FaultConfig::default()
+                },
+                seed,
+            );
+            let mut outcomes = Vec::new();
+            for _ in 0..200 {
+                outcomes.push((
+                    plan.drop_write(),
+                    plan.corrupt_frame(32),
+                    plan.write_delay(),
+                ));
+            }
+            (outcomes, plan.counters())
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42).0, draw(43).0, "seeds must differentiate streams");
+    }
+
+    #[test]
+    fn counters_track_injections() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                drop_write: 1.0,
+                suppress_heartbeat: 1.0,
+                ..FaultConfig::default()
+            },
+            1,
+        );
+        for _ in 0..5 {
+            assert!(plan.drop_write());
+            assert!(plan.suppress_heartbeat());
+        }
+        let c = plan.counters();
+        assert_eq!(c.writes_dropped, 5);
+        assert_eq!(c.heartbeats_suppressed, 5);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn crash_window_bounds_are_half_open() {
+        let start = SimTime::ZERO + SimDuration::from_millis(10);
+        let plan = FaultPlan::new(
+            FaultConfig {
+                crash_window: Some((start, SimDuration::from_millis(5))),
+                ..FaultConfig::default()
+            },
+            1,
+        );
+        assert!(!plan.crash_discard(SimTime::ZERO));
+        assert!(plan.crash_discard(start));
+        assert!(plan.crash_discard(start + SimDuration::from_millis(4)));
+        assert!(!plan.crash_discard(start + SimDuration::from_millis(5)));
+        assert_eq!(plan.counters().crash_discards, 2);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let a = FaultPlan::new(
+            FaultConfig {
+                drop_write: 0.5,
+                ..FaultConfig::default()
+            },
+            9,
+        );
+        let b = a.clone();
+        for _ in 0..50 {
+            let _ = a.drop_write();
+            let _ = b.drop_write();
+        }
+        assert_eq!(a.counters(), b.counters());
+        assert!(a.counters().writes_dropped > 0);
+    }
+
+    #[test]
+    fn corruption_mask_is_nonzero_and_in_range() {
+        let plan = FaultPlan::new(
+            FaultConfig {
+                corrupt: 1.0,
+                ..FaultConfig::default()
+            },
+            3,
+        );
+        for len in 1..64usize {
+            let (at, mask) = plan.corrupt_frame(len).expect("p=1 always corrupts");
+            assert!(at < len);
+            assert_ne!(mask, 0, "xor mask must actually flip bits");
+        }
+    }
+}

@@ -47,11 +47,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 mod mr;
 pub mod profile;
 mod qp;
 pub mod tcp;
 
+pub use fault::{FaultConfig, FaultCounters, FaultPlan};
 pub use mr::MemoryRegion;
 pub use profile::NetProfile;
 pub use qp::{Completion, CompletionQueue, Endpoint, QueuePair, RdmaError, RdmaProfile};

@@ -24,6 +24,7 @@ use std::rc::Rc;
 use catfish_simnet::sync::Notify;
 use catfish_simnet::{sleep_until, Network, NodeId, SimDuration, SimTime};
 
+use crate::fault::FaultPlan;
 use crate::mr::MemoryRegion;
 
 /// Fixed-cost parameters of the simulated RDMA stack.
@@ -84,6 +85,7 @@ struct EndpointInner {
     net: Network,
     profile: RdmaProfile,
     mrs: RefCell<HashMap<u32, MemoryRegion>>,
+    faults: RefCell<Option<FaultPlan>>,
 }
 
 /// One host's RDMA stack: NIC attachment plus registered memory.
@@ -122,8 +124,21 @@ impl Endpoint {
                 net: net.clone(),
                 profile,
                 mrs: RefCell::new(HashMap::new()),
+                faults: RefCell::new(None),
             }),
         }
+    }
+
+    /// Attaches a fault-injection plan to every operation issued from
+    /// this endpoint (and every ring built over its queue pairs).
+    /// `None` detaches.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.faults.borrow_mut() = plan;
+    }
+
+    /// The endpoint's fault plan, if one is attached.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.faults.borrow().clone()
     }
 
     /// The fabric node this endpoint is attached to.
@@ -257,6 +272,12 @@ impl QueuePair {
     /// This side's completion queue (receives peer write-with-imm events).
     pub fn recv_cq(&self) -> &CompletionQueue {
         &self.recv_cq
+    }
+
+    /// The fault plan attached to the local endpoint, if any. Ring
+    /// senders consult it to corrupt frame payloads in flight.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.local.faults.borrow().clone()
     }
 
     /// The local fabric node.
@@ -429,18 +450,52 @@ impl QueuePair {
     ) -> Result<(), RdmaError> {
         let mr = self.remote_mr(rkey, offset, data.len())?;
         let profile = self.local.profile;
-        let t_del =
+        let t_sched =
             self.local
                 .net
                 .schedule_transfer(self.local.node, self.remote.node, data.len() as u64);
+        // Faults apply only to message-bearing writes (those posted with
+        // an immediate). Plain writes carry ring bookkeeping — wrap
+        // markers and processed-head write-backs — that the RC transport
+        // retransmits below the verbs API; no recovery protocol ever
+        // observes their loss, so dropping them would wedge the ring in
+        // a way real hardware cannot.
+        let faults = if imm.is_some() {
+            self.local.faults.borrow().clone()
+        } else {
+            None
+        };
+        let mut deliver_data = true;
+        let mut deliver_completion = true;
+        let mut duplicate_completion = false;
+        let mut extra_delay = SimDuration::ZERO;
+        if let Some(plan) = &faults {
+            if plan.drop_write() {
+                deliver_data = false;
+                deliver_completion = false;
+            } else {
+                deliver_completion = !plan.drop_completion();
+                duplicate_completion = deliver_completion && plan.duplicate_completion();
+                if let Some(extra) = plan.write_delay() {
+                    extra_delay = extra;
+                }
+            }
+        }
+        let t_del = t_sched + extra_delay;
         sleep_until(t_del).await;
-        mr.write_local(offset, data);
-        if let Some(imm) = imm {
-            self.peer_cq.push(Completion {
+        if deliver_data {
+            mr.write_local(offset, data);
+        }
+        if let (Some(imm), true) = (imm, deliver_completion) {
+            let completion = Completion {
                 imm,
                 byte_len: data.len() as u32,
                 at: t_del,
-            });
+            };
+            self.peer_cq.push(completion);
+            if duplicate_completion {
+                self.peer_cq.push(completion);
+            }
         }
         sleep_until(t_del + profile.op_overhead).await;
         Ok(())
