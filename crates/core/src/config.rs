@@ -13,6 +13,14 @@ pub enum ServerMode {
     /// Workers block on the completion channel (RDMA Write-with-IMM) and
     /// yield the CPU until a message arrives.
     EventDriven,
+    /// Adaptive spin: a worker polls its ring for a short grace window
+    /// after the last arrival (polling-grade latency while traffic flows),
+    /// releases the core and yields when the grace expires, and after
+    /// [`ServerConfig::spin_yield_rounds`] idle turns parks off-CPU on the
+    /// completion channel (re-arming the CQ) until the next message. Keeps
+    /// hot connections on the fast path without Fig. 7's oversubscription
+    /// collapse: idle connections cost no cores.
+    AdaptiveSpin,
 }
 
 /// CPU cost model for server-side request processing.
@@ -115,6 +123,17 @@ pub struct ServerConfig {
     /// (the default) drains only messages that have **already** arrived —
     /// batching stays purely opportunistic and adds no latency.
     pub batch_window: SimDuration,
+    /// Merge adjacent response-ring writes into one doorbell
+    /// (RDMAbox-style): concurrent sends on a connection's response ring
+    /// stage their frames and the first sender to win the append lock
+    /// posts them all with a single Write-with-Immediate.
+    pub merge_writes: bool,
+    /// [`ServerMode::AdaptiveSpin`] only: how long a worker keeps spinning
+    /// on its ring after the last arrival before releasing its core.
+    pub spin_grace: SimDuration,
+    /// [`ServerMode::AdaptiveSpin`] only: consecutive idle spin turns
+    /// before the worker parks off-CPU on the completion channel.
+    pub spin_yield_rounds: u32,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +149,9 @@ impl Default for ServerConfig {
             response_segment_results: 1000,
             max_batch: 16,
             batch_window: SimDuration::ZERO,
+            merge_writes: true,
+            spin_grace: SimDuration::from_micros(20),
+            spin_yield_rounds: 2,
         }
     }
 }

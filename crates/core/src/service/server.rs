@@ -36,7 +36,10 @@ use crate::ring::{RingReceiver, RingSender};
 use crate::stats::ServiceStats;
 use crate::store::MrMemory;
 
-use super::{response_frames, Execution, Incoming, IndexBackend, OpKind, RemoteHandle, WireCodec};
+use super::{
+    response_frames, Execution, Incoming, IndexBackend, OpKind, RemoteHandle, WireCodec,
+    WireMessage,
+};
 
 /// Per-connection duplicate-detection window: remembers the sequence
 /// numbers (and END statuses) of recently executed write-class requests so
@@ -237,11 +240,16 @@ impl<B: IndexBackend> ServiceServer<B> {
         self.inner.rings.borrow_mut().push(sc.rx.clone());
         sc.rx
             .set_trace(self.inner.trace.borrow().clone(), Phase::ServerQueue);
+        // RDMAbox-style doorbell merging on the response ring: concurrent
+        // response/heartbeat writes to this client coalesce into one NIC
+        // message per doorbell.
+        sc.tx.set_merge(self.inner.cfg.merge_writes);
         let this = self.clone();
         spawn(async move {
             match this.inner.cfg.mode {
                 ServerMode::EventDriven => this.worker_event(sc).await,
                 ServerMode::Polling => this.worker_polling(sc).await,
+                ServerMode::AdaptiveSpin => this.worker_adaptive(sc).await,
             }
         });
         cc
@@ -291,20 +299,38 @@ impl<B: IndexBackend> ServiceServer<B> {
         });
     }
 
+    /// Decodes one ring frame **in place**: the payload slice is borrowed
+    /// straight out of the registered ring region (no intermediate `Vec`
+    /// copy) and parsed into an owned wire message before the frame slot is
+    /// recycled. A malformed request is dropped (a real server would close
+    /// the connection) and counted so operators can see it happening.
+    fn decode_frame(&self, bytes: &[u8]) -> Option<WireMessage<B>> {
+        match B::Wire::decode(bytes) {
+            Ok(m) => Some(m),
+            Err(_) => {
+                self.inner.stats.borrow_mut().decode_errors += 1;
+                None
+            }
+        }
+    }
+
     /// Drains up to `max_batch - 1` further frames that have **already**
     /// arrived behind `first` — the server half of adaptive batching: a
     /// batch exists only when a queue exists, so an idle connection keeps
-    /// today's one-frame path.
-    fn drain_arrived(&self, first: Vec<u8>, ch: &ServerChannel) -> Vec<Vec<u8>> {
+    /// today's one-frame path. Each drained frame is decoded in place from
+    /// the ring (see [`ServiceServer::decode_frame`]); malformed frames are
+    /// counted and skipped without consuming batch slots.
+    fn drain_arrived(&self, first: WireMessage<B>, ch: &ServerChannel) -> Vec<WireMessage<B>> {
         let max_batch = self.inner.cfg.max_batch.max(1);
-        let mut frames = vec![first];
-        while frames.len() < max_batch {
-            match ch.rx.try_pop() {
-                Some(b) => frames.push(b),
+        let mut msgs = vec![first];
+        while msgs.len() < max_batch {
+            match ch.rx.try_pop_map(|payload| self.decode_frame(payload)) {
+                Some(Some(m)) => msgs.push(m),
+                Some(None) => continue,
                 None => break,
             }
         }
-        frames
+        msgs
     }
 
     /// Worker-side fault injection, applied once per received frame:
@@ -327,19 +353,25 @@ impl<B: IndexBackend> ServiceServer<B> {
         let window = self.inner.cfg.batch_window;
         let dedup = RefCell::new(DedupWindow::new(DEDUP_WINDOW));
         loop {
-            let first = ch.rx.wait_message().await;
+            let Some(first) = ch
+                .rx
+                .wait_message_map(|payload| self.decode_frame(payload))
+                .await
+            else {
+                continue;
+            };
             // Optional linger: trade latency for fuller batches. The
             // default window is ZERO, so batching stays opportunistic.
             if !window.is_zero() && self.inner.cfg.max_batch > 1 {
                 sleep(window).await;
             }
-            let frames = self.drain_arrived(first, &ch);
+            let msgs = self.drain_arrived(first, &ch);
             let mut execs = Vec::new();
-            for bytes in frames {
+            for msg in msgs {
                 if self.inject_worker_faults().await {
                     continue;
                 }
-                execs.extend(self.process(&bytes, false, Some(&dedup)).await);
+                execs.extend(self.process(msg, false, Some(&dedup)).await);
             }
             self.respond(execs, &ch, false).await;
         }
@@ -352,16 +384,13 @@ impl<B: IndexBackend> ServiceServer<B> {
             // Occupy a core for a full turn, busy or not.
             let core = self.inner.cpu.acquire().await;
             let turn_end = now() + quantum;
-            while let Some(bytes) = ch.rx.wait_message_until(turn_end).await {
-                let frames = self.drain_arrived(bytes, &ch);
-                let mut execs = Vec::new();
-                for b in frames {
-                    if self.inject_worker_faults().await {
-                        continue;
-                    }
-                    execs.extend(self.process(&b, true, Some(&dedup)).await);
-                }
-                self.respond(execs, &ch, true).await;
+            while let Some(decoded) = ch
+                .rx
+                .wait_message_until_map(turn_end, |payload| self.decode_frame(payload))
+                .await
+            {
+                let Some(first) = decoded else { continue };
+                self.serve_batch(first, &ch, &dedup).await;
                 if now() >= turn_end {
                     break;
                 }
@@ -376,6 +405,89 @@ impl<B: IndexBackend> ServiceServer<B> {
         }
     }
 
+    /// Adaptive spin (spin → yield → block): the worker spins on its ring
+    /// like a polling worker while traffic flows, but releases its core as
+    /// soon as [`ServerConfig::spin_grace`] passes with no arrival, and
+    /// after [`ServerConfig::spin_yield_rounds`] consecutive idle turns
+    /// parks **off-CPU** on the completion channel (CQ re-arm) until the
+    /// next message. Hot connections keep polling-grade pickup latency;
+    /// idle connections cost no cores — so piling connections onto the
+    /// server degrades like event-driven instead of collapsing like Fig. 7.
+    async fn worker_adaptive(&self, ch: ServerChannel) {
+        let quantum = self.inner.cpu.quantum();
+        let grace = self.inner.cfg.spin_grace;
+        let park_after = self.inner.cfg.spin_yield_rounds.max(1);
+        let dedup = RefCell::new(DedupWindow::new(DEDUP_WINDOW));
+        let mut idle_turns = 0u32;
+        loop {
+            if idle_turns >= park_after {
+                // Blocked phase: no core held while waiting. The CQ wait
+                // models Write-with-IMM event delivery after re-arming.
+                let Some(first) = ch
+                    .rx
+                    .wait_message_map(|payload| self.decode_frame(payload))
+                    .await
+                else {
+                    continue;
+                };
+                let core = self.inner.cpu.acquire().await;
+                self.serve_batch(first, &ch, &dedup).await;
+                drop(core);
+                idle_turns = 0;
+                continue;
+            }
+            // Spin phase: hold a core and poll, but only while messages
+            // keep arriving within the grace window. Bounded by one
+            // scheduling quantum per turn so oversubscribed spinners still
+            // rotate through the run queue.
+            let core = self.inner.cpu.acquire().await;
+            let turn_end = now() + quantum;
+            let mut got_any = false;
+            loop {
+                let deadline = (now() + grace).min(turn_end);
+                let Some(decoded) = ch
+                    .rx
+                    .wait_message_until_map(deadline, |payload| self.decode_frame(payload))
+                    .await
+                else {
+                    break;
+                };
+                let Some(first) = decoded else { continue };
+                got_any = true;
+                self.serve_batch(first, &ch, &dedup).await;
+                if now() >= turn_end {
+                    break;
+                }
+            }
+            drop(core);
+            if got_any {
+                idle_turns = 0;
+            } else {
+                idle_turns += 1;
+            }
+            catfish_simnet::yield_now().await;
+        }
+    }
+
+    /// Drains, executes, and answers one batch starting at `first`, on a
+    /// core the caller already holds (shared by the polling-style workers).
+    async fn serve_batch(
+        &self,
+        first: WireMessage<B>,
+        ch: &ServerChannel,
+        dedup: &RefCell<DedupWindow>,
+    ) {
+        let msgs = self.drain_arrived(first, ch);
+        let mut execs = Vec::new();
+        for m in msgs {
+            if self.inject_worker_faults().await {
+                continue;
+            }
+            execs.extend(self.process(m, true, Some(dedup)).await);
+        }
+        self.respond(execs, ch, true).await;
+    }
+
     /// Charges `cost` of CPU: queued through the pool in event mode, or
     /// consumed on the already-held core in polling mode.
     async fn charge(&self, cost: SimDuration, holding_core: bool) {
@@ -386,29 +498,22 @@ impl<B: IndexBackend> ServiceServer<B> {
         }
     }
 
-    /// Decodes, executes, charges, and counts one ring frame — which may
-    /// carry a single request or a doorbell batch of them. The fixed
-    /// `dispatch` cost (CQ poll, wakeup, decode) is charged **once per
-    /// frame**, so a batch of N requests amortizes it N ways. Shared by
+    /// Executes, charges, and counts one already-decoded ring frame —
+    /// which may carry a single request or a doorbell batch of them. The
+    /// frame's bytes were parsed in place by [`ServiceServer::decode_frame`]
+    /// while still borrowed from the registered ring region; here only the
+    /// fixed `dispatch` cost (CQ poll, wakeup, decode) is charged — **once
+    /// per frame**, so a batch of N requests amortizes it N ways. Shared by
     /// the ring workers and the TCP baseline; only the response transport
     /// differs between them.
     async fn process(
         &self,
-        bytes: &[u8],
+        msg: WireMessage<B>,
         holding_core: bool,
         dedup: Option<&RefCell<DedupWindow>>,
     ) -> Vec<Execution<B::Wire>> {
         let trace = self.inner.trace.borrow().clone();
         let dispatch_span = trace.begin();
-        // A malformed request is dropped (a real server would close the
-        // connection) and counted so operators can see it happening.
-        let msg = match B::Wire::decode(bytes) {
-            Ok(m) => m,
-            Err(_) => {
-                self.inner.stats.borrow_mut().decode_errors += 1;
-                return Vec::new();
-            }
-        };
         self.charge(self.inner.cfg.cost.dispatch, holding_core)
             .await;
         trace.end(Phase::Dispatch, dispatch_span);
@@ -562,7 +667,10 @@ impl<B: IndexBackend> ServiceServer<B> {
     async fn handle_tcp(&self, bytes: Vec<u8>, conn: &Rc<TcpConn>) {
         // TCP is the lossless baseline: no retransmission layer above it,
         // so no dedup window either.
-        let execs = self.process(&bytes, false, None).await;
+        let Some(msg) = self.decode_frame(&bytes) else {
+            return;
+        };
+        let execs = self.process(msg, false, None).await;
         if execs.is_empty() {
             return;
         }

@@ -34,9 +34,62 @@ struct TornWrite {
     completes: SimTime,
 }
 
+/// One cache line of registered memory. The `repr(align)` guarantees the
+/// whole buffer starts on a cache-line boundary, so chunk slots (whole
+/// multiples of 64 bytes) never straddle an extra line — matching how a
+/// real registration would pin page-aligned memory for the NIC.
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+struct Line([u8; TORN_LINE]);
+
+/// A byte buffer whose base address is cache-line-aligned.
+struct AlignedBuf {
+    lines: Vec<Line>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn from_bytes(bytes: &[u8]) -> Self {
+        let mut lines = vec![Line([0u8; TORN_LINE]); bytes.len().div_ceil(TORN_LINE)];
+        for (i, chunk) in bytes.chunks(TORN_LINE).enumerate() {
+            lines[i].0[..chunk.len()].copy_from_slice(chunk);
+        }
+        let buf = AlignedBuf {
+            lines,
+            len: bytes.len(),
+        };
+        debug_assert_eq!(
+            buf.as_slice().as_ptr() as usize % TORN_LINE,
+            0,
+            "registered region base must be cache-line-aligned"
+        );
+        buf
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: `Line` is a transparent 64-byte array with no padding, so
+        // the line storage is `lines.len() * 64` contiguous initialized
+        // bytes; `len` never exceeds that.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as in `as_slice`, plus exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
 #[derive(Debug)]
 struct MrInner {
-    bytes: Vec<u8>,
+    bytes: AlignedBuf,
     rkey: u32,
     torn: VecDeque<TornWrite>,
 }
@@ -65,11 +118,11 @@ impl MemoryRegion {
         Self::from_bytes(vec![0; len], rkey)
     }
 
-    /// Registers existing memory.
+    /// Registers existing memory (copied into cache-line-aligned backing).
     pub fn from_bytes(bytes: Vec<u8>, rkey: u32) -> Self {
         MemoryRegion {
             inner: Rc::new(RefCell::new(MrInner {
-                bytes,
+                bytes: AlignedBuf::from_bytes(&bytes),
                 rkey,
                 torn: VecDeque::new(),
             })),
@@ -83,7 +136,20 @@ impl MemoryRegion {
 
     /// Region length in bytes.
     pub fn len(&self) -> usize {
-        self.inner.borrow().bytes.len()
+        self.inner.borrow().bytes.len
+    }
+
+    /// Alignment of the region's base address in bytes (at least the
+    /// cache-line size — node slots that are whole multiples of 64 bytes
+    /// therefore never straddle an extra line).
+    pub fn base_alignment(&self) -> usize {
+        let inner = self.inner.borrow();
+        let addr = inner.bytes.as_slice().as_ptr() as usize;
+        if addr == 0 {
+            TORN_LINE
+        } else {
+            1 << addr.trailing_zeros()
+        }
     }
 
     /// True if the region has zero length.
@@ -98,7 +164,30 @@ impl MemoryRegion {
     /// Panics if the range exceeds the region.
     pub fn read_local(&self, offset: usize, buf: &mut [u8]) {
         let inner = self.inner.borrow();
-        buf.copy_from_slice(&inner.bytes[offset..offset + buf.len()]);
+        buf.copy_from_slice(&inner.bytes.as_slice()[offset..offset + buf.len()]);
+    }
+
+    /// Lends `f` a direct borrow of `len` bytes at `offset` — the zero-copy
+    /// read path. The region is borrowed for the duration of `f`, so `f`
+    /// must not call back into mutating methods of the same region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the region, or if the region is
+    /// concurrently borrowed mutably.
+    pub fn with_slice<R>(&self, offset: usize, len: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+        let inner = self.inner.borrow();
+        f(&inner.bytes.as_slice()[offset..offset + len])
+    }
+
+    /// Zeroes `len` bytes at `offset` without staging a source buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the region.
+    pub fn zero_local(&self, offset: usize, len: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.bytes.as_mut_slice()[offset..offset + len].fill(0);
     }
 
     /// Writes `data` at `offset` atomically (visible consistently to both
@@ -109,7 +198,7 @@ impl MemoryRegion {
     /// Panics if the range exceeds the region.
     pub fn write_local(&self, offset: usize, data: &[u8]) {
         let mut inner = self.inner.borrow_mut();
-        inner.bytes[offset..offset + data.len()].copy_from_slice(data);
+        inner.bytes.as_mut_slice()[offset..offset + data.len()].copy_from_slice(data);
     }
 
     /// Writes `data` at `offset` with a torn-visibility `window`: local
@@ -129,7 +218,7 @@ impl MemoryRegion {
             inner.torn.pop_front();
         }
         if !window.is_zero() {
-            let old = inner.bytes[offset..offset + data.len()].to_vec();
+            let old = inner.bytes.as_slice()[offset..offset + data.len()].to_vec();
             inner.torn.push_back(TornWrite {
                 offset,
                 old,
@@ -137,7 +226,7 @@ impl MemoryRegion {
                 completes: now + window,
             });
         }
-        inner.bytes[offset..offset + data.len()].copy_from_slice(data);
+        inner.bytes.as_mut_slice()[offset..offset + data.len()].copy_from_slice(data);
     }
 
     /// The bytes a one-sided remote read sampling this region at instant
@@ -161,7 +250,7 @@ impl MemoryRegion {
             inner.torn.pop_front();
         }
         let inner = &*inner;
-        let mut out = inner.bytes[offset..offset + len].to_vec();
+        let mut out = inner.bytes.as_slice()[offset..offset + len].to_vec();
         for t in &inner.torn {
             if at >= t.completes || at < t.started {
                 continue;
@@ -301,5 +390,38 @@ mod tests {
         let mr = MemoryRegion::new(8, 1);
         let mut buf = [0u8; 16];
         mr.read_local(0, &mut buf);
+    }
+
+    #[test]
+    fn base_is_cache_line_aligned() {
+        for len in [0usize, 1, 63, 64, 65, 4096, 100_000] {
+            let mr = MemoryRegion::new(len, 1);
+            assert!(
+                mr.base_alignment() >= TORN_LINE,
+                "len {len}: alignment {} below cache line",
+                mr.base_alignment()
+            );
+        }
+    }
+
+    #[test]
+    fn from_bytes_preserves_contents_and_aligns() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let mr = MemoryRegion::from_bytes(data.clone(), 3);
+        assert!(mr.base_alignment() >= TORN_LINE);
+        let mut buf = vec![0u8; 200];
+        mr.read_local(0, &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn with_slice_lends_without_copy() {
+        let mr = MemoryRegion::new(128, 1);
+        mr.write_local(32, b"abc");
+        assert_eq!(mr.with_slice(32, 3, |s| s.to_vec()), b"abc");
+        // Nested shared borrows are fine.
+        mr.with_slice(0, 64, |a| {
+            mr.with_slice(32, 3, |b| assert_eq!(&a[32..35], b));
+        });
     }
 }

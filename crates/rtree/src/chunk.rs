@@ -8,8 +8,9 @@
 
 use std::cell::RefCell;
 
-use crate::codec::{ChunkLayout, CodecError};
-use crate::node::{Node, NodeId};
+use crate::codec::{ChunkLayout, CodecError, LaneNode, LINE_BYTES};
+use crate::geom::Rect;
+use crate::node::{EntryRef, Node, NodeId};
 use crate::store::{NodeStore, TreeMeta};
 
 /// Byte-addressable backing memory for a chunk arena.
@@ -87,6 +88,10 @@ pub struct ChunkStore<M> {
     /// leaf searches) pop deeper ones. Allocates only the first time each
     /// depth is reached.
     scratch: RefCell<Vec<Scratch>>,
+    /// Pool of lane scratch (chunk bytes + a [`LaneNode`]) for the
+    /// vectorized search path. Search visits never nest, but the pool
+    /// mirrors [`ChunkStore::scratch`] for re-entrancy safety.
+    lane_scratch: RefCell<Vec<LaneScratch>>,
     /// Reusable encode buffer for the write path.
     write_buf: Vec<u8>,
 }
@@ -95,6 +100,12 @@ pub struct ChunkStore<M> {
 struct Scratch {
     chunk: Vec<u8>,
     node: Node,
+}
+
+#[derive(Debug)]
+struct LaneScratch {
+    chunk: Vec<u8>,
+    lanes: LaneNode,
 }
 
 impl<M: ChunkMemory> ChunkStore<M> {
@@ -112,6 +123,10 @@ impl<M: ChunkMemory> ChunkStore<M> {
             mem.len(),
             capacity
         );
+        // Chunks are whole cache lines, so a line-aligned arena base keeps
+        // every node slot line-aligned (the registered-memory backing
+        // asserts its base alignment; see `catfish_rdma::MemoryRegion`).
+        debug_assert_eq!(layout.chunk_bytes() % LINE_BYTES, 0);
         let mut store = ChunkStore {
             mem,
             layout,
@@ -121,6 +136,7 @@ impl<M: ChunkMemory> ChunkStore<M> {
             live: 0,
             meta: TreeMeta::default(),
             scratch: RefCell::new(Vec::new()),
+            lane_scratch: RefCell::new(Vec::new()),
             write_buf: Vec::new(),
         };
         store.persist_meta();
@@ -196,6 +212,7 @@ impl<M: ChunkMemory> ChunkStore<M> {
             live,
             meta,
             scratch: RefCell::new(Vec::new()),
+            lane_scratch: RefCell::new(Vec::new()),
             write_buf: Vec::new(),
         })
     }
@@ -235,6 +252,50 @@ impl<M: ChunkMemory> ChunkStore<M> {
         result
     }
 
+    /// Vectorized window-test visit: decodes only the coordinate lanes of
+    /// the chunk at `id` into pooled scratch, computes the hit bitmask with
+    /// [`LaneNode::window_hits`], and resolves just the hit entries —
+    /// emitting leaf data and pushing internal children in ascending entry
+    /// order, exactly like the scalar default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodecError`] from decoding.
+    pub fn try_search_node(
+        &self,
+        id: NodeId,
+        query: &Rect,
+        stack: &mut Vec<NodeId>,
+        emit: &mut dyn FnMut(Rect, u64),
+    ) -> Result<(), CodecError> {
+        let mut s = self
+            .lane_scratch
+            .borrow_mut()
+            .pop()
+            .unwrap_or_else(|| LaneScratch {
+                chunk: vec![0u8; self.layout.chunk_bytes()],
+                lanes: LaneNode::new(),
+            });
+        self.mem
+            .read_into(self.layout.node_offset(id), &mut s.chunk);
+        let result = (|| {
+            self.layout.decode_lanes_into(&s.chunk, &mut s.lanes)?;
+            let level = s.lanes.level();
+            let mut mask = s.lanes.window_hits(query);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                match self.layout.child_at(&s.chunk, i, level)? {
+                    EntryRef::Data(d) => emit(s.lanes.rect_at(i), d),
+                    EntryRef::Node(c) => stack.push(c),
+                }
+            }
+            Ok(())
+        })();
+        self.lane_scratch.borrow_mut().push(s);
+        result
+    }
+
     fn persist_meta(&mut self) {
         self.versions[0] += 1;
         let chunk = self.layout.encode_meta(&self.meta, self.versions[0]);
@@ -250,6 +311,19 @@ impl<M: ChunkMemory> NodeStore for ChunkStore<M> {
 
     fn visit<R>(&self, id: NodeId, f: impl FnOnce(&Node) -> R) -> R {
         self.try_visit(id, f)
+            .unwrap_or_else(|e| panic!("chunk store read of {id} failed: {e}"))
+    }
+
+    fn search_node(
+        &self,
+        id: NodeId,
+        query: &Rect,
+        stack: &mut Vec<NodeId>,
+        emit: &mut dyn FnMut(Rect, u64),
+    ) {
+        // Local reads never tear (torn snapshots are a remote-visibility
+        // effect), so a decode failure here is a store bug, same as `visit`.
+        self.try_search_node(id, query, stack, emit)
             .unwrap_or_else(|e| panic!("chunk store read of {id} failed: {e}"))
     }
 

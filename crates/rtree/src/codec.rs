@@ -12,6 +12,19 @@
 //! Chunk 0 of the arena holds the [`TreeMeta`] (root id, height, item
 //! count) under the same scheme, so an offloading client can bootstrap its
 //! traversal with a single read.
+//!
+//! ## Struct-of-arrays entry layout
+//!
+//! Within a node chunk the logical payload is laid out as five parallel
+//! lanes rather than an array of entry structs: after the 16-byte header
+//! come all `max_entries` x-minima, then all y-minima, x-maxima, y-maxima,
+//! and finally the tagged child words. Logical offset of element `i` of
+//! lane `f` is `16 + f·8·M + i·8`. The total logical size (`16 + 40·M`) and
+//! therefore the line count are identical to an array-of-structs layout —
+//! only the byte order inside the chunk changes. The win is that a window
+//! test over a whole node becomes four contiguous `f64` lane scans the
+//! compiler can vectorize; [`LaneNode::window_hits`] produces the hit set
+//! as a bitmask in one branchless pass.
 
 use std::fmt;
 
@@ -28,6 +41,14 @@ pub const LINE_PAYLOAD_BYTES: usize = LINE_BYTES - LINE_VERSION_BYTES;
 
 const NODE_HEADER_BYTES: usize = 16;
 const ENTRY_BYTES: usize = 40;
+/// Lane indices of the struct-of-arrays entry layout.
+const LANE_XMIN: usize = 0;
+const LANE_YMIN: usize = 1;
+const LANE_XMAX: usize = 2;
+const LANE_YMAX: usize = 3;
+const LANE_CHILD: usize = 4;
+/// Upper bound on fanout so a node's hit set fits a `u128` bitmask.
+pub const MAX_BITMASK_ENTRIES: usize = 128;
 const NODE_MAGIC: u32 = 0x5254_4E44; // "RTND"
 const META_MAGIC: u64 = 0x4341_5446_4953_4830; // "CATFISH0"
 const DATA_TAG: u64 = 1 << 63;
@@ -83,12 +104,23 @@ impl ChunkLayout {
     ///
     /// # Panics
     ///
-    /// Panics if `max_entries` is zero.
+    /// Panics if `max_entries` is zero or exceeds
+    /// [`MAX_BITMASK_ENTRIES`] (the hit bitmask is a `u128`).
     pub fn for_max_entries(max_entries: usize) -> Self {
         assert!(max_entries > 0, "layout needs a positive fanout");
+        assert!(
+            max_entries <= MAX_BITMASK_ENTRIES,
+            "fanout {max_entries} exceeds the {MAX_BITMASK_ENTRIES}-entry hit-bitmask limit"
+        );
         let logical = NODE_HEADER_BYTES + ENTRY_BYTES * max_entries;
         let lines = logical.div_ceil(LINE_PAYLOAD_BYTES);
         ChunkLayout { max_entries, lines }
+    }
+
+    /// Logical byte offset of element `i` of lane `f` in the SoA layout.
+    #[inline]
+    fn lane_off(&self, f: usize, i: usize) -> usize {
+        NODE_HEADER_BYTES + (f * self.max_entries + i) * 8
     }
 
     /// Maximum entries representable per node.
@@ -157,13 +189,29 @@ impl ChunkLayout {
         write_packed(out, 0, &NODE_MAGIC.to_le_bytes());
         write_packed(out, 4, &node.level.to_le_bytes());
         write_packed(out, 8, &(node.entries.len() as u32).to_le_bytes());
-        // Logical bytes 12..16 reserved (left zero).
+        // Logical bytes 12..16 reserved (left zero). Entries go into the
+        // five SoA lanes (see the module docs).
         for (i, e) in node.entries.iter().enumerate() {
-            let at = NODE_HEADER_BYTES + i * ENTRY_BYTES;
-            write_packed(out, at, &e.mbr.min_x().to_le_bytes());
-            write_packed(out, at + 8, &e.mbr.min_y().to_le_bytes());
-            write_packed(out, at + 16, &e.mbr.max_x().to_le_bytes());
-            write_packed(out, at + 24, &e.mbr.max_y().to_le_bytes());
+            write_packed(
+                out,
+                self.lane_off(LANE_XMIN, i),
+                &e.mbr.min_x().to_le_bytes(),
+            );
+            write_packed(
+                out,
+                self.lane_off(LANE_YMIN, i),
+                &e.mbr.min_y().to_le_bytes(),
+            );
+            write_packed(
+                out,
+                self.lane_off(LANE_XMAX, i),
+                &e.mbr.max_x().to_le_bytes(),
+            );
+            write_packed(
+                out,
+                self.lane_off(LANE_YMAX, i),
+                &e.mbr.max_y().to_le_bytes(),
+            );
             let raw = match e.child {
                 EntryRef::Node(id) => {
                     let v = u64::from(id.0);
@@ -175,7 +223,7 @@ impl ChunkLayout {
                     d | DATA_TAG
                 }
             };
-            write_packed(out, at + 32, &raw.to_le_bytes());
+            write_packed(out, self.lane_off(LANE_CHILD, i), &raw.to_le_bytes());
         }
     }
 
@@ -218,9 +266,10 @@ impl ChunkLayout {
         node.level = level;
         node.entries.clear();
         for i in 0..count {
-            let at = NODE_HEADER_BYTES + i * ENTRY_BYTES;
-            let f = |o: usize| f64::from_le_bytes(read_packed::<8>(chunk, at + o));
-            let (min_x, min_y, max_x, max_y) = (f(0), f(8), f(16), f(24));
+            let f =
+                |lane: usize| f64::from_le_bytes(read_packed::<8>(chunk, self.lane_off(lane, i)));
+            let (min_x, min_y, max_x, max_y) =
+                (f(LANE_XMIN), f(LANE_YMIN), f(LANE_XMAX), f(LANE_YMAX));
             if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite())
                 || min_x > max_x
                 || min_y > max_y
@@ -228,23 +277,82 @@ impl ChunkLayout {
                 return Err(CodecError::Malformed("invalid entry rectangle"));
             }
             let mbr = Rect::new(min_x, min_y, max_x, max_y);
-            let raw = u64::from_le_bytes(read_packed::<8>(chunk, at + 32));
-            let child = if level == 0 {
-                if raw & DATA_TAG == 0 {
-                    return Err(CodecError::Malformed("leaf entry without data tag"));
-                }
-                EntryRef::Data(raw & !DATA_TAG)
-            } else {
-                if raw & DATA_TAG != 0 {
-                    return Err(CodecError::Malformed("internal entry with data tag"));
-                }
-                if raw > u64::from(u32::MAX) {
-                    return Err(CodecError::Malformed("child id out of range"));
-                }
-                EntryRef::Node(NodeId(raw as u32))
-            };
+            let child = self.child_at(chunk, i, level)?;
             node.entries.push(Entry { mbr, child });
         }
+        Ok(version)
+    }
+
+    /// Decodes the tagged child word of entry `i` directly from a packed
+    /// chunk, validating the tag against the node `level`. Used by the
+    /// lane-scan search path to resolve only the entries the hit bitmask
+    /// selected, without materializing the whole node.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] if the tag bit disagrees with `level` or a
+    /// child id exceeds `u32`.
+    pub fn child_at(&self, chunk: &[u8], i: usize, level: u32) -> Result<EntryRef, CodecError> {
+        let raw = u64::from_le_bytes(read_packed::<8>(chunk, self.lane_off(LANE_CHILD, i)));
+        if level == 0 {
+            if raw & DATA_TAG == 0 {
+                return Err(CodecError::Malformed("leaf entry without data tag"));
+            }
+            Ok(EntryRef::Data(raw & !DATA_TAG))
+        } else {
+            if raw & DATA_TAG != 0 {
+                return Err(CodecError::Malformed("internal entry with data tag"));
+            }
+            if raw > u64::from(u32::MAX) {
+                return Err(CodecError::Malformed("child id out of range"));
+            }
+            Ok(EntryRef::Node(NodeId(raw as u32)))
+        }
+    }
+
+    /// Deserializes only the coordinate lanes of a node chunk into `lane`,
+    /// returning the chunk version. This is the fast path for search: the
+    /// four `f64` lanes are copied contiguously (no per-entry validation,
+    /// no `Entry` construction) so [`LaneNode::window_hits`] can scan them
+    /// branchlessly; child words stay in the chunk and are resolved on
+    /// demand with [`ChunkLayout::child_at`].
+    ///
+    /// On error `lane` is left in an unspecified (but valid) state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChunkLayout::decode_node`].
+    pub fn decode_lanes_into(&self, chunk: &[u8], lane: &mut LaneNode) -> Result<u64, CodecError> {
+        let version = chunk_version(chunk, self.lines)?;
+        let magic = u32::from_le_bytes(read_packed::<4>(chunk, 0));
+        if magic != NODE_MAGIC {
+            return Err(CodecError::Malformed("bad node magic"));
+        }
+        let level = u32::from_le_bytes(read_packed::<4>(chunk, 4));
+        let count = u32::from_le_bytes(read_packed::<4>(chunk, 8)) as usize;
+        if count > self.max_entries {
+            return Err(CodecError::Malformed("entry count exceeds layout fanout"));
+        }
+        if level > 64 {
+            return Err(CodecError::Malformed("implausible node level"));
+        }
+        lane.level = level;
+        lane.count = count;
+        lane.raw.clear();
+        lane.raw.resize(4 * count * 8, 0);
+        for f in 0..4 {
+            copy_logical(
+                chunk,
+                self.lane_off(f, 0),
+                &mut lane.raw[f * count * 8..(f + 1) * count * 8],
+            );
+        }
+        lane.lanes.clear();
+        lane.lanes.extend(
+            lane.raw
+                .chunks_exact(8)
+                .map(|b| f64::from_le_bytes(b.try_into().expect("sized"))),
+        );
         Ok(version)
     }
 
@@ -300,6 +408,99 @@ impl ChunkLayout {
 
     fn unpack_lines(&self, chunk: &[u8]) -> Result<(Vec<u8>, u64), CodecError> {
         unpack_lines(chunk, self.lines)
+    }
+}
+
+/// Reusable lane scratch for the vectorized search path.
+///
+/// Holds the four coordinate lanes of one decoded node as contiguous `f64`
+/// slices (`[xmin.. | ymin.. | xmax.. | ymax..]`, each `count` long) so a
+/// window test over the whole node is a branchless chunked scan. Produced
+/// by [`ChunkLayout::decode_lanes_into`]; intended to be pooled and reused
+/// across node visits so steady-state search performs no allocations.
+///
+/// # Examples
+///
+/// ```
+/// use catfish_rtree::codec::{ChunkLayout, LaneNode};
+/// use catfish_rtree::{Entry, Node, Rect};
+///
+/// let layout = ChunkLayout::for_max_entries(16);
+/// let mut node = Node::new(0);
+/// node.entries.push(Entry::data(Rect::new(0.0, 0.0, 1.0, 1.0), 7));
+/// node.entries.push(Entry::data(Rect::new(5.0, 5.0, 6.0, 6.0), 8));
+/// let chunk = layout.encode_node(&node, 1);
+///
+/// let mut lanes = LaneNode::new();
+/// layout.decode_lanes_into(&chunk, &mut lanes).unwrap();
+/// assert_eq!(lanes.window_hits(&Rect::new(0.5, 0.5, 2.0, 2.0)), 0b01);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LaneNode {
+    level: u32,
+    count: usize,
+    /// `4 * count` values at stride `count`: xmin, ymin, xmax, ymax.
+    lanes: Vec<f64>,
+    /// Byte-level staging for the lane copy (little-endian coordinate
+    /// words, de-stitched from the versioned lines).
+    raw: Vec<u8>,
+}
+
+impl LaneNode {
+    /// An empty scratch; filled by [`ChunkLayout::decode_lanes_into`].
+    pub fn new() -> Self {
+        LaneNode::default()
+    }
+
+    /// Height of the decoded node above the leaves (0 = leaf).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of live entries in the decoded node.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Bitmask of entries whose MBR intersects `query` (bit `i` set means
+    /// entry `i` hits), computed in one branchless pass over the lanes.
+    ///
+    /// Closed-interval semantics identical to [`Rect::intersects`]; an
+    /// entry with any NaN coordinate never matches, mirroring the scalar
+    /// comparisons.
+    #[inline]
+    pub fn window_hits(&self, query: &Rect) -> u128 {
+        let n = self.count;
+        let (xmin, rest) = self.lanes.split_at(n);
+        let (ymin, rest) = rest.split_at(n);
+        let (xmax, rest) = rest.split_at(n);
+        let ymax = &rest[..n];
+        let (qxl, qyl, qxh, qyh) = (query.min_x(), query.min_y(), query.max_x(), query.max_y());
+        let mut mask = 0u128;
+        for i in 0..n {
+            let hit = (xmin[i] <= qxh) & (qxl <= xmax[i]) & (ymin[i] <= qyh) & (qyl <= ymax[i]);
+            mask |= (hit as u128) << i;
+        }
+        mask
+    }
+
+    /// The MBR of entry `i`, reassembled from the lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= count`, or if the decoded coordinates do not form a
+    /// valid rectangle (cannot happen for chunks produced by
+    /// [`ChunkLayout::encode_node`]).
+    #[inline]
+    pub fn rect_at(&self, i: usize) -> Rect {
+        assert!(i < self.count, "entry index out of range");
+        let n = self.count;
+        Rect::new(
+            self.lanes[i],
+            self.lanes[n + i],
+            self.lanes[2 * n + i],
+            self.lanes[3 * n + i],
+        )
     }
 }
 
@@ -412,6 +613,24 @@ fn payload_pos(logical: usize) -> usize {
     (logical / LINE_PAYLOAD_BYTES) * LINE_BYTES
         + LINE_VERSION_BYTES
         + (logical % LINE_PAYLOAD_BYTES)
+}
+
+/// Copies `out.len()` logical payload bytes starting at `logical_start`
+/// out of a packed chunk, walking whole 56-byte payload segments instead
+/// of stitching field by field. This is the bulk path behind
+/// [`ChunkLayout::decode_lanes_into`].
+#[inline]
+fn copy_logical(chunk: &[u8], logical_start: usize, out: &mut [u8]) {
+    let mut pos = logical_start;
+    let mut written = 0;
+    while written < out.len() {
+        let in_line = LINE_PAYLOAD_BYTES - pos % LINE_PAYLOAD_BYTES;
+        let take = in_line.min(out.len() - written);
+        let src = payload_pos(pos);
+        out[written..written + take].copy_from_slice(&chunk[src..src + take]);
+        written += take;
+        pos += take;
+    }
 }
 
 /// Reads `N` logical payload bytes at `logical` straight out of a packed
@@ -707,6 +926,87 @@ mod tests {
             chunk_version(&chunk[..LINE_BYTES], l.lines()),
             Err(CodecError::Malformed("chunk length mismatch"))
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "hit-bitmask limit")]
+    fn fanout_beyond_bitmask_rejected() {
+        let _ = ChunkLayout::for_max_entries(MAX_BITMASK_ENTRIES + 1);
+    }
+
+    #[test]
+    fn lane_decode_matches_node_decode() {
+        for m in [4, 16, 88, 128] {
+            let l = ChunkLayout::for_max_entries(m);
+            let mut n = Node::new(0);
+            for i in 0..m as u64 {
+                let x = i as f64;
+                n.entries
+                    .push(Entry::data(Rect::new(x, x, x + 1.5, x + 0.5), i));
+            }
+            let chunk = l.encode_node(&n, 21);
+            let mut lanes = LaneNode::new();
+            assert_eq!(l.decode_lanes_into(&chunk, &mut lanes), Ok(21));
+            assert_eq!(lanes.level(), 0);
+            assert_eq!(lanes.count(), m);
+            for (i, e) in n.entries.iter().enumerate() {
+                assert_eq!(lanes.rect_at(i), e.mbr);
+                assert_eq!(l.child_at(&chunk, i, 0), Ok(e.child));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_decode_surfaces_torn_and_malformed() {
+        let l = ChunkLayout::for_max_entries(16);
+        let mut lanes = LaneNode::new();
+        let mut chunk = l.encode_node(&sample_leaf(), 5);
+        let last = (l.lines() - 1) * LINE_BYTES;
+        chunk[last..last + 8].copy_from_slice(&4u64.to_le_bytes());
+        assert_eq!(
+            l.decode_lanes_into(&chunk, &mut lanes),
+            Err(CodecError::TornRead {
+                first: 5,
+                conflicting: 4
+            })
+        );
+        let garbage = l.pack_lines(&vec![0xAB; l.lines() * LINE_PAYLOAD_BYTES], 1);
+        assert!(matches!(
+            l.decode_lanes_into(&garbage, &mut lanes),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn window_hits_matches_scalar_intersects() {
+        let l = ChunkLayout::for_max_entries(32);
+        let mut n = Node::new(1);
+        for i in 0..32u32 {
+            let x = f64::from(i % 8) * 1.25;
+            let y = f64::from(i / 8) * 2.0;
+            n.entries.push(Entry::node(
+                Rect::new(x, y, x + 1.0, y + 1.0),
+                NodeId(i + 1),
+            ));
+        }
+        let chunk = l.encode_node(&n, 3);
+        let mut lanes = LaneNode::new();
+        l.decode_lanes_into(&chunk, &mut lanes).unwrap();
+        for q in [
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+            Rect::new(2.0, 2.0, 2.5, 2.5),
+            Rect::new(100.0, 100.0, 101.0, 101.0),
+            Rect::point(1.0, 1.0), // boundary touch stays a hit
+        ] {
+            let mask = lanes.window_hits(&q);
+            for (i, e) in n.entries.iter().enumerate() {
+                assert_eq!(
+                    mask >> i & 1 == 1,
+                    e.mbr.intersects(&q),
+                    "entry {i} query {q:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -124,19 +124,29 @@ impl Rect {
 
     /// True if the rectangles share any point (closed-interval semantics:
     /// touching edges count as intersecting, as in Guttman's R-tree).
+    ///
+    /// The four comparisons are combined with non-short-circuiting `&` so
+    /// the compiler emits straight-line compare/and code it can
+    /// autovectorize when this is called in a lane scan (see
+    /// [`crate::codec::LaneNode::window_hits`]). Semantics are identical to
+    /// `&&`: a comparison against NaN is `false`, never a side effect.
+    #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
-        self.min_x <= other.max_x
-            && other.min_x <= self.max_x
-            && self.min_y <= other.max_y
-            && other.min_y <= self.max_y
+        (self.min_x <= other.max_x)
+            & (other.min_x <= self.max_x)
+            & (self.min_y <= other.max_y)
+            & (other.min_y <= self.max_y)
     }
 
     /// True if `other` lies entirely inside `self` (closed intervals).
+    ///
+    /// Branchless for the same reason as [`Rect::intersects`].
+    #[inline]
     pub fn contains(&self, other: &Rect) -> bool {
-        self.min_x <= other.min_x
-            && self.min_y <= other.min_y
-            && self.max_x >= other.max_x
-            && self.max_y >= other.max_y
+        (self.min_x <= other.min_x)
+            & (self.min_y <= other.min_y)
+            & (self.max_x >= other.max_x)
+            & (self.max_y >= other.max_y)
     }
 
     /// The smallest rectangle enclosing both.

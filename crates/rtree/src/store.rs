@@ -7,7 +7,8 @@
 //! becomes a versioned chunk update that remote clients may read with
 //! one-sided RDMA.
 
-use crate::node::{Node, NodeId};
+use crate::geom::Rect;
+use crate::node::{EntryRef, Node, NodeId};
 
 /// Tree-level metadata, persisted alongside the nodes so that offloading
 /// clients can bootstrap a traversal (it lives in chunk 0 of the chunk
@@ -63,6 +64,42 @@ pub trait NodeStore {
         Self: Sized,
     {
         f(&self.read(id))
+    }
+
+    /// Visits the node at `id` for a window search: every entry whose MBR
+    /// intersects `query` is either emitted (leaf data, as `emit(mbr,
+    /// payload)`) or has its child pushed onto `stack` (internal entries) —
+    /// both in ascending entry order, so traversal order is identical
+    /// across implementations.
+    ///
+    /// The default delegates to [`NodeStore::visit`] and tests each entry
+    /// with the scalar [`Rect::intersects`]; stores with a lane-friendly
+    /// on-disk representation (the chunk store's struct-of-arrays chunks)
+    /// override this with a branchless bitmask scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated or has been freed.
+    fn search_node(
+        &self,
+        id: NodeId,
+        query: &Rect,
+        stack: &mut Vec<NodeId>,
+        emit: &mut dyn FnMut(Rect, u64),
+    ) where
+        Self: Sized,
+    {
+        self.visit(id, |node| {
+            for e in &node.entries {
+                if !e.mbr.intersects(query) {
+                    continue;
+                }
+                match e.child {
+                    EntryRef::Data(d) => emit(e.mbr, d),
+                    EntryRef::Node(c) => stack.push(c),
+                }
+            }
+        });
     }
 
     /// Writes (replaces) the node stored at `id`.

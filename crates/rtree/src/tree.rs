@@ -118,6 +118,10 @@ impl<S: NodeStore> RTree<S> {
     }
 
     /// Appends matching payloads to `out`; returns traversal statistics.
+    ///
+    /// Node visits go through [`NodeStore::search_node`], so a store with a
+    /// lane-friendly layout (the chunk store) runs its branchless bitmask
+    /// scan here without the tree code changing.
     pub fn search_into(&self, query: &Rect, out: &mut Vec<u64>) -> SearchStats {
         let mut stats = SearchStats::default();
         let Some(root) = self.store.meta().root else {
@@ -126,19 +130,9 @@ impl<S: NodeStore> RTree<S> {
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             stats.nodes_visited += 1;
-            self.store.visit(id, |node| {
-                for e in &node.entries {
-                    if !e.mbr.intersects(query) {
-                        continue;
-                    }
-                    match e.child {
-                        EntryRef::Data(d) => {
-                            out.push(d);
-                            stats.results += 1;
-                        }
-                        EntryRef::Node(c) => stack.push(c),
-                    }
-                }
+            self.store.search_node(id, query, &mut stack, &mut |_, d| {
+                out.push(d);
+                stats.results += 1;
             });
         }
         stats
@@ -155,19 +149,9 @@ impl<S: NodeStore> RTree<S> {
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
             stats.nodes_visited += 1;
-            self.store.visit(id, |node| {
-                for e in &node.entries {
-                    if !e.mbr.intersects(query) {
-                        continue;
-                    }
-                    match e.child {
-                        EntryRef::Data(d) => {
-                            out.push((e.mbr, d));
-                            stats.results += 1;
-                        }
-                        EntryRef::Node(c) => stack.push(c),
-                    }
-                }
+            self.store.search_node(id, query, &mut stack, &mut |r, d| {
+                out.push((r, d));
+                stats.results += 1;
             });
         }
         stats

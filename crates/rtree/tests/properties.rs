@@ -1,8 +1,11 @@
 //! Property-based tests for the R*-tree, the STR bulk loader, and the
 //! versioned chunk codec.
 
+use catfish_rtree::chunk::ChunkStore;
 use catfish_rtree::codec::{ChunkLayout, CodecError, LINE_BYTES};
-use catfish_rtree::{bulk_load, Entry, MemStore, Node, RTree, RTreeConfig, Rect, TreeMeta};
+use catfish_rtree::{
+    bulk_load, Entry, MemStore, Node, NodeStore, RTree, RTreeConfig, Rect, TreeMeta,
+};
 use proptest::prelude::*;
 
 /// A generated item: rectangle corners in [0, 100).
@@ -116,6 +119,46 @@ proptest! {
         a.sort_unstable();
         b.sort_unstable();
         prop_assert_eq!(a, b);
+    }
+
+    /// The chunk store's struct-of-arrays bitmask search and the
+    /// in-memory store's scalar entry scan are the same function: same
+    /// hit set **and same emission order** for any insert sequence and
+    /// query. Searches are also probed mid-build, so the identity holds
+    /// across splits and forced reinsertions (every `structure_version`
+    /// bump an offloading client would have to retry through).
+    #[test]
+    fn soa_search_matches_aos_search(items in arb_items(120), q in arb_rect()) {
+        let cfg = small_config();
+        let layout = ChunkLayout::for_max_entries(cfg.max_entries);
+        let mut aos = RTree::new(MemStore::new(), cfg);
+        let mut soa = RTree::new(
+            ChunkStore::new(vec![0u8; layout.arena_bytes(2048)], layout),
+            cfg,
+        );
+        let mut version_probes = 0u32;
+        for (i, (r, d)) in items.iter().enumerate() {
+            aos.insert(*r, *d);
+            soa.insert(*r, *d);
+            prop_assert_eq!(
+                aos.store().meta().structure_version,
+                soa.store().meta().structure_version
+            );
+            // Probe right after reorganizations and periodically between.
+            if soa.store().meta().structure_version as usize > version_probes as usize
+                || i.is_multiple_of(17)
+            {
+                version_probes = soa.store().meta().structure_version as u32;
+                prop_assert_eq!(soa.search(&q), aos.search(&q));
+            }
+        }
+        // Ids AND geometry, in identical order.
+        let (mut a, mut s) = (Vec::new(), Vec::new());
+        aos.search_items_into(&q, &mut a);
+        soa.search_items_into(&q, &mut s);
+        prop_assert_eq!(s, a);
+        let everything = Rect::new(-1.0, -1.0, 200.0, 200.0);
+        prop_assert_eq!(soa.search(&everything), aos.search(&everything));
     }
 
     /// Node chunks round-trip through the versioned cache-line codec.
