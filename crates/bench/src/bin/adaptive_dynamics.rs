@@ -17,11 +17,13 @@ fn main() {
         "Adaptive dynamics",
         "server CPU% and bandwidth over time while Algorithm 1 converges",
     );
+    let shards = args.shards.as_ref().map_or(1, |v| v[0]);
     let mut spec = ExperimentSpec {
         profile: profile::infiniband_100g(),
         scheme: Scheme::Catfish,
         clients: 128,
         client_nodes: 8,
+        shards,
         dataset: uniform_rects(args.size, 1e-4, args.seed),
         trace: TraceSpec::search_only(ScaleDist::small(), args.requests.max(1_500)),
         tree_config: paper_tree_config(),
@@ -69,6 +71,13 @@ fn main() {
         escalations,
         resets
     );
+    if shards > 1 {
+        let mut per_shard = vec![0usize; shards];
+        for e in &r.adaptive_events {
+            per_shard[e.shard as usize] += 1;
+        }
+        println!("per-shard event counts: {per_shard:?}");
+    }
     if let Some(base) = &args.metrics_out {
         let path = format!("{base}.events.jsonl");
         let mut jsonl = String::new();

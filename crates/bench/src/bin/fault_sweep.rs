@@ -19,10 +19,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use catfish_bench::{banner, timed, BenchArgs};
+use catfish_core::client::CatfishClusterClient;
 use catfish_core::config::{AccessMode, AdaptiveParams, ClientConfig, ServerConfig, ServerMode};
 use catfish_core::conn::RkeyAllocator;
 use catfish_core::obs::LatencyHistogram;
-use catfish_core::server::CatfishServer;
+use catfish_core::server::{CatfishCluster, CatfishServer};
 use catfish_core::CatfishClient;
 use catfish_core::ServiceStats;
 use catfish_rdma::profile::infiniband_100g;
@@ -214,6 +215,159 @@ fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResul
     }
 }
 
+/// The sharded variant of [`run_cell`]: a `shards`-way [`CatfishCluster`]
+/// with the fault plan attached to **shard 0's NIC only** — the other
+/// shards and every client NIC run clean. Inserts spread across the space
+/// partition, so ops homed on shard 0 ride the chaos while the rest of
+/// the cluster stays healthy; the exactly-once audit then counts each id
+/// across *all* shards, so a retry mis-applied to a sibling shard would
+/// show up as a duplicate.
+fn run_cluster_cell(
+    cell: &Cell,
+    args: &BenchArgs,
+    size: usize,
+    ops: usize,
+    shards: usize,
+) -> CellResult {
+    let sim = Sim::new();
+    let fault = cell.fault;
+    let seed = args.seed;
+    let timeout = SimDuration::from_micros(args.timeout_us.unwrap_or(500));
+    let max_retries = args.max_retries.unwrap_or(64);
+    let (makespan, hist, stats, injected, lost, duplicated) = sim.run_until(async move {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let hb_interval = SimDuration::from_millis(1);
+        let cluster = CatfishCluster::build(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 4,
+                mode: ServerMode::EventDriven,
+                heartbeat_interval: hb_interval,
+                ..ServerConfig::default()
+            },
+            RTreeConfig::with_max_entries(88),
+            dataset(size),
+            shards,
+            &rkeys,
+        );
+        let plan = fault.is_active().then(|| FaultPlan::new(fault, seed));
+        if let Some(plan) = &plan {
+            cluster
+                .shard(0)
+                .endpoint()
+                .set_fault_plan(Some(plan.clone()));
+        }
+        cluster.start_heartbeats();
+        spawn(async {
+            sleep(WATCHDOG).await;
+            panic!("fault_sweep cluster cell wedged: no convergence within {WATCHDOG}");
+        });
+        let started = now();
+        let hist: Rc<RefCell<LatencyHistogram>> = Rc::default();
+        let stats: Rc<RefCell<ServiceStats>> = Rc::default();
+        let lost: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let mut client = CatfishClusterClient::connect(
+                &cluster,
+                &net,
+                &profile,
+                ClientConfig {
+                    mode: AccessMode::Adaptive(AdaptiveParams {
+                        heartbeat_interval: hb_interval,
+                        ..AdaptiveParams::default()
+                    }),
+                    request_timeout: timeout,
+                    max_retries,
+                    ..ClientConfig::default()
+                },
+                seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let hist = Rc::clone(&hist);
+            let stats = Rc::clone(&stats);
+            let lost = Rc::clone(&lost);
+            handles.push(spawn(async move {
+                sleep(SimDuration::from_nanos(13_007 * c as u64)).await;
+                for i in 0..ops as u64 {
+                    let op = (c * ops) as u64 + i;
+                    let id = ID_BASE + op;
+                    let rect = unique_rect(op);
+                    let t0 = now();
+                    if !client.insert(rect, id).await {
+                        lost.borrow_mut().push(id);
+                    }
+                    hist.borrow_mut().record(now() - t0);
+                    if i % 8 == 7 {
+                        let back = ID_BASE + (c * ops) as u64 + i / 2;
+                        let q = unique_rect((c * ops) as u64 + i / 2);
+                        let got = client.search(&q).await;
+                        assert!(
+                            got.contains(&back),
+                            "cluster read-back lost id {back} (client {c}, op {i})"
+                        );
+                    }
+                }
+                stats.borrow_mut().merge(&client.stats());
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+        let makespan = now() - started;
+        let mut st = stats.borrow().to_owned();
+        {
+            let ss = cluster.stats();
+            st.dup_drops += ss.dup_drops;
+            st.checksum_failures += ss.checksum_failures;
+            st.resyncs += ss.resyncs;
+        }
+        // Exactly-once audit, cluster-wide: sum occurrences over shards.
+        let mut lost = lost.borrow().to_owned();
+        let mut duplicated = Vec::new();
+        for op in 0..(CLIENTS * ops) as u64 {
+            let id = ID_BASE + op;
+            let q = unique_rect(op);
+            let hits: usize = (0..cluster.shards())
+                .map(|s| {
+                    cluster
+                        .shard(s)
+                        .with_index(|t| t.search(&q).iter().filter(|d| **d == id).count())
+                })
+                .sum();
+            match hits {
+                0 => lost.push(id),
+                1 => {}
+                _ => duplicated.push(id),
+            }
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        for s in 0..cluster.shards() {
+            cluster
+                .shard(s)
+                .with_index(|t| t.check_invariants())
+                .unwrap();
+        }
+        let injected = plan.map(|p| p.counters()).unwrap_or_default();
+        let hist = hist.borrow().to_owned();
+        (makespan, hist, st, injected, lost.len(), duplicated.len())
+    });
+    CellResult {
+        label: cell.label.to_string(),
+        fault: cell.fault,
+        ops: CLIENTS * ops,
+        makespan,
+        hist,
+        stats,
+        injected,
+        lost,
+        duplicated,
+    }
+}
+
 fn json_cell(r: &CellResult) -> String {
     let s = r.hist.summary();
     let us = |d: SimDuration| d.as_nanos() as f64 / 1e3;
@@ -260,6 +414,7 @@ fn json_cell(r: &CellResult) -> String {
 
 fn main() {
     let args = BenchArgs::parse();
+    let shards = args.shards.as_ref().map_or(1, |v| v[0]);
     banner(
         "Fault sweep",
         "exactly-once under injected loss, stalls, and heartbeat suppression",
@@ -277,9 +432,14 @@ fn main() {
         args.requests.min(150)
     };
     println!(
-        "dataset {size} rects, {CLIENTS} clients x {ops} inserts, timeout {} us, retries {}",
+        "dataset {size} rects, {shards} shard(s), {CLIENTS} clients x {ops} inserts, timeout {} us, retries {}{}",
         args.timeout_us.unwrap_or(500),
         args.max_retries.unwrap_or(64),
+        if shards > 1 {
+            " (faults on shard 0 only)"
+        } else {
+            ""
+        },
     );
 
     let mut cells = vec![
@@ -344,7 +504,13 @@ fn main() {
 
     let mut results = Vec::new();
     for cell in &cells {
-        let r = timed(cell.label, || run_cell(cell, &args, size, ops));
+        let r = timed(cell.label, || {
+            if shards > 1 {
+                run_cluster_cell(cell, &args, size, ops, shards)
+            } else {
+                run_cell(cell, &args, size, ops)
+            }
+        });
         let s = r.hist.summary();
         println!(
             "{:<12} p50 {:>10} p99 {:>10}  timeouts {:>5}  retransmits {:>5}  dup_drops {:>4}  crc {:>4}  resyncs {:>4}  stale_hb {:>3}  lost {} dup {}",
@@ -377,7 +543,7 @@ fn main() {
     }
 
     let body = format!(
-        "{{\"harness\":\"fault_sweep\",\"clients\":{CLIENTS},\"ops_per_client\":{ops},\"dataset\":{size},\"seed\":{},\"cells\":[\n{}\n]}}\n",
+        "{{\"harness\":\"fault_sweep\",\"clients\":{CLIENTS},\"shards\":{shards},\"ops_per_client\":{ops},\"dataset\":{size},\"seed\":{},\"cells\":[\n{}\n]}}\n",
         args.seed,
         results
             .iter()

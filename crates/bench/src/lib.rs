@@ -47,6 +47,9 @@ pub struct BenchArgs {
     pub timeout_us: Option<u64>,
     /// Client retransmission budget override (`--max-retries`).
     pub max_retries: Option<u32>,
+    /// Shard counts to sweep (`--shards a,b,c`; None = binary default,
+    /// usually 1 = the classic single server).
+    pub shards: Option<Vec<usize>>,
 }
 
 impl Default for BenchArgs {
@@ -63,6 +66,7 @@ impl Default for BenchArgs {
             hb_drop: 0.0,
             timeout_us: None,
             max_retries: None,
+            shards: None,
         }
     }
 }
@@ -100,10 +104,22 @@ impl BenchArgs {
                 "--max-retries" => {
                     out.max_retries = Some(next_num(&mut args, "--max-retries") as u32);
                 }
+                "--shards" => {
+                    let v = args.next().expect("--shards needs a,b,c");
+                    let counts: Vec<usize> = v
+                        .split(',')
+                        .map(|s| s.parse().expect("shard counts are integers"))
+                        .collect();
+                    assert!(
+                        counts.iter().all(|&s| s > 0),
+                        "--shards counts must be positive"
+                    );
+                    out.shards = Some(counts);
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --size N --requests N --clients a,b,c --seed N --paper --metrics-out BASE \
-                         --loss P --stall P --hb-drop P --timeout USEC --max-retries N  (defaults: 1M rects, 1000 req/client, faults off)"
+                        "flags: --size N --requests N --clients a,b,c --shards a,b,c --seed N --paper --metrics-out BASE \
+                         --loss P --stall P --hb-drop P --timeout USEC --max-retries N  (defaults: 1M rects, 1000 req/client, 1 shard, faults off)"
                     );
                     std::process::exit(0);
                 }

@@ -8,17 +8,20 @@
 //! rectangle expands one fetched node, and the best-first kNN that cannot
 //! be expressed as a plain frontier traversal.
 
-use catfish_rtree::{Node, NodeId, Rect};
+use catfish_rtree::{min_dist_sq, Node, NodeId, Rect};
 use catfish_simnet::sleep;
 
 use crate::msg::Message;
 use crate::server::RtreeBackend;
-use crate::service::{ClientBackend, Inconsistent, OpKind, ServiceClient};
+use crate::service::{ClientBackend, ClusterClient, Inconsistent, OpKind, ServiceClient};
 
 pub use crate::service::SearchPath;
 
 /// The Catfish R-tree client.
 pub type CatfishClient = ServiceClient<RtreeBackend>;
+
+/// A scatter-gather client over a sharded R-tree cluster.
+pub type CatfishClusterClient = ClusterClient<RtreeBackend>;
 
 impl ClientBackend for RtreeBackend {
     type Read = Rect;
@@ -197,6 +200,71 @@ impl ServiceClient<RtreeBackend> {
             }
         }
         Ok(out)
+    }
+}
+
+// Scatter legs each borrow a *different* shard's client cell, and the
+// simulator is single-threaded cooperative, so a borrow held across an
+// await can only conflict with re-entrant use of the same shard client —
+// the same (accepted) sharing rule as everywhere else in the sim.
+#[allow(clippy::await_holding_refcell_ref)]
+impl ClusterClient<RtreeBackend> {
+    /// Searches for all items intersecting `rect` across the cluster:
+    /// routed to one shard when only one boundary MBR intersects (the
+    /// common case for point-ish queries), otherwise scattered in parallel
+    /// over the intersecting shards and concatenated — shards own disjoint
+    /// item sets, so the union needs no dedup.
+    pub async fn search(&self, rect: &Rect) -> Vec<u64> {
+        let targets = self.map.read_targets(rect);
+        match targets.len() {
+            0 => Vec::new(),
+            1 => self.shards[targets[0]].borrow_mut().search(rect).await,
+            _ => {
+                let rect = *rect;
+                let parts = self
+                    .scatter(&targets, move |shard| {
+                        Box::pin(async move { shard.borrow_mut().search(&rect).await })
+                    })
+                    .await;
+                parts.into_iter().flatten().collect()
+            }
+        }
+    }
+
+    /// Inserts an item on its home shard, widening that shard's boundary
+    /// MBR first so a scatter issued after this call can already see it.
+    pub async fn insert(&mut self, rect: Rect, data: u64) -> bool {
+        let home = self.map.home_shard(&rect);
+        self.map.grow(home, &rect);
+        self.shards[home].borrow_mut().insert(rect, data).await
+    }
+
+    /// Deletes the exact item `(rect, data)` from its home shard. The
+    /// shard's bound is left as-is (bounds only grow — a stale-wide bound
+    /// merely costs an extra scatter target, never correctness).
+    pub async fn delete(&mut self, rect: Rect, data: u64) -> bool {
+        let home = self.map.home_shard(&rect);
+        self.shards[home].borrow_mut().delete(rect, data).await
+    }
+
+    /// Cluster kNN: every occupied shard answers its local k nearest in
+    /// parallel, and the partials merge by true distance. Local top-k is
+    /// sufficient — any global winner is also among its own shard's k
+    /// nearest — so the merge is exact without a second round.
+    pub async fn nearest(&self, x: f64, y: f64, k: u32) -> Vec<(Rect, u64)> {
+        let targets = self.map.occupied();
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        let parts = self
+            .scatter(&targets, move |shard| {
+                Box::pin(async move { shard.borrow_mut().nearest(x, y, k).await })
+            })
+            .await;
+        let mut all: Vec<(Rect, u64)> = parts.into_iter().flatten().collect();
+        all.sort_by_key(|(r, d)| (min_dist_sq(r, x, y).to_bits(), *d));
+        all.truncate(k as usize);
+        all
     }
 }
 

@@ -16,14 +16,14 @@ use catfish_rtree::{RTreeConfig, Rect};
 use catfish_simnet::{now, sleep, spawn, CpuPool, Network, Sim, SimDuration};
 use catfish_workload::{Request, ScaleDist, TraceSpec};
 
-use crate::client::CatfishClient;
+use crate::client::{CatfishClient, CatfishClusterClient};
 use crate::config::{AccessMode, AdaptiveParams, ClientConfig, Scheme, ServerConfig, ServerMode};
 use crate::conn::RkeyAllocator;
 use crate::msg::Message;
 use crate::obs::{
     AdaptiveEventLog, AdaptiveEventRecord, LatencyHistogram, MetricsRegistry, Phase, TraceSink,
 };
-use crate::server::CatfishServer;
+use crate::server::{CatfishCluster, CatfishServer};
 use crate::stats::{LatencySummary, ServiceStats};
 
 /// Everything needed to run one experiment cell.
@@ -86,6 +86,17 @@ pub struct ExperimentSpec {
     pub request_timeout: Option<SimDuration>,
     /// Overrides every client's retransmission budget (`--max-retries`).
     pub max_retries: Option<u32>,
+    /// Server shards. `1` (the default) runs the classic single-server
+    /// topology; `> 1` builds a space-partitioned [`CatfishCluster`] with
+    /// scatter-gather clients, each shard a full machine with `server`'s
+    /// configuration and its own heartbeat stream / Algorithm 1 instance.
+    /// The TCP baseline is single-server only.
+    pub shards: usize,
+    /// With `shards > 1`, attach the fault plan to **one** shard's server
+    /// endpoint only (client NICs stay clean — they carry every shard's
+    /// traffic, so faulting them cannot target a shard). `None` faults the
+    /// whole cluster as usual.
+    pub fault_shard: Option<usize>,
 }
 
 impl Default for ExperimentSpec {
@@ -109,6 +120,8 @@ impl Default for ExperimentSpec {
             fault: None,
             request_timeout: None,
             max_retries: None,
+            shards: 1,
+            fault_shard: None,
         }
     }
 }
@@ -120,6 +133,8 @@ pub struct RunResult {
     pub label: String,
     /// Client thread count.
     pub clients: usize,
+    /// Server shards the run used (1 = classic single-server topology).
+    pub shards: usize,
     /// Requests completed across all clients.
     pub completed_requests: usize,
     /// Virtual time from first request to last completion.
@@ -139,6 +154,13 @@ pub struct RunResult {
     /// Client-side service counters merged over all clients (fast vs
     /// offloaded reads, torn retries, restarts, cache hits, ...).
     pub stats: ServiceStats,
+    /// Per-shard counters (client-side per-shard-connection counters
+    /// merged over all clients, plus each shard's server-side integrity
+    /// counters), in shard order. One entry for single-server runs.
+    /// Algorithm 1 runs per shard, so offload fractions must be read here
+    /// — the aggregate `stats` hides a hot shard offloading behind cold
+    /// shards staying fast.
+    pub per_shard_stats: Vec<ServiceStats>,
     /// Periodic samples of server resource usage over the run (10 ms
     /// grid), for plotting the adaptive algorithm's dynamics.
     pub timeline: Vec<TimelinePoint>,
@@ -167,8 +189,10 @@ pub struct TimelinePoint {
 }
 
 impl RunResult {
-    /// One formatted table row: scheme, clients, throughput, mean latency,
-    /// plus per-kop torn-retry and offload-restart rates.
+    /// One formatted table row: scheme, clients, shards, throughput, mean
+    /// latency, plus per-kop torn-retry and offload-restart rates. Cluster
+    /// runs append the per-shard offload fractions — aggregating them
+    /// would hide a hot shard offloading behind cold shards staying fast.
     pub fn row(&self) -> String {
         let per_kop = |count: u64| {
             if self.completed_requests == 0 {
@@ -177,10 +201,11 @@ impl RunResult {
                 count as f64 * 1e3 / self.completed_requests as f64
             }
         };
-        format!(
-            "{:<22} {:>4} clients  {:>10.2} Kops  mean {:>10}  p99 {:>10}  cpu {:>5.1}%  bw {:>7.2} Gbps  torn {:>6.1}/kop  restarts {:>5.1}/kop",
+        let mut row = format!(
+            "{:<22} {:>4} clients  {:>2} shards  {:>10.2} Kops  mean {:>10}  p99 {:>10}  cpu {:>5.1}%  bw {:>7.2} Gbps  torn {:>6.1}/kop  restarts {:>5.1}/kop",
             self.label,
             self.clients,
+            self.shards,
             self.throughput_kops,
             self.latency.mean.to_string(),
             self.latency.p99.to_string(),
@@ -188,7 +213,18 @@ impl RunResult {
             self.server_bw_gbps,
             per_kop(self.stats.torn_retries),
             per_kop(self.stats.offload_restarts),
-        )
+        );
+        if self.per_shard_stats.len() > 1 {
+            row.push_str("  off/shard [");
+            for (i, s) in self.per_shard_stats.iter().enumerate() {
+                if i > 0 {
+                    row.push(' ');
+                }
+                row.push_str(&format!("{:.2}", s.offload_fraction()));
+            }
+            row.push(']');
+        }
+        row
     }
 
     /// Snapshots the run into a [`MetricsRegistry`] — counters from
@@ -288,11 +324,23 @@ impl RunResult {
             "Mean server NIC throughput over the run, Gbps.",
             self.server_bw_gbps,
         )
+        .gauge(
+            "catfish_shards",
+            "Server shards in the run's topology.",
+            self.shards as f64,
+        )
         .histogram(
             "catfish_request_latency_seconds",
             "End-to-end request latency.",
             &self.hist,
         );
+        for (shard, s) in self.per_shard_stats.iter().enumerate() {
+            reg.gauge(
+                &format!("catfish_shard_offload_fraction_{shard}"),
+                &format!("Fraction of shard {shard}'s reads that offloaded."),
+                s.offload_fraction(),
+            );
+        }
         for (phase, hist) in &self.phase_hists {
             reg.histogram(
                 &format!("catfish_phase_{}_seconds", phase.name()),
@@ -339,9 +387,14 @@ struct ClientOutcome {
     search: LatencyHistogram,
     write: LatencyHistogram,
     stats: ServiceStats,
+    /// Per-shard-connection counters (cluster runs only).
+    per_shard: Vec<ServiceStats>,
 }
 
 async fn run_inner(spec: ExperimentSpec) -> RunResult {
+    if spec.shards > 1 {
+        return run_cluster_inner(spec).await;
+    }
     let net = Network::new();
     let rkeys = RkeyAllocator::new();
     let mut server_cfg = spec.server;
@@ -531,6 +584,8 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
     RunResult {
         label: spec.scheme.label(&spec.profile),
         clients: spec.clients,
+        shards: 1,
+        per_shard_stats: vec![stats],
         completed_requests: completed,
         makespan,
         throughput_kops,
@@ -555,6 +610,276 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
             .unwrap_or_default(),
         adaptive_events: event_log.map(|log| log.snapshot()).unwrap_or_default(),
     }
+}
+
+/// The `shards > 1` topology: a space-partitioned [`CatfishCluster`] with
+/// one scatter-gather client per client thread. Mirrors the single-server
+/// path — same staggering, same per-client seeds, same trace/event
+/// plumbing — with per-shard resource accounting: server CPU is the mean
+/// across shards (each shard is a full machine) and NIC bandwidth the sum.
+async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
+    assert!(
+        spec.scheme != Scheme::TcpIp,
+        "the TCP baseline is single-server only; use shards = 1"
+    );
+    let net = Network::new();
+    let rkeys = RkeyAllocator::new();
+    let mut server_cfg = spec.server;
+    server_cfg.mode = spec.server_mode.unwrap_or(match spec.scheme {
+        Scheme::FastMessaging | Scheme::RdmaOffloading => ServerMode::Polling,
+        Scheme::Catfish | Scheme::TcpIp => ServerMode::EventDriven,
+    });
+    let cluster = CatfishCluster::build(
+        &net,
+        &spec.profile,
+        server_cfg,
+        spec.tree_config,
+        spec.dataset.clone(),
+        spec.shards,
+        &rkeys,
+    );
+    let shard_servers: Vec<CatfishServer> = (0..cluster.shards())
+        .map(|i| cluster.shard(i).clone())
+        .collect();
+    let fault_plan = match spec.fault {
+        Some(cfg) if cfg.is_active() => Some(FaultPlan::new(cfg, spec.seed)),
+        Some(_) => None,
+        None => FaultPlan::from_env(),
+    };
+    if let Some(plan) = &fault_plan {
+        match spec.fault_shard {
+            // Single-shard chaos: only the targeted shard's server NIC
+            // draws faults; everything else runs clean.
+            Some(s) => cluster
+                .shard(s)
+                .endpoint()
+                .set_fault_plan(Some(plan.clone())),
+            None => {
+                for s in &shard_servers {
+                    s.endpoint().set_fault_plan(Some(plan.clone()));
+                }
+            }
+        }
+    }
+    if spec.scheme == Scheme::Catfish {
+        cluster.start_heartbeats();
+    }
+    let trace_sink = spec.collect_phase_spans.then(TraceSink::new);
+    if let Some(sink) = &trace_sink {
+        for s in &shard_servers {
+            s.set_trace(sink.clone());
+        }
+    }
+    let event_log = spec.collect_adaptive_events.then(AdaptiveEventLog::new);
+
+    let node_count = spec.client_nodes.max(1).min(spec.clients.max(1));
+    let rdma_eps: Vec<Endpoint> = (0..node_count)
+        .map(|_| {
+            let ep = Endpoint::new(&net, net.add_node(spec.profile.link), spec.profile.rdma);
+            // Client NICs carry every shard's traffic, so they only draw
+            // faults in whole-cluster chaos — a single-shard target must
+            // leave them clean.
+            if spec.fault_shard.is_none() {
+                if let Some(plan) = &fault_plan {
+                    ep.set_fault_plan(Some(plan.clone()));
+                }
+            }
+            ep
+        })
+        .collect();
+    let poll_pools: Vec<Option<CpuPool>> = (0..node_count)
+        .map(|_| {
+            spec.client_polling_cores
+                .map(|cores| CpuPool::new(cores, server_cfg.quantum))
+        })
+        .collect();
+
+    let started = now();
+    let outcomes: Rc<RefCell<Vec<ClientOutcome>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut handles = Vec::with_capacity(spec.clients);
+    for client_id in 0..spec.clients {
+        let trace = match &spec.explicit_traces {
+            Some(traces) => traces[client_id % traces.len()].clone(),
+            None => spec.trace.client_trace(client_id as u64, spec.seed),
+        };
+        let outcomes = Rc::clone(&outcomes);
+        let stagger = SimDuration::from_nanos(17_039 * client_id as u64);
+        let ep = &rdma_eps[client_id % node_count];
+        let mut cfg = spec
+            .client_config
+            .unwrap_or_else(|| client_config_for(spec.scheme, &server_cfg));
+        if let Some(t) = spec.request_timeout {
+            cfg.request_timeout = t;
+        }
+        if let Some(r) = spec.max_retries {
+            cfg.max_retries = r;
+        }
+        let mut client = CatfishClusterClient::connect_from(
+            &cluster,
+            ep,
+            cfg,
+            spec.seed ^ (client_id as u64).wrapping_mul(0x5851_F42D_4C95_7F2D),
+        );
+        if let Some(pool) = &poll_pools[client_id % node_count] {
+            client.set_response_polling(pool);
+        }
+        if let Some(sink) = &trace_sink {
+            client.set_trace(sink);
+        }
+        if let Some(log) = &event_log {
+            client.set_adaptive_event_log(&log.for_client(client_id as u32));
+        }
+        handles.push(spawn(async move {
+            sleep(stagger).await;
+            let outcome = cluster_client_task(&mut client, trace).await;
+            outcomes.borrow_mut().push(outcome);
+        }));
+    }
+
+    let cpu_starts: Vec<_> = shard_servers.iter().map(|s| s.cpu().sample()).collect();
+    let bw_starts: Vec<_> = shard_servers
+        .iter()
+        .map(|s| net.traffic(s.endpoint().node()))
+        .collect();
+    let timeline: Rc<RefCell<Vec<TimelinePoint>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let timeline = Rc::clone(&timeline);
+        let servers = shard_servers.clone();
+        let net = net.clone();
+        spawn(async move {
+            let mut prev_cpu: Vec<_> = servers.iter().map(|s| s.cpu().sample()).collect();
+            let mut prev_bw: Vec<_> = servers
+                .iter()
+                .map(|s| net.traffic(s.endpoint().node()))
+                .collect();
+            loop {
+                sleep(SimDuration::from_millis(10)).await;
+                let mut cpu_sum = 0.0;
+                let mut bw_sum = 0.0;
+                for (i, s) in servers.iter().enumerate() {
+                    let cpu = s.cpu().sample();
+                    let bw = net.traffic(s.endpoint().node());
+                    cpu_sum += s.cpu().utilization_between(&prev_cpu[i], &cpu);
+                    bw_sum += bw.throughput_bps_since(&prev_bw[i]) / 1e9;
+                    prev_cpu[i] = cpu;
+                    prev_bw[i] = bw;
+                }
+                timeline.borrow_mut().push(TimelinePoint {
+                    t_ms: now().duration_since(started).as_secs_f64() * 1e3,
+                    cpu: cpu_sum / servers.len() as f64,
+                    bw_gbps: bw_sum,
+                });
+            }
+        });
+    }
+    for h in handles {
+        h.await;
+    }
+    let mut cpu_mean = 0.0;
+    let mut bw_total = 0.0;
+    for (i, s) in shard_servers.iter().enumerate() {
+        cpu_mean += s
+            .cpu()
+            .utilization_between(&cpu_starts[i], &s.cpu().sample());
+        bw_total += net
+            .traffic(s.endpoint().node())
+            .throughput_bps_since(&bw_starts[i])
+            / 1e9;
+    }
+    cpu_mean /= shard_servers.len() as f64;
+
+    let makespan = now() - started;
+    let outcomes = Rc::try_unwrap(outcomes)
+        .expect("all client tasks joined")
+        .into_inner();
+    let mut all = LatencyHistogram::new();
+    let mut search = LatencyHistogram::new();
+    let mut write = LatencyHistogram::new();
+    let mut stats = ServiceStats::default();
+    let mut per_shard_stats = vec![ServiceStats::default(); spec.shards];
+    for o in outcomes {
+        all.merge(&o.search);
+        all.merge(&o.write);
+        search.merge(&o.search);
+        write.merge(&o.write);
+        stats.merge(&o.stats);
+        for (i, s) in o.per_shard.iter().enumerate() {
+            per_shard_stats[i].merge(s);
+        }
+    }
+    // Server-side robustness counters fold in per shard (so a single-shard
+    // fault audit can attribute them) and into the aggregate.
+    for (i, s) in shard_servers.iter().enumerate() {
+        let ss = s.stats();
+        per_shard_stats[i].dup_drops += ss.dup_drops;
+        per_shard_stats[i].checksum_failures += ss.checksum_failures;
+        per_shard_stats[i].resyncs += ss.resyncs;
+        stats.dup_drops += ss.dup_drops;
+        stats.checksum_failures += ss.checksum_failures;
+        stats.resyncs += ss.resyncs;
+    }
+    let completed = all.len();
+    let throughput_kops = if makespan.is_zero() {
+        0.0
+    } else {
+        completed as f64 / makespan.as_secs_f64() / 1e3
+    };
+    RunResult {
+        label: spec.scheme.label(&spec.profile),
+        clients: spec.clients,
+        shards: spec.shards,
+        per_shard_stats,
+        completed_requests: completed,
+        makespan,
+        throughput_kops,
+        latency: all.summary(),
+        search_latency: search.summary(),
+        insert_latency: write.summary(),
+        server_cpu: cpu_mean,
+        server_bw_gbps: bw_total,
+        stats,
+        timeline: {
+            let t = timeline.borrow().clone();
+            t
+        },
+        hist: all,
+        phase_hists: trace_sink
+            .map(|sink| {
+                Phase::ALL
+                    .iter()
+                    .filter_map(|&p| sink.phase_histogram(p).map(|h| (p, h)))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        adaptive_events: event_log.map(|log| log.snapshot()).unwrap_or_default(),
+    }
+}
+
+async fn cluster_client_task(
+    client: &mut CatfishClusterClient,
+    trace: Vec<Request>,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    for req in trace {
+        let t0 = now();
+        match req {
+            Request::Search(rect) => {
+                client.search(&rect).await;
+                outcome.search.record(now() - t0);
+            }
+            Request::Insert(rect, data) => {
+                client.insert(rect, data).await;
+                outcome.write.record(now() - t0);
+            }
+            Request::Delete(rect, data) => {
+                client.delete(rect, data).await;
+                outcome.write.record(now() - t0);
+            }
+        }
+    }
+    outcome.stats = client.stats();
+    outcome.per_shard = client.stats_per_shard();
+    outcome
 }
 
 async fn rdma_client_task(client: &mut CatfishClient, trace: Vec<Request>) -> ClientOutcome {
@@ -720,6 +1045,56 @@ mod tests {
         let r = run_experiment(&spec);
         assert_eq!(r.completed_requests, 240);
         assert!(r.insert_latency.count > 0);
+    }
+
+    #[test]
+    fn cluster_run_completes_all_requests() {
+        let mut spec = small_spec(Scheme::Catfish);
+        spec.shards = 4;
+        let r = run_experiment(&spec);
+        assert_eq!(r.completed_requests, 100);
+        assert_eq!(r.shards, 4);
+        assert_eq!(r.per_shard_stats.len(), 4);
+        // Every shard saw traffic: fanout hit each of them at least once.
+        let served: u64 = r
+            .per_shard_stats
+            .iter()
+            .map(|s| s.fast_reads + s.offloaded_reads)
+            .sum();
+        assert!(served >= 100, "shard reads {served} < requests");
+        assert!(r.row().contains("4 shards"));
+        assert!(r.row().contains("off/shard ["));
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let mut spec = small_spec(Scheme::Catfish);
+        spec.shards = 2;
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.latency, b.latency);
+    }
+
+    #[test]
+    fn cluster_churn_completes_with_writes_routed() {
+        let mut spec = small_spec(Scheme::Catfish);
+        spec.shards = 3;
+        spec.trace = TraceSpec::churn(ScaleDist::Fixed { bound: 0.02 }, 40, 0.2, 0.1);
+        let r = run_experiment(&spec);
+        assert_eq!(r.completed_requests, 160);
+        assert!(r.insert_latency.count > 0);
+        // Writes landed on home shards only; totals add up.
+        let writes: u64 = r.per_shard_stats.iter().map(|s| s.writes_sent).sum();
+        assert_eq!(writes, r.stats.writes_sent);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-server only")]
+    fn tcp_cluster_is_rejected() {
+        let mut spec = small_spec(Scheme::TcpIp);
+        spec.shards = 2;
+        run_experiment(&spec);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use catfish_simnet::SimDuration;
 use crate::config::CostModel;
 use crate::msg::MsgError;
 use crate::service::{
-    ClientBackend, Execution, Incoming, Inconsistent, IndexBackend, OpKind, RemoteHandle,
-    ServiceClient, ServiceServer, WireCodec,
+    ClientBackend, ClusterClient, ClusterServer, Execution, Incoming, Inconsistent, IndexBackend,
+    OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition, WireCodec,
 };
 use crate::store::MrMemory;
 
@@ -356,6 +356,66 @@ pub type KvClient = ServiceClient<KvBackend>;
 
 /// Bootstrap info for offloading KV clients.
 pub type KvTreeHandle = RemoteHandle<BpLayout>;
+
+/// A sharded KV cluster (hash-partitioned).
+pub type KvCluster = ClusterServer<KvBackend>;
+
+/// A scatter-gather client over a sharded KV cluster.
+pub type KvClusterClient = ClusterClient<KvBackend>;
+
+impl ShardPartition for KvBackend {
+    /// Hash partition: each pair lands on the shard its key hashes to on
+    /// the ring, so the load sets match what [`ShardMap::key_shard`]
+    /// routes later operations to.
+    fn partition(items: Vec<(u64, u64)>, shards: usize) -> (Vec<Vec<(u64, u64)>>, ShardMap) {
+        let map = ShardMap::hash_ring(shards);
+        let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); shards];
+        for (k, v) in items {
+            parts[map.key_shard(k)].push((k, v));
+        }
+        (parts, map)
+    }
+}
+
+// Same sharing rule as the R-tree cluster client: each leg borrows its
+// own shard's cell, single-threaded cooperative sim, so the held-across-
+// await borrow only excludes re-entrant use of one shard client.
+#[allow(clippy::await_holding_refcell_ref)]
+impl ClusterClient<KvBackend> {
+    /// Looks up `key` on its ring shard.
+    pub async fn get(&mut self, key: u64) -> Option<u64> {
+        let s = self.map.key_shard(key);
+        self.shards[s].borrow_mut().get(key).await
+    }
+
+    /// Inserts or replaces a pair on its ring shard; returns the previous
+    /// value if any.
+    pub async fn put(&mut self, key: u64, value: u64) -> Option<u64> {
+        let s = self.map.key_shard(key);
+        self.shards[s].borrow_mut().put(key, value).await
+    }
+
+    /// Removes a key from its ring shard; returns its value if present.
+    pub async fn remove(&mut self, key: u64) -> Option<u64> {
+        let s = self.map.key_shard(key);
+        self.shards[s].borrow_mut().remove(key).await
+    }
+
+    /// All pairs with `lo <= key <= hi`: hash partitioning spreads a key
+    /// range over every shard, so ranges always scatter cluster-wide and
+    /// merge-sort the partials by key.
+    pub async fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let targets: Vec<usize> = (0..self.shards.len()).collect();
+        let parts = self
+            .scatter(&targets, move |shard| {
+                Box::pin(async move { shard.borrow_mut().range(lo, hi).await })
+            })
+            .await;
+        let mut all: Vec<(u64, u64)> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        all
+    }
+}
 
 impl IndexBackend for KvBackend {
     type Wire = KvWire;

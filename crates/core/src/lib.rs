@@ -62,6 +62,7 @@ pub mod stats;
 pub mod store;
 
 pub use adaptive::AdaptiveState;
+pub use client::CatfishClusterClient;
 pub use client::{CatfishClient, SearchPath};
 pub use config::{
     AccessMode, AdaptiveParams, ClientConfig, CostModel, Scheme, ServerConfig, ServerMode,
@@ -71,9 +72,9 @@ pub use obs::{
     AdaptiveEvent, AdaptiveEventLog, AdaptiveEventRecord, LatencyHistogram, MetricsRegistry, Phase,
     PhaseSummary, TraceSink,
 };
-pub use server::{CatfishServer, RtreeBackend, TreeHandle};
+pub use server::{CatfishCluster, CatfishServer, RtreeBackend, TreeHandle};
 pub use service::{
-    ClientBackend, Execution, Incoming, Inconsistent, IndexBackend, OpKind, RemoteHandle,
-    ServiceClient, ServiceServer, WireCodec,
+    ClientBackend, ClusterClient, ClusterServer, Execution, Incoming, Inconsistent, IndexBackend,
+    OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition, WireCodec,
 };
 pub use stats::{LatencyRecorder, LatencySummary, ServiceStats};

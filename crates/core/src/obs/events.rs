@@ -65,13 +65,18 @@ impl AdaptiveEvent {
     }
 }
 
-/// An [`AdaptiveEvent`] stamped with its virtual time and client id.
+/// An [`AdaptiveEvent`] stamped with its virtual time, client id, and
+/// shard id.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveEventRecord {
     /// Virtual instant the event was emitted.
     pub t: SimTime,
     /// Client the deciding `AdaptiveState` belongs to.
     pub client: u32,
+    /// Shard the decision targeted (0 in single-server runs). Algorithm 1
+    /// runs independently per shard, so plotting tools must group by this
+    /// field rather than aggregating a cluster into one timeline.
+    pub shard: u32,
     /// The event itself.
     pub event: AdaptiveEvent,
 }
@@ -82,9 +87,10 @@ impl AdaptiveEventRecord {
     /// so no escaping is needed.
     pub fn to_json(&self) -> String {
         let head = format!(
-            "{{\"t_ns\":{},\"client\":{},\"event\":\"{}\"",
+            "{{\"t_ns\":{},\"client\":{},\"shard\":{},\"event\":\"{}\"",
             self.t.as_nanos(),
             self.client,
+            self.shard,
             self.event.kind()
         );
         match self.event {
@@ -120,29 +126,44 @@ impl fmt::Display for AdaptiveEventRecord {
 pub struct AdaptiveEventLog {
     events: Rc<RefCell<Vec<AdaptiveEventRecord>>>,
     client: u32,
+    shard: u32,
 }
 
 impl AdaptiveEventLog {
-    /// Creates an empty log (client id 0).
+    /// Creates an empty log (client id 0, shard id 0).
     pub fn new() -> Self {
         Self::default()
     }
 
     /// A handle onto the same buffer that stamps `client` on every
-    /// event it emits.
+    /// event it emits (keeping this handle's shard id).
     pub fn for_client(&self, client: u32) -> Self {
         AdaptiveEventLog {
             events: Rc::clone(&self.events),
             client,
+            shard: self.shard,
+        }
+    }
+
+    /// A handle onto the same buffer that stamps `shard` on every event
+    /// it emits (keeping this handle's client id). A cluster client holds
+    /// one per-shard `AdaptiveState`, each wired to
+    /// `log.for_client(c).for_shard(s)`.
+    pub fn for_shard(&self, shard: u32) -> Self {
+        AdaptiveEventLog {
+            events: Rc::clone(&self.events),
+            client: self.client,
+            shard,
         }
     }
 
     /// Appends an event stamped with the current virtual time (epoch
-    /// outside a simulation) and this handle's client id.
+    /// outside a simulation) and this handle's client and shard ids.
     pub fn emit(&self, event: AdaptiveEvent) {
         self.events.borrow_mut().push(AdaptiveEventRecord {
             t: try_now().unwrap_or(SimTime::ZERO),
             client: self.client,
+            shard: self.shard,
             event,
         });
     }
@@ -188,6 +209,20 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].client, 3);
         assert_eq!(events[1].client, 7);
+    }
+
+    #[test]
+    fn shard_handles_stamp_both_ids() {
+        let log = AdaptiveEventLog::new();
+        let c2s1 = log.for_client(2).for_shard(1);
+        let c2s3 = log.for_client(2).for_shard(3);
+        c2s1.emit(AdaptiveEvent::Route { offloaded: true });
+        c2s3.emit(AdaptiveEvent::Route { offloaded: false });
+        let events = log.snapshot();
+        assert_eq!((events[0].client, events[0].shard), (2, 1));
+        assert_eq!((events[1].client, events[1].shard), (2, 3));
+        assert!(events[0].to_json().contains("\"shard\":1"));
+        assert!(events[1].to_json().contains("\"shard\":3"));
     }
 
     #[test]

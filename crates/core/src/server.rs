@@ -8,12 +8,15 @@
 
 use catfish_rtree::chunk::ChunkStore;
 use catfish_rtree::codec::ChunkLayout;
-use catfish_rtree::{bulk_load, NodeStore, RTree, RTreeConfig, Rect, TreeMeta};
+use catfish_rtree::{bulk_load, partition_by_x, NodeStore, RTree, RTreeConfig, Rect, TreeMeta};
 use catfish_simnet::SimDuration;
 
 use crate::config::CostModel;
 use crate::msg::{Message, RtreeWire};
-use crate::service::{Execution, IndexBackend, OpKind, RemoteHandle, ServiceServer};
+use crate::service::{
+    ClusterServer, Execution, IndexBackend, OpKind, RemoteHandle, ServiceServer, ShardMap,
+    ShardPartition,
+};
 use crate::store::MrMemory;
 
 /// The R-tree service backend: an R\*-tree over a registered chunk arena.
@@ -22,8 +25,25 @@ pub type RtreeBackend = RTree<ChunkStore<MrMemory>>;
 /// The Catfish R-tree server.
 pub type CatfishServer = ServiceServer<RtreeBackend>;
 
+/// A sharded R-tree cluster (space-partitioned).
+pub type CatfishCluster = ClusterServer<RtreeBackend>;
+
 /// Everything an offloading client needs to traverse the tree remotely.
 pub type TreeHandle = RemoteHandle<ChunkLayout>;
+
+impl ShardPartition for RtreeBackend {
+    /// Space partition: contiguous x-slabs of the bulk-load set
+    /// ([`partition_by_x`]), whose cuts become the cluster's routing table
+    /// and whose per-slab MBRs seed the scatter-pruning bounds.
+    fn partition(items: Vec<(Rect, u64)>, shards: usize) -> (Vec<Vec<(Rect, u64)>>, ShardMap) {
+        let part = partition_by_x(items, shards);
+        let map = ShardMap::Region {
+            cuts: part.cuts,
+            bounds: part.bounds,
+        };
+        (part.slabs, map)
+    }
+}
 
 impl IndexBackend for RtreeBackend {
     type Wire = RtreeWire;

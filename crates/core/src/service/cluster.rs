@@ -1,0 +1,503 @@
+//! The cluster topology: N service shards behind scatter-gather clients.
+//!
+//! Everything below the cluster layer is the unchanged single-server
+//! engine — a [`ClusterServer`] is N independent [`ServiceServer`]s on
+//! their own fabric nodes (own cores, own NIC, own registered arena, own
+//! heartbeat stream), and a [`ClusterClient`] is N independent
+//! [`ServiceClient`]s plus a [`ShardMap`] that decides which shard(s) an
+//! operation touches:
+//!
+//! * **R-tree shards** are space partitions: [`ShardPartition`] splits the
+//!   bulk-load set into contiguous x-slabs (see
+//!   [`catfish_rtree::partition_by_x`]), the slab cuts route point
+//!   operations by rectangle center, and each shard's **boundary MBR**
+//!   (initial slab MBR, grown on every routed insert) prunes window and
+//!   kNN queries to the shards whose bound intersects — the scatter set.
+//! * **KV shards** are hash partitions: a ring of virtual points maps each
+//!   key to one shard; range scans scatter to every shard and merge by
+//!   key.
+//!
+//! Because every shard has its own connection, heartbeat stream, and
+//! [`crate::adaptive::AdaptiveState`], Algorithm 1 runs **independently
+//! per shard**: a client hammering one hot shard sees only that shard's
+//! heartbeats cross the busy threshold and offloads there, while its
+//! connections to cold shards keep fast messaging — the paper's
+//! adaptivity, generalized to scale-out.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_rdma::{Endpoint, NetProfile, RdmaProfile};
+use catfish_rtree::Rect;
+use catfish_simnet::{spawn, CpuPool, Network};
+
+use crate::config::{ClientConfig, ServerConfig};
+use crate::conn::RkeyAllocator;
+use crate::obs::AdaptiveEventLog;
+use crate::stats::ServiceStats;
+
+use super::{ClientBackend, IndexBackend, ServiceClient, ServiceServer};
+
+/// SplitMix64 — the hash behind the KV ring's virtual points.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Virtual ring points per shard: enough that shard loads stay within a
+/// few percent of each other without making lookup tables large.
+const RING_POINTS_PER_SHARD: usize = 16;
+
+/// The client-side routing table of a cluster.
+///
+/// Built once by [`ShardPartition::partition`] at bulk-load time and
+/// copied into every [`ClusterClient`]; the only mutable piece is the
+/// per-shard boundary MBR, which [`ShardMap::grow`] widens when an insert
+/// routed to a shard pokes past its current bound (so scatter pruning
+/// never misses an item the cluster accepted).
+#[derive(Debug, Clone)]
+pub enum ShardMap {
+    /// Space partition (R-tree): contiguous x-slabs.
+    Region {
+        /// Ascending x cuts between adjacent slabs (`shards - 1` entries).
+        /// Authoritative for ownership: center-x `x` belongs to shard
+        /// `cuts.partition_point(|c| *c <= x)`.
+        cuts: Vec<f64>,
+        /// Per-shard boundary MBR (`None` while a shard holds nothing).
+        bounds: Vec<Option<Rect>>,
+    },
+    /// Hash partition (KV): a ring of virtual points.
+    Hash {
+        /// `(point_hash, shard)` sorted by hash.
+        points: Vec<(u64, u32)>,
+        /// Shard count.
+        shards: usize,
+    },
+}
+
+impl ShardMap {
+    /// A hash ring over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn hash_ring(shards: usize) -> ShardMap {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        let mut points = Vec::with_capacity(shards * RING_POINTS_PER_SHARD);
+        for shard in 0..shards {
+            for v in 0..RING_POINTS_PER_SHARD {
+                points.push((mix64((shard as u64) << 32 | v as u64), shard as u32));
+            }
+        }
+        points.sort_unstable();
+        ShardMap::Hash { points, shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        match self {
+            ShardMap::Region { bounds, .. } => bounds.len(),
+            ShardMap::Hash { shards, .. } => *shards,
+        }
+    }
+
+    /// The shard owning `rect` — the one point operations (insert, delete)
+    /// route to. Ownership follows the rectangle's center-x through the
+    /// authoritative cuts, so it never disagrees with bulk-load placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash map (keys route with [`ShardMap::key_shard`]).
+    pub fn home_shard(&self, rect: &Rect) -> usize {
+        match self {
+            ShardMap::Region { cuts, .. } => {
+                let x = rect.center().0;
+                cuts.partition_point(|c| *c <= x)
+            }
+            ShardMap::Hash { .. } => panic!("home_shard called on a hash-partitioned map"),
+        }
+    }
+
+    /// Widens shard `s`'s boundary MBR to cover `rect` (called on every
+    /// routed insert, *before* the insert is sent, so a concurrent scatter
+    /// can only over-include, never miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash map.
+    pub fn grow(&mut self, s: usize, rect: &Rect) {
+        match self {
+            ShardMap::Region { bounds, .. } => {
+                bounds[s] = Some(match bounds[s] {
+                    Some(b) => b.union(rect),
+                    None => *rect,
+                });
+            }
+            ShardMap::Hash { .. } => panic!("grow called on a hash-partitioned map"),
+        }
+    }
+
+    /// The scatter set of a window query: every shard whose boundary MBR
+    /// intersects `rect`. A shard with no bound holds nothing and is
+    /// skipped; items live entirely inside their owner's bound, so this
+    /// set is exact (pruned shards cannot contribute results).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash map.
+    pub fn read_targets(&self, rect: &Rect) -> Vec<usize> {
+        match self {
+            ShardMap::Region { bounds, .. } => bounds
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_some_and(|b| b.intersects(rect)))
+                .map(|(i, _)| i)
+                .collect(),
+            ShardMap::Hash { .. } => panic!("read_targets called on a hash-partitioned map"),
+        }
+    }
+
+    /// Every shard that currently holds data (kNN's scatter set, and range
+    /// scans on hash maps where every shard may hold keys).
+    pub fn occupied(&self) -> Vec<usize> {
+        match self {
+            ShardMap::Region { bounds, .. } => bounds
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.is_some())
+                .map(|(i, _)| i)
+                .collect(),
+            ShardMap::Hash { shards, .. } => (0..*shards).collect(),
+        }
+    }
+
+    /// The shard owning `key` on the hash ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a region map (rectangles route with
+    /// [`ShardMap::home_shard`]).
+    pub fn key_shard(&self, key: u64) -> usize {
+        match self {
+            ShardMap::Hash { points, .. } => {
+                let h = mix64(key);
+                let i = points.partition_point(|&(p, _)| p < h);
+                let (_, shard) = points[i % points.len()];
+                shard as usize
+            }
+            ShardMap::Region { .. } => panic!("key_shard called on a region-partitioned map"),
+        }
+    }
+}
+
+/// How a backend's bulk-load set splits across cluster shards.
+///
+/// The R-tree splits by space ([`catfish_rtree::partition_by_x`]); the KV
+/// service splits by key hash. Implemented next to each backend's
+/// [`IndexBackend`] port.
+pub trait ShardPartition: IndexBackend {
+    /// Splits `items` into one load set per shard plus the routing map
+    /// clients use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    fn partition(items: Vec<Self::LoadItem>, shards: usize)
+        -> (Vec<Vec<Self::LoadItem>>, ShardMap);
+}
+
+/// A cluster of [`ServiceServer`] shards, each on its own fabric node —
+/// own cores, own NIC, own registered arena, own heartbeat stream.
+pub struct ClusterServer<B: IndexBackend> {
+    shards: Vec<ServiceServer<B>>,
+    map: ShardMap,
+}
+
+impl<B: IndexBackend> std::fmt::Debug for ClusterServer<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterServer")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<B: IndexBackend + ShardPartition> ClusterServer<B> {
+    /// Builds `shards` servers, partitioning `items` with the backend's
+    /// [`ShardPartition`]. Every shard gets the same `cfg` — each shard is
+    /// a full machine, so scaling shards scales cores and NICs with them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn build(
+        net: &Network,
+        profile: &NetProfile,
+        cfg: ServerConfig,
+        index_cfg: B::Config,
+        items: Vec<B::LoadItem>,
+        shards: usize,
+        rkeys: &RkeyAllocator,
+    ) -> ClusterServer<B> {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        let (parts, map) = B::partition(items, shards);
+        let shards = parts
+            .into_iter()
+            .map(|part| ServiceServer::build(net, profile, cfg, index_cfg.clone(), part, rkeys))
+            .collect();
+        ClusterServer { shards, map }
+    }
+}
+
+impl<B: IndexBackend> ClusterServer<B> {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's server.
+    pub fn shard(&self, i: usize) -> &ServiceServer<B> {
+        &self.shards[i]
+    }
+
+    /// The routing map clients copy at connect time.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Starts every shard's heartbeat publisher.
+    pub fn start_heartbeats(&self) {
+        for s in &self.shards {
+            s.start_heartbeats();
+        }
+    }
+
+    /// Per-shard server counters, in shard order.
+    pub fn stats_per_shard(&self) -> Vec<ServiceStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Cluster-wide server counters (per-shard counters summed).
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total
+    }
+}
+
+/// A scatter-gather client: one [`ServiceClient`] per shard plus the
+/// [`ShardMap`] that routes operations.
+///
+/// Point operations touch exactly one shard; window and kNN queries fan
+/// out to the shards whose boundary MBR intersects (in parallel — each
+/// shard connection is independent) and merge the partial results. Each
+/// per-shard client runs its own Algorithm 1 against that shard's
+/// heartbeat stream.
+pub struct ClusterClient<B: ClientBackend> {
+    pub(crate) shards: Vec<Rc<RefCell<ServiceClient<B>>>>,
+    pub(crate) map: ShardMap,
+}
+
+impl<B: ClientBackend> std::fmt::Debug for ClusterClient<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<B: ClientBackend> ClusterClient<B> {
+    /// Connects one client machine to every shard: a fresh fabric node
+    /// carrying `shards` ring connections (Storm-style: many logical
+    /// endpoints over one NIC). Per-shard back-off seeds are decorrelated
+    /// from `seed` so shards don't draw identical bands.
+    pub fn connect(
+        server: &ClusterServer<B>,
+        net: &Network,
+        profile: &NetProfile,
+        cfg: ClientConfig,
+        seed: u64,
+    ) -> ClusterClient<B> {
+        let ep = Endpoint::new(net, net.add_node(profile.link), RdmaProfile::default());
+        Self::connect_from(server, &ep, cfg, seed)
+    }
+
+    /// Like [`ClusterClient::connect`], over an existing endpoint (shared
+    /// client machines in the harness).
+    pub fn connect_from(
+        server: &ClusterServer<B>,
+        client_ep: &Endpoint,
+        cfg: ClientConfig,
+        seed: u64,
+    ) -> ClusterClient<B> {
+        let shards = server
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let ch = s.accept(client_ep);
+                let shard_seed = seed ^ mix64(i as u64 + 1);
+                Rc::new(RefCell::new(ServiceClient::new(
+                    ch,
+                    s.remote_handle(),
+                    cfg,
+                    shard_seed,
+                )))
+            })
+            .collect();
+        ClusterClient {
+            shards,
+            map: server.map.clone(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared handle to one shard's client (tests and the harness).
+    pub fn shard_client(&self, i: usize) -> Rc<RefCell<ServiceClient<B>>> {
+        Rc::clone(&self.shards[i])
+    }
+
+    /// This client's routing map (bounds reflect its own inserts).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Wires every per-shard Algorithm 1 into `log`, stamped with its
+    /// shard id — the per-shard timelines the hot/cold demo plots.
+    pub fn set_adaptive_event_log(&self, log: &AdaptiveEventLog) {
+        for (i, s) in self.shards.iter().enumerate() {
+            s.borrow_mut()
+                .set_adaptive_event_log(log.for_shard(i as u32));
+        }
+    }
+
+    /// Switches every shard connection to busy-poll response detection on
+    /// a core of `pool` (the client machine's CPUs).
+    pub fn set_response_polling(&self, pool: &CpuPool) {
+        for s in &self.shards {
+            s.borrow_mut().poll_pool = Some(pool.clone());
+        }
+    }
+
+    /// Routes every shard connection's phase spans into `sink` (the
+    /// cluster analogue of [`ServiceClient::with_trace`]).
+    pub fn set_trace(&self, sink: &crate::obs::TraceSink) {
+        for s in &self.shards {
+            let mut c = s.borrow_mut();
+            c.ch.tx
+                .set_trace(sink.clone(), crate::obs::Phase::RingEnqueue);
+            c.trace = sink.clone();
+        }
+    }
+
+    /// Per-shard client counters, in shard order.
+    pub fn stats_per_shard(&self) -> Vec<ServiceStats> {
+        self.shards.iter().map(|s| s.borrow().stats()).collect()
+    }
+
+    /// Counters summed across shard connections.
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for s in &self.shards {
+            total.merge(&s.borrow().stats());
+        }
+        total
+    }
+
+    /// Runs `op` against every shard in `targets` **in parallel** (each
+    /// shard connection is independent) and returns the per-shard results
+    /// in target order. The per-shard futures are spawned, so a slow shard
+    /// overlaps the others instead of serializing the scatter.
+    pub(crate) async fn scatter<R: 'static>(
+        &self,
+        targets: &[usize],
+        op: impl Fn(
+            Rc<RefCell<ServiceClient<B>>>,
+        ) -> std::pin::Pin<Box<dyn std::future::Future<Output = R>>>,
+    ) -> Vec<R> {
+        let mut handles = Vec::with_capacity(targets.len());
+        for &t in targets {
+            let shard = Rc::clone(&self.shards[t]);
+            handles.push(spawn(op(shard)));
+        }
+        let mut out = Vec::with_capacity(handles.len());
+        for h in handles {
+            out.push(h.await);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_ring_covers_every_shard_roughly_evenly() {
+        let map = ShardMap::hash_ring(4);
+        let mut counts = [0usize; 4];
+        for key in 0..40_000u64 {
+            counts[map.key_shard(key)] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (4_000..=16_000).contains(&c),
+                "shard {shard} got {c} of 40000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_ring_is_deterministic() {
+        let a = ShardMap::hash_ring(8);
+        let b = ShardMap::hash_ring(8);
+        for key in 0..1_000u64 {
+            assert_eq!(a.key_shard(key), b.key_shard(key));
+        }
+    }
+
+    #[test]
+    fn region_map_routes_and_grows() {
+        let mut map = ShardMap::Region {
+            cuts: vec![0.5],
+            bounds: vec![Some(Rect::new(0.0, 0.0, 0.4, 1.0)), None],
+        };
+        assert_eq!(map.shards(), 2);
+        // Center below the cut → shard 0; above → shard 1.
+        assert_eq!(map.home_shard(&Rect::new(0.1, 0.1, 0.2, 0.2)), 0);
+        assert_eq!(map.home_shard(&Rect::new(0.8, 0.1, 0.9, 0.2)), 1);
+        // Shard 1 is empty: scatter prunes it even right of the cut.
+        assert_eq!(map.read_targets(&Rect::new(0.6, 0.0, 0.9, 1.0)), vec![]);
+        assert_eq!(map.occupied(), vec![0]);
+        // First insert establishes its bound; scatter now reaches it.
+        map.grow(1, &Rect::new(0.7, 0.2, 0.75, 0.25));
+        assert_eq!(map.read_targets(&Rect::new(0.6, 0.0, 0.9, 1.0)), vec![1]);
+        assert_eq!(map.occupied(), vec![0, 1]);
+        // A query spanning the cut scatters to both.
+        assert_eq!(map.read_targets(&Rect::new(0.3, 0.0, 0.8, 1.0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn grow_unions_with_the_existing_bound() {
+        let mut map = ShardMap::Region {
+            cuts: vec![],
+            bounds: vec![Some(Rect::new(0.2, 0.2, 0.4, 0.4))],
+        };
+        map.grow(0, &Rect::new(0.35, 0.1, 0.5, 0.3));
+        let ShardMap::Region { bounds, .. } = &map else {
+            unreachable!()
+        };
+        let b = bounds[0].unwrap();
+        assert_eq!(
+            (b.min_x(), b.min_y(), b.max_x(), b.max_y()),
+            (0.2, 0.1, 0.5, 0.4)
+        );
+    }
+}

@@ -31,9 +31,11 @@ use crate::msg::MsgError;
 use crate::store::MrMemory;
 
 mod client;
+pub mod cluster;
 mod server;
 
 pub use client::ServiceClient;
+pub use cluster::{ClusterClient, ClusterServer, ShardMap, ShardPartition};
 pub use server::ServiceServer;
 
 /// Request message type of a backend's wire codec.

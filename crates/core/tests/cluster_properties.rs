@@ -1,0 +1,184 @@
+//! Property tests of the sharded cluster: under arbitrary interleavings
+//! of window searches, inserts, deletes, and kNN queries — with query
+//! rectangles wide enough to span shard boundaries — the scatter-gather
+//! [`CatfishClusterClient`] produces results set-equal to a single
+//! authoritative reference model, for every shard count.
+//!
+//! This is the correctness law that makes the space partition an
+//! implementation detail: no operation may observe which shard owns what.
+
+use catfish_core::client::CatfishClusterClient;
+use catfish_core::config::{AccessMode, ClientConfig, ServerConfig, ServerMode};
+use catfish_core::conn::RkeyAllocator;
+use catfish_core::server::CatfishCluster;
+use catfish_rdma::profile::infiniband_100g;
+use catfish_rtree::{min_dist_sq, RTreeConfig, Rect};
+use catfish_simnet::{Network, Sim};
+use catfish_workload::uniform_rects;
+use proptest::prelude::*;
+
+/// One step of an interleaved workload, as generated data.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Window query; compared set-wise against the model scan.
+    Search(Rect),
+    /// Insert at this rectangle (payload id assigned at execution).
+    Insert(Rect),
+    /// Delete the `i % live`-th live item (no-op while none are live).
+    Delete(usize),
+    /// k-nearest-neighbour query at (x, y).
+    Nearest(f64, f64, u32),
+}
+
+/// Rectangles up to 0.5 wide: with 2–4 shards the x-cuts are at most 0.5
+/// apart, so a healthy fraction of these straddle at least one boundary.
+fn arb_query_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..1.0, 0.0f64..1.0, 1e-4f64..0.5, 1e-4f64..0.2)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_query_rect().prop_map(Op::Search),
+        arb_query_rect().prop_map(Op::Insert),
+        any::<u32>().prop_map(|i| Op::Delete(i as usize)),
+        (0.0f64..1.0, 0.0f64..1.0, 1u32..6).prop_map(|(x, y, k)| Op::Nearest(x, y, k)),
+    ]
+}
+
+/// The reference: a flat list of live items, queried by linear scan.
+/// Equivalent to (and simpler than) a single-server tree, and obviously
+/// correct.
+struct Model {
+    live: Vec<(Rect, u64)>,
+}
+
+impl Model {
+    fn search(&self, q: &Rect) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(r, _)| r.intersects(q))
+            .map(|&(_, d)| d)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn nearest(&self, x: f64, y: f64, k: u32) -> Vec<(Rect, u64)> {
+        let mut all = self.live.clone();
+        all.sort_by_key(|(r, d)| (min_dist_sq(r, x, y).to_bits(), *d));
+        all.truncate(k as usize);
+        all
+    }
+}
+
+/// Runs `ops` against both a `shards`-way cluster and the model, checking
+/// set-equality after every operation.
+fn check_cluster_matches_model(shards: usize, dataset_seed: u64, ops: Vec<Op>) {
+    let sim = Sim::new();
+    sim.run_until(async move {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let dataset = uniform_rects(300, 1e-3, dataset_seed);
+        let mut model = Model {
+            live: dataset.clone(),
+        };
+        let cluster = CatfishCluster::build(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 2,
+                mode: ServerMode::EventDriven,
+                ..ServerConfig::default()
+            },
+            RTreeConfig::default(),
+            dataset,
+            shards,
+            &rkeys,
+        );
+        let mut client = CatfishClusterClient::connect(
+            &cluster,
+            &net,
+            &profile,
+            ClientConfig {
+                mode: AccessMode::FastMessaging,
+                ..ClientConfig::default()
+            },
+            dataset_seed ^ 0xC1u64,
+        );
+
+        let mut next_id = 1u64 << 40;
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Search(q) => {
+                    let mut got = client.search(&q).await;
+                    got.sort_unstable();
+                    assert_eq!(
+                        got,
+                        model.search(&q),
+                        "step {step}: window {q:?} diverged at {shards} shards"
+                    );
+                }
+                Op::Insert(r) => {
+                    let id = next_id;
+                    next_id += 1;
+                    assert!(client.insert(r, id).await, "step {step}: insert refused");
+                    model.live.push((r, id));
+                }
+                Op::Delete(i) => {
+                    if model.live.is_empty() {
+                        continue;
+                    }
+                    let (r, id) = model.live.swap_remove(i % model.live.len());
+                    assert!(
+                        client.delete(r, id).await,
+                        "step {step}: delete of live item {id} failed"
+                    );
+                }
+                Op::Nearest(x, y, k) => {
+                    let got = client.nearest(x, y, k).await;
+                    assert_eq!(
+                        got,
+                        model.nearest(x, y, k),
+                        "step {step}: {k}-NN at ({x}, {y}) diverged at {shards} shards"
+                    );
+                }
+            }
+        }
+
+        // The partition must not lose or duplicate anything: a full-window
+        // query returns exactly the model's live set.
+        let world = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let mut got = client.search(&world).await;
+        got.sort_unstable();
+        assert_eq!(got, model.search(&world), "full-window sweep diverged");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// The cluster is indistinguishable from the single-index reference
+    /// under arbitrary op interleavings, for 2–4 shards.
+    #[test]
+    fn scatter_gather_matches_single_index_reference(
+        shards in 2usize..5,
+        dataset_seed in 0u64..1_000,
+        ops in prop::collection::vec(arb_op(), 1..30),
+    ) {
+        check_cluster_matches_model(shards, dataset_seed, ops);
+    }
+
+    /// Degenerate but legal: a 1-shard cluster is exactly the single
+    /// server, so the same law holds trivially — guarding the bench's
+    /// "1-shard cell matches single-server numbers" claim structurally.
+    #[test]
+    fn one_shard_cluster_matches_reference(
+        dataset_seed in 0u64..1_000,
+        ops in prop::collection::vec(arb_op(), 1..20),
+    ) {
+        check_cluster_matches_model(1, dataset_seed, ops);
+    }
+}

@@ -105,6 +105,93 @@ pub fn bulk_load_with_fill<S: NodeStore>(
     }
 }
 
+/// A space partition of a bulk-load dataset across cluster shards.
+///
+/// Produced by [`partition_by_x`]: the unit of scale-out is a contiguous
+/// x-slab of the dataset (the same x-center ordering STR packing starts
+/// from), so each shard's bulk-loaded tree covers a compact region and the
+/// slab boundaries double as the cluster's routing cuts. The `cuts` are
+/// **authoritative** for ownership: an item whose center-x `x` belongs to
+/// shard `cuts.partition_point(|c| *c <= x)`, and [`partition_by_x`]
+/// assigns items by that same rule, so routing a later point operation by
+/// center always lands on the shard holding the item.
+#[derive(Debug, Clone)]
+pub struct SpacePartition {
+    /// Per-shard bulk-load items (some slabs may be empty when the data is
+    /// narrower than the shard count).
+    pub slabs: Vec<Vec<(Rect, u64)>>,
+    /// Ascending x cuts between adjacent slabs (`shards - 1` entries).
+    pub cuts: Vec<f64>,
+    /// Per-shard boundary MBR of the loaded items (`None` for an empty
+    /// slab) — what scatter-gather clients prune window queries against.
+    pub bounds: Vec<Option<Rect>>,
+}
+
+impl SpacePartition {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// The shard owning an item whose rectangle center-x is `x`.
+    pub fn shard_of(&self, x: f64) -> usize {
+        self.cuts.partition_point(|c| *c <= x)
+    }
+}
+
+/// Splits `items` into `shards` contiguous x-slabs of near-equal item
+/// count, returning each slab with its boundary MBR and the cut positions.
+///
+/// Cuts fall between distinct center-x values; runs of items sharing one
+/// center-x are never split across a cut, so [`SpacePartition::shard_of`]
+/// is consistent with the assignment (at the cost of slightly uneven slab
+/// sizes on heavily duplicated coordinates). With no items the unit square
+/// is cut uniformly so later inserts still spread.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn partition_by_x(items: Vec<(Rect, u64)>, shards: usize) -> SpacePartition {
+    assert!(shards > 0, "a cluster needs at least one shard");
+    let cuts: Vec<f64> = if items.is_empty() {
+        (1..shards).map(|i| i as f64 / shards as f64).collect()
+    } else {
+        let mut centers: Vec<f64> = items.iter().map(|(r, _)| r.center().0).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        (1..shards)
+            .map(|i| {
+                let at = i * centers.len() / shards;
+                let right = centers[at.min(centers.len() - 1)];
+                let left = centers[at.saturating_sub(1)];
+                if left < right {
+                    // Midpoint between the slabs; `partition_point(c <= x)`
+                    // sends the boundary value itself to the right shard.
+                    (left + right) / 2.0
+                } else {
+                    // A tie run straddles the balanced index: cut at the
+                    // value so the whole run lands right of the cut.
+                    right
+                }
+            })
+            .collect()
+    };
+    let mut slabs: Vec<Vec<(Rect, u64)>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut bounds: Vec<Option<Rect>> = vec![None; shards];
+    for (rect, data) in items {
+        let s = cuts.partition_point(|c| *c <= rect.center().0);
+        bounds[s] = Some(match bounds[s] {
+            Some(b) => b.union(&rect),
+            None => rect,
+        });
+        slabs[s].push((rect, data));
+    }
+    SpacePartition {
+        slabs,
+        cuts,
+        bounds,
+    }
+}
+
 /// Partitions entries into groups of about `fill` using Sort-Tile-Recursive
 /// tiling; every group has at least `min_entries` entries (except when the
 /// whole input is smaller than that, which can only happen for the root).
@@ -259,5 +346,59 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn bad_fill_rejected() {
         let _ = bulk_load_with_fill(MemStore::new(), RTreeConfig::default(), items(10), 3);
+    }
+
+    #[test]
+    fn partition_covers_all_items_and_routes_consistently() {
+        let data = items(5_000);
+        let part = partition_by_x(data.clone(), 4);
+        assert_eq!(part.shards(), 4);
+        assert_eq!(part.cuts.len(), 3);
+        assert!(part.cuts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(part.slabs.iter().map(Vec::len).sum::<usize>(), data.len());
+        for (s, slab) in part.slabs.iter().enumerate() {
+            let bound = part.bounds[s].expect("5000 items fill every slab");
+            for (rect, _) in slab {
+                // Assignment agrees with center routing, and the boundary
+                // MBR covers every item entirely.
+                assert_eq!(part.shard_of(rect.center().0), s);
+                assert_eq!(bound.union(rect), bound);
+            }
+        }
+        // Near-equal slab sizes on distinct coordinates.
+        let (min, max) = part.slabs.iter().fold((usize::MAX, 0), |(lo, hi), s| {
+            (lo.min(s.len()), hi.max(s.len()))
+        });
+        assert!(max - min <= 2, "slab sizes {min}..{max}");
+    }
+
+    #[test]
+    fn partition_never_splits_duplicate_centers() {
+        // All items share one center-x: routing must keep them together.
+        let data: Vec<(Rect, u64)> = (0..100)
+            .map(|i| (Rect::new(0.4, i as f64, 0.6, i as f64 + 0.5), i))
+            .collect();
+        let part = partition_by_x(data, 4);
+        let populated: Vec<usize> = (0..4).filter(|&s| !part.slabs[s].is_empty()).collect();
+        assert_eq!(populated.len(), 1);
+        assert_eq!(part.shard_of(0.5), populated[0]);
+    }
+
+    #[test]
+    fn empty_partition_cuts_the_unit_square() {
+        let part = partition_by_x(Vec::new(), 4);
+        assert_eq!(part.cuts, vec![0.25, 0.5, 0.75]);
+        assert!(part.bounds.iter().all(Option::is_none));
+        assert_eq!(part.shard_of(0.1), 0);
+        assert_eq!(part.shard_of(0.6), 2);
+        assert_eq!(part.shard_of(0.9), 3);
+    }
+
+    #[test]
+    fn single_shard_partition_is_the_identity() {
+        let data = items(50);
+        let part = partition_by_x(data.clone(), 1);
+        assert!(part.cuts.is_empty());
+        assert_eq!(part.slabs[0], data);
     }
 }

@@ -39,7 +39,7 @@ mod split;
 mod store;
 mod tree;
 
-pub use bulk::{bulk_load, bulk_load_with_fill};
+pub use bulk::{bulk_load, bulk_load_with_fill, partition_by_x, SpacePartition};
 pub use concurrent::SharedRTree;
 pub use geom::Rect;
 pub use knn::{min_dist_sq, Neighbor};

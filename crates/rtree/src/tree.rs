@@ -106,6 +106,15 @@ impl<S: NodeStore> RTree<S> {
         self.store.meta().height
     }
 
+    /// The boundary MBR of the whole tree: the union of every stored
+    /// item's rectangle (`None` when empty). A cluster shard exports this
+    /// so scatter-gather clients can skip shards whose data cannot
+    /// intersect a window query.
+    pub fn root_mbr(&self) -> Option<Rect> {
+        let root = self.store.meta().root?;
+        self.store.visit(root, |node| node.mbr())
+    }
+
     // -----------------------------------------------------------------
     // Search
     // -----------------------------------------------------------------

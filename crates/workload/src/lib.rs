@@ -32,6 +32,6 @@ mod scale;
 mod zipf;
 
 pub use dataset::{rea02_dataset, rea02_queries, uniform_rects, REA02_FULL_SIZE};
-pub use requests::{search_rect, skewed_insert_rect, Request, TraceSpec};
+pub use requests::{hotspot_search_rect, search_rect, skewed_insert_rect, Request, TraceSpec};
 pub use scale::ScaleDist;
-pub use zipf::ZipfSampler;
+pub use zipf::{SpatialHotspot, ZipfSampler};

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::scale::ScaleDist;
+use crate::zipf::SpatialHotspot;
 
 /// One R-tree request issued by a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +51,10 @@ pub struct TraceSpec {
     /// delete targets an item this client inserted earlier, and is
     /// skipped — emitted as a search — while none is available).
     pub delete_fraction: f64,
+    /// Optional spatial hotspot: when set, search-rectangle positions are
+    /// drawn through it instead of uniformly, concentrating query load on
+    /// a sub-region (and thus on one shard of a partitioned cluster).
+    pub hotspot: Option<SpatialHotspot>,
 }
 
 impl TraceSpec {
@@ -60,6 +65,7 @@ impl TraceSpec {
             requests_per_client,
             insert_fraction: 0.0,
             delete_fraction: 0.0,
+            hotspot: None,
         }
     }
 
@@ -70,6 +76,7 @@ impl TraceSpec {
             requests_per_client,
             insert_fraction: 0.1,
             delete_fraction: 0.0,
+            hotspot: None,
         }
     }
 
@@ -85,7 +92,15 @@ impl TraceSpec {
             requests_per_client,
             insert_fraction,
             delete_fraction,
+            hotspot: None,
         }
+    }
+
+    /// Returns a copy of this spec whose search positions are drawn
+    /// through `hotspot` instead of uniformly.
+    pub fn with_hotspot(mut self, hotspot: SpatialHotspot) -> Self {
+        self.hotspot = Some(hotspot);
+        self
     }
 
     /// Generates client `client_id`'s trace deterministically from `seed`.
@@ -106,7 +121,10 @@ impl TraceSpec {
                     let (rect, id) = live.swap_remove(pick);
                     Request::Delete(rect, id)
                 } else {
-                    Request::Search(search_rect(&mut rng, &self.scale))
+                    Request::Search(match &self.hotspot {
+                        Some(h) => hotspot_search_rect(&mut rng, &self.scale, h),
+                        None => search_rect(&mut rng, &self.scale),
+                    })
                 }
             })
             .collect()
@@ -119,6 +137,19 @@ pub fn search_rect<R: Rng + ?Sized>(rng: &mut R, scale: &ScaleDist) -> Rect {
     let h = scale.sample_edge(rng);
     let x = rng.gen::<f64>() * (1.0 - w).max(0.0);
     let y = rng.gen::<f64>() * (1.0 - h).max(0.0);
+    Rect::new(x, y, x + w, y + h)
+}
+
+/// A search rectangle whose position is drawn through a
+/// [`SpatialHotspot`] (edges still come from the scale distribution).
+pub fn hotspot_search_rect<R: Rng + ?Sized>(
+    rng: &mut R,
+    scale: &ScaleDist,
+    hotspot: &SpatialHotspot,
+) -> Rect {
+    let w = scale.sample_edge(rng);
+    let h = scale.sample_edge(rng);
+    let (x, y) = hotspot.place(rng, w, h);
     Rect::new(x, y, x + w, y + h)
 }
 
@@ -210,6 +241,33 @@ mod tests {
             mean < 0.235,
             "mean distance from center lines {mean}, expected < 0.235 (uniform = 0.25)"
         );
+    }
+
+    #[test]
+    fn hotspot_spec_concentrates_searches() {
+        let hot = SpatialHotspot::new(Rect::new(0.0, 0.0, 0.25, 1.0), 0.9);
+        let spec = TraceSpec::search_only(ScaleDist::small(), 5_000).with_hotspot(hot);
+        let trace = spec.client_trace(0, 31);
+        let inside = trace
+            .iter()
+            .filter(|r| match r {
+                Request::Search(rect) => rect.min_x() < 0.25,
+                _ => false,
+            })
+            .count();
+        let frac = inside as f64 / trace.len() as f64;
+        assert!(frac > 0.85, "only {frac} of searches start in the hot slab");
+        // The same spec without the hotspot spreads them uniformly.
+        let base = TraceSpec::search_only(ScaleDist::small(), 5_000);
+        let uniform_inside = base
+            .client_trace(0, 31)
+            .iter()
+            .filter(|r| match r {
+                Request::Search(rect) => rect.min_x() < 0.25,
+                _ => false,
+            })
+            .count();
+        assert!(uniform_inside as f64 / 5_000.0 < 0.35);
     }
 
     #[test]
