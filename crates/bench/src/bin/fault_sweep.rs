@@ -43,6 +43,9 @@ const ID_BASE: u64 = 10_000_000;
 struct Cell {
     label: &'static str,
     fault: FaultConfig,
+    /// Serve every read through mailbox fetching ([`AccessMode::Fetching`])
+    /// so the one-sided pull path rides the same chaos as the ring.
+    fetch: bool,
 }
 
 #[derive(Debug)]
@@ -56,6 +59,9 @@ struct CellResult {
     injected: FaultCounters,
     lost: usize,
     duplicated: usize,
+    /// Mailbox slot leases still outstanding after the post-run grace
+    /// period (every lease must be reclaimed — acked or TTL-swept).
+    leaked_slots: usize,
 }
 
 fn unique_rect(op: u64) -> Rect {
@@ -80,10 +86,11 @@ fn dataset(n: usize) -> Vec<(Rect, u64)> {
 fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResult {
     let sim = Sim::new();
     let fault = cell.fault;
+    let fetch = cell.fetch;
     let seed = args.seed;
     let timeout = SimDuration::from_micros(args.timeout_us.unwrap_or(500));
     let max_retries = args.max_retries.unwrap_or(64);
-    let (makespan, hist, stats, injected, lost, duplicated) = sim.run_until(async move {
+    let (makespan, hist, stats, injected, lost, duplicated, leaked) = sim.run_until(async move {
         let net = Network::new();
         let profile = infiniband_100g();
         let rkeys = RkeyAllocator::new();
@@ -128,10 +135,14 @@ fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResul
                 ch,
                 server.remote_handle(),
                 ClientConfig {
-                    mode: AccessMode::Adaptive(AdaptiveParams {
-                        heartbeat_interval: hb_interval,
-                        ..AdaptiveParams::default()
-                    }),
+                    mode: if fetch {
+                        AccessMode::Fetching
+                    } else {
+                        AccessMode::Adaptive(AdaptiveParams {
+                            heartbeat_interval: hb_interval,
+                            ..AdaptiveParams::default()
+                        })
+                    },
                     request_timeout: timeout,
                     max_retries,
                     ..ClientConfig::default()
@@ -171,6 +182,12 @@ fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResul
             h.await;
         }
         let makespan = now() - started;
+        // Slot-leak audit: give every outstanding lease time to be acked
+        // or to age past the TTL, let heartbeat ticks run the reclaimer,
+        // then demand the mailboxes are empty — a crash-restarted or
+        // timed-out fetch must never strand a slot.
+        sleep(ServerConfig::default().mailbox_lease_ttl + hb_interval * 4).await;
+        let leaked = server.mailbox_outstanding();
         let mut st = stats.borrow().to_owned();
         {
             let ss = server.stats();
@@ -200,7 +217,15 @@ fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResul
         server.with_index(|t| t.check_invariants()).unwrap();
         let injected = plan.map(|p| p.counters()).unwrap_or_default();
         let hist = hist.borrow().to_owned();
-        (makespan, hist, st, injected, lost.len(), duplicated.len())
+        (
+            makespan,
+            hist,
+            st,
+            injected,
+            lost.len(),
+            duplicated.len(),
+            leaked,
+        )
     });
     CellResult {
         label: cell.label.to_string(),
@@ -212,6 +237,7 @@ fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResul
         injected,
         lost,
         duplicated,
+        leaked_slots: leaked,
     }
 }
 
@@ -231,10 +257,11 @@ fn run_cluster_cell(
 ) -> CellResult {
     let sim = Sim::new();
     let fault = cell.fault;
+    let fetch = cell.fetch;
     let seed = args.seed;
     let timeout = SimDuration::from_micros(args.timeout_us.unwrap_or(500));
     let max_retries = args.max_retries.unwrap_or(64);
-    let (makespan, hist, stats, injected, lost, duplicated) = sim.run_until(async move {
+    let (makespan, hist, stats, injected, lost, duplicated, leaked) = sim.run_until(async move {
         let net = Network::new();
         let profile = infiniband_100g();
         let rkeys = RkeyAllocator::new();
@@ -276,10 +303,14 @@ fn run_cluster_cell(
                 &net,
                 &profile,
                 ClientConfig {
-                    mode: AccessMode::Adaptive(AdaptiveParams {
-                        heartbeat_interval: hb_interval,
-                        ..AdaptiveParams::default()
-                    }),
+                    mode: if fetch {
+                        AccessMode::Fetching
+                    } else {
+                        AccessMode::Adaptive(AdaptiveParams {
+                            heartbeat_interval: hb_interval,
+                            ..AdaptiveParams::default()
+                        })
+                    },
                     request_timeout: timeout,
                     max_retries,
                     ..ClientConfig::default()
@@ -317,6 +348,12 @@ fn run_cluster_cell(
             h.await;
         }
         let makespan = now() - started;
+        // Cluster-wide slot-leak audit (same grace period as the
+        // single-server cell, summed over every shard's mailboxes).
+        sleep(ServerConfig::default().mailbox_lease_ttl + hb_interval * 4).await;
+        let leaked: usize = (0..cluster.shards())
+            .map(|s| cluster.shard(s).mailbox_outstanding())
+            .sum();
         let mut st = stats.borrow().to_owned();
         {
             let ss = cluster.stats();
@@ -353,7 +390,15 @@ fn run_cluster_cell(
         }
         let injected = plan.map(|p| p.counters()).unwrap_or_default();
         let hist = hist.borrow().to_owned();
-        (makespan, hist, st, injected, lost.len(), duplicated.len())
+        (
+            makespan,
+            hist,
+            st,
+            injected,
+            lost.len(),
+            duplicated.len(),
+            leaked,
+        )
     });
     CellResult {
         label: cell.label.to_string(),
@@ -365,6 +410,7 @@ fn run_cluster_cell(
         injected,
         lost,
         duplicated,
+        leaked_slots: leaked,
     }
 }
 
@@ -380,7 +426,8 @@ fn json_cell(r: &CellResult) -> String {
             "\"checksum_failures\":{},\"resyncs\":{},\"stale_heartbeat_windows\":{},",
             "\"injected\":{{\"writes_dropped\":{},\"completions_duplicated\":{},",
             "\"writes_delayed\":{},\"frames_corrupted\":{},\"heartbeats_suppressed\":{},",
-            "\"stalls\":{}}},\"lost\":{},\"duplicated\":{},\"exactly_once\":{}}}"
+            "\"stalls\":{}}},\"fetched_reads\":{},\"fetch_fallbacks\":{},",
+            "\"leaked_slots\":{},\"lost\":{},\"duplicated\":{},\"exactly_once\":{}}}"
         ),
         r.label,
         r.fault.drop_write,
@@ -406,9 +453,12 @@ fn json_cell(r: &CellResult) -> String {
         r.injected.frames_corrupted,
         r.injected.heartbeats_suppressed,
         r.injected.stalls,
+        r.stats.fetched_reads,
+        r.stats.fetch_fallbacks,
+        r.leaked_slots,
         r.lost,
         r.duplicated,
-        r.lost == 0 && r.duplicated == 0,
+        r.lost == 0 && r.duplicated == 0 && r.leaked_slots == 0,
     )
 }
 
@@ -446,9 +496,11 @@ fn main() {
         Cell {
             label: "baseline",
             fault: FaultConfig::off(),
+            fetch: false,
         },
         Cell {
             label: "loss_1pct",
+            fetch: false,
             fault: FaultConfig {
                 drop_write: 0.01,
                 ..FaultConfig::off()
@@ -456,6 +508,7 @@ fn main() {
         },
         Cell {
             label: "loss_5pct",
+            fetch: false,
             fault: FaultConfig {
                 drop_write: 0.05,
                 ..FaultConfig::off()
@@ -463,6 +516,7 @@ fn main() {
         },
         Cell {
             label: "loss_10pct",
+            fetch: false,
             fault: FaultConfig {
                 drop_write: 0.10,
                 ..FaultConfig::off()
@@ -470,6 +524,7 @@ fn main() {
         },
         Cell {
             label: "loss5_hb90",
+            fetch: false,
             fault: FaultConfig {
                 drop_write: 0.05,
                 suppress_heartbeat: 0.9,
@@ -487,6 +542,29 @@ fn main() {
                 delay: 0.05,
                 ..FaultConfig::off()
             },
+            fetch: false,
+        },
+        // The same chaos mix with every read pulled through the mailbox:
+        // exactly-once and the slot-leak audit must hold on the fetch
+        // transport too.
+        Cell {
+            label: "chaos_fetch",
+            fault: FaultConfig {
+                drop_write: 0.05,
+                suppress_heartbeat: 0.9,
+                stall: 0.01,
+                corrupt: 0.02,
+                duplicate: 0.02,
+                delay: 0.05,
+                ..FaultConfig::off()
+            },
+            fetch: true,
+        },
+        // Clean-fabric fetch cell: isolates the mailbox protocol itself.
+        Cell {
+            label: "fetch_clean",
+            fault: FaultConfig::off(),
+            fetch: true,
         },
     ];
     // Explicit knobs replace the built-in sweep with one custom cell.
@@ -499,6 +577,7 @@ fn main() {
                 suppress_heartbeat: args.hb_drop,
                 ..FaultConfig::off()
             },
+            fetch: false,
         }];
     }
 
@@ -513,7 +592,7 @@ fn main() {
         });
         let s = r.hist.summary();
         println!(
-            "{:<12} p50 {:>10} p99 {:>10}  timeouts {:>5}  retransmits {:>5}  dup_drops {:>4}  crc {:>4}  resyncs {:>4}  stale_hb {:>3}  lost {} dup {}",
+            "{:<12} p50 {:>10} p99 {:>10}  timeouts {:>5}  retransmits {:>5}  dup_drops {:>4}  crc {:>4}  resyncs {:>4}  stale_hb {:>3}  fetched {:>5}  lost {} dup {} leaked {}",
             r.label,
             s.p50.to_string(),
             s.p99.to_string(),
@@ -523,8 +602,10 @@ fn main() {
             r.stats.checksum_failures,
             r.stats.resyncs,
             r.stats.stale_heartbeat_windows,
+            r.stats.fetched_reads,
             r.lost,
             r.duplicated,
+            r.leaked_slots,
         );
         assert!(
             r.stats.retransmits <= r.stats.timeouts,
@@ -538,6 +619,11 @@ fn main() {
             r.duplicated, 0,
             "{}: {} operations applied twice",
             r.label, r.duplicated
+        );
+        assert_eq!(
+            r.leaked_slots, 0,
+            "{}: {} mailbox slots leaked",
+            r.label, r.leaked_slots
         );
         results.push(r);
     }

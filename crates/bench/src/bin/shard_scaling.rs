@@ -27,7 +27,7 @@
 use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
 use catfish_core::config::Scheme;
 use catfish_core::harness::{run_experiment, ExperimentSpec, RunResult};
-use catfish_core::AdaptiveEvent;
+use catfish_core::{AdaptiveEvent, RouteChoice};
 use catfish_rdma::profile;
 use catfish_rtree::Rect;
 use catfish_workload::{uniform_rects, ScaleDist, SpatialHotspot, TraceSpec};
@@ -79,7 +79,10 @@ fn run_cell(
     let result = run_experiment(&spec);
     let mut offload_routes = vec![0u64; shards];
     for e in &result.adaptive_events {
-        if let AdaptiveEvent::Route { offloaded: true } = e.event {
+        if let AdaptiveEvent::Route {
+            route: RouteChoice::Offload,
+        } = e.event
+        {
             offload_routes[e.shard as usize] += 1;
         }
     }

@@ -10,7 +10,12 @@ use rand::{Rng, SeedableRng};
 use catfish_simnet::{now, SimDuration, SimTime};
 
 use crate::config::AdaptiveParams;
-use crate::obs::{AdaptiveEvent, AdaptiveEventLog};
+use crate::obs::{AdaptiveEvent, AdaptiveEventLog, RouteChoice};
+use crate::service::HeartbeatInfo;
+
+/// EWMA weight given to the previous response-size estimate when a new
+/// response arrives (`new = α·old + (1-α)·sample`).
+const EWMA_KEEP: f64 = 0.75;
 
 /// Per-client state of Algorithm 1.
 #[derive(Debug)]
@@ -35,6 +40,22 @@ pub struct AdaptiveState {
     rng: StdRng,
     /// Optional structured event timeline ([`AdaptiveState::set_event_log`]).
     events: Option<AdaptiveEventLog>,
+    /// Most recent utilization figure (kept even after `u_serv` is
+    /// consumed) — gates the fetch regime: fetching only pays off while
+    /// the server NIC-initiation budget is actually contended.
+    last_util: f64,
+    /// Per-mode serving-cost terms from the most recent heartbeat, if the
+    /// server sent any (zeroed terms mean "not advertised").
+    costs: Option<HeartbeatInfo>,
+    /// EWMA of response item counts — the expected result size the
+    /// crossover test compares against the threshold.
+    ewma_items: f64,
+    /// Wire bytes per result item ([`crate::service::WireCodec::ITEM_WIRE_BYTES`]),
+    /// converting the per-KB cost terms into a per-item crossover.
+    item_bytes: usize,
+    /// Whether the previous decision found itself in the fetch regime —
+    /// edge-detects [`AdaptiveEvent::FetchTransition`].
+    in_fetch_regime: bool,
 }
 
 impl AdaptiveState {
@@ -57,6 +78,11 @@ impl AdaptiveState {
             stale_windows: 0,
             rng,
             events: None,
+            last_util: 0.0,
+            costs: None,
+            ewma_items: 0.0,
+            item_bytes: 40,
+            in_fetch_regime: false,
         }
     }
 
@@ -76,7 +102,51 @@ impl AdaptiveState {
     /// Records a heartbeat's utilization (in `[0, 1]`).
     pub fn note_heartbeat(&mut self, utilization: f64) {
         self.u_serv = Some(utilization);
+        self.last_util = utilization;
         self.last_seen = Some(catfish_simnet::try_now().unwrap_or(SimTime::ZERO));
+    }
+
+    /// Records a full heartbeat, including the per-mode serving-cost terms
+    /// the three-way policy derives its write-back/fetch crossover from.
+    pub fn note_heartbeat_info(&mut self, info: HeartbeatInfo) {
+        self.note_heartbeat(f64::from(info.util_permille) / 1000.0);
+        self.costs = Some(info);
+    }
+
+    /// Folds one response's item count into the expected-size EWMA.
+    pub fn note_response_items(&mut self, items: usize) {
+        self.ewma_items = EWMA_KEEP * self.ewma_items + (1.0 - EWMA_KEEP) * items as f64;
+    }
+
+    /// Sets the wire size of one result item (backend-specific), used to
+    /// convert the heartbeat's per-KB cost terms into a per-item
+    /// crossover. Defaults to the R-tree's 40 bytes.
+    pub fn set_item_bytes(&mut self, bytes: usize) {
+        self.item_bytes = bytes.max(1);
+    }
+
+    /// Current EWMA of response item counts — diagnostics and tests.
+    pub fn ewma_items(&self) -> f64 {
+        self.ewma_items
+    }
+
+    /// The crossover threshold, in result items per response, above which
+    /// fetching beats write-back for the *server*: solve
+    /// `wb_fixed + wb_per_kb·S = fetch_fixed + fetch_per_kb·S` for the
+    /// response size `S` and divide by the item size. Falls back to
+    /// [`AdaptiveParams::fetch_items_threshold`] until the server has
+    /// advertised usable cost terms (fetching must have a higher fixed
+    /// cost and a lower per-byte cost, otherwise no crossover exists).
+    pub fn threshold_items(&self) -> f64 {
+        if let Some(c) = &self.costs {
+            let fixed_gap = f64::from(c.fetch_fixed_ns) - f64::from(c.wb_fixed_ns);
+            let per_kb_gap = f64::from(c.wb_per_kb_ns) - f64::from(c.fetch_per_kb_ns);
+            if fixed_gap > 0.0 && per_kb_gap > 0.0 {
+                let per_item = per_kb_gap * self.item_bytes as f64 / 1024.0;
+                return fixed_gap / per_item;
+            }
+        }
+        self.params.fetch_items_threshold
     }
 
     /// Current back-off band (`r_busy`, `r_off`) — diagnostics and tests.
@@ -131,20 +201,39 @@ impl AdaptiveState {
         }
     }
 
-    /// One step of Algorithm 1: consume a fresh heartbeat at most once per
-    /// `Inv`; when the server is busy, extend the offloading band; returns
-    /// true to offload the next request.
+    /// One step of Algorithm 1 in its original binary form: `true` means
+    /// offload the next request. Thin wrapper over
+    /// [`AdaptiveState::decide_route`] — with `fetch_enabled` off (the
+    /// default) the two are behaviorally identical.
+    pub fn decide(&mut self) -> bool {
+        self.decide_route() == RouteChoice::Offload
+    }
+
+    /// One step of the **three-way** policy: Algorithm 1's band machinery
+    /// decides fast-vs-offload exactly as before; when the band does *not*
+    /// demand offloading, a second test splits the server-served path into
+    /// write-back vs mailbox fetching.
+    ///
+    /// Ordering rationale: staleness and the offload band win over
+    /// fetching because a deposited response still costs server CPU —
+    /// offloading is the only route that relieves the server entirely.
+    /// Fetching is chosen only when the server is contended
+    /// (`last_util ≥ fetch_util_floor`) *and* responses are expected to be
+    /// large enough (`ewma_items ≥ threshold_items()`) that moving NIC
+    /// write-initiation to the client is a net server-side win.
     ///
     /// Per §IV-A's "It ignores that no heartbeat has arrived", the
     /// busy/not-busy branch only runs when a fresh sample was consumed;
     /// between heartbeats the current band keeps draining.
-    pub fn decide(&mut self) -> bool {
+    pub fn decide_route(&mut self) -> RouteChoice {
         let t = now();
         if self.staleness_failsafe(t) {
             // Band bookkeeping is frozen while stale: the last utilization
             // figure is untrustworthy, so neither escalate nor drain.
-            self.emit(AdaptiveEvent::Route { offloaded: true });
-            return true;
+            self.emit(AdaptiveEvent::Route {
+                route: RouteChoice::Offload,
+            });
+            return RouteChoice::Offload;
         }
         let mut fresh = None;
         if t.saturating_duration_since(self.t0) > self.params.heartbeat_interval {
@@ -171,14 +260,35 @@ impl AdaptiveState {
                 self.r_busy = 0;
             }
         }
-        let offload = if self.r_off > 0 {
+        let route = if self.r_off > 0 {
             self.r_off -= 1;
-            true
+            RouteChoice::Offload
+        } else if self.fetch_regime() {
+            RouteChoice::Fetch
         } else {
-            false
+            RouteChoice::Fast
         };
-        self.emit(AdaptiveEvent::Route { offloaded: offload });
-        offload
+        self.emit(AdaptiveEvent::Route { route });
+        route
+    }
+
+    /// Whether the current (utilization, expected-size) point sits in the
+    /// fetch regime; edge-detects and emits
+    /// [`AdaptiveEvent::FetchTransition`].
+    fn fetch_regime(&mut self) -> bool {
+        let threshold = self.threshold_items();
+        let want = self.params.fetch_enabled
+            && self.last_util >= self.params.fetch_util_floor
+            && self.ewma_items >= threshold;
+        if want != self.in_fetch_regime {
+            self.in_fetch_regime = want;
+            self.emit(AdaptiveEvent::FetchTransition {
+                entering: want,
+                ewma_items: self.ewma_items,
+                threshold_items: threshold,
+            });
+        }
+        want
     }
 }
 
@@ -307,6 +417,105 @@ mod tests {
             sleep(SimDuration::from_millis(200)).await;
             assert!(!s.decide(), "no heartbeat ever: no failsafe");
             assert_eq!(s.stale_windows(), 0);
+        });
+    }
+
+    #[test]
+    fn fetch_regime_requires_busy_server_and_large_responses() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(AdaptiveParams::three_way(), 11);
+            // Large responses but an idle server: fast messaging.
+            for _ in 0..40 {
+                s.note_response_items(500);
+            }
+            s.note_heartbeat(0.1);
+            sleep(SimDuration::from_millis(11)).await;
+            assert_eq!(s.decide_route(), RouteChoice::Fast);
+            // A contended-but-not-busy server with large responses: fetch.
+            // (util 0.7 sits above fetch_util_floor yet below the 0.95
+            // busy threshold, so the offload band never engages.)
+            s.note_heartbeat(0.7);
+            sleep(SimDuration::from_millis(11)).await;
+            assert_eq!(s.decide_route(), RouteChoice::Fetch);
+            // Small responses drag the EWMA back down: fast again.
+            for _ in 0..40 {
+                s.note_response_items(1);
+            }
+            assert_eq!(s.decide_route(), RouteChoice::Fast);
+        });
+    }
+
+    #[test]
+    fn offload_band_beats_fetch_regime() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(AdaptiveParams::three_way(), 12);
+            for _ in 0..40 {
+                s.note_response_items(500);
+            }
+            sleep(SimDuration::from_millis(15)).await;
+            // Busy heartbeats escalate the band; while r_off drains, every
+            // decision must offload even though the fetch regime holds.
+            loop {
+                sleep(SimDuration::from_millis(11)).await;
+                s.note_heartbeat(1.0);
+                if s.decide_route() == RouteChoice::Offload {
+                    break;
+                }
+            }
+            let (_, r_off) = s.band();
+            for _ in 0..r_off {
+                assert_eq!(s.decide_route(), RouteChoice::Offload);
+            }
+            // Band exhausted: the server is still contended (last_util 1.0)
+            // and responses are large, so the next route is Fetch.
+            assert_eq!(s.decide_route(), RouteChoice::Fetch);
+        });
+    }
+
+    #[test]
+    fn heartbeat_cost_terms_move_the_crossover() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(AdaptiveParams::three_way(), 13);
+            // No cost terms yet: static fallback threshold.
+            assert_eq!(
+                s.threshold_items(),
+                AdaptiveParams::three_way().fetch_items_threshold
+            );
+            // wb: 4000 + 2500/KB, fetch: 10000 + 400/KB, 40-byte items →
+            // S* = 6000/2100 KiB ≈ 2.857 KiB ≈ 73.1 items.
+            s.note_heartbeat_info(HeartbeatInfo {
+                util_permille: 900,
+                wb_fixed_ns: 4_000,
+                wb_per_kb_ns: 2_500,
+                fetch_fixed_ns: 10_000,
+                fetch_per_kb_ns: 400,
+            });
+            let t = s.threshold_items();
+            assert!((70.0..80.0).contains(&t), "derived crossover: {t}");
+            // Degenerate terms (no crossover): fall back.
+            s.note_heartbeat_info(HeartbeatInfo::util_only(900));
+            assert_eq!(
+                s.threshold_items(),
+                AdaptiveParams::three_way().fetch_items_threshold
+            );
+        });
+    }
+
+    #[test]
+    fn fetch_disabled_params_never_route_fetch() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let mut s = AdaptiveState::new(params(), 14);
+            for _ in 0..40 {
+                s.note_response_items(10_000);
+            }
+            s.note_heartbeat(0.9);
+            sleep(SimDuration::from_millis(11)).await;
+            assert_eq!(s.decide_route(), RouteChoice::Fast);
+            assert!(!s.decide());
         });
     }
 

@@ -46,6 +46,20 @@ pub struct CostModel {
     /// Charged once per `send`/`send_batch` group, so batched responses
     /// amortize it too.
     pub post: SimDuration,
+    /// Write-back cost per KiB of response payload (DMA staging, WQE
+    /// scatter-gather setup, wire serialization the initiating NIC's
+    /// driver pays). The size-dependent half of server-initiated
+    /// responses — the term remote result fetching eliminates.
+    pub post_per_kb: SimDuration,
+    /// Fixed cost to deposit one response into a mailbox slot (header
+    /// invalidate + stamp; the RFP-style fetch path's analogue of
+    /// [`CostModel::post`]).
+    pub deposit: SimDuration,
+    /// Deposit cost per KiB of response payload (a local memcpy, far
+    /// cheaper per byte than NIC write initiation). The write-back vs
+    /// fetch crossover falls where
+    /// `post + post_per_kb·s = deposit + deposit_per_kb·s`.
+    pub deposit_per_kb: SimDuration,
 }
 
 impl Default for CostModel {
@@ -56,6 +70,9 @@ impl Default for CostModel {
             per_result: SimDuration::from_nanos(150),
             write_op: SimDuration::from_micros(10),
             post: SimDuration::from_micros(4),
+            post_per_kb: SimDuration::from_nanos(2_500),
+            deposit: SimDuration::from_micros(10),
+            deposit_per_kb: SimDuration::from_nanos(400),
         }
     }
 }
@@ -79,6 +96,18 @@ pub struct AdaptiveParams {
     /// received a heartbeat are unaffected (they keep the fast path, as
     /// before).
     pub stale_after_intervals: u32,
+    /// Enable the third (remote-result-fetching) route in the policy.
+    /// Off by default so the binary Algorithm 1 behavior — and every
+    /// experiment built on it — is unchanged unless a client opts in.
+    pub fetch_enabled: bool,
+    /// Minimum server utilization before fetching engages. Below this the
+    /// server has posting headroom and write-back's single round trip
+    /// gives strictly better latency, so fetching would only add RTTs.
+    pub fetch_util_floor: f64,
+    /// Fallback result-count crossover used until a heartbeat carrying
+    /// per-mode serving-cost terms arrives (then the crossover is derived
+    /// from the advertised costs instead).
+    pub fetch_items_threshold: f64,
 }
 
 impl Default for AdaptiveParams {
@@ -88,6 +117,20 @@ impl Default for AdaptiveParams {
             busy_threshold: 0.95,
             heartbeat_interval: SimDuration::from_millis(10),
             stale_after_intervals: 5,
+            fetch_enabled: false,
+            fetch_util_floor: 0.5,
+            fetch_items_threshold: 64.0,
+        }
+    }
+}
+
+impl AdaptiveParams {
+    /// The default parameters with the three-way (fetch-enabled) policy
+    /// switched on.
+    pub fn three_way() -> Self {
+        AdaptiveParams {
+            fetch_enabled: true,
+            ..AdaptiveParams::default()
         }
     }
 }
@@ -134,6 +177,20 @@ pub struct ServerConfig {
     /// [`ServerMode::AdaptiveSpin`] only: consecutive idle spin turns
     /// before the worker parks off-CPU on the completion channel.
     pub spin_yield_rounds: u32,
+    /// Slots in each client's result mailbox (0 disables mailboxes — no
+    /// per-client region is registered and fetch-mode clients fall back
+    /// to write-back). Storm-style frugality: the per-client server
+    /// memory is `mailbox_slots × mailbox_slot_bytes`, kept small because
+    /// a sequential client needs only one live slot plus reuse headroom.
+    pub mailbox_slots: u32,
+    /// Bytes per mailbox slot, including its 16-byte header. Responses
+    /// whose encoding exceeds the slot fall back to the write-back path.
+    pub mailbox_slot_bytes: usize,
+    /// How long a deposited-but-unacknowledged mailbox slot stays leased
+    /// before the heartbeat-tick sweep reclaims it — the server-side dual
+    /// of the client's `stale_after_intervals` heartbeat failover (a
+    /// client that restarted mid-fetch will never ack).
+    pub mailbox_lease_ttl: SimDuration,
 }
 
 impl Default for ServerConfig {
@@ -152,6 +209,9 @@ impl Default for ServerConfig {
             merge_writes: true,
             spin_grace: SimDuration::from_micros(20),
             spin_yield_rounds: 2,
+            mailbox_slots: 16,
+            mailbox_slot_bytes: 16 * 1024,
+            mailbox_lease_ttl: SimDuration::from_millis(50),
         }
     }
 }
@@ -163,6 +223,12 @@ pub enum AccessMode {
     FastMessaging,
     /// All reads traverse the tree with one-sided RDMA Reads.
     Offloading,
+    /// All reads execute on the server but the client *fetches* the
+    /// result from its mailbox with one-sided RDMA Reads (RFP-style)
+    /// instead of having the server write it back. Falls back to
+    /// write-back when the connection has no mailbox or a response
+    /// outgrows its slot.
+    Fetching,
     /// Algorithm 1: switch per-request based on server heartbeats.
     Adaptive(AdaptiveParams),
 }
@@ -216,6 +282,13 @@ pub struct ClientConfig {
     pub retry_backoff: SimDuration,
     /// Ceiling for the retransmission backoff.
     pub retry_backoff_max: SimDuration,
+    /// Delay before the first mailbox header poll of a fetch and between
+    /// unsuccessful polls; doubles up to
+    /// [`ClientConfig::fetch_poll_max`]. Small relative to service time
+    /// so a ready result is picked up within one poll.
+    pub fetch_poll_initial: SimDuration,
+    /// Ceiling for the fetch poll backoff.
+    pub fetch_poll_max: SimDuration,
 }
 
 impl Default for ClientConfig {
@@ -235,6 +308,8 @@ impl Default for ClientConfig {
             max_retries: 16,
             retry_backoff: SimDuration::from_micros(100),
             retry_backoff_max: SimDuration::from_millis(100),
+            fetch_poll_initial: SimDuration::from_micros(4),
+            fetch_poll_max: SimDuration::from_micros(256),
         }
     }
 }
@@ -282,6 +357,15 @@ mod tests {
         let s = ServerConfig::default();
         assert_eq!(s.cores, 28);
         assert_eq!(s.ring_capacity, 256 * 1024);
+        // The RFP crossover must exist: fetching trades a higher fixed
+        // deposit cost for a much cheaper per-byte slope, so each mode
+        // wins on its own side of the crossover.
+        assert!(s.cost.deposit > s.cost.post);
+        assert!(s.cost.post_per_kb > s.cost.deposit_per_kb);
+        assert!(s.mailbox_slots > 0);
+        assert!(s.mailbox_slot_bytes > 16);
+        assert!(s.mailbox_lease_ttl >= a.heartbeat_interval);
+        assert!(!a.fetch_enabled, "three-way policy is opt-in");
     }
 
     #[test]

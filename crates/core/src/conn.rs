@@ -13,10 +13,10 @@
 //! over a bootstrap TCP connection; here [`establish`] hands them across
 //! directly.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use catfish_rdma::{Endpoint, MemoryRegion, QueuePair};
+use catfish_rdma::{Endpoint, Mailbox, MailboxHandle, MailboxLayout, MemoryRegion, QueuePair};
 
 use crate::ring::{RingLiveness, RingReceiver, RingSender};
 
@@ -54,6 +54,9 @@ pub struct ClientChannel {
     /// Liveness of the server→client direction; closing it tells the
     /// server this client departed.
     departure: RingLiveness,
+    /// Addressing for this connection's mailbox region at the server
+    /// (fetch-mode response path), when the server allocated one.
+    pub mailbox: Option<MailboxHandle>,
 }
 
 impl ClientChannel {
@@ -72,15 +75,33 @@ pub struct ServerChannel {
     pub tx: RingSender,
     /// Receives requests from the server-side ring.
     pub rx: RingReceiver,
+    /// This connection's mailbox (fetch-mode response path), shared
+    /// between the dispatch path (deposits) and the heartbeat loop
+    /// (lease reclamation).
+    pub mailbox: Option<Rc<RefCell<Mailbox>>>,
 }
 
 /// Establishes a full-duplex ring connection of `ring_capacity` bytes per
-/// direction between a client and the server.
+/// direction between a client and the server (no mailbox).
 pub fn establish(
     client_ep: &Endpoint,
     server_ep: &Endpoint,
     ring_capacity: usize,
     rkeys: &RkeyAllocator,
+) -> (ClientChannel, ServerChannel) {
+    establish_with_mailbox(client_ep, server_ep, ring_capacity, rkeys, None)
+}
+
+/// [`establish`], optionally also allocating a per-client mailbox region
+/// (plus its ack cell) in the **server's** registered memory: the server
+/// deposits fetch-mode responses there, the client pulls them with
+/// one-sided reads and acks consumption with a one-sided write.
+pub fn establish_with_mailbox(
+    client_ep: &Endpoint,
+    server_ep: &Endpoint,
+    ring_capacity: usize,
+    rkeys: &RkeyAllocator,
+    mailbox_layout: Option<MailboxLayout>,
 ) -> (ClientChannel, ServerChannel) {
     // Request direction: ring at server, processed cell at client.
     let req_ring = MemoryRegion::new(ring_capacity, rkeys.alloc());
@@ -93,6 +114,18 @@ pub fn establish(
     client_ep.register(resp_ring.clone());
     let resp_cell = MemoryRegion::new(8, rkeys.alloc());
     server_ep.register(resp_cell.clone());
+
+    // Fetch-mode mailbox: slots and ack cell both live at the server, so
+    // the client's fetches (reads) and acks (writes) are one-sided.
+    let mailbox = mailbox_layout.map(|layout| {
+        let mb_mr = MemoryRegion::new(layout.region_bytes(), rkeys.alloc());
+        server_ep.register(mb_mr.clone());
+        let ack = MemoryRegion::new(catfish_rdma::mailbox::ACK_CELL_BYTES, rkeys.alloc());
+        server_ep.register(ack.clone());
+        Mailbox::new(mb_mr, ack, layout)
+    });
+    let mailbox_handle = mailbox.as_ref().map(Mailbox::handle);
+    let mailbox = mailbox.map(|m| Rc::new(RefCell::new(m)));
 
     let (client_qp, server_qp) = client_ep.connect(server_ep);
 
@@ -109,6 +142,7 @@ pub fn establish(
             req_cell.rkey(),
             server_qp.recv_cq().clone(),
         ),
+        mailbox,
     };
     let client = ClientChannel {
         tx: RingSender::new(
@@ -125,6 +159,7 @@ pub fn establish(
         ),
         qp: client_qp,
         departure: server.tx.liveness(),
+        mailbox: mailbox_handle,
     };
     (client, server)
 }
@@ -172,6 +207,46 @@ mod tests {
             assert_eq!(s2.rx.wait_message().await, b"two".to_vec());
             assert!(s1.rx.try_pop().is_none());
             assert!(s2.rx.try_pop().is_none());
+        });
+    }
+
+    #[test]
+    fn mailbox_deposit_is_fetchable_one_sided() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let (client_ep, server_ep) = endpoints();
+            let rkeys = RkeyAllocator::new();
+            let layout = MailboxLayout::new(4, 256);
+            let (client, server) =
+                establish_with_mailbox(&client_ep, &server_ep, 4096, &rkeys, Some(layout));
+            let handle = client.mailbox.expect("mailbox allocated");
+            let mb = server.mailbox.expect("server mailbox");
+            let payload = b"deposited response".to_vec();
+            mb.borrow_mut()
+                .try_deposit(9, &payload, SimDuration::ZERO, catfish_simnet::now());
+            // Client pulls header then payload with one-sided reads.
+            let hdr_bytes = client
+                .qp
+                .read(handle.rkey, layout.slot_offset(9), 16)
+                .await
+                .unwrap();
+            let hdr = catfish_rdma::mailbox::SlotHeader::parse(&hdr_bytes);
+            assert_eq!(hdr.seq, 9);
+            assert_eq!(hdr.len as usize, payload.len());
+            let body = client
+                .qp
+                .read(handle.rkey, layout.payload_offset(9), hdr.len as usize)
+                .await
+                .unwrap();
+            assert_eq!(body, payload);
+            // Ack with a one-sided write; the server reclaims the lease.
+            client
+                .qp
+                .write(handle.ack_rkey, 0, &9u64.to_le_bytes())
+                .await
+                .unwrap();
+            assert_eq!(mb.borrow_mut().reclaim_acked(), 1);
+            assert_eq!(mb.borrow().outstanding_leases(), 0);
         });
     }
 

@@ -190,9 +190,12 @@ pub struct TimelinePoint {
 
 impl RunResult {
     /// One formatted table row: scheme, clients, shards, throughput, mean
-    /// latency, plus per-kop torn-retry and offload-restart rates. Cluster
-    /// runs append the per-shard offload fractions — aggregating them
-    /// would hide a hot shard offloading behind cold shards staying fast.
+    /// latency, the per-transport response counts (fast write-back /
+    /// mailbox-fetched / offloaded, with the dominant mode labeled), the
+    /// doorbell merge count, plus per-kop torn-retry and offload-restart
+    /// rates. Cluster runs append the per-shard offload fractions —
+    /// aggregating them would hide a hot shard offloading behind cold
+    /// shards staying fast.
     pub fn row(&self) -> String {
         let per_kop = |count: u64| {
             if self.completed_requests == 0 {
@@ -202,7 +205,7 @@ impl RunResult {
             }
         };
         let mut row = format!(
-            "{:<22} {:>4} clients  {:>2} shards  {:>10.2} Kops  mean {:>10}  p99 {:>10}  cpu {:>5.1}%  bw {:>7.2} Gbps  torn {:>6.1}/kop  restarts {:>5.1}/kop",
+            "{:<22} {:>4} clients  {:>2} shards  {:>10.2} Kops  mean {:>10}  p99 {:>10}  cpu {:>5.1}%  bw {:>7.2} Gbps  modes f/F/o {:>6}/{:>6}/{:>6} ({})  merged {:>6}  torn {:>6.1}/kop  restarts {:>5.1}/kop",
             self.label,
             self.clients,
             self.shards,
@@ -211,6 +214,11 @@ impl RunResult {
             self.latency.p99.to_string(),
             self.server_cpu * 100.0,
             self.server_bw_gbps,
+            self.stats.fast_reads,
+            self.stats.fetched_reads,
+            self.stats.offloaded_reads,
+            self.stats.dominant_transport(),
+            self.stats.merged_writes,
             per_kop(self.stats.torn_retries),
             per_kop(self.stats.offload_restarts),
         );
@@ -248,6 +256,31 @@ impl RunResult {
             "catfish_offloaded_reads_total",
             "Client reads served through RDMA-offloaded traversal.",
             self.stats.offloaded_reads,
+        )
+        .counter(
+            "catfish_fetched_reads_total",
+            "Client reads whose responses were pulled from the mailbox.",
+            self.stats.fetched_reads,
+        )
+        .counter(
+            "catfish_fetched_responses_total",
+            "Responses the server deposited into mailbox slots.",
+            self.stats.fetched_responses,
+        )
+        .counter(
+            "catfish_fetch_fallbacks_total",
+            "Fetch-flagged responses that fell back to ring write-back.",
+            self.stats.fetch_fallbacks,
+        )
+        .counter(
+            "catfish_mailbox_reclaims_total",
+            "Mailbox slot leases reclaimed (acked or lease-expired).",
+            self.stats.mailbox_reclaims,
+        )
+        .counter(
+            "catfish_merged_writes_total",
+            "Ring writes absorbed into an already-queued doorbell entry.",
+            self.stats.merged_writes,
         )
         .counter(
             "catfish_torn_retries_total",
@@ -574,6 +607,10 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
         stats.dup_drops += ss.dup_drops;
         stats.checksum_failures += ss.checksum_failures;
         stats.resyncs += ss.resyncs;
+        stats.merged_writes += ss.merged_writes;
+        stats.fetched_responses += ss.fetched_responses;
+        stats.fetch_fallbacks += ss.fetch_fallbacks;
+        stats.mailbox_reclaims += ss.mailbox_reclaims;
     }
     let completed = all.len();
     let throughput_kops = if makespan.is_zero() {
@@ -814,9 +851,17 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         per_shard_stats[i].dup_drops += ss.dup_drops;
         per_shard_stats[i].checksum_failures += ss.checksum_failures;
         per_shard_stats[i].resyncs += ss.resyncs;
+        per_shard_stats[i].merged_writes += ss.merged_writes;
+        per_shard_stats[i].fetched_responses += ss.fetched_responses;
+        per_shard_stats[i].fetch_fallbacks += ss.fetch_fallbacks;
+        per_shard_stats[i].mailbox_reclaims += ss.mailbox_reclaims;
         stats.dup_drops += ss.dup_drops;
         stats.checksum_failures += ss.checksum_failures;
         stats.resyncs += ss.resyncs;
+        stats.merged_writes += ss.merged_writes;
+        stats.fetched_responses += ss.fetched_responses;
+        stats.fetch_fallbacks += ss.fetch_fallbacks;
+        stats.mailbox_reclaims += ss.mailbox_reclaims;
     }
     let completed = all.len();
     let throughput_kops = if makespan.is_zero() {

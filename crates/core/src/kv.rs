@@ -19,8 +19,9 @@ use catfish_simnet::SimDuration;
 use crate::config::CostModel;
 use crate::msg::MsgError;
 use crate::service::{
-    ClientBackend, ClusterClient, ClusterServer, Execution, Incoming, Inconsistent, IndexBackend,
-    OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition, WireCodec,
+    ClientBackend, ClusterClient, ClusterServer, Execution, HeartbeatInfo, Incoming, Inconsistent,
+    IndexBackend, OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition,
+    WireCodec,
 };
 use crate::store::MrMemory;
 
@@ -89,10 +90,11 @@ pub enum KvMessage {
         /// 1 if the operation found/affected a key.
         status: u32,
     },
-    /// Server CPU utilization heartbeat.
+    /// Server CPU utilization heartbeat plus per-mode serving-cost terms
+    /// for the three-way (fast / fetch / offload) policy.
     Heartbeat {
-        /// Utilization × 1000.
-        util_permille: u16,
+        /// Utilization and per-mode serving-cost terms.
+        info: HeartbeatInfo,
     },
     /// Several messages coalesced into one doorbell-batched frame.
     /// Batches must not nest.
@@ -149,9 +151,13 @@ impl KvMessage {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
             }
-            KvMessage::Heartbeat { util_permille } => {
+            KvMessage::Heartbeat { info } => {
                 out.push(TAG_HEARTBEAT);
-                out.extend_from_slice(&util_permille.to_le_bytes());
+                out.extend_from_slice(&info.util_permille.to_le_bytes());
+                out.extend_from_slice(&info.wb_fixed_ns.to_le_bytes());
+                out.extend_from_slice(&info.wb_per_kb_ns.to_le_bytes());
+                out.extend_from_slice(&info.fetch_fixed_ns.to_le_bytes());
+                out.extend_from_slice(&info.fetch_per_kb_ns.to_le_bytes());
             }
             KvMessage::Batch(msgs) => {
                 out.push(TAG_BATCH);
@@ -239,8 +245,20 @@ impl KvMessage {
             }
             TAG_HEARTBEAT => {
                 let b = rest.get(0..2).ok_or(MsgError::Truncated)?;
+                let util_permille = u16::from_le_bytes(b.try_into().expect("sized"));
+                let cost = |o: usize| -> Result<u32, MsgError> {
+                    rest.get(o..o + 4)
+                        .map(|b| u32::from_le_bytes(b.try_into().expect("sized")))
+                        .ok_or(MsgError::Truncated)
+                };
                 Ok(KvMessage::Heartbeat {
-                    util_permille: u16::from_le_bytes(b.try_into().expect("sized")),
+                    info: HeartbeatInfo {
+                        util_permille,
+                        wb_fixed_ns: cost(2)?,
+                        wb_per_kb_ns: cost(6)?,
+                        fetch_fixed_ns: cost(10)?,
+                        fetch_per_kb_ns: cost(14)?,
+                    },
                 })
             }
             TAG_BATCH => {
@@ -276,6 +294,8 @@ impl WireCodec for KvWire {
     type Message = KvMessage;
     type Item = (u64, u64);
 
+    const ITEM_WIRE_BYTES: usize = 16;
+
     fn encode(msg: &KvMessage) -> Vec<u8> {
         msg.encode()
     }
@@ -284,8 +304,8 @@ impl WireCodec for KvWire {
         KvMessage::decode(bytes)
     }
 
-    fn heartbeat(util_permille: u16) -> KvMessage {
-        KvMessage::Heartbeat { util_permille }
+    fn heartbeat(info: HeartbeatInfo) -> KvMessage {
+        KvMessage::Heartbeat { info }
     }
 
     fn cont(seq: u32, items: Vec<(u64, u64)>) -> KvMessage {
@@ -309,7 +329,7 @@ impl WireCodec for KvWire {
 
     fn classify(msg: KvMessage) -> Incoming<Self> {
         match msg {
-            KvMessage::Heartbeat { util_permille } => Incoming::Heartbeat(util_permille),
+            KvMessage::Heartbeat { info } => Incoming::Heartbeat(info),
             KvMessage::Batch(msgs) => Incoming::Batch(msgs),
             KvMessage::RespCont { seq, entries } => Incoming::Cont {
                 seq,

@@ -67,14 +67,15 @@ pub use client::{CatfishClient, SearchPath};
 pub use config::{
     AccessMode, AdaptiveParams, ClientConfig, CostModel, Scheme, ServerConfig, ServerMode,
 };
-pub use conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
+pub use conn::{establish, establish_with_mailbox, ClientChannel, RkeyAllocator, ServerChannel};
 pub use obs::{
     AdaptiveEvent, AdaptiveEventLog, AdaptiveEventRecord, LatencyHistogram, MetricsRegistry, Phase,
-    PhaseSummary, TraceSink,
+    PhaseSummary, RouteChoice, TraceSink,
 };
 pub use server::{CatfishCluster, CatfishServer, RtreeBackend, TreeHandle};
 pub use service::{
-    ClientBackend, ClusterClient, ClusterServer, Execution, Incoming, Inconsistent, IndexBackend,
-    OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition, WireCodec,
+    ClientBackend, ClusterClient, ClusterServer, Execution, HeartbeatInfo, Incoming, Inconsistent,
+    IndexBackend, OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition,
+    WireCodec, FETCH_FLAG,
 };
 pub use stats::{LatencyRecorder, LatencySummary, ServiceStats};

@@ -9,7 +9,7 @@ use std::fmt;
 
 use catfish_rtree::Rect;
 
-use crate::service::{Incoming, WireCodec};
+use crate::service::{HeartbeatInfo, Incoming, WireCodec};
 
 const TAG_SEARCH: u8 = 1;
 const TAG_INSERT: u8 = 2;
@@ -81,10 +81,11 @@ pub enum Message {
         k: u32,
     },
     /// Server → client: periodic CPU-utilization heartbeat (Algorithm 1's
-    /// `u_serv`), in permille so it packs into two bytes.
+    /// `u_serv`) plus the per-mode serving-cost terms the three-way policy
+    /// needs to derive the write-back vs fetch crossover.
     Heartbeat {
-        /// Server CPU utilization × 1000, clamped to 1000.
-        util_permille: u16,
+        /// Utilization and per-mode serving-cost terms.
+        info: HeartbeatInfo,
     },
     /// Several messages coalesced into one doorbell-batched frame: one
     /// ring write, one completion, one wakeup for the whole group.
@@ -189,9 +190,13 @@ impl Message {
                 out.extend_from_slice(&y.to_le_bytes());
                 out.extend_from_slice(&k.to_le_bytes());
             }
-            Message::Heartbeat { util_permille } => {
+            Message::Heartbeat { info } => {
                 out.push(TAG_HEARTBEAT);
-                out.extend_from_slice(&util_permille.to_le_bytes());
+                out.extend_from_slice(&info.util_permille.to_le_bytes());
+                out.extend_from_slice(&info.wb_fixed_ns.to_le_bytes());
+                out.extend_from_slice(&info.wb_per_kb_ns.to_le_bytes());
+                out.extend_from_slice(&info.fetch_fixed_ns.to_le_bytes());
+                out.extend_from_slice(&info.fetch_per_kb_ns.to_le_bytes());
             }
             Message::Batch(msgs) => {
                 out.push(TAG_BATCH);
@@ -218,7 +223,7 @@ impl Message {
             Message::ResponseCont { results, .. } => 1 + 4 + 4 + 40 * results.len(),
             Message::ResponseEnd { results, .. } => 1 + 4 + 4 + 4 + 40 * results.len(),
             Message::NearestReq { .. } => 1 + 4 + 8 + 8 + 4,
-            Message::Heartbeat { .. } => 1 + 2,
+            Message::Heartbeat { .. } => 1 + 2 + 16,
             Message::Batch(msgs) => 1 + 4 + msgs.iter().map(|m| 4 + m.encoded_len()).sum::<usize>(),
         }
     }
@@ -309,8 +314,20 @@ impl Message {
             }
             TAG_HEARTBEAT => {
                 let b = rest.get(0..2).ok_or(MsgError::Truncated)?;
+                let util_permille = u16::from_le_bytes(b.try_into().expect("sized"));
+                let cost = |o: usize| -> Result<u32, MsgError> {
+                    rest.get(o..o + 4)
+                        .map(|b| u32::from_le_bytes(b.try_into().expect("sized")))
+                        .ok_or(MsgError::Truncated)
+                };
                 Ok(Message::Heartbeat {
-                    util_permille: u16::from_le_bytes(b.try_into().expect("sized")),
+                    info: HeartbeatInfo {
+                        util_permille,
+                        wb_fixed_ns: cost(2)?,
+                        wb_per_kb_ns: cost(6)?,
+                        fetch_fixed_ns: cost(10)?,
+                        fetch_per_kb_ns: cost(14)?,
+                    },
                 })
             }
             TAG_BATCH => {
@@ -348,6 +365,8 @@ impl WireCodec for RtreeWire {
     type Message = Message;
     type Item = (Rect, u64);
 
+    const ITEM_WIRE_BYTES: usize = 40;
+
     fn encode(msg: &Message) -> Vec<u8> {
         msg.encode()
     }
@@ -356,8 +375,8 @@ impl WireCodec for RtreeWire {
         Message::decode(bytes)
     }
 
-    fn heartbeat(util_permille: u16) -> Message {
-        Message::Heartbeat { util_permille }
+    fn heartbeat(info: HeartbeatInfo) -> Message {
+        Message::Heartbeat { info }
     }
 
     fn cont(seq: u32, items: Vec<(Rect, u64)>) -> Message {
@@ -381,7 +400,7 @@ impl WireCodec for RtreeWire {
 
     fn classify(msg: Message) -> Incoming<Self> {
         match msg {
-            Message::Heartbeat { util_permille } => Incoming::Heartbeat(util_permille),
+            Message::Heartbeat { info } => Incoming::Heartbeat(info),
             Message::Batch(msgs) => Incoming::Batch(msgs),
             Message::ResponseCont { seq, results } => Incoming::Cont {
                 seq,
@@ -474,7 +493,10 @@ mod tests {
     fn nested_batch_rejected() {
         // encode() debug-asserts against building nested batches, so forge
         // the bytes: an outer batch whose single element is itself a batch.
-        let inner = Message::Batch(vec![Message::Heartbeat { util_permille: 7 }]).encode();
+        let inner = Message::Batch(vec![Message::Heartbeat {
+            info: HeartbeatInfo::util_only(7),
+        }])
+        .encode();
         let mut outer = vec![8u8]; // TAG_BATCH
         outer.extend_from_slice(&1u32.to_le_bytes());
         outer.extend_from_slice(&(inner.len() as u32).to_le_bytes());
@@ -485,7 +507,9 @@ mod tests {
     #[test]
     fn truncated_batch_rejected() {
         let full = Message::Batch(vec![
-            Message::Heartbeat { util_permille: 1 },
+            Message::Heartbeat {
+                info: HeartbeatInfo::util_only(1),
+            },
             Message::SearchReq {
                 seq: 9,
                 rect: Rect::new(0.0, 0.0, 1.0, 1.0),

@@ -18,6 +18,38 @@ use std::rc::Rc;
 
 use catfish_simnet::{try_now, SimTime};
 
+/// The transport a decision routed one operation down — the three-way
+/// generalization of the paper's binary fast-vs-offload choice. `Fast`
+/// spends server CPU and server NIC initiation, `Fetch` spends server CPU
+/// but moves NIC initiation to the client (RFP-style mailbox deposit +
+/// one-sided read), and `Offload` bypasses the server entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteChoice {
+    /// Fast messaging: server executes and write-backs over the ring.
+    Fast,
+    /// Mailbox fetching: server executes and deposits; client pulls.
+    Fetch,
+    /// Client-side offload: one-sided traversal, no server involvement.
+    Offload,
+}
+
+impl RouteChoice {
+    /// Stable snake_case name used in JSONL output and bench rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouteChoice::Fast => "fast",
+            RouteChoice::Fetch => "fetch",
+            RouteChoice::Offload => "offload",
+        }
+    }
+}
+
+impl fmt::Display for RouteChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One structured adaptive-algorithm event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AdaptiveEvent {
@@ -47,8 +79,19 @@ pub enum AdaptiveEvent {
     },
     /// The route chosen for this operation.
     Route {
-        /// True when the operation was sent down the offloaded path.
-        offloaded: bool,
+        /// Which of the three transports the operation was sent down.
+        route: RouteChoice,
+    },
+    /// The decision state crossed into or out of the fetch regime: the
+    /// expected response size moved across the write-back/fetch crossover
+    /// derived from the heartbeat's per-mode cost terms.
+    FetchTransition {
+        /// True when entering the fetch regime, false when leaving it.
+        entering: bool,
+        /// The EWMA of response item counts at the transition.
+        ewma_items: f64,
+        /// The crossover threshold (in items) in force at the transition.
+        threshold_items: f64,
     },
 }
 
@@ -61,6 +104,7 @@ impl AdaptiveEvent {
             AdaptiveEvent::BusyReset => "busy_reset",
             AdaptiveEvent::StaleHeartbeat { .. } => "stale_heartbeat",
             AdaptiveEvent::Route { .. } => "route",
+            AdaptiveEvent::FetchTransition { .. } => "fetch_transition",
         }
     }
 }
@@ -104,8 +148,18 @@ impl AdaptiveEventRecord {
             AdaptiveEvent::StaleHeartbeat { silent_ns } => {
                 format!("{head},\"silent_ns\":{silent_ns}}}")
             }
-            AdaptiveEvent::Route { offloaded } => {
-                format!("{head},\"offloaded\":{offloaded}}}")
+            AdaptiveEvent::Route { route } => {
+                format!("{head},\"route\":\"{route}\"}}")
+            }
+            AdaptiveEvent::FetchTransition {
+                entering,
+                ewma_items,
+                threshold_items,
+            } => {
+                format!(
+                    "{head},\"entering\":{entering},\"ewma_items\":{ewma_items:.2},\
+                     \"threshold_items\":{threshold_items:.2}}}"
+                )
             }
         }
     }
@@ -203,7 +257,9 @@ mod tests {
         let log = AdaptiveEventLog::new();
         let c3 = log.for_client(3);
         let c7 = log.for_client(7);
-        c3.emit(AdaptiveEvent::Route { offloaded: false });
+        c3.emit(AdaptiveEvent::Route {
+            route: RouteChoice::Fast,
+        });
         c7.emit(AdaptiveEvent::BusyReset);
         let events = log.snapshot();
         assert_eq!(events.len(), 2);
@@ -216,8 +272,12 @@ mod tests {
         let log = AdaptiveEventLog::new();
         let c2s1 = log.for_client(2).for_shard(1);
         let c2s3 = log.for_client(2).for_shard(3);
-        c2s1.emit(AdaptiveEvent::Route { offloaded: true });
-        c2s3.emit(AdaptiveEvent::Route { offloaded: false });
+        c2s1.emit(AdaptiveEvent::Route {
+            route: RouteChoice::Offload,
+        });
+        c2s3.emit(AdaptiveEvent::Route {
+            route: RouteChoice::Fast,
+        });
         let events = log.snapshot();
         assert_eq!((events[0].client, events[0].shard), (2, 1));
         assert_eq!((events[1].client, events[1].shard), (2, 3));
@@ -233,23 +293,46 @@ mod tests {
             r_busy: 2,
             r_off: 11,
         });
-        log.emit(AdaptiveEvent::Route { offloaded: true });
+        log.emit(AdaptiveEvent::Route {
+            route: RouteChoice::Offload,
+        });
         log.emit(AdaptiveEvent::StaleHeartbeat {
             silent_ns: 50_000_000,
         });
+        log.emit(AdaptiveEvent::FetchTransition {
+            entering: true,
+            ewma_items: 120.5,
+            threshold_items: 73.0,
+        });
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert!(lines[3].contains("\"event\":\"stale_heartbeat\""));
         assert!(lines[3].contains("\"silent_ns\":50000000"));
         assert!(lines[0].contains("\"event\":\"heartbeat_consumed\""));
         assert!(lines[0].contains("\"util\":0.9700"));
         assert!(lines[1].contains("\"r_busy\":2"));
         assert!(lines[1].contains("\"r_off\":11"));
-        assert!(lines[2].ends_with("\"offloaded\":true}"));
+        assert!(lines[2].ends_with("\"route\":\"offload\"}"));
+        assert!(lines[4].contains("\"event\":\"fetch_transition\""));
+        assert!(lines[4].contains("\"entering\":true"));
+        assert!(lines[4].contains("\"ewma_items\":120.50"));
+        assert!(lines[4].contains("\"threshold_items\":73.00"));
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn route_names_are_stable() {
+        assert_eq!(RouteChoice::Fast.name(), "fast");
+        assert_eq!(RouteChoice::Fetch.name(), "fetch");
+        assert_eq!(RouteChoice::Offload.name(), "offload");
+        let log = AdaptiveEventLog::new();
+        log.emit(AdaptiveEvent::Route {
+            route: RouteChoice::Fetch,
+        });
+        assert!(log.to_jsonl().contains("\"route\":\"fetch\""));
     }
 
     #[test]

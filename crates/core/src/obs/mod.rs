@@ -21,7 +21,7 @@ pub mod hist;
 pub mod registry;
 pub mod span;
 
-pub use events::{AdaptiveEvent, AdaptiveEventLog, AdaptiveEventRecord};
+pub use events::{AdaptiveEvent, AdaptiveEventLog, AdaptiveEventRecord, RouteChoice};
 pub use hist::LatencyHistogram;
 pub use registry::{Metric, MetricValue, MetricsRegistry};
 pub use span::{Phase, PhaseSummary, SpanStart, TraceSink, N_PHASES};

@@ -54,10 +54,14 @@ pub enum Phase {
     /// Client time spent backing off between retransmission attempts of
     /// a timed-out fast-messaging request.
     RetryBackoff,
+    /// Client time spent pulling a deposited response out of the server's
+    /// mailbox with one-sided reads (header polls, payload read, CRC
+    /// validation, and ack), from request send to decoded response.
+    MailboxFetch,
 }
 
 /// Number of phases (sizes the per-sink histogram array).
-pub const N_PHASES: usize = 10;
+pub const N_PHASES: usize = 11;
 
 impl Phase {
     /// Every phase, in display order.
@@ -72,6 +76,7 @@ impl Phase {
         Phase::OffloadRead,
         Phase::OffloadRetry,
         Phase::RetryBackoff,
+        Phase::MailboxFetch,
     ];
 
     /// Stable snake_case name used in metric names and reports.
@@ -87,6 +92,7 @@ impl Phase {
             Phase::OffloadRead => "offload_read",
             Phase::OffloadRetry => "offload_retry",
             Phase::RetryBackoff => "retry_backoff",
+            Phase::MailboxFetch => "mailbox_fetch",
         }
     }
 
@@ -103,6 +109,7 @@ impl Phase {
             Phase::OffloadRead => 7,
             Phase::OffloadRetry => 8,
             Phase::RetryBackoff => 9,
+            Phase::MailboxFetch => 10,
         }
     }
 }

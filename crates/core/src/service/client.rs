@@ -4,7 +4,8 @@
 
 use std::collections::HashMap;
 
-use catfish_rdma::QueuePair;
+use catfish_rdma::mailbox::{mailbox_crc32, SLOT_HEADER_BYTES};
+use catfish_rdma::{QueuePair, SlotHeader};
 use catfish_rtree::codec::{CodecError, RemoteLayout};
 use catfish_rtree::{NodeId, TreeMeta};
 use catfish_simnet::{now, sleep, spawn, CpuPool, SimDuration, SimTime};
@@ -12,12 +13,12 @@ use catfish_simnet::{now, sleep, spawn, CpuPool, SimDuration, SimTime};
 use crate::adaptive::AdaptiveState;
 use crate::config::{AccessMode, ClientConfig};
 use crate::conn::ClientChannel;
-use crate::obs::{Phase, TraceSink};
+use crate::obs::{Phase, RouteChoice, TraceSink};
 use crate::stats::ServiceStats;
 
 use super::{
-    ClientBackend, Incoming, Inconsistent, LayoutNode, OpKind, RemoteHandle, SearchPath, WireCodec,
-    WireItem, WireMessage,
+    ClientBackend, HeartbeatInfo, Incoming, Inconsistent, LayoutNode, OpKind, RemoteHandle,
+    SearchPath, WireCodec, WireItem, WireMessage, FETCH_FLAG,
 };
 
 /// Why one chunk read gave up.
@@ -73,12 +74,14 @@ impl<B: ClientBackend> ServiceClient<B> {
             AccessMode::Adaptive(p) => p,
             _ => Default::default(),
         };
+        let mut adaptive = AdaptiveState::new(params, seed);
+        adaptive.set_item_bytes(B::Wire::ITEM_WIRE_BYTES);
         ServiceClient {
             ch,
             cfg,
             handle,
             seq: 0,
-            adaptive: AdaptiveState::new(params, seed),
+            adaptive,
             meta_cache: None,
             node_cache: HashMap::new(),
             poll_pool: None,
@@ -193,9 +196,8 @@ impl<B: ClientBackend> ServiceClient<B> {
         }
     }
 
-    fn note_heartbeat(&mut self, util_permille: u16) {
-        self.adaptive
-            .note_heartbeat(f64::from(util_permille) / 1000.0);
+    fn note_heartbeat(&mut self, info: HeartbeatInfo) {
+        self.adaptive.note_heartbeat_info(info);
     }
 
     /// Executes `read`, choosing the execution path per the configured
@@ -207,18 +209,30 @@ impl<B: ClientBackend> ServiceClient<B> {
     /// Like [`ServiceClient::read`], also reporting which path ran.
     pub async fn read_traced(&mut self, read: &B::Read) -> (Vec<WireItem<B>>, SearchPath) {
         self.drain_pending();
-        let offload = match self.cfg.mode {
-            AccessMode::FastMessaging => false,
-            AccessMode::Offloading => true,
-            AccessMode::Adaptive(_) => self.adaptive.decide(),
+        let route = match self.cfg.mode {
+            AccessMode::FastMessaging => RouteChoice::Fast,
+            AccessMode::Offloading => RouteChoice::Offload,
+            AccessMode::Fetching => RouteChoice::Fetch,
+            AccessMode::Adaptive(_) => self.adaptive.decide_route(),
         };
-        if offload {
-            self.stats.offloaded_reads += 1;
-            (self.offload_read(read).await, SearchPath::Offloaded)
-        } else {
-            self.stats.fast_reads += 1;
-            (self.fast_read(read).await, SearchPath::FastMessaging)
-        }
+        let (items, path) = match route {
+            RouteChoice::Offload => {
+                self.stats.offloaded_reads += 1;
+                (self.offload_read(read).await, SearchPath::Offloaded)
+            }
+            RouteChoice::Fetch => {
+                self.stats.fetched_reads += 1;
+                (self.fetch_read(read).await, SearchPath::Fetched)
+            }
+            RouteChoice::Fast => {
+                self.stats.fast_reads += 1;
+                (self.fast_read(read).await, SearchPath::FastMessaging)
+            }
+        };
+        // Every observed response feeds the expected-size EWMA the
+        // three-way policy compares against the fetch crossover.
+        self.adaptive.note_response_items(items.len());
+        (items, path)
     }
 
     // ------------------------------------------------------------------
@@ -291,6 +305,136 @@ impl<B: ClientBackend> ServiceClient<B> {
     /// A read served by the server through fast messaging.
     pub(crate) async fn fast_read(&mut self, read: &B::Read) -> Vec<WireItem<B>> {
         self.fast_request(|seq| B::read_request(seq, read)).await.1
+    }
+
+    // ------------------------------------------------------------------
+    // Mailbox fetching (RFP-style remote result fetching)
+    // ------------------------------------------------------------------
+
+    /// A read whose response the client **pulls** out of the server's
+    /// mailbox with one-sided RDMA Reads instead of having the server
+    /// ring-write it: the request goes out flagged with [`FETCH_FLAG`],
+    /// the server deposits the encoded END frame into this client's slot,
+    /// and the fetch loop polls the slot header (sequence-stamped, CRC'd,
+    /// so it sees either the full deposit or retries) with exponential
+    /// poll backoff. The PR 5 deadline/retransmit protocol covers lost
+    /// fetches: only reads travel this path, so a retransmitted request
+    /// simply re-executes and re-deposits — exactly-once by idempotence.
+    ///
+    /// Responses that overflowed the slot (or raced a missing mailbox)
+    /// arrive as ordinary write-back frames, which the loop also drains.
+    pub(crate) async fn fetch_read(&mut self, read: &B::Read) -> Vec<WireItem<B>> {
+        let Some(mb) = self.ch.mailbox else {
+            // The server allocated no mailbox: serve over the ring.
+            self.stats.fetch_fallbacks += 1;
+            self.stats.fetched_reads -= 1;
+            self.stats.fast_reads += 1;
+            return self.fast_read(read).await;
+        };
+        self.seq += 1;
+        let seq = self.seq;
+        let wire_seq = seq | FETCH_FLAG;
+        let encoded = B::Wire::encode(&B::read_request(wire_seq, read));
+        if self.ch.tx.send(&encoded, wire_seq).await.is_err() {
+            return Vec::new();
+        }
+        let span = self.trace.begin();
+        // Write-back fallback accumulation (slot-overflow responses).
+        let mut wb_items: Vec<WireItem<B>> = Vec::new();
+        let mut retries = 0u32;
+        let mut backoff = self.cfg.retry_backoff;
+        loop {
+            let deadline = now() + self.cfg.request_timeout;
+            let mut poll = self.cfg.fetch_poll_initial;
+            loop {
+                // Drain the response ring opportunistically: heartbeats
+                // keep Algorithm 1 fed, and an overflowed response comes
+                // back this way under the masked sequence number.
+                while let Some(bytes) = self.ch.rx.try_pop() {
+                    let Ok(msg) = B::Wire::decode(&bytes) else {
+                        continue;
+                    };
+                    match B::Wire::classify(msg) {
+                        Incoming::Heartbeat(p) => self.note_heartbeat(p),
+                        Incoming::Cont { seq: s, items } if s == seq => wb_items.extend(items),
+                        Incoming::End { seq: s, items, .. } if s == seq => {
+                            wb_items.extend(items);
+                            self.trace.end(Phase::MailboxFetch, span);
+                            return wb_items;
+                        }
+                        _ => {}
+                    }
+                }
+                // One-sided header probe: sees either the full deposit
+                // (header is written last, atomically) or stale bytes.
+                let hdr_bytes = self
+                    .ch
+                    .qp
+                    .read(mb.rkey, mb.layout.slot_offset(seq), SLOT_HEADER_BYTES)
+                    .await
+                    .expect("mailbox registered");
+                let hdr = SlotHeader::parse(&hdr_bytes);
+                if hdr.seq == seq && hdr.len as usize <= mb.layout.payload_capacity() {
+                    let body = self
+                        .ch
+                        .qp
+                        .read(mb.rkey, mb.layout.payload_offset(seq), hdr.len as usize)
+                        .await
+                        .expect("mailbox registered");
+                    if mailbox_crc32(&body) == hdr.crc {
+                        if let Some(items) = self.decode_deposit(seq, body) {
+                            // Ack consumption one-sided so the server can
+                            // reclaim the slot lease on its next tick.
+                            self.ch
+                                .qp
+                                .write(mb.ack_rkey, 0, &u64::from(seq).to_le_bytes())
+                                .await
+                                .expect("ack cell registered");
+                            self.trace.end(Phase::MailboxFetch, span);
+                            return items;
+                        }
+                    } else {
+                        // Torn deposit: the payload raced the fetch.
+                        self.stats.torn_retries += 1;
+                    }
+                }
+                let remaining = deadline.saturating_duration_since(now());
+                if remaining.is_zero() {
+                    break;
+                }
+                sleep(poll.min(remaining)).await;
+                poll = SimDuration::from_nanos(
+                    poll.as_nanos()
+                        .saturating_mul(2)
+                        .min(self.cfg.fetch_poll_max.as_nanos()),
+                );
+            }
+            // Attempt timed out (lost request or lost deposit): retransmit
+            // under the same flagged sequence number. Fetch serves reads
+            // only, so the server re-executing is exactly-once by
+            // idempotence; the redeposit overwrites the same slot.
+            if !self.timeout_backoff(retries, backoff).await {
+                self.trace.end(Phase::MailboxFetch, span);
+                return wb_items;
+            }
+            backoff = self.next_backoff(backoff);
+            retries += 1;
+            wb_items.clear();
+            self.stats.retransmits += 1;
+            if self.ch.tx.send(&encoded, wire_seq).await.is_err() {
+                self.trace.end(Phase::MailboxFetch, span);
+                return Vec::new();
+            }
+        }
+    }
+
+    /// Decodes a fetched deposit: must be an END frame for `seq`.
+    fn decode_deposit(&mut self, seq: u32, body: Vec<u8>) -> Option<Vec<WireItem<B>>> {
+        let msg = B::Wire::decode(&body).ok()?;
+        match B::Wire::classify(msg) {
+            Incoming::End { seq: s, items, .. } if s == seq => Some(items),
+            _ => None,
+        }
     }
 
     /// Executes a window of reads through fast messaging, coalescing the

@@ -45,6 +45,47 @@ pub type WireItem<B> = <<B as IndexBackend>::Wire as WireCodec>::Item;
 /// Decoded remote-node type of a backend's chunk layout.
 pub type LayoutNode<B> = <<B as IndexBackend>::Layout as RemoteLayout>::Node;
 
+/// High bit of the request sequence number: set by a client that wants
+/// the response *deposited in its mailbox* (remote result fetching)
+/// rather than written back into its response ring. Riding on the
+/// sequence number keeps the request wire formats unchanged and lets the
+/// retransmission/dedup machinery treat fetch and write-back requests
+/// identically — the server merely inspects this bit when responding.
+pub const FETCH_FLAG: u32 = 1 << 31;
+
+/// Per-mode serving-cost terms piggybacked on the CPU heartbeat.
+///
+/// Algorithm 1's heartbeat carried only `u_serv`; the three-way policy
+/// additionally needs to compare what the *server* pays per response in
+/// each mode, so the heartbeat advertises both cost lines (fixed
+/// nanoseconds + nanoseconds per KiB of response payload). Clients derive
+/// the write-back-vs-fetch crossover size from these instead of
+/// hard-coding the server's cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeartbeatInfo {
+    /// Server CPU utilization × 1000 (Algorithm 1's `u_serv`).
+    pub util_permille: u16,
+    /// Fixed write-back cost per response (doorbell post), nanoseconds.
+    pub wb_fixed_ns: u32,
+    /// Write-back cost per KiB of response payload, nanoseconds.
+    pub wb_per_kb_ns: u32,
+    /// Fixed mailbox-deposit cost per response, nanoseconds.
+    pub fetch_fixed_ns: u32,
+    /// Deposit cost per KiB of response payload, nanoseconds.
+    pub fetch_per_kb_ns: u32,
+}
+
+impl HeartbeatInfo {
+    /// A heartbeat carrying only the utilization figure (cost terms
+    /// zero — the binary policy ignores them).
+    pub fn util_only(util_permille: u16) -> Self {
+        HeartbeatInfo {
+            util_permille,
+            ..HeartbeatInfo::default()
+        }
+    }
+}
+
 /// A message set carried inside the ring buffers.
 ///
 /// Every Catfish service speaks the same conversation shape — requests in,
@@ -58,6 +99,12 @@ pub trait WireCodec: Sized + 'static {
     /// One response item (an R-tree `(Rect, u64)` hit, a KV pair, ...).
     type Item: Clone + std::fmt::Debug + 'static;
 
+    /// Encoded wire bytes per response item — the factor that converts a
+    /// result count into a payload size for the three-way policy's
+    /// crossover arithmetic (40 for the R-tree's rect + id, 16 for a KV
+    /// pair).
+    const ITEM_WIRE_BYTES: usize;
+
     /// Serializes a message to ring bytes.
     fn encode(msg: &Self::Message) -> Vec<u8>;
 
@@ -68,8 +115,9 @@ pub trait WireCodec: Sized + 'static {
     /// [`MsgError`] on truncation, unknown tags, or invalid fields.
     fn decode(bytes: &[u8]) -> Result<Self::Message, MsgError>;
 
-    /// Builds the CPU-utilization heartbeat message.
-    fn heartbeat(util_permille: u16) -> Self::Message;
+    /// Builds the CPU-utilization heartbeat message (with the per-mode
+    /// serving-cost terms of the three-way policy).
+    fn heartbeat(info: HeartbeatInfo) -> Self::Message;
 
     /// Builds a non-final response segment ("CONT").
     fn cont(seq: u32, items: Vec<Self::Item>) -> Self::Message;
@@ -95,8 +143,9 @@ pub trait WireCodec: Sized + 'static {
 /// A received message, classified for the generic receive loops.
 #[derive(Debug, Clone)]
 pub enum Incoming<W: WireCodec> {
-    /// Server CPU-utilization heartbeat (Algorithm 1's `u_serv`).
-    Heartbeat(u16),
+    /// Server heartbeat: CPU utilization (Algorithm 1's `u_serv`) plus
+    /// the per-mode serving-cost terms of the three-way policy.
+    Heartbeat(HeartbeatInfo),
     /// Non-final response segment.
     Cont {
         /// Echo of the request sequence number.
@@ -246,6 +295,9 @@ pub enum SearchPath {
     FastMessaging,
     /// Client-side traversal via one-sided reads.
     Offloaded,
+    /// Server-side traversal, result pulled from the mailbox with
+    /// one-sided reads (remote result fetching).
+    Fetched,
 }
 
 /// Splits `items` into CONT frames terminated by an END frame carrying

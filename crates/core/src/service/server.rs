@@ -24,22 +24,27 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
-use catfish_rdma::{Endpoint, MemoryRegion, NetProfile};
+use catfish_rdma::{DepositOutcome, Endpoint, Mailbox, MailboxLayout, MemoryRegion, NetProfile};
 use catfish_rtree::codec::RemoteLayout;
 use catfish_rtree::TreeMeta;
 use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration};
 
 use crate::config::{ServerConfig, ServerMode};
-use crate::conn::{establish, ClientChannel, RkeyAllocator, ServerChannel};
+use crate::conn::{establish_with_mailbox, ClientChannel, RkeyAllocator, ServerChannel};
 use crate::obs::{Phase, TraceSink};
 use crate::ring::{RingReceiver, RingSender};
 use crate::stats::ServiceStats;
 use crate::store::MrMemory;
 
 use super::{
-    response_frames, Execution, Incoming, IndexBackend, OpKind, RemoteHandle, WireCodec,
-    WireMessage,
+    response_frames, Execution, HeartbeatInfo, Incoming, IndexBackend, OpKind, RemoteHandle,
+    WireCodec, WireMessage, FETCH_FLAG,
 };
+
+/// Scales a per-KiB cost term to `bytes` of payload.
+fn per_kb_cost(per_kb: SimDuration, bytes: usize) -> SimDuration {
+    SimDuration::from_nanos((per_kb.as_nanos().saturating_mul(bytes as u64)) / 1024)
+}
 
 /// Per-connection duplicate-detection window: remembers the sequence
 /// numbers (and END statuses) of recently executed write-class requests so
@@ -93,6 +98,9 @@ struct ServerInner<B: IndexBackend> {
     layout: B::Layout,
     rkeys: RkeyAllocator,
     heartbeat_targets: RefCell<Vec<RingSender>>,
+    /// Per-connection mailboxes (fetch-mode response path), registered so
+    /// the heartbeat tick can reclaim acked and stale slot leases.
+    mailboxes: RefCell<Vec<Rc<RefCell<Mailbox>>>>,
     /// Request-ring receivers of accepted connections, kept so
     /// [`ServiceServer::stats`] can fold their integrity counters in.
     rings: RefCell<Vec<RingReceiver>>,
@@ -162,6 +170,7 @@ impl<B: IndexBackend> ServiceServer<B> {
                 layout,
                 rkeys: rkeys.clone(),
                 heartbeat_targets: RefCell::new(Vec::new()),
+                mailboxes: RefCell::new(Vec::new()),
                 rings: RefCell::new(Vec::new()),
                 stats: RefCell::new(ServiceStats::default()),
                 tcp: RefCell::new(None),
@@ -216,6 +225,9 @@ impl<B: IndexBackend> ServiceServer<B> {
             st.checksum_failures += rx.checksum_failures();
             st.resyncs += rx.resyncs();
         }
+        for tx in self.inner.heartbeat_targets.borrow().iter() {
+            st.merged_writes += tx.merged_writes();
+        }
         st
     }
 
@@ -225,14 +237,38 @@ impl<B: IndexBackend> ServiceServer<B> {
         self.inner.heartbeat_targets.borrow().len()
     }
 
+    /// Outstanding (leased, unreclaimed) mailbox slots across every
+    /// connection — the leak audit: after clients quiesce and a lease TTL
+    /// plus a heartbeat tick elapse, this must be zero.
+    pub fn mailbox_outstanding(&self) -> usize {
+        self.inner
+            .mailboxes
+            .borrow()
+            .iter()
+            .map(|mb| mb.borrow().outstanding_leases())
+            .sum()
+    }
+
     /// Accepts a ring connection from `client_ep` and spawns its worker.
+    /// When [`ServerConfig::mailbox_slots`] is non-zero a per-client
+    /// mailbox region is also allocated, enabling the fetch response path.
     pub fn accept(&self, client_ep: &Endpoint) -> ClientChannel {
-        let (cc, sc) = establish(
+        let layout = (self.inner.cfg.mailbox_slots > 0).then(|| {
+            MailboxLayout::new(
+                self.inner.cfg.mailbox_slots,
+                self.inner.cfg.mailbox_slot_bytes,
+            )
+        });
+        let (cc, sc) = establish_with_mailbox(
             client_ep,
             &self.inner.endpoint,
             self.inner.cfg.ring_capacity,
             &self.inner.rkeys,
+            layout,
         );
+        if let Some(mb) = &sc.mailbox {
+            self.inner.mailboxes.borrow_mut().push(Rc::clone(mb));
+        }
         self.inner
             .heartbeat_targets
             .borrow_mut()
@@ -266,13 +302,37 @@ impl<B: IndexBackend> ServiceServer<B> {
                 let cur = this.inner.cpu.sample();
                 let util = this.inner.cpu.utilization_between(&last, &cur);
                 last = cur;
+                // Heartbeat ticks double as the mailbox janitor: reclaim
+                // slots the client has acked, and sweep leases older than
+                // the TTL — the server-side dual of the client staleness
+                // failsafe, covering clients that crashed mid-fetch.
+                {
+                    let t = now();
+                    let ttl = this.inner.cfg.mailbox_lease_ttl;
+                    let mut reclaimed = 0u64;
+                    for mb in this.inner.mailboxes.borrow().iter() {
+                        let mut mb = mb.borrow_mut();
+                        reclaimed += mb.reclaim_acked();
+                        reclaimed += mb.sweep_stale(t, ttl);
+                    }
+                    if reclaimed > 0 {
+                        this.inner.stats.borrow_mut().mailbox_reclaims += reclaimed;
+                    }
+                }
                 // Encode once and share the bytes: a per-connection clone
                 // + spawn would allocate a Vec and a task for every client
-                // on every 10 ms tick.
-                let msg: Rc<[u8]> = B::Wire::encode(&B::Wire::heartbeat(
-                    (util * 1000.0).round().min(1000.0) as u16,
-                ))
-                .into();
+                // on every 10 ms tick. The heartbeat advertises the
+                // per-mode serving-cost terms so clients can derive the
+                // write-back/fetch crossover (three-way policy).
+                let cost = &this.inner.cfg.cost;
+                let info = HeartbeatInfo {
+                    util_permille: (util * 1000.0).round().min(1000.0) as u16,
+                    wb_fixed_ns: cost.post.as_nanos().min(u64::from(u32::MAX)) as u32,
+                    wb_per_kb_ns: cost.post_per_kb.as_nanos().min(u64::from(u32::MAX)) as u32,
+                    fetch_fixed_ns: cost.deposit.as_nanos().min(u64::from(u32::MAX)) as u32,
+                    fetch_per_kb_ns: cost.deposit_per_kb.as_nanos().min(u64::from(u32::MAX)) as u32,
+                };
+                let msg: Rc<[u8]> = B::Wire::encode(&B::Wire::heartbeat(info)).into();
                 let targets: Vec<RingSender> = this.inner.heartbeat_targets.borrow().clone();
                 let plan = this.inner.endpoint.fault_plan();
                 let mut any_closed = false;
@@ -584,6 +644,13 @@ impl<B: IndexBackend> ServiceServer<B> {
     /// Sends every response frame of `execs`, coalescing up to `max_batch`
     /// frames per doorbell: one `post` charge and one CQ event per group
     /// instead of one per frame.
+    ///
+    /// An execution whose sequence number carries [`FETCH_FLAG`] asked for
+    /// the **fetch** response path: instead of ring-writing the response,
+    /// the server deposits the encoded END frame into the client's mailbox
+    /// slot (cheap local memcpy, no NIC write initiation) and the client
+    /// pulls it with one-sided reads. Responses that overflow the slot fall
+    /// back to write-back on the ring, which the fetch loop also drains.
     async fn respond(
         &self,
         execs: Vec<Execution<B::Wire>>,
@@ -598,16 +665,56 @@ impl<B: IndexBackend> ServiceServer<B> {
         let trace = self.inner.trace.borrow().clone();
         let transit_span = trace.begin();
         let seg = self.inner.cfg.response_segment_results;
+        let cost = &self.inner.cfg.cost;
         let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut deposit_cost = SimDuration::ZERO;
         for exec in execs {
-            for m in response_frames::<B::Wire>(exec.seq, exec.items, exec.status, seg) {
+            let fetch = exec.seq & FETCH_FLAG != 0;
+            let seq = exec.seq & !FETCH_FLAG;
+            if fetch {
+                if let Some(mb) = &ch.mailbox {
+                    let payload =
+                        B::Wire::encode(&B::Wire::end(seq, exec.items.clone(), exec.status));
+                    let outcome = mb.borrow_mut().try_deposit(
+                        seq,
+                        &payload,
+                        self.inner.cfg.torn_write_window,
+                        now(),
+                    );
+                    match outcome {
+                        DepositOutcome::Stored => {
+                            deposit_cost +=
+                                cost.deposit + per_kb_cost(cost.deposit_per_kb, payload.len());
+                            self.inner.stats.borrow_mut().fetched_responses += 1;
+                            continue;
+                        }
+                        DepositOutcome::TooLarge => {
+                            self.inner.stats.borrow_mut().fetch_fallbacks += 1;
+                        }
+                    }
+                } else {
+                    self.inner.stats.borrow_mut().fetch_fallbacks += 1;
+                }
+            }
+            for m in response_frames::<B::Wire>(seq, exec.items, exec.status, seg) {
                 frames.push(B::Wire::encode(&m));
             }
         }
+        if !deposit_cost.is_zero() {
+            self.charge(deposit_cost, holding_core).await;
+        }
+        if frames.is_empty() {
+            trace.end(Phase::RespTransit, transit_span);
+            return;
+        }
+        let wb_bytes: usize = frames.iter().map(Vec::len).sum();
         let max_batch = self.inner.cfg.max_batch.max(1);
         let groups = frames.len().div_ceil(max_batch);
-        self.charge(self.inner.cfg.cost.post * groups as u64, holding_core)
-            .await;
+        self.charge(
+            cost.post * groups as u64 + per_kb_cost(cost.post_per_kb, wb_bytes),
+            holding_core,
+        )
+        .await;
         {
             let mut st = self.inner.stats.borrow_mut();
             for group in frames.chunks(max_batch) {

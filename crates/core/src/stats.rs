@@ -69,6 +69,22 @@ pub struct ServiceStats {
     /// stream stale and failed over to offloading (edge-triggered: one
     /// count per fresh→stale transition).
     pub stale_heartbeat_windows: u64,
+    /// Ring writes that piggybacked on an already-in-flight doorbell
+    /// (RDMAbox-style merged writes; folded from the response-ring
+    /// senders).
+    pub merged_writes: u64,
+    /// Client reads served through the mailbox-fetch path (one-sided
+    /// pulls of a deposited response).
+    pub fetched_reads: u64,
+    /// Responses the server deposited into mailbox slots instead of
+    /// ring-writing them.
+    pub fetched_responses: u64,
+    /// Fetch-flagged responses that fell back to ring write-back (slot
+    /// overflow or no mailbox allocated).
+    pub fetch_fallbacks: u64,
+    /// Mailbox slot leases reclaimed by the server's heartbeat tick
+    /// (acked by the client or expired past the lease TTL).
+    pub mailbox_reclaims: u64,
 }
 
 impl ServiceStats {
@@ -97,6 +113,11 @@ impl ServiceStats {
         self.checksum_failures += other.checksum_failures;
         self.resyncs += other.resyncs;
         self.stale_heartbeat_windows += other.stale_heartbeat_windows;
+        self.merged_writes += other.merged_writes;
+        self.fetched_reads += other.fetched_reads;
+        self.fetched_responses += other.fetched_responses;
+        self.fetch_fallbacks += other.fetch_fallbacks;
+        self.mailbox_reclaims += other.mailbox_reclaims;
     }
 
     /// Fraction of client reads that went through the offloaded path,
@@ -118,23 +139,46 @@ impl ServiceStats {
             self.batched_msgs as f64 / self.batches_sent as f64
         }
     }
+
+    /// The transport mode that served the plurality of client reads —
+    /// `"fast"`, `"fetch"`, `"offload"`, or `"-"` when no reads ran.
+    /// Bench rows print this so tables show which path traffic took.
+    pub fn dominant_transport(&self) -> &'static str {
+        let (f, m, o) = (self.fast_reads, self.fetched_reads, self.offloaded_reads);
+        if f == 0 && m == 0 && o == 0 {
+            "-"
+        } else if f >= m && f >= o {
+            "fast"
+        } else if m >= o {
+            "fetch"
+        } else {
+            "offload"
+        }
+    }
 }
 
 impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fast {} / offloaded {} ({:.1}% offloaded), torn retries {}, restarts {}, cache hits {}, \
-             batches {} ({:.1} msgs/batch), decode errors {}, timeouts {}, retransmits {}, \
-             dup drops {}, checksum failures {}, resyncs {}, stale hb windows {}",
+            "fast {} / fetched {} / offloaded {} ({:.1}% offloaded, dominant {}), torn retries {}, \
+             restarts {}, cache hits {}, batches {} ({:.1} msgs/batch), merged writes {}, \
+             deposits {} (fallbacks {}, reclaims {}), decode errors {}, timeouts {}, \
+             retransmits {}, dup drops {}, checksum failures {}, resyncs {}, stale hb windows {}",
             self.fast_reads,
+            self.fetched_reads,
             self.offloaded_reads,
             self.offload_fraction() * 100.0,
+            self.dominant_transport(),
             self.torn_retries,
             self.offload_restarts,
             self.cache_hits,
             self.batches_sent,
             self.msgs_per_batch(),
+            self.merged_writes,
+            self.fetched_responses,
+            self.fetch_fallbacks,
+            self.mailbox_reclaims,
             self.decode_errors,
             self.timeouts,
             self.retransmits,
@@ -316,10 +360,20 @@ mod tests {
             checksum_failures: 1,
             resyncs: 1,
             stale_heartbeat_windows: 1,
+            merged_writes: 6,
+            fetched_reads: 2,
+            fetched_responses: 2,
+            fetch_fallbacks: 1,
+            mailbox_reclaims: 2,
             ..ServiceStats::default()
         };
         a.merge(&b);
         assert_eq!(a.reads, 3);
+        assert_eq!(a.merged_writes, 6);
+        assert_eq!(a.fetched_reads, 2);
+        assert_eq!(a.fetched_responses, 2);
+        assert_eq!(a.fetch_fallbacks, 1);
+        assert_eq!(a.mailbox_reclaims, 2);
         assert_eq!(a.timeouts, 4);
         assert_eq!(a.retransmits, 3);
         assert_eq!(a.dup_drops, 2);
@@ -339,5 +393,22 @@ mod tests {
         let s = ServiceStats::default();
         assert_eq!(s.offload_fraction(), 0.0);
         assert!(s.to_string().contains("fast 0"));
+        assert_eq!(s.dominant_transport(), "-");
+    }
+
+    #[test]
+    fn dominant_transport_picks_the_plurality_path() {
+        let mut s = ServiceStats {
+            fast_reads: 5,
+            fetched_reads: 2,
+            offloaded_reads: 1,
+            ..ServiceStats::default()
+        };
+        assert_eq!(s.dominant_transport(), "fast");
+        s.fetched_reads = 9;
+        assert_eq!(s.dominant_transport(), "fetch");
+        s.offloaded_reads = 20;
+        assert_eq!(s.dominant_transport(), "offload");
+        assert!(s.to_string().contains("dominant offload"));
     }
 }

@@ -20,6 +20,7 @@ use catfish_rdma::{Endpoint, RdmaProfile};
 use catfish_rtree::{RTreeConfig, Rect};
 use catfish_simnet::{sleep, Network, Sim, SimDuration};
 use catfish_workload::uniform_rects;
+use proptest::prelude::*;
 
 /// Issues every read through the generic read path and returns the total
 /// item count. The same function body serves both backends.
@@ -91,13 +92,15 @@ fn query_rects(n: usize) -> Vec<Rect> {
 }
 
 /// Fast messaging routes every read through the server; offloading routes
-/// none; adaptive picks per-request but accounts for all of them — and the
-/// identical invariants hold for both backends.
+/// none; fetching routes every read through the server but pulls every
+/// response out of the mailbox; adaptive picks per-request but accounts
+/// for all of them — and the identical invariants hold for both backends.
 #[test]
 fn mode_counters_are_consistent_for_both_backends() {
     for mode in [
         AccessMode::FastMessaging,
         AccessMode::Offloading,
+        AccessMode::Fetching,
         AccessMode::Adaptive(AdaptiveParams::default()),
     ] {
         let sim = Sim::new();
@@ -128,9 +131,22 @@ fn mode_counters_are_consistent_for_both_backends() {
                         assert_eq!(server_stats.reads, 0, "{label}");
                         assert!(client_stats.chunks_fetched > 0, "{label}");
                     }
+                    AccessMode::Fetching => {
+                        assert_eq!(client_stats.fetched_reads, 40, "{label}");
+                        assert_eq!(client_stats.fast_reads, 0, "{label}");
+                        assert_eq!(client_stats.offloaded_reads, 0, "{label}");
+                        // The server executed every read and deposited
+                        // every response — none overflowed into ring
+                        // write-back at these result sizes.
+                        assert_eq!(server_stats.reads, 40, "{label}");
+                        assert_eq!(server_stats.fetched_responses, 40, "{label}");
+                        assert_eq!(server_stats.fetch_fallbacks, 0, "{label}");
+                    }
                     AccessMode::Adaptive(_) => {
                         assert_eq!(
-                            client_stats.fast_reads + client_stats.offloaded_reads,
+                            client_stats.fast_reads
+                                + client_stats.fetched_reads
+                                + client_stats.offloaded_reads,
                             40,
                             "{label}"
                         );
@@ -247,6 +263,93 @@ fn batched_reads_match_sequential_for_both_backends_and_modes() {
                     assert_eq!(s.batches_sent, 0);
                 }
             });
+        }
+    }
+}
+
+/// Replays one op sequence under one access mode and returns every read
+/// result, encoded exactly as the items came off the wire (key/data pairs
+/// serialized to little-endian bytes), so the cross-mode comparison is
+/// byte-level rather than merely set-level.
+async fn replay_rtree(net: &Network, mode: AccessMode, ops: &[(bool, u8)]) -> Vec<Vec<u8>> {
+    let (_server, mut client) = rtree_pair(net, mode, 77);
+    let mut out = Vec::new();
+    for &(write, k) in ops {
+        let d = 2_000_000 + u64::from(k);
+        let x = (d as f64 * 0.0171) % 0.9;
+        let r = Rect::new(x, x, x + 0.02, x + 0.02);
+        if write {
+            client.insert(r, d).await;
+        } else {
+            let mut bytes = Vec::new();
+            for (rect, data) in client.read(&r).await {
+                bytes.extend_from_slice(&rect.min_x().to_le_bytes());
+                bytes.extend_from_slice(&rect.min_y().to_le_bytes());
+                bytes.extend_from_slice(&rect.max_x().to_le_bytes());
+                bytes.extend_from_slice(&rect.max_y().to_le_bytes());
+                bytes.extend_from_slice(&data.to_le_bytes());
+            }
+            out.push(bytes);
+        }
+    }
+    out
+}
+
+/// KV twin of [`replay_rtree`]: puts and gets/ranges from the same
+/// `(write, key)` script.
+async fn replay_kv(net: &Network, mode: AccessMode, ops: &[(bool, u8)]) -> Vec<Vec<u8>> {
+    let (_server, mut client) = kv_pair(net, mode, 78);
+    let mut out = Vec::new();
+    for &(write, k) in ops {
+        let key = u64::from(k) * 151 % 6_000;
+        if write {
+            client.put(key, key ^ 0xABCD).await;
+        } else {
+            let read = if k % 3 == 0 {
+                KvRead::Range {
+                    lo: key,
+                    hi: key + 300,
+                }
+            } else {
+                KvRead::Get(key)
+            };
+            let mut bytes = Vec::new();
+            for (rk, rv) in client.read(&read).await {
+                bytes.extend_from_slice(&rk.to_le_bytes());
+                bytes.extend_from_slice(&rv.to_le_bytes());
+            }
+            out.push(bytes);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mailbox fetching is invisible to the application: under an
+    /// arbitrary interleaving of writes and reads, every read returns
+    /// results **byte-identical** to the ring write-back path — on both
+    /// backends. (The ops replay in separate simulations, one per mode,
+    /// so the comparison covers ordering, not just membership.)
+    #[test]
+    fn fetched_results_are_byte_identical_to_write_back(
+        ops in prop::collection::vec((any::<bool>(), 0u8..120), 1..36),
+    ) {
+        for backend in ["rtree", "kv"] {
+            let mut runs = Vec::new();
+            for mode in [AccessMode::FastMessaging, AccessMode::Fetching] {
+                let ops = ops.clone();
+                let sim = Sim::new();
+                runs.push(sim.run_until(async move {
+                    let net = Network::new();
+                    match backend {
+                        "rtree" => replay_rtree(&net, mode, &ops).await,
+                        _ => replay_kv(&net, mode, &ops).await,
+                    }
+                }));
+            }
+            prop_assert_eq!(&runs[0], &runs[1], "{} fetch diverged from write-back", backend);
         }
     }
 }

@@ -5,7 +5,7 @@
 //! end-to-end latency.
 
 use catfish_core::config::AdaptiveParams;
-use catfish_core::{AdaptiveEvent, AdaptiveEventLog, AdaptiveState, LatencyHistogram};
+use catfish_core::{AdaptiveEvent, AdaptiveEventLog, AdaptiveState, LatencyHistogram, RouteChoice};
 use catfish_simnet::{sleep, Sim, SimDuration};
 use proptest::prelude::*;
 
@@ -129,6 +129,9 @@ fn scripted_heartbeats_match_algorithm_one_bands() {
             AdaptiveEvent::StaleHeartbeat { .. } => {
                 panic!("heartbeats flow throughout this scenario")
             }
+            AdaptiveEvent::FetchTransition { .. } => {
+                panic!("fetching is disabled under default params")
+            }
         }
     }
     // Five decisions, five heartbeats consumed; the band never exceeds
@@ -143,6 +146,110 @@ fn scripted_heartbeats_match_algorithm_one_bands() {
     for rec in &events {
         let line = rec.to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains(&format!("\"event\":\"{}\"", rec.event.kind())));
+    }
+}
+
+/// A scripted three-way timeline: with fetching enabled, a moderately
+/// busy server plus a large-result EWMA routes **Fetch** (entering the
+/// regime emits one `FetchTransition`), busy heartbeats still escalate
+/// the Algorithm 1 band whose drain routes **Offload** (the band
+/// outranks the fetch regime), the drained band falls back to Fetch,
+/// and a calm heartbeat below the utilization floor exits the regime
+/// (one closing `FetchTransition`) and routes **Fast**.
+#[test]
+fn scripted_three_way_timeline_orders_offload_over_fetch_over_fast() {
+    let params = AdaptiveParams::three_way();
+    let sim = Sim::new();
+    let (routes, events) = sim.run_until(async move {
+        let log = AdaptiveEventLog::new();
+        let mut s = AdaptiveState::new(params, 7);
+        s.set_event_log(log.for_client(1));
+        s.set_item_bytes(40);
+        let mut routes = Vec::new();
+        // Past the randomized consumption phase; grow the response EWMA
+        // well above the fetch threshold before any heartbeat arrives.
+        sleep(SimDuration::from_millis(15)).await;
+        for _ in 0..6 {
+            s.note_response_items(1024);
+        }
+        // Moderately busy: above the fetch floor, below the busy
+        // threshold — the fetch regime engages without band escalation.
+        sleep(SimDuration::from_millis(11)).await;
+        s.note_heartbeat(0.7);
+        routes.push(s.decide_route());
+        // Two saturated heartbeats: the second guarantees r_busy = 2 and
+        // an r_off draw of at least N, so the band drains as Offload.
+        for _ in 0..2 {
+            sleep(SimDuration::from_millis(11)).await;
+            s.note_heartbeat(1.0);
+            routes.push(s.decide_route());
+        }
+        // Drain the band dry (no fresh heartbeats): Offload until r_off
+        // hits zero, then the still-active fetch regime takes over.
+        for _ in 0..24 {
+            routes.push(s.decide_route());
+        }
+        // Calm heartbeat below the utilization floor: regime exits.
+        sleep(SimDuration::from_millis(11)).await;
+        s.note_heartbeat(0.2);
+        routes.push(s.decide_route());
+        (routes, log.snapshot())
+    });
+
+    assert_eq!(
+        routes[0],
+        RouteChoice::Fetch,
+        "busy-but-not-saturated server with large results fetches"
+    );
+    assert_eq!(
+        routes[2],
+        RouteChoice::Offload,
+        "the second saturated heartbeat forces a non-empty band"
+    );
+    let offloads = routes
+        .iter()
+        .filter(|r| **r == RouteChoice::Offload)
+        .count();
+    assert!(
+        offloads >= 8,
+        "r_busy = 2 draws r_off >= 8, all drained as Offload (got {offloads})"
+    );
+    assert_eq!(
+        *routes.iter().rev().nth(1).unwrap(),
+        RouteChoice::Fetch,
+        "the drained band falls back to the fetch regime"
+    );
+    assert_eq!(
+        *routes.last().unwrap(),
+        RouteChoice::Fast,
+        "a calm server routes fast messaging again"
+    );
+    assert!(
+        !routes.contains(&RouteChoice::Fast)
+            || routes.iter().position(|r| *r == RouteChoice::Fast) == Some(routes.len() - 1),
+        "fast messaging only after the calm heartbeat"
+    );
+
+    // The regime was entered exactly once and exited exactly once, in
+    // that order, with the entering edge carrying an EWMA above the
+    // threshold it crossed.
+    let transitions: Vec<_> = events
+        .iter()
+        .filter_map(|rec| match rec.event {
+            AdaptiveEvent::FetchTransition {
+                entering,
+                ewma_items,
+                threshold_items,
+            } => Some((entering, ewma_items, threshold_items)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(transitions.len(), 2, "one entering edge, one exit edge");
+    assert!(transitions[0].0 && !transitions[1].0);
+    assert!(transitions[0].1 >= transitions[0].2);
+    for rec in &events {
+        let line = rec.to_json();
         assert!(line.contains(&format!("\"event\":\"{}\"", rec.event.kind())));
     }
 }

@@ -8,7 +8,7 @@ use std::fmt::Debug;
 use catfish_core::conn::{establish, RkeyAllocator};
 use catfish_core::kv::{KvMessage, KvWire};
 use catfish_core::msg::{Message, RtreeWire};
-use catfish_core::service::WireCodec;
+use catfish_core::service::{HeartbeatInfo, WireCodec};
 use catfish_rdma::{Endpoint, RdmaProfile};
 use catfish_rtree::Rect;
 use catfish_simnet::{LinkSpec, Network, Sim, SimDuration};
@@ -34,6 +34,27 @@ fn arb_results() -> impl Strategy<Value = Vec<(Rect, u64)>> {
     prop::collection::vec((arb_rect(), any::<u64>()), 0..50)
 }
 
+fn arb_heartbeat_info() -> impl Strategy<Value = HeartbeatInfo> {
+    (
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(util_permille, wb_fixed_ns, wb_per_kb_ns, fetch_fixed_ns, fetch_per_kb_ns)| {
+                HeartbeatInfo {
+                    util_permille,
+                    wb_fixed_ns,
+                    wb_per_kb_ns,
+                    fetch_fixed_ns,
+                    fetch_per_kb_ns,
+                }
+            },
+        )
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<u32>(), arb_rect()).prop_map(|(seq, rect)| Message::SearchReq { seq, rect }),
@@ -56,7 +77,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 status,
             }
         }),
-        any::<u16>().prop_map(|util_permille| Message::Heartbeat { util_permille }),
+        arb_heartbeat_info().prop_map(|info| Message::Heartbeat { info }),
     ]
 }
 
@@ -89,7 +110,7 @@ fn arb_kv_message() -> impl Strategy<Value = KvMessage> {
                 status,
             }
         }),
-        any::<u16>().prop_map(|util_permille| KvMessage::Heartbeat { util_permille }),
+        arb_heartbeat_info().prop_map(|info| KvMessage::Heartbeat { info }),
     ]
 }
 

@@ -48,12 +48,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod fault;
+pub mod mailbox;
 mod mr;
 pub mod profile;
 mod qp;
 pub mod tcp;
 
 pub use fault::{FaultConfig, FaultCounters, FaultPlan};
+pub use mailbox::{DepositOutcome, Mailbox, MailboxHandle, MailboxLayout, SlotHeader};
 pub use mr::MemoryRegion;
 pub use profile::NetProfile;
 pub use qp::{Completion, CompletionQueue, Endpoint, QueuePair, RdmaError, RdmaProfile};
