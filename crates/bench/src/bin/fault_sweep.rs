@@ -22,7 +22,7 @@ use catfish_bench::{banner, timed, BenchArgs};
 use catfish_core::client::CatfishClusterClient;
 use catfish_core::config::{AccessMode, AdaptiveParams, ClientConfig, ServerConfig, ServerMode};
 use catfish_core::conn::RkeyAllocator;
-use catfish_core::obs::LatencyHistogram;
+use catfish_core::obs::{Anomaly, FlightDump, LatencyHistogram};
 use catfish_core::server::{CatfishCluster, CatfishServer};
 use catfish_core::CatfishClient;
 use catfish_core::ServiceStats;
@@ -62,6 +62,12 @@ struct CellResult {
     /// Mailbox slot leases still outstanding after the post-run grace
     /// period (every lease must be reclaimed — acked or TTL-swept).
     leaked_slots: usize,
+    /// Every flight-recorder dump fired by any client connection.
+    flight: Vec<FlightDump>,
+    /// CRC failures observed on the *client* side only (the merged
+    /// [`ServiceStats`] also fold in server-side failures, but only
+    /// client-side ones fire a client flight dump).
+    client_crc: u64,
 }
 
 fn unique_rect(op: u64) -> Rect {
@@ -90,143 +96,152 @@ fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResul
     let seed = args.seed;
     let timeout = SimDuration::from_micros(args.timeout_us.unwrap_or(500));
     let max_retries = args.max_retries.unwrap_or(64);
-    let (makespan, hist, stats, injected, lost, duplicated, leaked) = sim.run_until(async move {
-        let net = Network::new();
-        let profile = infiniband_100g();
-        let rkeys = RkeyAllocator::new();
-        // Fast heartbeats so the staleness failsafe (k intervals of
-        // silence) can trip inside a short chaos cell.
-        let hb_interval = SimDuration::from_millis(1);
-        let server = CatfishServer::build(
-            &net,
-            &profile,
-            ServerConfig {
-                cores: 4,
-                mode: ServerMode::EventDriven,
-                heartbeat_interval: hb_interval,
-                ..ServerConfig::default()
-            },
-            RTreeConfig::with_max_entries(88),
-            dataset(size),
-            &rkeys,
-        );
-        let plan = fault.is_active().then(|| FaultPlan::new(fault, seed));
-        if let Some(plan) = &plan {
-            server.endpoint().set_fault_plan(Some(plan.clone()));
-        }
-        server.start_heartbeats();
-        // Virtual-time watchdog: recovery must converge, not crawl.
-        spawn(async {
-            sleep(WATCHDOG).await;
-            panic!("fault_sweep cell wedged: no convergence within {WATCHDOG}");
-        });
-        let started = now();
-        let hist: Rc<RefCell<LatencyHistogram>> = Rc::default();
-        let stats: Rc<RefCell<ServiceStats>> = Rc::default();
-        let lost: Rc<RefCell<Vec<u64>>> = Rc::default();
-        let mut handles = Vec::new();
-        for c in 0..CLIENTS {
-            let ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
-            if let Some(plan) = &plan {
-                ep.set_fault_plan(Some(plan.clone()));
-            }
-            let ch = server.accept(&ep);
-            let mut client = CatfishClient::new(
-                ch,
-                server.remote_handle(),
-                ClientConfig {
-                    mode: if fetch {
-                        AccessMode::Fetching
-                    } else {
-                        AccessMode::Adaptive(AdaptiveParams {
-                            heartbeat_interval: hb_interval,
-                            ..AdaptiveParams::default()
-                        })
-                    },
-                    request_timeout: timeout,
-                    max_retries,
-                    ..ClientConfig::default()
+    let (makespan, hist, stats, injected, lost, duplicated, leaked, flight, client_crc) = sim
+        .run_until(async move {
+            let net = Network::new();
+            let profile = infiniband_100g();
+            let rkeys = RkeyAllocator::new();
+            // Fast heartbeats so the staleness failsafe (k intervals of
+            // silence) can trip inside a short chaos cell.
+            let hb_interval = SimDuration::from_millis(1);
+            let server = CatfishServer::build(
+                &net,
+                &profile,
+                ServerConfig {
+                    cores: 4,
+                    mode: ServerMode::EventDriven,
+                    heartbeat_interval: hb_interval,
+                    ..ServerConfig::default()
                 },
-                seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                RTreeConfig::with_max_entries(88),
+                dataset(size),
+                &rkeys,
             );
-            let hist = Rc::clone(&hist);
-            let stats = Rc::clone(&stats);
-            let lost = Rc::clone(&lost);
-            handles.push(spawn(async move {
-                sleep(SimDuration::from_nanos(13_007 * c as u64)).await;
-                for i in 0..ops as u64 {
-                    let op = (c * ops) as u64 + i;
-                    let id = ID_BASE + op;
-                    let rect = unique_rect(op);
-                    let t0 = now();
-                    if !client.insert(rect, id).await {
-                        lost.borrow_mut().push(id);
-                    }
-                    hist.borrow_mut().record(now() - t0);
-                    // Every few inserts, read back an earlier one through
-                    // the ring so the read path rides the same chaos.
-                    if i % 8 == 7 {
-                        let back = ID_BASE + (c * ops) as u64 + i / 2;
-                        let q = unique_rect((c * ops) as u64 + i / 2);
-                        let got = client.search(&q).await;
-                        assert!(
-                            got.contains(&back),
-                            "cell read-back lost id {back} (client {c}, op {i})"
-                        );
-                    }
-                }
-                stats.borrow_mut().merge(&client.stats());
-            }));
-        }
-        for h in handles {
-            h.await;
-        }
-        let makespan = now() - started;
-        // Slot-leak audit: give every outstanding lease time to be acked
-        // or to age past the TTL, let heartbeat ticks run the reclaimer,
-        // then demand the mailboxes are empty — a crash-restarted or
-        // timed-out fetch must never strand a slot.
-        sleep(ServerConfig::default().mailbox_lease_ttl + hb_interval * 4).await;
-        let leaked = server.mailbox_outstanding();
-        let mut st = stats.borrow().to_owned();
-        {
-            let ss = server.stats();
-            st.dup_drops += ss.dup_drops;
-            st.checksum_failures += ss.checksum_failures;
-            st.resyncs += ss.resyncs;
-        }
-        // Exactly-once audit over every op of every client.
-        let mut lost = lost.borrow().to_owned();
-        let mut duplicated = Vec::new();
-        for op in 0..(CLIENTS * ops) as u64 {
-            let id = ID_BASE + op;
-            let hits = server.with_index(|t| {
-                t.search(&unique_rect(op))
-                    .iter()
-                    .filter(|d| **d == id)
-                    .count()
-            });
-            match hits {
-                0 => lost.push(id),
-                1 => {}
-                _ => duplicated.push(id),
+            let plan = fault.is_active().then(|| FaultPlan::new(fault, seed));
+            if let Some(plan) = &plan {
+                server.endpoint().set_fault_plan(Some(plan.clone()));
             }
-        }
-        lost.sort_unstable();
-        lost.dedup();
-        server.with_index(|t| t.check_invariants()).unwrap();
-        let injected = plan.map(|p| p.counters()).unwrap_or_default();
-        let hist = hist.borrow().to_owned();
-        (
-            makespan,
-            hist,
-            st,
-            injected,
-            lost.len(),
-            duplicated.len(),
-            leaked,
-        )
-    });
+            server.start_heartbeats();
+            // Virtual-time watchdog: recovery must converge, not crawl.
+            spawn(async {
+                sleep(WATCHDOG).await;
+                panic!("fault_sweep cell wedged: no convergence within {WATCHDOG}");
+            });
+            let started = now();
+            let hist: Rc<RefCell<LatencyHistogram>> = Rc::default();
+            let stats: Rc<RefCell<ServiceStats>> = Rc::default();
+            let lost: Rc<RefCell<Vec<u64>>> = Rc::default();
+            let dumps: Rc<RefCell<Vec<FlightDump>>> = Rc::default();
+            let mut handles = Vec::new();
+            for c in 0..CLIENTS {
+                let ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+                if let Some(plan) = &plan {
+                    ep.set_fault_plan(Some(plan.clone()));
+                }
+                let ch = server.accept(&ep);
+                let mut client = CatfishClient::new(
+                    ch,
+                    server.remote_handle(),
+                    ClientConfig {
+                        mode: if fetch {
+                            AccessMode::Fetching
+                        } else {
+                            AccessMode::Adaptive(AdaptiveParams {
+                                heartbeat_interval: hb_interval,
+                                ..AdaptiveParams::default()
+                            })
+                        },
+                        request_timeout: timeout,
+                        max_retries,
+                        ..ClientConfig::default()
+                    },
+                    seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                client.set_flight_ids(c as u32, 0);
+                let hist = Rc::clone(&hist);
+                let stats = Rc::clone(&stats);
+                let lost = Rc::clone(&lost);
+                let dumps = Rc::clone(&dumps);
+                handles.push(spawn(async move {
+                    sleep(SimDuration::from_nanos(13_007 * c as u64)).await;
+                    for i in 0..ops as u64 {
+                        let op = (c * ops) as u64 + i;
+                        let id = ID_BASE + op;
+                        let rect = unique_rect(op);
+                        let t0 = now();
+                        if !client.insert(rect, id).await {
+                            lost.borrow_mut().push(id);
+                        }
+                        hist.borrow_mut().record(now() - t0);
+                        // Every few inserts, read back an earlier one through
+                        // the ring so the read path rides the same chaos.
+                        if i % 8 == 7 {
+                            let back = ID_BASE + (c * ops) as u64 + i / 2;
+                            let q = unique_rect((c * ops) as u64 + i / 2);
+                            let got = client.search(&q).await;
+                            assert!(
+                                got.contains(&back),
+                                "cell read-back lost id {back} (client {c}, op {i})"
+                            );
+                        }
+                    }
+                    stats.borrow_mut().merge(&client.stats());
+                    dumps.borrow_mut().extend(client.flight().dumps());
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            let makespan = now() - started;
+            // Slot-leak audit: give every outstanding lease time to be acked
+            // or to age past the TTL, let heartbeat ticks run the reclaimer,
+            // then demand the mailboxes are empty — a crash-restarted or
+            // timed-out fetch must never strand a slot.
+            sleep(ServerConfig::default().mailbox_lease_ttl + hb_interval * 4).await;
+            let leaked = server.mailbox_outstanding();
+            let mut st = stats.borrow().to_owned();
+            let client_crc = st.checksum_failures;
+            {
+                let ss = server.stats();
+                st.dup_drops += ss.dup_drops;
+                st.checksum_failures += ss.checksum_failures;
+                st.resyncs += ss.resyncs;
+            }
+            // Exactly-once audit over every op of every client.
+            let mut lost = lost.borrow().to_owned();
+            let mut duplicated = Vec::new();
+            for op in 0..(CLIENTS * ops) as u64 {
+                let id = ID_BASE + op;
+                let hits = server.with_index(|t| {
+                    t.search(&unique_rect(op))
+                        .iter()
+                        .filter(|d| **d == id)
+                        .count()
+                });
+                match hits {
+                    0 => lost.push(id),
+                    1 => {}
+                    _ => duplicated.push(id),
+                }
+            }
+            lost.sort_unstable();
+            lost.dedup();
+            server.with_index(|t| t.check_invariants()).unwrap();
+            let injected = plan.map(|p| p.counters()).unwrap_or_default();
+            let hist = hist.borrow().to_owned();
+            let flight = dumps.borrow().to_owned();
+            (
+                makespan,
+                hist,
+                st,
+                injected,
+                lost.len(),
+                duplicated.len(),
+                leaked,
+                flight,
+                client_crc,
+            )
+        });
     CellResult {
         label: cell.label.to_string(),
         fault: cell.fault,
@@ -238,6 +253,8 @@ fn run_cell(cell: &Cell, args: &BenchArgs, size: usize, ops: usize) -> CellResul
         lost,
         duplicated,
         leaked_slots: leaked,
+        flight,
+        client_crc,
     }
 }
 
@@ -261,145 +278,154 @@ fn run_cluster_cell(
     let seed = args.seed;
     let timeout = SimDuration::from_micros(args.timeout_us.unwrap_or(500));
     let max_retries = args.max_retries.unwrap_or(64);
-    let (makespan, hist, stats, injected, lost, duplicated, leaked) = sim.run_until(async move {
-        let net = Network::new();
-        let profile = infiniband_100g();
-        let rkeys = RkeyAllocator::new();
-        let hb_interval = SimDuration::from_millis(1);
-        let cluster = CatfishCluster::build(
-            &net,
-            &profile,
-            ServerConfig {
-                cores: 4,
-                mode: ServerMode::EventDriven,
-                heartbeat_interval: hb_interval,
-                ..ServerConfig::default()
-            },
-            RTreeConfig::with_max_entries(88),
-            dataset(size),
-            shards,
-            &rkeys,
-        );
-        let plan = fault.is_active().then(|| FaultPlan::new(fault, seed));
-        if let Some(plan) = &plan {
-            cluster
-                .shard(0)
-                .endpoint()
-                .set_fault_plan(Some(plan.clone()));
-        }
-        cluster.start_heartbeats();
-        spawn(async {
-            sleep(WATCHDOG).await;
-            panic!("fault_sweep cluster cell wedged: no convergence within {WATCHDOG}");
-        });
-        let started = now();
-        let hist: Rc<RefCell<LatencyHistogram>> = Rc::default();
-        let stats: Rc<RefCell<ServiceStats>> = Rc::default();
-        let lost: Rc<RefCell<Vec<u64>>> = Rc::default();
-        let mut handles = Vec::new();
-        for c in 0..CLIENTS {
-            let mut client = CatfishClusterClient::connect(
-                &cluster,
+    let (makespan, hist, stats, injected, lost, duplicated, leaked, flight, client_crc) = sim
+        .run_until(async move {
+            let net = Network::new();
+            let profile = infiniband_100g();
+            let rkeys = RkeyAllocator::new();
+            let hb_interval = SimDuration::from_millis(1);
+            let cluster = CatfishCluster::build(
                 &net,
                 &profile,
-                ClientConfig {
-                    mode: if fetch {
-                        AccessMode::Fetching
-                    } else {
-                        AccessMode::Adaptive(AdaptiveParams {
-                            heartbeat_interval: hb_interval,
-                            ..AdaptiveParams::default()
-                        })
-                    },
-                    request_timeout: timeout,
-                    max_retries,
-                    ..ClientConfig::default()
+                ServerConfig {
+                    cores: 4,
+                    mode: ServerMode::EventDriven,
+                    heartbeat_interval: hb_interval,
+                    ..ServerConfig::default()
                 },
-                seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                RTreeConfig::with_max_entries(88),
+                dataset(size),
+                shards,
+                &rkeys,
             );
-            let hist = Rc::clone(&hist);
-            let stats = Rc::clone(&stats);
-            let lost = Rc::clone(&lost);
-            handles.push(spawn(async move {
-                sleep(SimDuration::from_nanos(13_007 * c as u64)).await;
-                for i in 0..ops as u64 {
-                    let op = (c * ops) as u64 + i;
-                    let id = ID_BASE + op;
-                    let rect = unique_rect(op);
-                    let t0 = now();
-                    if !client.insert(rect, id).await {
-                        lost.borrow_mut().push(id);
-                    }
-                    hist.borrow_mut().record(now() - t0);
-                    if i % 8 == 7 {
-                        let back = ID_BASE + (c * ops) as u64 + i / 2;
-                        let q = unique_rect((c * ops) as u64 + i / 2);
-                        let got = client.search(&q).await;
-                        assert!(
-                            got.contains(&back),
-                            "cluster read-back lost id {back} (client {c}, op {i})"
-                        );
-                    }
-                }
-                stats.borrow_mut().merge(&client.stats());
-            }));
-        }
-        for h in handles {
-            h.await;
-        }
-        let makespan = now() - started;
-        // Cluster-wide slot-leak audit (same grace period as the
-        // single-server cell, summed over every shard's mailboxes).
-        sleep(ServerConfig::default().mailbox_lease_ttl + hb_interval * 4).await;
-        let leaked: usize = (0..cluster.shards())
-            .map(|s| cluster.shard(s).mailbox_outstanding())
-            .sum();
-        let mut st = stats.borrow().to_owned();
-        {
-            let ss = cluster.stats();
-            st.dup_drops += ss.dup_drops;
-            st.checksum_failures += ss.checksum_failures;
-            st.resyncs += ss.resyncs;
-        }
-        // Exactly-once audit, cluster-wide: sum occurrences over shards.
-        let mut lost = lost.borrow().to_owned();
-        let mut duplicated = Vec::new();
-        for op in 0..(CLIENTS * ops) as u64 {
-            let id = ID_BASE + op;
-            let q = unique_rect(op);
-            let hits: usize = (0..cluster.shards())
-                .map(|s| {
-                    cluster
-                        .shard(s)
-                        .with_index(|t| t.search(&q).iter().filter(|d| **d == id).count())
-                })
-                .sum();
-            match hits {
-                0 => lost.push(id),
-                1 => {}
-                _ => duplicated.push(id),
+            let plan = fault.is_active().then(|| FaultPlan::new(fault, seed));
+            if let Some(plan) = &plan {
+                cluster
+                    .shard(0)
+                    .endpoint()
+                    .set_fault_plan(Some(plan.clone()));
             }
-        }
-        lost.sort_unstable();
-        lost.dedup();
-        for s in 0..cluster.shards() {
-            cluster
-                .shard(s)
-                .with_index(|t| t.check_invariants())
-                .unwrap();
-        }
-        let injected = plan.map(|p| p.counters()).unwrap_or_default();
-        let hist = hist.borrow().to_owned();
-        (
-            makespan,
-            hist,
-            st,
-            injected,
-            lost.len(),
-            duplicated.len(),
-            leaked,
-        )
-    });
+            cluster.start_heartbeats();
+            spawn(async {
+                sleep(WATCHDOG).await;
+                panic!("fault_sweep cluster cell wedged: no convergence within {WATCHDOG}");
+            });
+            let started = now();
+            let hist: Rc<RefCell<LatencyHistogram>> = Rc::default();
+            let stats: Rc<RefCell<ServiceStats>> = Rc::default();
+            let lost: Rc<RefCell<Vec<u64>>> = Rc::default();
+            let dumps: Rc<RefCell<Vec<FlightDump>>> = Rc::default();
+            let mut handles = Vec::new();
+            for c in 0..CLIENTS {
+                let mut client = CatfishClusterClient::connect(
+                    &cluster,
+                    &net,
+                    &profile,
+                    ClientConfig {
+                        mode: if fetch {
+                            AccessMode::Fetching
+                        } else {
+                            AccessMode::Adaptive(AdaptiveParams {
+                                heartbeat_interval: hb_interval,
+                                ..AdaptiveParams::default()
+                            })
+                        },
+                        request_timeout: timeout,
+                        max_retries,
+                        ..ClientConfig::default()
+                    },
+                    seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                client.set_flight_ids(c as u32);
+                let hist = Rc::clone(&hist);
+                let stats = Rc::clone(&stats);
+                let lost = Rc::clone(&lost);
+                let dumps = Rc::clone(&dumps);
+                handles.push(spawn(async move {
+                    sleep(SimDuration::from_nanos(13_007 * c as u64)).await;
+                    for i in 0..ops as u64 {
+                        let op = (c * ops) as u64 + i;
+                        let id = ID_BASE + op;
+                        let rect = unique_rect(op);
+                        let t0 = now();
+                        if !client.insert(rect, id).await {
+                            lost.borrow_mut().push(id);
+                        }
+                        hist.borrow_mut().record(now() - t0);
+                        if i % 8 == 7 {
+                            let back = ID_BASE + (c * ops) as u64 + i / 2;
+                            let q = unique_rect((c * ops) as u64 + i / 2);
+                            let got = client.search(&q).await;
+                            assert!(
+                                got.contains(&back),
+                                "cluster read-back lost id {back} (client {c}, op {i})"
+                            );
+                        }
+                    }
+                    stats.borrow_mut().merge(&client.stats());
+                    dumps.borrow_mut().extend(client.flight_dumps());
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            let makespan = now() - started;
+            // Cluster-wide slot-leak audit (same grace period as the
+            // single-server cell, summed over every shard's mailboxes).
+            sleep(ServerConfig::default().mailbox_lease_ttl + hb_interval * 4).await;
+            let leaked: usize = (0..cluster.shards())
+                .map(|s| cluster.shard(s).mailbox_outstanding())
+                .sum();
+            let mut st = stats.borrow().to_owned();
+            let client_crc = st.checksum_failures;
+            {
+                let ss = cluster.stats();
+                st.dup_drops += ss.dup_drops;
+                st.checksum_failures += ss.checksum_failures;
+                st.resyncs += ss.resyncs;
+            }
+            // Exactly-once audit, cluster-wide: sum occurrences over shards.
+            let mut lost = lost.borrow().to_owned();
+            let mut duplicated = Vec::new();
+            for op in 0..(CLIENTS * ops) as u64 {
+                let id = ID_BASE + op;
+                let q = unique_rect(op);
+                let hits: usize = (0..cluster.shards())
+                    .map(|s| {
+                        cluster
+                            .shard(s)
+                            .with_index(|t| t.search(&q).iter().filter(|d| **d == id).count())
+                    })
+                    .sum();
+                match hits {
+                    0 => lost.push(id),
+                    1 => {}
+                    _ => duplicated.push(id),
+                }
+            }
+            lost.sort_unstable();
+            lost.dedup();
+            for s in 0..cluster.shards() {
+                cluster
+                    .shard(s)
+                    .with_index(|t| t.check_invariants())
+                    .unwrap();
+            }
+            let injected = plan.map(|p| p.counters()).unwrap_or_default();
+            let hist = hist.borrow().to_owned();
+            let flight = dumps.borrow().to_owned();
+            (
+                makespan,
+                hist,
+                st,
+                injected,
+                lost.len(),
+                duplicated.len(),
+                leaked,
+                flight,
+                client_crc,
+            )
+        });
     CellResult {
         label: cell.label.to_string(),
         fault: cell.fault,
@@ -411,7 +437,69 @@ fn run_cluster_cell(
         lost,
         duplicated,
         leaked_slots: leaked,
+        flight,
+        client_crc,
     }
+}
+
+/// Flight-recorder smoke: every client-side timeout and CRC failure must
+/// have produced an annotated dump, and once a connection has warmed up
+/// (its event ring reached 32 entries — the ring never shrinks, so
+/// per-connection history depth is monotone) every later dump must carry
+/// that ≥32-event history. Returns (timeout_dumps, crc_dumps) for the
+/// row and the JSON record.
+fn check_flight(r: &CellResult) -> (u64, u64) {
+    let timeout_dumps = r
+        .flight
+        .iter()
+        .filter(|d| matches!(d.anomaly, Anomaly::Timeout { .. }))
+        .count() as u64;
+    let crc_dumps = r
+        .flight
+        .iter()
+        .filter(|d| d.anomaly == Anomaly::ChecksumFailure)
+        .count() as u64;
+    // stats.flight_dumps counts every fired dump (including any dropped
+    // past the retention cap); the per-anomaly equalities only hold when
+    // nothing was dropped — always the case at sweep scale.
+    if r.stats.flight_dumps == r.flight.len() as u64 {
+        assert_eq!(
+            timeout_dumps, r.stats.timeouts,
+            "{}: {} timeouts but {} timeout flight dumps",
+            r.label, r.stats.timeouts, timeout_dumps
+        );
+        assert_eq!(
+            crc_dumps, r.client_crc,
+            "{}: {} client CRC failures but {} checksum flight dumps",
+            r.label, r.client_crc, crc_dumps
+        );
+    }
+    let mut warm: std::collections::HashMap<(u32, u32), bool> = std::collections::HashMap::new();
+    for d in &r.flight {
+        let w = warm.entry((d.client, d.shard)).or_insert(false);
+        if *w {
+            assert!(
+                d.history.len() >= 32,
+                "{}: dump on warm connection ({}, {}) carries only {} events of history",
+                r.label,
+                d.client,
+                d.shard,
+                d.history.len()
+            );
+        }
+        *w |= d.history.len() >= 32;
+    }
+    // A chaos cell with sustained traffic must produce at least one
+    // deep-history dump — otherwise the ring is being cleared somewhere.
+    if r.stats.timeouts > 16 {
+        assert!(
+            warm.values().any(|&w| w),
+            "{}: {} timeouts yet no flight dump reached 32 events of history",
+            r.label,
+            r.stats.timeouts
+        );
+    }
+    (timeout_dumps, crc_dumps)
 }
 
 fn json_cell(r: &CellResult) -> String {
@@ -427,7 +515,8 @@ fn json_cell(r: &CellResult) -> String {
             "\"injected\":{{\"writes_dropped\":{},\"completions_duplicated\":{},",
             "\"writes_delayed\":{},\"frames_corrupted\":{},\"heartbeats_suppressed\":{},",
             "\"stalls\":{}}},\"fetched_reads\":{},\"fetch_fallbacks\":{},",
-            "\"leaked_slots\":{},\"lost\":{},\"duplicated\":{},\"exactly_once\":{}}}"
+            "\"leaked_slots\":{},\"lost\":{},\"duplicated\":{},\"exactly_once\":{},",
+            "\"flight_dumps\":{},\"timeout_dumps\":{},\"checksum_dumps\":{}}}"
         ),
         r.label,
         r.fault.drop_write,
@@ -459,6 +548,15 @@ fn json_cell(r: &CellResult) -> String {
         r.lost,
         r.duplicated,
         r.lost == 0 && r.duplicated == 0 && r.leaked_slots == 0,
+        r.stats.flight_dumps,
+        r.flight
+            .iter()
+            .filter(|d| matches!(d.anomaly, Anomaly::Timeout { .. }))
+            .count(),
+        r.flight
+            .iter()
+            .filter(|d| d.anomaly == Anomaly::ChecksumFailure)
+            .count(),
     )
 }
 
@@ -591,8 +689,9 @@ fn main() {
             }
         });
         let s = r.hist.summary();
+        let (timeout_dumps, crc_dumps) = check_flight(&r);
         println!(
-            "{:<12} p50 {:>10} p99 {:>10}  timeouts {:>5}  retransmits {:>5}  dup_drops {:>4}  crc {:>4}  resyncs {:>4}  stale_hb {:>3}  fetched {:>5}  lost {} dup {} leaked {}",
+            "{:<12} p50 {:>10} p99 {:>10}  timeouts {:>5}  retransmits {:>5}  dup_drops {:>4}  crc {:>4}  resyncs {:>4}  stale_hb {:>3}  fetched {:>5}  dumps {:>5} (t{} c{})  lost {} dup {} leaked {}",
             r.label,
             s.p50.to_string(),
             s.p99.to_string(),
@@ -603,6 +702,9 @@ fn main() {
             r.stats.resyncs,
             r.stats.stale_heartbeat_windows,
             r.stats.fetched_reads,
+            r.stats.flight_dumps,
+            timeout_dumps,
+            crc_dumps,
             r.lost,
             r.duplicated,
             r.leaked_slots,

@@ -4,10 +4,16 @@
 //! request scales (1e-5 CPU-bound, 1e-2 bandwidth-bound, power law).
 //! Prints one table per scale with both metrics — Fig. 10 is the
 //! throughput column, Fig. 11 the latency column.
+//!
+//! With `--trace-out BASE` the Catfish cells run with distributed request
+//! tracing on and the last one's trace is exported (`BASE.spans.jsonl` +
+//! `BASE.trace.json` — inspect with `trace_tool`). With `--slo SPEC`
+//! every Catfish cell is gated against the declared objectives and the
+//! binary exits nonzero on violation.
 
 use catfish_bench::{banner, paper_tree_config, timed, BenchArgs};
 use catfish_core::config::Scheme;
-use catfish_core::harness::{run_experiment, ExperimentSpec};
+use catfish_core::harness::{run_experiment, ExperimentSpec, RunResult};
 use catfish_rdma::profile;
 use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
 
@@ -35,6 +41,8 @@ fn main() {
         (Scheme::Catfish, profile::infiniband_100g()),
     ];
 
+    let mut slo_ok = true;
+    let mut last_traced: Option<RunResult> = None;
     for (scale_label, scale) in scales {
         println!("\n--- {scale_label} ---");
         for &n in &clients {
@@ -51,11 +59,27 @@ fn main() {
                     ..ExperimentSpec::default()
                 };
                 args.apply_faults(&mut spec);
+                if *scheme == Scheme::Catfish {
+                    args.apply_tracing(&mut spec);
+                }
                 let label = format!("{} n={}", scheme.label(prof), n);
                 let r = timed(&label, || run_experiment(&spec));
                 println!("{}  [{}]", r.row(), r.stats);
+                if *scheme == Scheme::Catfish {
+                    slo_ok &= args.check_slo(&r);
+                    if spec.collect_spans {
+                        last_traced = Some(r);
+                    }
+                }
             }
             println!();
         }
+    }
+    if let Some(r) = &last_traced {
+        args.write_trace(r);
+    }
+    if !slo_ok {
+        eprintln!("SLO violated on a Catfish cell — see burn rates above");
+        std::process::exit(1);
     }
 }

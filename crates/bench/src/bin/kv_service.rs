@@ -32,6 +32,7 @@ fn main() {
         keys, args.requests
     );
     let clients_sweep = args.clients.clone().unwrap_or_else(|| vec![32, 128, 256]);
+    let mut slo_ok = true;
     for clients in clients_sweep {
         println!("--- {clients} clients ---");
         for (label, mode) in [
@@ -45,23 +46,32 @@ fn main() {
             let r = timed(&format!("n={clients} {label}"), || {
                 run_cell(keys as u64, clients, args.requests, mode, args.seed)
             });
+            let summary = r.hist.summary();
             println!(
                 "{:<20} {:>9.1} Kops  mean {:>10}  p99 {:>10}  [fast {} / offload {}]",
-                label, r.0, r.1, r.2, r.3, r.4
+                label, r.kops, summary.mean, summary.p99, r.fast, r.offloaded
             );
+            // The declared objectives gate every cell: a regression in any
+            // transport mode trips CI, not just the adaptive headline.
+            slo_ok &= args.check_slo_parts(&r.hist, r.kops, 0, summary.count as u64);
         }
         println!();
     }
+    if !slo_ok {
+        eprintln!("SLO violated — see burn rates above");
+        std::process::exit(1);
+    }
 }
 
-/// Returns (kops, mean, p99, fast_reads, offloaded_reads).
-fn run_cell(
-    keys: u64,
-    clients: usize,
-    requests: usize,
-    mode: AccessMode,
-    seed: u64,
-) -> (f64, String, String, u64, u64) {
+/// One cell's outcome.
+struct Cell {
+    kops: f64,
+    hist: LatencyHistogram,
+    fast: u64,
+    offloaded: u64,
+}
+
+fn run_cell(keys: u64, clients: usize, requests: usize, mode: AccessMode, seed: u64) -> Cell {
     let sim = Sim::new();
     sim.run_until(async move {
         let net = Network::new();
@@ -127,14 +137,12 @@ fn run_cell(
         }
         let makespan = now() - started;
         let s = stats.borrow();
-        let summary = s.0.summary();
-        let kops = summary.count as f64 / makespan.as_secs_f64() / 1e3;
-        (
+        let kops = s.0.len() as f64 / makespan.as_secs_f64() / 1e3;
+        Cell {
             kops,
-            summary.mean.to_string(),
-            summary.p99.to_string(),
-            s.1,
-            s.2,
-        )
+            hist: s.0.clone(),
+            fast: s.1,
+            offloaded: s.2,
+        }
     })
 }

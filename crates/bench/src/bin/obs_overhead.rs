@@ -6,6 +6,13 @@
 //! site compiles to a no-op and the traced run is byte-for-byte the same
 //! code path — the second half of the tentpole's zero-cost claim.
 //!
+//! A transport matrix then repeats the off/on comparison for distributed
+//! request tracing (`collect_spans`) across every response transport —
+//! fast-messaging write-back under both event-driven and adaptive-spin
+//! servers, mailbox fetching, and offloaded reads — gating each cell at
+//! < 1% simulated-throughput delta: the trace context rides the wire, so
+//! this is the check that carrying it is free on every path.
+//!
 //! Also prints the per-phase latency breakdown from a single-client run
 //! and checks that the request-path phases (ring enqueue, server queue,
 //! dispatch, index execution, response transit) sum to within 5% of the
@@ -13,9 +20,9 @@
 //! merely sampling it.
 
 use catfish_bench::{banner, paper_tree_config, write_metrics, BenchArgs};
-use catfish_core::config::Scheme;
+use catfish_core::config::{AccessMode, ClientConfig, Scheme, ServerMode};
 use catfish_core::harness::{run_experiment, ExperimentSpec, RunResult};
-use catfish_core::{Phase, TraceSink};
+use catfish_core::{Phase, TraceAssembler, TraceSink};
 use catfish_rdma::profile;
 use catfish_workload::{uniform_rects, ScaleDist, TraceSpec};
 use std::time::Instant;
@@ -24,6 +31,9 @@ use std::time::Instant;
 const SIM_DELTA_PCT: f64 = 5.0;
 /// Max tolerated gap between the phase-sum and the end-to-end p50.
 const SUM_DELTA_PCT: f64 = 5.0;
+/// Max tolerated simulated-throughput delta per transport-matrix cell
+/// with distributed request tracing on.
+const SPAN_DELTA_PCT: f64 = 1.0;
 
 fn spec(args: &BenchArgs, scheme: Scheme, clients: usize, spans: bool) -> ExperimentSpec {
     let mut spec = ExperimentSpec {
@@ -40,6 +50,40 @@ fn spec(args: &BenchArgs, scheme: Scheme, clients: usize, spans: bool) -> Experi
     };
     args.apply_faults(&mut spec);
     spec
+}
+
+/// The transport matrix: every way a response can travel, each compared
+/// trace-off vs trace-on.
+fn matrix_cells(args: &BenchArgs, clients: usize) -> Vec<(&'static str, ExperimentSpec)> {
+    let mut cells = Vec::new();
+    for (label, mode, server_mode) in [
+        (
+            "write-back/event",
+            AccessMode::FastMessaging,
+            ServerMode::EventDriven,
+        ),
+        (
+            "write-back/adaptive-spin",
+            AccessMode::FastMessaging,
+            ServerMode::AdaptiveSpin,
+        ),
+        ("fetch/event", AccessMode::Fetching, ServerMode::EventDriven),
+        (
+            "offload/event",
+            AccessMode::Offloading,
+            ServerMode::EventDriven,
+        ),
+    ] {
+        let mut s = spec(args, Scheme::Catfish, clients, false);
+        s.client_config = Some(ClientConfig {
+            mode,
+            multi_issue: matches!(mode, AccessMode::Offloading),
+            ..ClientConfig::default()
+        });
+        s.server_mode = Some(server_mode);
+        cells.push((label, s));
+    }
+    cells
 }
 
 fn timed_run(s: &ExperimentSpec) -> (RunResult, f64) {
@@ -77,6 +121,47 @@ fn main() {
     if !TraceSink::enabled() && !traced.phase_hists.is_empty() {
         eprintln!("FAIL: spans recorded despite the trace feature being compiled out");
         std::process::exit(1);
+    }
+
+    // --- transport matrix: distributed request tracing off vs on ---------
+    println!("\ntransport matrix (distributed tracing, limit ±{SPAN_DELTA_PCT}%):");
+    for (label, base_spec) in matrix_cells(&args, clients) {
+        let mut traced_spec = base_spec.clone();
+        traced_spec.collect_spans = true;
+        let (off, wall_off) = timed_run(&base_spec);
+        let (on, wall_on) = timed_run(&traced_spec);
+        let delta = if off.throughput_kops > 0.0 {
+            (on.throughput_kops / off.throughput_kops - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let asm = TraceAssembler::assemble(&on.spans);
+        println!(
+            "  {label:<26} off {:>9.2} Kops  on {:>9.2} Kops  sim delta {delta:+.3}%  wall {:+.0}%  ({} spans, {} traces, {})",
+            off.throughput_kops,
+            on.throughput_kops,
+            (wall_on / wall_off.max(1e-9) - 1.0) * 100.0,
+            on.spans.len(),
+            asm.len(),
+            if asm.all_connected() { "connected" } else { "DISCONNECTED" },
+        );
+        if delta.abs() > SPAN_DELTA_PCT {
+            eprintln!("FAIL: {label}: tracing changed simulated throughput by {delta:+.3}%");
+            std::process::exit(1);
+        }
+        if TraceSink::enabled() {
+            if on.spans.is_empty() {
+                eprintln!("FAIL: {label}: no spans recorded with tracing on");
+                std::process::exit(1);
+            }
+            if !asm.all_connected() {
+                eprintln!("FAIL: {label}: assembled traces are not all connected");
+                std::process::exit(1);
+            }
+        } else if !on.spans.is_empty() {
+            eprintln!("FAIL: {label}: spans recorded despite the trace feature being compiled out");
+            std::process::exit(1);
+        }
     }
 
     // --- breakdown: one client, fast messaging only ----------------------

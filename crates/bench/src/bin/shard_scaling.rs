@@ -93,6 +93,30 @@ fn run_cell(
     }
 }
 
+/// One line per shard with its transport split (fast write-back /
+/// mailbox-fetched / offloaded responses) and doorbell merge count —
+/// the per-shard view the aggregated `row()` hides (a hot shard
+/// offloading is invisible in cluster-wide mode totals).
+fn per_shard_modes(r: &RunResult) -> String {
+    let mut out = String::from("  modes/shard [");
+    for (i, s) in r.per_shard_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!(
+            "{}:{}/{}/{}({})m{}",
+            i,
+            s.fast_reads,
+            s.fetched_reads,
+            s.offloaded_reads,
+            s.dominant_transport(),
+            s.merged_writes
+        ));
+    }
+    out.push(']');
+    out
+}
+
 fn json_cell(c: &CellOut) -> String {
     let r = &c.result;
     let fracs: Vec<String> = r
@@ -100,11 +124,20 @@ fn json_cell(c: &CellOut) -> String {
         .iter()
         .map(|s| format!("{:.4}", s.offload_fraction()))
         .collect();
+    let per_shard = |f: &dyn Fn(&catfish_core::ServiceStats) -> u64| -> String {
+        r.per_shard_stats
+            .iter()
+            .map(|s| f(s).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     format!(
         concat!(
             "{{\"load\":\"{}\",\"clients_total\":{},\"shards\":{},\"kops\":{:.3},",
             "\"mean_us\":{:.3},\"p99_us\":{:.3},\"cpu\":{:.4},\"bw_gbps\":{:.3},",
-            "\"offload_fraction_per_shard\":[{}],\"offload_routes_per_shard\":{:?}}}"
+            "\"offload_fraction_per_shard\":[{}],\"offload_routes_per_shard\":{:?},",
+            "\"fast_reads_per_shard\":[{}],\"fetched_reads_per_shard\":[{}],",
+            "\"offloaded_reads_per_shard\":[{}],\"merged_writes_per_shard\":[{}]}}"
         ),
         if c.hotspot { "hotspot" } else { "uniform" },
         r.clients,
@@ -116,6 +149,10 @@ fn json_cell(c: &CellOut) -> String {
         r.server_bw_gbps,
         fracs.join(","),
         c.offload_routes,
+        per_shard(&|s| s.fast_reads),
+        per_shard(&|s| s.fetched_reads),
+        per_shard(&|s| s.offloaded_reads),
+        per_shard(&|s| s.merged_writes),
     )
 }
 
@@ -151,6 +188,9 @@ fn main() {
                 let label = format!("{load} c{cps}/shard s{shards}");
                 let cell = timed(&label, || run_cell(&args, size, requests, cps, shards, hot));
                 println!("{}", cell.result.row());
+                if cell.result.shards > 1 {
+                    println!("{}", per_shard_modes(&cell.result));
+                }
                 cells.push(cell);
             }
         }

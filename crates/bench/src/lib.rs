@@ -50,6 +50,15 @@ pub struct BenchArgs {
     /// Shard counts to sweep (`--shards a,b,c`; None = binary default,
     /// usually 1 = the classic single server).
     pub shards: Option<Vec<usize>>,
+    /// Base path for distributed-trace exports (`--trace-out`): the binary
+    /// enables span collection and writes `<base>.spans.jsonl` (one span
+    /// record per line) and `<base>.trace.json` (Chrome `trace_event`
+    /// format, loadable in `chrome://tracing` / Perfetto).
+    pub trace_out: Option<String>,
+    /// Declared service-level objectives (`--slo`, e.g.
+    /// `p99=500us,kops=50,budget=0.01`). Binaries that support the gate
+    /// evaluate the run against the spec and exit nonzero on violation.
+    pub slo: Option<catfish_core::obs::SloSpec>,
 }
 
 impl Default for BenchArgs {
@@ -67,6 +76,8 @@ impl Default for BenchArgs {
             timeout_us: None,
             max_retries: None,
             shards: None,
+            trace_out: None,
+            slo: None,
         }
     }
 }
@@ -97,6 +108,18 @@ impl BenchArgs {
                 "--metrics-out" => {
                     out.metrics_out = Some(args.next().expect("--metrics-out needs a base path"));
                 }
+                "--trace-out" => {
+                    out.trace_out = Some(args.next().expect("--trace-out needs a base path"));
+                }
+                "--slo" => {
+                    let v = args
+                        .next()
+                        .expect("--slo needs a spec like p99=500us,kops=50");
+                    out.slo = Some(
+                        catfish_core::obs::SloSpec::parse(&v)
+                            .unwrap_or_else(|e| panic!("--slo: {e}")),
+                    );
+                }
                 "--loss" => out.loss = next_prob(&mut args, "--loss"),
                 "--stall" => out.stall = next_prob(&mut args, "--stall"),
                 "--hb-drop" => out.hb_drop = next_prob(&mut args, "--hb-drop"),
@@ -119,7 +142,8 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --size N --requests N --clients a,b,c --shards a,b,c --seed N --paper --metrics-out BASE \
-                         --loss P --stall P --hb-drop P --timeout USEC --max-retries N  (defaults: 1M rects, 1000 req/client, 1 shard, faults off)"
+                         --trace-out BASE --slo SPEC --loss P --stall P --hb-drop P --timeout USEC --max-retries N  \
+                         (defaults: 1M rects, 1000 req/client, 1 shard, faults off)"
                     );
                     std::process::exit(0);
                 }
@@ -148,6 +172,82 @@ fn next_prob(args: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
 }
 
 impl BenchArgs {
+    /// Enables span collection on `spec` when `--trace-out` was given.
+    /// Call alongside [`BenchArgs::apply_faults`]; with the flag unset
+    /// this is a no-op.
+    pub fn apply_tracing(&self, spec: &mut catfish_core::harness::ExperimentSpec) {
+        if self.trace_out.is_some() {
+            spec.collect_spans = true;
+        }
+    }
+
+    /// Writes the run's distributed trace to `<base>.spans.jsonl` and
+    /// `<base>.trace.json` when `--trace-out` was given, printing the
+    /// paths and the assembly's connectivity (export failures never fail
+    /// a benchmark). No-op without the flag.
+    pub fn write_trace(&self, result: &catfish_core::harness::RunResult) {
+        let Some(base) = &self.trace_out else {
+            return;
+        };
+        let asm = catfish_core::obs::TraceAssembler::assemble(&result.spans);
+        let mut jsonl = String::new();
+        for s in &result.spans {
+            jsonl.push_str(&s.to_json());
+            jsonl.push('\n');
+        }
+        let spans_path = format!("{base}.spans.jsonl");
+        let chrome_path = format!("{base}.trace.json");
+        match std::fs::write(&spans_path, jsonl)
+            .and_then(|()| std::fs::write(&chrome_path, asm.to_chrome_json()))
+        {
+            Ok(()) => println!(
+                "[trace] wrote {spans_path} and {chrome_path} ({} spans, {} traces, {})",
+                result.spans.len(),
+                asm.len(),
+                if asm.all_connected() {
+                    "all connected".to_string()
+                } else {
+                    format!("{} DISCONNECTED", asm.disconnected().len())
+                }
+            ),
+            Err(e) => eprintln!("[trace] write failed for base {base}: {e}"),
+        }
+    }
+
+    /// Evaluates the run against `--slo` (when given), printing the
+    /// per-objective burn rates. Returns `false` on violation — callers
+    /// exit nonzero so CI can gate on declared objectives. Requests that
+    /// expired at least one attempt (timeouts) count against the error
+    /// budget.
+    pub fn check_slo(&self, result: &catfish_core::harness::RunResult) -> bool {
+        self.check_slo_parts(
+            &result.hist,
+            result.throughput_kops,
+            result.stats.timeouts,
+            result.completed_requests as u64,
+        )
+    }
+
+    /// Like [`BenchArgs::check_slo`] for binaries that measure outside the
+    /// harness: evaluate a raw latency histogram, throughput, and error
+    /// count against `--slo`.
+    pub fn check_slo_parts(
+        &self,
+        hist: &catfish_core::LatencyHistogram,
+        kops: f64,
+        errors: u64,
+        requests: u64,
+    ) -> bool {
+        let Some(spec) = &self.slo else {
+            return true;
+        };
+        let report = spec.evaluate(hist, kops, errors, requests);
+        for line in report.to_string().lines() {
+            println!("[slo] {line}");
+        }
+        report.ok()
+    }
+
     /// Applies the fault-injection and retry knobs to `spec`. With all
     /// knobs at their defaults this is a no-op, so every figure binary can
     /// call it unconditionally and stay byte-identical to a knob-free run.

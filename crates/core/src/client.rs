@@ -97,9 +97,13 @@ impl ServiceClient<RtreeBackend> {
     /// order, served by the server through fast messaging.
     pub async fn nearest(&mut self, x: f64, y: f64, k: u32) -> Vec<(Rect, u64)> {
         self.drain_pending();
-        self.fast_request(|seq| Message::NearestReq { seq, x, y, k })
+        let opened = self.op_begin();
+        let out = self
+            .fast_request(|seq| Message::NearestReq { seq, x, y, k })
             .await
-            .1
+            .1;
+        self.op_end(opened);
+        out
     }
 
     /// Offloaded kNN: best-first search executed entirely with one-sided
@@ -110,9 +114,19 @@ impl ServiceClient<RtreeBackend> {
     /// inconsistencies.
     pub async fn nearest_offloaded(&mut self, x: f64, y: f64, k: u32) -> Vec<(Rect, u64)> {
         self.drain_pending();
+        let opened = self.op_begin();
+        let off_start = if opened {
+            Some(self.span.now_ns())
+        } else {
+            None
+        };
         for _ in 0..8 {
             match self.nearest_attempt(x, y, k).await {
-                Ok(out) => return out,
+                Ok(out) => {
+                    self.end_offload_span(off_start);
+                    self.op_end(opened);
+                    return out;
+                }
                 Err(Inconsistent) => {
                     self.stats.offload_restarts += 1;
                     self.meta_cache = None;
@@ -120,7 +134,12 @@ impl ServiceClient<RtreeBackend> {
                 }
             }
         }
-        self.nearest(x, y, k).await
+        // Fall back to the server path; its request still carries this
+        // op's context, so the server spans land in the same tree.
+        self.end_offload_span(off_start);
+        let out = self.nearest(x, y, k).await;
+        self.op_end(opened);
+        out
     }
 
     async fn nearest_attempt(
@@ -221,12 +240,16 @@ impl ClusterClient<RtreeBackend> {
             1 => self.shards[targets[0]].borrow_mut().search(rect).await,
             _ => {
                 let rect = *rect;
+                let root = self.begin_scatter_root(&targets);
                 let parts = self
                     .scatter(&targets, move |shard| {
                         Box::pin(async move { shard.borrow_mut().search(&rect).await })
                     })
                     .await;
-                parts.into_iter().flatten().collect()
+                let merge_start = self.span.now_ns();
+                let out = parts.into_iter().flatten().collect();
+                self.end_scatter_root(root, merge_start);
+                out
             }
         }
     }
@@ -256,14 +279,17 @@ impl ClusterClient<RtreeBackend> {
         if targets.is_empty() {
             return Vec::new();
         }
+        let root = self.begin_scatter_root(&targets);
         let parts = self
             .scatter(&targets, move |shard| {
                 Box::pin(async move { shard.borrow_mut().nearest(x, y, k).await })
             })
             .await;
+        let merge_start = self.span.now_ns();
         let mut all: Vec<(Rect, u64)> = parts.into_iter().flatten().collect();
         all.sort_by_key(|(r, d)| (min_dist_sq(r, x, y).to_bits(), *d));
         all.truncate(k as usize);
+        self.end_scatter_root(root, merge_start);
         all
     }
 }

@@ -21,7 +21,8 @@ use crate::config::{AccessMode, AdaptiveParams, ClientConfig, Scheme, ServerConf
 use crate::conn::RkeyAllocator;
 use crate::msg::Message;
 use crate::obs::{
-    AdaptiveEventLog, AdaptiveEventRecord, LatencyHistogram, MetricsRegistry, Phase, TraceSink,
+    AdaptiveEventLog, AdaptiveEventRecord, FlightDump, LatencyHistogram, MetricsRegistry, Phase,
+    SpanLog, SpanRecord, TraceSink, SERVER_NODE_BASE,
 };
 use crate::server::{CatfishCluster, CatfishServer};
 use crate::stats::{LatencySummary, ServiceStats};
@@ -73,6 +74,15 @@ pub struct ExperimentSpec {
     /// [`RunResult::adaptive_events`] (heartbeat consumed, band
     /// escalated/reset, route chosen, with sim timestamps).
     pub collect_adaptive_events: bool,
+    /// Attach one shared distributed-trace [`SpanLog`] to every client and
+    /// every shard server, populating [`RunResult::spans`] with the
+    /// causally-linked records (request roots, per-shard RPC legs, server
+    /// dispatch/index-exec spans, merges) that
+    /// [`crate::obs::TraceAssembler`] stitches into per-request trees.
+    /// Spans observe virtual time without advancing it, so enabling this
+    /// cannot change a run's outcome. No-op (empty spans) when the `trace`
+    /// cargo feature is disabled.
+    pub collect_spans: bool,
     /// Fault-injection configuration. When set, one [`FaultPlan`] seeded
     /// from [`ExperimentSpec::seed`] is attached to the server endpoint
     /// and every client NIC, so the whole cluster draws faults from a
@@ -117,6 +127,7 @@ impl Default for ExperimentSpec {
             client_polling_cores: None,
             collect_phase_spans: false,
             collect_adaptive_events: false,
+            collect_spans: false,
             fault: None,
             request_timeout: None,
             max_retries: None,
@@ -175,6 +186,14 @@ pub struct RunResult {
     /// Timeline of adaptive (Algorithm 1) decision events. Populated when
     /// [`ExperimentSpec::collect_adaptive_events`] is set.
     pub adaptive_events: Vec<AdaptiveEventRecord>,
+    /// Distributed-trace span records across every node in the run.
+    /// Populated when [`ExperimentSpec::collect_spans`] is set and the
+    /// `trace` feature is compiled in; empty otherwise.
+    pub spans: Vec<SpanRecord>,
+    /// Flight-recorder anomaly dumps from every client connection, in
+    /// completion order. Always collected — the recorder itself is
+    /// always on — and empty on anomaly-free runs.
+    pub flight_dumps: Vec<FlightDump>,
 }
 
 /// One sample of the server's resource state during a run.
@@ -342,6 +361,11 @@ impl RunResult {
             "Fresh-to-stale heartbeat transitions (failsafe engagements).",
             self.stats.stale_heartbeat_windows,
         )
+        .counter(
+            "catfish_flight_dumps_total",
+            "Flight-recorder anomaly dumps captured across connections.",
+            self.stats.flight_dumps,
+        )
         .gauge(
             "catfish_throughput_kops",
             "Completed requests per virtual second, kilo-ops.",
@@ -422,6 +446,8 @@ struct ClientOutcome {
     stats: ServiceStats,
     /// Per-shard-connection counters (cluster runs only).
     per_shard: Vec<ServiceStats>,
+    /// This client's flight-recorder anomaly dumps (all connections).
+    flight_dumps: Vec<FlightDump>,
 }
 
 async fn run_inner(spec: ExperimentSpec) -> RunResult {
@@ -465,6 +491,12 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
         server.set_trace(sink.clone());
     }
     let event_log = spec.collect_adaptive_events.then(AdaptiveEventLog::new);
+    // One shared span log: the server and every client stamp into the same
+    // id space, so cross-node parent links resolve at assembly time.
+    let span_log = spec.collect_spans.then(SpanLog::new);
+    if let Some(log) = &span_log {
+        server.set_span_log(log.for_node(SERVER_NODE_BASE));
+    }
 
     // Client machines share NICs.
     let node_count = spec.client_nodes.max(1).min(spec.clients.max(1));
@@ -542,6 +574,10 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
                 if let Some(log) = &event_log {
                     client.set_adaptive_event_log(log.for_client(client_id as u32));
                 }
+                if let Some(log) = &span_log {
+                    client.set_span_log(log.for_node(client_id as u32));
+                }
+                client.set_flight_ids(client_id as u32, 0);
                 handles.push(spawn(async move {
                     sleep(stagger).await;
                     let outcome = rdma_client_task(&mut client, trace).await;
@@ -590,12 +626,14 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
     let mut search = LatencyHistogram::new();
     let mut write = LatencyHistogram::new();
     let mut stats = ServiceStats::default();
+    let mut flight_dumps = Vec::new();
     for o in outcomes {
         all.merge(&o.search);
         all.merge(&o.write);
         search.merge(&o.search);
         write.merge(&o.write);
         stats.merge(&o.stats);
+        flight_dumps.extend(o.flight_dumps);
     }
     // Robustness counters that live server-side (duplicate suppression,
     // request-ring integrity) join the client-merged snapshot so one
@@ -646,6 +684,8 @@ async fn run_inner(spec: ExperimentSpec) -> RunResult {
             })
             .unwrap_or_default(),
         adaptive_events: event_log.map(|log| log.snapshot()).unwrap_or_default(),
+        spans: span_log.map(|log| log.snapshot()).unwrap_or_default(),
+        flight_dumps,
     }
 }
 
@@ -708,6 +748,10 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         }
     }
     let event_log = spec.collect_adaptive_events.then(AdaptiveEventLog::new);
+    let span_log = spec.collect_spans.then(SpanLog::new);
+    if let Some(log) = &span_log {
+        cluster.set_span_log(log);
+    }
 
     let node_count = spec.client_nodes.max(1).min(spec.clients.max(1));
     let rdma_eps: Vec<Endpoint> = (0..node_count)
@@ -766,6 +810,10 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         if let Some(log) = &event_log {
             client.set_adaptive_event_log(&log.for_client(client_id as u32));
         }
+        if let Some(log) = &span_log {
+            client.set_span_log(log.for_node(client_id as u32));
+        }
+        client.set_flight_ids(client_id as u32);
         handles.push(spawn(async move {
             sleep(stagger).await;
             let outcome = cluster_client_task(&mut client, trace).await;
@@ -834,6 +882,7 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
     let mut write = LatencyHistogram::new();
     let mut stats = ServiceStats::default();
     let mut per_shard_stats = vec![ServiceStats::default(); spec.shards];
+    let mut flight_dumps = Vec::new();
     for o in outcomes {
         all.merge(&o.search);
         all.merge(&o.write);
@@ -843,6 +892,7 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         for (i, s) in o.per_shard.iter().enumerate() {
             per_shard_stats[i].merge(s);
         }
+        flight_dumps.extend(o.flight_dumps);
     }
     // Server-side robustness counters fold in per shard (so a single-shard
     // fault audit can attribute them) and into the aggregate.
@@ -897,6 +947,8 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
             })
             .unwrap_or_default(),
         adaptive_events: event_log.map(|log| log.snapshot()).unwrap_or_default(),
+        spans: span_log.map(|log| log.snapshot()).unwrap_or_default(),
+        flight_dumps,
     }
 }
 
@@ -924,6 +976,7 @@ async fn cluster_client_task(
     }
     outcome.stats = client.stats();
     outcome.per_shard = client.stats_per_shard();
+    outcome.flight_dumps = client.flight_dumps();
     outcome
 }
 
@@ -947,6 +1000,7 @@ async fn rdma_client_task(client: &mut CatfishClient, trace: Vec<Request>) -> Cl
         }
     }
     outcome.stats = client.stats();
+    outcome.flight_dumps = client.flight().dumps();
     outcome
 }
 

@@ -18,6 +18,7 @@ use catfish_simnet::SimDuration;
 
 use crate::config::CostModel;
 use crate::msg::MsgError;
+use crate::obs::{TraceContext, TRACE_CTX_WIRE_BYTES};
 use crate::service::{
     ClientBackend, ClusterClient, ClusterServer, Execution, HeartbeatInfo, Incoming, Inconsistent,
     IndexBackend, OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition,
@@ -37,6 +38,7 @@ const TAG_RESP_CONT: u8 = 36;
 const TAG_RESP_END: u8 = 37;
 const TAG_HEARTBEAT: u8 = 38;
 const TAG_BATCH: u8 = 39;
+const TAG_TRACED: u8 = 40;
 
 /// A key-value service message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +101,16 @@ pub enum KvMessage {
     /// Several messages coalesced into one doorbell-batched frame.
     /// Batches must not nest.
     Batch(Vec<KvMessage>),
+    /// A request wrapped in a distributed-tracing envelope (17 bytes of
+    /// [`TraceContext`] ahead of the unchanged inner encoding). Envelopes
+    /// wrap single requests only: a batch may contain traced requests,
+    /// but an envelope must not wrap a batch or another envelope.
+    Traced {
+        /// The wire-propagated trace context.
+        ctx: TraceContext,
+        /// The request being carried.
+        inner: Box<KvMessage>,
+    },
 }
 
 impl KvMessage {
@@ -171,6 +183,15 @@ impl KvMessage {
                     out.extend_from_slice(&(inner.len() as u32).to_le_bytes());
                     out.extend_from_slice(&inner);
                 }
+            }
+            KvMessage::Traced { ctx, inner } => {
+                debug_assert!(
+                    !matches!(**inner, KvMessage::Batch(_) | KvMessage::Traced { .. }),
+                    "trace envelopes wrap single requests only"
+                );
+                out.push(TAG_TRACED);
+                ctx.encode_into(&mut out);
+                out.extend_from_slice(&inner.encode());
             }
         }
         out
@@ -280,6 +301,17 @@ impl KvMessage {
                 }
                 Ok(KvMessage::Batch(msgs))
             }
+            TAG_TRACED => {
+                let ctx = TraceContext::decode(rest).ok_or(MsgError::Truncated)?;
+                let inner = KvMessage::decode(&rest[TRACE_CTX_WIRE_BYTES..])?;
+                if matches!(inner, KvMessage::Batch(_) | KvMessage::Traced { .. }) {
+                    return Err(MsgError::NestedTrace);
+                }
+                Ok(KvMessage::Traced {
+                    ctx,
+                    inner: Box::new(inner),
+                })
+            }
             other => Err(MsgError::UnknownTag(other)),
         }
     }
@@ -327,6 +359,20 @@ impl WireCodec for KvWire {
         KvMessage::Batch(msgs)
     }
 
+    fn traced(ctx: TraceContext, inner: KvMessage) -> KvMessage {
+        KvMessage::Traced {
+            ctx,
+            inner: Box::new(inner),
+        }
+    }
+
+    fn take_trace(msg: KvMessage) -> (Option<TraceContext>, KvMessage) {
+        match msg {
+            KvMessage::Traced { ctx, inner } => (Some(ctx), *inner),
+            other => (None, other),
+        }
+    }
+
     fn classify(msg: KvMessage) -> Incoming<Self> {
         match msg {
             KvMessage::Heartbeat { info } => Incoming::Heartbeat(info),
@@ -354,6 +400,7 @@ impl WireCodec for KvWire {
             KvMessage::RangeReq { seq, .. } => Some((*seq, OpKind::Read)),
             KvMessage::PutReq { seq, .. } => Some((*seq, OpKind::Write)),
             KvMessage::RemoveReq { seq, .. } => Some((*seq, OpKind::Remove)),
+            KvMessage::Traced { inner, .. } => Self::request_meta(inner),
             _ => None,
         }
     }
@@ -426,13 +473,16 @@ impl ClusterClient<KvBackend> {
     /// merge-sort the partials by key.
     pub async fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         let targets: Vec<usize> = (0..self.shards.len()).collect();
+        let root = self.begin_scatter_root(&targets);
         let parts = self
             .scatter(&targets, move |shard| {
                 Box::pin(async move { shard.borrow_mut().range(lo, hi).await })
             })
             .await;
+        let merge_start = self.span.now_ns();
         let mut all: Vec<(u64, u64)> = parts.into_iter().flatten().collect();
         all.sort_unstable();
+        self.end_scatter_root(root, merge_start);
         all
     }
 }
@@ -528,11 +578,13 @@ impl IndexBackend for KvBackend {
                 })
             }
             // Responses/heartbeats never arrive at the server; batches are
-            // unrolled by the generic server before execute.
+            // unrolled and trace envelopes stripped by the generic server
+            // before execute.
             KvMessage::RespCont { .. }
             | KvMessage::RespEnd { .. }
             | KvMessage::Heartbeat { .. }
-            | KvMessage::Batch(_) => None,
+            | KvMessage::Batch(_)
+            | KvMessage::Traced { .. } => None,
         }
     }
 }
@@ -647,7 +699,10 @@ impl ServiceClient<KvBackend> {
     pub async fn range(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         self.drain_pending();
         self.stats.fast_reads += 1;
-        self.fast_read(&KvRead::Range { lo, hi }).await
+        let opened = self.op_begin();
+        let out = self.fast_read(&KvRead::Range { lo, hi }).await;
+        self.op_end(opened);
+        out
     }
 
     /// All pairs with `lo <= key <= hi`, gathered entirely with one-sided
@@ -656,7 +711,10 @@ impl ServiceClient<KvBackend> {
     pub async fn range_offloaded(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         self.drain_pending();
         self.stats.offloaded_reads += 1;
-        self.offload_read(&KvRead::Range { lo, hi }).await
+        let opened = self.op_begin();
+        let out = self.offload_read(&KvRead::Range { lo, hi }).await;
+        self.op_end(opened);
+        out
     }
 }
 

@@ -9,6 +9,7 @@ use std::fmt;
 
 use catfish_rtree::Rect;
 
+use crate::obs::{TraceContext, TRACE_CTX_WIRE_BYTES};
 use crate::service::{HeartbeatInfo, Incoming, WireCodec};
 
 const TAG_SEARCH: u8 = 1;
@@ -19,6 +20,7 @@ const TAG_RESP_END: u8 = 5;
 const TAG_HEARTBEAT: u8 = 6;
 const TAG_NEAREST: u8 = 7;
 const TAG_BATCH: u8 = 8;
+const TAG_TRACED: u8 = 9;
 
 /// A typed ring-buffer message.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +93,17 @@ pub enum Message {
     /// ring write, one completion, one wakeup for the whole group.
     /// Batches must not nest.
     Batch(Vec<Message>),
+    /// A request wrapped in a distributed-tracing envelope: 17 bytes of
+    /// [`TraceContext`] ahead of the unchanged inner encoding, so the
+    /// server can link its spans to the issuing client span. Envelopes
+    /// wrap single requests only — a batch may *contain* traced requests,
+    /// but an envelope must not wrap a batch or another envelope.
+    Traced {
+        /// The wire-propagated trace context.
+        ctx: TraceContext,
+        /// The request being carried.
+        inner: Box<Message>,
+    },
 }
 
 /// Errors from decoding a ring message.
@@ -104,6 +117,8 @@ pub enum MsgError {
     BadRect,
     /// A batch frame contained another batch frame.
     NestedBatch,
+    /// A trace envelope wrapped a batch or another trace envelope.
+    NestedTrace,
 }
 
 impl fmt::Display for MsgError {
@@ -113,6 +128,9 @@ impl fmt::Display for MsgError {
             MsgError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
             MsgError::BadRect => write!(f, "invalid rectangle in message"),
             MsgError::NestedBatch => write!(f, "batch frame nested inside a batch frame"),
+            MsgError::NestedTrace => {
+                write!(f, "trace envelope wrapping a batch or another envelope")
+            }
         }
     }
 }
@@ -211,6 +229,15 @@ impl Message {
                     out.extend_from_slice(&inner);
                 }
             }
+            Message::Traced { ctx, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Message::Batch(_) | Message::Traced { .. }),
+                    "trace envelopes wrap single requests only"
+                );
+                out.push(TAG_TRACED);
+                ctx.encode_into(&mut out);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -225,6 +252,7 @@ impl Message {
             Message::NearestReq { .. } => 1 + 4 + 8 + 8 + 4,
             Message::Heartbeat { .. } => 1 + 2 + 16,
             Message::Batch(msgs) => 1 + 4 + msgs.iter().map(|m| 4 + m.encoded_len()).sum::<usize>(),
+            Message::Traced { inner, .. } => 1 + TRACE_CTX_WIRE_BYTES + inner.encoded_len(),
         }
     }
 
@@ -351,6 +379,17 @@ impl Message {
                 }
                 Ok(Message::Batch(msgs))
             }
+            TAG_TRACED => {
+                let ctx = TraceContext::decode(rest).ok_or(MsgError::Truncated)?;
+                let inner = Message::decode(&rest[TRACE_CTX_WIRE_BYTES..])?;
+                if matches!(inner, Message::Batch(_) | Message::Traced { .. }) {
+                    return Err(MsgError::NestedTrace);
+                }
+                Ok(Message::Traced {
+                    ctx,
+                    inner: Box::new(inner),
+                })
+            }
             other => Err(MsgError::UnknownTag(other)),
         }
     }
@@ -398,6 +437,20 @@ impl WireCodec for RtreeWire {
         Message::Batch(msgs)
     }
 
+    fn traced(ctx: TraceContext, inner: Message) -> Message {
+        Message::Traced {
+            ctx,
+            inner: Box::new(inner),
+        }
+    }
+
+    fn take_trace(msg: Message) -> (Option<TraceContext>, Message) {
+        match msg {
+            Message::Traced { ctx, inner } => (Some(ctx), *inner),
+            other => (None, other),
+        }
+    }
+
     fn classify(msg: Message) -> Incoming<Self> {
         match msg {
             Message::Heartbeat { info } => Incoming::Heartbeat(info),
@@ -426,6 +479,7 @@ impl WireCodec for RtreeWire {
             Message::NearestReq { seq, .. } => Some((*seq, OpKind::Read)),
             Message::InsertReq { seq, .. } => Some((*seq, OpKind::Write)),
             Message::DeleteReq { seq, .. } => Some((*seq, OpKind::Remove)),
+            Message::Traced { inner, .. } => Self::request_meta(inner),
             _ => None,
         }
     }
@@ -502,6 +556,109 @@ mod tests {
         outer.extend_from_slice(&(inner.len() as u32).to_le_bytes());
         outer.extend_from_slice(&inner);
         assert_eq!(Message::decode(&outer), Err(MsgError::NestedBatch));
+    }
+
+    #[test]
+    fn traced_envelope_round_trips_and_sizes_exactly() {
+        let msg = Message::Traced {
+            ctx: TraceContext {
+                trace_id: 77,
+                parent_span: 3,
+                flags: 0b101,
+            },
+            inner: Box::new(Message::SearchReq {
+                seq: 9,
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            }),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        assert_eq!(bytes.len(), 1 + TRACE_CTX_WIRE_BYTES + 1 + 4 + 32);
+        assert_eq!(Message::decode(&bytes), Ok(msg));
+        for cut in 0..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn traced_envelope_must_not_wrap_batch_or_envelope() {
+        // encode() debug-asserts against building these, so forge bytes.
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span: 1,
+            flags: 0,
+        };
+        for inner in [
+            Message::Batch(vec![Message::Heartbeat {
+                info: HeartbeatInfo::util_only(1),
+            }])
+            .encode(),
+            Message::Traced {
+                ctx,
+                inner: Box::new(Message::SearchReq {
+                    seq: 1,
+                    rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+                }),
+            }
+            .encode(),
+        ] {
+            let mut forged = vec![9u8]; // TAG_TRACED
+            ctx.encode_into(&mut forged);
+            forged.extend_from_slice(&inner);
+            assert_eq!(Message::decode(&forged), Err(MsgError::NestedTrace));
+        }
+    }
+
+    #[test]
+    fn batch_may_contain_traced_requests() {
+        let traced = Message::Traced {
+            ctx: TraceContext {
+                trace_id: 5,
+                parent_span: 2,
+                flags: 1,
+            },
+            inner: Box::new(Message::NearestReq {
+                seq: 4,
+                x: 0.5,
+                y: 0.5,
+                k: 3,
+            }),
+        };
+        let batch = Message::Batch(vec![
+            traced.clone(),
+            Message::SearchReq {
+                seq: 5,
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            },
+        ]);
+        let bytes = batch.encode();
+        assert_eq!(bytes.len(), batch.encoded_len());
+        assert_eq!(Message::decode(&bytes), Ok(batch));
+    }
+
+    #[test]
+    fn take_trace_splits_the_envelope() {
+        use crate::service::WireCodec;
+        let inner = Message::SearchReq {
+            seq: 2,
+            rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+        };
+        let ctx = TraceContext {
+            trace_id: 10,
+            parent_span: 10,
+            flags: 0,
+        };
+        let wrapped = RtreeWire::traced(ctx, inner.clone());
+        assert_eq!(
+            RtreeWire::request_meta(&wrapped),
+            RtreeWire::request_meta(&inner)
+        );
+        let (got, unwrapped) = RtreeWire::take_trace(wrapped);
+        assert_eq!(got, Some(ctx));
+        assert_eq!(unwrapped, inner);
+        let (none, same) = RtreeWire::take_trace(inner.clone());
+        assert_eq!(none, None);
+        assert_eq!(same, inner);
     }
 
     #[test]

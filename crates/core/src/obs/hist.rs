@@ -233,6 +233,35 @@ impl LatencyHistogram {
         let idx = bucket_index(v);
         bucket_high(idx) - bucket_low(idx)
     }
+
+    /// Estimated fraction of samples strictly above `threshold` — the
+    /// numerator of an SLO latency burn rate. Buckets entirely above the
+    /// threshold count fully; the straddling bucket is pro-rated by the
+    /// portion of its value range above the threshold (a uniform-within-
+    /// bucket assumption, so the estimate is within one bucket of exact).
+    pub fn fraction_above(&self, threshold: SimDuration) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let t = threshold.as_nanos();
+        let mut above = 0.0f64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = bucket_low(idx);
+            if lo > t {
+                above += c as f64;
+                continue;
+            }
+            let hi = bucket_high(idx); // exclusive: values span [lo, hi - 1]
+            if hi - 1 > t {
+                let frac = (hi - 1 - t) as f64 / (hi - lo) as f64;
+                above += c as f64 * frac.clamp(0.0, 1.0);
+            }
+        }
+        (above / self.count as f64).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +378,28 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counts, c.counts);
         assert_eq!(a.summary(), c.summary());
+    }
+
+    #[test]
+    fn fraction_above_tracks_exact_tail() {
+        let mut h = LatencyHistogram::new();
+        // 1..=1000 µs, uniformly: exactly 10% of samples are above 900 µs.
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        for (thresh_us, want) in [(0u64, 1.0f64), (500, 0.5), (900, 0.1), (1000, 0.0)] {
+            let got = h.fraction_above(SimDuration::from_micros(thresh_us));
+            // Bucketed estimate: within one bucket's worth of samples.
+            assert!(
+                (got - want).abs() < 0.15,
+                "above {thresh_us}us: got {got}, want {want}"
+            );
+        }
+        assert_eq!(h.fraction_above(SimDuration::from_secs(10)), 0.0);
+        assert_eq!(
+            LatencyHistogram::new().fraction_above(SimDuration::ZERO),
+            0.0
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ use catfish_rdma::{CompletionQueue, MemoryRegion, QueuePair};
 use catfish_simnet::sync::Semaphore;
 use catfish_simnet::{select2, sleep, Either, SimDuration, SimTime};
 
-use crate::obs::{Phase, TraceSink};
+use crate::obs::{Anomaly, FlightRecorder, Phase, TraceSink};
 
 /// Length word marking a wrap to offset 0.
 const WRAP_MARKER: u32 = u32::MAX;
@@ -580,6 +580,9 @@ struct ReceiverShared {
     checksum_failures: Cell<u64>,
     /// Holes skipped by [`RingReceiver::resync`].
     resyncs: Cell<u64>,
+    /// Flight recorder receiving integrity anomalies (CRC failures,
+    /// resyncs) — always compiled, `None` until a client attaches one.
+    flight: RefCell<Option<FlightRecorder>>,
     /// Span sink + phase queue-time is attributed to (None: untraced).
     #[cfg(feature = "trace")]
     trace: RefCell<Option<(TraceSink, Phase)>>,
@@ -622,6 +625,7 @@ impl RingReceiver {
                 pending_delivered: Cell::new(0),
                 checksum_failures: Cell::new(0),
                 resyncs: Cell::new(0),
+                flight: RefCell::new(None),
                 #[cfg(feature = "trace")]
                 trace: RefCell::new(None),
                 #[cfg(feature = "trace")]
@@ -642,6 +646,19 @@ impl RingReceiver {
         #[cfg(not(feature = "trace"))]
         {
             let _ = (sink, phase);
+        }
+    }
+
+    /// Attaches a flight recorder: CRC failures and hole resyncs fire
+    /// [`Anomaly`] dumps into it, annotating the connection's recent
+    /// protocol history at the moment the integrity event hit.
+    pub fn set_flight(&self, recorder: FlightRecorder) {
+        *self.shared.flight.borrow_mut() = Some(recorder);
+    }
+
+    fn flight_anomaly(&self, anomaly: Anomaly) {
+        if let Some(rec) = self.shared.flight.borrow().as_ref() {
+            rec.anomaly(anomaly);
         }
     }
 
@@ -748,6 +765,7 @@ impl RingReceiver {
                 self.consume(head, total);
                 self.debit_pending(total);
                 s.checksum_failures.set(s.checksum_failures.get() + 1);
+                self.flight_anomaly(Anomaly::ChecksumFailure);
                 continue;
             }
             break (head, pos, len, total);
@@ -866,6 +884,7 @@ impl RingReceiver {
     fn skip_hole(&self, head: u64, bytes: u64) -> bool {
         let s = &*self.shared;
         s.resyncs.set(s.resyncs.get() + 1);
+        self.flight_anomaly(Anomaly::Resync);
         self.consume(head, bytes);
         true
     }

@@ -134,11 +134,13 @@ impl IndexBackend for RtreeBackend {
                 })
             }
             // Responses/heartbeats never arrive at the server; batches are
-            // unrolled by the generic server before execute.
+            // unrolled and trace envelopes stripped by the generic server
+            // before execute.
             Message::ResponseCont { .. }
             | Message::ResponseEnd { .. }
             | Message::Heartbeat { .. }
-            | Message::Batch(_) => None,
+            | Message::Batch(_)
+            | Message::Traced { .. } => None,
         }
     }
 }

@@ -13,7 +13,10 @@ use catfish_simnet::{now, sleep, spawn, CpuPool, SimDuration, SimTime};
 use crate::adaptive::AdaptiveState;
 use crate::config::{AccessMode, ClientConfig};
 use crate::conn::ClientChannel;
-use crate::obs::{Phase, RouteChoice, TraceSink};
+use crate::obs::{
+    Anomaly, FlightEvent, FlightRecorder, Phase, RouteChoice, SpanKind, SpanLog, TraceContext,
+    TraceSink, TRACE_FLAG_BATCHED, TRACE_FLAG_FETCH, TRACE_FLAG_RETRANSMIT,
+};
 use crate::stats::ServiceStats;
 
 use super::{
@@ -28,6 +31,17 @@ pub(crate) enum ChunkReadError {
     TooManyRetries,
     /// The chunk no longer decodes to a plausible node (stale pointer).
     Inconsistent,
+}
+
+/// The client-side span currently open for the in-flight operation: the
+/// tree position every wire envelope and child span of the operation
+/// attaches to.
+#[derive(Debug, Clone, Copy)]
+struct OpenOp {
+    trace_id: u64,
+    span_id: u64,
+    parent: u64,
+    start_ns: u64,
 }
 
 /// A Catfish client bound to one connection, generic over the index being
@@ -50,6 +64,22 @@ pub struct ServiceClient<B: ClientBackend> {
     pub(crate) poll_pool: Option<CpuPool>,
     pub(crate) stats: ServiceStats,
     pub(crate) trace: TraceSink,
+    /// Distributed span log (inactive unless the run opted in).
+    pub(crate) span: SpanLog,
+    /// The operation span currently open (one at a time per client; an
+    /// offload→fast fallback nests into the same tree).
+    cur_op: Option<OpenOp>,
+    /// Set by the cluster layer before a per-shard leg: the next
+    /// operation becomes an `Rpc` child of `(trace_id, parent_span)`
+    /// instead of a fresh root.
+    pub(crate) pending_parent: Option<(u64, u64)>,
+    /// Always-on recorder of recent protocol events, dumped on anomalies.
+    pub(crate) flight: FlightRecorder,
+    /// Virtual instant of the last heartbeat consumed (for annotating
+    /// stale-heartbeat anomalies with the silence length).
+    last_heartbeat: Option<SimTime>,
+    /// Stale-window count already reported to the flight recorder.
+    stale_reported: u64,
 }
 
 impl<B: ClientBackend> std::fmt::Debug for ServiceClient<B> {
@@ -76,6 +106,8 @@ impl<B: ClientBackend> ServiceClient<B> {
         };
         let mut adaptive = AdaptiveState::new(params, seed);
         adaptive.set_item_bytes(B::Wire::ITEM_WIRE_BYTES);
+        let flight = FlightRecorder::new();
+        ch.rx.set_flight(flight.clone());
         ServiceClient {
             ch,
             cfg,
@@ -87,6 +119,12 @@ impl<B: ClientBackend> ServiceClient<B> {
             poll_pool: None,
             stats: ServiceStats::default(),
             trace: TraceSink::default(),
+            span: SpanLog::default(),
+            cur_op: None,
+            pending_parent: None,
+            flight,
+            last_heartbeat: None,
+            stale_reported: 0,
         }
     }
 
@@ -113,6 +151,100 @@ impl<B: ClientBackend> ServiceClient<B> {
         self.adaptive.set_event_log(log);
     }
 
+    /// Routes this client's distributed spans into `log` (an active log
+    /// turns on wire trace envelopes for every request this client sends).
+    pub fn set_span_log(&mut self, log: SpanLog) {
+        self.span = log;
+    }
+
+    /// The span log this client records into.
+    pub fn span_log(&self) -> &SpanLog {
+        &self.span
+    }
+
+    /// This client's flight recorder (always on).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Stamps the connection identity onto flight dumps.
+    pub fn set_flight_ids(&self, client: u32, shard: u32) {
+        self.flight.set_ids(client, shard);
+    }
+
+    /// Opens the operation span: a fresh root, or — when the cluster
+    /// layer staged a parent — an `Rpc` child leg. Returns `true` when a
+    /// span was opened (`false` nests a fallback path, e.g. offload →
+    /// fast, into the already-open tree instead of forking a new one).
+    pub(crate) fn op_begin(&mut self) -> bool {
+        if !self.span.active() || self.cur_op.is_some() {
+            self.pending_parent = None;
+            return false;
+        }
+        let span_id = self.span.next_span_id();
+        let (trace_id, parent) = match self.pending_parent.take() {
+            Some((tid, parent)) => (tid, parent),
+            None => (span_id, 0),
+        };
+        self.cur_op = Some(OpenOp {
+            trace_id,
+            span_id,
+            parent,
+            start_ns: self.span.now_ns(),
+        });
+        true
+    }
+
+    /// Closes the operation span opened by the matching
+    /// [`ServiceClient::op_begin`] and records it (`Request` root or
+    /// `Rpc` leg).
+    pub(crate) fn op_end(&mut self, opened: bool) {
+        if !opened {
+            return;
+        }
+        if let Some(op) = self.cur_op.take() {
+            let kind = if op.parent == 0 {
+                SpanKind::Request
+            } else {
+                SpanKind::Rpc
+            };
+            self.span.record(
+                op.trace_id,
+                op.span_id,
+                op.parent,
+                kind,
+                op.start_ns,
+                self.span.now_ns(),
+            );
+        }
+    }
+
+    /// The wire context for the in-flight operation: server-side spans
+    /// attach under the open op span. `None` (no envelope) when tracing
+    /// is inactive.
+    fn wire_ctx(&self, flags: u8) -> Option<TraceContext> {
+        self.cur_op.map(|op| TraceContext {
+            trace_id: op.trace_id,
+            parent_span: op.span_id,
+            flags,
+        })
+    }
+
+    /// Reports fresh stale-heartbeat failovers (edge-triggered by the
+    /// adaptive layer) to the flight recorder, annotated with how long
+    /// the heartbeat stream had been silent.
+    fn check_stale_heartbeat(&mut self) {
+        let windows = self.adaptive.stale_windows();
+        if windows > self.stale_reported {
+            self.stale_reported = windows;
+            let silent_ns = self
+                .last_heartbeat
+                .map(|at| now().saturating_duration_since(at).as_nanos())
+                .unwrap_or(0);
+            self.flight.anomaly(Anomaly::StaleHeartbeat { silent_ns });
+        }
+    }
+
     /// Switches response detection to busy-polling on a core of `pool`
     /// (the client machine's CPUs). With more client threads per machine
     /// than cores, response pickup waits for the thread's next scheduling
@@ -129,6 +261,7 @@ impl<B: ClientBackend> ServiceClient<B> {
         st.checksum_failures += self.ch.rx.checksum_failures();
         st.resyncs += self.ch.rx.resyncs();
         st.stale_heartbeat_windows += self.adaptive.stale_windows();
+        st.flight_dumps += self.flight.dump_count();
         st
     }
 
@@ -172,8 +305,9 @@ impl<B: ClientBackend> ServiceClient<B> {
     /// wedged response stream past any lost-write hole, and backs off
     /// (attributed to [`Phase::RetryBackoff`]). Returns `false` when the
     /// retry budget is exhausted.
-    async fn timeout_backoff(&mut self, retries: u32, backoff: SimDuration) -> bool {
+    async fn timeout_backoff(&mut self, seq: u32, retries: u32, backoff: SimDuration) -> bool {
         self.stats.timeouts += 1;
+        self.flight.anomaly(Anomaly::Timeout { seq });
         if retries >= self.cfg.max_retries {
             return false;
         }
@@ -197,6 +331,10 @@ impl<B: ClientBackend> ServiceClient<B> {
     }
 
     fn note_heartbeat(&mut self, info: HeartbeatInfo) {
+        self.last_heartbeat = Some(now());
+        self.flight.note(FlightEvent::HeartbeatRx {
+            util_permille: info.util_permille,
+        });
         self.adaptive.note_heartbeat_info(info);
     }
 
@@ -215,6 +353,9 @@ impl<B: ClientBackend> ServiceClient<B> {
             AccessMode::Fetching => RouteChoice::Fetch,
             AccessMode::Adaptive(_) => self.adaptive.decide_route(),
         };
+        self.flight.note(FlightEvent::Route { route });
+        self.check_stale_heartbeat();
+        let opened = self.op_begin();
         let (items, path) = match route {
             RouteChoice::Offload => {
                 self.stats.offloaded_reads += 1;
@@ -232,6 +373,7 @@ impl<B: ClientBackend> ServiceClient<B> {
         // Every observed response feeds the expected-size EWMA the
         // three-way policy compares against the fetch crossover.
         self.adaptive.note_response_items(items.len());
+        self.op_end(opened);
         (items, path)
     }
 
@@ -248,10 +390,20 @@ impl<B: ClientBackend> ServiceClient<B> {
     ) -> (u32, Vec<WireItem<B>>) {
         self.seq += 1;
         let seq = self.seq;
-        let encoded = B::Wire::encode(&build(seq));
+        // The envelope is applied before the single encode, so every
+        // retransmission re-sends the identical traced bytes.
+        let mut msg = build(seq);
+        if let Some(ctx) = self.wire_ctx(0) {
+            msg = B::Wire::traced(ctx, msg);
+        }
+        let encoded = B::Wire::encode(&msg);
         if self.ch.tx.send(&encoded, seq).await.is_err() {
             return (0, Vec::new());
         }
+        self.flight.note(FlightEvent::Send {
+            seq,
+            bytes: encoded.len() as u32,
+        });
         // CqWait: request delivered until the END frame is in hand —
         // everything the client spends blocked on the response path.
         let wait_span = self.trace.begin();
@@ -276,6 +428,10 @@ impl<B: ClientBackend> ServiceClient<B> {
                         status,
                     } if s == seq => {
                         out.extend(items);
+                        self.flight.note(FlightEvent::Recv {
+                            seq,
+                            items: out.len() as u32,
+                        });
                         self.trace.end(Phase::CqWait, wait_span);
                         return (status, out);
                     }
@@ -285,7 +441,7 @@ impl<B: ClientBackend> ServiceClient<B> {
             // Attempt timed out: retransmit under the same sequence number
             // (the server's dedup window keeps retried writes idempotent),
             // with capped exponential backoff between attempts.
-            if !self.timeout_backoff(retries, backoff).await {
+            if !self.timeout_backoff(seq, retries, backoff).await {
                 self.trace.end(Phase::CqWait, wait_span);
                 return (0, out);
             }
@@ -295,6 +451,7 @@ impl<B: ClientBackend> ServiceClient<B> {
             // retransmitted request re-sends the full response.
             out.clear();
             self.stats.retransmits += 1;
+            self.flight.note(FlightEvent::Retransmit { seq });
             if self.ch.tx.send(&encoded, seq).await.is_err() {
                 self.trace.end(Phase::CqWait, wait_span);
                 return (0, out);
@@ -329,15 +486,25 @@ impl<B: ClientBackend> ServiceClient<B> {
             self.stats.fetch_fallbacks += 1;
             self.stats.fetched_reads -= 1;
             self.stats.fast_reads += 1;
+            self.flight
+                .anomaly(Anomaly::FetchFallback { seq: self.seq + 1 });
             return self.fast_read(read).await;
         };
         self.seq += 1;
         let seq = self.seq;
         let wire_seq = seq | FETCH_FLAG;
-        let encoded = B::Wire::encode(&B::read_request(wire_seq, read));
+        let mut msg = B::read_request(wire_seq, read);
+        if let Some(ctx) = self.wire_ctx(TRACE_FLAG_FETCH) {
+            msg = B::Wire::traced(ctx, msg);
+        }
+        let encoded = B::Wire::encode(&msg);
         if self.ch.tx.send(&encoded, wire_seq).await.is_err() {
             return Vec::new();
         }
+        self.flight.note(FlightEvent::Send {
+            seq,
+            bytes: encoded.len() as u32,
+        });
         let span = self.trace.begin();
         // Write-back fallback accumulation (slot-overflow responses).
         let mut wb_items: Vec<WireItem<B>> = Vec::new();
@@ -359,6 +526,10 @@ impl<B: ClientBackend> ServiceClient<B> {
                         Incoming::Cont { seq: s, items } if s == seq => wb_items.extend(items),
                         Incoming::End { seq: s, items, .. } if s == seq => {
                             wb_items.extend(items);
+                            self.flight.note(FlightEvent::Recv {
+                                seq,
+                                items: wb_items.len() as u32,
+                            });
                             self.trace.end(Phase::MailboxFetch, span);
                             return wb_items;
                         }
@@ -390,6 +561,10 @@ impl<B: ClientBackend> ServiceClient<B> {
                                 .write(mb.ack_rkey, 0, &u64::from(seq).to_le_bytes())
                                 .await
                                 .expect("ack cell registered");
+                            self.flight.note(FlightEvent::Recv {
+                                seq,
+                                items: items.len() as u32,
+                            });
                             self.trace.end(Phase::MailboxFetch, span);
                             return items;
                         }
@@ -413,7 +588,7 @@ impl<B: ClientBackend> ServiceClient<B> {
             // under the same flagged sequence number. Fetch serves reads
             // only, so the server re-executing is exactly-once by
             // idempotence; the redeposit overwrites the same slot.
-            if !self.timeout_backoff(retries, backoff).await {
+            if !self.timeout_backoff(seq, retries, backoff).await {
                 self.trace.end(Phase::MailboxFetch, span);
                 return wb_items;
             }
@@ -421,6 +596,7 @@ impl<B: ClientBackend> ServiceClient<B> {
             retries += 1;
             wb_items.clear();
             self.stats.retransmits += 1;
+            self.flight.note(FlightEvent::Retransmit { seq });
             if self.ch.tx.send(&encoded, wire_seq).await.is_err() {
                 self.trace.end(Phase::MailboxFetch, span);
                 return Vec::new();
@@ -475,25 +651,51 @@ impl<B: ClientBackend> ServiceClient<B> {
                 }
             }
             let started = now();
+            let tracing = self.span.active();
+            // Per-read root spans: seq → (root span id, start_ns). Each
+            // read in the window is its own trace; the envelope rides
+            // inside the batch frame, so coalescing preserves identity.
+            let mut open: HashMap<u32, (u64, u64)> = HashMap::new();
+            let base_flags = if chunk > 1 { TRACE_FLAG_BATCHED } else { 0 };
             let mut seqs = Vec::with_capacity(chunk);
             let mut msgs = Vec::with_capacity(chunk);
             for read in &reads[next..next + chunk] {
                 self.seq += 1;
                 seqs.push(self.seq);
-                msgs.push(B::read_request(self.seq, read));
+                let mut m = B::read_request(self.seq, read);
+                if tracing {
+                    let span_id = self.span.next_span_id();
+                    open.insert(self.seq, (span_id, self.span.now_ns()));
+                    m = B::Wire::traced(
+                        TraceContext {
+                            trace_id: span_id,
+                            parent_span: span_id,
+                            flags: base_flags,
+                        },
+                        m,
+                    );
+                }
+                msgs.push(m);
             }
             self.stats.fast_reads += chunk as u64;
             let first_seq = seqs[0];
             let sent = if chunk == 1 {
                 let msg = msgs.pop().expect("one request");
-                self.ch.tx.send(&B::Wire::encode(&msg), first_seq).await
+                let encoded = B::Wire::encode(&msg);
+                self.flight.note(FlightEvent::Send {
+                    seq: first_seq,
+                    bytes: encoded.len() as u32,
+                });
+                self.ch.tx.send(&encoded, first_seq).await
             } else {
                 self.stats.batches_sent += 1;
                 self.stats.batched_msgs += chunk as u64;
-                self.ch
-                    .tx
-                    .send(&B::Wire::encode(&B::Wire::batch(msgs)), first_seq)
-                    .await
+                let encoded = B::Wire::encode(&B::Wire::batch(msgs));
+                self.flight.note(FlightEvent::Send {
+                    seq: first_seq,
+                    bytes: encoded.len() as u32,
+                });
+                self.ch.tx.send(&encoded, first_seq).await
             };
             if sent.is_err() {
                 out.extend(vec![Vec::new(); chunk]);
@@ -527,6 +729,20 @@ impl<B: ClientBackend> ServiceClient<B> {
                             if let Some(i) = pending.remove(&seq) {
                                 bufs[i].extend(items);
                                 done += 1;
+                                self.flight.note(FlightEvent::Recv {
+                                    seq,
+                                    items: bufs[i].len() as u32,
+                                });
+                                if let Some((span_id, start)) = open.remove(&seq) {
+                                    self.span.record(
+                                        span_id,
+                                        span_id,
+                                        0,
+                                        SpanKind::Request,
+                                        start,
+                                        self.span.now_ns(),
+                                    );
+                                }
                             }
                         }
                         _ => {}
@@ -539,17 +755,38 @@ impl<B: ClientBackend> ServiceClient<B> {
                 // retransmit only the still-pending requests, re-keyed by
                 // their original sequence numbers so server-side dedup
                 // keeps the retried operations idempotent.
-                if !self.timeout_backoff(retries, backoff).await {
+                let timed_out = pending.keys().next().copied().unwrap_or(first_seq);
+                if !self.timeout_backoff(timed_out, retries, backoff).await {
                     break; // give up: unanswered slots stay empty
                 }
                 backoff = self.next_backoff(backoff);
                 retries += 1;
                 let mut redo: Vec<(usize, u32)> = pending.iter().map(|(&s, &i)| (i, s)).collect();
                 redo.sort_unstable();
+                // Rebuilt retransmissions re-wrap the same root context
+                // (trace identity is stable across retries), flagged so
+                // the tree shows the hop was a replay.
+                let re_flags = if redo.len() > 1 {
+                    TRACE_FLAG_BATCHED | TRACE_FLAG_RETRANSMIT
+                } else {
+                    TRACE_FLAG_RETRANSMIT
+                };
                 let mut remsgs = Vec::with_capacity(redo.len());
                 for &(i, s) in &redo {
                     bufs[i].clear(); // partial CONTs will be re-sent in full
-                    remsgs.push(B::read_request(s, &reads[next + i]));
+                    let mut m = B::read_request(s, &reads[next + i]);
+                    if let Some(&(span_id, _)) = open.get(&s) {
+                        m = B::Wire::traced(
+                            TraceContext {
+                                trace_id: span_id,
+                                parent_span: span_id,
+                                flags: re_flags,
+                            },
+                            m,
+                        );
+                    }
+                    remsgs.push(m);
+                    self.flight.note(FlightEvent::Retransmit { seq: s });
                 }
                 self.stats.retransmits += remsgs.len() as u64;
                 let re_seq = redo[0].1;
@@ -565,6 +802,19 @@ impl<B: ClientBackend> ServiceClient<B> {
                 if resent.is_err() {
                     break 'flush;
                 }
+            }
+            // Abandoned reads still close their root span: a server that
+            // executed the request after the client gave up emits child
+            // spans under this root, so the tree stays connected.
+            for (_, (span_id, start)) in open.drain() {
+                self.span.record(
+                    span_id,
+                    span_id,
+                    0,
+                    SpanKind::Request,
+                    start,
+                    self.span.now_ns(),
+                );
             }
             self.trace.end(Phase::CqWait, wait_span);
             est_per_op = Some(now().saturating_duration_since(started) / chunk as u64);
@@ -588,7 +838,10 @@ impl<B: ClientBackend> ServiceClient<B> {
             OpKind::Remove => self.stats.removes_sent += 1,
             OpKind::Read => {}
         }
-        self.fast_request(build).await
+        let opened = self.op_begin();
+        let result = self.fast_request(build).await;
+        self.op_end(opened);
+        result
     }
 
     // ------------------------------------------------------------------
@@ -603,6 +856,10 @@ impl<B: ClientBackend> ServiceClient<B> {
         // OffloadRetry spans only from the first failure onward, so
         // (OffloadRead − OffloadRetry) is the cost of a clean attempt.
         let total_span = self.trace.begin();
+        // Offload leg of the distributed trace: a child span under the
+        // open op covering the one-sided traversal (restarts included,
+        // the write-back fallback excluded — that leg traces itself).
+        let off_start = self.cur_op.map(|_| self.span.now_ns());
         let mut retry_span = total_span;
         let mut attempts = 0u32;
         loop {
@@ -612,6 +869,7 @@ impl<B: ClientBackend> ServiceClient<B> {
                         self.trace.end(Phase::OffloadRetry, retry_span);
                     }
                     self.trace.end(Phase::OffloadRead, total_span);
+                    self.end_offload_span(off_start);
                     return items;
                 }
                 Err(Inconsistent) => {
@@ -623,6 +881,7 @@ impl<B: ClientBackend> ServiceClient<B> {
                         retry_span = self.trace.begin();
                     }
                     if attempts >= 8 {
+                        self.end_offload_span(off_start);
                         let items = self.fast_read(read).await;
                         self.trace.end(Phase::OffloadRetry, retry_span);
                         self.trace.end(Phase::OffloadRead, total_span);
@@ -630,6 +889,19 @@ impl<B: ClientBackend> ServiceClient<B> {
                     }
                 }
             }
+        }
+    }
+
+    /// Closes the `Offload` child span opened at `start` (if tracing).
+    pub(crate) fn end_offload_span(&mut self, start: Option<u64>) {
+        if let (Some(start), Some(op)) = (start, self.cur_op) {
+            self.span.emit(
+                op.trace_id,
+                op.span_id,
+                SpanKind::Offload,
+                start,
+                self.span.now_ns(),
+            );
         }
     }
 

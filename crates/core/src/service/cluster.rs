@@ -33,7 +33,7 @@ use catfish_simnet::{spawn, CpuPool, Network};
 
 use crate::config::{ClientConfig, ServerConfig};
 use crate::conn::RkeyAllocator;
-use crate::obs::AdaptiveEventLog;
+use crate::obs::{AdaptiveEventLog, SpanKind, SpanLog, SERVER_NODE_BASE};
 use crate::stats::ServiceStats;
 
 use super::{ClientBackend, IndexBackend, ServiceClient, ServiceServer};
@@ -273,6 +273,15 @@ impl<B: IndexBackend> ClusterServer<B> {
         }
     }
 
+    /// Stamps every shard's request spans into `log`, each under its own
+    /// node id (`SERVER_NODE_BASE + shard`) so assembled traces show which
+    /// shard executed each leg.
+    pub fn set_span_log(&self, log: &SpanLog) {
+        for (i, s) in self.shards.iter().enumerate() {
+            s.set_span_log(log.for_node(SERVER_NODE_BASE + i as u32));
+        }
+    }
+
     /// Per-shard server counters, in shard order.
     pub fn stats_per_shard(&self) -> Vec<ServiceStats> {
         self.shards.iter().map(|s| s.stats()).collect()
@@ -299,6 +308,10 @@ impl<B: IndexBackend> ClusterServer<B> {
 pub struct ClusterClient<B: ClientBackend> {
     pub(crate) shards: Vec<Rc<RefCell<ServiceClient<B>>>>,
     pub(crate) map: ShardMap,
+    /// The cluster's own span handle: roots and merge spans for scattered
+    /// reads are stamped here; shard clients share the same log (same id
+    /// counter) so every span in a run gets a globally unique id.
+    pub(crate) span: SpanLog,
 }
 
 impl<B: ClientBackend> std::fmt::Debug for ClusterClient<B> {
@@ -351,6 +364,7 @@ impl<B: ClientBackend> ClusterClient<B> {
         ClusterClient {
             shards,
             map: server.map.clone(),
+            span: SpanLog::default(),
         }
     }
 
@@ -376,6 +390,78 @@ impl<B: ClientBackend> ClusterClient<B> {
             s.borrow_mut()
                 .set_adaptive_event_log(log.for_shard(i as u32));
         }
+    }
+
+    /// Stamps this cluster client (roots, merge spans) and every shard
+    /// connection (RPC legs, wire contexts) into `log`. All client-side
+    /// spans carry the same node id — pass `log.for_node(client_id)`.
+    pub fn set_span_log(&mut self, log: SpanLog) {
+        for s in &self.shards {
+            s.borrow_mut().set_span_log(log.clone());
+        }
+        self.span = log;
+    }
+
+    /// The cluster's span log handle.
+    pub fn span_log(&self) -> &SpanLog {
+        &self.span
+    }
+
+    /// Labels every shard connection's flight recorder with this client's
+    /// id and the shard it talks to, so anomaly dumps identify the
+    /// connection they came from.
+    pub fn set_flight_ids(&self, client: u32) {
+        for (i, s) in self.shards.iter().enumerate() {
+            s.borrow().set_flight_ids(client, i as u32);
+        }
+    }
+
+    /// Snapshots every shard connection's flight-recorder dumps, in shard
+    /// order (flattened).
+    pub fn flight_dumps(&self) -> Vec<crate::obs::FlightDump> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.borrow().flight().dumps());
+        }
+        out
+    }
+
+    /// Opens the root span of a scattered read and parks its context on
+    /// every target shard's client, so each leg's next operation opens as
+    /// an RPC child instead of a fresh root. Returns `(trace_id, start)`
+    /// for [`ClusterClient::end_scatter_root`], or `None` when tracing is
+    /// off (the common case — one branch, no other cost).
+    pub(crate) fn begin_scatter_root(&self, targets: &[usize]) -> Option<(u64, u64)> {
+        if !self.span.active() {
+            return None;
+        }
+        let trace_id = self.span.next_span_id();
+        let start = self.span.now_ns();
+        for &t in targets {
+            self.shards[t].borrow_mut().pending_parent = Some((trace_id, trace_id));
+        }
+        Some((trace_id, start))
+    }
+
+    /// Closes a scattered read opened by
+    /// [`ClusterClient::begin_scatter_root`]: a merge child covering
+    /// `[merge_start, now]`, then the root itself (root span id == trace
+    /// id, so assembly's connectedness check anchors on it).
+    pub(crate) fn end_scatter_root(&self, root: Option<(u64, u64)>, merge_start: u64) {
+        let Some((trace_id, start)) = root else {
+            return;
+        };
+        let merge_end = self.span.now_ns();
+        self.span
+            .emit(trace_id, trace_id, SpanKind::Merge, merge_start, merge_end);
+        self.span.record(
+            trace_id,
+            trace_id,
+            0,
+            SpanKind::Request,
+            start,
+            self.span.now_ns(),
+        );
     }
 
     /// Switches every shard connection to busy-poll response detection on

@@ -130,6 +130,17 @@ pub trait WireCodec: Sized + 'static {
     /// protocol error: `msgs` must not itself contain a batch.
     fn batch(msgs: Vec<Self::Message>) -> Self::Message;
 
+    /// Wraps a single request in a distributed-tracing envelope carrying
+    /// `ctx` (17 extra wire bytes). Envelopes wrap requests only — never
+    /// a batch, a response, or another envelope; a batch may *contain*
+    /// wrapped requests, so trace context survives doorbell coalescing.
+    fn traced(ctx: crate::obs::TraceContext, inner: Self::Message) -> Self::Message;
+
+    /// Splits a trace envelope off a message: `(Some(ctx), inner)` for a
+    /// wrapped request, `(None, msg)` unchanged otherwise. The server
+    /// strips envelopes with this before dedup lookup and execution.
+    fn take_trace(msg: Self::Message) -> (Option<crate::obs::TraceContext>, Self::Message);
+
     /// Classifies a received message for the generic receive loops.
     fn classify(msg: Self::Message) -> Incoming<Self>;
 

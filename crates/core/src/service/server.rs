@@ -31,7 +31,7 @@ use catfish_simnet::{now, sleep, spawn, CpuPool, Network, SimDuration};
 
 use crate::config::{ServerConfig, ServerMode};
 use crate::conn::{establish_with_mailbox, ClientChannel, RkeyAllocator, ServerChannel};
-use crate::obs::{Phase, TraceSink};
+use crate::obs::{Phase, SpanKind, SpanLog, TraceSink};
 use crate::ring::{RingReceiver, RingSender};
 use crate::stats::ServiceStats;
 use crate::store::MrMemory;
@@ -107,6 +107,9 @@ struct ServerInner<B: IndexBackend> {
     stats: RefCell<ServiceStats>,
     tcp: RefCell<Option<TcpEndpoint>>,
     trace: RefCell<TraceSink>,
+    /// Distributed span log: server-side `Dispatch`/`IndexExec` spans for
+    /// requests that arrived wrapped in a trace envelope.
+    span: RefCell<SpanLog>,
 }
 
 /// A Catfish server over any [`IndexBackend`]. Cloneable handle; spawned
@@ -175,6 +178,7 @@ impl<B: IndexBackend> ServiceServer<B> {
                 stats: RefCell::new(ServiceStats::default()),
                 tcp: RefCell::new(None),
                 trace: RefCell::new(TraceSink::default()),
+                span: RefCell::new(SpanLog::default()),
             }),
         }
     }
@@ -187,6 +191,14 @@ impl<B: IndexBackend> ServiceServer<B> {
     /// the `trace` feature disabled this wires nothing.
     pub fn set_trace(&self, sink: TraceSink) {
         *self.inner.trace.borrow_mut() = sink;
+    }
+
+    /// Routes server-side distributed spans into `log` (use
+    /// [`crate::obs::SpanLog::for_node`] with `SERVER_NODE_BASE + shard`
+    /// so spans carry the shard identity). Requests arriving without a
+    /// trace envelope emit nothing regardless.
+    pub fn set_span_log(&self, log: SpanLog) {
+        *self.inner.span.borrow_mut() = log;
     }
 
     /// The server's RDMA endpoint.
@@ -573,10 +585,13 @@ impl<B: IndexBackend> ServiceServer<B> {
         dedup: Option<&RefCell<DedupWindow>>,
     ) -> Vec<Execution<B::Wire>> {
         let trace = self.inner.trace.borrow().clone();
+        let span_log = self.inner.span.borrow().clone();
+        let dispatch_t0 = span_log.now_ns();
         let dispatch_span = trace.begin();
         self.charge(self.inner.cfg.cost.dispatch, holding_core)
             .await;
         trace.end(Phase::Dispatch, dispatch_span);
+        let dispatch_t1 = span_log.now_ns();
         let exec_span = trace.begin();
         let msgs = match B::Wire::classify(msg) {
             Incoming::Batch(msgs) => msgs,
@@ -588,6 +603,21 @@ impl<B: IndexBackend> ServiceServer<B> {
         };
         let mut execs = Vec::with_capacity(msgs.len());
         for m in msgs {
+            // Strip the trace envelope before dedup lookup and execution:
+            // the backend and the dedup window see the bare request, and
+            // the context links this hop's server spans into the client's
+            // tree. Every traced request in a batch frame shares the
+            // frame's single dispatch charge.
+            let (tctx, m) = B::Wire::take_trace(m);
+            if let Some(ctx) = tctx {
+                span_log.emit(
+                    ctx.trace_id,
+                    ctx.parent_span,
+                    SpanKind::Dispatch,
+                    dispatch_t0,
+                    dispatch_t1,
+                );
+            }
             // Duplicate detection: a retransmitted write-class request is
             // answered from the cached END status instead of being applied
             // twice — retried inserts/deletes stay idempotent.
@@ -608,6 +638,7 @@ impl<B: IndexBackend> ServiceServer<B> {
                     }
                 }
             }
+            let exec_t0 = span_log.now_ns();
             // The backend borrow is released before any await point.
             let Some(exec) = self
                 .inner
@@ -623,6 +654,15 @@ impl<B: IndexBackend> ServiceServer<B> {
                 }
             }
             self.charge(exec.cost, holding_core).await;
+            if let Some(ctx) = tctx {
+                span_log.emit(
+                    ctx.trace_id,
+                    ctx.parent_span,
+                    SpanKind::IndexExec,
+                    exec_t0,
+                    span_log.now_ns(),
+                );
+            }
             {
                 let mut st = self.inner.stats.borrow_mut();
                 match exec.kind {

@@ -85,6 +85,10 @@ pub struct ServiceStats {
     /// Mailbox slot leases reclaimed by the server's heartbeat tick
     /// (acked by the client or expired past the lease TTL).
     pub mailbox_reclaims: u64,
+    /// Flight-recorder dumps fired by connection anomalies (timeouts,
+    /// checksum failures, resyncs, stale-heartbeat failovers, fetch
+    /// fallbacks).
+    pub flight_dumps: u64,
 }
 
 impl ServiceStats {
@@ -118,6 +122,7 @@ impl ServiceStats {
         self.fetched_responses += other.fetched_responses;
         self.fetch_fallbacks += other.fetch_fallbacks;
         self.mailbox_reclaims += other.mailbox_reclaims;
+        self.flight_dumps += other.flight_dumps;
     }
 
     /// Fraction of client reads that went through the offloaded path,
@@ -164,7 +169,8 @@ impl fmt::Display for ServiceStats {
             "fast {} / fetched {} / offloaded {} ({:.1}% offloaded, dominant {}), torn retries {}, \
              restarts {}, cache hits {}, batches {} ({:.1} msgs/batch), merged writes {}, \
              deposits {} (fallbacks {}, reclaims {}), decode errors {}, timeouts {}, \
-             retransmits {}, dup drops {}, checksum failures {}, resyncs {}, stale hb windows {}",
+             retransmits {}, dup drops {}, checksum failures {}, resyncs {}, stale hb windows {}, \
+             flight dumps {}",
             self.fast_reads,
             self.fetched_reads,
             self.offloaded_reads,
@@ -186,6 +192,7 @@ impl fmt::Display for ServiceStats {
             self.checksum_failures,
             self.resyncs,
             self.stale_heartbeat_windows,
+            self.flight_dumps,
         )
     }
 }
