@@ -1,0 +1,695 @@
+//! Replication chaos + anti-entropy repair harness: the robustness gate
+//! for per-shard k-way replication.
+//!
+//! Two families of cells:
+//!
+//! 1. **Chaos gates** — a k=3 replica set under 10% RDMA write loss on
+//!    the primary's NIC, optionally with a scripted partition that kills
+//!    the primary mid-batch. Clients keep inserting globally unique ids
+//!    through [`CatfishClusterClient`]; an unacknowledged write suspects
+//!    the primary, the shared control block promotes the next live backup
+//!    (epoch bump fences the old primary), and the client reissues the
+//!    *same op id* to the new primary — the applied table turns a
+//!    double-landed op into an idempotent ack. After the workload joins,
+//!    the harness counts each id's occurrences on the **current**
+//!    primaries: `lost` and `duplicated` must both be zero. The crashed
+//!    ex-primary is then healed by hash-range reconciliation and revived;
+//!    every replica's root digest must agree afterwards, including over
+//!    writes issued *after* the revival.
+//!
+//! 2. **Repair scaling** — a backup is deliberately diverged from its
+//!    primary by `d` entries, then repaired. The bisection walk must
+//!    converge in `O(log n)` batched rounds and, at divergence ≤ 1% of
+//!    `n`, move at least 5x fewer wire bytes than a naive full resync.
+//!
+//! Every gate is self-asserted; the measured numbers land in
+//! `BENCH_repair.json`. A virtual-time watchdog panics if a cell wedges
+//! instead of recovering.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use catfish_bench::{banner, timed, BenchArgs};
+use catfish_core::client::CatfishClusterClient;
+use catfish_core::config::{AccessMode, AdaptiveParams, ClientConfig, ServerConfig, ServerMode};
+use catfish_core::conn::RkeyAllocator;
+use catfish_core::obs::SpanLog;
+use catfish_core::server::CatfishCluster;
+use catfish_core::service::{RangeDigest, RepairReport};
+use catfish_core::ServiceStats;
+use catfish_rdma::profile::infiniband_100g;
+use catfish_rdma::{FaultConfig, FaultPlan};
+use catfish_rtree::{RTreeConfig, Rect};
+use catfish_simnet::{now, sleep, spawn, Network, Sim, SimDuration, SimTime};
+
+/// Virtual-time budget per cell: promotion plus reissue must converge,
+/// not crawl.
+const WATCHDOG: SimDuration = SimDuration::from_secs(300);
+
+const CLIENTS: usize = 4;
+
+/// Ids far above the pre-loaded dataset so occurrence counting is exact.
+const ID_BASE: u64 = 10_000_000;
+
+/// Ids for the post-heal write probe (disjoint from the chaos workload).
+const POST_HEAL_BASE: u64 = 20_000_000;
+
+/// When the scripted partition drops the primary off the fabric —
+/// far enough in for every client to have traffic in flight.
+const CRASH_AT: SimDuration = SimDuration::from_micros(400);
+
+fn unique_rect(op: u64) -> Rect {
+    let x = (op % 997) as f64 / 997.0 * 0.9;
+    let y = (op / 997) as f64 / 997.0 * 0.9;
+    Rect::new(x, y, x + 0.0004, y + 0.0004)
+}
+
+fn dataset(n: usize) -> Vec<(Rect, u64)> {
+    (0..n as u64)
+        .map(|i| {
+            let x = (i % 256) as f64 / 256.0;
+            let y = (i / 256) as f64 / 256.0 % 1.0;
+            (Rect::new(x, y, x + 0.003, y + 0.003), i)
+        })
+        .collect()
+}
+
+struct ChaosCell {
+    label: &'static str,
+    fault: FaultConfig,
+    /// Arm the scripted partition that kills shard 0's primary mid-batch.
+    kill_primary: bool,
+}
+
+#[derive(Debug)]
+struct ChaosResult {
+    label: String,
+    shards: usize,
+    replicas: usize,
+    ops: usize,
+    makespan: SimDuration,
+    stats: ServiceStats,
+    lost: usize,
+    duplicated: usize,
+    epoch: u64,
+    old_primary: usize,
+    new_primary: usize,
+    killed: bool,
+    /// The heal of the crashed ex-primary (zeroed when nothing crashed).
+    heal: RepairReport,
+    /// All replicas' root digests agree after heal + fresh writes.
+    post_heal_consistent: bool,
+    /// The cell's distributed trace (JSONL), when `--trace-out` is set —
+    /// forwarding legs included, for the `trace_tool --check` gate.
+    spans_jsonl: Option<String>,
+}
+
+/// Root digest of one replica's index: `(xor_fingerprint, entry_count)`
+/// over the full repair-key space.
+fn root_digest(cluster: &CatfishCluster, shard: usize, r: usize) -> (u64, u64) {
+    cluster
+        .replica(shard, r)
+        .with_index(|ix| ix.digest_range(0, u64::MAX))
+}
+
+fn run_chaos_cell(
+    cell: &ChaosCell,
+    args: &BenchArgs,
+    size: usize,
+    ops: usize,
+    shards: usize,
+    replicas: usize,
+) -> ChaosResult {
+    assert!(replicas >= 2, "chaos cells need a backup to promote");
+    let sim = Sim::new();
+    let fault = cell.fault;
+    let kill = cell.kill_primary;
+    let seed = args.seed;
+    let trace = args.trace_out.is_some();
+    let timeout = SimDuration::from_micros(args.timeout_us.unwrap_or(500));
+    // A tighter budget than fault_sweep's: retry exhaustion is the
+    // failure detector here, and 16 straight losses at 10% is already
+    // a once-per-1e16 event.
+    let max_retries = args.max_retries.unwrap_or(16);
+    #[allow(clippy::type_complexity)]
+    let (
+        makespan,
+        stats,
+        lost,
+        duplicated,
+        epoch,
+        old_primary,
+        new_primary,
+        heal,
+        consistent,
+        spans,
+    ): (
+        SimDuration,
+        ServiceStats,
+        usize,
+        usize,
+        u64,
+        usize,
+        usize,
+        RepairReport,
+        bool,
+        Option<String>,
+    ) = sim.run_until(async move {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let hb_interval = SimDuration::from_millis(1);
+        let cluster = CatfishCluster::build_replicated(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 4,
+                mode: ServerMode::EventDriven,
+                heartbeat_interval: hb_interval,
+                ..ServerConfig::default()
+            },
+            RTreeConfig::with_max_entries(88),
+            dataset(size),
+            shards,
+            replicas,
+            &rkeys,
+        );
+        // Chaos rides shard 0's build-time primary only: write loss
+        // for the whole run, plus (when armed) a partition window
+        // that takes the whole NIC off the fabric mid-batch and
+        // never gives it back — a crash, as the fabric sees one.
+        let old_primary = cluster.ctl(0).primary();
+        let plan = FaultPlan::new(
+            FaultConfig {
+                partition_window: kill
+                    .then_some((SimTime::ZERO + CRASH_AT, SimDuration::from_secs(600))),
+                ..fault
+            },
+            seed,
+        );
+        cluster
+            .replica(0, old_primary)
+            .endpoint()
+            .set_fault_plan(Some(plan.clone()));
+        let span_log = trace.then(SpanLog::new);
+        if let Some(log) = &span_log {
+            cluster.set_span_log(log);
+        }
+        cluster.start_heartbeats();
+        spawn(async {
+            sleep(WATCHDOG).await;
+            panic!("repair_sweep chaos cell wedged: no convergence within {WATCHDOG}");
+        });
+        let started = now();
+        let stats: Rc<RefCell<ServiceStats>> = Rc::default();
+        let lost: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let mut client = CatfishClusterClient::connect(
+                &cluster,
+                &net,
+                &profile,
+                ClientConfig {
+                    mode: AccessMode::Adaptive(AdaptiveParams {
+                        heartbeat_interval: hb_interval,
+                        ..AdaptiveParams::default()
+                    }),
+                    request_timeout: timeout,
+                    max_retries,
+                    ..ClientConfig::default()
+                },
+                seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            client.set_flight_ids(c as u32);
+            if let Some(log) = &span_log {
+                client.set_span_log(log.for_node(c as u32));
+            }
+            let stats = Rc::clone(&stats);
+            let lost = Rc::clone(&lost);
+            handles.push(spawn(async move {
+                sleep(SimDuration::from_nanos(13_007 * c as u64)).await;
+                for i in 0..ops as u64 {
+                    let op = (c * ops) as u64 + i;
+                    let id = ID_BASE + op;
+                    if !client.insert(unique_rect(op), id).await {
+                        lost.borrow_mut().push(id);
+                    }
+                    // Read back an earlier acked insert. Right after
+                    // the crash a read may still route to the dead
+                    // primary (its staleness hasn't tripped yet), so
+                    // retry: the failsafe fails the read over to a
+                    // live backup within a few heartbeat intervals.
+                    if i % 8 == 7 {
+                        let back = ID_BASE + (c * ops) as u64 + i / 2;
+                        let q = unique_rect((c * ops) as u64 + i / 2);
+                        let mut found = false;
+                        for _ in 0..32 {
+                            if client.search(&q).await.contains(&back) {
+                                found = true;
+                                break;
+                            }
+                            sleep(SimDuration::from_millis(2)).await;
+                        }
+                        assert!(found, "read-back lost acked id {back} (client {c}, op {i})");
+                    }
+                }
+                stats.borrow_mut().merge(&client.stats());
+            }));
+        }
+        for h in handles {
+            h.await;
+        }
+        let makespan = now() - started;
+        let mut st = stats.borrow().to_owned();
+        st.merge(&cluster.stats());
+
+        // Exactly-once audit on the *current* primaries: every acked
+        // id appears exactly once across the shards' live views, no
+        // matter how many sends were lost or reissued across the
+        // promotion.
+        let mut lost = lost.borrow().to_owned();
+        let mut duplicated = Vec::new();
+        for op in 0..(CLIENTS * ops) as u64 {
+            let id = ID_BASE + op;
+            let q = unique_rect(op);
+            let hits: usize = (0..cluster.shards())
+                .map(|s| {
+                    cluster
+                        .shard(s)
+                        .with_index(|t| t.search(&q).iter().filter(|d| **d == id).count())
+                })
+                .sum();
+            match hits {
+                0 => lost.push(id),
+                1 => {}
+                _ => duplicated.push(id),
+            }
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        for s in 0..cluster.shards() {
+            for r in 0..cluster.replicas() {
+                cluster
+                    .replica(s, r)
+                    .with_index(|t| t.check_invariants())
+                    .unwrap();
+            }
+        }
+        let ctl = cluster.ctl(0);
+        let (epoch, new_primary) = (ctl.epoch(), ctl.primary());
+        if kill {
+            assert!(
+                epoch >= 1 && new_primary != old_primary && !ctl.is_alive(old_primary),
+                "partitioned primary was never deposed (epoch {epoch}, primary {new_primary})"
+            );
+        }
+
+        // Heal the crashed member: lift the partition (the operator
+        // rebooted the NIC), reconcile by hash-range bisection, and
+        // revive. Every surviving replica already agrees (synchronous
+        // forwarding); the revived one must agree after repair — and
+        // keep agreeing for writes issued after revival.
+        let heal = if kill {
+            cluster
+                .replica(0, old_primary)
+                .endpoint()
+                .set_fault_plan(None);
+            let report = cluster.heal(0, old_primary);
+            assert!(report.converged, "heal failed to converge: {report:?}");
+            report
+        } else {
+            RepairReport::default()
+        };
+        let mut probe = CatfishClusterClient::connect(
+            &cluster,
+            &net,
+            &profile,
+            ClientConfig {
+                mode: AccessMode::FastMessaging,
+                request_timeout: timeout,
+                max_retries,
+                ..ClientConfig::default()
+            },
+            seed ^ 0xD1E5_ED00,
+        );
+        for j in 0..16u64 {
+            let r = unique_rect(900_000 + j);
+            assert!(
+                probe.insert(r, POST_HEAL_BASE + j).await,
+                "post-heal insert refused"
+            );
+        }
+        st.merge(&probe.stats());
+        let mut consistent = true;
+        for s in 0..cluster.shards() {
+            let want = root_digest(&cluster, s, cluster.ctl(s).primary());
+            for r in 0..cluster.replicas() {
+                if cluster.ctl(s).is_alive(r) {
+                    consistent &= root_digest(&cluster, s, r) == want;
+                }
+            }
+        }
+        (
+            makespan,
+            st,
+            lost.len(),
+            duplicated.len(),
+            epoch,
+            old_primary,
+            new_primary,
+            heal,
+            consistent,
+            span_log.map(|l| l.to_jsonl()),
+        )
+    });
+    ChaosResult {
+        label: cell.label.to_string(),
+        shards,
+        replicas,
+        ops: CLIENTS * ops,
+        makespan,
+        stats,
+        lost,
+        duplicated,
+        epoch,
+        old_primary,
+        new_primary,
+        killed: cell.kill_primary,
+        heal,
+        post_heal_consistent: consistent,
+        spans_jsonl: spans,
+    }
+}
+
+#[derive(Debug)]
+struct RepairCell {
+    label: String,
+    n: usize,
+    divergence: usize,
+    report: RepairReport,
+}
+
+/// Builds a 2-member replica set over `n` entries, deletes `d` entries
+/// spread across the backup's repair-key space, and reconciles.
+fn run_repair_cell(label: &str, n: usize, d: usize) -> RepairCell {
+    let sim = Sim::new();
+    let report = sim.run_until(async move {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let cluster = CatfishCluster::build_replicated(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 2,
+                mode: ServerMode::EventDriven,
+                ..ServerConfig::default()
+            },
+            RTreeConfig::with_max_entries(88),
+            dataset(n),
+            1,
+            2,
+            &rkeys,
+        );
+        // Diverge the backup: drop `d` entries spread evenly across the
+        // key space — the scattered case, where a contiguous-range
+        // shortcut would not help the walk.
+        let mut keys: Vec<u64> = cluster
+            .replica(0, 1)
+            .with_index(|ix| ix.items_in_range(0, u64::MAX))
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        let stride = (keys.len() / d.max(1)).max(1);
+        let victims: Vec<u64> = keys.iter().step_by(stride).take(d).copied().collect();
+        assert_eq!(victims.len(), d, "dataset too small for divergence {d}");
+        for k in &victims {
+            cluster.replica(0, 1).with_index_mut(|ix| {
+                ix.remove_by_repair_key(*k);
+            });
+        }
+        cluster.repair_replica(0, 1)
+    });
+    RepairCell {
+        label: label.to_string(),
+        n,
+        divergence: d,
+        report,
+    }
+}
+
+fn json_chaos(r: &ChaosResult) -> String {
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"shards\":{},\"replicas\":{},\"ops\":{},",
+            "\"makespan_ms\":{:.3},\"kill_primary\":{},\"timeouts\":{},\"retransmits\":{},",
+            "\"repl_forwards\":{},\"repl_dups\":{},\"repl_fenced\":{},\"repl_lag_ns\":{},",
+            "\"epoch\":{},\"old_primary\":{},\"new_primary\":{},",
+            "\"lost\":{},\"duplicated\":{},\"exactly_once\":{},",
+            "\"heal_rounds\":{},\"heal_transferred\":{},\"heal_removed\":{},",
+            "\"heal_bytes_moved\":{},\"heal_full_resync_bytes\":{},\"heal_converged\":{},",
+            "\"post_heal_consistent\":{}}}"
+        ),
+        r.label,
+        r.shards,
+        r.replicas,
+        r.ops,
+        r.makespan.as_nanos() as f64 / 1e6,
+        r.killed,
+        r.stats.timeouts,
+        r.stats.retransmits,
+        r.stats.repl_forwards,
+        r.stats.repl_dups,
+        r.stats.repl_fenced,
+        r.stats.repl_lag_ns,
+        r.epoch,
+        r.old_primary,
+        r.new_primary,
+        r.lost,
+        r.duplicated,
+        r.lost == 0 && r.duplicated == 0,
+        r.heal.rounds,
+        r.heal.transferred,
+        r.heal.removed,
+        r.heal.bytes_moved,
+        r.heal.full_resync_bytes,
+        r.heal.converged,
+        r.post_heal_consistent,
+    )
+}
+
+fn json_repair(c: &RepairCell) -> String {
+    let r = &c.report;
+    let ratio = if r.bytes_moved > 0 {
+        r.full_resync_bytes as f64 / r.bytes_moved as f64
+    } else {
+        f64::INFINITY
+    };
+    format!(
+        concat!(
+            "{{\"label\":\"{}\",\"n\":{},\"divergence\":{},\"rounds\":{},",
+            "\"ranges_compared\":{},\"transferred\":{},\"removed\":{},",
+            "\"bytes_moved\":{},\"full_resync_bytes\":{},\"resync_savings\":{:.2},",
+            "\"converged\":{}}}"
+        ),
+        c.label,
+        c.n,
+        c.divergence,
+        r.rounds,
+        r.ranges_compared,
+        r.transferred,
+        r.removed,
+        r.bytes_moved,
+        r.full_resync_bytes,
+        ratio,
+        r.converged,
+    )
+}
+
+fn log2_ceil(n: usize) -> u64 {
+    (usize::BITS - n.next_power_of_two().leading_zeros()) as u64
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let shards = args.shards.as_ref().map_or(1, |v| v[0]);
+    let replicas = args.replicas.max(3);
+    banner(
+        "Repair sweep",
+        "exactly-once across primary failover; O(log n) anti-entropy repair",
+    );
+    let size = if args.paper {
+        args.size
+    } else {
+        args.size.min(20_000)
+    };
+    let ops = if args.paper {
+        args.requests
+    } else {
+        args.requests.min(150)
+    };
+    println!(
+        "dataset {size} rects, {shards} shard(s) x {replicas} replicas, {CLIENTS} clients x {ops} inserts, timeout {} us, retries {} (chaos on shard 0's primary)",
+        args.timeout_us.unwrap_or(500),
+        args.max_retries.unwrap_or(16),
+    );
+
+    let mut cells = vec![
+        ChaosCell {
+            label: "loss_10pct",
+            fault: FaultConfig {
+                drop_write: 0.10,
+                ..FaultConfig::off()
+            },
+            kill_primary: false,
+        },
+        ChaosCell {
+            label: "primary_crash",
+            fault: FaultConfig {
+                drop_write: 0.10,
+                ..FaultConfig::off()
+            },
+            kill_primary: true,
+        },
+    ];
+    // Explicit knobs replace the built-in pair with one custom cell;
+    // --kill-primary arms the scripted mid-batch partition.
+    if args.loss > 0.0 || args.stall > 0.0 || args.hb_drop > 0.0 {
+        cells = vec![ChaosCell {
+            label: "custom",
+            fault: FaultConfig {
+                drop_write: args.loss,
+                stall: args.stall,
+                suppress_heartbeat: args.hb_drop,
+                ..FaultConfig::off()
+            },
+            kill_primary: args.kill_primary,
+        }];
+    }
+
+    let mut chaos = Vec::new();
+    for cell in &cells {
+        let r = timed(cell.label, || {
+            run_chaos_cell(cell, &args, size, ops, shards, replicas)
+        });
+        println!(
+            "{:<14} timeouts {:>5}  retransmits {:>5}  forwards {:>6}  dups {:>4}  fenced {:>4}  epoch {}  primary {}->{}  lost {} dup {}  heal rounds {} moved {}B  consistent {}",
+            r.label,
+            r.stats.timeouts,
+            r.stats.retransmits,
+            r.stats.repl_forwards,
+            r.stats.repl_dups,
+            r.stats.repl_fenced,
+            r.epoch,
+            r.old_primary,
+            r.new_primary,
+            r.lost,
+            r.duplicated,
+            r.heal.rounds,
+            r.heal.bytes_moved,
+            r.post_heal_consistent,
+        );
+        assert_eq!(r.lost, 0, "{}: {} acked ops lost", r.label, r.lost);
+        assert_eq!(
+            r.duplicated, 0,
+            "{}: {} acked ops applied twice",
+            r.label, r.duplicated
+        );
+        assert!(
+            r.post_heal_consistent,
+            "{}: replicas diverged after heal",
+            r.label
+        );
+        if r.killed {
+            assert!(
+                r.heal.converged,
+                "{}: crashed primary failed to reconverge",
+                r.label
+            );
+        }
+        chaos.push(r);
+    }
+    // Export the last traced chaos cell for `trace_tool --check`: the
+    // forwarding legs must be connected child spans of their requests.
+    if let Some(base) = &args.trace_out {
+        if let Some(jsonl) = chaos.iter().rev().find_map(|r| r.spans_jsonl.as_ref()) {
+            let path = format!("{base}.spans.jsonl");
+            std::fs::write(&path, jsonl).expect("write span export");
+            println!("wrote {path}");
+        }
+    }
+
+    // Repair scaling: rounds grow with log2(n), not with n; at ≤1%
+    // divergence the walk beats a full resync by ≥5x in wire bytes.
+    let repair_grid: Vec<(String, usize, usize)> = {
+        let mut g = vec![
+            ("scale_n4096".to_string(), 4096, 16),
+            ("scale_n16384".to_string(), 16384, 16),
+            ("scale_n65536".to_string(), 65536, 16),
+        ];
+        for permille in [1usize, 5, 10] {
+            let n = 65_536;
+            g.push((
+                format!("diverge_{permille}permille"),
+                n,
+                (n * permille / 1000).max(1),
+            ));
+        }
+        g
+    };
+    let mut repairs = Vec::new();
+    for (label, n, d) in &repair_grid {
+        let c = timed(label, || run_repair_cell(label, *n, *d));
+        let r = &c.report;
+        let bound = 2 * log2_ceil(*n) + 2;
+        println!(
+            "{:<22} n {:>6}  d {:>4}  rounds {:>2} (≤{})  ranges {:>5}  transferred {:>4}  moved {:>8}B vs resync {:>9}B ({:.1}x)",
+            c.label,
+            c.n,
+            c.divergence,
+            r.rounds,
+            bound,
+            r.ranges_compared,
+            r.transferred,
+            r.bytes_moved,
+            r.full_resync_bytes,
+            r.full_resync_bytes as f64 / r.bytes_moved.max(1) as f64,
+        );
+        assert!(r.converged, "{}: repair did not converge", c.label);
+        assert_eq!(
+            r.transferred as usize, c.divergence,
+            "{}: wrong entry count re-shipped",
+            c.label
+        );
+        assert!(
+            r.rounds <= bound,
+            "{}: {} rounds breaks the O(log n) bound {}",
+            c.label,
+            r.rounds,
+            bound
+        );
+        assert!(
+            r.bytes_moved * 5 <= r.full_resync_bytes,
+            "{}: repair moved {} bytes, full resync {} — less than 5x savings",
+            c.label,
+            r.bytes_moved,
+            r.full_resync_bytes
+        );
+        repairs.push(c);
+    }
+
+    let body = format!(
+        "{{\"harness\":\"repair_sweep\",\"clients\":{CLIENTS},\"shards\":{shards},\"replicas\":{replicas},\"ops_per_client\":{ops},\"dataset\":{size},\"seed\":{},\"chaos\":[\n{}\n],\"repair\":[\n{}\n]}}\n",
+        args.seed,
+        chaos.iter().map(json_chaos).collect::<Vec<_>>().join(",\n"),
+        repairs.iter().map(json_repair).collect::<Vec<_>>().join(",\n"),
+    );
+    let out = args
+        .metrics_out
+        .clone()
+        .map(|b| format!("{b}.json"))
+        .unwrap_or_else(|| "BENCH_repair.json".to_string());
+    std::fs::write(&out, body).expect("write repair sweep results");
+    println!("all gates green: wrote {out}");
+}

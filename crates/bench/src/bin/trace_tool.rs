@@ -17,7 +17,7 @@
 //! (`chrome://tracing`, Perfetto). `--check` exits nonzero when any trace
 //! fails connectedness — the CI smoke mode.
 
-use catfish_core::obs::{LatencyHistogram, SpanKind, SpanRecord, TraceAssembler};
+use catfish_core::obs::{LatencyHistogram, SpanKind, SpanRecord, TraceAssembler, SERVER_NODE_BASE};
 use catfish_simnet::SimDuration;
 
 /// Extracts the integer value of `"key":N` from one JSONL line.
@@ -143,6 +143,27 @@ fn main() {
         );
     }
 
+    // Replication forwarding legs: an `Rpc` span emitted from a *server*
+    // node is a primary→backup forward, and must be stitched in as a
+    // child of the originating request's tree — a forward with no parent
+    // (or a parent missing from its trace) would hide replication time
+    // from the end-to-end critical path.
+    let present: std::collections::HashSet<(u64, u64)> =
+        spans.iter().map(|s| (s.trace_id, s.span_id)).collect();
+    let mut forward_legs = 0usize;
+    let mut orphan_forwards = 0usize;
+    for s in &spans {
+        if s.kind == SpanKind::Rpc && s.node >= SERVER_NODE_BASE {
+            forward_legs += 1;
+            if s.parent_span == 0 || !present.contains(&(s.trace_id, s.parent_span)) {
+                orphan_forwards += 1;
+            }
+        }
+    }
+    if forward_legs > 0 {
+        println!("replication: {forward_legs} forwarding leg(s), {orphan_forwards} orphaned",);
+    }
+
     if let Some(out) = chrome_out {
         std::fs::write(&out, asm.to_chrome_json())
             .unwrap_or_else(|e| panic!("trace_tool: cannot write {out}: {e}"));
@@ -151,6 +172,12 @@ fn main() {
 
     if check && !disconnected.is_empty() {
         eprintln!("FAIL: --check requires every trace to be connected");
+        std::process::exit(1);
+    }
+    if check && orphan_forwards > 0 {
+        eprintln!(
+            "FAIL: --check requires every replication forwarding leg to be a connected child span ({orphan_forwards} orphaned)"
+        );
         std::process::exit(1);
     }
 }

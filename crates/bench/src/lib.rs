@@ -59,6 +59,14 @@ pub struct BenchArgs {
     /// `p99=500us,kops=50,budget=0.01`). Binaries that support the gate
     /// evaluate the run against the spec and exit nonzero on violation.
     pub slo: Option<catfish_core::obs::SloSpec>,
+    /// Members per replica set (`--replicas k`; 1 = unreplicated). Every
+    /// shard becomes a k-way replica set with primary-forwarded mutations
+    /// and epoch-fenced failover.
+    pub replicas: usize,
+    /// Crash the primary of shard 0 partway through the run
+    /// (`--kill-primary`): supported binaries partition it mid-batch,
+    /// let the set promote, then audit exactly-once delivery.
+    pub kill_primary: bool,
 }
 
 impl Default for BenchArgs {
@@ -78,6 +86,8 @@ impl Default for BenchArgs {
             shards: None,
             trace_out: None,
             slo: None,
+            replicas: 1,
+            kill_primary: false,
         }
     }
 }
@@ -139,11 +149,17 @@ impl BenchArgs {
                     );
                     out.shards = Some(counts);
                 }
+                "--replicas" => {
+                    out.replicas = next_num(&mut args, "--replicas") as usize;
+                    assert!(out.replicas > 0, "--replicas must be positive");
+                }
+                "--kill-primary" => out.kill_primary = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --size N --requests N --clients a,b,c --shards a,b,c --seed N --paper --metrics-out BASE \
+                        "flags: --size N --requests N --clients a,b,c --shards a,b,c --replicas K --kill-primary \
+                         --seed N --paper --metrics-out BASE \
                          --trace-out BASE --slo SPEC --loss P --stall P --hb-drop P --timeout USEC --max-retries N  \
-                         (defaults: 1M rects, 1000 req/client, 1 shard, faults off)"
+                         (defaults: 1M rects, 1000 req/client, 1 shard, 1 replica, faults off)"
                     );
                     std::process::exit(0);
                 }

@@ -37,6 +37,10 @@ pub struct AdaptiveState {
     stale: bool,
     /// Fresh→stale transitions observed (edge-triggered counter).
     stale_windows: u64,
+    /// Consecutive fresh heartbeats received while the failsafe is
+    /// engaged — the hysteresis counter that gates unfreezing
+    /// ([`AdaptiveParams::stale_recovery_intervals`]).
+    fresh_streak: u32,
     rng: StdRng,
     /// Optional structured event timeline ([`AdaptiveState::set_event_log`]).
     events: Option<AdaptiveEventLog>,
@@ -76,6 +80,7 @@ impl AdaptiveState {
             last_seen: None,
             stale: false,
             stale_windows: 0,
+            fresh_streak: 0,
             rng,
             events: None,
             last_util: 0.0,
@@ -103,7 +108,21 @@ impl AdaptiveState {
     pub fn note_heartbeat(&mut self, utilization: f64) {
         self.u_serv = Some(utilization);
         self.last_util = utilization;
-        self.last_seen = Some(catfish_simnet::try_now().unwrap_or(SimTime::ZERO));
+        let t = catfish_simnet::try_now().unwrap_or(SimTime::ZERO);
+        if self.stale {
+            // Hysteresis bookkeeping: a burst of frames arriving together
+            // (retransmissions, doorbell coalescing) is one publication,
+            // not several fresh intervals, so the recovery streak advances
+            // at most once per half heartbeat interval.
+            let spaced = self.last_seen.is_none_or(|prev| {
+                t.saturating_duration_since(prev).as_nanos() * 2
+                    >= self.params.heartbeat_interval.as_nanos()
+            });
+            if spaced {
+                self.fresh_streak += 1;
+            }
+        }
+        self.last_seen = Some(t);
     }
 
     /// Records a full heartbeat, including the per-mode serving-cost terms
@@ -165,6 +184,16 @@ impl AdaptiveState {
         self.stale
     }
 
+    /// Time-aware staleness probe: advances the failsafe state machine to
+    /// the current instant (engaging or recovering exactly as a routing
+    /// decision would) and returns whether the failsafe holds. The
+    /// replicated cluster client polls this as its failure detector —
+    /// the flag alone only moves when Algorithm 1 runs.
+    pub fn probe_stale(&mut self) -> bool {
+        let t = catfish_simnet::try_now().unwrap_or(SimTime::ZERO);
+        self.staleness_failsafe(t)
+    }
+
     /// The staleness failsafe: a client that has *seen* a heartbeat but
     /// then heard nothing for `stale_after_intervals · Inv` stops trusting
     /// the last utilization figure and fails over to offloading until the
@@ -194,9 +223,23 @@ impl AdaptiveState {
                     silent_ns: silent.as_nanos(),
                 });
             }
+            // Any relapse into silence voids partial recovery progress:
+            // the unfreeze streak must be *consecutive* fresh intervals.
+            self.fresh_streak = 0;
             true
+        } else if self.stale {
+            // Hysteresis: a single surviving heartbeat under loss must not
+            // snap every frozen client back onto the struggling server at
+            // once. Unfreeze only after `stale_recovery_intervals`
+            // consecutive fresh heartbeats.
+            if self.fresh_streak >= self.params.stale_recovery_intervals {
+                self.stale = false;
+                self.fresh_streak = 0;
+                false
+            } else {
+                true
+            }
         } else {
-            self.stale = false;
             false
         }
     }
@@ -401,11 +444,62 @@ mod tests {
             // Edge-triggered: the window counts once while it lasts.
             assert!(s.decide());
             assert_eq!(s.stale_windows(), 1);
-            // The stream resumes: trust returns, fast path resumes.
+            // The stream resumes: one heartbeat is not yet trust — the
+            // default hysteresis wants 2 consecutive fresh intervals.
             s.note_heartbeat(0.1);
-            assert!(!s.decide());
+            assert!(s.decide(), "one heartbeat: still frozen");
+            assert!(s.is_stale());
+            sleep(SimDuration::from_millis(10)).await;
+            s.note_heartbeat(0.1);
+            assert!(!s.decide(), "second consecutive heartbeat: unfrozen");
             assert!(!s.is_stale());
             assert_eq!(s.stale_windows(), 1);
+        });
+    }
+
+    #[test]
+    fn stale_recovery_needs_consecutive_fresh_intervals() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            // Scripted timeline for the hysteresis, k = 3:
+            //   t=15ms   heartbeat        (fresh)
+            //   t=80ms   silence > 5·Inv  → frozen
+            //   t=80ms   heartbeat #1     → still frozen (streak 1)
+            //   t=140ms  silence again    → streak voided
+            //   t=140ms  heartbeat #1     → still frozen (streak 1)
+            //   t=150ms  heartbeat #2     → still frozen (streak 2)
+            //   t=150ms  heartbeat burst  → must NOT advance the streak
+            //   t=160ms  heartbeat #3     → unfrozen
+            let mut s = AdaptiveState::new(
+                AdaptiveParams {
+                    stale_recovery_intervals: 3,
+                    ..AdaptiveParams::default()
+                },
+                8,
+            );
+            sleep(SimDuration::from_millis(15)).await;
+            s.note_heartbeat(0.1);
+            sleep(SimDuration::from_millis(65)).await;
+            assert!(s.decide(), "silence froze the band");
+            s.note_heartbeat(0.1);
+            assert!(s.decide(), "streak 1 of 3: frozen");
+            // The stream dies again mid-recovery: progress is voided.
+            sleep(SimDuration::from_millis(60)).await;
+            assert!(s.decide());
+            assert_eq!(s.stale_windows(), 1, "one continuous stale window");
+            s.note_heartbeat(0.1);
+            assert!(s.decide(), "streak restarted at 1: frozen");
+            sleep(SimDuration::from_millis(10)).await;
+            s.note_heartbeat(0.1);
+            assert!(s.decide(), "streak 2 of 3: frozen");
+            // A burst within the same interval is one publication.
+            s.note_heartbeat(0.1);
+            s.note_heartbeat(0.1);
+            assert!(s.decide(), "burst does not fake an interval");
+            sleep(SimDuration::from_millis(10)).await;
+            s.note_heartbeat(0.1);
+            assert!(!s.decide(), "streak 3 of 3: unfrozen");
+            assert!(!s.is_stale());
         });
     }
 

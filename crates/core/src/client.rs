@@ -237,7 +237,7 @@ impl ClusterClient<RtreeBackend> {
         let targets = self.map.read_targets(rect);
         match targets.len() {
             0 => Vec::new(),
-            1 => self.shards[targets[0]].borrow_mut().search(rect).await,
+            1 => self.read_conn(targets[0]).borrow_mut().search(rect).await,
             _ => {
                 let rect = *rect;
                 let root = self.begin_scatter_root(&targets);
@@ -259,7 +259,13 @@ impl ClusterClient<RtreeBackend> {
     pub async fn insert(&mut self, rect: Rect, data: u64) -> bool {
         let home = self.map.home_shard(&rect);
         self.map.grow(home, &rect);
-        self.shards[home].borrow_mut().insert(rect, data).await
+        self.replicated_write(home, OpKind::Write, |seq| Message::InsertReq {
+            seq,
+            rect,
+            data,
+        })
+        .await
+        .0 == 1
     }
 
     /// Deletes the exact item `(rect, data)` from its home shard. The
@@ -267,7 +273,13 @@ impl ClusterClient<RtreeBackend> {
     /// merely costs an extra scatter target, never correctness).
     pub async fn delete(&mut self, rect: Rect, data: u64) -> bool {
         let home = self.map.home_shard(&rect);
-        self.shards[home].borrow_mut().delete(rect, data).await
+        self.replicated_write(home, OpKind::Remove, |seq| Message::DeleteReq {
+            seq,
+            rect,
+            data,
+        })
+        .await
+        .0 == 1
     }
 
     /// Cluster kNN: every occupied shard answers its local k nearest in

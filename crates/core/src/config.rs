@@ -108,6 +108,14 @@ pub struct AdaptiveParams {
     /// per-mode serving-cost terms arrives (then the crossover is derived
     /// from the advertised costs instead).
     pub fetch_items_threshold: f64,
+    /// Hysteresis for the staleness failsafe: once a client has frozen on
+    /// the offload band because heartbeats went silent, it unfreezes only
+    /// after this many *consecutive* fresh heartbeats. 1 restores the old
+    /// behavior (unfreeze on the first heartbeat after silence), which
+    /// flapped under a lossy heartbeat stream: a single surviving
+    /// heartbeat snapped every client back to the fast path, re-stormed
+    /// the struggling server, and went stale again an interval later.
+    pub stale_recovery_intervals: u32,
 }
 
 impl Default for AdaptiveParams {
@@ -120,6 +128,7 @@ impl Default for AdaptiveParams {
             fetch_enabled: false,
             fetch_util_floor: 0.5,
             fetch_items_threshold: 64.0,
+            stale_recovery_intervals: 2,
         }
     }
 }
@@ -191,6 +200,13 @@ pub struct ServerConfig {
     /// of the client's `stale_after_intervals` heartbeat failover (a
     /// client that restarted mid-fetch will never ack).
     pub mailbox_lease_ttl: SimDuration,
+    /// Per-connection retransmission-dedup window: how many recent
+    /// non-read sequence numbers (with their cached completion status) a
+    /// worker remembers. A retransmission storm longer than this window
+    /// can re-execute an already-applied mutation, so deployments with
+    /// aggressive timeouts and large retry budgets should size it past
+    /// `max_retries × in-flight requests`.
+    pub dedup_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -212,6 +228,7 @@ impl Default for ServerConfig {
             mailbox_slots: 16,
             mailbox_slot_bytes: 16 * 1024,
             mailbox_lease_ttl: SimDuration::from_millis(50),
+            dedup_window: 1024,
         }
     }
 }
@@ -351,6 +368,10 @@ mod tests {
         assert_eq!(a.busy_threshold, 0.95);
         assert_eq!(a.heartbeat_interval, SimDuration::from_millis(10));
         assert!(a.stale_after_intervals >= 2, "failsafe must outlast jitter");
+        assert!(
+            a.stale_recovery_intervals >= 1,
+            "unfreezing needs at least one fresh heartbeat"
+        );
         let c = ClientConfig::default();
         assert!(c.request_timeout >= SimDuration::from_millis(100));
         assert!(c.max_retries >= 1);
@@ -365,6 +386,7 @@ mod tests {
         assert!(s.mailbox_slots > 0);
         assert!(s.mailbox_slot_bytes > 16);
         assert!(s.mailbox_lease_ttl >= a.heartbeat_interval);
+        assert!(s.dedup_window >= 64, "dedup must cover a retry burst");
         assert!(!a.fetch_enabled, "three-way policy is opt-in");
     }
 

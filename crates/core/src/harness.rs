@@ -105,8 +105,14 @@ pub struct ExperimentSpec {
     /// With `shards > 1`, attach the fault plan to **one** shard's server
     /// endpoint only (client NICs stay clean — they carry every shard's
     /// traffic, so faulting them cannot target a shard). `None` faults the
-    /// whole cluster as usual.
+    /// whole cluster as usual. With replication the targeted shard's
+    /// **primary** draws the faults — the interesting victim.
     pub fault_shard: Option<usize>,
+    /// Members per replica set (the `--replicas` bench knob). `1` (the
+    /// default) is the classic unreplicated topology; `k > 1` builds every
+    /// shard as a k-way replica set with primary-forwarded mutations,
+    /// epoch-fenced failover, and hash-range repair.
+    pub replicas: usize,
 }
 
 impl Default for ExperimentSpec {
@@ -133,6 +139,7 @@ impl Default for ExperimentSpec {
             max_retries: None,
             shards: 1,
             fault_shard: None,
+            replicas: 1,
         }
     }
 }
@@ -451,7 +458,9 @@ struct ClientOutcome {
 }
 
 async fn run_inner(spec: ExperimentSpec) -> RunResult {
-    if spec.shards > 1 {
+    // Replication rides on the cluster topology even at one shard: a
+    // 1-shard k-way replica set is a legal (and useful) configuration.
+    if spec.shards > 1 || spec.replicas > 1 {
         return run_cluster_inner(spec).await;
     }
     let net = Network::new();
@@ -706,18 +715,39 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         Scheme::FastMessaging | Scheme::RdmaOffloading => ServerMode::Polling,
         Scheme::Catfish | Scheme::TcpIp => ServerMode::EventDriven,
     });
-    let cluster = CatfishCluster::build(
-        &net,
-        &spec.profile,
-        server_cfg,
-        spec.tree_config,
-        spec.dataset.clone(),
-        spec.shards,
-        &rkeys,
-    );
+    let cluster = if spec.replicas > 1 {
+        CatfishCluster::build_replicated(
+            &net,
+            &spec.profile,
+            server_cfg,
+            spec.tree_config,
+            spec.dataset.clone(),
+            spec.shards,
+            spec.replicas,
+            &rkeys,
+        )
+    } else {
+        CatfishCluster::build(
+            &net,
+            &spec.profile,
+            server_cfg,
+            spec.tree_config,
+            spec.dataset.clone(),
+            spec.shards,
+            &rkeys,
+        )
+    };
+    // Primaries at build time (replica 0 of each set) — the machines the
+    // timeline and fault targeting watch.
     let shard_servers: Vec<CatfishServer> = (0..cluster.shards())
         .map(|i| cluster.shard(i).clone())
         .collect();
+    let mut all_servers: Vec<CatfishServer> = Vec::new();
+    for i in 0..cluster.shards() {
+        for r in 0..cluster.replicas() {
+            all_servers.push(cluster.replica(i, r).clone());
+        }
+    }
     let fault_plan = match spec.fault {
         Some(cfg) if cfg.is_active() => Some(FaultPlan::new(cfg, spec.seed)),
         Some(_) => None,
@@ -732,7 +762,7 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
                 .endpoint()
                 .set_fault_plan(Some(plan.clone())),
             None => {
-                for s in &shard_servers {
+                for s in &all_servers {
                     s.endpoint().set_fault_plan(Some(plan.clone()));
                 }
             }
@@ -743,7 +773,7 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
     }
     let trace_sink = spec.collect_phase_spans.then(TraceSink::new);
     if let Some(sink) = &trace_sink {
-        for s in &shard_servers {
+        for s in &all_servers {
             s.set_trace(sink.clone());
         }
     }
@@ -895,9 +925,9 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         flight_dumps.extend(o.flight_dumps);
     }
     // Server-side robustness counters fold in per shard (so a single-shard
-    // fault audit can attribute them) and into the aggregate.
-    for (i, s) in shard_servers.iter().enumerate() {
-        let ss = s.stats();
+    // fault audit can attribute them) and into the aggregate. Replica
+    // counters are already summed within each set.
+    for (i, ss) in cluster.stats_per_shard().into_iter().enumerate() {
         per_shard_stats[i].dup_drops += ss.dup_drops;
         per_shard_stats[i].checksum_failures += ss.checksum_failures;
         per_shard_stats[i].resyncs += ss.resyncs;
@@ -905,6 +935,10 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         per_shard_stats[i].fetched_responses += ss.fetched_responses;
         per_shard_stats[i].fetch_fallbacks += ss.fetch_fallbacks;
         per_shard_stats[i].mailbox_reclaims += ss.mailbox_reclaims;
+        per_shard_stats[i].repl_forwards += ss.repl_forwards;
+        per_shard_stats[i].repl_fenced += ss.repl_fenced;
+        per_shard_stats[i].repl_dups += ss.repl_dups;
+        per_shard_stats[i].repl_lag_ns += ss.repl_lag_ns;
         stats.dup_drops += ss.dup_drops;
         stats.checksum_failures += ss.checksum_failures;
         stats.resyncs += ss.resyncs;
@@ -912,6 +946,10 @@ async fn run_cluster_inner(spec: ExperimentSpec) -> RunResult {
         stats.fetched_responses += ss.fetched_responses;
         stats.fetch_fallbacks += ss.fetch_fallbacks;
         stats.mailbox_reclaims += ss.mailbox_reclaims;
+        stats.repl_forwards += ss.repl_forwards;
+        stats.repl_fenced += ss.repl_fenced;
+        stats.repl_dups += ss.repl_dups;
+        stats.repl_lag_ns += ss.repl_lag_ns;
     }
     let completed = all.len();
     let throughput_kops = if makespan.is_zero() {

@@ -17,12 +17,13 @@ use catfish_rtree::{NodeId, TreeMeta};
 use catfish_simnet::SimDuration;
 
 use crate::config::CostModel;
-use crate::msg::MsgError;
+use crate::msg::{get_repl_env, put_repl_env, MsgError, REPL_ENV_WIRE_BYTES};
 use crate::obs::{TraceContext, TRACE_CTX_WIRE_BYTES};
+use crate::service::cluster::mix64;
 use crate::service::{
     ClientBackend, ClusterClient, ClusterServer, Execution, HeartbeatInfo, Incoming, Inconsistent,
-    IndexBackend, OpKind, RemoteHandle, ServiceClient, ServiceServer, ShardMap, ShardPartition,
-    WireCodec,
+    IndexBackend, OpKind, RangeDigest, RemoteHandle, ReplEnvelope, ServiceClient, ServiceServer,
+    ShardMap, ShardPartition, WireCodec,
 };
 use crate::store::MrMemory;
 
@@ -39,6 +40,7 @@ const TAG_RESP_END: u8 = 37;
 const TAG_HEARTBEAT: u8 = 38;
 const TAG_BATCH: u8 = 39;
 const TAG_TRACED: u8 = 40;
+const TAG_REPLICATED: u8 = 41;
 
 /// A key-value service message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +111,15 @@ pub enum KvMessage {
         /// The wire-propagated trace context.
         ctx: TraceContext,
         /// The request being carried.
+        inner: Box<KvMessage>,
+    },
+    /// A mutation under a replication envelope (stable op identity plus
+    /// epoch fence). Replication envelopes wrap single bare mutations; a
+    /// trace envelope may wrap a replication envelope, never the reverse.
+    Replicated {
+        /// The replication envelope.
+        env: ReplEnvelope,
+        /// The mutation being carried.
         inner: Box<KvMessage>,
     },
 }
@@ -191,6 +202,20 @@ impl KvMessage {
                 );
                 out.push(TAG_TRACED);
                 ctx.encode_into(&mut out);
+                out.extend_from_slice(&inner.encode());
+            }
+            KvMessage::Replicated { env, inner } => {
+                debug_assert!(
+                    !matches!(
+                        **inner,
+                        KvMessage::Batch(_)
+                            | KvMessage::Traced { .. }
+                            | KvMessage::Replicated { .. }
+                    ),
+                    "replication envelopes wrap single bare requests only"
+                );
+                out.push(TAG_REPLICATED);
+                put_repl_env(&mut out, env);
                 out.extend_from_slice(&inner.encode());
             }
         }
@@ -312,6 +337,20 @@ impl KvMessage {
                     inner: Box::new(inner),
                 })
             }
+            TAG_REPLICATED => {
+                let env = get_repl_env(rest)?;
+                let inner = KvMessage::decode(&rest[REPL_ENV_WIRE_BYTES..])?;
+                if matches!(
+                    inner,
+                    KvMessage::Batch(_) | KvMessage::Traced { .. } | KvMessage::Replicated { .. }
+                ) {
+                    return Err(MsgError::NestedReplication);
+                }
+                Ok(KvMessage::Replicated {
+                    env,
+                    inner: Box::new(inner),
+                })
+            }
             other => Err(MsgError::UnknownTag(other)),
         }
     }
@@ -401,7 +440,26 @@ impl WireCodec for KvWire {
             KvMessage::PutReq { seq, .. } => Some((*seq, OpKind::Write)),
             KvMessage::RemoveReq { seq, .. } => Some((*seq, OpKind::Remove)),
             KvMessage::Traced { inner, .. } => Self::request_meta(inner),
+            // Connection-scoped identity of a replicated mutation is the
+            // envelope's link sequence, not the origin client's inner seq.
+            KvMessage::Replicated { env, inner } => {
+                Self::request_meta(inner).map(|(_, kind)| (env.link_seq, kind))
+            }
             _ => None,
+        }
+    }
+
+    fn replicated(env: ReplEnvelope, inner: KvMessage) -> KvMessage {
+        KvMessage::Replicated {
+            env,
+            inner: Box::new(inner),
+        }
+    }
+
+    fn take_origin(msg: KvMessage) -> (Option<ReplEnvelope>, KvMessage) {
+        match msg {
+            KvMessage::Replicated { env, inner } => (Some(env), *inner),
+            other => (None, other),
         }
     }
 }
@@ -452,20 +510,32 @@ impl ClusterClient<KvBackend> {
     /// Looks up `key` on its ring shard.
     pub async fn get(&mut self, key: u64) -> Option<u64> {
         let s = self.map.key_shard(key);
-        self.shards[s].borrow_mut().get(key).await
+        self.read_conn(s).borrow_mut().get(key).await
     }
 
     /// Inserts or replaces a pair on its ring shard; returns the previous
     /// value if any.
     pub async fn put(&mut self, key: u64, value: u64) -> Option<u64> {
         let s = self.map.key_shard(key);
-        self.shards[s].borrow_mut().put(key, value).await
+        self.replicated_write(s, OpKind::Write, |seq| KvMessage::PutReq {
+            seq,
+            key,
+            value,
+        })
+        .await
+        .1
+        .first()
+        .map(|&(_, v)| v)
     }
 
     /// Removes a key from its ring shard; returns its value if present.
     pub async fn remove(&mut self, key: u64) -> Option<u64> {
         let s = self.map.key_shard(key);
-        self.shards[s].borrow_mut().remove(key).await
+        self.replicated_write(s, OpKind::Remove, |seq| KvMessage::RemoveReq { seq, key })
+            .await
+            .1
+            .first()
+            .map(|&(_, v)| v)
     }
 
     /// All pairs with `lo <= key <= hi`: hash partitioning spreads a key
@@ -584,8 +654,61 @@ impl IndexBackend for KvBackend {
             | KvMessage::RespEnd { .. }
             | KvMessage::Heartbeat { .. }
             | KvMessage::Batch(_)
-            | KvMessage::Traced { .. } => None,
+            | KvMessage::Traced { .. }
+            | KvMessage::Replicated { .. } => None,
         }
+    }
+}
+
+/// Content fingerprint of one KV pair for hash-range reconciliation:
+/// depends on both key and value, so a replica holding a stale value for a
+/// key still shows up as a digest mismatch.
+fn kv_fingerprint(key: u64, value: u64) -> u64 {
+    mix64(mix64(key) ^ mix64(value ^ 0x9e37_79b9_7f4a_7c15))
+}
+
+impl RangeDigest for KvBackend {
+    type Entry = (u64, u64);
+
+    fn digest_range(&self, lo: u64, hi: u64) -> (u64, u64) {
+        let mut xor = 0u64;
+        let mut count = 0u64;
+        for (k, v) in self.range(0, u64::MAX) {
+            if (lo..=hi).contains(&mix64(k)) {
+                xor ^= kv_fingerprint(k, v);
+                count += 1;
+            }
+        }
+        (xor, count)
+    }
+
+    fn items_in_range(&self, lo: u64, hi: u64) -> Vec<(u64, (u64, u64))> {
+        self.range(0, u64::MAX)
+            .into_iter()
+            .filter(|&(k, _)| (lo..=hi).contains(&mix64(k)))
+            .map(|(k, v)| (mix64(k), (k, v)))
+            .collect()
+    }
+
+    fn apply_entry(&mut self, entry: &(u64, u64)) {
+        self.insert(entry.0, entry.1);
+    }
+
+    fn remove_by_repair_key(&mut self, key: u64) {
+        // mix64 is a bijection, so at most one application key maps here.
+        let stale: Vec<u64> = self
+            .range(0, u64::MAX)
+            .into_iter()
+            .map(|(k, _)| k)
+            .filter(|&k| mix64(k) == key)
+            .collect();
+        for k in stale {
+            self.remove(k);
+        }
+    }
+
+    fn entry_wire_bytes() -> usize {
+        <KvWire as WireCodec>::ITEM_WIRE_BYTES
     }
 }
 
@@ -763,6 +886,87 @@ mod tests {
 
     fn items(n: u64) -> Vec<(u64, u64)> {
         (0..n).map(|i| (i * 7 % (n * 4), i)).collect()
+    }
+
+    /// Drives one raw connection: `storm` distinct puts after an initial
+    /// seq-1 put, then a byte-identical retransmission of seq 1. Returns
+    /// `(writes executed, dup_drops)` so callers can see whether the
+    /// dedup window still remembered the original.
+    async fn storm_then_retransmit(window: usize, storm: u32) -> (u64, u64) {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let server = KvServer::build(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 2,
+                mode: ServerMode::EventDriven,
+                dedup_window: window,
+                ..ServerConfig::default()
+            },
+            BpConfig::with_max_keys(32),
+            items(100),
+            &rkeys,
+        );
+        let ep = Endpoint::new(&net, net.add_node(profile.link), RdmaProfile::default());
+        let ch = server.accept(&ep);
+        let send = |seq: u32, key: u64| {
+            KvWire::encode(&KvMessage::PutReq {
+                seq,
+                key,
+                value: u64::from(seq),
+            })
+        };
+        async fn await_end(ch: &mut crate::conn::ClientChannel, want: u32) {
+            loop {
+                let bytes = ch.rx.wait_message().await;
+                if let Ok(KvMessage::RespEnd { seq, .. }) = KvWire::decode(&bytes) {
+                    if seq == want {
+                        return;
+                    }
+                }
+            }
+        }
+        let mut ch = ch;
+        ch.tx.send(&send(1, 500_000), 1).await.unwrap();
+        await_end(&mut ch, 1).await;
+        for s in 2..2 + storm {
+            ch.tx
+                .send(&send(s, 500_000 + u64::from(s)), s)
+                .await
+                .unwrap();
+            await_end(&mut ch, s).await;
+        }
+        // The retry: same seq, same bytes, long after the original.
+        ch.tx.send(&send(1, 500_000), 1).await.unwrap();
+        await_end(&mut ch, 1).await;
+        let st = server.stats();
+        (st.writes, st.dup_drops)
+    }
+
+    /// Regression for the once hard-coded dedup window: a write storm
+    /// longer than a too-small window evicts the original entry, so a
+    /// trailing retransmission re-executes (exactly-once broken); the
+    /// default window rides out the same storm and answers from cache.
+    #[test]
+    fn dedup_window_size_bounds_storm_survival() {
+        let sim = Sim::new();
+        sim.run_until(async {
+            let storm = 200u32;
+            let (writes, dups) = storm_then_retransmit(64, storm).await;
+            assert_eq!(
+                (writes, dups),
+                (u64::from(storm) + 2, 0),
+                "64-entry window must evict under a 200-write storm"
+            );
+            let (writes, dups) = storm_then_retransmit(1024, storm).await;
+            assert_eq!(
+                (writes, dups),
+                (u64::from(storm) + 1, 1),
+                "default window must answer the retry from cache"
+            );
+        });
     }
 
     #[test]

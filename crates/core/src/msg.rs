@@ -10,7 +10,7 @@ use std::fmt;
 use catfish_rtree::Rect;
 
 use crate::obs::{TraceContext, TRACE_CTX_WIRE_BYTES};
-use crate::service::{HeartbeatInfo, Incoming, WireCodec};
+use crate::service::{HeartbeatInfo, Incoming, ReplEnvelope, WireCodec};
 
 const TAG_SEARCH: u8 = 1;
 const TAG_INSERT: u8 = 2;
@@ -21,6 +21,32 @@ const TAG_HEARTBEAT: u8 = 6;
 const TAG_NEAREST: u8 = 7;
 const TAG_BATCH: u8 = 8;
 const TAG_TRACED: u8 = 9;
+const TAG_REPLICATED: u8 = 10;
+
+/// Encoded size of a [`ReplEnvelope`] behind its tag byte.
+pub(crate) const REPL_ENV_WIRE_BYTES: usize = 4 + 8 + 8 + 8 + 1;
+
+pub(crate) fn put_repl_env(out: &mut Vec<u8>, env: &ReplEnvelope) {
+    out.extend_from_slice(&env.link_seq.to_le_bytes());
+    out.extend_from_slice(&env.origin.to_le_bytes());
+    out.extend_from_slice(&env.op_id.to_le_bytes());
+    out.extend_from_slice(&env.epoch.to_le_bytes());
+    out.push(env.flags);
+}
+
+pub(crate) fn get_repl_env(buf: &[u8]) -> Result<ReplEnvelope, MsgError> {
+    if buf.len() < REPL_ENV_WIRE_BYTES {
+        return Err(MsgError::Truncated);
+    }
+    let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("sized"));
+    Ok(ReplEnvelope {
+        link_seq: u32::from_le_bytes(buf[0..4].try_into().expect("sized")),
+        origin: u64_at(4),
+        op_id: u64_at(12),
+        epoch: u64_at(20),
+        flags: buf[28],
+    })
+}
 
 /// A typed ring-buffer message.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +130,18 @@ pub enum Message {
         /// The request being carried.
         inner: Box<Message>,
     },
+    /// A mutation wrapped in a replication envelope: 29 bytes of
+    /// [`ReplEnvelope`] (link sequence, replica-set-wide op identity,
+    /// promotion epoch) ahead of the unchanged inner encoding. Wraps bare
+    /// mutations only — never a batch, a trace envelope, or another
+    /// replication envelope; the trace envelope nests *outside*
+    /// (`Traced(Replicated(req))`).
+    Replicated {
+        /// The replication envelope.
+        env: ReplEnvelope,
+        /// The mutation being carried.
+        inner: Box<Message>,
+    },
 }
 
 /// Errors from decoding a ring message.
@@ -119,6 +157,9 @@ pub enum MsgError {
     NestedBatch,
     /// A trace envelope wrapped a batch or another trace envelope.
     NestedTrace,
+    /// A replication envelope wrapped a batch, a trace envelope, or
+    /// another replication envelope.
+    NestedReplication,
 }
 
 impl fmt::Display for MsgError {
@@ -130,6 +171,9 @@ impl fmt::Display for MsgError {
             MsgError::NestedBatch => write!(f, "batch frame nested inside a batch frame"),
             MsgError::NestedTrace => {
                 write!(f, "trace envelope wrapping a batch or another envelope")
+            }
+            MsgError::NestedReplication => {
+                write!(f, "replication envelope wrapping a non-mutation")
             }
         }
     }
@@ -238,6 +282,18 @@ impl Message {
                 ctx.encode_into(&mut out);
                 out.extend_from_slice(&inner.encode());
             }
+            Message::Replicated { env, inner } => {
+                debug_assert!(
+                    !matches!(
+                        **inner,
+                        Message::Batch(_) | Message::Traced { .. } | Message::Replicated { .. }
+                    ),
+                    "replication envelopes wrap bare mutations only"
+                );
+                out.push(TAG_REPLICATED);
+                put_repl_env(&mut out, env);
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -253,6 +309,7 @@ impl Message {
             Message::Heartbeat { .. } => 1 + 2 + 16,
             Message::Batch(msgs) => 1 + 4 + msgs.iter().map(|m| 4 + m.encoded_len()).sum::<usize>(),
             Message::Traced { inner, .. } => 1 + TRACE_CTX_WIRE_BYTES + inner.encoded_len(),
+            Message::Replicated { inner, .. } => 1 + REPL_ENV_WIRE_BYTES + inner.encoded_len(),
         }
     }
 
@@ -390,6 +447,20 @@ impl Message {
                     inner: Box::new(inner),
                 })
             }
+            TAG_REPLICATED => {
+                let env = get_repl_env(rest)?;
+                let inner = Message::decode(&rest[REPL_ENV_WIRE_BYTES..])?;
+                if matches!(
+                    inner,
+                    Message::Batch(_) | Message::Traced { .. } | Message::Replicated { .. }
+                ) {
+                    return Err(MsgError::NestedReplication);
+                }
+                Ok(Message::Replicated {
+                    env,
+                    inner: Box::new(inner),
+                })
+            }
             other => Err(MsgError::UnknownTag(other)),
         }
     }
@@ -480,7 +551,27 @@ impl WireCodec for RtreeWire {
             Message::InsertReq { seq, .. } => Some((*seq, OpKind::Write)),
             Message::DeleteReq { seq, .. } => Some((*seq, OpKind::Remove)),
             Message::Traced { inner, .. } => Self::request_meta(inner),
+            // The connection-scoped identity of a replicated mutation is
+            // the envelope's link sequence, not the inner sequence (which
+            // belongs to the originating client's connection).
+            Message::Replicated { env, inner } => {
+                Self::request_meta(inner).map(|(_, kind)| (env.link_seq, kind))
+            }
             _ => None,
+        }
+    }
+
+    fn replicated(env: ReplEnvelope, inner: Message) -> Message {
+        Message::Replicated {
+            env,
+            inner: Box::new(inner),
+        }
+    }
+
+    fn take_origin(msg: Message) -> (Option<ReplEnvelope>, Message) {
+        match msg {
+            Message::Replicated { env, inner } => (Some(env), *inner),
+            other => (None, other),
         }
     }
 }
@@ -659,6 +750,106 @@ mod tests {
         let (none, same) = RtreeWire::take_trace(inner.clone());
         assert_eq!(none, None);
         assert_eq!(same, inner);
+    }
+
+    fn env() -> ReplEnvelope {
+        ReplEnvelope {
+            link_seq: 17,
+            origin: 0xABCD,
+            op_id: 99,
+            epoch: 3,
+            flags: ReplEnvelope::FORWARDED,
+        }
+    }
+
+    #[test]
+    fn replicated_envelope_round_trips_and_sizes_exactly() {
+        let msg = Message::Replicated {
+            env: env(),
+            inner: Box::new(Message::InsertReq {
+                seq: 4,
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+                data: 7,
+            }),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        assert_eq!(bytes.len(), 1 + REPL_ENV_WIRE_BYTES + 1 + 4 + 32 + 8);
+        assert_eq!(Message::decode(&bytes), Ok(msg));
+        for cut in 0..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn replicated_envelope_must_wrap_bare_mutations_only() {
+        // encode() debug-asserts against building these, so forge bytes.
+        for inner in [
+            Message::Batch(vec![Message::Heartbeat {
+                info: HeartbeatInfo::util_only(1),
+            }])
+            .encode(),
+            Message::Traced {
+                ctx: TraceContext {
+                    trace_id: 1,
+                    parent_span: 1,
+                    flags: 0,
+                },
+                inner: Box::new(Message::InsertReq {
+                    seq: 1,
+                    rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+                    data: 1,
+                }),
+            }
+            .encode(),
+            Message::Replicated {
+                env: env(),
+                inner: Box::new(Message::DeleteReq {
+                    seq: 1,
+                    rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+                    data: 1,
+                }),
+            }
+            .encode(),
+        ] {
+            let mut forged = vec![10u8]; // TAG_REPLICATED
+            put_repl_env(&mut forged, &env());
+            forged.extend_from_slice(&inner);
+            assert_eq!(Message::decode(&forged), Err(MsgError::NestedReplication));
+        }
+    }
+
+    #[test]
+    fn traced_may_wrap_replicated_and_metas_report_link_seq() {
+        use crate::service::{OpKind, WireCodec};
+        let inner = Message::InsertReq {
+            seq: 900, // the origin connection's sequence number
+            rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            data: 42,
+        };
+        let wrapped = RtreeWire::replicated(env(), inner.clone());
+        // Connection dedup must key on the forwarding link's sequence.
+        assert_eq!(RtreeWire::request_meta(&wrapped), Some((17, OpKind::Write)));
+        let traced = RtreeWire::traced(
+            TraceContext {
+                trace_id: 8,
+                parent_span: 8,
+                flags: 0,
+            },
+            wrapped.clone(),
+        );
+        let bytes = traced.encode();
+        assert_eq!(bytes.len(), traced.encoded_len());
+        assert_eq!(Message::decode(&bytes), Ok(traced.clone()));
+        assert_eq!(RtreeWire::request_meta(&traced), Some((17, OpKind::Write)));
+        // take_trace then take_origin peel the envelopes in order.
+        let (_, after_trace) = RtreeWire::take_trace(traced);
+        let (got_env, bare) = RtreeWire::take_origin(after_trace);
+        assert_eq!(got_env, Some(env()));
+        assert_eq!(bare, inner);
+        let (none, same) = RtreeWire::take_origin(bare.clone());
+        assert_eq!(none, None);
+        assert_eq!(same, bare);
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub enum Anomaly {
         /// Request sequence number.
         seq: u32,
     },
+    /// A hash-range reconciliation pass finished with replicas still
+    /// divergent (the root digests disagreed after the walk).
+    RepairFailed {
+        /// Entries still differing between the replicas after repair.
+        residual: u64,
+    },
 }
 
 impl Anomaly {
@@ -115,6 +121,7 @@ impl Anomaly {
             Anomaly::Resync => "resync",
             Anomaly::StaleHeartbeat { .. } => "stale_heartbeat",
             Anomaly::FetchFallback { .. } => "fetch_fallback",
+            Anomaly::RepairFailed { .. } => "repair_failed",
         }
     }
 }
@@ -167,6 +174,9 @@ impl FlightDump {
             }
             Anomaly::StaleHeartbeat { silent_ns } => {
                 out.push_str(&format!(",\"silent_ns\":{silent_ns}"));
+            }
+            Anomaly::RepairFailed { residual } => {
+                out.push_str(&format!(",\"residual\":{residual}"));
             }
             Anomaly::ChecksumFailure | Anomaly::Resync => {}
         }

@@ -21,7 +21,7 @@ use crate::stats::ServiceStats;
 
 use super::{
     ClientBackend, HeartbeatInfo, Incoming, Inconsistent, LayoutNode, OpKind, RemoteHandle,
-    SearchPath, WireCodec, WireItem, WireMessage, FETCH_FLAG,
+    ReplEnvelope, SearchPath, WireCodec, WireItem, WireMessage, FETCH_FLAG, STATUS_UNACKED,
 };
 
 /// Why one chunk read gave up.
@@ -73,6 +73,11 @@ pub struct ServiceClient<B: ClientBackend> {
     /// operation becomes an `Rpc` child of `(trace_id, parent_span)`
     /// instead of a fresh root.
     pub(crate) pending_parent: Option<(u64, u64)>,
+    /// Set by the replication layer before a mutation: the next
+    /// [`ServiceClient::fast_request`] wraps its request in a
+    /// [`ReplEnvelope`] (stable origin/op identity, epoch fence) with
+    /// `link_seq` bound to the connection sequence number at send time.
+    pub(crate) pending_origin: Option<ReplEnvelope>,
     /// Always-on recorder of recent protocol events, dumped on anomalies.
     pub(crate) flight: FlightRecorder,
     /// Virtual instant of the last heartbeat consumed (for annotating
@@ -122,6 +127,7 @@ impl<B: ClientBackend> ServiceClient<B> {
             span: SpanLog::default(),
             cur_op: None,
             pending_parent: None,
+            pending_origin: None,
             flight,
             last_heartbeat: None,
             stale_reported: 0,
@@ -228,6 +234,16 @@ impl<B: ClientBackend> ServiceClient<B> {
             parent_span: op.span_id,
             flags,
         })
+    }
+
+    /// Whether this connection's heartbeat-staleness failsafe is engaged
+    /// — the promotion trigger the replicated cluster client watches.
+    /// Time-aware: drains pending heartbeats first, then advances the
+    /// failsafe to the current instant, so a silent primary is detected
+    /// even between routing decisions.
+    pub fn is_stale(&mut self) -> bool {
+        self.drain_pending();
+        self.adaptive.probe_stale()
     }
 
     /// Reports fresh stale-heartbeat failovers (edge-triggered by the
@@ -384,21 +400,28 @@ impl<B: ClientBackend> ServiceClient<B> {
     /// Sends one request over the ring and collects its CONT/END response
     /// segments, returning `(status, items)`. Heartbeats observed while
     /// waiting are recorded; stale or unexpected messages are dropped.
+    /// Giving up (retry budget spent, or the ring is closed) returns
+    /// [`STATUS_UNACKED`]: the request *may* have executed — only an END
+    /// frame proves acknowledgement.
     pub(crate) async fn fast_request(
         &mut self,
         build: impl FnOnce(u32) -> WireMessage<B>,
     ) -> (u32, Vec<WireItem<B>>) {
         self.seq += 1;
         let seq = self.seq;
-        // The envelope is applied before the single encode, so every
+        // The envelopes are applied before the single encode, so every
         // retransmission re-sends the identical traced bytes.
         let mut msg = build(seq);
+        if let Some(mut env) = self.pending_origin.take() {
+            env.link_seq = seq;
+            msg = B::Wire::replicated(env, msg);
+        }
         if let Some(ctx) = self.wire_ctx(0) {
             msg = B::Wire::traced(ctx, msg);
         }
         let encoded = B::Wire::encode(&msg);
         if self.ch.tx.send(&encoded, seq).await.is_err() {
-            return (0, Vec::new());
+            return (STATUS_UNACKED, Vec::new());
         }
         self.flight.note(FlightEvent::Send {
             seq,
@@ -443,7 +466,7 @@ impl<B: ClientBackend> ServiceClient<B> {
             // with capped exponential backoff between attempts.
             if !self.timeout_backoff(seq, retries, backoff).await {
                 self.trace.end(Phase::CqWait, wait_span);
-                return (0, out);
+                return (STATUS_UNACKED, out);
             }
             backoff = self.next_backoff(backoff);
             retries += 1;
@@ -454,9 +477,30 @@ impl<B: ClientBackend> ServiceClient<B> {
             self.flight.note(FlightEvent::Retransmit { seq });
             if self.ch.tx.send(&encoded, seq).await.is_err() {
                 self.trace.end(Phase::CqWait, wait_span);
-                return (0, out);
+                return (STATUS_UNACKED, out);
             }
         }
+    }
+
+    /// Ships an already-built mutation down this connection inside a
+    /// [`ReplEnvelope`] — the primary→backup forwarding leg. The span
+    /// parent (when given) makes the leg an `Rpc` child of the request
+    /// that triggered it, so forwarded hops stay connected in the trace
+    /// assembly. Returns the backup's END status ([`STATUS_UNACKED`] when
+    /// the backup never answered within the retry budget).
+    pub(crate) async fn forward(
+        &mut self,
+        inner: WireMessage<B>,
+        env: ReplEnvelope,
+        parent: Option<(u64, u64)>,
+    ) -> u32 {
+        self.drain_pending();
+        self.pending_parent = parent;
+        self.pending_origin = Some(env);
+        let opened = self.op_begin();
+        let (status, _) = self.fast_request(move |_| inner).await;
+        self.op_end(opened);
+        status
     }
 
     /// A read served by the server through fast messaging.

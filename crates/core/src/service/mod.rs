@@ -35,7 +35,9 @@ pub mod cluster;
 mod server;
 
 pub use client::ServiceClient;
-pub use cluster::{ClusterClient, ClusterServer, ShardMap, ShardPartition};
+pub use cluster::{
+    ClusterClient, ClusterServer, RepairReport, ReplicaCtl, ShardMap, ShardPartition,
+};
 pub use server::ServiceServer;
 
 /// Request message type of a backend's wire codec.
@@ -44,6 +46,54 @@ pub type WireMessage<B> = <<B as IndexBackend>::Wire as WireCodec>::Message;
 pub type WireItem<B> = <<B as IndexBackend>::Wire as WireCodec>::Item;
 /// Decoded remote-node type of a backend's chunk layout.
 pub type LayoutNode<B> = <<B as IndexBackend>::Layout as RemoteLayout>::Node;
+
+/// END status returned by [`ServiceClient`] when a request was *not*
+/// acknowledged: the retry budget ran out (or the ring closed) without an
+/// END frame. The operation may or may not have executed — distinct from
+/// any server-produced status, so replicated writers can tell "unknown
+/// outcome, reissue under the same op identity" from "rejected".
+pub const STATUS_UNACKED: u32 = u32::MAX;
+
+/// END status produced by a replica that *fenced* a mutation: the request
+/// carried a stale epoch, or landed on a server that is not the current
+/// primary. The mutation was not applied; the writer must refresh its
+/// view of the replica set and reissue.
+pub const REPL_FENCED: u32 = u32::MAX - 1;
+
+/// The replication envelope riding on every replicated mutation.
+///
+/// Two identities live here. `link_seq` is the *connection* sequence
+/// number (the same number the bare request carries on an unreplicated
+/// ring) — it scopes retransmission dedup to one link. `(origin, op_id)`
+/// is the *replica-set-wide* identity of the mutation: stable across
+/// failover reissues to a different server, so a new primary can answer a
+/// reissued mutation from its applied-operation table instead of applying
+/// it twice. `epoch` fences stale primaries after a promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplEnvelope {
+    /// Connection-scoped sequence number (bound at send time).
+    pub link_seq: u32,
+    /// Writer identity (unique per cluster client).
+    pub origin: u64,
+    /// Per-writer mutation counter: `(origin, op_id)` names the mutation
+    /// across every connection and every replica.
+    pub op_id: u64,
+    /// Promotion epoch the writer believes is current.
+    pub epoch: u64,
+    /// Flag bits ([`ReplEnvelope::FORWARDED`]).
+    pub flags: u8,
+}
+
+impl ReplEnvelope {
+    /// Flag: this mutation is a primary→backup forwarding leg (already
+    /// accepted by the primary), not a client submission.
+    pub const FORWARDED: u8 = 1;
+
+    /// Whether this is a primary→backup forwarding leg.
+    pub fn forwarded(&self) -> bool {
+        self.flags & Self::FORWARDED != 0
+    }
+}
 
 /// High bit of the request sequence number: set by a client that wants
 /// the response *deposited in its mailbox* (remote result fetching)
@@ -147,8 +197,31 @@ pub trait WireCodec: Sized + 'static {
     /// Identifies a request: its sequence number and stats kind. `None`
     /// for non-requests (responses, heartbeats, batch envelopes). The
     /// server's per-connection duplicate-detection window keys on the
-    /// sequence number to keep retransmitted writes idempotent.
+    /// sequence number to keep retransmitted writes idempotent. For a
+    /// replication-enveloped request this reports the envelope's
+    /// `link_seq` (the connection-scoped identity) with the inner kind.
     fn request_meta(msg: &Self::Message) -> Option<(u32, OpKind)>;
+
+    /// Wraps a mutation in a replication envelope (stable op identity,
+    /// epoch fence). Envelopes wrap bare requests only — never a batch, a
+    /// response, a trace envelope, or another replication envelope; the
+    /// trace envelope goes *outside* (`Traced(Replicated(req))`).
+    ///
+    /// Codecs that don't participate in replication may keep the default,
+    /// which returns `inner` unchanged (the envelope is dropped, so a
+    /// replicated cluster over such a codec would not be exactly-once —
+    /// both shipped codecs implement it).
+    fn replicated(env: ReplEnvelope, inner: Self::Message) -> Self::Message {
+        let _ = env;
+        inner
+    }
+
+    /// Splits a replication envelope off a message: `(Some(env), inner)`
+    /// for a wrapped mutation, `(None, msg)` unchanged otherwise. The
+    /// server strips this after [`WireCodec::take_trace`].
+    fn take_origin(msg: Self::Message) -> (Option<ReplEnvelope>, Self::Message) {
+        (None, msg)
+    }
 }
 
 /// A received message, classified for the generic receive loops.
@@ -256,6 +329,49 @@ pub trait IndexBackend: Sized + 'static {
         msg: <Self::Wire as WireCodec>::Message,
         cost: &CostModel,
     ) -> Option<Execution<Self::Wire>>;
+}
+
+/// Anti-entropy support: cumulated hashes over key ranges, the backend
+/// half of hash-range reconciliation (reconcile-rs's `HRTree` idea).
+///
+/// Every entry is assigned a *repair key* (a hash of its identity, so
+/// entries spread uniformly over the `u64` keyspace regardless of how
+/// clustered the application's ids are) and a *fingerprint* (a hash of
+/// its full content). [`RangeDigest::digest_range`] folds the
+/// fingerprints of every entry whose repair key falls in `[lo, hi]` with
+/// XOR — an order-independent, composable digest: the digest of a range
+/// equals the XOR of the digests of any partition of it. Two replicas
+/// compare digests top-down, bisecting only mismatched halves, and locate
+/// a divergence of `d` entries in `O(log n)` round trips instead of
+/// shipping the whole index.
+pub trait RangeDigest {
+    /// `(xor_of_fingerprints, entry_count)` over repair keys in
+    /// `[lo, hi]` (inclusive).
+    fn digest_range(&self, lo: u64, hi: u64) -> (u64, u64);
+
+    /// The entries whose repair keys fall in `[lo, hi]`, as
+    /// `(repair_key, entry)` pairs — the transfer unit of reconciliation.
+    fn items_in_range(&self, lo: u64, hi: u64) -> Vec<(u64, Self::Entry)>
+    where
+        Self: Sized;
+
+    /// One transferable entry (enough to insert it on the lagging side).
+    /// Equality is content equality — reconciliation compares entries
+    /// under the same repair key to decide whether to re-transfer.
+    type Entry: Clone + PartialEq + std::fmt::Debug;
+
+    /// Applies one transferred entry (upsert by identity).
+    fn apply_entry(&mut self, entry: &Self::Entry);
+
+    /// Removes the entry with this repair key, if present (the lagging
+    /// side holds an entry the authority does not).
+    fn remove_by_repair_key(&mut self, key: u64);
+
+    /// Wire bytes one transferred entry occupies (byte accounting for the
+    /// repair-vs-full-resync comparison).
+    fn entry_wire_bytes() -> usize
+    where
+        Self: Sized;
 }
 
 /// The client-side half of a backend: how offloaded traversals interpret

@@ -21,6 +21,8 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
 use std::rc::Rc;
 
 use catfish_rdma::tcp::{TcpConn, TcpEndpoint};
@@ -36,9 +38,10 @@ use crate::ring::{RingReceiver, RingSender};
 use crate::stats::ServiceStats;
 use crate::store::MrMemory;
 
+use super::cluster::ReplicaCtl;
 use super::{
     response_frames, Execution, HeartbeatInfo, Incoming, IndexBackend, OpKind, RemoteHandle,
-    WireCodec, WireMessage, FETCH_FLAG,
+    ReplEnvelope, WireCodec, WireMessage, FETCH_FLAG, REPL_FENCED,
 };
 
 /// Scales a per-KiB cost term to `bytes` of payload.
@@ -85,8 +88,43 @@ impl DedupWindow {
     }
 }
 
-/// Dedup-window capacity per connection (see [`DedupWindow`]).
-const DEDUP_WINDOW: usize = 1024;
+/// Primary-side mutation fan-out hook, installed by the cluster builder:
+/// `(mutation, envelope, trace parent)` → a future that resolves once
+/// every live backup has acknowledged the forwarded mutation.
+pub type ForwardFn<B> =
+    dyn Fn(WireMessage<B>, ReplEnvelope, Option<(u64, u64)>) -> Pin<Box<dyn Future<Output = ()>>>;
+
+/// Replication role of one server — a member of a k-way replica set, or
+/// (the default) a standalone server with every field inert.
+struct ReplState<B: IndexBackend> {
+    /// The replica set's shared control block (primary index, epoch,
+    /// liveness). `None` keeps the whole replication path disabled.
+    ctl: Option<ReplicaCtl>,
+    /// This server's replica index within its set.
+    id: usize,
+    /// Replica-set-wide applied-operation table: `(origin, op_id)` → END
+    /// status. Answers a failover *reissue* (same op identity, different
+    /// connection) from cache — the cross-connection half of exactly-once,
+    /// on top of the per-connection dedup window. Grows with the run; a
+    /// production system would truncate below the writers' acked
+    /// watermark.
+    applied: HashMap<(u64, u64), u32>,
+    /// Primary-side fan-out to the set's backups. Installed on every
+    /// replica so whichever holds the primary role after a promotion
+    /// already has it.
+    forwarder: Option<Rc<ForwardFn<B>>>,
+}
+
+impl<B: IndexBackend> Default for ReplState<B> {
+    fn default() -> Self {
+        ReplState {
+            ctl: None,
+            id: 0,
+            applied: HashMap::new(),
+            forwarder: None,
+        }
+    }
+}
 
 struct ServerInner<B: IndexBackend> {
     endpoint: Endpoint,
@@ -110,6 +148,8 @@ struct ServerInner<B: IndexBackend> {
     /// Distributed span log: server-side `Dispatch`/`IndexExec` spans for
     /// requests that arrived wrapped in a trace envelope.
     span: RefCell<SpanLog>,
+    /// Replication role (inert outside replica sets).
+    repl: RefCell<ReplState<B>>,
 }
 
 /// A Catfish server over any [`IndexBackend`]. Cloneable handle; spawned
@@ -179,6 +219,7 @@ impl<B: IndexBackend> ServiceServer<B> {
                 tcp: RefCell::new(None),
                 trace: RefCell::new(TraceSink::default()),
                 span: RefCell::new(SpanLog::default()),
+                repl: RefCell::new(ReplState::default()),
             }),
         }
     }
@@ -227,6 +268,38 @@ impl<B: IndexBackend> ServiceServer<B> {
     /// Runs `f` with shared access to the server's index (tests).
     pub fn with_index<R>(&self, f: impl FnOnce(&B) -> R) -> R {
         f(&self.inner.backend.borrow())
+    }
+
+    /// Runs `f` with exclusive access to the server's index (hash-range
+    /// repair applies transferred entries through this).
+    pub fn with_index_mut<R>(&self, f: impl FnOnce(&mut B) -> R) -> R {
+        f(&mut self.inner.backend.borrow_mut())
+    }
+
+    /// Enrolls this server in a replica set: `ctl` is the set's shared
+    /// control block, `id` this server's index within it. From here on,
+    /// mutations are epoch-fenced and non-primaries reject client
+    /// submissions (forwarded legs excepted).
+    pub fn set_replica_role(&self, ctl: ReplicaCtl, id: usize) {
+        let mut repl = self.inner.repl.borrow_mut();
+        repl.ctl = Some(ctl);
+        repl.id = id;
+    }
+
+    /// Installs the primary-side mutation fan-out hook. The cluster
+    /// builder installs one on **every** replica — whichever server holds
+    /// the primary role after a promotion forwards with it; on backups it
+    /// sits unused.
+    pub fn set_forwarder(
+        &self,
+        f: impl Fn(
+                WireMessage<B>,
+                ReplEnvelope,
+                Option<(u64, u64)>,
+            ) -> Pin<Box<dyn Future<Output = ()>>>
+            + 'static,
+    ) {
+        self.inner.repl.borrow_mut().forwarder = Some(Rc::new(f));
     }
 
     /// Aggregate counters, folding in the request-ring integrity counters
@@ -351,9 +424,12 @@ impl<B: IndexBackend> ServiceServer<B> {
                 for tx in targets {
                     // Fault injection: a suppressed heartbeat is simply not
                     // delivered this tick — the client-side staleness
-                    // failsafe must cover for it.
+                    // failsafe must cover for it. A scripted partition
+                    // silences every target (checked first so the
+                    // probabilistic draw below stays undisturbed when no
+                    // partition is configured).
                     if let Some(plan) = &plan {
-                        if plan.suppress_heartbeat() {
+                        if plan.partitioned(now()) || plan.suppress_heartbeat() {
                             continue;
                         }
                     }
@@ -415,6 +491,11 @@ impl<B: IndexBackend> ServiceServer<B> {
         let Some(plan) = self.inner.endpoint.fault_plan() else {
             return false;
         };
+        // A partitioned server never saw the frame at all: discard before
+        // any probabilistic draw so scripted partitions replay identically.
+        if plan.partitioned(now()) {
+            return true;
+        }
         if let Some(d) = plan.worker_stall() {
             sleep(d).await;
         }
@@ -423,7 +504,7 @@ impl<B: IndexBackend> ServiceServer<B> {
 
     async fn worker_event(&self, ch: ServerChannel) {
         let window = self.inner.cfg.batch_window;
-        let dedup = RefCell::new(DedupWindow::new(DEDUP_WINDOW));
+        let dedup = RefCell::new(DedupWindow::new(self.inner.cfg.dedup_window));
         loop {
             let Some(first) = ch
                 .rx
@@ -451,7 +532,7 @@ impl<B: IndexBackend> ServiceServer<B> {
 
     async fn worker_polling(&self, ch: ServerChannel) {
         let quantum = self.inner.cpu.quantum();
-        let dedup = RefCell::new(DedupWindow::new(DEDUP_WINDOW));
+        let dedup = RefCell::new(DedupWindow::new(self.inner.cfg.dedup_window));
         loop {
             // Occupy a core for a full turn, busy or not.
             let core = self.inner.cpu.acquire().await;
@@ -489,7 +570,7 @@ impl<B: IndexBackend> ServiceServer<B> {
         let quantum = self.inner.cpu.quantum();
         let grace = self.inner.cfg.spin_grace;
         let park_after = self.inner.cfg.spin_yield_rounds.max(1);
-        let dedup = RefCell::new(DedupWindow::new(DEDUP_WINDOW));
+        let dedup = RefCell::new(DedupWindow::new(self.inner.cfg.dedup_window));
         let mut idle_turns = 0u32;
         loop {
             if idle_turns >= park_after {
@@ -618,10 +699,19 @@ impl<B: IndexBackend> ServiceServer<B> {
                     dispatch_t1,
                 );
             }
+            // Strip the replication envelope after the trace envelope: the
+            // backend and the dedup window see the bare mutation; the
+            // envelope carries the connection sequence, the set-wide op
+            // identity, and the epoch fence.
+            let (env, m) = B::Wire::take_origin(m);
             // Duplicate detection: a retransmitted write-class request is
             // answered from the cached END status instead of being applied
-            // twice — retried inserts/deletes stay idempotent.
-            let meta = B::Wire::request_meta(&m);
+            // twice — retried inserts/deletes stay idempotent. A
+            // replicated mutation's connection-scoped identity is the
+            // envelope's link sequence (the inner sequence belongs to the
+            // originating client's connection).
+            let meta = B::Wire::request_meta(&m)
+                .map(|(seq, kind)| (env.as_ref().map_or(seq, |e| e.link_seq), kind));
             if let (Some(dedup), Some((seq, kind))) = (dedup, meta) {
                 if kind != OpKind::Read {
                     if let Some(status) = dedup.borrow().hit(seq) {
@@ -638,9 +728,69 @@ impl<B: IndexBackend> ServiceServer<B> {
                     }
                 }
             }
+            // Replica-set gate (inert outside replication): fence stale
+            // epochs and client mutations landing on a non-primary, then
+            // answer failover reissues from the applied-operation table.
+            let mut forward_copy = None;
+            if let Some((seq, kind)) = meta {
+                let repl_mutation = kind != OpKind::Read && self.inner.repl.borrow().ctl.is_some();
+                if repl_mutation {
+                    let fence = {
+                        let repl = self.inner.repl.borrow();
+                        let ctl = repl.ctl.as_ref().expect("gated above");
+                        let stale_epoch = env.as_ref().is_some_and(|e| e.epoch < ctl.epoch());
+                        let forwarded = env.as_ref().is_some_and(|e| e.forwarded());
+                        stale_epoch || (!ctl.is_primary(repl.id) && !forwarded)
+                    };
+                    if fence {
+                        // Deliberately NOT recorded in the dedup window: a
+                        // reissue after the writer refreshes its epoch must
+                        // be re-judged, not answered from cache.
+                        self.inner.stats.borrow_mut().repl_fenced += 1;
+                        execs.push(Execution {
+                            seq,
+                            kind,
+                            cost: SimDuration::ZERO,
+                            items: Vec::new(),
+                            status: REPL_FENCED,
+                            nodes_visited: 0,
+                        });
+                        continue;
+                    }
+                    if let Some(env) = &env {
+                        let hit = self
+                            .inner
+                            .repl
+                            .borrow()
+                            .applied
+                            .get(&(env.origin, env.op_id))
+                            .copied();
+                        if let Some(status) = hit {
+                            self.inner.stats.borrow_mut().repl_dups += 1;
+                            if let Some(dedup) = dedup {
+                                dedup.borrow_mut().record(seq, status);
+                            }
+                            execs.push(Execution {
+                                seq,
+                                kind,
+                                cost: SimDuration::ZERO,
+                                items: Vec::new(),
+                                status,
+                                nodes_visited: 0,
+                            });
+                            continue;
+                        }
+                        // A fresh enveloped client mutation on the primary
+                        // fans out to the backups after local execution.
+                        if !env.forwarded() {
+                            forward_copy = Some(m.clone());
+                        }
+                    }
+                }
+            }
             let exec_t0 = span_log.now_ns();
             // The backend borrow is released before any await point.
-            let Some(exec) = self
+            let Some(mut exec) = self
                 .inner
                 .backend
                 .borrow_mut()
@@ -648,9 +798,21 @@ impl<B: IndexBackend> ServiceServer<B> {
             else {
                 continue;
             };
+            if let Some(env) = &env {
+                // Respond on THIS connection's sequence, not the origin
+                // client's (a forwarded leg echoes the pump's link seq).
+                exec.seq = env.link_seq;
+            }
             if let (Some(dedup), Some((seq, kind))) = (dedup, meta) {
                 if kind != OpKind::Read {
                     dedup.borrow_mut().record(seq, exec.status);
+                    if let Some(env) = &env {
+                        self.inner
+                            .repl
+                            .borrow_mut()
+                            .applied
+                            .insert((env.origin, env.op_id), exec.status);
+                    }
                 }
             }
             self.charge(exec.cost, holding_core).await;
@@ -673,6 +835,38 @@ impl<B: IndexBackend> ServiceServer<B> {
                     }
                     OpKind::Write => st.writes += 1,
                     OpKind::Remove => st.removes += 1,
+                }
+            }
+            // Primary-side fan-out: ship the accepted mutation to every
+            // live backup and wait for their acks before this END is
+            // released — synchronous k-way replication. The hook and the
+            // outgoing envelope are resolved first so no RefCell borrow is
+            // held across the forwarding await.
+            if let Some(inner_msg) = forward_copy {
+                let hook = {
+                    let repl = self.inner.repl.borrow();
+                    let ctl = repl.ctl.as_ref().expect("forward implies replication");
+                    repl.forwarder.clone().map(|f| {
+                        let env = env.as_ref().expect("forward implies envelope");
+                        (
+                            f,
+                            ReplEnvelope {
+                                link_seq: 0, // bound per backup link at send time
+                                origin: env.origin,
+                                op_id: env.op_id,
+                                epoch: ctl.epoch(),
+                                flags: ReplEnvelope::FORWARDED,
+                            },
+                        )
+                    })
+                };
+                if let Some((forward, env_out)) = hook {
+                    let t0 = now();
+                    let parent = tctx.map(|c| (c.trace_id, c.parent_span));
+                    forward(inner_msg, env_out, parent).await;
+                    let mut st = self.inner.stats.borrow_mut();
+                    st.repl_forwards += 1;
+                    st.repl_lag_ns += (now() - t0).as_nanos();
                 }
             }
             execs.push(exec);

@@ -89,6 +89,18 @@ pub struct ServiceStats {
     /// checksum failures, resyncs, stale-heartbeat failovers, fetch
     /// fallbacks).
     pub flight_dumps: u64,
+    /// Mutations a primary forwarded to its backups (one count per
+    /// acknowledged mutation, regardless of backup fan-out).
+    pub repl_forwards: u64,
+    /// Mutations fenced by a replica: stale epoch, or a client submission
+    /// landing on a non-primary after a promotion.
+    pub repl_fenced: u64,
+    /// Mutations answered from the replica-set applied-operation table —
+    /// failover reissues a new primary recognized by `(origin, op_id)`.
+    pub repl_dups: u64,
+    /// Total nanoseconds primaries spent awaiting backup acknowledgement
+    /// (replication lag; divide by `repl_forwards` for the mean).
+    pub repl_lag_ns: u64,
 }
 
 impl ServiceStats {
@@ -123,6 +135,17 @@ impl ServiceStats {
         self.fetch_fallbacks += other.fetch_fallbacks;
         self.mailbox_reclaims += other.mailbox_reclaims;
         self.flight_dumps += other.flight_dumps;
+        self.repl_forwards += other.repl_forwards;
+        self.repl_fenced += other.repl_fenced;
+        self.repl_dups += other.repl_dups;
+        self.repl_lag_ns += other.repl_lag_ns;
+    }
+
+    /// Mean primary→backup replication lag per forwarded mutation.
+    pub fn mean_repl_lag(&self) -> SimDuration {
+        self.repl_lag_ns
+            .checked_div(self.repl_forwards)
+            .map_or(SimDuration::ZERO, SimDuration::from_nanos)
     }
 
     /// Fraction of client reads that went through the offloaded path,
@@ -170,7 +193,7 @@ impl fmt::Display for ServiceStats {
              restarts {}, cache hits {}, batches {} ({:.1} msgs/batch), merged writes {}, \
              deposits {} (fallbacks {}, reclaims {}), decode errors {}, timeouts {}, \
              retransmits {}, dup drops {}, checksum failures {}, resyncs {}, stale hb windows {}, \
-             flight dumps {}",
+             flight dumps {}, repl forwards {} (fenced {}, dups {}, mean lag {})",
             self.fast_reads,
             self.fetched_reads,
             self.offloaded_reads,
@@ -193,6 +216,10 @@ impl fmt::Display for ServiceStats {
             self.resyncs,
             self.stale_heartbeat_windows,
             self.flight_dumps,
+            self.repl_forwards,
+            self.repl_fenced,
+            self.repl_dups,
+            self.mean_repl_lag(),
         )
     }
 }
@@ -372,6 +399,10 @@ mod tests {
             fetched_responses: 2,
             fetch_fallbacks: 1,
             mailbox_reclaims: 2,
+            repl_forwards: 4,
+            repl_fenced: 2,
+            repl_dups: 1,
+            repl_lag_ns: 8_000,
             ..ServiceStats::default()
         };
         a.merge(&b);
@@ -393,6 +424,11 @@ mod tests {
         assert_eq!(a.cache_hits, 5);
         assert!((a.offload_fraction() - 0.5).abs() < 1e-12);
         assert!(a.to_string().contains("50.0% offloaded"));
+        assert_eq!(a.repl_forwards, 4);
+        assert_eq!(a.repl_fenced, 2);
+        assert_eq!(a.repl_dups, 1);
+        assert_eq!(a.mean_repl_lag(), SimDuration::from_nanos(2_000));
+        assert!(a.to_string().contains("repl forwards 4 (fenced 2, dups 1"));
     }
 
     #[test]

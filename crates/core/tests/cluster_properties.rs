@@ -11,6 +11,7 @@ use catfish_core::client::CatfishClusterClient;
 use catfish_core::config::{AccessMode, ClientConfig, ServerConfig, ServerMode};
 use catfish_core::conn::RkeyAllocator;
 use catfish_core::server::CatfishCluster;
+use catfish_core::service::ShardMap;
 use catfish_rdma::profile::infiniband_100g;
 use catfish_rtree::{min_dist_sq, RTreeConfig, Rect};
 use catfish_simnet::{Network, Sim};
@@ -157,6 +158,89 @@ fn check_cluster_matches_model(shards: usize, dataset_seed: u64, ops: Vec<Op>) {
     });
 }
 
+/// Boundary-window stress: every query and insert is pinned **exactly to
+/// an x-cut** of the live partition — centers on the cut, windows whose
+/// min/max edge equals the cut, and windows straddling it by a hair.
+/// These are the rectangles where a routing off-by-one (open vs closed
+/// slab intervals, `<` vs `<=` in the partition point) silently drops one
+/// neighbor from the scatter set, which generic uniform rectangles almost
+/// never catch.
+fn check_cut_boundary_windows(shards: usize, dataset_seed: u64, picks: Vec<(u8, u8, f64, f64)>) {
+    let sim = Sim::new();
+    sim.run_until(async move {
+        let net = Network::new();
+        let profile = infiniband_100g();
+        let rkeys = RkeyAllocator::new();
+        let dataset = uniform_rects(300, 1e-3, dataset_seed);
+        let mut model = Model {
+            live: dataset.clone(),
+        };
+        let cluster = CatfishCluster::build(
+            &net,
+            &profile,
+            ServerConfig {
+                cores: 2,
+                mode: ServerMode::EventDriven,
+                ..ServerConfig::default()
+            },
+            RTreeConfig::default(),
+            dataset,
+            shards,
+            &rkeys,
+        );
+        let mut client = CatfishClusterClient::connect(
+            &cluster,
+            &net,
+            &profile,
+            ClientConfig {
+                mode: AccessMode::FastMessaging,
+                ..ClientConfig::default()
+            },
+            dataset_seed ^ 0xB0u64,
+        );
+        let ShardMap::Region { cuts, .. } = client.shard_map() else {
+            panic!("r-tree cluster must use a region map");
+        };
+        let cuts = cuts.clone();
+        assert!(!cuts.is_empty(), "need at least one cut at {shards} shards");
+
+        let mut next_id = 1u64 << 41;
+        for (step, (cut_pick, variant, y, w)) in picks.into_iter().enumerate() {
+            let cut = cuts[cut_pick as usize % cuts.len()];
+            let y = y.clamp(0.0, 0.99);
+            let w = w.clamp(1e-4, 0.1);
+            // Rectangles pinned to the cut: centered on it, ending exactly
+            // on it, starting exactly on it, or straddling asymmetrically.
+            let rect = match variant % 4 {
+                0 => Rect::new(cut - w, y, cut + w, y + 0.05),
+                1 => Rect::new((cut - w).max(0.0), y, cut, y + 0.05),
+                2 => Rect::new(cut, y, (cut + w).min(1.0), y + 0.05),
+                _ => Rect::new((cut - w / 3.0).max(0.0), y, (cut + w).min(1.0), y + 0.05),
+            };
+            if variant % 2 == 0 {
+                // Exercise routing of an *insert* whose center can sit
+                // exactly on the cut, then make sure reads find it back.
+                let id = next_id;
+                next_id += 1;
+                assert!(client.insert(rect, id).await, "step {step}: insert refused");
+                model.live.push((rect, id));
+            }
+            let mut got = client.search(&rect).await;
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                model.search(&rect),
+                "step {step}: cut-pinned window {rect:?} diverged at {shards} shards"
+            );
+        }
+
+        let world = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let mut got = client.search(&world).await;
+        got.sort_unstable();
+        assert_eq!(got, model.search(&world), "full-window sweep diverged");
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(14))]
 
@@ -180,5 +264,20 @@ proptest! {
         ops in prop::collection::vec(arb_op(), 1..20),
     ) {
         check_cluster_matches_model(1, dataset_seed, ops);
+    }
+
+    /// Windows and inserts pinned exactly onto the partition's x-cuts
+    /// route to every neighbor the flat reference says they must — the
+    /// off-by-one trap of slab routing.
+    #[test]
+    fn cut_boundary_windows_match_reference(
+        shards in 2usize..5,
+        dataset_seed in 0u64..1_000,
+        picks in prop::collection::vec(
+            (any::<u8>(), any::<u8>(), 0.0f64..1.0, 0.0f64..0.1),
+            1..20,
+        ),
+    ) {
+        check_cut_boundary_windows(shards, dataset_seed, picks);
     }
 }

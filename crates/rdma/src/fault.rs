@@ -65,6 +65,13 @@ pub struct FaultConfig {
     /// execution, as if the process died with requests in flight and a
     /// replacement came back with the same state.
     pub crash_window: Option<(SimTime, SimDuration)>,
+    /// A scripted network-partition window: while `now` falls inside
+    /// `[start, start + duration)`, every message-bearing write through
+    /// an endpoint carrying this plan is silently dropped (both
+    /// directions — requests, responses, forwarded mutations, and
+    /// heartbeats all vanish), modelling a replica cut off from the
+    /// fabric while its process keeps running.
+    pub partition_window: Option<(SimTime, SimDuration)>,
 }
 
 impl Default for FaultConfig {
@@ -80,6 +87,7 @@ impl Default for FaultConfig {
             stall: 0.0,
             stall_duration: SimDuration::from_millis(2),
             crash_window: None,
+            partition_window: None,
         }
     }
 }
@@ -100,6 +108,7 @@ impl FaultConfig {
             || self.suppress_heartbeat > 0.0
             || self.stall > 0.0
             || self.crash_window.is_some()
+            || self.partition_window.is_some()
     }
 }
 
@@ -123,6 +132,8 @@ pub struct FaultCounters {
     pub stalls: u64,
     /// Frames discarded inside the crash-restart window.
     pub crash_discards: u64,
+    /// Writes dropped inside the partition window.
+    pub partition_drops: u64,
 }
 
 impl FaultCounters {
@@ -136,6 +147,7 @@ impl FaultCounters {
             + self.heartbeats_suppressed
             + self.stalls
             + self.crash_discards
+            + self.partition_drops
     }
 }
 
@@ -323,6 +335,20 @@ impl FaultPlan {
         }
         hit
     }
+
+    /// True when `now` falls inside the scripted partition window: the
+    /// caller must drop the message it was about to deliver.
+    pub fn partitioned(&self, now: SimTime) -> bool {
+        let window = self.inner.borrow().cfg.partition_window;
+        let hit = match window {
+            Some((start, dur)) => now >= start && now < start + dur,
+            None => false,
+        };
+        if hit {
+            self.inner.borrow_mut().counters.partition_drops += 1;
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +367,7 @@ mod tests {
             assert!(!plan.suppress_heartbeat());
             assert!(plan.worker_stall().is_none());
             assert!(!plan.crash_discard(SimTime::ZERO));
+            assert!(!plan.partitioned(SimTime::ZERO));
         }
         assert_eq!(plan.counters().total(), 0);
     }
@@ -406,6 +433,24 @@ mod tests {
         assert!(plan.crash_discard(start + SimDuration::from_millis(4)));
         assert!(!plan.crash_discard(start + SimDuration::from_millis(5)));
         assert_eq!(plan.counters().crash_discards, 2);
+    }
+
+    #[test]
+    fn partition_window_bounds_are_half_open() {
+        let start = SimTime::ZERO + SimDuration::from_millis(20);
+        let plan = FaultPlan::new(
+            FaultConfig {
+                partition_window: Some((start, SimDuration::from_millis(10))),
+                ..FaultConfig::default()
+            },
+            1,
+        );
+        assert!(plan.config().is_active());
+        assert!(!plan.partitioned(SimTime::ZERO));
+        assert!(plan.partitioned(start));
+        assert!(plan.partitioned(start + SimDuration::from_millis(9)));
+        assert!(!plan.partitioned(start + SimDuration::from_millis(10)));
+        assert_eq!(plan.counters().partition_drops, 2);
     }
 
     #[test]

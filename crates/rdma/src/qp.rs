@@ -470,7 +470,10 @@ impl QueuePair {
         let mut duplicate_completion = false;
         let mut extra_delay = SimDuration::ZERO;
         if let Some(plan) = &faults {
-            if plan.drop_write() {
+            // The partition check short-circuits ahead of the
+            // probabilistic draw, so scripted partition runs replay
+            // identically whether or not loss is also configured.
+            if plan.partitioned(t_sched) || plan.drop_write() {
                 deliver_data = false;
                 deliver_completion = false;
             } else {
